@@ -1,0 +1,44 @@
+# Reproduction workflow targets.
+
+GO ?= go
+
+.PHONY: all build vet test test-short bench tables artifacts examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Regenerate every paper table (plus premise, sensor and survey tables).
+tables:
+	$(GO) run ./cmd/repro-tables
+
+# Write the archival artifact bundle (tables, datasets, predictor).
+artifacts:
+	$(GO) run ./cmd/repro-tables -artifacts artifacts
+
+# Run every example end to end.
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/powermeter
+	$(GO) run ./examples/appspecific
+	$(GO) run ./examples/onlineselection
+	$(GO) run ./examples/partitioning
+	$(GO) run ./examples/dvfs
+	$(GO) run ./examples/customkernel
+	$(GO) run ./examples/decomposition
+
+clean:
+	rm -rf artifacts

@@ -1,0 +1,213 @@
+package additivity_test
+
+// Tests of the public facade: the API surface the examples and downstream
+// users consume.
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"additivity"
+)
+
+func TestFacadePlatforms(t *testing.T) {
+	h := additivity.Haswell()
+	s := additivity.Skylake()
+	if h.TotalCores() != 24 || s.TotalCores() != 22 {
+		t.Errorf("cores = %d/%d", h.TotalCores(), s.TotalCores())
+	}
+	if _, err := additivity.PlatformByName("haswell"); err != nil {
+		t.Error(err)
+	}
+	if len(additivity.Catalog(h)) != 164 || len(additivity.ReducedCatalog(h)) != 151 {
+		t.Error("haswell catalog sizes wrong through facade")
+	}
+	if len(additivity.Catalog(s)) != 385 || len(additivity.ReducedCatalog(s)) != 323 {
+		t.Error("skylake catalog sizes wrong through facade")
+	}
+	ev, err := additivity.FindEvent(s, "FP_ARITH_INST_RETIRED_DOUBLE")
+	if err != nil || ev.Name == "" {
+		t.Errorf("FindEvent: %v %v", ev, err)
+	}
+	if _, err := additivity.FindEvents(s, []string{"NOPE"}); err == nil {
+		t.Error("FindEvents accepted unknown event")
+	}
+}
+
+func TestFacadeWorkloads(t *testing.T) {
+	suite := additivity.DiverseSuite()
+	if len(suite) != 16 {
+		t.Errorf("suite size = %d", len(suite))
+	}
+	if len(additivity.BaseApps(suite)) != 277 {
+		t.Error("base apps != 277 through facade")
+	}
+	if _, err := additivity.WorkloadByName("mkl-dgemm"); err != nil {
+		t.Error(err)
+	}
+	sweep := additivity.SizeSweep(additivity.DGEMM(), 6400, 38400, 64)
+	if len(sweep) != 501 {
+		t.Errorf("sweep = %d", len(sweep))
+	}
+	comps := additivity.RandomCompounds(sweep, 5, 1)
+	if len(comps) != 5 {
+		t.Errorf("compounds = %d", len(comps))
+	}
+}
+
+func TestFacadeMeasurementPipeline(t *testing.T) {
+	m := additivity.NewMachine(additivity.Haswell(), 3)
+	app := additivity.App{Workload: additivity.DGEMM(), Size: 3072}
+	meas := m.MeasureDynamicEnergy(additivity.DefaultMethodology(), app)
+	if meas.MeanJoules <= 0 {
+		t.Errorf("measured %v J", meas.MeanJoules)
+	}
+	col := additivity.NewCollector(m, 3)
+	events, err := additivity.FindEvents(additivity.Haswell(), additivity.ClassAPMCs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts, runs, err := col.Collect(events, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(counts) != 6 || runs != 2 {
+		t.Errorf("collected %d counts in %d runs", len(counts), runs)
+	}
+}
+
+func TestFacadeAdditivityPipeline(t *testing.T) {
+	spec := additivity.Haswell()
+	m := additivity.NewMachine(spec, 5)
+	col := additivity.NewCollector(m, 5)
+	checker := additivity.NewChecker(col, additivity.DefaultCheckerConfig())
+	events, err := additivity.FindEvents(spec, []string{
+		"FP_ARITH_INST_RETIRED_DOUBLE", "ARITH_DIVIDER_COUNT",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := additivity.App{Workload: additivity.DGEMM(), Size: 3072}
+	b := additivity.App{Workload: additivity.FFT(), Size: 10240}
+	verdicts, err := checker.Check(events, []additivity.CompoundApp{
+		{Parts: []additivity.App{a, b}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranked := additivity.RankByAdditivity(verdicts)
+	if ranked[0].Event.Name != "FP_ARITH_INST_RETIRED_DOUBLE" {
+		t.Errorf("most additive = %s", ranked[0].Event.Name)
+	}
+	if got := additivity.MostAdditive(verdicts, 1); got[0] != "FP_ARITH_INST_RETIRED_DOUBLE" {
+		t.Errorf("MostAdditive = %v", got)
+	}
+	if got := additivity.DropLeastAdditive(verdicts); len(got) != 1 {
+		t.Errorf("DropLeastAdditive left %d", len(got))
+	}
+}
+
+func TestFacadeModels(t *testing.T) {
+	X := [][]float64{{1, 2}, {2, 1}, {3, 3}, {4, 1}, {5, 5}, {6, 2}}
+	y := make([]float64, len(X))
+	for i, row := range X {
+		y[i] = 3*row[0] + 2*row[1]
+	}
+	for _, model := range []additivity.Regressor{
+		additivity.NewLinearRegression(),
+		additivity.NewRandomForest(1),
+		additivity.NewNeuralNetwork(1),
+	} {
+		if err := model.Fit(X, y); err != nil {
+			t.Fatalf("%s: %v", model.Name(), err)
+		}
+		stats, err := additivity.Evaluate(model, X, y)
+		if err != nil {
+			t.Fatalf("%s: %v", model.Name(), err)
+		}
+		if math.IsNaN(stats.Avg) {
+			t.Errorf("%s: NaN error stats", model.Name())
+		}
+	}
+}
+
+func TestFacadePerfGroups(t *testing.T) {
+	groups := additivity.PerfGroups(additivity.Skylake())
+	if len(groups) < 5 {
+		t.Errorf("groups = %d", len(groups))
+	}
+	g, err := additivity.PerfGroupByName(additivity.Skylake(), "ONLINE_PA4")
+	if err != nil || len(g.Events) != 4 {
+		t.Errorf("ONLINE_PA4: %v %v", g, err)
+	}
+	m := additivity.NewMachine(additivity.Skylake(), 9)
+	col := additivity.NewCollector(m, 9)
+	counts, err := col.CollectGroup("FLOPS_DP", additivity.App{Workload: additivity.DGEMM(), Size: 6400})
+	if err != nil || len(counts) != 3 {
+		t.Errorf("CollectGroup: %v %v", counts, err)
+	}
+}
+
+func TestFacadeTables(t *testing.T) {
+	if s := additivity.Table1().Render(); !strings.Contains(s, "Haswell") {
+		t.Error("Table1 malformed")
+	}
+	ct, err := additivity.CollectionTable()
+	if err != nil || !strings.Contains(ct.Render(), "99") {
+		t.Errorf("CollectionTable: %v", err)
+	}
+}
+
+func TestFacadeTrace(t *testing.T) {
+	tr := additivity.Trace{
+		additivity.Segment{Seconds: 2, Watts: 100},
+		additivity.Segment{Seconds: 1, Watts: 50},
+	}
+	if tr.IdealJoules() != 250 {
+		t.Errorf("IdealJoules = %v", tr.IdealJoules())
+	}
+	meter := additivity.NewPowerMeter(1)
+	e, err := meter.MeasureTraceJoules(tr)
+	if err != nil || math.Abs(e-250)/250 > 0.1 {
+		t.Errorf("trace measurement: %v %v", e, err)
+	}
+	hcl := additivity.NewHCLWattsUp(58, 1)
+	if _, err := hcl.DynamicJoulesFromTrace(tr); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFacadeDatasetCSV(t *testing.T) {
+	spec := additivity.Haswell()
+	m := additivity.NewMachine(spec, 7)
+	col := additivity.NewCollector(m, 7)
+	events, err := additivity.FindEvents(spec, additivity.ClassAPMCs[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	builder := additivity.NewDatasetBuilder(m, col, events)
+	ds, err := builder.Build([]additivity.App{
+		{Workload: additivity.DGEMM(), Size: 2048},
+		{Workload: additivity.FFT(), Size: 8192},
+		{Workload: additivity.DGEMM(), Size: 2560},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := ds.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := additivity.ReadDatasetCSV(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 3 {
+		t.Errorf("round trip = %d points", back.Len())
+	}
+	train, test, err := ds.Split(1, 1)
+	if err != nil || train.Len() != 2 || test.Len() != 1 {
+		t.Errorf("split: %v", err)
+	}
+}

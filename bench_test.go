@@ -1,0 +1,182 @@
+package additivity_test
+
+// Benchmark harness: one benchmark per paper table (plus the collection-
+// cost figures quoted in the text and ablations of the design choices in
+// DESIGN.md). Each benchmark executes the experiment that regenerates its
+// table and reports the headline numbers as custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the paper's evaluation end to end. Absolute errors come from
+// the simulated substrate; the shape (who wins, where the knee falls) is
+// asserted by the test suite in internal/experiments.
+
+import (
+	"testing"
+
+	"additivity"
+)
+
+func BenchmarkTable1PlatformSpecs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if s := additivity.Table1().Render(); len(s) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkCollectionPlan regenerates the collection-cost numbers of
+// section 5: 53 runs to collect the 151-event Haswell catalog, 99 for the
+// 323-event Skylake catalog.
+func BenchmarkCollectionPlan(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h, err := additivity.RunsToCollectAll(additivity.Haswell())
+		if err != nil {
+			b.Fatal(err)
+		}
+		s, err := additivity.RunsToCollectAll(additivity.Skylake())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if h != 53 || s != 99 {
+			b.Fatalf("collection runs = %d/%d, want 53/99", h, s)
+		}
+	}
+	b.ReportMetric(53, "haswell-runs")
+	b.ReportMetric(99, "skylake-runs")
+}
+
+// classABench runs the Class A experiment once per iteration and returns
+// the last result.
+func classABench(b *testing.B) *additivity.ClassAResult {
+	b.Helper()
+	var res *additivity.ClassAResult
+	for i := 0; i < b.N; i++ {
+		r, err := additivity.RunClassA(additivity.ClassAConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r
+	}
+	return res
+}
+
+// BenchmarkTable2ClassAAdditivity regenerates the additivity errors of
+// the six Class A PMCs (paper: X6=10 … X4=80, none additive within 5%).
+func BenchmarkTable2ClassAAdditivity(b *testing.B) {
+	res := classABench(b)
+	for _, v := range res.Verdicts {
+		b.ReportMetric(v.MaxErrorPct, v.Event.Name+"-err%")
+	}
+}
+
+// BenchmarkTable3LinearModels regenerates LR1..LR6 (paper avg errors:
+// 31.2, 31.2, 25.3, 23.86, 18.01, 68.5 — improvement until the knee, then
+// collapse).
+func BenchmarkTable3LinearModels(b *testing.B) {
+	res := classABench(b)
+	for _, m := range res.LR {
+		b.ReportMetric(m.Errors.Avg, m.Name+"-avg%")
+	}
+}
+
+// BenchmarkTable4RandomForests regenerates RF1..RF6 (paper: best RF4 at
+// 23.68%).
+func BenchmarkTable4RandomForests(b *testing.B) {
+	res := classABench(b)
+	for _, m := range res.RF {
+		b.ReportMetric(m.Errors.Avg, m.Name+"-avg%")
+	}
+}
+
+// BenchmarkTable5NeuralNetworks regenerates NN1..NN6 (paper: best NN4 at
+// 24.06%).
+func BenchmarkTable5NeuralNetworks(b *testing.B) {
+	res := classABench(b)
+	for _, m := range res.NN {
+		b.ReportMetric(m.Errors.Avg, m.Name+"-avg%")
+	}
+}
+
+func classBBench(b *testing.B) *additivity.ClassBResult {
+	b.Helper()
+	var res *additivity.ClassBResult
+	for i := 0; i < b.N; i++ {
+		r, err := additivity.RunClassB(additivity.ClassBConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r
+	}
+	return res
+}
+
+// BenchmarkTable6PMCSelection regenerates the PA/PNA additivity errors
+// and energy correlations (paper: PA errors < 1%, X9 correlation near
+// zero).
+func BenchmarkTable6PMCSelection(b *testing.B) {
+	res := classBBench(b)
+	maxPA, minPNA := 0.0, 1e9
+	byName := map[string]float64{}
+	for _, v := range res.Verdicts {
+		byName[v.Event.Name] = v.MaxErrorPct
+	}
+	for _, n := range additivity.PAPMCs {
+		if byName[n] > maxPA {
+			maxPA = byName[n]
+		}
+	}
+	for _, n := range additivity.PNAPMCs {
+		if byName[n] < minPNA {
+			minPNA = byName[n]
+		}
+	}
+	b.ReportMetric(maxPA, "PA-max-err%")
+	b.ReportMetric(minPNA, "PNA-min-err%")
+	b.ReportMetric(res.Correlations["MEM_LOAD_RETIRED_L3_MISS"], "X9-corr")
+}
+
+// BenchmarkTable7aClassB regenerates the six application-specific models
+// (paper: PA beats PNA for LR, RF and NN).
+func BenchmarkTable7aClassB(b *testing.B) {
+	res := classBBench(b)
+	for _, m := range res.Models {
+		b.ReportMetric(m.Errors.Avg, m.Name+"-avg%")
+	}
+}
+
+// BenchmarkAdditivityStudy surveys the whole Haswell reduced catalog —
+// the experiment behind the paper's statement that "while many PMCs are
+// potentially additive, a considerable number of PMCs are not".
+func BenchmarkAdditivityStudy(b *testing.B) {
+	var res *additivity.AdditivityStudy
+	for i := 0; i < b.N; i++ {
+		s, err := additivity.RunAdditivityStudy(additivity.Haswell(), additivity.StudyConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = s
+	}
+	b.ReportMetric(float64(res.AdditiveCount(5)), "additive@5%")
+	b.ReportMetric(float64(len(res.Verdicts)), "events")
+	b.ReportMetric(float64(res.NonReproducibleCount()), "non-reproducible")
+}
+
+// BenchmarkTable7bClassC regenerates the four-PMC online models (paper:
+// PA4 wins; correlation alone does not help).
+func BenchmarkTable7bClassC(b *testing.B) {
+	var res *additivity.ClassCResult
+	for i := 0; i < b.N; i++ {
+		cb, err := additivity.RunClassB(additivity.ClassBConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err = additivity.RunClassC(cb)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, m := range res.Models {
+		b.ReportMetric(m.Errors.Avg, m.Name+"-avg%")
+	}
+}

@@ -1,0 +1,135 @@
+// Command additivity-checker runs the paper's two-stage additivity test
+// for a set of PMCs against a compound-application suite — the
+// AdditivityChecker tool of the paper's supplemental, on the simulated
+// platforms.
+//
+// Usage:
+//
+//	additivity-checker [-platform haswell|skylake] [-pmcs a,b,c]
+//	                   [-compounds N] [-reps N] [-tolerance pct] [-seed N]
+//
+// Without -pmcs, the paper's PMC sets are tested: the six Class A PMCs on
+// Haswell, or the PA+PNA sets on Skylake.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"additivity"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("additivity-checker: ")
+	platformName := flag.String("platform", "haswell", "platform: haswell or skylake")
+	pmcs := flag.String("pmcs", "", "comma-separated PMC names (default: the paper's sets)")
+	compounds := flag.Int("compounds", 50, "number of compound applications")
+	reps := flag.Int("reps", 5, "runs per sample mean")
+	tolerance := flag.Float64("tolerance", 5.0, "additivity tolerance in percent")
+	seed := flag.Int64("seed", additivity.DefaultSeed, "experiment seed")
+	full := flag.Bool("full", false, "survey the whole reduced catalog with tolerance sensitivity")
+	flag.Parse()
+
+	spec, err := additivity.PlatformByName(*platformName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *full {
+		fmt.Printf("surveying the %s reduced catalog (%d events)...\n",
+			spec.Name, len(additivity.ReducedCatalog(spec)))
+		study, err := additivity.RunAdditivityStudy(spec, additivity.StudyConfig{
+			Seed: *seed, Compounds: *compounds, Reps: *reps,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+		fmt.Println(study.SensitivityTable([]float64{0.5, 1, 2, 5, 10, 20}).Render())
+		if h, err := study.ErrorHistogram(); err == nil {
+			fmt.Println("max additivity error distribution (%):")
+			fmt.Println(h.Render(40))
+		}
+		fmt.Println(study.CategoryTable().Render())
+		fmt.Println("least additive events:")
+		for _, v := range study.WorstOffenders(10) {
+			fmt.Printf("  %-40s err %7.1f%%  reproducible=%v\n",
+				v.Event.Name, v.MaxErrorPct, v.Reproducible)
+		}
+		return
+	}
+
+	var names []string
+	if *pmcs != "" {
+		names = strings.Split(*pmcs, ",")
+		for i := range names {
+			names[i] = strings.TrimSpace(names[i])
+		}
+	} else if spec.Name == "haswell" {
+		names = additivity.ClassAPMCs
+	} else {
+		names = append(append([]string{}, additivity.PAPMCs...), additivity.PNAPMCs...)
+	}
+	events, err := additivity.FindEvents(spec, names)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	m := additivity.NewMachine(spec, *seed)
+	col := additivity.NewCollector(m, *seed)
+	checker := additivity.NewChecker(col, additivity.CheckerConfig{
+		ToleranceFrac: *tolerance / 100,
+		Reps:          *reps,
+		ReproCVMax:    0.20,
+	})
+
+	var comps []additivity.CompoundApp
+	if spec.Name == "haswell" {
+		base := additivity.BaseApps(additivity.DiverseSuite())
+		comps = additivity.RandomCompounds(base, *compounds, *seed)
+	} else {
+		var base []additivity.App
+		base = append(base, additivity.SizeSweep(additivity.DGEMM(), 6500, 20000, 562)...)
+		base = append(base, additivity.SizeSweep(additivity.FFT(), 22400, 29000, 275)...)
+		comps = additivity.RandomCompounds(base, *compounds, *seed)
+	}
+
+	fmt.Printf("platform %s: testing %d PMCs against %d compound applications (%d reps, %.1f%% tolerance)\n\n",
+		spec.Name, len(events), len(comps), *reps, *tolerance)
+
+	verdicts, err := checker.Check(events, comps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sorted := additivity.RankByAdditivity(verdicts)
+	fmt.Printf("%-38s %10s %14s %10s\n", "PMC", "max err %", "reproducible", "additive")
+	fmt.Println(strings.Repeat("-", 76))
+	for _, v := range sorted {
+		fmt.Printf("%-38s %10.2f %14v %10v\n",
+			v.Event.Name, v.MaxErrorPct, v.Reproducible, v.Additive)
+	}
+
+	additive := 0
+	for _, v := range verdicts {
+		if v.Additive {
+			additive++
+		}
+	}
+	fmt.Printf("\n%d of %d PMCs are additive within %.1f%%\n", additive, len(verdicts), *tolerance)
+
+	// Show the worst compound for the least additive PMC, as a diagnosis
+	// aid.
+	worst := sorted[len(sorted)-1]
+	idx := 0
+	for i, c := range worst.PerCompound {
+		if c.ErrorPct > worst.PerCompound[idx].ErrorPct {
+			idx = i
+		}
+	}
+	c := worst.PerCompound[idx]
+	fmt.Printf("\nleast additive: %s — worst compound %s (sum of bases %.4g, compound %.4g, err %.1f%%)\n",
+		worst.Event.Name, c.Compound, c.BaseSum, c.Compound_, c.ErrorPct)
+}

@@ -1,0 +1,178 @@
+// Command energy-train builds an energy predictive model from simulated
+// measurements and reports its prediction accuracy — the modelling half
+// of the paper's pipeline, runnable with any PMC set.
+//
+// Usage:
+//
+//	energy-train [-platform haswell|skylake] [-model lr|rf|nn]
+//	             [-pmcs a,b,c | -set classa|pa|pna] [-seed N] [-csv out.csv]
+//
+// On Haswell the model trains on the 277-point diverse-suite dataset and
+// tests on 50 compound applications (the Class A protocol); on Skylake it
+// trains on 651 points of the 801-point DGEMM+FFT sweep and tests on the
+// remaining 150 (the Class B protocol).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"additivity"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("energy-train: ")
+	platformName := flag.String("platform", "skylake", "platform: haswell or skylake")
+	modelName := flag.String("model", "lr", "model family: lr, ridge, rf or nn")
+	pmcList := flag.String("pmcs", "", "comma-separated PMC names")
+	setName := flag.String("set", "", "named PMC set: classa, pa or pna")
+	seed := flag.Int64("seed", additivity.DefaultSeed, "seed")
+	csvPath := flag.String("csv", "", "write the full dataset to this CSV file")
+	flag.Parse()
+
+	spec, err := additivity.PlatformByName(*platformName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	names, err := pmcNames(spec, *pmcList, *setName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	events, err := additivity.FindEvents(spec, names)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	m := additivity.NewMachine(spec, *seed)
+	col := additivity.NewCollector(m, *seed)
+	builder := additivity.NewDatasetBuilder(m, col, events)
+
+	var train, test *additivity.Dataset
+	if spec.Name == "haswell" {
+		bases := additivity.BaseApps(additivity.DiverseSuite())
+		compounds := additivity.RandomCompounds(bases, 50, *seed)
+		fmt.Fprintf(os.Stderr, "measuring %d base + %d compound applications on %s...\n",
+			len(bases), len(compounds), spec.Name)
+		train, err = builder.Build(bases, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		test, err = builder.Build(nil, compounds)
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		apps := additivity.SizeSweep(additivity.DGEMM(), 6400, 38400, 64)
+		apps = append(apps, additivity.SizeSweep(additivity.FFT(), 22400, 41536, 64)...)
+		fmt.Fprintf(os.Stderr, "measuring %d applications on %s...\n", len(apps), spec.Name)
+		full, err := builder.Build(apps, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *csvPath != "" {
+			if err := writeCSV(full, *csvPath); err != nil {
+				log.Fatal(err)
+			}
+		}
+		train, test, err = full.Split(150, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *csvPath != "" && spec.Name == "haswell" {
+		if err := writeCSV(train, *csvPath); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	var model additivity.Regressor
+	switch strings.ToLower(*modelName) {
+	case "lr":
+		model = additivity.NewLinearRegression()
+	case "ridge":
+		ridge := &additivity.LinearRegression{}
+		ridge.Opts.Intercept = true
+		ridge.Opts.Ridge = 1e-3
+		model = ridge
+	case "rf":
+		model = additivity.NewRandomForest(*seed)
+	case "nn":
+		model = additivity.NewNeuralNetwork(*seed)
+	default:
+		log.Fatalf("unknown model %q (want lr, ridge, rf or nn)", *modelName)
+	}
+
+	Xtr, ytr, err := train.Matrix(names)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := model.Fit(Xtr, ytr); err != nil {
+		log.Fatal(err)
+	}
+	Xte, yte, err := test.Matrix(names)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats, err := additivity.Evaluate(model, Xte, yte)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("model %s on %s, %d PMCs, %d train / %d test points\n",
+		strings.ToUpper(*modelName), spec.Name, len(names), train.Len(), test.Len())
+	fmt.Printf("PMCs: %s\n", strings.Join(names, ", "))
+	fmt.Printf("prediction errors (min, avg, max): %s\n", stats)
+	if lr, ok := model.(*additivity.LinearRegression); ok {
+		fmt.Printf("coefficients: ")
+		for i, c := range lr.Coefficients() {
+			if i > 0 {
+				fmt.Printf(", ")
+			}
+			fmt.Printf("%.3E", c)
+		}
+		fmt.Println()
+	}
+}
+
+// pmcNames resolves the requested PMC set.
+func pmcNames(spec *additivity.Platform, list, set string) ([]string, error) {
+	if list != "" {
+		names := strings.Split(list, ",")
+		for i := range names {
+			names[i] = strings.TrimSpace(names[i])
+		}
+		return names, nil
+	}
+	switch strings.ToLower(set) {
+	case "classa":
+		return additivity.ClassAPMCs, nil
+	case "pa":
+		return additivity.PAPMCs, nil
+	case "pna":
+		return additivity.PNAPMCs, nil
+	case "":
+		if spec.Name == "haswell" {
+			return additivity.ClassAPMCs, nil
+		}
+		return additivity.PAPMCs, nil
+	default:
+		return nil, fmt.Errorf("unknown PMC set %q (want classa, pa or pna)", set)
+	}
+}
+
+func writeCSV(d *additivity.Dataset, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := d.WriteCSV(f); err != nil {
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,95 @@
+// Command hclwattsup mirrors the paper's HCLWattsUp measurement API as a
+// CLI: it executes an application (or a serial compound of applications)
+// on a simulated platform, meters each run through the WattsUp-Pro model,
+// and applies the statistical methodology — repeat until the 95%
+// confidence interval of the sample mean is within the required
+// precision.
+//
+// Usage:
+//
+//	hclwattsup [-platform haswell|skylake] -app mkl-dgemm/8192[,mkl-fft/24000]
+//	           [-precision 0.05] [-min 3] [-max 15] [-trace] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+
+	"additivity"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hclwattsup: ")
+	platformName := flag.String("platform", "haswell", "platform: haswell or skylake")
+	appSpec := flag.String("app", "mkl-dgemm/4096", "application(s): workload/size[,workload/size...] run serially")
+	precision := flag.Float64("precision", 0.05, "required CI precision (fraction of the mean)")
+	minRuns := flag.Int("min", 3, "minimum runs")
+	maxRuns := flag.Int("max", 15, "maximum runs")
+	trace := flag.Bool("trace", false, "show the phase-resolved power trace of one run")
+	freq := flag.Float64("freq", 1.0, "DVFS frequency scale")
+	seed := flag.Int64("seed", additivity.DefaultSeed, "seed")
+	flag.Parse()
+
+	spec, err := additivity.PlatformByName(*platformName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	parts, err := parseApps(*appSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := additivity.NewMachine(spec, *seed)
+	if err := m.SetFrequencyScale(*freq); err != nil {
+		log.Fatal(err)
+	}
+
+	meas := m.MeasureDynamicEnergy(additivity.Methodology{
+		MinRuns: *minRuns, MaxRuns: *maxRuns, Precision: *precision,
+	}, parts...)
+
+	fmt.Printf("platform %s (static %.0f W), application %s\n",
+		spec.Name, spec.IdleWatts, meas.Name)
+	for i, s := range meas.Samples {
+		fmt.Printf("  run %2d: %10.2f J\n", i+1, s)
+	}
+	fmt.Printf("dynamic energy: %.2f J over %.3f s (avg dynamic power %.1f W)\n",
+		meas.MeanJoules, meas.MeanSeconds, meas.MeanJoules/meas.MeanSeconds)
+	fmt.Printf("runs: %d (precision target %.1f%%)\n", meas.RunsPerformed, *precision*100)
+
+	if *trace {
+		run := m.Run(parts...)
+		fmt.Println("\nphase-resolved dynamic power trace of one run:")
+		for _, seg := range run.DynamicTrace() {
+			fmt.Printf("  %8.3f s @ %8.1f W\n", seg.Seconds, seg.Watts)
+		}
+	}
+}
+
+// parseApps parses "workload/size[,workload/size...]".
+func parseApps(spec string) ([]additivity.App, error) {
+	var out []additivity.App
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		i := strings.LastIndex(part, "/")
+		if i < 0 {
+			return nil, fmt.Errorf("app %q: want workload/size", part)
+		}
+		w, err := additivity.WorkloadByName(part[:i])
+		if err != nil {
+			return nil, err
+		}
+		n, err := strconv.Atoi(part[i+1:])
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("app %q: bad size", part)
+		}
+		out = append(out, additivity.App{Workload: w, Size: n})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no applications in %q", spec)
+	}
+	return out, nil
+}

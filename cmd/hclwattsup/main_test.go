@@ -1,0 +1,25 @@
+package main
+
+import "testing"
+
+func TestParseApps(t *testing.T) {
+	apps, err := parseApps("mkl-dgemm/4096, mkl-fft/8192")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(apps) != 2 {
+		t.Fatalf("apps = %d", len(apps))
+	}
+	if apps[0].Workload.Name() != "mkl-dgemm" || apps[0].Size != 4096 {
+		t.Errorf("first app = %s/%d", apps[0].Workload.Name(), apps[0].Size)
+	}
+	if apps[1].Workload.Name() != "mkl-fft" || apps[1].Size != 8192 {
+		t.Errorf("second app = %s/%d", apps[1].Workload.Name(), apps[1].Size)
+	}
+
+	for _, bad := range []string{"", "dgemm", "nope/12", "mkl-dgemm/zero", "mkl-dgemm/-1"} {
+		if _, err := parseApps(bad); err == nil {
+			t.Errorf("parseApps(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestParseApp(t *testing.T) {
+	app, err := parseApp("mkl-dgemm/4096")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app.Workload.Name() != "mkl-dgemm" || app.Size != 4096 {
+		t.Errorf("parsed %s/%d", app.Workload.Name(), app.Size)
+	}
+
+	cases := []string{
+		"",             // empty
+		"mkl-dgemm",    // no size
+		"nope/100",     // unknown workload
+		"mkl-dgemm/x",  // bad size
+		"mkl-dgemm/-4", // negative size
+		"mkl-dgemm/0",  // zero size
+	}
+	for _, c := range cases {
+		if _, err := parseApp(c); err == nil {
+			t.Errorf("parseApp(%q) accepted", c)
+		}
+	}
+}

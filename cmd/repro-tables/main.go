@@ -1,0 +1,159 @@
+// Command repro-tables regenerates the paper's evaluation tables on the
+// simulated platforms.
+//
+// Usage:
+//
+//	repro-tables [-table all|1|2|3|4|5|6|7a|7b|collection] [-seed N]
+//
+// Tables 2-5 run the Class A experiment (Haswell, diverse suite); tables
+// 6, 7a and 7b run the Class B/C experiments (Skylake, DGEMM+FFT). The
+// default seed regenerates the numbers recorded in EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"additivity"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("repro-tables: ")
+	table := flag.String("table", "all", "table to regenerate: all, 1, 2, 3, 4, 5, 6, 7a, 7b, curves, collection, study, premise, sensors, suite")
+	seed := flag.Int64("seed", additivity.DefaultSeed, "experiment seed")
+	artifacts := flag.String("artifacts", "", "write all tables, datasets and a predictor package to this directory")
+	flag.Parse()
+
+	if *artifacts != "" {
+		fmt.Fprintf(os.Stderr, "writing artifacts to %s...\n", *artifacts)
+		if err := additivity.WriteArtifacts(*artifacts, *seed); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("artifacts written to %s (see MANIFEST.txt)\n", *artifacts)
+		return
+	}
+
+	sel := strings.ToLower(*table)
+	want := func(names ...string) bool {
+		if sel == "all" {
+			return true
+		}
+		for _, n := range names {
+			if sel == n {
+				return true
+			}
+		}
+		return false
+	}
+
+	if want("1") {
+		fmt.Println(additivity.Table1().Render())
+	}
+	if want("collection") {
+		t, err := additivity.CollectionTable()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(t.Render())
+	}
+
+	if want("premise") {
+		for _, name := range []string{"haswell", "skylake"} {
+			fmt.Fprintf(os.Stderr, "verifying the energy-conservation premise on %s...\n", name)
+			results, err := additivity.VerifyEnergyAdditivity(additivity.EnergyPremiseConfig{
+				Platform: name, Seed: *seed + 4,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println(additivity.EnergyPremiseTable(results).Render())
+		}
+	}
+
+	if want("suite") {
+		for _, name := range []string{"haswell", "skylake"} {
+			spec, err := additivity.PlatformByName(name)
+			if err != nil {
+				log.Fatal(err)
+			}
+			profiles := additivity.CharacterizeSuite(spec, additivity.DiverseSuite(), *seed+6)
+			fmt.Println(additivity.CharacterizationTable(name, profiles).Render())
+		}
+	}
+
+	if want("sensors") {
+		for _, name := range []string{"haswell", "skylake"} {
+			rows, err := additivity.CompareSensors(name, *seed+5)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println(additivity.SensorTable(rows).Render())
+		}
+	}
+
+	if want("study") {
+		for _, name := range []string{"haswell", "skylake"} {
+			spec, err := additivity.PlatformByName(name)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "surveying the %s reduced catalog...\n", name)
+			study, err := additivity.RunAdditivityStudy(spec, additivity.StudyConfig{Seed: *seed + 2})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println(study.SensitivityTable([]float64{0.5, 1, 2, 5, 10, 20}).Render())
+			fmt.Println(study.CategoryTable().Render())
+		}
+	}
+
+	if want("2", "3", "4", "5", "curves") {
+		fmt.Fprintln(os.Stderr, "running Class A (Haswell, 277 base apps, 50 compounds)...")
+		a, err := additivity.RunClassA(additivity.ClassAConfig{Seed: *seed})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if want("2") {
+			fmt.Println(a.Table2().Render())
+		}
+		if want("3") {
+			fmt.Println(a.Table3().Render())
+		}
+		if want("4") {
+			fmt.Println(a.Table4().Render())
+		}
+		if want("5") {
+			fmt.Println(a.Table5().Render())
+		}
+		if want("curves") {
+			fmt.Println(a.ErrorCurves(48))
+		}
+	}
+
+	if want("6", "7a", "7b") {
+		fmt.Fprintln(os.Stderr, "running Class B (Skylake, 801-point DGEMM+FFT dataset)...")
+		b, err := additivity.RunClassB(additivity.ClassBConfig{Seed: *seed + 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if want("6") {
+			fmt.Println(b.Table6().Render())
+		}
+		if want("7a") {
+			fmt.Println(b.Table7a().Render())
+		}
+		if want("7b") {
+			c, err := additivity.RunClassC(b)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("PA4  = %s\n", strings.Join(c.PA4, ", "))
+			fmt.Printf("PNA4 = %s\n\n", strings.Join(c.PNA4, ", "))
+			fmt.Println(c.Table7b().Render())
+		}
+	}
+}

@@ -1,0 +1,137 @@
+// Command slope runs the end-to-end SLOPE-PMC workflow on the simulated
+// platforms: additivity-test candidate PMCs, select a register-budget
+// subset by additivity then correlation, train an energy model, and
+// package it for online use. A saved package can then predict the
+// dynamic energy of applications from a single profiling run.
+//
+// Build a predictor:
+//
+//	slope -platform skylake -model lr -save model.json
+//
+// Use it:
+//
+//	slope -load model.json -app mkl-dgemm/16000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"additivity"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("slope: ")
+	platformName := flag.String("platform", "skylake", "platform: haswell or skylake")
+	modelName := flag.String("model", "lr", "model family: lr, rf or nn")
+	maxPMCs := flag.Int("pmcs", 4, "online register budget")
+	tolerance := flag.Float64("tolerance", 5, "additivity tolerance in percent")
+	seed := flag.Int64("seed", additivity.DefaultSeed, "seed")
+	save := flag.String("save", "", "write the trained predictor package to this file")
+	load := flag.String("load", "", "load a predictor package instead of training")
+	appSpec := flag.String("app", "", "with -load: application (workload/size) to predict")
+	flag.Parse()
+
+	if *load != "" {
+		predict(*load, *appSpec, *seed)
+		return
+	}
+
+	fmt.Fprintf(os.Stderr, "running pipeline on %s (model %s, budget %d PMCs)...\n",
+		*platformName, *modelName, *maxPMCs)
+	res, err := additivity.RunPipeline(additivity.PipelineConfig{
+		Platform:     *platformName,
+		Model:        *modelName,
+		MaxPMCs:      *maxPMCs,
+		TolerancePct: *tolerance,
+		Seed:         *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	additive := 0
+	for _, v := range res.Verdicts {
+		if v.Additive {
+			additive++
+		}
+	}
+	fmt.Printf("additivity: %d of %d candidate PMCs pass at %.1f%%\n",
+		additive, len(res.Verdicts), *tolerance)
+	fmt.Printf("selected:   %s\n", strings.Join(res.Selected, ", "))
+	fmt.Printf("train errors (min, avg, max): %s\n", res.Train)
+	fmt.Printf("test errors  (min, avg, max): %s\n", res.Test)
+
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := res.SavePredictor(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("predictor package written to %s\n", *save)
+	}
+}
+
+// predict loads a package and predicts one application's dynamic energy,
+// comparing against the metered value.
+func predict(path, appSpec string, seed int64) {
+	if appSpec == "" {
+		log.Fatal("-load requires -app workload/size")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	p, err := additivity.LoadPredictor(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	i := strings.LastIndex(appSpec, "/")
+	if i < 0 {
+		log.Fatalf("app spec %q: want workload/size", appSpec)
+	}
+	w, err := additivity.WorkloadByName(appSpec[:i])
+	if err != nil {
+		log.Fatal(err)
+	}
+	n, err := strconv.Atoi(appSpec[i+1:])
+	if err != nil || n <= 0 {
+		log.Fatalf("app spec %q: bad size", appSpec)
+	}
+	app := additivity.App{Workload: w, Size: n}
+
+	spec, err := additivity.PlatformByName(p.Platform)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := additivity.NewMachine(spec, seed)
+	col := additivity.NewCollector(m, seed)
+	pred, err := p.PredictApp(col, app)
+	if err != nil {
+		log.Fatal(err)
+	}
+	meas := m.MeasureDynamicEnergy(additivity.DefaultMethodology(), app)
+	fmt.Printf("predictor: %s on %s (PMCs: %s)\n", path, p.Platform, strings.Join(p.PMCs, ", "))
+	fmt.Printf("%s: predicted %.1f J, metered %.1f J (%.1f%% apart)\n",
+		app.Name(), pred, meas.MeanJoules,
+		100*abs(pred-meas.MeanJoules)/meas.MeanJoules)
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

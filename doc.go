@@ -1,0 +1,42 @@
+// Package additivity is a full reproduction of "Improving the Accuracy of
+// Energy Predictive Models for Multicore CPUs Using Additivity of
+// Performance Monitoring Counters" (Shahid, Fahad, Manumachu, Lastovetsky;
+// PaCT 2019).
+//
+// The paper's contribution is a selection criterion for performance
+// monitoring counters (PMCs) used as predictor variables in energy
+// predictive models: a PMC is *additive* when its count for a serial
+// (compound) execution of two applications equals the sum of its counts
+// for the applications run separately. Non-additive PMCs violate the
+// energy-conservation structure of linear models and damage prediction
+// accuracy — for linear regression, random forests and neural networks
+// alike.
+//
+// Because the original experiments need two Intel servers, a WattsUp Pro
+// power meter and hardware counter registers, this package ships a
+// faithful simulated substrate: platform models of the paper's Haswell
+// and Skylake machines with full PMU event catalogs, analytic workload
+// models (MKL DGEMM/FFT, NAS-style kernels, HPCG, stress, non-scientific
+// programs), an execution simulator whose process-startup and
+// phase-boundary effects are the physical source of PMC non-additivity, a
+// metered energy pipeline, and a Likwid-style multiplexed collector
+// limited to four counter registers per run.
+//
+// The facade in this package re-exports the pieces a user needs to
+// reproduce the paper or apply the additivity methodology to their own
+// workload models:
+//
+//	m := additivity.NewMachine(additivity.Skylake(), 42)
+//	col := additivity.NewCollector(m, 42)
+//	checker := additivity.NewChecker(col, additivity.DefaultCheckerConfig())
+//	verdicts, err := checker.Check(events, compounds)
+//
+// The experiment drivers regenerate every table of the paper:
+//
+//	a, err := additivity.RunClassA(additivity.ClassAConfig{})
+//	fmt.Println(a.Table2().Render()) // additivity errors
+//	fmt.Println(a.Table3().Render()) // LR1..LR6
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured comparison of every table.
+package additivity

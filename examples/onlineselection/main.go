@@ -1,0 +1,118 @@
+// Online PMC selection (the paper's Class C, scaled down): only 3-4 PMCs
+// fit into the counter registers of a single application run, so an
+// *online* energy model must pick its predictors ahead of time. This
+// example compares the paper's combined criterion — additivity first,
+// then correlation — against correlation alone.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"additivity"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	spec := additivity.Skylake()
+	m := additivity.NewMachine(spec, 13)
+	col := additivity.NewCollector(m, 13)
+
+	// Candidate pool: the paper's eighteen Table-6 PMCs.
+	candidates := append(append([]string{}, additivity.PAPMCs...), additivity.PNAPMCs...)
+	events, err := additivity.FindEvents(spec, candidates)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Step 1: additivity test over DGEMM/FFT compound applications.
+	var base []additivity.App
+	base = append(base, additivity.SizeSweep(additivity.DGEMM(), 6500, 20000, 1124)...)
+	base = append(base, additivity.SizeSweep(additivity.FFT(), 22400, 29000, 550)...)
+	compounds := additivity.RandomCompounds(base, 12, 13)
+	checker := additivity.NewChecker(col, additivity.DefaultCheckerConfig())
+	verdicts, err := checker.Check(events, compounds)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Step 2: an offline profiling dataset for correlations and training.
+	// The online model will face composite workloads, so the held-out
+	// evaluation set consists of compound applications — the situation
+	// in which non-additive predictors mislead the model.
+	apps := additivity.SizeSweep(additivity.DGEMM(), 6400, 38400, 1024)
+	apps = append(apps, additivity.SizeSweep(additivity.FFT(), 22400, 41536, 1024)...)
+	builder := additivity.NewDatasetBuilder(m, col, events)
+	train, err := builder.Build(apps, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	test, err := builder.Build(nil, additivity.RandomCompounds(apps, 20, 99))
+	if err != nil {
+		log.Fatal(err)
+	}
+	full := train
+
+	// The combined criterion: among PMCs with additivity error <= 5%,
+	// take the four most energy-correlated.
+	combined, err := additivity.SelectAdditiveCorrelated(
+		verdicts, full.FeatureColumns(), full.Energies(), 5.0, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Correlation alone, ignoring additivity.
+	ranked, err := additivity.RankByCorrelation(full.FeatureColumns(), full.Energies())
+	if err != nil {
+		log.Fatal(err)
+	}
+	correlationOnly := make([]string, 0, 4)
+	for _, r := range ranked {
+		// Skip the additive winners so the contrast shows what
+		// correlation alone would add from the non-additive pool.
+		if contains(additivity.PNAPMCs, r.Name) && len(correlationOnly) < 4 {
+			correlationOnly = append(correlationOnly, r.Name)
+		}
+	}
+
+	fmt.Printf("combined criterion (additive + correlated): %s\n", strings.Join(combined, ", "))
+	fmt.Printf("correlation only (non-additive pool):       %s\n\n", strings.Join(correlationOnly, ", "))
+
+	for _, sel := range []struct {
+		name string
+		pmcs []string
+	}{
+		{"additivity+correlation", combined},
+		{"correlation only", correlationOnly},
+	} {
+		model := additivity.NewNeuralNetwork(13)
+		Xtr, ytr, err := train.Matrix(sel.pmcs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := model.Fit(Xtr, ytr); err != nil {
+			log.Fatal(err)
+		}
+		Xte, yte, err := test.Matrix(sel.pmcs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		stats, err := additivity.Evaluate(model, Xte, yte)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("NN on %-24s errors (min, avg, max) = %s\n", sel.name, stats)
+	}
+	fmt.Println("\ncorrelation with energy is not sufficient: it must be combined with")
+	fmt.Println("additivity — the paper's Class C conclusion.")
+}
+
+func contains(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,178 @@
+package additivity_test
+
+// Smoke tests for the extended facade surface: the pipeline, premise,
+// sensor, study and persistence APIs as downstream users reach them.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"additivity"
+)
+
+func TestFacadePipelineAndPredictorPackage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pipeline is slow")
+	}
+	res, err := additivity.RunPipeline(additivity.PipelineConfig{
+		Platform: "skylake", Compounds: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Selected) != 4 {
+		t.Fatalf("selected %d PMCs", len(res.Selected))
+	}
+	var buf bytes.Buffer
+	if err := res.SavePredictor(&buf); err != nil {
+		t.Fatal(err)
+	}
+	p, err := additivity.LoadPredictor(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := additivity.NewMachine(additivity.Skylake(), 5)
+	col := additivity.NewCollector(m, 5)
+	pred, err := p.PredictApp(col, additivity.App{Workload: additivity.DGEMM(), Size: 12800})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred <= 0 {
+		t.Errorf("prediction = %v", pred)
+	}
+}
+
+func TestFacadeModelPersistence(t *testing.T) {
+	X := [][]float64{{1}, {2}, {3}, {4}}
+	y := []float64{3, 6, 9, 12}
+	lr := additivity.NewLinearRegression()
+	if err := lr.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := additivity.SaveModel(&buf, lr); err != nil {
+		t.Fatal(err)
+	}
+	back, err := additivity.LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := back.Predict([]float64{5})
+	if err != nil || p < 14.9 || p > 15.1 {
+		t.Errorf("reloaded prediction = %v, %v", p, err)
+	}
+}
+
+func TestFacadePremiseAndSensors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measurement sweeps are slow")
+	}
+	results, err := additivity.VerifyEnergyAdditivity(additivity.EnergyPremiseConfig{
+		Platform: "haswell", Compounds: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("premise results = %d", len(results))
+	}
+	if out := additivity.EnergyPremiseTable(results).Render(); !strings.Contains(out, "err %") {
+		t.Error("premise table malformed")
+	}
+
+	rows, err := additivity.CompareSensors("haswell", 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := additivity.SensorTable(rows).Render(); !strings.Contains(out, "sensor") {
+		t.Error("sensor table malformed")
+	}
+}
+
+func TestFacadeStudyAndCharacterization(t *testing.T) {
+	if testing.Short() {
+		t.Skip("catalog survey is slow")
+	}
+	study, err := additivity.RunAdditivityStudy(additivity.Haswell(), additivity.StudyConfig{
+		Compounds: 6, Reps: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(study.Verdicts) != 151 {
+		t.Errorf("study verdicts = %d", len(study.Verdicts))
+	}
+	profiles := additivity.CharacterizeSuite(additivity.Haswell(), additivity.DiverseSuite(), 1)
+	if len(profiles) != 16 {
+		t.Errorf("profiles = %d", len(profiles))
+	}
+	if out := additivity.CharacterizationTable("haswell", profiles).Render(); !strings.Contains(out, "IPC") {
+		t.Error("characterisation table malformed")
+	}
+}
+
+func TestFacadeEventSetAndCustomKernel(t *testing.T) {
+	spec := additivity.Skylake()
+	events, err := additivity.ParseEventSet(spec, "UOPS_EXECUTED_CORE:PMC0,FP_ARITH_INST_RETIRED_DOUBLE:PMC1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := additivity.FormatEventSet(events); !strings.Contains(got, "UOPS_EXECUTED_CORE:PMC0") {
+		t.Errorf("FormatEventSet = %q", got)
+	}
+
+	k, err := additivity.LoadKernel(strings.NewReader(`{
+		"name": "probe", "class": "compute", "parallel": true,
+		"work_coef": 1e7, "work_exp": 1,
+		"mix": {"fp_double": 0.3, "loads": 0.2, "stores": 0.05,
+		        "dsb_share": 0.9, "uops_per_instr": 1.05, "exec_per_issue": 1.05},
+		"sizes": [10, 20]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := additivity.NewMachine(spec, 3)
+	run := m.RunApp(additivity.App{Workload: k, Size: 20})
+	if run.TrueDynamicJoules <= 0 {
+		t.Errorf("custom kernel run energy = %v", run.TrueDynamicJoules)
+	}
+}
+
+func TestFacadeDVFSAndRanking(t *testing.T) {
+	m := additivity.NewMachine(additivity.Haswell(), 5)
+	if err := m.SetFrequencyScale(0.8); err != nil {
+		t.Fatal(err)
+	}
+	if m.FrequencyScale() != 0.8 {
+		t.Errorf("scale = %v", m.FrequencyScale())
+	}
+	vs := []additivity.Verdict{}
+	if got := additivity.RankByErrorPercentile(vs, 90); len(got) != 0 {
+		t.Errorf("empty ranking = %v", got)
+	}
+}
+
+func TestFacadeCrossValidation(t *testing.T) {
+	X := make([][]float64, 40)
+	y := make([]float64, 40)
+	for i := range X {
+		X[i] = []float64{float64(i), float64(i % 7)}
+		y[i] = 2*X[i][0] + 3*X[i][1]
+	}
+	name, res, err := additivity.SelectByCV(map[string]func() additivity.Regressor{
+		"lr": func() additivity.Regressor { return additivity.NewLinearRegression() },
+	}, X, y, 4, 1)
+	if err != nil || name != "lr" {
+		t.Fatalf("SelectByCV = %q, %v", name, err)
+	}
+	if len(res.Folds) != 4 {
+		t.Errorf("folds = %d", len(res.Folds))
+	}
+	cv, err := additivity.CrossValidate(func() additivity.Regressor {
+		return additivity.NewLinearRegression()
+	}, X, y, 5, 2)
+	if err != nil || len(cv.Folds) != 5 {
+		t.Errorf("CrossValidate: %v", err)
+	}
+}

@@ -1,0 +1,3 @@
+module additivity
+
+go 1.22

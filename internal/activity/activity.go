@@ -1,0 +1,137 @@
+// Package activity defines the hidden ground-truth micro-architectural
+// activity vector produced by an application run on the simulated machine.
+//
+// Activity channels are the "physical" quantities of the simulation: the
+// energy law is defined over them (energy conservation of computing), and
+// every PMC is an — possibly distorted — image of one or more channels.
+// Workloads produce activity deterministically from their problem size;
+// the machine adds run-to-run variation, process-startup work and
+// phase-switch effects.
+package activity
+
+import "fmt"
+
+// Channel identifies one micro-architectural activity channel.
+type Channel int
+
+// The activity channels tracked by the simulation. The set covers the
+// events the paper's six Class A PMCs and eighteen Class B/C PMCs map to.
+const (
+	Cycles          Channel = iota // active (unhalted) core cycles
+	Instructions                   // retired instructions
+	UopsIssued                     // micro-ops issued by the front end
+	UopsExecuted                   // micro-ops executed by the back end
+	FPDouble                       // double-precision floating-point operations
+	Loads                          // retired load instructions
+	Stores                         // retired store instructions
+	L1DMiss                        // L1 data-cache misses
+	L2Miss                         // L2 cache misses
+	L3Miss                         // last-level-cache misses (memory accesses)
+	BranchInstr                    // retired branch instructions
+	BranchMisp                     // mispredicted branches
+	DivOps                         // divider-unit operations
+	ICacheMiss                     // instruction-cache (tag) misses
+	ITLBMiss                       // instruction-TLB misses
+	DTLBMiss                       // data-TLB misses
+	MSUops                         // microcode-sequencer micro-ops
+	DSBUops                        // decoded-stream-buffer (uop cache) micro-ops
+	MITEUops                       // legacy-decode-pipeline micro-ops
+	PageFaults                     // OS page faults
+	ContextSwitches                // OS context switches
+	StallCycles                    // back-end stall cycles
+	NumChannels                    // channel count sentinel
+)
+
+var channelNames = [NumChannels]string{
+	"cycles", "instructions", "uops_issued", "uops_executed",
+	"fp_double", "loads", "stores", "l1d_miss", "l2_miss", "l3_miss",
+	"branch_instr", "branch_misp", "div_ops", "icache_miss",
+	"itlb_miss", "dtlb_miss", "ms_uops", "dsb_uops", "mite_uops",
+	"page_faults", "context_switches", "stall_cycles",
+}
+
+// String returns the channel's snake_case name.
+func (c Channel) String() string {
+	if c < 0 || c >= NumChannels {
+		return fmt.Sprintf("channel(%d)", int(c))
+	}
+	return channelNames[c]
+}
+
+// Channels returns all channels in order.
+func Channels() []Channel {
+	cs := make([]Channel, NumChannels)
+	for i := range cs {
+		cs[i] = Channel(i)
+	}
+	return cs
+}
+
+// Vector is an activity vector: one count per channel. The zero value is
+// the empty activity.
+type Vector [NumChannels]float64
+
+// Get returns the count for channel c.
+func (v Vector) Get(c Channel) float64 { return v[c] }
+
+// Set assigns the count for channel c.
+func (v *Vector) Set(c Channel, x float64) { v[c] = x }
+
+// AddTo accumulates x into channel c.
+func (v *Vector) AddTo(c Channel, x float64) { v[c] += x }
+
+// Add returns the channel-wise sum of v and w — the activity of a serial
+// (compound) execution in the absence of boundary effects.
+func (v Vector) Add(w Vector) Vector {
+	var out Vector
+	for i := range v {
+		out[i] = v[i] + w[i]
+	}
+	return out
+}
+
+// Scale returns the channel-wise product of v with s.
+func (v Vector) Scale(s float64) Vector {
+	var out Vector
+	for i := range v {
+		out[i] = v[i] * s
+	}
+	return out
+}
+
+// Total returns the sum over all channels (mostly useful in tests).
+func (v Vector) Total() float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// NonNegative reports whether every channel is >= 0. Activities are
+// counts; a negative channel indicates a modelling bug.
+func (v Vector) NonNegative() bool {
+	for _, x := range v {
+		if x < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the non-zero channels.
+func (v Vector) String() string {
+	s := "{"
+	first := true
+	for i, x := range v {
+		if x == 0 {
+			continue
+		}
+		if !first {
+			s += ", "
+		}
+		s += fmt.Sprintf("%s: %.4g", Channel(i), x)
+		first = false
+	}
+	return s + "}"
+}

@@ -1,0 +1,129 @@
+package activity
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestChannelNamesComplete(t *testing.T) {
+	seen := map[string]bool{}
+	for _, c := range Channels() {
+		name := c.String()
+		if name == "" || strings.HasPrefix(name, "channel(") {
+			t.Errorf("channel %d has no name", int(c))
+		}
+		if seen[name] {
+			t.Errorf("duplicate channel name %q", name)
+		}
+		seen[name] = true
+	}
+	if len(seen) != int(NumChannels) {
+		t.Errorf("got %d names, want %d", len(seen), NumChannels)
+	}
+	if got := Channel(-1).String(); got != "channel(-1)" {
+		t.Errorf("out-of-range name = %q", got)
+	}
+	if got := Channel(NumChannels).String(); !strings.HasPrefix(got, "channel(") {
+		t.Errorf("sentinel name = %q", got)
+	}
+}
+
+func TestVectorAccessors(t *testing.T) {
+	var v Vector
+	v.Set(FPDouble, 100)
+	v.AddTo(FPDouble, 50)
+	if got := v.Get(FPDouble); got != 150 {
+		t.Errorf("Get = %v, want 150", got)
+	}
+	if got := v.Get(Loads); got != 0 {
+		t.Errorf("untouched channel = %v, want 0", got)
+	}
+}
+
+func TestVectorAddScaleTotal(t *testing.T) {
+	var a, b Vector
+	a.Set(Loads, 10)
+	a.Set(Stores, 4)
+	b.Set(Loads, 5)
+	sum := a.Add(b)
+	if sum.Get(Loads) != 15 || sum.Get(Stores) != 4 {
+		t.Errorf("Add = %v", sum)
+	}
+	// Add must not mutate operands.
+	if a.Get(Loads) != 10 || b.Get(Loads) != 5 {
+		t.Error("Add mutated an operand")
+	}
+	sc := a.Scale(2)
+	if sc.Get(Loads) != 20 || sc.Get(Stores) != 8 {
+		t.Errorf("Scale = %v", sc)
+	}
+	if got := a.Total(); got != 14 {
+		t.Errorf("Total = %v, want 14", got)
+	}
+}
+
+func TestNonNegative(t *testing.T) {
+	var v Vector
+	if !v.NonNegative() {
+		t.Error("zero vector should be non-negative")
+	}
+	v.Set(DivOps, -1)
+	if v.NonNegative() {
+		t.Error("negative channel not detected")
+	}
+}
+
+func TestStringShowsOnlyNonZero(t *testing.T) {
+	var v Vector
+	v.Set(L2Miss, 42)
+	s := v.String()
+	if !strings.Contains(s, "l2_miss") {
+		t.Errorf("String missing channel: %q", s)
+	}
+	if strings.Contains(s, "cycles") {
+		t.Errorf("String shows zero channel: %q", s)
+	}
+}
+
+func TestQuickAddCommutative(t *testing.T) {
+	f := func(xs, ys [NumChannels]float64) bool {
+		var a, b Vector
+		for i := range xs {
+			a[i], b[i] = clean(xs[i]), clean(ys[i])
+		}
+		return a.Add(b) == b.Add(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickScaleDistributesOverAdd(t *testing.T) {
+	f := func(xs, ys [NumChannels]float64, sRaw float64) bool {
+		s := clean(sRaw)
+		var a, b Vector
+		for i := range xs {
+			a[i], b[i] = clean(xs[i]), clean(ys[i])
+		}
+		left := a.Add(b).Scale(s)
+		right := a.Scale(s).Add(b.Scale(s))
+		for i := range left {
+			d := left[i] - right[i]
+			if d > 1e-6 || d < -1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func clean(x float64) float64 {
+	if x != x || x > 1e6 || x < -1e6 { // NaN or huge
+		return 1
+	}
+	return x
+}

@@ -1,0 +1,274 @@
+// Package core implements the paper's contribution: the additivity
+// criterion for selecting performance monitoring counters as predictor
+// variables in energy predictive models.
+//
+// A PMC passes the additivity test for a compound application when its
+// count for the compound (serial) execution equals the sum of its counts
+// for the base applications, within a tolerance (the paper uses 5%). The
+// test has two stages: (1) the PMC must be deterministic and reproducible
+// across repeated runs; (2) its compound-vs-sum percentage error (Eq. 1)
+// must stay within tolerance for every compound application in the test
+// suite. The package also provides additivity ranking and the
+// additivity+correlation selection used for online (4-PMC) models.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"additivity/internal/platform"
+	"additivity/internal/pmc"
+	"additivity/internal/stats"
+	"additivity/internal/workload"
+)
+
+// Config parameterises the additivity test.
+type Config struct {
+	// ToleranceFrac is the maximum relative error for a PMC to be
+	// pronounced potentially additive (paper: 0.05).
+	ToleranceFrac float64
+	// Reps is the number of runs whose sample mean forms each count.
+	Reps int
+	// ReproCVMax is the stage-1 threshold: a PMC whose count's
+	// coefficient of variation across repeated runs of the same
+	// application exceeds this is not deterministic/reproducible.
+	ReproCVMax float64
+}
+
+// DefaultConfig returns the paper's test parameters.
+func DefaultConfig() Config {
+	return Config{ToleranceFrac: 0.05, Reps: 5, ReproCVMax: 0.20}
+}
+
+// CompoundResult is the additivity outcome of one PMC on one compound
+// application.
+type CompoundResult struct {
+	Compound  string
+	BaseSum   float64 // Σ eb_i over the base applications (sample means)
+	Compound_ float64 // ec (sample mean)
+	ErrorPct  float64 // Eq. 1, generalised to k parts
+}
+
+// Verdict is the full additivity-test outcome of one PMC.
+type Verdict struct {
+	Event        platform.Event
+	Reproducible bool    // stage 1
+	MaxErrorPct  float64 // stage 2: max Eq.-1 error over the compound suite
+	Additive     bool    // passed both stages within tolerance
+	PerCompound  []CompoundResult
+}
+
+// Checker runs the additivity test — the AdditivityChecker tool of the
+// paper's supplemental.
+type Checker struct {
+	Collector *pmc.Collector
+	Config    Config
+	// Progress, when set, is called after each application's counts are
+	// gathered: done applications out of total. Catalog-wide surveys take
+	// thousands of simulated runs; CLIs use this to show progress.
+	Progress func(done, total int)
+}
+
+// NewChecker returns a Checker over the collector with the given config.
+func NewChecker(c *pmc.Collector, cfg Config) *Checker {
+	if cfg.Reps < 2 {
+		cfg.Reps = 2
+	}
+	return &Checker{Collector: c, Config: cfg}
+}
+
+// appCounts holds per-event count samples for one application.
+type appCounts struct {
+	samples map[string][]float64
+}
+
+func (a *appCounts) mean(event string) float64 {
+	return stats.Mean(a.samples[event])
+}
+
+func (a *appCounts) cv(event string) float64 {
+	xs := a.samples[event]
+	m := stats.Mean(xs)
+	if m == 0 {
+		return 0
+	}
+	return stats.StdDev(xs) / math.Abs(m)
+}
+
+// gather collects Reps samples of every event for one application.
+func (ch *Checker) gather(events []platform.Event, parts ...workload.App) (*appCounts, error) {
+	out := &appCounts{samples: make(map[string][]float64, len(events))}
+	for r := 0; r < ch.Config.Reps; r++ {
+		counts, _, err := ch.Collector.Collect(events, parts...)
+		if err != nil {
+			return nil, err
+		}
+		for k, v := range counts {
+			out.samples[k] = append(out.samples[k], v)
+		}
+	}
+	return out, nil
+}
+
+// Check runs the two-stage additivity test for the given events against a
+// compound-application suite. Base-application counts are collected for
+// every distinct part appearing in the compounds. The paper composes
+// compounds from two base applications; the test accepts any number of
+// parts >= 2, with Eq. 1 generalised to the sum over all parts.
+func (ch *Checker) Check(events []platform.Event, compounds []workload.CompoundApp) ([]Verdict, error) {
+	if len(compounds) == 0 {
+		return nil, fmt.Errorf("core: additivity test needs at least one compound application")
+	}
+	// Count the distinct applications up front so progress is meaningful.
+	distinct := map[string]bool{}
+	for _, comp := range compounds {
+		if len(comp.Parts) < 2 {
+			return nil, fmt.Errorf("core: compound %q has %d parts, want >= 2", comp.Name(), len(comp.Parts))
+		}
+		for _, p := range comp.Parts {
+			distinct[p.Name()] = true
+		}
+	}
+	total := len(distinct) + len(compounds)
+	done := 0
+	tick := func() {
+		done++
+		if ch.Progress != nil {
+			ch.Progress(done, total)
+		}
+	}
+
+	// Collect base counts once per distinct base application.
+	baseCounts := map[string]*appCounts{}
+	for _, comp := range compounds {
+		for _, p := range comp.Parts {
+			if _, ok := baseCounts[p.Name()]; ok {
+				continue
+			}
+			ac, err := ch.gather(events, p)
+			if err != nil {
+				return nil, err
+			}
+			baseCounts[p.Name()] = ac
+			tick()
+		}
+	}
+	// Collect compound counts.
+	compCounts := make([]*appCounts, len(compounds))
+	for i, comp := range compounds {
+		ac, err := ch.gather(events, comp.Parts...)
+		if err != nil {
+			return nil, err
+		}
+		compCounts[i] = ac
+		tick()
+	}
+
+	verdicts := make([]Verdict, 0, len(events))
+	for _, ev := range events {
+		v := Verdict{Event: ev, Reproducible: true}
+		// Stage 1: determinism/reproducibility over every base app.
+		for _, ac := range baseCounts {
+			if ac.cv(ev.Name) > ch.Config.ReproCVMax {
+				v.Reproducible = false
+				break
+			}
+		}
+		// Stage 2: Eq.-1 error per compound, max over the suite.
+		for i, comp := range compounds {
+			baseSum := 0.0
+			for _, p := range comp.Parts {
+				baseSum += baseCounts[p.Name()].mean(ev.Name)
+			}
+			ec := compCounts[i].mean(ev.Name)
+			errPct := stats.AdditivityError(baseSum, 0, ec)
+			v.PerCompound = append(v.PerCompound, CompoundResult{
+				Compound: comp.Name(), BaseSum: baseSum, Compound_: ec, ErrorPct: errPct,
+			})
+			if errPct > v.MaxErrorPct {
+				v.MaxErrorPct = errPct
+			}
+		}
+		v.Additive = v.Reproducible && v.MaxErrorPct <= ch.Config.ToleranceFrac*100
+		verdicts = append(verdicts, v)
+	}
+	return verdicts, nil
+}
+
+// ErrorPercentile returns the p-th percentile of the verdict's per-
+// compound additivity errors. The paper ranks PMCs by the *maximum*
+// error; the percentile view supports studying whether that choice is
+// too pessimistic (a single outlier compound condemns a PMC) — see the
+// selection-statistic ablation benchmark.
+func (v Verdict) ErrorPercentile(p float64) float64 {
+	if len(v.PerCompound) == 0 {
+		return 0
+	}
+	errs := make([]float64, len(v.PerCompound))
+	for i, c := range v.PerCompound {
+		errs[i] = c.ErrorPct
+	}
+	return stats.Percentile(errs, p)
+}
+
+// RankByErrorPercentile orders verdicts by the p-th percentile of their
+// per-compound errors (most additive first), with the same
+// reproducibility-first rule as RankByAdditivity.
+func RankByErrorPercentile(verdicts []Verdict, p float64) []Verdict {
+	out := make([]Verdict, len(verdicts))
+	copy(out, verdicts)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Reproducible != out[j].Reproducible {
+			return out[i].Reproducible
+		}
+		return out[i].ErrorPercentile(p) < out[j].ErrorPercentile(p)
+	})
+	return out
+}
+
+// RankByAdditivity orders verdicts from most additive (lowest max error)
+// to least. Non-reproducible PMCs sort after reproducible ones with equal
+// error. The sort is stable with respect to the input order.
+func RankByAdditivity(verdicts []Verdict) []Verdict {
+	out := make([]Verdict, len(verdicts))
+	copy(out, verdicts)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Reproducible != out[j].Reproducible {
+			return out[i].Reproducible
+		}
+		return out[i].MaxErrorPct < out[j].MaxErrorPct
+	})
+	return out
+}
+
+// MostAdditive returns the names of the k most additive PMCs.
+func MostAdditive(verdicts []Verdict, k int) []string {
+	ranked := RankByAdditivity(verdicts)
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	names := make([]string, k)
+	for i := 0; i < k; i++ {
+		names[i] = ranked[i].Event.Name
+	}
+	return names
+}
+
+// DropLeastAdditive returns the verdict set with the single least
+// additive PMC removed — the paper's nested-model construction (LR1 →
+// LR2 → … drops the most non-additive PMC at each step).
+func DropLeastAdditive(verdicts []Verdict) []Verdict {
+	if len(verdicts) <= 1 {
+		return nil
+	}
+	ranked := RankByAdditivity(verdicts)
+	worst := ranked[len(ranked)-1].Event.Name
+	out := make([]Verdict, 0, len(verdicts)-1)
+	for _, v := range verdicts {
+		if v.Event.Name != worst {
+			out = append(out, v)
+		}
+	}
+	return out
+}

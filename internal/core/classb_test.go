@@ -1,0 +1,112 @@
+package core
+
+import (
+	"testing"
+
+	"additivity/internal/machine"
+	"additivity/internal/platform"
+	"additivity/internal/pmc"
+	"additivity/internal/workload"
+)
+
+// PANames are the paper's nine additive Skylake PMCs (Table 6, X1..X9).
+var paNames = []string{
+	"UOPS_RETIRED_CYCLES_GE_4_UOPS_EXEC",
+	"FP_ARITH_INST_RETIRED_DOUBLE",
+	"MEM_INST_RETIRED_ALL_STORES",
+	"UOPS_EXECUTED_CORE",
+	"UOPS_DISPATCHED_PORT_PORT_4",
+	"IDQ_DSB_CYCLES_6_UOPS",
+	"IDQ_ALL_DSB_CYCLES_5_UOPS",
+	"IDQ_ALL_CYCLES_6_UOPS",
+	"MEM_LOAD_RETIRED_L3_MISS",
+}
+
+// pnaNames are the paper's nine non-additive Skylake PMCs (Table 6,
+// Y1..Y9).
+var pnaNames = []string{
+	"ICACHE_64B_IFTAG_MISS",
+	"CPU_CLOCK_THREAD_UNHALTED",
+	"BR_MISP_RETIRED_ALL_BRANCHES",
+	"MEM_LOAD_L3_HIT_RETIRED_XSNP_MISS",
+	"FRONTEND_RETIRED_L2_MISS",
+	"ITLB_MISSES_STLB_HIT",
+	"L2_TRANS_CODE_RD",
+	"IDQ_MS_UOPS",
+	"ARITH_DIVIDER_COUNT",
+}
+
+func skylakeEvents(t testing.TB, names []string) []platform.Event {
+	t.Helper()
+	spec := platform.Skylake()
+	events := make([]platform.Event, 0, len(names))
+	for _, n := range names {
+		e, err := platform.FindEvent(spec, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		events = append(events, e)
+	}
+	return events
+}
+
+// classBCompounds builds the paper's Class B additivity suite: 50 base
+// applications (DGEMM 6500..20000, FFT 22400..29000) and 30 compounds.
+func classBCompounds(seed int64) []workload.CompoundApp {
+	var base []workload.App
+	base = append(base, workload.SizeSweep(workload.DGEMM(), 6500, 20000, 562)...)
+	base = append(base, workload.SizeSweep(workload.FFT(), 22400, 29000, 275)...)
+	return workload.RandomCompounds(base, 30, seed)
+}
+
+func TestClassBBaseDatasetSize(t *testing.T) {
+	d := workload.SizeSweep(workload.DGEMM(), 6500, 20000, 562)
+	f := workload.SizeSweep(workload.FFT(), 22400, 29000, 275)
+	if len(d)+len(f) != 50 {
+		t.Errorf("Class B additivity base dataset = %d apps, want 50 (paper)", len(d)+len(f))
+	}
+}
+
+func TestClassBAdditivityCalibration(t *testing.T) {
+	m := machine.New(platform.Skylake(), 20190802)
+	col := pmc.NewCollector(m, 20190802)
+	cfg := Config{ToleranceFrac: 0.05, Reps: 8, ReproCVMax: 0.20}
+	checker := NewChecker(col, cfg)
+	compounds := classBCompounds(20190802)
+
+	all := append(skylakeEvents(t, paNames), skylakeEvents(t, pnaNames)...)
+	verdicts, err := checker.Check(all, compounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := byName(verdicts)
+
+	for i, name := range paNames {
+		v := m2[name]
+		t.Logf("PA  X%d %-36s maxErr=%6.2f%% repro=%v", i+1, name, v.MaxErrorPct, v.Reproducible)
+	}
+	for i, name := range pnaNames {
+		v := m2[name]
+		t.Logf("PNA Y%d %-36s maxErr=%6.2f%% repro=%v", i+1, name, v.MaxErrorPct, v.Reproducible)
+	}
+
+	// Paper: the PA set is highly additive (errors < 1%) for DGEMM+FFT;
+	// we allow a slightly wider band for meter-grade sampling noise.
+	for _, name := range paNames {
+		v := m2[name]
+		if !v.Additive {
+			t.Errorf("PA PMC %s not additive (err %.2f%%, repro %v)", name, v.MaxErrorPct, v.Reproducible)
+		}
+		if v.MaxErrorPct > 1.5 {
+			t.Errorf("PA PMC %s additivity error %.2f%% too high (paper < 1%%)", name, v.MaxErrorPct)
+		}
+	}
+	// The PNA set must fail the test: error above tolerance or
+	// non-reproducible.
+	for _, name := range pnaNames {
+		v := m2[name]
+		if v.Additive {
+			t.Errorf("PNA PMC %s passed the additivity test (err %.2f%%) — must fail", name, v.MaxErrorPct)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"fmt"
+
+	"additivity/internal/ml"
+)
+
+// ForwardSelect greedily builds a PMC subset of size k from the additive
+// candidates by minimising cross-validated prediction error: at each step
+// it adds the candidate whose inclusion lowers the CV mean average error
+// the most. This is the data-driven alternative to the paper's
+// correlation ranking for composing the online (4-PMC) set — it can pick
+// complementary counters where correlation ranking picks redundant ones.
+//
+// newModel returns a fresh model per fit; features maps PMC names to
+// per-observation values; energy is the target vector.
+func ForwardSelect(features map[string][]float64, energy []float64,
+	candidates []string, k, folds int, seed int64,
+	newModel func() ml.Regressor) ([]string, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("core: forward selection needs k >= 1")
+	}
+	if len(candidates) == 0 {
+		return nil, fmt.Errorf("core: no candidates for forward selection")
+	}
+	for _, name := range candidates {
+		xs, ok := features[name]
+		if !ok {
+			return nil, fmt.Errorf("core: candidate %s not in features", name)
+		}
+		if len(xs) != len(energy) {
+			return nil, fmt.Errorf("core: candidate %s has %d values, energy has %d",
+				name, len(xs), len(energy))
+		}
+	}
+	if k > len(candidates) {
+		k = len(candidates)
+	}
+
+	selected := make([]string, 0, k)
+	remaining := append([]string(nil), candidates...)
+	for len(selected) < k {
+		bestIdx := -1
+		bestScore := 0.0
+		for i, cand := range remaining {
+			trial := append(append([]string(nil), selected...), cand)
+			X := matrixFromColumns(features, trial)
+			res, err := ml.CrossValidate(newModel, X, energy, folds, seed)
+			if err != nil {
+				return nil, fmt.Errorf("core: CV with %v: %w", trial, err)
+			}
+			if bestIdx < 0 || res.MeanAvg < bestScore {
+				bestIdx, bestScore = i, res.MeanAvg
+			}
+		}
+		selected = append(selected, remaining[bestIdx])
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+	}
+	return selected, nil
+}
+
+// matrixFromColumns assembles a design matrix from named feature columns.
+func matrixFromColumns(features map[string][]float64, names []string) [][]float64 {
+	if len(names) == 0 {
+		return nil
+	}
+	n := len(features[names[0]])
+	X := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		row := make([]float64, len(names))
+		for j, name := range names {
+			row[j] = features[name][i]
+		}
+		X[i] = row
+	}
+	return X
+}

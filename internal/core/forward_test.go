@@ -1,0 +1,84 @@
+package core
+
+import (
+	"testing"
+
+	"additivity/internal/ml"
+	"additivity/internal/stats"
+)
+
+// forwardFixture builds a dataset where the target depends on two
+// complementary features while a third is a noisy near-duplicate of the
+// first: correlation ranking would pick the duplicate pair, forward
+// selection must pick the complementary pair.
+func forwardFixture() (map[string][]float64, []float64) {
+	g := stats.NewRNG(5)
+	n := 120
+	a := make([]float64, n)
+	b := make([]float64, n)
+	aDup := make([]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a[i] = g.Uniform(0, 10)
+		b[i] = g.Uniform(0, 10)
+		aDup[i] = a[i] * (1 + g.Normal(0, 0.02))
+		y[i] = 5*a[i] + 3*b[i]
+	}
+	return map[string][]float64{"a": a, "b": b, "a_dup": aDup}, y
+}
+
+func newLR() ml.Regressor { return ml.NewLinearRegression() }
+
+func TestForwardSelectPicksComplementaryFeatures(t *testing.T) {
+	features, y := forwardFixture()
+	got, err := ForwardSelect(features, y, []string{"a", "a_dup", "b"}, 2, 4, 1, newLR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("selected %v", got)
+	}
+	// Must contain b (the complementary signal); the first pick is a or
+	// its near-duplicate.
+	hasB := got[0] == "b" || got[1] == "b"
+	if !hasB {
+		t.Errorf("forward selection %v missed the complementary feature b", got)
+	}
+	if got[0] != "a" && got[0] != "a_dup" && got[0] != "b" {
+		t.Errorf("unexpected selection %v", got)
+	}
+}
+
+func TestForwardSelectFirstPickIsStrongestAlone(t *testing.T) {
+	features, y := forwardFixture()
+	got, err := ForwardSelect(features, y, []string{"b", "a"}, 1, 4, 1, newLR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// y = 5a + 3b: a alone explains more variance than b alone.
+	if got[0] != "a" {
+		t.Errorf("first pick = %s, want a", got[0])
+	}
+}
+
+func TestForwardSelectValidation(t *testing.T) {
+	features, y := forwardFixture()
+	if _, err := ForwardSelect(features, y, nil, 2, 4, 1, newLR); err == nil {
+		t.Error("empty candidates accepted")
+	}
+	if _, err := ForwardSelect(features, y, []string{"a"}, 0, 4, 1, newLR); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := ForwardSelect(features, y, []string{"zz"}, 1, 4, 1, newLR); err == nil {
+		t.Error("unknown candidate accepted")
+	}
+	short := map[string][]float64{"a": {1, 2}}
+	if _, err := ForwardSelect(short, y, []string{"a"}, 1, 4, 1, newLR); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	// k larger than the candidate pool clamps.
+	got, err := ForwardSelect(features, y, []string{"a", "b"}, 9, 4, 1, newLR)
+	if err != nil || len(got) != 2 {
+		t.Errorf("clamped selection = %v, %v", got, err)
+	}
+}

@@ -1,0 +1,47 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// VerdictReport renders one PMC's full additivity evidence: every
+// compound application with its base-sum, compound count and Eq.-1 error,
+// worst first. This is the diagnostic view of the AdditivityChecker tool.
+func VerdictReport(v Verdict, topK int) string {
+	per := make([]CompoundResult, len(v.PerCompound))
+	copy(per, v.PerCompound)
+	sort.SliceStable(per, func(i, j int) bool { return per[i].ErrorPct > per[j].ErrorPct })
+	if topK > 0 && topK < len(per) {
+		per = per[:topK]
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: max error %.2f%%, reproducible=%v, additive=%v\n",
+		v.Event.Name, v.MaxErrorPct, v.Reproducible, v.Additive)
+	fmt.Fprintf(&b, "  %-56s %14s %14s %9s\n", "compound", "sum of bases", "compound", "err %")
+	for _, c := range per {
+		fmt.Fprintf(&b, "  %-56s %14.6g %14.6g %9.2f\n",
+			truncate(c.Compound, 56), c.BaseSum, c.Compound_, c.ErrorPct)
+	}
+	return b.String()
+}
+
+// SummaryReport renders the outcome of a whole additivity check: one line
+// per PMC, ranked most additive first.
+func SummaryReport(verdicts []Verdict) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-40s %10s %14s %10s\n", "PMC", "max err %", "reproducible", "additive")
+	for _, v := range RankByAdditivity(verdicts) {
+		fmt.Fprintf(&b, "%-40s %10.2f %14v %10v\n",
+			v.Event.Name, v.MaxErrorPct, v.Reproducible, v.Additive)
+	}
+	return b.String()
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"additivity/internal/platform"
+)
+
+func sampleVerdict() Verdict {
+	return Verdict{
+		Event:        platform.Event{Name: "SOME_COUNTER", Slots: 1},
+		Reproducible: true,
+		MaxErrorPct:  42.5,
+		PerCompound: []CompoundResult{
+			{Compound: "a+b", BaseSum: 100, Compound_: 90, ErrorPct: 10},
+			{Compound: "c+d", BaseSum: 200, Compound_: 115, ErrorPct: 42.5},
+			{Compound: "e+f", BaseSum: 300, Compound_: 295, ErrorPct: 1.7},
+		},
+	}
+}
+
+func TestVerdictReportOrdersWorstFirst(t *testing.T) {
+	out := VerdictReport(sampleVerdict(), 0)
+	iWorst := strings.Index(out, "c+d")
+	iMid := strings.Index(out, "a+b")
+	iBest := strings.Index(out, "e+f")
+	if iWorst < 0 || iMid < 0 || iBest < 0 {
+		t.Fatalf("report missing compounds:\n%s", out)
+	}
+	if !(iWorst < iMid && iMid < iBest) {
+		t.Errorf("compounds not ordered worst-first:\n%s", out)
+	}
+	if !strings.Contains(out, "max error 42.50%") {
+		t.Errorf("header missing max error:\n%s", out)
+	}
+}
+
+func TestVerdictReportTopK(t *testing.T) {
+	out := VerdictReport(sampleVerdict(), 1)
+	if strings.Contains(out, "e+f") || strings.Contains(out, "a+b") {
+		t.Errorf("topK=1 shows more than one compound:\n%s", out)
+	}
+	if !strings.Contains(out, "c+d") {
+		t.Errorf("topK=1 dropped the worst compound:\n%s", out)
+	}
+}
+
+func TestSummaryReportRanked(t *testing.T) {
+	vs := []Verdict{
+		mkVerdict("WORSE", 50, true),
+		mkVerdict("BEST", 1, true),
+	}
+	out := SummaryReport(vs)
+	if strings.Index(out, "BEST") > strings.Index(out, "WORSE") {
+		t.Errorf("summary not ranked:\n%s", out)
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	if got := truncate("short", 10); got != "short" {
+		t.Errorf("truncate = %q", got)
+	}
+	if got := truncate("abcdefghij", 5); len([]rune(got)) != 5 || !strings.HasSuffix(got, "…") {
+		t.Errorf("truncate = %q", got)
+	}
+}

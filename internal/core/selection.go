@@ -1,0 +1,86 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"additivity/internal/stats"
+)
+
+// CorrelationRank pairs a PMC name with its Pearson correlation against
+// dynamic energy.
+type CorrelationRank struct {
+	Name        string
+	Correlation float64
+}
+
+// RankByCorrelation orders PMCs by the absolute value of their Pearson
+// correlation with dynamic energy, strongest first — the state-of-the-art
+// selection method the paper compares against.
+func RankByCorrelation(features map[string][]float64, energy []float64) ([]CorrelationRank, error) {
+	out := make([]CorrelationRank, 0, len(features))
+	for name, xs := range features {
+		if len(xs) != len(energy) {
+			return nil, fmt.Errorf("core: feature %s has %d values, energy has %d",
+				name, len(xs), len(energy))
+		}
+		out = append(out, CorrelationRank{Name: name, Correlation: stats.Pearson(xs, energy)})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		ai, aj := abs(out[i].Correlation), abs(out[j].Correlation)
+		if ai != aj {
+			return ai > aj
+		}
+		return out[i].Name < out[j].Name // deterministic tie-break
+	})
+	return out, nil
+}
+
+// TopCorrelated returns the k PMC names (from the candidates) most
+// correlated with energy — the construction of PA4/PNA4 in Class C.
+func TopCorrelated(features map[string][]float64, energy []float64, candidates []string, k int) ([]string, error) {
+	sub := make(map[string][]float64, len(candidates))
+	for _, name := range candidates {
+		xs, ok := features[name]
+		if !ok {
+			return nil, fmt.Errorf("core: candidate %s not in features", name)
+		}
+		sub[name] = xs
+	}
+	ranked, err := RankByCorrelation(sub, energy)
+	if err != nil {
+		return nil, err
+	}
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	names := make([]string, k)
+	for i := 0; i < k; i++ {
+		names[i] = ranked[i].Name
+	}
+	return names, nil
+}
+
+// SelectAdditiveCorrelated implements the paper's combined criterion:
+// among PMCs whose additivity error is below maxErrPct, return the k most
+// energy-correlated — additivity first, then correlation.
+func SelectAdditiveCorrelated(verdicts []Verdict, features map[string][]float64,
+	energy []float64, maxErrPct float64, k int) ([]string, error) {
+	var candidates []string
+	for _, v := range verdicts {
+		if v.Reproducible && v.MaxErrorPct <= maxErrPct {
+			candidates = append(candidates, v.Event.Name)
+		}
+	}
+	if len(candidates) == 0 {
+		return nil, fmt.Errorf("core: no PMC has additivity error <= %.2f%%", maxErrPct)
+	}
+	return TopCorrelated(features, energy, candidates, k)
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,203 @@
+package core
+
+import (
+	"testing"
+
+	"additivity/internal/platform"
+)
+
+func mkVerdict(name string, err float64, repro bool) Verdict {
+	return Verdict{
+		Event:        platform.Event{Name: name, Slots: 1},
+		MaxErrorPct:  err,
+		Reproducible: repro,
+		Additive:     repro && err <= 5,
+	}
+}
+
+func TestRankByAdditivity(t *testing.T) {
+	vs := []Verdict{
+		mkVerdict("C", 30, true),
+		mkVerdict("A", 2, true),
+		mkVerdict("D", 1, false), // non-reproducible sorts after reproducible
+		mkVerdict("B", 10, true),
+	}
+	ranked := RankByAdditivity(vs)
+	got := []string{ranked[0].Event.Name, ranked[1].Event.Name, ranked[2].Event.Name, ranked[3].Event.Name}
+	want := []string{"A", "B", "C", "D"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("rank = %v, want %v", got, want)
+		}
+	}
+	// Input order preserved.
+	if vs[0].Event.Name != "C" {
+		t.Error("RankByAdditivity mutated its input")
+	}
+}
+
+func TestMostAdditive(t *testing.T) {
+	vs := []Verdict{
+		mkVerdict("A", 2, true),
+		mkVerdict("B", 10, true),
+		mkVerdict("C", 30, true),
+	}
+	if got := MostAdditive(vs, 2); len(got) != 2 || got[0] != "A" || got[1] != "B" {
+		t.Errorf("MostAdditive = %v", got)
+	}
+	if got := MostAdditive(vs, 10); len(got) != 3 {
+		t.Errorf("MostAdditive overflow = %v", got)
+	}
+}
+
+func TestDropLeastAdditive(t *testing.T) {
+	vs := []Verdict{
+		mkVerdict("A", 2, true),
+		mkVerdict("B", 80, true),
+		mkVerdict("C", 30, true),
+	}
+	out := DropLeastAdditive(vs)
+	if len(out) != 2 {
+		t.Fatalf("dropped to %d", len(out))
+	}
+	for _, v := range out {
+		if v.Event.Name == "B" {
+			t.Error("least additive PMC survived")
+		}
+	}
+	// Input order of survivors preserved.
+	if out[0].Event.Name != "A" || out[1].Event.Name != "C" {
+		t.Errorf("survivor order = %v, %v", out[0].Event.Name, out[1].Event.Name)
+	}
+	if got := DropLeastAdditive(out[:1]); got != nil {
+		t.Errorf("dropping from singleton = %v, want nil", got)
+	}
+}
+
+func TestRankByCorrelation(t *testing.T) {
+	energy := []float64{1, 2, 3, 4, 5}
+	features := map[string][]float64{
+		"perfect":  {2, 4, 6, 8, 10},
+		"inverse":  {10, 8, 6, 4, 2},
+		"constant": {7, 7, 7, 7, 7},
+		"weak":     {1, 3, 2, 5, 4},
+	}
+	ranked, err := RankByCorrelation(features, energy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranked) != 4 {
+		t.Fatalf("ranked %d", len(ranked))
+	}
+	// perfect and inverse tie on |corr| = 1; alphabetical tie-break puts
+	// "inverse" first.
+	if ranked[0].Name != "inverse" || ranked[1].Name != "perfect" {
+		t.Errorf("top two = %s, %s", ranked[0].Name, ranked[1].Name)
+	}
+	if ranked[3].Name != "constant" {
+		t.Errorf("weakest = %s, want constant", ranked[3].Name)
+	}
+	if _, err := RankByCorrelation(map[string][]float64{"bad": {1}}, energy); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestTopCorrelated(t *testing.T) {
+	energy := []float64{1, 2, 3, 4}
+	features := map[string][]float64{
+		"a": {1, 2, 3, 4},
+		"b": {4, 3, 2, 1},
+		"c": {1, 1, 2, 2},
+	}
+	got, err := TopCorrelated(features, energy, []string{"a", "c"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != "a" {
+		t.Errorf("TopCorrelated = %v", got)
+	}
+	if _, err := TopCorrelated(features, energy, []string{"zz"}, 1); err == nil {
+		t.Error("unknown candidate accepted")
+	}
+}
+
+func TestSelectAdditiveCorrelated(t *testing.T) {
+	energy := []float64{1, 2, 3, 4}
+	features := map[string][]float64{
+		"add-strong":    {1, 2, 3, 4},
+		"add-weak":      {2, 2, 3, 3},
+		"nonadd-strong": {1, 2, 3, 4},
+	}
+	vs := []Verdict{
+		mkVerdict("add-strong", 1, true),
+		mkVerdict("add-weak", 2, true),
+		mkVerdict("nonadd-strong", 50, true),
+	}
+	got, err := SelectAdditiveCorrelated(vs, features, energy, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != "add-strong" {
+		t.Errorf("SelectAdditiveCorrelated = %v", got)
+	}
+	// No additive candidates at all → error.
+	if _, err := SelectAdditiveCorrelated(vs[2:], features, energy, 5, 1); err == nil {
+		t.Error("empty candidate set accepted")
+	}
+}
+
+func TestErrorPercentileAndRanking(t *testing.T) {
+	mk := func(name string, errs ...float64) Verdict {
+		v := Verdict{Event: platform.Event{Name: name, Slots: 1}, Reproducible: true}
+		for _, e := range errs {
+			v.PerCompound = append(v.PerCompound, CompoundResult{ErrorPct: e})
+			if e > v.MaxErrorPct {
+				v.MaxErrorPct = e
+			}
+		}
+		return v
+	}
+	// "outlier" is additive on 9 of 10 compounds but has one blowup;
+	// "steady" errs moderately everywhere.
+	outlier := mk("outlier", 1, 1, 1, 1, 1, 1, 1, 1, 1, 90)
+	steady := mk("steady", 12, 12, 12, 12, 12, 12, 12, 12, 12, 12)
+
+	if got := outlier.ErrorPercentile(50); got != 1 {
+		t.Errorf("outlier p50 = %v, want 1", got)
+	}
+	if got := (Verdict{}).ErrorPercentile(50); got != 0 {
+		t.Errorf("empty percentile = %v", got)
+	}
+
+	// Max-based ranking condemns the outlier; p50-based ranking prefers
+	// it — the trade-off the ablation bench quantifies.
+	byMax := RankByAdditivity([]Verdict{outlier, steady})
+	if byMax[0].Event.Name != "steady" {
+		t.Errorf("max ranking first = %s, want steady", byMax[0].Event.Name)
+	}
+	byP50 := RankByErrorPercentile([]Verdict{steady, outlier}, 50)
+	if byP50[0].Event.Name != "outlier" {
+		t.Errorf("p50 ranking first = %s, want outlier", byP50[0].Event.Name)
+	}
+	// Non-reproducible events still sort last.
+	bad := mk("flaky", 0.5)
+	bad.Reproducible = false
+	ranked := RankByErrorPercentile([]Verdict{bad, steady}, 50)
+	if ranked[0].Event.Name != "steady" {
+		t.Errorf("non-reproducible ranked first")
+	}
+}
+
+func TestCheckerInputValidation(t *testing.T) {
+	ch := NewChecker(nil, DefaultConfig())
+	if _, err := ch.Check(nil, nil); err == nil {
+		t.Error("empty compound suite accepted")
+	}
+}
+
+func TestNewCheckerRepairsReps(t *testing.T) {
+	ch := NewChecker(nil, Config{Reps: 0})
+	if ch.Config.Reps < 2 {
+		t.Errorf("Reps = %d, want >= 2", ch.Config.Reps)
+	}
+}

@@ -1,0 +1,81 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV serialises the dataset: header "app,compound,energy_j,time_s,
+// <pmc...>" followed by one row per point.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{"app", "compound", "energy_j", "time_s"}, d.PMCs...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, p := range d.Points {
+		row := []string{
+			p.App,
+			strconv.FormatBool(p.Compound),
+			strconv.FormatFloat(p.EnergyJ, 'g', -1, 64),
+			strconv.FormatFloat(p.TimeS, 'g', -1, 64),
+		}
+		for _, name := range d.PMCs {
+			row = append(row, strconv.FormatFloat(p.Features[name], 'g', -1, 64))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a dataset written by WriteCSV.
+func ReadCSV(r io.Reader) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("dataset: empty CSV")
+	}
+	header := records[0]
+	if len(header) < 5 {
+		return nil, fmt.Errorf("dataset: header too short: %v", header)
+	}
+	ds := &Dataset{PMCs: append([]string(nil), header[4:]...)}
+	for li, rec := range records[1:] {
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("dataset: row %d has %d fields, want %d", li+2, len(rec), len(header))
+		}
+		compound, err := strconv.ParseBool(rec[1])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: row %d compound: %w", li+2, err)
+		}
+		energy, err := strconv.ParseFloat(rec[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: row %d energy: %w", li+2, err)
+		}
+		ts, err := strconv.ParseFloat(rec[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: row %d time: %w", li+2, err)
+		}
+		p := Point{
+			App: rec[0], Compound: compound, EnergyJ: energy, TimeS: ts,
+			Features: make(map[string]float64, len(ds.PMCs)),
+		}
+		for j, name := range ds.PMCs {
+			v, err := strconv.ParseFloat(rec[4+j], 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: row %d pmc %s: %w", li+2, name, err)
+			}
+			p.Features[name] = v
+		}
+		ds.Points = append(ds.Points, p)
+	}
+	return ds, nil
+}

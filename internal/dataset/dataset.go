@@ -1,0 +1,231 @@
+// Package dataset assembles the paper's experiment datasets: for each
+// application (base or compound), the measured dynamic energy (through
+// the HCLWattsUp pipeline) and the collected PMC values (through the
+// multiplexed collector). It provides matrix views for the ML models,
+// train/test splitting, and CSV import/export.
+package dataset
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"additivity/internal/machine"
+	"additivity/internal/platform"
+	"additivity/internal/pmc"
+	"additivity/internal/stats"
+	"additivity/internal/workload"
+)
+
+// Point is one dataset row: an application's PMC means and its measured
+// dynamic energy.
+type Point struct {
+	App      string
+	Compound bool
+	Features map[string]float64
+	EnergyJ  float64
+	TimeS    float64
+}
+
+// Dataset is an ordered collection of points over a fixed PMC set.
+type Dataset struct {
+	PMCs   []string
+	Points []Point
+}
+
+// Builder gathers dataset points from a machine and collector.
+type Builder struct {
+	Machine   *machine.Machine
+	Collector *pmc.Collector
+	Events    []platform.Event
+	// Reps is the number of collection repetitions whose mean forms each
+	// PMC value.
+	Reps int
+	// Methodology drives the energy-measurement repetition loop.
+	Methodology machine.Methodology
+}
+
+// NewBuilder returns a Builder with the paper's defaults.
+func NewBuilder(m *machine.Machine, col *pmc.Collector, events []platform.Event) *Builder {
+	return &Builder{
+		Machine:     m,
+		Collector:   col,
+		Events:      events,
+		Reps:        3,
+		Methodology: machine.DefaultMethodology(),
+	}
+}
+
+// eventNames returns the builder's PMC names in catalog order.
+func (b *Builder) eventNames() []string {
+	names := make([]string, len(b.Events))
+	for i, e := range b.Events {
+		names[i] = e.Name
+	}
+	return names
+}
+
+// point measures one application (base or compound).
+func (b *Builder) point(parts ...workload.App) (Point, error) {
+	meas := b.Machine.MeasureDynamicEnergy(b.Methodology, parts...)
+	counts, _, err := b.Collector.CollectMean(b.Events, b.Reps, parts...)
+	if err != nil {
+		return Point{}, err
+	}
+	return Point{
+		App:      meas.Name,
+		Compound: len(parts) > 1,
+		Features: counts,
+		EnergyJ:  meas.MeanJoules,
+		TimeS:    meas.MeanSeconds,
+	}, nil
+}
+
+// Build measures every base application and every compound application
+// and returns the combined dataset (bases first, in input order).
+func (b *Builder) Build(bases []workload.App, compounds []workload.CompoundApp) (*Dataset, error) {
+	ds := &Dataset{PMCs: b.eventNames()}
+	for _, a := range bases {
+		p, err := b.point(a)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: base %s: %w", a.Name(), err)
+		}
+		ds.Points = append(ds.Points, p)
+	}
+	for _, c := range compounds {
+		p, err := b.point(c.Parts...)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: compound %s: %w", c.Name(), err)
+		}
+		ds.Points = append(ds.Points, p)
+	}
+	return ds, nil
+}
+
+// Len returns the number of points.
+func (d *Dataset) Len() int { return len(d.Points) }
+
+// Matrix returns the design matrix restricted to the named PMCs (in the
+// given order) and the energy target vector.
+func (d *Dataset) Matrix(pmcs []string) ([][]float64, []float64, error) {
+	for _, name := range pmcs {
+		if !d.hasPMC(name) {
+			return nil, nil, fmt.Errorf("dataset: PMC %q not in dataset", name)
+		}
+	}
+	X := make([][]float64, len(d.Points))
+	y := make([]float64, len(d.Points))
+	for i, p := range d.Points {
+		row := make([]float64, len(pmcs))
+		for j, name := range pmcs {
+			row[j] = p.Features[name]
+		}
+		X[i] = row
+		y[i] = p.EnergyJ
+	}
+	return X, y, nil
+}
+
+func (d *Dataset) hasPMC(name string) bool {
+	for _, n := range d.PMCs {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// FeatureColumns returns per-PMC value slices, keyed by PMC name —
+// the layout correlation ranking consumes.
+func (d *Dataset) FeatureColumns() map[string][]float64 {
+	out := make(map[string][]float64, len(d.PMCs))
+	for _, name := range d.PMCs {
+		col := make([]float64, len(d.Points))
+		for i, p := range d.Points {
+			col[i] = p.Features[name]
+		}
+		out[name] = col
+	}
+	return out
+}
+
+// Energies returns the energy target vector.
+func (d *Dataset) Energies() []float64 {
+	out := make([]float64, len(d.Points))
+	for i, p := range d.Points {
+		out[i] = p.EnergyJ
+	}
+	return out
+}
+
+// Subset returns a dataset containing the points at the given indices.
+func (d *Dataset) Subset(idx []int) *Dataset {
+	sub := &Dataset{PMCs: d.PMCs}
+	for _, i := range idx {
+		sub.Points = append(sub.Points, d.Points[i])
+	}
+	return sub
+}
+
+// StratifiedSplit partitions the dataset into train/test keeping each
+// workload's share of the test set proportional to its share of the
+// dataset (points are grouped by the workload-name prefix of App, i.e.
+// everything before the size suffix). This avoids splits where one
+// kernel's sizes are all in training and none in test.
+func (d *Dataset) StratifiedSplit(testFrac float64, seed int64) (train, test *Dataset, err error) {
+	if testFrac <= 0 || testFrac >= 1 {
+		return nil, nil, fmt.Errorf("dataset: test fraction %v out of (0,1)", testFrac)
+	}
+	groups := map[string][]int{}
+	var order []string
+	for i, p := range d.Points {
+		key := p.App
+		if j := strings.LastIndex(key, "/"); j >= 0 {
+			key = key[:j]
+		}
+		if _, ok := groups[key]; !ok {
+			order = append(order, key)
+		}
+		groups[key] = append(groups[key], i)
+	}
+	g := stats.SplitSeed(seed, "stratified-split")
+	var trainIdx, testIdx []int
+	for _, key := range order {
+		idx := groups[key]
+		perm := g.Perm(len(idx))
+		nTest := int(float64(len(idx))*testFrac + 0.5)
+		if nTest >= len(idx) {
+			nTest = len(idx) - 1
+		}
+		for k, p := range perm {
+			if k < nTest {
+				testIdx = append(testIdx, idx[p])
+			} else {
+				trainIdx = append(trainIdx, idx[p])
+			}
+		}
+	}
+	if len(testIdx) == 0 || len(trainIdx) == 0 {
+		return nil, nil, fmt.Errorf("dataset: stratified split degenerate (%d/%d)", len(trainIdx), len(testIdx))
+	}
+	sort.Ints(trainIdx)
+	sort.Ints(testIdx)
+	return d.Subset(trainIdx), d.Subset(testIdx), nil
+}
+
+// Split partitions the dataset into train/test with the given test size,
+// sampling pseudo-randomly with the seed. The paper's Class B split is
+// 651 train / 150 test from 801 points.
+func (d *Dataset) Split(testSize int, seed int64) (train, test *Dataset, err error) {
+	n := len(d.Points)
+	if testSize <= 0 || testSize >= n {
+		return nil, nil, fmt.Errorf("dataset: test size %d out of range (n=%d)", testSize, n)
+	}
+	g := stats.SplitSeed(seed, "split")
+	perm := g.Perm(n)
+	testIdx := append([]int(nil), perm[:testSize]...)
+	trainIdx := append([]int(nil), perm[testSize:]...)
+	sort.Ints(testIdx)
+	sort.Ints(trainIdx)
+	return d.Subset(trainIdx), d.Subset(testIdx), nil
+}

@@ -1,0 +1,194 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"additivity/internal/machine"
+	"additivity/internal/platform"
+	"additivity/internal/pmc"
+	"additivity/internal/workload"
+)
+
+func testBuilder(t *testing.T) *Builder {
+	t.Helper()
+	spec := platform.Haswell()
+	m := machine.New(spec, 101)
+	col := pmc.NewCollector(m, 101)
+	names := []string{"IDQ_MITE_UOPS", "L2_RQSTS_MISS", "UOPS_EXECUTED_PORT_PORT_6"}
+	events := make([]platform.Event, 0, len(names))
+	for _, n := range names {
+		e, err := platform.FindEvent(spec, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		events = append(events, e)
+	}
+	return NewBuilder(m, col, events)
+}
+
+func smallApps() []workload.App {
+	return []workload.App{
+		{Workload: workload.DGEMM(), Size: 2048},
+		{Workload: workload.Quicksort(), Size: 16},
+		{Workload: workload.Stream(), Size: 16},
+		{Workload: workload.StressCPU(), Size: 8},
+	}
+}
+
+func TestBuildDataset(t *testing.T) {
+	b := testBuilder(t)
+	bases := smallApps()
+	compounds := []workload.CompoundApp{
+		{Parts: []workload.App{bases[0], bases[1]}},
+	}
+	ds, err := b.Build(bases, compounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 5 {
+		t.Fatalf("dataset has %d points, want 5", ds.Len())
+	}
+	for i, p := range ds.Points {
+		if p.EnergyJ <= 0 {
+			t.Errorf("point %d (%s) energy = %v", i, p.App, p.EnergyJ)
+		}
+		if p.TimeS <= 0 {
+			t.Errorf("point %d time = %v", i, p.TimeS)
+		}
+		if len(p.Features) != 3 {
+			t.Errorf("point %d has %d features", i, len(p.Features))
+		}
+	}
+	if !ds.Points[4].Compound {
+		t.Error("compound point not flagged")
+	}
+	if ds.Points[0].Compound {
+		t.Error("base point flagged compound")
+	}
+}
+
+func TestMatrixAndColumns(t *testing.T) {
+	b := testBuilder(t)
+	ds, err := b.Build(smallApps(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	X, y, err := ds.Matrix([]string{"L2_RQSTS_MISS", "IDQ_MITE_UOPS"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(X) != 4 || len(X[0]) != 2 || len(y) != 4 {
+		t.Fatalf("matrix shape %dx%d, y %d", len(X), len(X[0]), len(y))
+	}
+	// Column order follows the request, not the dataset.
+	if X[0][0] != ds.Points[0].Features["L2_RQSTS_MISS"] {
+		t.Error("matrix column order wrong")
+	}
+	if _, _, err := ds.Matrix([]string{"NOPE"}); err == nil {
+		t.Error("unknown PMC accepted")
+	}
+	cols := ds.FeatureColumns()
+	if len(cols) != 3 || len(cols["IDQ_MITE_UOPS"]) != 4 {
+		t.Errorf("FeatureColumns shape wrong: %d", len(cols))
+	}
+	if e := ds.Energies(); len(e) != 4 || e[0] != ds.Points[0].EnergyJ {
+		t.Error("Energies wrong")
+	}
+}
+
+func TestSplit(t *testing.T) {
+	b := testBuilder(t)
+	ds, err := b.Build(smallApps(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test, err := ds.Split(1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if train.Len() != 3 || test.Len() != 1 {
+		t.Fatalf("split sizes %d/%d", train.Len(), test.Len())
+	}
+	// Deterministic per seed.
+	train2, test2, _ := ds.Split(1, 7)
+	if test.Points[0].App != test2.Points[0].App || train.Points[0].App != train2.Points[0].App {
+		t.Error("split not deterministic")
+	}
+	// No point in both halves; all points covered.
+	seen := map[string]int{}
+	for _, p := range train.Points {
+		seen[p.App]++
+	}
+	for _, p := range test.Points {
+		seen[p.App]++
+	}
+	if len(seen) != 4 {
+		t.Errorf("split covers %d distinct apps, want 4", len(seen))
+	}
+	for app, n := range seen {
+		if n != 1 {
+			t.Errorf("app %s appears %d times across the split", app, n)
+		}
+	}
+	if _, _, err := ds.Split(0, 1); err == nil {
+		t.Error("zero test size accepted")
+	}
+	if _, _, err := ds.Split(4, 1); err == nil {
+		t.Error("full-dataset test size accepted")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	b := testBuilder(t)
+	ds, err := b.Build(smallApps()[:2], []workload.CompoundApp{
+		{Parts: []workload.App{smallApps()[0], smallApps()[1]}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ds.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != ds.Len() {
+		t.Fatalf("round trip lost points: %d vs %d", got.Len(), ds.Len())
+	}
+	for i := range ds.Points {
+		a, b := ds.Points[i], got.Points[i]
+		if a.App != b.App || a.Compound != b.Compound || a.EnergyJ != b.EnergyJ || a.TimeS != b.TimeS {
+			t.Errorf("point %d mismatch: %+v vs %+v", i, a, b)
+		}
+		for _, name := range ds.PMCs {
+			if a.Features[name] != b.Features[name] {
+				t.Errorf("point %d feature %s mismatch", i, name)
+			}
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"short header", "a,b\n"},
+		{"bad compound", "app,compound,energy_j,time_s,X\na,maybe,1,1,1\n"},
+		{"bad energy", "app,compound,energy_j,time_s,X\na,true,zap,1,1\n"},
+		{"bad time", "app,compound,energy_j,time_s,X\na,true,1,zap,1\n"},
+		{"bad pmc", "app,compound,energy_j,time_s,X\na,true,1,1,zap\n"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := ReadCSV(strings.NewReader(c.in)); err == nil {
+				t.Errorf("ReadCSV accepted %q", c.in)
+			}
+		})
+	}
+}

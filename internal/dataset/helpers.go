@@ -1,0 +1,84 @@
+package dataset
+
+import (
+	"fmt"
+
+	"additivity/internal/stats"
+)
+
+// Merge appends the points of other datasets over the same PMC set.
+func (d *Dataset) Merge(others ...*Dataset) (*Dataset, error) {
+	out := &Dataset{PMCs: d.PMCs}
+	out.Points = append(out.Points, d.Points...)
+	for _, o := range others {
+		if len(o.PMCs) != len(d.PMCs) {
+			return nil, fmt.Errorf("dataset: merge PMC width %d != %d", len(o.PMCs), len(d.PMCs))
+		}
+		for i, name := range d.PMCs {
+			if o.PMCs[i] != name {
+				return nil, fmt.Errorf("dataset: merge PMC mismatch at %d: %s != %s", i, o.PMCs[i], name)
+			}
+		}
+		out.Points = append(out.Points, o.Points...)
+	}
+	return out, nil
+}
+
+// Filter returns the points satisfying keep.
+func (d *Dataset) Filter(keep func(Point) bool) *Dataset {
+	out := &Dataset{PMCs: d.PMCs}
+	for _, p := range d.Points {
+		if keep(p) {
+			out.Points = append(out.Points, p)
+		}
+	}
+	return out
+}
+
+// BaseOnly returns the base-application points.
+func (d *Dataset) BaseOnly() *Dataset {
+	return d.Filter(func(p Point) bool { return !p.Compound })
+}
+
+// CompoundOnly returns the compound-application points.
+func (d *Dataset) CompoundOnly() *Dataset {
+	return d.Filter(func(p Point) bool { return p.Compound })
+}
+
+// Summary describes the dataset's energy distribution.
+type Summary struct {
+	Points    int
+	Compounds int
+	EnergyJ   stats.Summary
+	TimeS     stats.Summary
+}
+
+// Summarize returns dataset-level statistics.
+func (d *Dataset) Summarize() (Summary, error) {
+	if len(d.Points) == 0 {
+		return Summary{}, fmt.Errorf("dataset: empty")
+	}
+	energies := d.Energies()
+	times := make([]float64, len(d.Points))
+	compounds := 0
+	for i, p := range d.Points {
+		times[i] = p.TimeS
+		if p.Compound {
+			compounds++
+		}
+	}
+	es, err := stats.Summarize(energies)
+	if err != nil {
+		return Summary{}, err
+	}
+	ts, err := stats.Summarize(times)
+	if err != nil {
+		return Summary{}, err
+	}
+	return Summary{
+		Points:    len(d.Points),
+		Compounds: compounds,
+		EnergyJ:   es,
+		TimeS:     ts,
+	}, nil
+}

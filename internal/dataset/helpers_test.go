@@ -1,0 +1,146 @@
+package dataset
+
+import (
+	"testing"
+
+	"additivity/internal/workload"
+)
+
+func builtDataset(t *testing.T) *Dataset {
+	t.Helper()
+	b := testBuilder(t)
+	bases := smallApps()
+	compounds := []workload.CompoundApp{
+		{Parts: []workload.App{bases[0], bases[1]}},
+		{Parts: []workload.App{bases[2], bases[3]}},
+	}
+	ds, err := b.Build(bases, compounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestMerge(t *testing.T) {
+	ds := builtDataset(t)
+	a := ds.Subset([]int{0, 1})
+	b := ds.Subset([]int{2, 3})
+	merged, err := a.Merge(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Len() != 4 {
+		t.Errorf("merged = %d points", merged.Len())
+	}
+	// Mismatched PMC sets refuse to merge.
+	bad := &Dataset{PMCs: []string{"OTHER"}}
+	if _, err := a.Merge(bad); err == nil {
+		t.Error("mismatched merge accepted")
+	}
+	bad2 := &Dataset{PMCs: []string{"A", "B", "C"}}
+	if _, err := a.Merge(bad2); err == nil {
+		t.Error("reordered merge accepted")
+	}
+}
+
+func TestFilterSplitsBaseAndCompound(t *testing.T) {
+	ds := builtDataset(t)
+	base := ds.BaseOnly()
+	comp := ds.CompoundOnly()
+	if base.Len() != 4 {
+		t.Errorf("base = %d", base.Len())
+	}
+	if comp.Len() != 2 {
+		t.Errorf("compound = %d", comp.Len())
+	}
+	if base.Len()+comp.Len() != ds.Len() {
+		t.Error("filter lost points")
+	}
+	for _, p := range comp.Points {
+		if !p.Compound {
+			t.Error("compound filter leaked a base point")
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	ds := builtDataset(t)
+	s, err := ds.Summarize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Points != 6 || s.Compounds != 2 {
+		t.Errorf("summary counts = %d/%d", s.Points, s.Compounds)
+	}
+	if s.EnergyJ.Min <= 0 || s.EnergyJ.Max < s.EnergyJ.Min {
+		t.Errorf("energy summary %+v", s.EnergyJ)
+	}
+	if s.TimeS.Mean <= 0 {
+		t.Errorf("time summary %+v", s.TimeS)
+	}
+	empty := &Dataset{}
+	if _, err := empty.Summarize(); err == nil {
+		t.Error("empty summary accepted")
+	}
+}
+
+func TestStratifiedSplit(t *testing.T) {
+	ds := builtDataset(t)
+	// Duplicate points so every workload group has enough members.
+	big := &Dataset{PMCs: ds.PMCs}
+	for i := 0; i < 5; i++ {
+		big.Points = append(big.Points, ds.BaseOnly().Points...)
+	}
+	train, test, err := big.StratifiedSplit(0.25, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if train.Len()+test.Len() != big.Len() {
+		t.Fatalf("split lost points: %d + %d != %d", train.Len(), test.Len(), big.Len())
+	}
+	// Every workload appears in both halves.
+	groupsOf := func(d *Dataset) map[string]int {
+		out := map[string]int{}
+		for _, p := range d.Points {
+			key := p.App
+			if j := len(key) - 1; j > 0 {
+				if k := lastSlash(key); k >= 0 {
+					key = key[:k]
+				}
+			}
+			out[key]++
+		}
+		return out
+	}
+	trainGroups := groupsOf(train)
+	testGroups := groupsOf(test)
+	for key := range groupsOf(big) {
+		if trainGroups[key] == 0 {
+			t.Errorf("workload %s missing from train split", key)
+		}
+		if testGroups[key] == 0 {
+			t.Errorf("workload %s missing from test split", key)
+		}
+	}
+	// Deterministic per seed.
+	tr2, _, _ := big.StratifiedSplit(0.25, 3)
+	if tr2.Len() != train.Len() || tr2.Points[0].App != train.Points[0].App {
+		t.Error("stratified split not deterministic")
+	}
+	// Bad fractions rejected.
+	if _, _, err := big.StratifiedSplit(0, 1); err == nil {
+		t.Error("zero fraction accepted")
+	}
+	if _, _, err := big.StratifiedSplit(1, 1); err == nil {
+		t.Error("unit fraction accepted")
+	}
+}
+
+func lastSlash(s string) int {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == '/' {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,94 @@
+package energy
+
+import (
+	"errors"
+	"math"
+
+	"additivity/internal/stats"
+)
+
+// Meter simulates a WattsUp Pro system-level power meter: it samples the
+// wall power of the machine once per second, with the instrument's
+// resolution and accuracy limits, and integrates the samples into an
+// energy reading. The paper's meters are periodically calibrated against
+// a revenue-grade Yokogawa WT210; we model the residual error as a small
+// multiplicative accuracy term plus sampling quantisation.
+type Meter struct {
+	SamplePeriodS float64 // sampling period (WattsUp Pro: 1 s)
+	ResolutionW   float64 // power reading resolution (0.1 W)
+	AccuracyFrac  float64 // calibration accuracy (±1.5%)
+
+	rng *stats.RNG
+}
+
+// NewMeter returns a WattsUp-Pro-like meter seeded for reproducibility.
+func NewMeter(seed int64) *Meter {
+	return &Meter{
+		SamplePeriodS: 1.0,
+		ResolutionW:   0.1,
+		AccuracyFrac:  0.015,
+		rng:           stats.SplitSeed(seed, "wattsup"),
+	}
+}
+
+// ErrNoSamples is returned when a measured interval is too short for the
+// meter to produce any sample.
+var ErrNoSamples = errors.New("energy: run shorter than one meter sample")
+
+// MeasureTotalJoules measures the total energy drawn over a run of the
+// given duration whose average wall power is powerW. The reading is the
+// integral of per-second power samples, each quantised to the meter
+// resolution and scaled by a per-measurement calibration-error factor.
+// Short runs (below one sample period) still produce a reading — the
+// meter's running energy accumulator interpolates partial intervals —
+// but carry proportionally more quantisation noise.
+func (m *Meter) MeasureTotalJoules(powerW, durationS float64) (float64, error) {
+	if powerW < 0 || durationS <= 0 {
+		return 0, errors.New("energy: invalid power or duration")
+	}
+	// Per-measurement calibration factor within the accuracy band.
+	calib := 1 + m.rng.Uniform(-m.AccuracyFrac, m.AccuracyFrac)
+
+	full := int(durationS / m.SamplePeriodS)
+	remainder := durationS - float64(full)*m.SamplePeriodS
+	total := 0.0
+	for i := 0; i < full; i++ {
+		// Instantaneous power fluctuates a little around the average.
+		p := powerW * m.rng.LogNormalFactor(0.01)
+		p = math.Round(p/m.ResolutionW) * m.ResolutionW
+		total += p * m.SamplePeriodS
+	}
+	if remainder > 0 {
+		p := powerW * m.rng.LogNormalFactor(0.02)
+		p = math.Round(p/m.ResolutionW) * m.ResolutionW
+		total += p * remainder
+	}
+	return total * calib, nil
+}
+
+// HCLWattsUp is the measurement API of the paper: it converts metered
+// total energy into dynamic energy by subtracting the platform's static
+// power over the run duration, following the definition
+// E_D = E_T − P_S·T_E.
+type HCLWattsUp struct {
+	Meter       *Meter
+	StaticWatts float64 // platform static (idle) power P_S
+}
+
+// NewHCLWattsUp returns the measurement API for a platform with the given
+// static power.
+func NewHCLWattsUp(staticWatts float64, seed int64) *HCLWattsUp {
+	return &HCLWattsUp{Meter: NewMeter(seed), StaticWatts: staticWatts}
+}
+
+// DynamicJoules measures one run: the machine's wall power is static plus
+// the run's average dynamic power; the dynamic energy is the metered
+// total minus a same-meter idle baseline over the run duration (see
+// DynamicJoulesFromTrace for why the baseline shares the calibration).
+func (h *HCLWattsUp) DynamicJoules(dynamicJoules, durationS float64) (float64, error) {
+	if durationS <= 0 {
+		return 0, errors.New("energy: non-positive duration")
+	}
+	wall := h.StaticWatts + dynamicJoules/durationS
+	return h.DynamicJoulesFromTrace(Trace{{Seconds: durationS, Watts: wall - h.StaticWatts}})
+}

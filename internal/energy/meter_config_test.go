@@ -1,0 +1,78 @@
+package energy
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMeterCustomSamplePeriod(t *testing.T) {
+	// A faster-sampling meter still integrates to the same energy.
+	m := NewMeter(31)
+	m.SamplePeriodS = 0.1
+	got, err := m.MeasureTotalJoules(200, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1000)/1000 > 0.05 {
+		t.Errorf("fast meter = %v J, want ≈ 1000", got)
+	}
+}
+
+func TestMeterCoarseResolution(t *testing.T) {
+	// A 10 W resolution meter quantises small powers away entirely.
+	m := NewMeter(33)
+	m.ResolutionW = 10
+	m.AccuracyFrac = 0
+	got, err := m.MeasureTotalJoules(3, 10) // 3 W rounds to 0 W
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Errorf("coarse meter read %v J for sub-resolution power", got)
+	}
+	got, err = m.MeasureTotalJoules(97, 10) // rounds to 100 W
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1000) > 50 {
+		t.Errorf("coarse meter = %v J, want ≈ 1000", got)
+	}
+}
+
+func TestMeterWideAccuracyBand(t *testing.T) {
+	// Accuracy dominates the reading spread across fresh meters.
+	var lo, hi float64 = math.Inf(1), math.Inf(-1)
+	for seed := int64(0); seed < 30; seed++ {
+		m := NewMeter(seed)
+		m.AccuracyFrac = 0.10
+		e, err := m.MeasureTotalJoules(100, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e < lo {
+			lo = e
+		}
+		if e > hi {
+			hi = e
+		}
+	}
+	if hi-lo < 50 {
+		t.Errorf("10%% accuracy band produced only %v J spread over 30 meters", hi-lo)
+	}
+	if lo < 850 || hi > 1150 {
+		t.Errorf("readings [%v, %v] outside the accuracy envelope", lo, hi)
+	}
+}
+
+func TestHCLWattsUpTraceZeroDynamicPhases(t *testing.T) {
+	// A trace with a zero-power phase (pure idle wait) still measures.
+	h := NewHCLWattsUp(58, 35)
+	tr := Trace{{Seconds: 2, Watts: 100}, {Seconds: 3, Watts: 0}}
+	got, err := h.DynamicJoulesFromTrace(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-200) > 25 {
+		t.Errorf("dynamic with idle phase = %v J, want ≈ 200", got)
+	}
+}

@@ -1,0 +1,96 @@
+// Package energy provides the ground-truth energy law of the simulated
+// machines and the measurement pipeline the paper uses: a WattsUp-Pro
+// style sampled power meter and an HCLWattsUp-style API that converts
+// metered total energy into dynamic energy by subtracting static power.
+//
+// The energy law is defined over the hidden activity vector — energy per
+// micro-architectural event — which encodes the "energy conservation of
+// computing" premise of the additivity criterion: the dynamic energy of a
+// serial composition of two programs is the sum of their dynamic
+// energies, because activity composes additively.
+package energy
+
+import (
+	"additivity/internal/activity"
+	"additivity/internal/platform"
+)
+
+// Coefficients holds the per-event dynamic energy costs of a platform in
+// nanojoules. Every activity channel with a non-zero coefficient
+// contributes linearly to dynamic energy.
+type Coefficients struct {
+	PerUopExecuted float64 // nJ per executed micro-op
+	PerFPDouble    float64 // nJ per double-precision flop
+	PerLoad        float64 // nJ per load
+	PerStore       float64 // nJ per store
+	PerL2Miss      float64 // nJ per L2 miss (L3 access)
+	PerL3Miss      float64 // nJ per L3 miss (DRAM access)
+	PerBranchMisp  float64 // nJ per pipeline flush
+	PerDivOp       float64 // nJ per divider operation
+	PerICacheMiss  float64 // nJ per instruction-cache miss
+	PerTLBMiss     float64 // nJ per TLB walk (ITLB + DTLB)
+	PerMSUop       float64 // nJ per microcode uop
+	PerStallCycle  float64 // nJ per stalled cycle (clocking overhead)
+}
+
+// CoefficientsFor returns the energy coefficients of a platform.
+// Magnitudes follow published per-event energy estimates (an executed
+// uop a fraction of a nanojoule, a DRAM access tens of nanojoules); the
+// Skylake process is more efficient per event than Haswell but the
+// relative structure is the same.
+func CoefficientsFor(spec *platform.Spec) Coefficients {
+	c := Coefficients{
+		PerUopExecuted: 0.32,
+		PerFPDouble:    0.15,
+		PerLoad:        0.50,
+		PerStore:       0.70,
+		PerL2Miss:      3.5,
+		PerL3Miss:      14.0,
+		PerBranchMisp:  12.0,
+		PerDivOp:       4.0,
+		PerICacheMiss:  3.0,
+		PerTLBMiss:     6.0,
+		PerMSUop:       0.35,
+		PerStallCycle:  0.06,
+	}
+	if spec.Name == "skylake" {
+		// 14nm process and wider datapaths: ~30% less energy per event.
+		c = c.scale(0.70)
+	}
+	return c
+}
+
+func (c Coefficients) scale(f float64) Coefficients {
+	c.PerUopExecuted *= f
+	c.PerFPDouble *= f
+	c.PerLoad *= f
+	c.PerStore *= f
+	c.PerL2Miss *= f
+	c.PerL3Miss *= f
+	c.PerBranchMisp *= f
+	c.PerDivOp *= f
+	c.PerICacheMiss *= f
+	c.PerTLBMiss *= f
+	c.PerMSUop *= f
+	c.PerStallCycle *= f
+	return c
+}
+
+// DynamicJoules returns the ground-truth dynamic energy of the given
+// activity in joules. This is the quantity the paper's models predict and
+// the power-meter pipeline measures (with noise).
+func (c Coefficients) DynamicJoules(v activity.Vector) float64 {
+	nj := v.Get(activity.UopsExecuted)*c.PerUopExecuted +
+		v.Get(activity.FPDouble)*c.PerFPDouble +
+		v.Get(activity.Loads)*c.PerLoad +
+		v.Get(activity.Stores)*c.PerStore +
+		v.Get(activity.L2Miss)*c.PerL2Miss +
+		v.Get(activity.L3Miss)*c.PerL3Miss +
+		v.Get(activity.BranchMisp)*c.PerBranchMisp +
+		v.Get(activity.DivOps)*c.PerDivOp +
+		v.Get(activity.ICacheMiss)*c.PerICacheMiss +
+		(v.Get(activity.ITLBMiss)+v.Get(activity.DTLBMiss))*c.PerTLBMiss +
+		v.Get(activity.MSUops)*c.PerMSUop +
+		v.Get(activity.StallCycles)*c.PerStallCycle
+	return nj * 1e-9
+}

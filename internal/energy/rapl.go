@@ -1,0 +1,69 @@
+package energy
+
+import (
+	"additivity/internal/activity"
+	"additivity/internal/stats"
+)
+
+// RAPLSensor models an on-chip energy sensor in the style of Intel RAPL.
+// The paper's introduction dismisses on-chip sensors as ground truth
+// because "no definitive research works prove their accuracy" — RAPL
+// readings are themselves *model estimates* computed by the package's
+// power-management firmware, not physical measurements. This sensor
+// reproduces the documented failure mode: core switching activity is
+// tracked well, but memory-subsystem and uncore energy is systematically
+// under-attributed, so the sensor's error is workload-dependent — small
+// for compute-bound kernels, large for memory-bound ones. Comparing it
+// against the wall meter shows why the paper trains and validates models
+// on system-level physical measurements instead.
+type RAPLSensor struct {
+	// Attribution factors of the firmware model.
+	CoreFactor   float64 // share of core-event energy the model captures
+	MemoryFactor float64 // share of DRAM/L3 energy attributed to the package
+	StallFactor  float64 // share of stall/clocking overhead captured
+	// UpdateJoules is the counter granularity (RAPL: 15.3 µJ units; we
+	// keep a coarser epsilon to stay observable).
+	UpdateJoules float64
+
+	rng *stats.RNG
+}
+
+// NewRAPLSensor returns a sensor with documented-in-the-wild attribution
+// behaviour.
+func NewRAPLSensor(seed int64) *RAPLSensor {
+	return &RAPLSensor{
+		CoreFactor:   0.97,
+		MemoryFactor: 0.55,
+		StallFactor:  0.40,
+		UpdateJoules: 1.0 / 65536,
+		rng:          stats.SplitSeed(seed, "rapl"),
+	}
+}
+
+// DynamicJoules returns the sensor's estimate of a run's dynamic energy
+// given the run's activity and the platform's true energy coefficients.
+// The estimate decomposes the true energy into core, memory and stall
+// components and applies the firmware model's attribution factors.
+func (r *RAPLSensor) DynamicJoules(v activity.Vector, c Coefficients) float64 {
+	coreNJ := v.Get(activity.UopsExecuted)*c.PerUopExecuted +
+		v.Get(activity.FPDouble)*c.PerFPDouble +
+		v.Get(activity.Loads)*c.PerLoad +
+		v.Get(activity.Stores)*c.PerStore +
+		v.Get(activity.BranchMisp)*c.PerBranchMisp +
+		v.Get(activity.DivOps)*c.PerDivOp +
+		v.Get(activity.ICacheMiss)*c.PerICacheMiss +
+		(v.Get(activity.ITLBMiss)+v.Get(activity.DTLBMiss))*c.PerTLBMiss +
+		v.Get(activity.MSUops)*c.PerMSUop
+	memNJ := v.Get(activity.L2Miss)*c.PerL2Miss +
+		v.Get(activity.L3Miss)*c.PerL3Miss
+	stallNJ := v.Get(activity.StallCycles) * c.PerStallCycle
+
+	estimate := (coreNJ*r.CoreFactor + memNJ*r.MemoryFactor + stallNJ*r.StallFactor) * 1e-9
+	estimate *= r.rng.LogNormalFactor(0.01)
+	// Quantise to the counter granularity.
+	if r.UpdateJoules > 0 {
+		units := float64(int64(estimate / r.UpdateJoules))
+		estimate = units * r.UpdateJoules
+	}
+	return estimate
+}

@@ -1,0 +1,77 @@
+package energy
+
+import (
+	"testing"
+
+	"additivity/internal/activity"
+	"additivity/internal/platform"
+)
+
+// computeBound builds an activity vector dominated by core events.
+func computeBound() activity.Vector {
+	var v activity.Vector
+	v.Set(activity.UopsExecuted, 1e12)
+	v.Set(activity.FPDouble, 3e12)
+	v.Set(activity.Loads, 3e11)
+	v.Set(activity.L2Miss, 1e8)
+	v.Set(activity.L3Miss, 1e7)
+	return v
+}
+
+// memoryBound builds an activity vector dominated by DRAM traffic.
+func memoryBound() activity.Vector {
+	var v activity.Vector
+	v.Set(activity.UopsExecuted, 1e11)
+	v.Set(activity.Loads, 4e10)
+	v.Set(activity.L2Miss, 8e9)
+	v.Set(activity.L3Miss, 6e9)
+	v.Set(activity.StallCycles, 5e11)
+	return v
+}
+
+func TestRAPLWorkloadDependentBias(t *testing.T) {
+	c := CoefficientsFor(platform.Haswell())
+	sensor := NewRAPLSensor(3)
+
+	cb := computeBound()
+	cbTrue := c.DynamicJoules(cb)
+	cbErr := (cbTrue - sensor.DynamicJoules(cb, c)) / cbTrue
+
+	mb := memoryBound()
+	mbTrue := c.DynamicJoules(mb)
+	mbErr := (mbTrue - sensor.DynamicJoules(mb, c)) / mbTrue
+
+	if cbErr < 0 || cbErr > 0.10 {
+		t.Errorf("compute-bound RAPL error %.1f%%, want small positive", 100*cbErr)
+	}
+	if mbErr < 0.15 {
+		t.Errorf("memory-bound RAPL error %.1f%%, want large underestimate", 100*mbErr)
+	}
+	if mbErr <= cbErr {
+		t.Errorf("RAPL bias not workload-dependent: compute %.1f%% vs memory %.1f%%",
+			100*cbErr, 100*mbErr)
+	}
+}
+
+func TestRAPLAlwaysUnderestimates(t *testing.T) {
+	// With all attribution factors <= 1, the sensor can never report more
+	// than the true energy (beyond its tiny read noise).
+	c := CoefficientsFor(platform.Skylake())
+	sensor := NewRAPLSensor(5)
+	for i := 0; i < 50; i++ {
+		v := computeBound().Scale(float64(i + 1))
+		if got, want := sensor.DynamicJoules(v, c), c.DynamicJoules(v); got > want*1.05 {
+			t.Fatalf("sensor %.3g > true %.3g", got, want)
+		}
+	}
+}
+
+func TestRAPLQuantisation(t *testing.T) {
+	c := CoefficientsFor(platform.Haswell())
+	sensor := NewRAPLSensor(7)
+	var tiny activity.Vector
+	tiny.Set(activity.UopsExecuted, 10) // ~3.2e-9 J, below one counter unit
+	if got := sensor.DynamicJoules(tiny, c); got != 0 {
+		t.Errorf("sub-unit energy read %v, want 0 (quantised away)", got)
+	}
+}

@@ -1,0 +1,114 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTraceDurationAndIdealJoules(t *testing.T) {
+	tr := Trace{{Seconds: 10, Watts: 100}, {Seconds: 5, Watts: 200}}
+	if got := tr.Duration(); got != 15 {
+		t.Errorf("Duration = %v", got)
+	}
+	if got := tr.IdealJoules(); got != 2000 {
+		t.Errorf("IdealJoules = %v", got)
+	}
+	if got := (Trace{}).Duration(); got != 0 {
+		t.Errorf("empty Duration = %v", got)
+	}
+}
+
+func TestTracePowerAt(t *testing.T) {
+	tr := Trace{{Seconds: 10, Watts: 100}, {Seconds: 5, Watts: 200}}
+	cases := []struct{ t, want float64 }{
+		{0, 100}, {9.9, 100}, {10.1, 200}, {14.9, 200},
+		{99, 200}, // clamped past the end
+	}
+	for _, c := range cases {
+		if got := tr.powerAt(c.t); got != c.want {
+			t.Errorf("powerAt(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+	if got := (Trace{}).powerAt(1); got != 0 {
+		t.Errorf("empty powerAt = %v", got)
+	}
+}
+
+func TestMeasureTraceJoulesAccurate(t *testing.T) {
+	m := NewMeter(9)
+	tr := Trace{{Seconds: 30, Watts: 120}, {Seconds: 10, Watts: 220}}
+	got, err := m.MeasureTraceJoules(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tr.IdealJoules()
+	if math.Abs(got-want)/want > 0.05 {
+		t.Errorf("trace energy = %v, want within 5%% of %v", got, want)
+	}
+}
+
+func TestMeasureTraceRejectsBadInput(t *testing.T) {
+	m := NewMeter(1)
+	if _, err := m.MeasureTraceJoules(nil); err == nil {
+		t.Error("empty trace accepted")
+	}
+	if _, err := m.MeasureTraceJoules(Trace{{Seconds: 5, Watts: -1}}); err == nil {
+		t.Error("negative power accepted")
+	}
+	if _, err := m.MeasureTraceJoules(Trace{{Seconds: 0, Watts: 100}}); err == nil {
+		t.Error("zero-duration trace accepted")
+	}
+}
+
+func TestTraceDistinguishesPhaseStructure(t *testing.T) {
+	// Two traces with the same duration but different phase powers and
+	// different total energy must read differently — the meter is not
+	// just averaging.
+	m1 := NewMeter(5)
+	m2 := NewMeter(5)
+	flat, err := m1.MeasureTraceJoules(Trace{{Seconds: 40, Watts: 100}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	skewed, err := m2.MeasureTraceJoules(Trace{{Seconds: 20, Watts: 50}, {Seconds: 20, Watts: 200}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ideal energies: 4000 vs 5000.
+	if skewed <= flat {
+		t.Errorf("skewed trace %v <= flat trace %v", skewed, flat)
+	}
+}
+
+func TestDynamicJoulesFromTrace(t *testing.T) {
+	h := NewHCLWattsUp(58, 21)
+	tr := Trace{{Seconds: 8, Watts: 90}, {Seconds: 2, Watts: 150}}
+	got, err := h.DynamicJoulesFromTrace(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tr.IdealJoules()
+	if math.Abs(got-want)/want > 0.12 {
+		t.Errorf("dynamic from trace = %v, want within 12%% of %v", got, want)
+	}
+}
+
+func TestQuickTraceMeasurementNearIdeal(t *testing.T) {
+	m := NewMeter(13)
+	f := func(aRaw, bRaw, pRaw, qRaw float64) bool {
+		a := 1 + math.Abs(math.Mod(cleanCount(aRaw), 50))
+		bd := 1 + math.Abs(math.Mod(cleanCount(bRaw), 50))
+		p := 20 + math.Abs(math.Mod(cleanCount(pRaw), 200))
+		q := 20 + math.Abs(math.Mod(cleanCount(qRaw), 200))
+		tr := Trace{{Seconds: a, Watts: p}, {Seconds: bd, Watts: q}}
+		got, err := m.MeasureTraceJoules(tr)
+		if err != nil {
+			return false
+		}
+		return math.Abs(got-tr.IdealJoules())/tr.IdealJoules() < 0.10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"additivity/internal/dataset"
+)
+
+// WriteArtifacts regenerates the full evaluation and writes every
+// artifact into dir: the rendered tables, the Class A/B datasets as CSV,
+// and a deployable predictor package. This is the "make artifacts" entry
+// point for archival reproduction runs.
+//
+// The directory is created if needed; existing files are overwritten.
+// Artifact file names are stable so downstream diffing works.
+func WriteArtifacts(dir string, seed int64) error {
+	if seed == 0 {
+		seed = DefaultSeed
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	write := func(name, content string) error {
+		return os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644)
+	}
+
+	// Static tables.
+	if err := write("table1_platforms.txt", Table1().Render()); err != nil {
+		return err
+	}
+	ct, err := CollectionTable()
+	if err != nil {
+		return err
+	}
+	if err := write("collection_cost.txt", ct.Render()); err != nil {
+		return err
+	}
+
+	// Class A.
+	a, err := RunClassA(ClassAConfig{Seed: seed})
+	if err != nil {
+		return fmt.Errorf("experiments: class A: %w", err)
+	}
+	for name, tbl := range map[string]*Table{
+		"table2_additivity.txt": a.Table2(),
+		"table3_linear.txt":     a.Table3(),
+		"table4_forest.txt":     a.Table4(),
+		"table5_neural.txt":     a.Table5(),
+	} {
+		if err := write(name, tbl.Render()); err != nil {
+			return err
+		}
+	}
+	if err := writeCSV(filepath.Join(dir, "classa_train.csv"), a.Train); err != nil {
+		return err
+	}
+	if err := writeCSV(filepath.Join(dir, "classa_test.csv"), a.Test); err != nil {
+		return err
+	}
+
+	// Class B and C.
+	b, err := RunClassB(ClassBConfig{Seed: seed + 1})
+	if err != nil {
+		return fmt.Errorf("experiments: class B: %w", err)
+	}
+	if err := write("table6_pmc_sets.txt", b.Table6().Render()); err != nil {
+		return err
+	}
+	if err := write("table7a_classb.txt", b.Table7a().Render()); err != nil {
+		return err
+	}
+	if err := writeCSV(filepath.Join(dir, "classb_train.csv"), b.Train); err != nil {
+		return err
+	}
+	if err := writeCSV(filepath.Join(dir, "classb_test.csv"), b.Test); err != nil {
+		return err
+	}
+	c, err := RunClassC(b)
+	if err != nil {
+		return fmt.Errorf("experiments: class C: %w", err)
+	}
+	if err := write("table7b_classc.txt", c.Table7b().Render()); err != nil {
+		return err
+	}
+
+	// Energy-conservation premise.
+	prem, err := VerifyEnergyAdditivity(EnergyPremiseConfig{Platform: "haswell", Seed: seed + 4})
+	if err != nil {
+		return fmt.Errorf("experiments: premise: %w", err)
+	}
+	if err := write("energy_premise.txt", EnergyPremiseTable(prem).Render()); err != nil {
+		return err
+	}
+
+	// A deployable predictor from the pipeline.
+	pr, err := RunPipeline(PipelineConfig{Platform: "skylake", Seed: seed + 3})
+	if err != nil {
+		return fmt.Errorf("experiments: pipeline: %w", err)
+	}
+	f, err := os.Create(filepath.Join(dir, "predictor.json"))
+	if err != nil {
+		return err
+	}
+	if err := pr.SavePredictor(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+
+	manifest := `Artifacts of the additivity reproduction (seed %d):
+  table1_platforms.txt    platform specifications (paper Table 1)
+  collection_cost.txt     PMC collection runs (section 5: 53 / 99)
+  table2_additivity.txt   Class A additivity errors (Table 2)
+  table3_linear.txt       LR1..LR6 (Table 3)
+  table4_forest.txt       RF1..RF6 (Table 4)
+  table5_neural.txt       NN1..NN6 (Table 5)
+  table6_pmc_sets.txt     PA/PNA sets with correlations (Table 6)
+  table7a_classb.txt      Class B models (Table 7a)
+  table7b_classc.txt      Class C online models (Table 7b)
+  energy_premise.txt      energy-conservation premise verification
+  classa_train.csv        277-point Haswell base dataset
+  classa_test.csv         50 compound applications
+  classb_train.csv        651-point Skylake training split
+  classb_test.csv         150-point Skylake test split
+  predictor.json          deployable online energy model (cmd/slope -load)
+`
+	return write("MANIFEST.txt", fmt.Sprintf(manifest, seed))
+}
+
+// writeCSV writes one dataset to a file.
+func writeCSV(path string, d *dataset.Dataset) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := d.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteArtifacts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full artifact regeneration is slow")
+	}
+	dir := t.TempDir()
+	if err := WriteArtifacts(dir, 20190801); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"MANIFEST.txt", "table1_platforms.txt", "collection_cost.txt",
+		"table2_additivity.txt", "table3_linear.txt", "table4_forest.txt",
+		"table5_neural.txt", "table6_pmc_sets.txt", "table7a_classb.txt",
+		"table7b_classc.txt", "energy_premise.txt",
+		"classa_train.csv", "classa_test.csv",
+		"classb_train.csv", "classb_test.csv", "predictor.json",
+	}
+	for _, name := range want {
+		info, err := os.Stat(filepath.Join(dir, name))
+		if err != nil {
+			t.Errorf("artifact %s missing: %v", name, err)
+			continue
+		}
+		if info.Size() == 0 {
+			t.Errorf("artifact %s empty", name)
+		}
+	}
+	// Spot-check contents.
+	b, err := os.ReadFile(filepath.Join(dir, "table2_additivity.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), "ARITH_DIVIDER_COUNT") {
+		t.Error("table2 artifact malformed")
+	}
+	pf, err := os.Open(filepath.Join(dir, "predictor.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pf.Close()
+	p, err := LoadPredictor(pf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Platform != "skylake" {
+		t.Errorf("predictor platform = %s", p.Platform)
+	}
+}

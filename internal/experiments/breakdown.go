@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CompoundError is one test compound's outcome under a trained model.
+type CompoundError struct {
+	App      string
+	ActualJ  float64
+	ErrorPct float64
+}
+
+// WorstTestCompounds returns the k worst test compounds for one of the
+// Class A models, with the measured energies attached — the diagnostic
+// view of Tables 3-5 (which compound applications break a model, not
+// just by how much on average).
+func (r *ClassAResult) WorstTestCompounds(m ModelResult, k int) ([]CompoundError, error) {
+	if len(m.PerPointErrors) != r.Test.Len() {
+		return nil, fmt.Errorf("experiments: model %s evaluated on %d points, test has %d",
+			m.Name, len(m.PerPointErrors), r.Test.Len())
+	}
+	out := make([]CompoundError, r.Test.Len())
+	for i, p := range r.Test.Points {
+		out[i] = CompoundError{App: p.App, ActualJ: p.EnergyJ, ErrorPct: m.PerPointErrors[i]}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].ErrorPct > out[j].ErrorPct })
+	if k > 0 && k < len(out) {
+		out = out[:k]
+	}
+	return out, nil
+}
+
+// BreakdownTable renders the worst compounds.
+func BreakdownTable(model string, rows []CompoundError) *Table {
+	t := &Table{
+		Title:   fmt.Sprintf("Worst test compounds for %s", model),
+		Headers: []string{"Compound", "measured J", "error %"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.App, fmtG(r.ActualJ), fmtG(r.ErrorPct))
+	}
+	return t
+}

@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWorstTestCompounds(t *testing.T) {
+	r := classA(t)
+	rows, err := r.WorstTestCompounds(r.LR[0], 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i-1].ErrorPct < rows[i].ErrorPct {
+			t.Errorf("breakdown not sorted at %d", i)
+		}
+	}
+	if rows[0].ActualJ <= 0 || !strings.Contains(rows[0].App, "+") {
+		t.Errorf("worst compound malformed: %+v", rows[0])
+	}
+	// The worst compound's error matches the model's max error.
+	if rows[0].ErrorPct < r.LR[0].Errors.Max*0.999 {
+		t.Errorf("worst %.2f%% < model max %.2f%%", rows[0].ErrorPct, r.LR[0].Errors.Max)
+	}
+	out := BreakdownTable("LR1", rows).Render()
+	if !strings.Contains(out, "Worst test compounds") {
+		t.Error("breakdown table malformed")
+	}
+	// Mismatched model rejected.
+	if _, err := r.WorstTestCompounds(ModelResult{Name: "x"}, 3); err == nil {
+		t.Error("mismatched model accepted")
+	}
+}

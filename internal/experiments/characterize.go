@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"additivity/internal/activity"
+	"additivity/internal/machine"
+	"additivity/internal/platform"
+	"additivity/internal/workload"
+)
+
+// WorkloadProfile characterises one suite workload at a reference size:
+// the figures a paper's test-suite table reports.
+type WorkloadProfile struct {
+	Name         string
+	Class        string
+	Parallel     bool
+	Size         int
+	Instructions float64
+	IPC          float64 // retired instructions per unhalted cycle
+	FlopsPerIns  float64
+	L2PerKIns    float64 // L2 misses per kilo-instruction
+	L3PerKIns    float64 // L3 misses per kilo-instruction
+	MispPerKIns  float64 // branch mispredictions per kilo-instruction
+	Seconds      float64
+	DynamicW     float64 // average dynamic power
+	EnergyJ      float64
+}
+
+// CharacterizeSuite profiles every workload of the suite at its largest
+// default size on the platform.
+func CharacterizeSuite(spec *platform.Spec, suite []workload.Workload, seed int64) []WorkloadProfile {
+	m := machine.New(spec, seed)
+	out := make([]WorkloadProfile, 0, len(suite))
+	for _, w := range suite {
+		sizes := w.DefaultSizes()
+		n := sizes[len(sizes)-1]
+		run := m.RunApp(workload.App{Workload: w, Size: n})
+		a := run.Activity
+		ins := a.Get(activity.Instructions)
+		kins := ins / 1000
+		out = append(out, WorkloadProfile{
+			Name:         w.Name(),
+			Class:        w.Class().String(),
+			Parallel:     w.Parallel(),
+			Size:         n,
+			Instructions: ins,
+			IPC:          ins / a.Get(activity.Cycles),
+			FlopsPerIns:  a.Get(activity.FPDouble) / ins,
+			L2PerKIns:    a.Get(activity.L2Miss) / kins,
+			L3PerKIns:    a.Get(activity.L3Miss) / kins,
+			MispPerKIns:  a.Get(activity.BranchMisp) / kins,
+			Seconds:      run.Seconds,
+			DynamicW:     run.TrueDynamicJoules / run.Seconds,
+			EnergyJ:      run.TrueDynamicJoules,
+		})
+	}
+	return out
+}
+
+// CharacterizationTable renders the suite profile.
+func CharacterizationTable(platformName string, profiles []WorkloadProfile) *Table {
+	t := &Table{
+		Title: "Test-suite characterisation on " + platformName + " (largest default size)",
+		Headers: []string{"Workload", "class", "par", "size", "Ginstr", "IPC",
+			"flop/ins", "L2/kins", "L3/kins", "misp/kins", "time s", "dyn W", "E J"},
+	}
+	for _, p := range profiles {
+		par := "1"
+		if p.Parallel {
+			par = "N"
+		}
+		t.AddRow(p.Name, p.Class, par, itoa(p.Size),
+			fmtG(p.Instructions/1e9), fmtG(p.IPC), fmtG(p.FlopsPerIns),
+			fmtG(p.L2PerKIns), fmtG(p.L3PerKIns), fmtG(p.MispPerKIns),
+			fmtG(p.Seconds), fmtG(p.DynamicW), fmtG(p.EnergyJ))
+	}
+	return t
+}

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"additivity/internal/platform"
+	"additivity/internal/workload"
+)
+
+func TestCharacterizeSuite(t *testing.T) {
+	spec := platform.Haswell()
+	profiles := CharacterizeSuite(spec, workload.DiverseSuite(), 20190806)
+	if len(profiles) != 16 {
+		t.Fatalf("profiles = %d", len(profiles))
+	}
+	byName := map[string]WorkloadProfile{}
+	for _, p := range profiles {
+		byName[p.Name] = p
+		if p.IPC <= 0 || p.IPC > 4 {
+			t.Errorf("%s: IPC %.2f implausible", p.Name, p.IPC)
+		}
+		if p.DynamicW <= 0 || p.DynamicW > spec.TDPWatts {
+			t.Errorf("%s: dynamic power %.1f W implausible", p.Name, p.DynamicW)
+		}
+		if p.Seconds <= 0 || p.EnergyJ <= 0 {
+			t.Errorf("%s: degenerate profile %+v", p.Name, p)
+		}
+	}
+	// Qualitative structure of the suite.
+	if byName["mkl-dgemm"].FlopsPerIns < 2 {
+		t.Errorf("dgemm flops/ins = %.2f, want > 2", byName["mkl-dgemm"].FlopsPerIns)
+	}
+	// Integer sort has no flops of its own; only process-startup noise.
+	if byName["nas-is"].FlopsPerIns > 1e-4 {
+		t.Errorf("integer sort has flops: %.5f", byName["nas-is"].FlopsPerIns)
+	}
+	if byName["stream"].L3PerKIns <= byName["stress-cpu"].L3PerKIns {
+		t.Error("stream not more L3-intensive than stress-cpu")
+	}
+	if byName["quicksort"].MispPerKIns <= byName["mkl-dgemm"].MispPerKIns {
+		t.Error("quicksort not more misprediction-heavy than dgemm")
+	}
+	// Compute-bound kernels run at higher IPC than memory-bound ones.
+	if byName["mkl-dgemm"].IPC <= byName["gups-absent"].IPC {
+		// gups is not in the diverse suite; compare against stream.
+		if byName["mkl-dgemm"].IPC <= byName["stream"].IPC {
+			t.Error("dgemm IPC not above stream IPC")
+		}
+	}
+}
+
+func TestCharacterizationTable(t *testing.T) {
+	spec := platform.Skylake()
+	profiles := CharacterizeSuite(spec, workload.ApplicationSuite(), 1)
+	out := CharacterizationTable(spec.Name, profiles).Render()
+	for _, want := range []string{"mkl-dgemm", "mkl-fft", "IPC", "dyn W"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("characterisation table missing %q:\n%s", want, out)
+		}
+	}
+}

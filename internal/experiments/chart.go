@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// BarChart renders labelled values as horizontal text bars — the
+// "accuracy versus PMCs removed" curves of the nested model families, in
+// a terminal.
+func BarChart(title string, labels []string, values []float64, width int) string {
+	if width < 10 {
+		width = 40
+	}
+	max := 0.0
+	for _, v := range values {
+		if v > max {
+			max = v
+		}
+	}
+	labelW := 0
+	for _, l := range labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+	}
+	n := len(labels)
+	if len(values) < n {
+		n = len(values)
+	}
+	for i := 0; i < n; i++ {
+		bar := 0
+		if max > 0 {
+			bar = int(values[i] / max * float64(width))
+		}
+		fmt.Fprintf(&b, "%-*s %8.2f %s\n", labelW, labels[i], values[i], strings.Repeat("█", bar))
+	}
+	return b.String()
+}
+
+// ErrorCurves renders the Class A nested families' average errors as bar
+// charts — the closest thing to a figure the paper's tables imply: error
+// falling as non-additive PMCs are removed, then collapsing at one PMC.
+func (r *ClassAResult) ErrorCurves(width int) string {
+	var b strings.Builder
+	for _, fam := range []struct {
+		name   string
+		models []ModelResult
+	}{
+		{"Linear regression", r.LR},
+		{"Random forest", r.RF},
+		{"Neural network", r.NN},
+	} {
+		labels := make([]string, len(fam.models))
+		values := make([]float64, len(fam.models))
+		for i, m := range fam.models {
+			labels[i] = fmt.Sprintf("%s (%d PMCs)", m.Name, len(m.PMCs))
+			values[i] = m.Errors.Avg
+		}
+		b.WriteString(BarChart(fam.name+" — average prediction error (%)", labels, values, width))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBarChart(t *testing.T) {
+	out := BarChart("title", []string{"a", "bb"}, []float64{10, 20}, 10)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "title") {
+		t.Errorf("missing title:\n%s", out)
+	}
+	// The larger value gets the longer bar.
+	if strings.Count(lines[1], "█") >= strings.Count(lines[2], "█") {
+		t.Errorf("bar lengths not proportional:\n%s", out)
+	}
+	// Zero values render without panicking.
+	if out := BarChart("", []string{"z"}, []float64{0}, 5); !strings.Contains(out, "0.00") {
+		t.Errorf("zero chart: %q", out)
+	}
+	// Mismatched lengths truncate safely.
+	if out := BarChart("", []string{"a", "b"}, []float64{1}, 5); strings.Count(out, "\n") != 1 {
+		t.Errorf("mismatch handling: %q", out)
+	}
+}
+
+func TestErrorCurves(t *testing.T) {
+	r := classA(t)
+	out := r.ErrorCurves(30)
+	for _, want := range []string{"Linear regression", "Random forest", "Neural network", "LR1 (6 PMCs)", "NN6 (1 PMCs)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("curves missing %q", want)
+		}
+	}
+}

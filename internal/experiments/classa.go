@@ -1,0 +1,322 @@
+package experiments
+
+import (
+	"fmt"
+
+	"additivity/internal/core"
+	"additivity/internal/dataset"
+	"additivity/internal/machine"
+	"additivity/internal/ml"
+	"additivity/internal/platform"
+	"additivity/internal/pmc"
+	"additivity/internal/workload"
+)
+
+// DefaultSeed regenerates the tables exactly as recorded in
+// EXPERIMENTS.md.
+const DefaultSeed = 20190801
+
+// ClassAPMCs are the six Table-2 PMCs in the paper's X1..X6 order.
+var ClassAPMCs = []string{
+	"IDQ_MITE_UOPS",             // X1
+	"IDQ_MS_UOPS",               // X2
+	"ICACHE_64B_IFTAG_MISS",     // X3
+	"ARITH_DIVIDER_COUNT",       // X4
+	"L2_RQSTS_MISS",             // X5
+	"UOPS_EXECUTED_PORT_PORT_6", // X6
+}
+
+// ModelResult is one trained model's evaluation: its PMC set and its
+// min/avg/max percentage prediction errors on the test set.
+type ModelResult struct {
+	Name         string
+	PMCs         []string
+	Coefficients []float64 // linear models only
+	Errors       ml.ErrorStats
+	// PerPointErrors holds the percentage error of every test point, for
+	// distributional comparisons (significance tests, histograms).
+	PerPointErrors []float64
+}
+
+// ClassAResult holds everything Class A produces: the additivity verdicts
+// (Table 2) and the three nested model families (Tables 3, 4, 5).
+type ClassAResult struct {
+	Verdicts []core.Verdict
+	LR       []ModelResult // LR1..LR6
+	RF       []ModelResult // RF1..RF6
+	NN       []ModelResult // NN1..NN6
+	Train    *dataset.Dataset
+	Test     *dataset.Dataset
+}
+
+// ClassAConfig parameterises the Class A experiment; zero values take the
+// paper's settings.
+type ClassAConfig struct {
+	Seed        int64
+	Compounds   int // test compounds (paper: 50)
+	CheckerReps int // runs per sample mean in the additivity test
+	// Suite overrides the application suite (default: the paper's
+	// diverse suite). Passing workload.ExtendedSuite() — or a custom
+	// suite — re-runs the whole Class A protocol on different
+	// applications.
+	Suite []workload.Workload
+}
+
+func (c *ClassAConfig) fill() {
+	if c.Seed == 0 {
+		c.Seed = DefaultSeed
+	}
+	if c.Compounds == 0 {
+		c.Compounds = 50
+	}
+	if c.CheckerReps == 0 {
+		c.CheckerReps = 5
+	}
+}
+
+// findEvents resolves PMC names on a platform.
+func findEvents(spec *platform.Spec, names []string) ([]platform.Event, error) {
+	events := make([]platform.Event, 0, len(names))
+	for _, n := range names {
+		e, err := platform.FindEvent(spec, n)
+		if err != nil {
+			return nil, err
+		}
+		events = append(events, e)
+	}
+	return events, nil
+}
+
+// RunClassA executes the Class A experiment: train on the 277-point base
+// dataset of the diverse Haswell suite, test on 50 compound applications,
+// rank the six PMCs by additivity, and fit the nested LR/RF/NN families.
+func RunClassA(cfg ClassAConfig) (*ClassAResult, error) {
+	cfg.fill()
+	spec := platform.Haswell()
+	m := machine.New(spec, cfg.Seed)
+	col := pmc.NewCollector(m, cfg.Seed)
+	events, err := findEvents(spec, ClassAPMCs)
+	if err != nil {
+		return nil, err
+	}
+
+	suite := cfg.Suite
+	if len(suite) == 0 {
+		suite = workload.DiverseSuite()
+	}
+	bases := workload.BaseApps(suite)
+	compounds := workload.RandomCompounds(bases, cfg.Compounds, cfg.Seed)
+
+	// Additivity test (Table 2).
+	checker := core.NewChecker(col, core.Config{
+		ToleranceFrac: 0.05, Reps: cfg.CheckerReps, ReproCVMax: 0.20,
+	})
+	verdicts, err := checker.Check(events, compounds)
+	if err != nil {
+		return nil, err
+	}
+
+	// Datasets: bases for training, compounds for testing.
+	builder := dataset.NewBuilder(m, col, events)
+	train, err := builder.Build(bases, nil)
+	if err != nil {
+		return nil, err
+	}
+	test, err := builder.Build(nil, compounds)
+	if err != nil {
+		return nil, err
+	}
+
+	// Nested PMC sets: drop the most non-additive PMC at each step.
+	sets := nestedSets(verdicts)
+
+	res := &ClassAResult{Verdicts: verdicts, Train: train, Test: test}
+	for i, set := range sets {
+		lr, err := fitEval(train, test, set, ml.NewLinearRegression())
+		if err != nil {
+			return nil, err
+		}
+		lr.Name = fmt.Sprintf("LR%d", i+1)
+		res.LR = append(res.LR, lr)
+
+		rf, err := fitEval(train, test, set, ml.NewRandomForest(cfg.Seed+int64(i)))
+		if err != nil {
+			return nil, err
+		}
+		rf.Name = fmt.Sprintf("RF%d", i+1)
+		res.RF = append(res.RF, rf)
+
+		nn, err := fitEval(train, test, set, ml.NewNeuralNetwork(cfg.Seed+int64(i)))
+		if err != nil {
+			return nil, err
+		}
+		nn.Name = fmt.Sprintf("NN%d", i+1)
+		res.NN = append(res.NN, nn)
+	}
+	return res, nil
+}
+
+// nestedSets returns the PMC name sets of the nested model family, from
+// the full set down to the single most additive PMC, preserving the
+// canonical X1..X6 order within each set.
+func nestedSets(verdicts []core.Verdict) [][]string {
+	var sets [][]string
+	cur := verdicts
+	for len(cur) > 0 {
+		var names []string
+		keep := map[string]bool{}
+		for _, v := range cur {
+			keep[v.Event.Name] = true
+		}
+		for _, name := range ClassAPMCs {
+			if keep[name] {
+				names = append(names, name)
+			}
+		}
+		// For PMC sets outside Class A (e.g. reuse by callers), fall back
+		// to verdict order.
+		if len(names) == 0 {
+			for _, v := range cur {
+				names = append(names, v.Event.Name)
+			}
+		}
+		sets = append(sets, names)
+		cur = core.DropLeastAdditive(cur)
+	}
+	return sets
+}
+
+// fitEval trains a model on the train split restricted to the PMC set and
+// evaluates it on the test split.
+func fitEval(train, test *dataset.Dataset, pmcs []string, model ml.Regressor) (ModelResult, error) {
+	Xtr, ytr, err := train.Matrix(pmcs)
+	if err != nil {
+		return ModelResult{}, err
+	}
+	if err := model.Fit(Xtr, ytr); err != nil {
+		return ModelResult{}, err
+	}
+	Xte, yte, err := test.Matrix(pmcs)
+	if err != nil {
+		return ModelResult{}, err
+	}
+	stats, err := ml.Evaluate(model, Xte, yte)
+	if err != nil {
+		return ModelResult{}, err
+	}
+	pred, err := ml.PredictAll(model, Xte)
+	if err != nil {
+		return ModelResult{}, err
+	}
+	out := ModelResult{PMCs: pmcs, Errors: stats, PerPointErrors: perPointErrors(pred, yte)}
+	if lr, ok := model.(*ml.LinearRegression); ok {
+		out.Coefficients = lr.Coefficients()
+	}
+	return out, nil
+}
+
+// Table2 renders the Class A additivity errors.
+func (r *ClassAResult) Table2() *Table {
+	t := &Table{
+		Title:   "Table 2. Selected PMCs with their additivity test errors (%)",
+		Headers: []string{"PMC", "Additivity test error (%)"},
+	}
+	byName := map[string]core.Verdict{}
+	for _, v := range r.Verdicts {
+		byName[v.Event.Name] = v
+	}
+	for i, name := range ClassAPMCs {
+		v := byName[name]
+		t.AddRow(fmt.Sprintf("X%d: %s", i+1, name), fmtG(v.MaxErrorPct))
+	}
+	return t
+}
+
+// modelTable renders one nested model family (Tables 3, 4, 5).
+func modelTable(title string, models []ModelResult, withCoef bool) *Table {
+	headers := []string{"Model", "PMCs"}
+	if withCoef {
+		headers = append(headers, "Coefficients")
+	}
+	headers = append(headers, "Prediction errors (min, avg, max)")
+	t := &Table{Title: title, Headers: headers}
+	for _, m := range models {
+		row := []string{m.Name, xLabels(m.PMCs)}
+		if withCoef {
+			row = append(row, coefString(m.Coefficients))
+		}
+		row = append(row, fmtErr(m.Errors.Min, m.Errors.Avg, m.Errors.Max))
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// Table3 renders the linear models.
+func (r *ClassAResult) Table3() *Table {
+	return modelTable("Table 3. Linear predictive models (LR1-LR6), zero intercept, non-negative coefficients",
+		r.LR, true)
+}
+
+// Table4 renders the random-forest models.
+func (r *ClassAResult) Table4() *Table {
+	return modelTable("Table 4. Random forest models (RF1-RF6)", r.RF, false)
+}
+
+// Table5 renders the neural-network models.
+func (r *ClassAResult) Table5() *Table {
+	return modelTable("Table 5. Neural network models (NN1-NN6)", r.NN, false)
+}
+
+// xLabels maps Class A PMC names back to the paper's X labels where
+// possible.
+func xLabels(pmcs []string) string {
+	idx := map[string]int{}
+	for i, name := range ClassAPMCs {
+		idx[name] = i + 1
+	}
+	out := ""
+	for i, name := range pmcs {
+		if i > 0 {
+			out += ","
+		}
+		if x, ok := idx[name]; ok {
+			out += fmt.Sprintf("X%d", x)
+		} else {
+			out += name
+		}
+	}
+	return out
+}
+
+func coefString(coefs []float64) string {
+	out := ""
+	for i, c := range coefs {
+		if i > 0 {
+			out += ", "
+		}
+		out += fmt.Sprintf("%.2E", c)
+	}
+	return out
+}
+
+// perPointErrors returns element-wise percentage errors.
+func perPointErrors(pred, actual []float64) []float64 {
+	out := make([]float64, len(pred))
+	for i := range pred {
+		d := pred[i] - actual[i]
+		if d < 0 {
+			d = -d
+		}
+		if actual[i] != 0 {
+			out[i] = d / abs64(actual[i]) * 100
+		}
+	}
+	return out
+}
+
+func abs64(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

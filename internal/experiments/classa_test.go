@@ -1,0 +1,187 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"additivity/internal/workload"
+)
+
+// classA runs the experiment once per test binary (it is the costliest
+// driver).
+var classACache *ClassAResult
+
+func classA(t *testing.T) *ClassAResult {
+	t.Helper()
+	if classACache == nil {
+		r, err := RunClassA(ClassAConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		classACache = r
+	}
+	return classACache
+}
+
+func TestClassADatasetSizes(t *testing.T) {
+	r := classA(t)
+	if r.Train.Len() != 277 {
+		t.Errorf("train points = %d, want 277 (paper)", r.Train.Len())
+	}
+	if r.Test.Len() != 50 {
+		t.Errorf("test points = %d, want 50 (paper)", r.Test.Len())
+	}
+}
+
+func TestClassAModelFamiliesComplete(t *testing.T) {
+	r := classA(t)
+	for name, fam := range map[string][]ModelResult{"LR": r.LR, "RF": r.RF, "NN": r.NN} {
+		if len(fam) != 6 {
+			t.Fatalf("%s family has %d models, want 6", name, len(fam))
+		}
+		for i, m := range fam {
+			if len(m.PMCs) != 6-i {
+				t.Errorf("%s%d uses %d PMCs, want %d", name, i+1, len(m.PMCs), 6-i)
+			}
+		}
+	}
+	// The nested sets must match the paper's drop order.
+	wantSets := [][]string{
+		{"X1", "X2", "X3", "X4", "X5", "X6"},
+		{"X1", "X2", "X3", "X5", "X6"},
+		{"X1", "X3", "X5", "X6"},
+		{"X1", "X5", "X6"},
+		{"X1", "X6"},
+		{"X6"},
+	}
+	for i, m := range r.LR {
+		got := xLabels(m.PMCs)
+		want := strings.Join(wantSets[i], ",")
+		if got != want {
+			t.Errorf("LR%d PMC set = %s, want %s", i+1, got, want)
+		}
+	}
+}
+
+func TestClassAShape(t *testing.T) {
+	r := classA(t)
+	t.Log("\n" + r.Table2().Render())
+	t.Log("\n" + r.Table3().Render())
+	t.Log("\n" + r.Table4().Render())
+	t.Log("\n" + r.Table5().Render())
+
+	// The paper's headline shape, per family:
+	//  - removing non-additive PMCs improves average accuracy: the best
+	//    reduced model beats the full model by a clear margin;
+	//  - dropping to a single PMC collapses accuracy (LR6 ≫ LR5 etc.).
+	check := func(name string, fam []ModelResult, bestIdx int) {
+		full := fam[0].Errors.Avg
+		best := fam[bestIdx].Errors.Avg
+		last := fam[5].Errors.Avg
+		if best >= full {
+			t.Errorf("%s: best reduced model avg %.1f%% not better than full %.1f%%",
+				name, best, full)
+		}
+		if last <= best {
+			t.Errorf("%s: single-PMC model avg %.1f%% should collapse above best %.1f%%",
+				name, last, best)
+		}
+		// Absolute sanity: the paper's errors sit in the tens of percent.
+		// Averages in the hundreds mean the measurement pipeline broke
+		// (e.g. a meter model that aliases away short phases).
+		if best > 40 {
+			t.Errorf("%s: best model avg %.1f%% — pipeline degraded (paper ~18-24%%)", name, best)
+		}
+		if full > 150 {
+			t.Errorf("%s: full model avg %.1f%% — pipeline degraded (paper ~30-38%%)", name, full)
+		}
+	}
+	check("LR", r.LR, bestIndex(r.LR))
+	check("RF", r.RF, bestIndex(r.RF))
+	check("NN", r.NN, bestIndex(r.NN))
+}
+
+func bestIndex(fam []ModelResult) int {
+	best := 0
+	for i, m := range fam {
+		if m.Errors.Avg < fam[best].Errors.Avg {
+			best = i
+		}
+	}
+	return best
+}
+
+func TestClassALinearCoefficientsNonNegative(t *testing.T) {
+	r := classA(t)
+	for _, m := range r.LR {
+		for j, c := range m.Coefficients {
+			if c < 0 {
+				t.Errorf("%s coefficient %d = %v < 0 (paper forces non-negative)", m.Name, j, c)
+			}
+		}
+	}
+}
+
+func TestTable1AndCollection(t *testing.T) {
+	tbl := Table1()
+	s := tbl.Render()
+	for _, want := range []string{"Haswell", "Skylake", "240 W", "32 W", "30720 KB"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Table 1 missing %q:\n%s", want, s)
+		}
+	}
+	costs, err := CollectionCosts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string][3]int{
+		"haswell": {164, 151, 53},
+		"skylake": {385, 323, 99},
+	}
+	for _, c := range costs {
+		w := want[c.Platform]
+		if c.Offered != w[0] || c.Reduced != w[1] || c.Runs != w[2] {
+			t.Errorf("%s collection cost = %+v, want %v", c.Platform, c, w)
+		}
+	}
+	ct, err := CollectionTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ct.Render(), "53") || !strings.Contains(ct.Render(), "99") {
+		t.Error("collection table missing run counts")
+	}
+}
+
+func TestClassAOnExtendedSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("extended-suite replication is slow")
+	}
+	// The Class A protocol generalises to applications outside the
+	// paper's suite: the additivity machinery and models run unchanged,
+	// and the divider counter stays the dominant outlier (its startup
+	// dominance is workload-independent).
+	r, err := RunClassA(ClassAConfig{
+		Seed:      31,
+		Compounds: 25,
+		Suite:     workload.ExtendedSuite(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Train.Len() != 96 { // 6 workloads × 16 sizes
+		t.Errorf("extended train = %d points, want 96", r.Train.Len())
+	}
+	worst, worstErr := "", -1.0
+	for _, v := range r.Verdicts {
+		if v.MaxErrorPct > worstErr {
+			worst, worstErr = v.Event.Name, v.MaxErrorPct
+		}
+	}
+	if worst != "ARITH_DIVIDER_COUNT" {
+		t.Errorf("extended suite: worst PMC = %s (%.1f%%)", worst, worstErr)
+	}
+	if len(r.LR) != 6 || len(r.RF) != 6 || len(r.NN) != 6 {
+		t.Error("extended suite: model families incomplete")
+	}
+}

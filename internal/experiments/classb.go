@@ -1,0 +1,209 @@
+package experiments
+
+import (
+	"fmt"
+
+	"additivity/internal/core"
+	"additivity/internal/dataset"
+	"additivity/internal/machine"
+	"additivity/internal/ml"
+	"additivity/internal/platform"
+	"additivity/internal/pmc"
+	"additivity/internal/stats"
+	"additivity/internal/workload"
+)
+
+// PAPMCs are the paper's nine additive Skylake PMCs (Table 6, X1..X9).
+var PAPMCs = []string{
+	"UOPS_RETIRED_CYCLES_GE_4_UOPS_EXEC", // X1
+	"FP_ARITH_INST_RETIRED_DOUBLE",       // X2
+	"MEM_INST_RETIRED_ALL_STORES",        // X3
+	"UOPS_EXECUTED_CORE",                 // X4
+	"UOPS_DISPATCHED_PORT_PORT_4",        // X5
+	"IDQ_DSB_CYCLES_6_UOPS",              // X6
+	"IDQ_ALL_DSB_CYCLES_5_UOPS",          // X7
+	"IDQ_ALL_CYCLES_6_UOPS",              // X8
+	"MEM_LOAD_RETIRED_L3_MISS",           // X9
+}
+
+// PNAPMCs are the paper's nine non-additive Skylake PMCs (Table 6,
+// Y1..Y9), all used as predictors in prior energy models.
+var PNAPMCs = []string{
+	"ICACHE_64B_IFTAG_MISS",             // Y1
+	"CPU_CLOCK_THREAD_UNHALTED",         // Y2
+	"BR_MISP_RETIRED_ALL_BRANCHES",      // Y3
+	"MEM_LOAD_L3_HIT_RETIRED_XSNP_MISS", // Y4
+	"FRONTEND_RETIRED_L2_MISS",          // Y5
+	"ITLB_MISSES_STLB_HIT",              // Y6
+	"L2_TRANS_CODE_RD",                  // Y7
+	"IDQ_MS_UOPS",                       // Y8
+	"ARITH_DIVIDER_COUNT",               // Y9
+}
+
+// ClassBConfig parameterises Class B/C; zero values take the paper's
+// settings.
+type ClassBConfig struct {
+	Seed        int64
+	CheckerReps int
+	TestPoints  int // held-out points (paper: 150 of 801)
+}
+
+func (c *ClassBConfig) fill() {
+	if c.Seed == 0 {
+		c.Seed = DefaultSeed + 1
+	}
+	if c.CheckerReps == 0 {
+		c.CheckerReps = 8
+	}
+	if c.TestPoints == 0 {
+		c.TestPoints = 150
+	}
+}
+
+// ClassBResult holds the Class B artifacts (Tables 6 and 7a) and the
+// shared datasets Class C reuses.
+type ClassBResult struct {
+	Verdicts     []core.Verdict
+	Correlations map[string]float64
+	Models       []ModelResult // LR-A, LR-NA, RF-A, RF-NA, NN-A, NN-NA
+	Train        *dataset.Dataset
+	Test         *dataset.Dataset
+	cfg          ClassBConfig
+}
+
+// classBModelApps returns the 801-point model dataset of the paper:
+// DGEMM 6400²..38400² and FFT 22400²..41536², step 64.
+func classBModelApps() []workload.App {
+	apps := workload.SizeSweep(workload.DGEMM(), 6400, 38400, 64)
+	return append(apps, workload.SizeSweep(workload.FFT(), 22400, 41536, 64)...)
+}
+
+// classBAdditivityCompounds returns the paper's additivity suite: 30
+// compounds over 50 base applications (DGEMM 6500..20000, FFT
+// 22400..29000).
+func classBAdditivityCompounds(seed int64) []workload.CompoundApp {
+	var base []workload.App
+	base = append(base, workload.SizeSweep(workload.DGEMM(), 6500, 20000, 562)...)
+	base = append(base, workload.SizeSweep(workload.FFT(), 22400, 29000, 275)...)
+	return workload.RandomCompounds(base, 30, seed)
+}
+
+// RunClassB executes the Class B experiment: the additivity test over the
+// DGEMM/FFT compound suite, energy correlations over the 801-point model
+// dataset, and the six application-specific models of Table 7a.
+func RunClassB(cfg ClassBConfig) (*ClassBResult, error) {
+	cfg.fill()
+	spec := platform.Skylake()
+	m := machine.New(spec, cfg.Seed)
+	col := pmc.NewCollector(m, cfg.Seed)
+
+	allNames := append(append([]string{}, PAPMCs...), PNAPMCs...)
+	events, err := findEvents(spec, allNames)
+	if err != nil {
+		return nil, err
+	}
+
+	// Additivity verdicts for Table 6.
+	checker := core.NewChecker(col, core.Config{
+		ToleranceFrac: 0.05, Reps: cfg.CheckerReps, ReproCVMax: 0.20,
+	})
+	verdicts, err := checker.Check(events, classBAdditivityCompounds(cfg.Seed))
+	if err != nil {
+		return nil, err
+	}
+
+	// The 801-point model dataset, split 651 train / 150 test.
+	builder := dataset.NewBuilder(m, col, events)
+	full, err := builder.Build(classBModelApps(), nil)
+	if err != nil {
+		return nil, err
+	}
+	train, test, err := full.Split(cfg.TestPoints, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	// Energy correlations over the full dataset (Table 6 column).
+	cols := full.FeatureColumns()
+	energies := full.Energies()
+	corr := make(map[string]float64, len(allNames))
+	for _, name := range allNames {
+		corr[name] = stats.Pearson(cols[name], energies)
+	}
+
+	res := &ClassBResult{
+		Verdicts: verdicts, Correlations: corr,
+		Train: train, Test: test, cfg: cfg,
+	}
+
+	// Six models: each technique on PA and on PNA.
+	for _, mc := range []struct {
+		name  string
+		pmcs  []string
+		model ml.Regressor
+	}{
+		{"LR-A", PAPMCs, ml.NewLinearRegression()},
+		{"LR-NA", PNAPMCs, ml.NewLinearRegression()},
+		{"RF-A", PAPMCs, ml.NewRandomForest(cfg.Seed + 10)},
+		{"RF-NA", PNAPMCs, ml.NewRandomForest(cfg.Seed + 11)},
+		{"NN-A", PAPMCs, ml.NewNeuralNetwork(cfg.Seed + 12)},
+		{"NN-NA", PNAPMCs, ml.NewNeuralNetwork(cfg.Seed + 13)},
+	} {
+		r, err := fitEval(train, test, mc.pmcs, mc.model)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", mc.name, err)
+		}
+		r.Name = mc.name
+		res.Models = append(res.Models, r)
+	}
+	return res, nil
+}
+
+// Table6 renders the PA/PNA sets with their energy correlations.
+func (r *ClassBResult) Table6() *Table {
+	t := &Table{
+		Title:   "Table 6. Additive and non-additive PMCs with dynamic-energy correlation",
+		Headers: []string{"", "PMC", "Correlation", "Additivity err (%)"},
+	}
+	byName := map[string]core.Verdict{}
+	for _, v := range r.Verdicts {
+		byName[v.Event.Name] = v
+	}
+	for i, name := range PAPMCs {
+		t.AddRow(fmt.Sprintf("X%d", i+1), name,
+			fmt.Sprintf("%.3f", r.Correlations[name]),
+			fmtG(byName[name].MaxErrorPct))
+	}
+	for i, name := range PNAPMCs {
+		t.AddRow(fmt.Sprintf("Y%d", i+1), name,
+			fmt.Sprintf("%.3f", r.Correlations[name]),
+			fmtG(byName[name].MaxErrorPct))
+	}
+	return t
+}
+
+// Table7a renders the Class B model accuracies.
+func (r *ClassBResult) Table7a() *Table {
+	t := &Table{
+		Title:   "Table 7a. Class B: application-specific models on PA vs PNA",
+		Headers: []string{"Model", "PMCs", "Prediction errors (min, avg, max)"},
+	}
+	for _, m := range r.Models {
+		set := "PA"
+		if len(m.PMCs) > 0 && m.PMCs[0] == PNAPMCs[0] {
+			set = "PNA"
+		}
+		t.AddRow(m.Name, set, fmtErr(m.Errors.Min, m.Errors.Avg, m.Errors.Max))
+	}
+	return t
+}
+
+// Model returns the named model result.
+func (r *ClassBResult) Model(name string) (ModelResult, bool) {
+	for _, m := range r.Models {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return ModelResult{}, false
+}

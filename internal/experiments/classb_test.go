@@ -1,0 +1,216 @@
+package experiments
+
+import (
+	"testing"
+
+	"additivity/internal/core"
+)
+
+var (
+	classBCache *ClassBResult
+	classCCache *ClassCResult
+)
+
+func classB(t *testing.T) *ClassBResult {
+	t.Helper()
+	if classBCache == nil {
+		r, err := RunClassB(ClassBConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		classBCache = r
+	}
+	return classBCache
+}
+
+func classC(t *testing.T) *ClassCResult {
+	t.Helper()
+	if classCCache == nil {
+		r, err := RunClassC(classB(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		classCCache = r
+	}
+	return classCCache
+}
+
+func TestClassBTables(t *testing.T) {
+	r := classB(t)
+	t.Log("\n" + r.Table6().Render())
+	t.Log("\n" + r.Table7a().Render())
+	c := classC(t)
+	t.Logf("PA4 = %v", c.PA4)
+	t.Logf("PNA4 = %v", c.PNA4)
+	t.Log("\n" + c.Table7b().Render())
+}
+
+func TestClassBSplitSizes(t *testing.T) {
+	r := classB(t)
+	if r.Train.Len() != 651 {
+		t.Errorf("train = %d points, want 651 (paper)", r.Train.Len())
+	}
+	if r.Test.Len() != 150 {
+		t.Errorf("test = %d points, want 150 (paper)", r.Test.Len())
+	}
+}
+
+func TestClassBAdditivityVerdictsSplitPAFromPNA(t *testing.T) {
+	r := classB(t)
+	byName := map[string]core.Verdict{}
+	for _, v := range r.Verdicts {
+		byName[v.Event.Name] = v
+	}
+	for _, name := range PAPMCs {
+		if !byName[name].Additive {
+			t.Errorf("PA PMC %s failed the additivity test", name)
+		}
+	}
+	for _, name := range PNAPMCs {
+		if byName[name].Additive {
+			t.Errorf("PNA PMC %s passed the additivity test", name)
+		}
+	}
+}
+
+func TestClassBModelsPABeatPNA(t *testing.T) {
+	// Paper Table 7a: for every technique, the PA-trained model has
+	// better average prediction accuracy than the PNA-trained model.
+	r := classB(t)
+	for _, tech := range []string{"LR", "RF", "NN"} {
+		a, ok := r.Model(tech + "-A")
+		if !ok {
+			t.Fatalf("missing %s-A", tech)
+		}
+		na, ok := r.Model(tech + "-NA")
+		if !ok {
+			t.Fatalf("missing %s-NA", tech)
+		}
+		if a.Errors.Avg >= na.Errors.Avg {
+			t.Errorf("%s: PA avg %.2f%% not better than PNA avg %.2f%%",
+				tech, a.Errors.Avg, na.Errors.Avg)
+		}
+	}
+}
+
+func TestClassBCorrelationStructure(t *testing.T) {
+	// Paper Table 6: every PMC except X9 (MEM_LOAD_RETIRED_L3_MISS), Y4
+	// (XSNP_MISS) and Y6 (ITLB) is strongly energy-correlated; X9 and Y4
+	// sit near zero or below.
+	r := classB(t)
+	weak := map[string]bool{
+		"MEM_LOAD_RETIRED_L3_MISS":          true, // X9: paper -0.112
+		"MEM_LOAD_L3_HIT_RETIRED_XSNP_MISS": true, // Y4: paper -0.020
+		"ITLB_MISSES_STLB_HIT":              true, // Y6: paper  0.111
+	}
+	for _, name := range append(append([]string{}, PAPMCs...), PNAPMCs...) {
+		c := r.Correlations[name]
+		if weak[name] {
+			if c > 0.6 {
+				t.Errorf("%s correlation %.3f, want weak (paper near zero)", name, c)
+			}
+			continue
+		}
+		if c < 0.9 {
+			t.Errorf("%s correlation %.3f, want strong (paper >= 0.6)", name, c)
+		}
+	}
+	if r.Correlations["MEM_LOAD_RETIRED_L3_MISS"] > 0 {
+		t.Errorf("X9 correlation %.3f, want negative like the paper's -0.112",
+			r.Correlations["MEM_LOAD_RETIRED_L3_MISS"])
+	}
+}
+
+func TestClassCPA4MatchesPaper(t *testing.T) {
+	// Paper: PA4 = {X1, X2, X4, X8} — the four most energy-correlated
+	// additive PMCs.
+	c := classC(t)
+	want := map[string]bool{
+		"UOPS_RETIRED_CYCLES_GE_4_UOPS_EXEC": true, // X1
+		"FP_ARITH_INST_RETIRED_DOUBLE":       true, // X2
+		"UOPS_EXECUTED_CORE":                 true, // X4
+		"IDQ_ALL_CYCLES_6_UOPS":              true, // X8
+	}
+	if len(c.PA4) != 4 {
+		t.Fatalf("PA4 has %d PMCs", len(c.PA4))
+	}
+	for _, name := range c.PA4 {
+		if !want[name] {
+			t.Errorf("PA4 contains %s, not in the paper's {X1,X2,X4,X8}", name)
+		}
+	}
+	if len(c.PNA4) != 4 {
+		t.Fatalf("PNA4 has %d PMCs", len(c.PNA4))
+	}
+	// PNA4 must be drawn from PNA.
+	pna := map[string]bool{}
+	for _, n := range PNAPMCs {
+		pna[n] = true
+	}
+	for _, name := range c.PNA4 {
+		if !pna[name] {
+			t.Errorf("PNA4 contains %s, not a PNA PMC", name)
+		}
+	}
+}
+
+func TestClassCPA4BeatsPNA4(t *testing.T) {
+	c := classC(t)
+	for _, tech := range []string{"LR", "RF", "NN"} {
+		a, _ := c.Model(tech + "-A4")
+		na, _ := c.Model(tech + "-NA4")
+		if a.Errors.Avg >= na.Errors.Avg {
+			t.Errorf("%s: PA4 avg %.2f%% not better than PNA4 avg %.2f%%",
+				tech, a.Errors.Avg, na.Errors.Avg)
+		}
+	}
+}
+
+func TestClassCCorrelationAloneDoesNotHelp(t *testing.T) {
+	// Paper: models built from the four most correlated non-additive
+	// PMCs show no improvement over the nine-PMC PNA models — higher
+	// correlation cannot repair non-additivity.
+	b := classB(t)
+	c := classC(t)
+	for _, tech := range []string{"LR", "RF", "NN"} {
+		nine, _ := b.Model(tech + "-NA")
+		four, _ := c.Model(tech + "-NA4")
+		// "No improvement": correlation-based selection must not repair
+		// non-additive predictors. Training variance (especially for the
+		// NN) makes individual runs wobble, so fail only when the
+		// four-PMC model is *clearly* better — a 2× improvement would
+		// contradict the paper; parity or mild movement does not.
+		if four.Errors.Avg < nine.Errors.Avg*0.6 {
+			t.Errorf("%s: PNA4 avg %.2f%% substantially better than PNA avg %.2f%% — "+
+				"contradicts the paper", tech, four.Errors.Avg, nine.Errors.Avg)
+		}
+		// And PA4 must remain far better than PNA4 regardless.
+		a4, _ := c.Model(tech + "-A4")
+		if a4.Errors.Avg >= four.Errors.Avg {
+			t.Errorf("%s: PA4 avg %.2f%% not better than PNA4 avg %.2f%%",
+				tech, a4.Errors.Avg, four.Errors.Avg)
+		}
+	}
+}
+
+func TestClassCBestModelIsOnPA4(t *testing.T) {
+	// Paper: NN-A4 has the least average prediction error of the Class C
+	// models. We assert the robust property: the best Class C model is
+	// trained on PA4.
+	c := classC(t)
+	best := c.Models[0]
+	for _, m := range c.Models[1:] {
+		if m.Errors.Avg < best.Errors.Avg {
+			best = m
+		}
+	}
+	pa4 := map[string]bool{}
+	for _, n := range c.PA4 {
+		pa4[n] = true
+	}
+	for _, p := range best.PMCs {
+		if !pa4[p] {
+			t.Errorf("best Class C model %s uses non-PA4 PMC %s", best.Name, p)
+		}
+	}
+}

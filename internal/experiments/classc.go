@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"fmt"
+
+	"additivity/internal/core"
+	"additivity/internal/ml"
+)
+
+// ClassCResult holds the Class C artifacts: the online (4-PMC) sets and
+// the six models of Table 7b.
+type ClassCResult struct {
+	PA4    []string // four most energy-correlated PMCs from PA
+	PNA4   []string // four most energy-correlated PMCs from PNA
+	Models []ModelResult
+}
+
+// RunClassC executes the Class C experiment on the Class B datasets:
+// since only four PMCs can be collected in a single application run, it
+// builds PA4 (four most correlated additive PMCs) and PNA4 (four most
+// correlated non-additive PMCs) and compares the resulting models.
+func RunClassC(b *ClassBResult) (*ClassCResult, error) {
+	// Correlations were computed over the full Class B dataset; rank
+	// within each candidate set by the stored values.
+	pa4 := topByStoredCorrelation(b, PAPMCs, 4)
+	pna4 := topByStoredCorrelation(b, PNAPMCs, 4)
+
+	seed := b.cfg.Seed
+	res := &ClassCResult{PA4: pa4, PNA4: pna4}
+	for _, mc := range []struct {
+		name  string
+		pmcs  []string
+		model ml.Regressor
+	}{
+		{"LR-A4", pa4, ml.NewLinearRegression()},
+		{"LR-NA4", pna4, ml.NewLinearRegression()},
+		{"RF-A4", pa4, ml.NewRandomForest(seed + 20)},
+		{"RF-NA4", pna4, ml.NewRandomForest(seed + 21)},
+		{"NN-A4", pa4, ml.NewNeuralNetwork(seed + 22)},
+		{"NN-NA4", pna4, ml.NewNeuralNetwork(seed + 23)},
+	} {
+		r, err := fitEval(b.Train, b.Test, mc.pmcs, mc.model)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", mc.name, err)
+		}
+		r.Name = mc.name
+		res.Models = append(res.Models, r)
+	}
+	return res, nil
+}
+
+// topByStoredCorrelation ranks candidate PMCs by |correlation| using the
+// Class B correlation table.
+func topByStoredCorrelation(b *ClassBResult, candidates []string, k int) []string {
+	ranked := make([]core.CorrelationRank, 0, len(candidates))
+	for _, name := range candidates {
+		ranked = append(ranked, core.CorrelationRank{Name: name, Correlation: b.Correlations[name]})
+	}
+	// Selection sort by |corr| descending with name tie-break — small n.
+	for i := 0; i < len(ranked); i++ {
+		best := i
+		for j := i + 1; j < len(ranked); j++ {
+			ai, aj := abs(ranked[j].Correlation), abs(ranked[best].Correlation)
+			if ai > aj || (ai == aj && ranked[j].Name < ranked[best].Name) {
+				best = j
+			}
+		}
+		ranked[i], ranked[best] = ranked[best], ranked[i]
+	}
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	out := make([]string, k)
+	for i := 0; i < k; i++ {
+		out[i] = ranked[i].Name
+	}
+	return out
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Table7b renders the Class C model accuracies.
+func (r *ClassCResult) Table7b() *Table {
+	t := &Table{
+		Title:   "Table 7b. Class C: four-PMC online models on PA4 vs PNA4",
+		Headers: []string{"Model", "PMCs", "Prediction errors (min, avg, max)"},
+	}
+	for _, m := range r.Models {
+		set := "PA4"
+		for _, p := range r.PNA4 {
+			if len(m.PMCs) > 0 && m.PMCs[0] == p {
+				set = "PNA4"
+				break
+			}
+		}
+		t.AddRow(m.Name, set, fmtErr(m.Errors.Min, m.Errors.Avg, m.Errors.Max))
+	}
+	return t
+}
+
+// Model returns the named model result.
+func (r *ClassCResult) Model(name string) (ModelResult, bool) {
+	for _, m := range r.Models {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return ModelResult{}, false
+}

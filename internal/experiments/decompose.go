@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+
+	"additivity/internal/dataset"
+	"additivity/internal/ml"
+)
+
+// Decomposition is a per-PMC breakdown of a model's predicted dynamic
+// energy for one application — the fine-grained component attribution
+// that the paper's introduction names as the reason PMC models are
+// "ideal fundamental building blocks for application-level energy
+// optimization" (power meters can only see the total).
+type Decomposition struct {
+	App        string
+	PredictedJ float64
+	MeasuredJ  float64
+	// Shares maps each PMC to its fraction of the predicted energy.
+	Shares map[string]float64
+}
+
+// DecomposeEnergy trains the paper's linear model on the training split
+// and returns per-PMC energy decompositions for every point of the test
+// split.
+func DecomposeEnergy(train, test *dataset.Dataset, pmcs []string) ([]Decomposition, error) {
+	Xtr, ytr, err := train.Matrix(pmcs)
+	if err != nil {
+		return nil, err
+	}
+	lr := ml.NewLinearRegression()
+	if err := lr.Fit(Xtr, ytr); err != nil {
+		return nil, err
+	}
+	Xte, _, err := test.Matrix(pmcs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Decomposition, 0, len(test.Points))
+	for i, p := range test.Points {
+		contrib, err := lr.Contributions(Xte[i])
+		if err != nil {
+			return nil, err
+		}
+		pred, err := lr.Predict(Xte[i])
+		if err != nil {
+			return nil, err
+		}
+		d := Decomposition{
+			App:        p.App,
+			PredictedJ: pred,
+			MeasuredJ:  p.EnergyJ,
+			Shares:     make(map[string]float64, len(pmcs)),
+		}
+		for j, name := range pmcs {
+			if pred > 0 {
+				d.Shares[name] = contrib[j] / pred
+			}
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+// DecompositionTable renders decompositions as a table: one row per
+// application, one column per contributing PMC.
+func DecompositionTable(decs []Decomposition, pmcs []string) *Table {
+	// Only show PMCs that contribute somewhere (NNLS zeroes the rest).
+	var active []string
+	for _, name := range pmcs {
+		for _, d := range decs {
+			if d.Shares[name] > 1e-6 {
+				active = append(active, name)
+				break
+			}
+		}
+	}
+	headers := append([]string{"Application", "Measured J", "Predicted J"}, active...)
+	t := &Table{
+		Title:   "Per-PMC decomposition of predicted dynamic energy",
+		Headers: headers,
+	}
+	for _, d := range decs {
+		row := []string{d.App, fmtG(d.MeasuredJ), fmtG(d.PredictedJ)}
+		for _, name := range active {
+			row = append(row, fmt.Sprintf("%.1f%%", 100*d.Shares[name]))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestDecomposeEnergy(t *testing.T) {
+	b := classB(t)
+	decs, err := DecomposeEnergy(b.Train, b.Test, PAPMCs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decs) != b.Test.Len() {
+		t.Fatalf("decompositions = %d, want %d", len(decs), b.Test.Len())
+	}
+	for _, d := range decs {
+		// Shares of a zero-intercept linear model sum to 1 exactly.
+		sum := 0.0
+		for _, s := range d.Shares {
+			if s < -1e-9 {
+				t.Errorf("%s: negative share %v", d.App, s)
+			}
+			sum += s
+		}
+		if math.Abs(sum-1) > 1e-6 {
+			t.Errorf("%s: shares sum to %v", d.App, sum)
+		}
+		if d.PredictedJ <= 0 || d.MeasuredJ <= 0 {
+			t.Errorf("%s: degenerate energies %v/%v", d.App, d.PredictedJ, d.MeasuredJ)
+		}
+	}
+
+	// DGEMM's energy is flop-dominated; its FP share must be the largest
+	// single contributor for at least one DGEMM test point.
+	foundDGEMM := false
+	for _, d := range decs {
+		if !strings.HasPrefix(d.App, "mkl-dgemm") {
+			continue
+		}
+		foundDGEMM = true
+		fp := d.Shares["FP_ARITH_INST_RETIRED_DOUBLE"]
+		for name, s := range d.Shares {
+			if name != "FP_ARITH_INST_RETIRED_DOUBLE" && s > fp+0.3 {
+				t.Errorf("%s: %s share %.2f dwarfs FP share %.2f", d.App, name, s, fp)
+			}
+		}
+		break
+	}
+	if !foundDGEMM {
+		t.Skip("no DGEMM point in the test split")
+	}
+}
+
+func TestDecompositionTable(t *testing.T) {
+	b := classB(t)
+	decs, err := DecomposeEnergy(b.Train, b.Test.Subset([]int{0, 1, 2}), PAPMCs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := DecompositionTable(decs, PAPMCs)
+	out := tbl.Render()
+	if !strings.Contains(out, "Measured J") || len(tbl.Rows) != 3 {
+		t.Errorf("decomposition table malformed:\n%s", out)
+	}
+	// NNLS zeroes some PMCs; the table must drop all-zero columns.
+	if len(tbl.Headers) >= 3+len(PAPMCs) {
+		t.Errorf("table shows %d PMC columns; zero columns not dropped", len(tbl.Headers)-3)
+	}
+}

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+
+	"additivity/internal/dataset"
+	"additivity/internal/machine"
+	"additivity/internal/ml"
+	"additivity/internal/pmc"
+	"additivity/internal/workload"
+)
+
+// PhaseShare is one phase of a compound application with its predicted
+// and true dynamic-energy share.
+type PhaseShare struct {
+	Phase      string
+	PredictedJ float64
+	TrueJ      float64
+}
+
+// PhaseDecomposition attributes a compound run's energy to its phases.
+// This is the capability the paper's introduction motivates: a power
+// meter sees only the total, but a PMC model evaluated per component
+// (here, per phase) decomposes it — the key input to data-partitioning
+// algorithms. Decomposition is only trustworthy when the model's PMCs are
+// additive; with non-additive predictors the per-phase collections do not
+// sum to the compound's behaviour.
+type PhaseDecomposition struct {
+	Compound   string
+	Phases     []PhaseShare
+	TotalPred  float64
+	TotalTrueJ float64
+}
+
+// DecomposeCompound predicts each phase's energy by collecting the
+// model's PMCs for the base applications separately, and compares against
+// the simulator's ground-truth per-phase energies of an actual compound
+// run.
+func DecomposeCompound(m *machine.Machine, col *pmc.Collector,
+	model ml.Regressor, pmcs []string, comp workload.CompoundApp) (*PhaseDecomposition, error) {
+	events, err := findEvents(m.Spec, pmcs)
+	if err != nil {
+		return nil, err
+	}
+	run := m.RunCompound(comp)
+	if len(run.PhaseStats) != len(comp.Parts) {
+		return nil, fmt.Errorf("experiments: run has %d phases, compound %d parts",
+			len(run.PhaseStats), len(comp.Parts))
+	}
+	out := &PhaseDecomposition{Compound: comp.Name(), TotalTrueJ: run.TrueDynamicJoules}
+	for i, part := range comp.Parts {
+		counts, _, err := col.Collect(events, part)
+		if err != nil {
+			return nil, err
+		}
+		x := make([]float64, len(pmcs))
+		for j, name := range pmcs {
+			x[j] = counts[name]
+		}
+		pred, err := model.Predict(x)
+		if err != nil {
+			return nil, err
+		}
+		out.Phases = append(out.Phases, PhaseShare{
+			Phase:      part.Name(),
+			PredictedJ: pred,
+			TrueJ:      run.PhaseStats[i].DynamicJoules,
+		})
+		out.TotalPred += pred
+	}
+	return out, nil
+}
+
+// PhaseTable renders a decomposition.
+func PhaseTable(d *PhaseDecomposition) *Table {
+	t := &Table{
+		Title:   fmt.Sprintf("Energy decomposition of %s", d.Compound),
+		Headers: []string{"Phase", "predicted J", "true J", "pred share", "true share"},
+	}
+	for _, p := range d.Phases {
+		t.AddRow(p.Phase, fmtG(p.PredictedJ), fmtG(p.TrueJ),
+			fmt.Sprintf("%.1f%%", 100*p.PredictedJ/d.TotalPred),
+			fmt.Sprintf("%.1f%%", 100*p.TrueJ/d.TotalTrueJ))
+	}
+	t.AddRow("total", fmtG(d.TotalPred), fmtG(d.TotalTrueJ), "", "")
+	return t
+}
+
+// TrainPhaseModel is a convenience that fits the paper's linear model on
+// a base-application dataset for use with DecomposeCompound.
+func TrainPhaseModel(m *machine.Machine, col *pmc.Collector, pmcs []string,
+	bases []workload.App) (ml.Regressor, error) {
+	events, err := findEvents(m.Spec, pmcs)
+	if err != nil {
+		return nil, err
+	}
+	ds, err := dataset.NewBuilder(m, col, events).Build(bases, nil)
+	if err != nil {
+		return nil, err
+	}
+	X, y, err := ds.Matrix(pmcs)
+	if err != nil {
+		return nil, err
+	}
+	lr := ml.NewLinearRegression()
+	if err := lr.Fit(X, y); err != nil {
+		return nil, err
+	}
+	return lr, nil
+}

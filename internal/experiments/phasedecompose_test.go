@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"additivity/internal/machine"
+	"additivity/internal/platform"
+	"additivity/internal/pmc"
+	"additivity/internal/workload"
+)
+
+func TestDecomposeCompoundWithAdditivePMCs(t *testing.T) {
+	spec := platform.Skylake()
+	m := machine.New(spec, 20190807)
+	col := pmc.NewCollector(m, 20190807)
+
+	bases := workload.SizeSweep(workload.DGEMM(), 6400, 20000, 800)
+	bases = append(bases, workload.SizeSweep(workload.FFT(), 22400, 35000, 900)...)
+	model, err := TrainPhaseModel(m, col, PAPMCs, bases)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	comp := workload.CompoundApp{Parts: []workload.App{
+		{Workload: workload.DGEMM(), Size: 12800},
+		{Workload: workload.FFT(), Size: 28800},
+	}}
+	d, err := DecomposeCompound(m, col, model, PAPMCs, comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Phases) != 2 {
+		t.Fatalf("phases = %d", len(d.Phases))
+	}
+	// With additive PMCs, per-phase predictions track the true phase
+	// energies and the sum tracks the compound total.
+	for _, p := range d.Phases {
+		rel := math.Abs(p.PredictedJ-p.TrueJ) / p.TrueJ
+		if rel > 0.15 {
+			t.Errorf("%s: predicted %.1f J vs true %.1f J (%.0f%% off)",
+				p.Phase, p.PredictedJ, p.TrueJ, 100*rel)
+		}
+	}
+	totalRel := math.Abs(d.TotalPred-d.TotalTrueJ) / d.TotalTrueJ
+	if totalRel > 0.10 {
+		t.Errorf("total predicted %.1f J vs true %.1f J (%.0f%% off)",
+			d.TotalPred, d.TotalTrueJ, 100*totalRel)
+	}
+	out := PhaseTable(d).Render()
+	if !strings.Contains(out, "true share") || !strings.Contains(out, "total") {
+		t.Errorf("phase table malformed:\n%s", out)
+	}
+}
+
+func TestDecomposeCompoundRejectsUnknownPMC(t *testing.T) {
+	spec := platform.Skylake()
+	m := machine.New(spec, 1)
+	col := pmc.NewCollector(m, 1)
+	comp := workload.CompoundApp{Parts: []workload.App{
+		{Workload: workload.DGEMM(), Size: 6400},
+		{Workload: workload.FFT(), Size: 22400},
+	}}
+	if _, err := DecomposeCompound(m, col, nil, []string{"NOPE"}, comp); err == nil {
+		t.Error("unknown PMC accepted")
+	}
+}

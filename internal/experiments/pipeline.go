@@ -1,0 +1,252 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"additivity/internal/core"
+	"additivity/internal/dataset"
+	"additivity/internal/machine"
+	"additivity/internal/ml"
+	"additivity/internal/platform"
+	"additivity/internal/pmc"
+	"additivity/internal/workload"
+)
+
+// Pipeline is the end-to-end workflow of the paper's tooling (the
+// SLOPE-PMC repository): test candidate PMCs for additivity, select a
+// register-budget-sized subset by additivity-then-correlation, train an
+// energy model on profiling data, evaluate it, and package the result
+// for online deployment.
+type PipelineConfig struct {
+	Platform string // "haswell" or "skylake"
+	Seed     int64
+	// Candidates are the PMC names considered; empty means the paper's
+	// Table-2 or Table-6 sets for the platform.
+	Candidates []string
+	// MaxPMCs is the online register budget (default 4).
+	MaxPMCs int
+	// TolerancePct is the additivity tolerance (default 5).
+	TolerancePct float64
+	// Model selects the family: "lr" (default), "rf" or "nn".
+	Model string
+	// Compounds sizes the additivity suite (default 20).
+	Compounds int
+}
+
+func (c *PipelineConfig) fill() error {
+	if c.Platform == "" {
+		c.Platform = "skylake"
+	}
+	if c.Seed == 0 {
+		c.Seed = DefaultSeed + 3
+	}
+	if c.MaxPMCs == 0 {
+		c.MaxPMCs = 4
+	}
+	if c.TolerancePct == 0 {
+		c.TolerancePct = 5
+	}
+	if c.Model == "" {
+		c.Model = "lr"
+	}
+	if c.Compounds == 0 {
+		c.Compounds = 20
+	}
+	switch c.Model {
+	case "lr", "rf", "nn":
+	default:
+		return fmt.Errorf("experiments: unknown model %q", c.Model)
+	}
+	return nil
+}
+
+// PipelineResult is the pipeline's full outcome.
+type PipelineResult struct {
+	Platform string
+	Verdicts []core.Verdict
+	Selected []string
+	Model    ml.Regressor
+	Train    ml.ErrorStats
+	Test     ml.ErrorStats
+}
+
+// RunPipeline executes the workflow on the platform's default experiment
+// protocol (diverse suite on Haswell, DGEMM+FFT sweep on Skylake).
+func RunPipeline(cfg PipelineConfig) (*PipelineResult, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	spec, err := platform.ByName(cfg.Platform)
+	if err != nil {
+		return nil, err
+	}
+	m := machine.New(spec, cfg.Seed)
+	col := pmc.NewCollector(m, cfg.Seed)
+
+	candidates := cfg.Candidates
+	if len(candidates) == 0 {
+		if spec.Name == "haswell" {
+			candidates = ClassAPMCs
+		} else {
+			candidates = append(append([]string{}, PAPMCs...), PNAPMCs...)
+		}
+	}
+	events, err := findEvents(spec, candidates)
+	if err != nil {
+		return nil, err
+	}
+
+	// Stage 1: additivity test.
+	var bases []workload.App
+	var compounds []workload.CompoundApp
+	if spec.Name == "haswell" {
+		bases = workload.BaseApps(workload.DiverseSuite())
+		compounds = workload.RandomCompounds(bases, cfg.Compounds, cfg.Seed)
+	} else {
+		bases = append(bases, workload.SizeSweep(workload.DGEMM(), 6400, 38400, 256)...)
+		bases = append(bases, workload.SizeSweep(workload.FFT(), 22400, 41536, 256)...)
+		var addBase []workload.App
+		addBase = append(addBase, workload.SizeSweep(workload.DGEMM(), 6500, 20000, 562)...)
+		addBase = append(addBase, workload.SizeSweep(workload.FFT(), 22400, 29000, 275)...)
+		compounds = workload.RandomCompounds(addBase, cfg.Compounds, cfg.Seed)
+	}
+	checker := core.NewChecker(col, core.Config{
+		ToleranceFrac: cfg.TolerancePct / 100, Reps: 5, ReproCVMax: 0.20,
+	})
+	verdicts, err := checker.Check(events, compounds)
+	if err != nil {
+		return nil, err
+	}
+
+	// Stage 2: profiling dataset.
+	builder := dataset.NewBuilder(m, col, events)
+	full, err := builder.Build(bases, nil)
+	if err != nil {
+		return nil, err
+	}
+	testN := full.Len() / 5
+	if testN < 1 {
+		return nil, errors.New("experiments: profiling dataset too small")
+	}
+	train, test, err := full.Split(testN, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	// Stage 3: selection — additive first, then correlation.
+	selected, err := core.SelectAdditiveCorrelated(verdicts,
+		full.FeatureColumns(), full.Energies(), cfg.TolerancePct, cfg.MaxPMCs)
+	if err != nil {
+		return nil, err
+	}
+
+	// Stage 4: train and evaluate.
+	var model ml.Regressor
+	switch cfg.Model {
+	case "lr":
+		model = ml.NewLinearRegression()
+	case "rf":
+		model = ml.NewRandomForest(cfg.Seed + 40)
+	case "nn":
+		model = ml.NewNeuralNetwork(cfg.Seed + 41)
+	}
+	Xtr, ytr, err := train.Matrix(selected)
+	if err != nil {
+		return nil, err
+	}
+	if err := model.Fit(Xtr, ytr); err != nil {
+		return nil, err
+	}
+	trainStats, err := ml.Evaluate(model, Xtr, ytr)
+	if err != nil {
+		return nil, err
+	}
+	Xte, yte, err := test.Matrix(selected)
+	if err != nil {
+		return nil, err
+	}
+	testStats, err := ml.Evaluate(model, Xte, yte)
+	if err != nil {
+		return nil, err
+	}
+
+	return &PipelineResult{
+		Platform: spec.Name,
+		Verdicts: verdicts,
+		Selected: selected,
+		Model:    model,
+		Train:    trainStats,
+		Test:     testStats,
+	}, nil
+}
+
+// Predictor is a deployable online energy model: the platform it was
+// trained for, the PMC names to collect (guaranteed to fit the register
+// budget the pipeline was given), and the trained model.
+type Predictor struct {
+	Platform string
+	PMCs     []string
+	Model    ml.Regressor
+}
+
+// predictorEnvelope is the serialised form.
+type predictorEnvelope struct {
+	Platform string          `json:"platform"`
+	PMCs     []string        `json:"pmcs"`
+	Model    json.RawMessage `json:"model"`
+}
+
+// SavePredictor packages the pipeline's model for deployment.
+func (r *PipelineResult) SavePredictor(w io.Writer) error {
+	var buf bytes.Buffer
+	if err := ml.SaveModel(&buf, r.Model); err != nil {
+		return err
+	}
+	return json.NewEncoder(w).Encode(predictorEnvelope{
+		Platform: r.Platform,
+		PMCs:     r.Selected,
+		Model:    json.RawMessage(buf.Bytes()),
+	})
+}
+
+// LoadPredictor reads a predictor package.
+func LoadPredictor(rd io.Reader) (*Predictor, error) {
+	var env predictorEnvelope
+	if err := json.NewDecoder(rd).Decode(&env); err != nil {
+		return nil, err
+	}
+	if env.Platform == "" || len(env.PMCs) == 0 {
+		return nil, errors.New("experiments: predictor package incomplete")
+	}
+	model, err := ml.LoadModel(bytes.NewReader(env.Model))
+	if err != nil {
+		return nil, err
+	}
+	return &Predictor{Platform: env.Platform, PMCs: env.PMCs, Model: model}, nil
+}
+
+// PredictApp collects the predictor's PMCs for an application (one run if
+// they fit the registers) and returns the predicted dynamic energy.
+func (p *Predictor) PredictApp(col *pmc.Collector, parts ...workload.App) (float64, error) {
+	if col.Machine.Spec.Name != p.Platform {
+		return 0, fmt.Errorf("experiments: predictor trained for %s, collector on %s",
+			p.Platform, col.Machine.Spec.Name)
+	}
+	events, err := findEvents(col.Machine.Spec, p.PMCs)
+	if err != nil {
+		return 0, err
+	}
+	counts, _, err := col.Collect(events, parts...)
+	if err != nil {
+		return 0, err
+	}
+	x := make([]float64, len(p.PMCs))
+	for i, name := range p.PMCs {
+		x[i] = counts[name]
+	}
+	return p.Model.Predict(x)
+}

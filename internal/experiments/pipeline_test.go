@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"additivity/internal/machine"
+	"additivity/internal/platform"
+	"additivity/internal/pmc"
+	"additivity/internal/workload"
+)
+
+var pipelineCache *PipelineResult
+
+func skylakePipeline(t *testing.T) *PipelineResult {
+	t.Helper()
+	if pipelineCache == nil {
+		r, err := RunPipeline(PipelineConfig{Platform: "skylake", Compounds: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pipelineCache = r
+	}
+	return pipelineCache
+}
+
+func TestPipelineSelectsAdditivePMCs(t *testing.T) {
+	r := skylakePipeline(t)
+	if len(r.Selected) != 4 {
+		t.Fatalf("selected %d PMCs, want 4", len(r.Selected))
+	}
+	// Every selected PMC must come from the additive set: candidates
+	// were PA+PNA, and the PNA PMCs all fail the test.
+	pna := map[string]bool{}
+	for _, n := range PNAPMCs {
+		pna[n] = true
+	}
+	for _, name := range r.Selected {
+		if pna[name] {
+			t.Errorf("pipeline selected non-additive PMC %s", name)
+		}
+	}
+	// The four PMCs must fit one collection run.
+	spec := platform.Skylake()
+	events, err := findEvents(spec, r.Selected)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups, err := pmc.ScheduleGroups(events, spec.Registers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 1 {
+		t.Errorf("selected PMCs need %d runs; the online budget is 1", len(groups))
+	}
+}
+
+func TestPipelineModelQuality(t *testing.T) {
+	r := skylakePipeline(t)
+	if r.Test.Avg > 30 {
+		t.Errorf("pipeline test avg error %.1f%%, want reasonable", r.Test.Avg)
+	}
+	if r.Train.Avg <= 0 && r.Test.Avg <= 0 {
+		t.Error("degenerate error stats")
+	}
+}
+
+func TestPipelineRejectsBadConfig(t *testing.T) {
+	if _, err := RunPipeline(PipelineConfig{Model: "svm"}); err == nil {
+		t.Error("unknown model accepted")
+	}
+	if _, err := RunPipeline(PipelineConfig{Platform: "zen"}); err == nil {
+		t.Error("unknown platform accepted")
+	}
+	if _, err := RunPipeline(PipelineConfig{
+		Platform: "skylake", Candidates: []string{"NOT_A_COUNTER"},
+	}); err == nil {
+		t.Error("unknown candidate accepted")
+	}
+}
+
+func TestPredictorRoundTripAndPrediction(t *testing.T) {
+	r := skylakePipeline(t)
+	var buf bytes.Buffer
+	if err := r.SavePredictor(&buf); err != nil {
+		t.Fatal(err)
+	}
+	p, err := LoadPredictor(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Platform != "skylake" || len(p.PMCs) != 4 {
+		t.Fatalf("loaded predictor %+v", p)
+	}
+
+	// Deploy: predict a fresh application's dynamic energy and compare
+	// with the metered value.
+	m := machine.New(platform.Skylake(), 777)
+	col := pmc.NewCollector(m, 777)
+	app := workload.App{Workload: workload.DGEMM(), Size: 20032}
+	pred, err := p.PredictApp(col, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meas := m.MeasureDynamicEnergy(machine.DefaultMethodology(), app)
+	rel := math.Abs(pred-meas.MeanJoules) / meas.MeanJoules
+	if rel > 0.30 {
+		t.Errorf("deployed predictor %.1f J vs measured %.1f J (%.0f%% off)",
+			pred, meas.MeanJoules, 100*rel)
+	}
+
+	// Platform mismatch must be rejected.
+	wrongCol := pmc.NewCollector(machine.New(platform.Haswell(), 1), 1)
+	if _, err := p.PredictApp(wrongCol, app); err == nil {
+		t.Error("cross-platform prediction accepted")
+	}
+}
+
+func TestLoadPredictorRejectsGarbage(t *testing.T) {
+	cases := []string{
+		``,
+		`{}`,
+		`{"platform":"skylake","pmcs":[]}`,
+		`{"platform":"skylake","pmcs":["X"],"model":{"family":"martian","params":{}}}`,
+	}
+	for _, c := range cases {
+		if _, err := LoadPredictor(strings.NewReader(c)); err == nil {
+			t.Errorf("LoadPredictor accepted %q", c)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"additivity/internal/machine"
+	"additivity/internal/platform"
+	"additivity/internal/stats"
+	"additivity/internal/workload"
+)
+
+// EnergyAdditivityResult verifies the experimental observation the whole
+// additivity criterion is built on (paper §4): the dynamic energy of a
+// serial execution of two applications equals the sum of the dynamic
+// energies of the applications run separately. Each entry compares
+// metered sample means, exactly as the PMC test does.
+type EnergyAdditivityResult struct {
+	Compound  string
+	BaseSumJ  float64
+	MeteredJ  float64
+	ErrorPct  float64
+	CILowPct  float64 // bootstrap CI of the error over the measurement samples
+	CIHighPct float64
+}
+
+// EnergyPremiseConfig parameterises the premise check.
+type EnergyPremiseConfig struct {
+	Platform  string
+	Seed      int64
+	Compounds int
+}
+
+func (c *EnergyPremiseConfig) fill() {
+	if c.Platform == "" {
+		c.Platform = "haswell"
+	}
+	if c.Seed == 0 {
+		c.Seed = DefaultSeed + 4
+	}
+	if c.Compounds == 0 {
+		c.Compounds = 12
+	}
+}
+
+// VerifyEnergyAdditivity measures the premise over a compound suite.
+func VerifyEnergyAdditivity(cfg EnergyPremiseConfig) ([]EnergyAdditivityResult, error) {
+	cfg.fill()
+	spec, err := platform.ByName(cfg.Platform)
+	if err != nil {
+		return nil, err
+	}
+	m := machine.New(spec, cfg.Seed)
+	meth := machine.DefaultMethodology()
+
+	var compounds []workload.CompoundApp
+	if spec.Name == "haswell" {
+		bases := workload.BaseApps(workload.DiverseSuite())
+		compounds = workload.RandomCompounds(bases, cfg.Compounds, cfg.Seed)
+	} else {
+		var bases []workload.App
+		bases = append(bases, workload.SizeSweep(workload.DGEMM(), 6500, 20000, 562)...)
+		bases = append(bases, workload.SizeSweep(workload.FFT(), 22400, 29000, 275)...)
+		compounds = workload.RandomCompounds(bases, cfg.Compounds, cfg.Seed)
+	}
+
+	// Measure each distinct base application once.
+	baseMeans := map[string]machine.Measurement{}
+	for _, c := range compounds {
+		for _, p := range c.Parts {
+			if _, ok := baseMeans[p.Name()]; !ok {
+				baseMeans[p.Name()] = m.MeasureDynamicEnergy(meth, p)
+			}
+		}
+	}
+
+	out := make([]EnergyAdditivityResult, 0, len(compounds))
+	for i, c := range compounds {
+		comp := m.MeasureDynamicEnergy(meth, c.Parts...)
+		baseSum := 0.0
+		for _, p := range c.Parts {
+			baseSum += baseMeans[p.Name()].MeanJoules
+		}
+		errPct := stats.AdditivityError(baseSum, 0, comp.MeanJoules)
+		// Bootstrap the error over the compound's measurement samples.
+		lo, hi := stats.BootstrapCI(comp.Samples, func(xs []float64) float64 {
+			return stats.AdditivityError(baseSum, 0, stats.Mean(xs))
+		}, 300, 0.05, cfg.Seed+int64(i))
+		out = append(out, EnergyAdditivityResult{
+			Compound:  c.Name(),
+			BaseSumJ:  baseSum,
+			MeteredJ:  comp.MeanJoules,
+			ErrorPct:  errPct,
+			CILowPct:  lo,
+			CIHighPct: hi,
+		})
+	}
+	return out, nil
+}
+
+// EnergyPremiseTable renders the premise verification.
+func EnergyPremiseTable(results []EnergyAdditivityResult) *Table {
+	t := &Table{
+		Title:   "Energy-conservation premise (§4): dynamic energy of serial compositions",
+		Headers: []string{"Compound", "Σ bases (J)", "compound (J)", "err %", "95% CI"},
+	}
+	for _, r := range results {
+		t.AddRow(r.Compound, fmtG(r.BaseSumJ), fmtG(r.MeteredJ),
+			fmtG(r.ErrorPct), "["+fmtG(r.CILowPct)+", "+fmtG(r.CIHighPct)+"]")
+	}
+	return t
+}
+
+// MaxEnergyAdditivityError returns the suite's worst error.
+func MaxEnergyAdditivityError(results []EnergyAdditivityResult) float64 {
+	max := 0.0
+	for _, r := range results {
+		if r.ErrorPct > max {
+			max = r.ErrorPct
+		}
+	}
+	return max
+}

@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEnergyAdditivityPremise(t *testing.T) {
+	// The criterion's foundation: dynamic energy is additive over serial
+	// composition within the 5% tolerance — even though several PMCs on
+	// the same runs are wildly non-additive.
+	for _, platformName := range []string{"haswell", "skylake"} {
+		results, err := VerifyEnergyAdditivity(EnergyPremiseConfig{Platform: platformName})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(results) != 12 {
+			t.Fatalf("%s: %d results", platformName, len(results))
+		}
+		worst := MaxEnergyAdditivityError(results)
+		if worst > 5 {
+			t.Errorf("%s: energy additivity violated: worst error %.2f%% > 5%%",
+				platformName, worst)
+		}
+		t.Logf("%s: worst energy additivity error %.2f%%", platformName, worst)
+		for _, r := range results {
+			if r.CILowPct > r.ErrorPct+1e-9 || r.CIHighPct < r.ErrorPct-1e-9 {
+				// The bootstrap CI need not strictly bracket the point
+				// estimate, but a gross inversion means a bug.
+				if r.CILowPct > r.CIHighPct {
+					t.Errorf("%s: inverted CI [%v, %v]", r.Compound, r.CILowPct, r.CIHighPct)
+				}
+			}
+		}
+	}
+}
+
+func TestEnergyPremiseTable(t *testing.T) {
+	results, err := VerifyEnergyAdditivity(EnergyPremiseConfig{Platform: "haswell", Compounds: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := EnergyPremiseTable(results).Render()
+	if !strings.Contains(out, "95% CI") || len(strings.Split(out, "\n")) < 5 {
+		t.Errorf("premise table malformed:\n%s", out)
+	}
+}

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"additivity/internal/energy"
+	"additivity/internal/machine"
+	"additivity/internal/platform"
+	"additivity/internal/stats"
+	"additivity/internal/workload"
+)
+
+// SensorComparison contrasts the three energy-measurement approaches the
+// paper's introduction ranks: system-level physical meters (ground
+// truth), on-chip sensor estimates (unproven accuracy, workload-dependent
+// bias), and PMC-based predictive models (the paper's subject). One row
+// per application.
+type SensorComparison struct {
+	App          string
+	TrueJ        float64
+	MeterJ       float64
+	MeterErrPct  float64
+	SensorJ      float64
+	SensorErrPct float64
+}
+
+// CompareSensors measures a representative slice of the suite with both
+// pipelines.
+func CompareSensors(platformName string, seed int64) ([]SensorComparison, error) {
+	spec, err := platform.ByName(platformName)
+	if err != nil {
+		return nil, err
+	}
+	m := machine.New(spec, seed)
+	sensor := energy.NewRAPLSensor(seed)
+	meth := machine.DefaultMethodology()
+
+	apps := []workload.App{
+		{Workload: workload.DGEMM(), Size: 6144},
+		{Workload: workload.FFT(), Size: 24576},
+		{Workload: workload.NASEP(), Size: 816},
+		{Workload: workload.Stream(), Size: 456},
+		{Workload: workload.NASCG(), Size: 2400},
+		{Workload: workload.HPCG(), Size: 208},
+		{Workload: workload.MonteCarlo(), Size: 456},
+		{Workload: workload.GraphBFS(), Size: 392},
+	}
+	out := make([]SensorComparison, 0, len(apps))
+	for _, a := range apps {
+		run := m.Run(a)
+		meas := m.MeasureDynamicEnergy(meth, a)
+		sensed := sensor.DynamicJoules(run.Activity, m.Coeff)
+		out = append(out, SensorComparison{
+			App:          a.Name(),
+			TrueJ:        run.TrueDynamicJoules,
+			MeterJ:       meas.MeanJoules,
+			MeterErrPct:  stats.PercentageError(meas.MeanJoules, run.TrueDynamicJoules),
+			SensorJ:      sensed,
+			SensorErrPct: stats.PercentageError(sensed, run.TrueDynamicJoules),
+		})
+	}
+	return out, nil
+}
+
+// SensorTable renders the comparison.
+func SensorTable(rows []SensorComparison) *Table {
+	t := &Table{
+		Title:   "Measurement approaches (§1): wall meter vs on-chip sensor estimate",
+		Headers: []string{"Application", "true J", "meter J", "meter err %", "sensor J", "sensor err %"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.App, fmtG(r.TrueJ), fmtG(r.MeterJ), fmtG(r.MeterErrPct),
+			fmtG(r.SensorJ), fmtG(r.SensorErrPct))
+	}
+	return t
+}

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCompareSensors(t *testing.T) {
+	rows, err := CompareSensors("haswell", 20190805)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	var meterWorst, sensorWorst float64
+	memoryBoundSensorErr := 0.0
+	computeBoundSensorErr := 0.0
+	for _, r := range rows {
+		if r.MeterErrPct > meterWorst {
+			meterWorst = r.MeterErrPct
+		}
+		if r.SensorErrPct > sensorWorst {
+			sensorWorst = r.SensorErrPct
+		}
+		switch {
+		case strings.HasPrefix(r.App, "stream"):
+			memoryBoundSensorErr = r.SensorErrPct
+		case strings.HasPrefix(r.App, "nas-ep"):
+			computeBoundSensorErr = r.SensorErrPct
+		}
+	}
+	// The meter is trustworthy everywhere; the sensor is not.
+	if meterWorst > 8 {
+		t.Errorf("meter worst error %.1f%%, want small", meterWorst)
+	}
+	if sensorWorst < 12 {
+		t.Errorf("sensor worst error %.1f%%, want the documented RAPL-style bias", sensorWorst)
+	}
+	// And the sensor's bias is workload-dependent: memory-bound worse
+	// than compute-bound.
+	if memoryBoundSensorErr <= computeBoundSensorErr {
+		t.Errorf("sensor bias not workload-dependent: stream %.1f%% vs ep %.1f%%",
+			memoryBoundSensorErr, computeBoundSensorErr)
+	}
+	if out := SensorTable(rows).Render(); !strings.Contains(out, "sensor err %") {
+		t.Error("sensor table malformed")
+	}
+}
+
+func TestCompareSensorsUnknownPlatform(t *testing.T) {
+	if _, err := CompareSensors("vax", 1); err == nil {
+		t.Error("unknown platform accepted")
+	}
+}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+
+	"additivity/internal/stats"
+)
+
+// SignificanceRow reports a Welch t-test between two models' per-point
+// percentage-error distributions.
+type SignificanceRow struct {
+	A, B   string
+	MeanA  float64
+	MeanB  float64
+	T      float64
+	DF     float64
+	PValue float64
+}
+
+// CompareModels runs Welch's t-test between two evaluated models.
+func CompareModels(a, b ModelResult) (SignificanceRow, error) {
+	if len(a.PerPointErrors) == 0 || len(b.PerPointErrors) == 0 {
+		return SignificanceRow{}, fmt.Errorf("experiments: models %s/%s carry no per-point errors", a.Name, b.Name)
+	}
+	t, df, p := stats.WelchT(a.PerPointErrors, b.PerPointErrors)
+	return SignificanceRow{
+		A: a.Name, B: b.Name,
+		MeanA: stats.Mean(a.PerPointErrors),
+		MeanB: stats.Mean(b.PerPointErrors),
+		T:     t, DF: df, PValue: p,
+	}, nil
+}
+
+// Significance compares the PA and PNA models of each technique (Class B)
+// or the PA4/PNA4 models (Class C): is the accuracy gap statistically
+// meaningful, not just a difference of averages?
+func (r *ClassBResult) Significance() ([]SignificanceRow, error) {
+	return pairSignificance(r.Models, "-A", "-NA")
+}
+
+// Significance for Class C.
+func (r *ClassCResult) Significance() ([]SignificanceRow, error) {
+	return pairSignificance(r.Models, "-A4", "-NA4")
+}
+
+func pairSignificance(models []ModelResult, aSuffix, bSuffix string) ([]SignificanceRow, error) {
+	find := func(name string) (ModelResult, bool) {
+		for _, m := range models {
+			if m.Name == name {
+				return m, true
+			}
+		}
+		return ModelResult{}, false
+	}
+	var rows []SignificanceRow
+	for _, tech := range []string{"LR", "RF", "NN"} {
+		a, okA := find(tech + aSuffix)
+		b, okB := find(tech + bSuffix)
+		if !okA || !okB {
+			return nil, fmt.Errorf("experiments: missing %s model pair", tech)
+		}
+		row, err := CompareModels(a, b)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// SignificanceTable renders the comparisons.
+func SignificanceTable(rows []SignificanceRow) *Table {
+	t := &Table{
+		Title:   "Welch t-tests between per-point error distributions",
+		Headers: []string{"A", "B", "mean A %", "mean B %", "t", "p-value"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.A, r.B, fmtG(r.MeanA), fmtG(r.MeanB),
+			fmt.Sprintf("%.2f", r.T), fmt.Sprintf("%.2g", r.PValue))
+	}
+	return t
+}

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestClassBSignificance(t *testing.T) {
+	b := classB(t)
+	rows, err := b.Significance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.PValue < 0 || r.PValue > 1 {
+			t.Errorf("%s vs %s: p = %v", r.A, r.B, r.PValue)
+		}
+		if r.MeanA >= r.MeanB {
+			t.Errorf("%s mean %.2f >= %s mean %.2f", r.A, r.MeanA, r.B, r.MeanB)
+		}
+	}
+	// The LR gap (0.6%% vs 32%%) is enormous; it must be significant.
+	if rows[0].PValue > 0.001 {
+		t.Errorf("LR PA-vs-PNA p = %v, want < 0.001", rows[0].PValue)
+	}
+	out := SignificanceTable(rows).Render()
+	if !strings.Contains(out, "p-value") {
+		t.Error("significance table malformed")
+	}
+}
+
+func TestClassCSignificance(t *testing.T) {
+	c := classC(t)
+	rows, err := c.Significance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+}
+
+func TestCompareModelsRequiresPerPointErrors(t *testing.T) {
+	if _, err := CompareModels(ModelResult{Name: "x"}, ModelResult{Name: "y"}); err == nil {
+		t.Error("empty models accepted")
+	}
+}

@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"additivity/internal/core"
+	"additivity/internal/machine"
+	"additivity/internal/platform"
+	"additivity/internal/pmc"
+	"additivity/internal/stats"
+	"additivity/internal/workload"
+)
+
+// AdditivityStudy is a platform-wide additivity survey: the two-stage
+// test applied to the *whole reduced catalog*, the experiment behind the
+// paper's statement that "while many PMCs are potentially additive, a
+// considerable number of PMCs are not". It also supports tolerance
+// sensitivity — how the additive population shrinks as the tolerance
+// tightens — which the companion work (Shahid et al. 2017) reports.
+type AdditivityStudy struct {
+	Platform string
+	Verdicts []core.Verdict
+}
+
+// StudyConfig parameterises the catalog survey; zero values take
+// experiment defaults scaled for a full-catalog sweep.
+type StudyConfig struct {
+	Seed      int64
+	Compounds int // compound applications (default 20)
+	Reps      int // runs per sample mean (default 3)
+}
+
+func (c *StudyConfig) fill() {
+	if c.Seed == 0 {
+		c.Seed = DefaultSeed + 2
+	}
+	if c.Compounds == 0 {
+		c.Compounds = 20
+	}
+	if c.Reps == 0 {
+		c.Reps = 3
+	}
+}
+
+// RunAdditivityStudy surveys the platform's reduced catalog against a
+// compound suite: the diverse suite on Haswell, the DGEMM/FFT suite on
+// Skylake.
+func RunAdditivityStudy(spec *platform.Spec, cfg StudyConfig) (*AdditivityStudy, error) {
+	cfg.fill()
+	m := machine.New(spec, cfg.Seed)
+	col := pmc.NewCollector(m, cfg.Seed)
+	checker := core.NewChecker(col, core.Config{
+		ToleranceFrac: 0.05, Reps: cfg.Reps, ReproCVMax: 0.20,
+	})
+
+	var compounds []workload.CompoundApp
+	if spec.Name == "haswell" {
+		base := workload.BaseApps(workload.DiverseSuite())
+		compounds = workload.RandomCompounds(base, cfg.Compounds, cfg.Seed)
+	} else {
+		var base []workload.App
+		base = append(base, workload.SizeSweep(workload.DGEMM(), 6500, 20000, 562)...)
+		base = append(base, workload.SizeSweep(workload.FFT(), 22400, 29000, 275)...)
+		compounds = workload.RandomCompounds(base, cfg.Compounds, cfg.Seed)
+	}
+
+	verdicts, err := checker.Check(platform.ReducedCatalog(spec), compounds)
+	if err != nil {
+		return nil, err
+	}
+	return &AdditivityStudy{Platform: spec.Name, Verdicts: verdicts}, nil
+}
+
+// AdditiveCount returns how many catalog events pass the additivity test
+// at the given tolerance (in percent), requiring stage-1 reproducibility.
+func (s *AdditivityStudy) AdditiveCount(tolerancePct float64) int {
+	n := 0
+	for _, v := range s.Verdicts {
+		if v.Reproducible && v.MaxErrorPct <= tolerancePct {
+			n++
+		}
+	}
+	return n
+}
+
+// NonReproducibleCount returns how many events fail stage 1.
+func (s *AdditivityStudy) NonReproducibleCount() int {
+	n := 0
+	for _, v := range s.Verdicts {
+		if !v.Reproducible {
+			n++
+		}
+	}
+	return n
+}
+
+// SensitivityTable renders the additive population across tolerances.
+func (s *AdditivityStudy) SensitivityTable(tolerancesPct []float64) *Table {
+	t := &Table{
+		Title:   fmt.Sprintf("Additivity tolerance sensitivity — %s reduced catalog (%d events)", s.Platform, len(s.Verdicts)),
+		Headers: []string{"Tolerance (%)", "Additive PMCs", "Share (%)"},
+	}
+	total := float64(len(s.Verdicts))
+	for _, tol := range tolerancesPct {
+		n := s.AdditiveCount(tol)
+		t.AddRow(fmtG(tol), itoa(n), fmtG(100*float64(n)/total))
+	}
+	return t
+}
+
+// CategoryBreakdown returns, per event category, how many events are
+// additive at the paper's 5% tolerance versus the category total.
+func (s *AdditivityStudy) CategoryBreakdown() map[platform.Category][2]int {
+	out := map[platform.Category][2]int{}
+	for _, v := range s.Verdicts {
+		c := out[v.Event.Category]
+		if v.Additive {
+			c[0]++
+		}
+		c[1]++
+		out[v.Event.Category] = c
+	}
+	return out
+}
+
+// CategoryTable renders the per-category breakdown.
+func (s *AdditivityStudy) CategoryTable() *Table {
+	t := &Table{
+		Title:   fmt.Sprintf("Additivity by event category — %s (5%% tolerance)", s.Platform),
+		Headers: []string{"Category", "Additive", "Total"},
+	}
+	br := s.CategoryBreakdown()
+	cats := make([]platform.Category, 0, len(br))
+	for c := range br {
+		cats = append(cats, c)
+	}
+	sort.Slice(cats, func(i, j int) bool { return cats[i] < cats[j] })
+	for _, c := range cats {
+		t.AddRow(c.String(), itoa(br[c][0]), itoa(br[c][1]))
+	}
+	return t
+}
+
+// ErrorHistogram bins the catalog's max additivity errors, showing how
+// the population spreads between "cleanly additive" and "hopeless".
+func (s *AdditivityStudy) ErrorHistogram() (*stats.Histogram, error) {
+	errs := make([]float64, 0, len(s.Verdicts))
+	for _, v := range s.Verdicts {
+		errs = append(errs, v.MaxErrorPct)
+	}
+	return stats.NewHistogram([]float64{0, 1, 2, 5, 10, 20, 50, 100}, errs)
+}
+
+// WorstOffenders returns the k least additive reproducible-or-not events.
+func (s *AdditivityStudy) WorstOffenders(k int) []core.Verdict {
+	ranked := core.RankByAdditivity(s.Verdicts)
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	out := make([]core.Verdict, k)
+	copy(out, ranked[len(ranked)-k:])
+	// Reverse: worst first.
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}

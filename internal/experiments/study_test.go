@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"additivity/internal/platform"
+)
+
+var studyCache *AdditivityStudy
+
+func haswellStudy(t *testing.T) *AdditivityStudy {
+	t.Helper()
+	if studyCache == nil {
+		s, err := RunAdditivityStudy(platform.Haswell(), StudyConfig{Compounds: 12, Reps: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		studyCache = s
+	}
+	return studyCache
+}
+
+func TestStudyCoversWholeReducedCatalog(t *testing.T) {
+	s := haswellStudy(t)
+	if len(s.Verdicts) != 151 {
+		t.Errorf("study covers %d events, want 151", len(s.Verdicts))
+	}
+	if s.Platform != "haswell" {
+		t.Errorf("platform = %q", s.Platform)
+	}
+}
+
+func TestStudyManyAdditiveButConsiderableNot(t *testing.T) {
+	// The paper: "while many PMCs are potentially additive, a
+	// considerable number of PMCs are not".
+	s := haswellStudy(t)
+	additive := s.AdditiveCount(5)
+	total := len(s.Verdicts)
+	if additive < total/4 {
+		t.Errorf("only %d/%d additive at 5%%: 'many' should pass", additive, total)
+	}
+	if additive > total*9/10 {
+		t.Errorf("%d/%d additive at 5%%: a considerable number must fail", additive, total)
+	}
+	t.Logf("haswell: %d/%d additive at 5%%, %d non-reproducible",
+		additive, total, s.NonReproducibleCount())
+}
+
+func TestStudyToleranceMonotonicity(t *testing.T) {
+	s := haswellStudy(t)
+	prev := -1
+	for _, tol := range []float64{0.5, 1, 2, 5, 10, 20, 50} {
+		n := s.AdditiveCount(tol)
+		if n < prev {
+			t.Errorf("additive count not monotone: %d at tolerance %v after %d", n, tol, prev)
+		}
+		prev = n
+	}
+}
+
+func TestStudySensitivityTable(t *testing.T) {
+	s := haswellStudy(t)
+	tbl := s.SensitivityTable([]float64{1, 5, 10})
+	out := tbl.Render()
+	if !strings.Contains(out, "Tolerance") || len(tbl.Rows) != 3 {
+		t.Errorf("sensitivity table malformed:\n%s", out)
+	}
+}
+
+func TestStudyCategoryBreakdownSumsToCatalog(t *testing.T) {
+	s := haswellStudy(t)
+	total := 0
+	for _, c := range s.CategoryBreakdown() {
+		if c[0] > c[1] {
+			t.Errorf("category additive %d > total %d", c[0], c[1])
+		}
+		total += c[1]
+	}
+	if total != len(s.Verdicts) {
+		t.Errorf("category totals %d != %d verdicts", total, len(s.Verdicts))
+	}
+	if tbl := s.CategoryTable().Render(); !strings.Contains(tbl, "Category") {
+		t.Error("category table malformed")
+	}
+}
+
+func TestStudyWorstOffenders(t *testing.T) {
+	s := haswellStudy(t)
+	worst := s.WorstOffenders(5)
+	if len(worst) != 5 {
+		t.Fatalf("got %d offenders", len(worst))
+	}
+	for i := 1; i < len(worst); i++ {
+		// Worst first: non-reproducible before reproducible, then by
+		// descending error.
+		if worst[i-1].Reproducible && !worst[i].Reproducible {
+			t.Errorf("offender order wrong at %d", i)
+		}
+		if worst[i-1].Reproducible == worst[i].Reproducible &&
+			worst[i-1].MaxErrorPct < worst[i].MaxErrorPct {
+			t.Errorf("offender errors not descending at %d: %.1f < %.1f",
+				i, worst[i-1].MaxErrorPct, worst[i].MaxErrorPct)
+		}
+	}
+	if got := s.WorstOffenders(10_000); len(got) != len(s.Verdicts) {
+		t.Errorf("oversized k returned %d", len(got))
+	}
+}
+
+func TestStudyErrorHistogram(t *testing.T) {
+	s := haswellStudy(t)
+	h, err := s.ErrorHistogram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Total() != len(s.Verdicts) {
+		t.Errorf("histogram total %d != %d verdicts", h.Total(), len(s.Verdicts))
+	}
+	if out := h.Render(30); out == "" {
+		t.Error("empty histogram render")
+	}
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+
+	"additivity/internal/platform"
+	"additivity/internal/pmc"
+)
+
+// Table1 renders the platform specification table.
+func Table1() *Table {
+	h, s := platform.Haswell(), platform.Skylake()
+	t := &Table{
+		Title:   "Table 1. Specification of the Intel Haswell and Intel Skylake multicore CPUs",
+		Headers: []string{"Technical Specifications", "Intel Haswell Server", "Intel Skylake Server"},
+	}
+	row := func(name, a, b string) { t.AddRow(name, a, b) }
+	row("Processor", h.Processor, s.Processor)
+	row("OS", h.OS, s.OS)
+	row("Micro-architecture", h.Microarch, s.Microarch)
+	row("Thread(s) per core", itoa(h.ThreadsCore), itoa(s.ThreadsCore))
+	row("Cores per socket", itoa(h.CoresSocket), itoa(s.CoresSocket))
+	row("Socket(s)", itoa(h.Sockets), itoa(s.Sockets))
+	row("NUMA node(s)", itoa(h.NUMANodes), itoa(s.NUMANodes))
+	row("L1d/L1i cache", fmt.Sprintf("%d KB/%d KB", h.L1dKB, h.L1iKB), fmt.Sprintf("%d KB/%d KB", s.L1dKB, s.L1iKB))
+	row("L2 cache", fmt.Sprintf("%d KB", h.L2KB), fmt.Sprintf("%d KB", s.L2KB))
+	row("L3 cache", fmt.Sprintf("%d KB", h.L3KB), fmt.Sprintf("%d KB", s.L3KB))
+	row("Main memory", fmt.Sprintf("%d GB", h.MemoryGB), fmt.Sprintf("%d GB", s.MemoryGB))
+	row("TDP", fmt.Sprintf("%.0f W", h.TDPWatts), fmt.Sprintf("%.0f W", s.TDPWatts))
+	row("Idle Power", fmt.Sprintf("%.0f W", h.IdleWatts), fmt.Sprintf("%.0f W", s.IdleWatts))
+	return t
+}
+
+// CollectionCost summarises the PMC-collection cost on a platform: the
+// catalog sizes and the number of application runs needed to gather the
+// whole reduced catalog (53 on Haswell, 99 on Skylake).
+type CollectionCost struct {
+	Platform string
+	Offered  int
+	Reduced  int
+	Runs     int
+}
+
+// CollectionCosts computes the per-platform collection costs quoted in
+// the paper's text.
+func CollectionCosts() ([]CollectionCost, error) {
+	var out []CollectionCost
+	for _, spec := range platform.Platforms() {
+		runs, err := pmc.RunsToCollectAll(spec)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, CollectionCost{
+			Platform: spec.Name,
+			Offered:  len(platform.Catalog(spec)),
+			Reduced:  len(platform.ReducedCatalog(spec)),
+			Runs:     runs,
+		})
+	}
+	return out, nil
+}
+
+// CollectionTable renders the collection costs.
+func CollectionTable() (*Table, error) {
+	costs, err := CollectionCosts()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:   "PMC collection cost (section 5): runs needed to gather the reduced catalog",
+		Headers: []string{"Platform", "PMCs offered", "Reduced set", "Runs to collect all"},
+	}
+	for _, c := range costs {
+		t.AddRow(c.Platform, itoa(c.Offered), itoa(c.Reduced), itoa(c.Runs))
+	}
+	return t, nil
+}
+
+func itoa(n int) string { return fmt.Sprintf("%d", n) }

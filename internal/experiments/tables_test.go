@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"additivity/internal/core"
+	"additivity/internal/platform"
+)
+
+func TestTableRenderAlignment(t *testing.T) {
+	tbl := &Table{
+		Title:   "T",
+		Headers: []string{"a", "long-header", "c"},
+	}
+	tbl.AddRow("wide-cell", "x", "y")
+	tbl.AddRow("1", "2", "3")
+	out := tbl.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("rendered %d lines:\n%s", len(lines), out)
+	}
+	// All body lines align to the same width.
+	w := len(lines[1])
+	for i, l := range lines[1:] {
+		if len(strings.TrimRight(l, " ")) > w {
+			t.Errorf("line %d overflows header width:\n%s", i, out)
+		}
+	}
+	if !strings.HasPrefix(lines[0], "T") {
+		t.Errorf("title missing:\n%s", out)
+	}
+	if !strings.Contains(lines[2], "---") {
+		t.Errorf("separator missing:\n%s", out)
+	}
+}
+
+func TestTableRenderWithoutTitle(t *testing.T) {
+	tbl := &Table{Headers: []string{"x"}}
+	tbl.AddRow("1")
+	out := tbl.Render()
+	if strings.HasPrefix(out, "\n") {
+		t.Errorf("leading blank line without title:\n%q", out)
+	}
+}
+
+func TestFmtG(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0.123, "0.12"},
+		{9.87, "9.87"},
+		{12.34, "12.3"},
+		{1234.5, "1234"},
+	}
+	for _, c := range cases {
+		if got := fmtG(c.in); got != c.want {
+			t.Errorf("fmtG(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFmtErr(t *testing.T) {
+	if got := fmtErr(0.5, 25.3, 1800); got != "(0.50, 25.3, 1800)" {
+		t.Errorf("fmtErr = %q", got)
+	}
+}
+
+func TestXLabels(t *testing.T) {
+	got := xLabels([]string{"IDQ_MITE_UOPS", "UOPS_EXECUTED_PORT_PORT_6"})
+	if got != "X1,X6" {
+		t.Errorf("xLabels = %q", got)
+	}
+	// Unknown PMCs render by name.
+	got = xLabels([]string{"SOMETHING_ELSE"})
+	if got != "SOMETHING_ELSE" {
+		t.Errorf("xLabels unknown = %q", got)
+	}
+}
+
+func TestCoefString(t *testing.T) {
+	got := coefString([]float64{1.5e-9, 0})
+	if got != "1.50E-09, 0.00E+00" {
+		t.Errorf("coefString = %q", got)
+	}
+}
+
+func TestTopByStoredCorrelation(t *testing.T) {
+	b := &ClassBResult{Correlations: map[string]float64{
+		"a": 0.99, "b": -0.995, "c": 0.5, "d": 0.99,
+	}}
+	got := topByStoredCorrelation(b, []string{"a", "b", "c", "d"}, 2)
+	// |b| = 0.995 strongest; a and d tie at 0.99, alphabetical tie-break.
+	if len(got) != 2 || got[0] != "b" || got[1] != "a" {
+		t.Errorf("topByStoredCorrelation = %v", got)
+	}
+	if got := topByStoredCorrelation(b, []string{"c"}, 5); len(got) != 1 {
+		t.Errorf("oversized k = %v", got)
+	}
+}
+
+func TestNestedSetsFallbackOrder(t *testing.T) {
+	// Verdicts outside the Class A set fall back to verdict order.
+	vs := classAVerdictsStub()
+	sets := nestedSets(vs)
+	if len(sets) != 2 {
+		t.Fatalf("sets = %d", len(sets))
+	}
+	if len(sets[0]) != 2 || len(sets[1]) != 1 {
+		t.Errorf("set sizes = %d,%d", len(sets[0]), len(sets[1]))
+	}
+}
+
+// classAVerdictsStub builds two synthetic verdicts for events outside the
+// Class A PMC set.
+func classAVerdictsStub() []core.Verdict {
+	return []core.Verdict{
+		{Event: platform.Event{Name: "CUSTOM_A", Slots: 1}, Reproducible: true, MaxErrorPct: 1},
+		{Event: platform.Event{Name: "CUSTOM_B", Slots: 1}, Reproducible: true, MaxErrorPct: 50},
+	}
+}
+
+func TestItoa(t *testing.T) {
+	if itoa(0) != "0" || itoa(12345) != "12345" {
+		t.Error("itoa wrong")
+	}
+}
+
+func TestModelTableShapes(t *testing.T) {
+	models := []ModelResult{
+		{Name: "M1", PMCs: []string{"IDQ_MITE_UOPS"}, Coefficients: []float64{1e-9}},
+	}
+	withCoef := modelTable("t", models, true)
+	if len(withCoef.Headers) != 4 {
+		t.Errorf("coef table headers = %d", len(withCoef.Headers))
+	}
+	without := modelTable("t", models, false)
+	if len(without.Headers) != 3 {
+		t.Errorf("plain table headers = %d", len(without.Headers))
+	}
+}

@@ -1,0 +1,55 @@
+package machine
+
+import (
+	"errors"
+
+	"additivity/internal/activity"
+)
+
+// SetFrequencyScale applies DVFS: the core clock runs at scale × nominal
+// frequency (accepted range 0.4–1.3). The paper situates PMC-based energy
+// models against system-level techniques like DVFS; this knob lets users
+// study how frequency changes the energy/time trade-off the models see.
+//
+// Physics of the model:
+//   - compute cycles take 1/scale as long in wall time;
+//   - memory-stall time is wall-constant (DRAM does not speed up), so the
+//     stall-cycle *count* scales with the clock;
+//   - per-event switching energy scales ≈ quadratically with frequency
+//     (voltage tracks frequency on the DVFS curve).
+func (m *Machine) SetFrequencyScale(scale float64) error {
+	if scale < 0.4 || scale > 1.3 {
+		return errors.New("machine: frequency scale outside [0.4, 1.3]")
+	}
+	m.dvfs = scale
+	return nil
+}
+
+// FrequencyScale returns the current DVFS setting (1.0 = nominal).
+func (m *Machine) FrequencyScale() float64 {
+	if m.dvfs == 0 {
+		return 1.0
+	}
+	return m.dvfs
+}
+
+// applyDVFS rewrites a phase's cycle accounting for the current frequency
+// and returns the energy scale factor for the phase. Stall wall-time is
+// preserved: stall cycles are re-expressed at the scaled clock.
+func (m *Machine) applyDVFS(v activity.Vector) (activity.Vector, float64) {
+	scale := m.FrequencyScale()
+	if scale == 1.0 {
+		return v, 1.0
+	}
+	stall := v.Get(activity.StallCycles)
+	compute := v.Get(activity.Cycles) - stall
+	if compute < 0 {
+		compute = 0
+	}
+	// Stall wall-time constant → stall cycle count ∝ clock.
+	newStall := stall * scale
+	v.Set(activity.StallCycles, newStall)
+	v.Set(activity.Cycles, compute+newStall)
+	// Voltage tracks frequency: switching energy per event ≈ scale².
+	return v, scale * scale
+}

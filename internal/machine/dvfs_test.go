@@ -1,0 +1,84 @@
+package machine
+
+import (
+	"testing"
+
+	"additivity/internal/platform"
+	"additivity/internal/workload"
+)
+
+func TestSetFrequencyScaleValidation(t *testing.T) {
+	m := New(platform.Haswell(), 1)
+	if m.FrequencyScale() != 1.0 {
+		t.Errorf("default scale = %v", m.FrequencyScale())
+	}
+	if err := m.SetFrequencyScale(0.1); err == nil {
+		t.Error("scale 0.1 accepted")
+	}
+	if err := m.SetFrequencyScale(2.0); err == nil {
+		t.Error("scale 2.0 accepted")
+	}
+	if err := m.SetFrequencyScale(0.7); err != nil {
+		t.Fatal(err)
+	}
+	if m.FrequencyScale() != 0.7 {
+		t.Errorf("scale = %v", m.FrequencyScale())
+	}
+}
+
+func TestDVFSComputeBoundTradeoff(t *testing.T) {
+	// A compute-bound kernel at reduced frequency: slower but less
+	// dynamic energy (the classic DVFS energy/performance trade-off).
+	app := workload.App{Workload: workload.DGEMM(), Size: 4096}
+	nominal := New(platform.Haswell(), 5)
+	slow := New(platform.Haswell(), 5)
+	if err := slow.SetFrequencyScale(0.6); err != nil {
+		t.Fatal(err)
+	}
+	rn := nominal.RunApp(app)
+	rs := slow.RunApp(app)
+	if rs.Seconds <= rn.Seconds*1.3 {
+		t.Errorf("0.6× clock runtime %.2fs not clearly slower than nominal %.2fs",
+			rs.Seconds, rn.Seconds)
+	}
+	if rs.TrueDynamicJoules >= rn.TrueDynamicJoules {
+		t.Errorf("0.6× clock energy %.1fJ not below nominal %.1fJ",
+			rs.TrueDynamicJoules, rn.TrueDynamicJoules)
+	}
+}
+
+func TestDVFSMemoryBoundLosesLessTime(t *testing.T) {
+	// Memory-bound kernels spend their time waiting on DRAM, which does
+	// not slow down with the core clock: their runtime penalty at low
+	// frequency must be smaller than a compute-bound kernel's.
+	slowdown := func(w workload.Workload, size int) float64 {
+		nominal := New(platform.Haswell(), 7)
+		slow := New(platform.Haswell(), 7)
+		if err := slow.SetFrequencyScale(0.6); err != nil {
+			t.Fatal(err)
+		}
+		app := workload.App{Workload: w, Size: size}
+		return slow.RunApp(app).Seconds / nominal.RunApp(app).Seconds
+	}
+	compute := slowdown(workload.DGEMM(), 4096)
+	memory := slowdown(workload.Stream(), 400)
+	if memory >= compute {
+		t.Errorf("memory-bound slowdown %.2f× >= compute-bound %.2f×", memory, compute)
+	}
+	// Compute-bound approaches the full 1/0.6 = 1.67×.
+	if compute < 1.5 {
+		t.Errorf("compute-bound slowdown %.2f×, want ≈ 1.67×", compute)
+	}
+}
+
+func TestDVFSPreservesMeasurementPipeline(t *testing.T) {
+	m := New(platform.Skylake(), 9)
+	if err := m.SetFrequencyScale(0.8); err != nil {
+		t.Fatal(err)
+	}
+	meas := m.MeasureDynamicEnergy(DefaultMethodology(),
+		workload.App{Workload: workload.FFT(), Size: 16384})
+	if meas.MeanJoules <= 0 || meas.MeanSeconds <= 0 {
+		t.Errorf("DVFS measurement degenerate: %+v", meas)
+	}
+}

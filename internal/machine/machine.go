@@ -1,0 +1,173 @@
+// Package machine simulates application execution on a platform: it turns
+// workload profiles into concrete runs with process-startup work,
+// compound-run phase-boundary effects, run-to-run noise, execution time
+// and ground-truth dynamic energy.
+//
+// The startup and boundary effects are the physical origin of PMC
+// non-additivity in this reproduction. A base application run carries one
+// process startup (loader, runtime init, cold front-end, divider use by
+// the dynamic linker); a compound run of two applications carries only
+// one startup plus a phase-switch transient (cold code, cache pollution,
+// synchronisation gap). Counters dominated by these run-scoped components
+// therefore violate additivity, while their energy contribution is
+// negligible — energy itself stays additive, exactly the asymmetry the
+// paper's selection criterion exploits.
+package machine
+
+import (
+	"additivity/internal/activity"
+	"additivity/internal/energy"
+	"additivity/internal/platform"
+	"additivity/internal/stats"
+	"additivity/internal/workload"
+)
+
+// Machine executes workloads on a platform.
+type Machine struct {
+	Spec  *platform.Spec
+	Coeff energy.Coefficients
+
+	rng *stats.RNG
+	// runIndex makes every run draw from a fresh noise stream while the
+	// machine as a whole stays deterministic for a given seed.
+	runIndex int64
+	// dvfs is the frequency scale (0 means nominal 1.0); see
+	// SetFrequencyScale.
+	dvfs float64
+}
+
+// New returns a machine for the platform, seeded for reproducibility.
+func New(spec *platform.Spec, seed int64) *Machine {
+	return &Machine{
+		Spec:  spec,
+		Coeff: energy.CoefficientsFor(spec),
+		rng:   stats.SplitSeed(seed, "machine-"+spec.Name),
+	}
+}
+
+// PhaseStat is the timing and energy of one phase of a run, including
+// its share of boundary work. Compound runs expose their phase structure
+// to the power meter through these.
+type PhaseStat struct {
+	Name          string
+	Seconds       float64
+	DynamicJoules float64
+}
+
+// Run is one execution of a (possibly compound) application.
+type Run struct {
+	Name     string
+	Phases   int             // 1 for a base application, ≥2 for compounds
+	Activity activity.Vector // realised activity, including startup and boundaries
+	Seconds  float64         // wall-clock execution time
+	// TrueDynamicJoules is the ground-truth dynamic energy of the run
+	// (the quantity the meter observes with instrument noise).
+	TrueDynamicJoules float64
+	// PhaseStats breaks the run down per phase.
+	PhaseStats []PhaseStat
+}
+
+// Run executes the given application phases serially in one process and
+// returns the realised run. One part is a base application; several parts
+// form a compound application.
+func (m *Machine) Run(parts ...workload.App) Run {
+	if len(parts) == 0 {
+		panic("machine: Run with no parts")
+	}
+	m.runIndex++
+	g := m.rng.Split("run-" + itoa(m.runIndex))
+
+	var total activity.Vector
+	seconds := 0.0
+	name := ""
+	stats := make([]PhaseStat, 0, len(parts))
+	for i, p := range parts {
+		if i > 0 {
+			name += "+"
+		}
+		name += p.Name()
+
+		v := p.Profile(m.Spec)
+		phaseSeconds := 0.0
+		if i == 0 {
+			v = v.Add(m.startup(g))
+		} else {
+			v = m.latePhasePenalty(v, g)
+			boundary, gapS := m.phaseSwitch(g)
+			v = v.Add(boundary)
+			phaseSeconds += gapS
+		}
+		v = m.applyNoise(v, g)
+		v, energyScale := m.applyDVFS(v)
+		phaseSeconds += m.phaseSeconds(v, p.Workload.Parallel())
+		seconds += phaseSeconds
+		total = total.Add(v)
+		stats = append(stats, PhaseStat{
+			Name:          p.Name(),
+			Seconds:       phaseSeconds,
+			DynamicJoules: m.Coeff.DynamicJoules(v) * energyScale,
+		})
+	}
+	// Context switches scale with wall-clock time (timer ticks, kernel
+	// housekeeping) — a purely run-scoped quantity.
+	total.Set(activity.ContextSwitches, 120*seconds*g.LogNormalFactor(0.20))
+
+	trueJoules := 0.0
+	for _, ps := range stats {
+		trueJoules += ps.DynamicJoules
+	}
+	return Run{
+		Name:              name,
+		Phases:            len(parts),
+		Activity:          total,
+		Seconds:           seconds,
+		TrueDynamicJoules: trueJoules,
+		PhaseStats:        stats,
+	}
+}
+
+// DynamicTrace returns the run's phase-resolved dynamic power trace.
+func (r Run) DynamicTrace() energy.Trace {
+	tr := make(energy.Trace, 0, len(r.PhaseStats))
+	for _, p := range r.PhaseStats {
+		if p.Seconds <= 0 {
+			continue
+		}
+		tr = append(tr, energy.Segment{Seconds: p.Seconds, Watts: p.DynamicJoules / p.Seconds})
+	}
+	return tr
+}
+
+// RunApp executes a single base application.
+func (m *Machine) RunApp(a workload.App) Run { return m.Run(a) }
+
+// RunCompound executes a compound application.
+func (m *Machine) RunCompound(c workload.CompoundApp) Run {
+	return m.Run(c.Parts...)
+}
+
+// phaseSeconds converts a phase's aggregate core cycles into wall-clock
+// time given the number of active cores.
+func (m *Machine) phaseSeconds(v activity.Vector, parallel bool) float64 {
+	cores := 1.0
+	const parallelEfficiency = 0.88
+	if parallel {
+		cores = float64(m.Spec.TotalCores()) * parallelEfficiency
+	}
+	hz := m.Spec.BaseGHz * 1e9 * m.FrequencyScale()
+	return v.Get(activity.Cycles) / (cores * hz)
+}
+
+func itoa(n int64) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

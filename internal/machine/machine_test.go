@@ -1,0 +1,300 @@
+package machine
+
+import (
+	"math"
+	"testing"
+
+	"additivity/internal/activity"
+	"additivity/internal/platform"
+	"additivity/internal/stats"
+	"additivity/internal/workload"
+)
+
+func testApp() workload.App {
+	return workload.App{Workload: workload.DGEMM(), Size: 4096}
+}
+
+func smallApp() workload.App {
+	return workload.App{Workload: workload.Quicksort(), Size: 8}
+}
+
+func TestRunDeterministicPerSeed(t *testing.T) {
+	a := New(platform.Haswell(), 42).RunApp(testApp())
+	b := New(platform.Haswell(), 42).RunApp(testApp())
+	if a.Activity != b.Activity || a.Seconds != b.Seconds {
+		t.Error("same-seed machines produced different runs")
+	}
+	c := New(platform.Haswell(), 43).RunApp(testApp())
+	if a.Activity == c.Activity {
+		t.Error("different seeds produced identical runs")
+	}
+}
+
+func TestRunsVaryWithinMachine(t *testing.T) {
+	m := New(platform.Haswell(), 1)
+	a := m.RunApp(testApp())
+	b := m.RunApp(testApp())
+	if a.Activity == b.Activity {
+		t.Error("consecutive runs identical: no run-to-run noise")
+	}
+	// But core counts vary by well under a percent.
+	ia := a.Activity.Get(activity.Instructions)
+	ib := b.Activity.Get(activity.Instructions)
+	if math.Abs(ia-ib)/ia > 0.02 {
+		t.Errorf("instruction counts vary too much: %.4g vs %.4g", ia, ib)
+	}
+}
+
+func TestRunPanicsWithoutParts(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Run() did not panic")
+		}
+	}()
+	New(platform.Haswell(), 1).Run()
+}
+
+func TestStartupDominatesDividerForQuietApps(t *testing.T) {
+	// Quicksort has zero divider activity in its profile; every run must
+	// still observe ~millions of divider ops from process startup.
+	m := New(platform.Haswell(), 7)
+	r := m.RunApp(smallApp())
+	div := r.Activity.Get(activity.DivOps)
+	if div < 1e5 {
+		t.Errorf("divider count %.3g too small: startup not applied", div)
+	}
+}
+
+func TestCompoundPaysStartupOnce(t *testing.T) {
+	// Average divider count over many runs: compound ≈ one startup,
+	// sum of two bases ≈ two startups. This is the core non-additivity
+	// mechanism.
+	m := New(platform.Haswell(), 5)
+	a, b := smallApp(), workload.App{Workload: workload.Transpose(), Size: 2048}
+	const reps = 40
+	var base, comp float64
+	for i := 0; i < reps; i++ {
+		base += m.RunApp(a).Activity.Get(activity.DivOps)
+		base += m.RunApp(b).Activity.Get(activity.DivOps)
+		comp += m.Run(a, b).Activity.Get(activity.DivOps)
+	}
+	ratio := base / comp
+	if ratio < 1.5 || ratio > 3.0 {
+		t.Errorf("base-sum/compound divider ratio = %.2f, want ≈ 2", ratio)
+	}
+}
+
+func TestCompoundAddsBoundaryICacheMisses(t *testing.T) {
+	// For icache-quiet apps the compound run's icache misses exceed the
+	// sum of the bases minus one startup: the phase switch adds misses.
+	m := New(platform.Haswell(), 9)
+	a := workload.App{Workload: workload.StressCPU(), Size: 8}
+	b := workload.App{Workload: workload.Stream(), Size: 16}
+	const reps = 40
+	var sumBases, comp float64
+	for i := 0; i < reps; i++ {
+		sumBases += m.RunApp(a).Activity.Get(activity.ICacheMiss) +
+			m.RunApp(b).Activity.Get(activity.ICacheMiss)
+		comp += m.Run(a, b).Activity.Get(activity.ICacheMiss)
+	}
+	// compound = bases' compute icache + 1 startup + boundary;
+	// sum-of-bases = bases' compute icache + 2 startups. The two must
+	// differ measurably (non-additive) in at least one direction.
+	rel := math.Abs(sumBases-comp) / sumBases
+	if rel < 0.02 {
+		t.Errorf("icache counts additive within %.1f%%: boundary effect missing", rel*100)
+	}
+}
+
+func TestEnergyNearlyAdditiveOverComposition(t *testing.T) {
+	// The paper's premise: dynamic energy of a compound run equals the
+	// sum of the base runs' energies to within measurement tolerance,
+	// even though several counters are wildly non-additive.
+	m := New(platform.Haswell(), 11)
+	a, b := testApp(), workload.App{Workload: workload.NASCG(), Size: 1200}
+	const reps = 10
+	var sumBases, comp float64
+	for i := 0; i < reps; i++ {
+		sumBases += m.RunApp(a).TrueDynamicJoules + m.RunApp(b).TrueDynamicJoules
+		comp += m.Run(a, b).TrueDynamicJoules
+	}
+	rel := math.Abs(sumBases-comp) / sumBases
+	if rel > 0.05 {
+		t.Errorf("dynamic energy non-additive by %.2f%%, want < 5%%", rel*100)
+	}
+}
+
+func TestSecondsPositiveAndScaleWithSize(t *testing.T) {
+	m := New(platform.Haswell(), 3)
+	small := m.RunApp(workload.App{Workload: workload.DGEMM(), Size: 2048})
+	big := m.RunApp(workload.App{Workload: workload.DGEMM(), Size: 8192})
+	if small.Seconds <= 0 || big.Seconds <= small.Seconds {
+		t.Errorf("seconds: small=%v big=%v", small.Seconds, big.Seconds)
+	}
+}
+
+func TestSerialWorkloadSlowerThanParallel(t *testing.T) {
+	// The same cycle count takes ~cores× longer on one core.
+	m := New(platform.Haswell(), 3)
+	par := m.RunApp(workload.App{Workload: workload.Stream(), Size: 64})
+	ser := m.RunApp(workload.App{Workload: workload.GraphBFS(), Size: 64})
+	cyclesPar := par.Activity.Get(activity.Cycles)
+	cyclesSer := ser.Activity.Get(activity.Cycles)
+	// Normalise to per-cycle wall time.
+	ratio := (ser.Seconds / cyclesSer) / (par.Seconds / cyclesPar)
+	if ratio < 10 {
+		t.Errorf("serial/parallel per-cycle wall-time ratio = %.1f, want > 10", ratio)
+	}
+}
+
+func TestContextSwitchesScaleWithTime(t *testing.T) {
+	m := New(platform.Haswell(), 3)
+	r := m.RunApp(testApp())
+	cs := r.Activity.Get(activity.ContextSwitches)
+	if cs <= 0 {
+		t.Error("no context switches recorded")
+	}
+	perSecond := cs / r.Seconds
+	if perSecond < 30 || perSecond > 500 {
+		t.Errorf("context switches per second = %.1f, want O(100)", perSecond)
+	}
+}
+
+func TestDynamicPowerWithinPlatformEnvelope(t *testing.T) {
+	// Dynamic power must stay below TDP − idle for every suite workload.
+	for _, spec := range platform.Platforms() {
+		m := New(spec, 13)
+		budget := spec.TDPWatts - spec.IdleWatts
+		for _, w := range workload.DiverseSuite() {
+			sizes := w.DefaultSizes()
+			r := m.RunApp(workload.App{Workload: w, Size: sizes[len(sizes)-1]})
+			p := r.TrueDynamicJoules / r.Seconds
+			if !w.Parallel() {
+				// Single-core apps use a fraction of the socket budget.
+				budget = spec.TDPWatts - spec.IdleWatts
+			}
+			if p <= 0 || p > budget {
+				t.Errorf("%s on %s: dynamic power %.1f W outside (0, %.1f]",
+					w.Name(), spec.Name, p, budget)
+			}
+		}
+	}
+}
+
+func TestMeasureDynamicEnergyMethodology(t *testing.T) {
+	m := New(platform.Haswell(), 17)
+	meas := m.MeasureDynamicEnergy(DefaultMethodology(), testApp())
+	if meas.RunsPerformed < 3 {
+		t.Errorf("runs performed = %d, want >= 3", meas.RunsPerformed)
+	}
+	if meas.RunsPerformed > 10 {
+		t.Errorf("runs performed = %d, want <= 10", meas.RunsPerformed)
+	}
+	if len(meas.Samples) != meas.RunsPerformed {
+		t.Errorf("samples %d != runs %d", len(meas.Samples), meas.RunsPerformed)
+	}
+	if meas.MeanJoules <= 0 || meas.MeanSeconds <= 0 {
+		t.Errorf("measurement degenerate: %+v", meas)
+	}
+	// The sample mean should be near the true energy of a fresh run.
+	r := New(platform.Haswell(), 999).RunApp(testApp())
+	if math.Abs(meas.MeanJoules-r.TrueDynamicJoules)/r.TrueDynamicJoules > 0.10 {
+		t.Errorf("measured %.1f J vs true %.1f J: >10%% off",
+			meas.MeanJoules, r.TrueDynamicJoules)
+	}
+	if meas.Name != "mkl-dgemm/4096" {
+		t.Errorf("measurement name = %q", meas.Name)
+	}
+}
+
+func TestMeasurementPrecisionStopsEarly(t *testing.T) {
+	// Energy measurements of a long deterministic run are tight; the CI
+	// loop should stop at or near the minimum run count.
+	m := New(platform.Haswell(), 19)
+	meas := m.MeasureDynamicEnergy(Methodology{MinRuns: 3, MaxRuns: 50, Precision: 0.05}, testApp())
+	if meas.RunsPerformed > 10 {
+		t.Errorf("runs performed = %d, want <= 10 for a stable measurement", meas.RunsPerformed)
+	}
+	if !stats.MeanWithinPrecision(meas.Samples, 0.05) {
+		t.Error("reported samples do not satisfy the precision criterion")
+	}
+}
+
+func TestCompoundMeasurementTracksTruth(t *testing.T) {
+	// The metered dynamic energy of compound runs must track the ground
+	// truth even when phases are short or have very different power
+	// levels — a 1 Hz point-sampling meter model aliases these away;
+	// the integrating model must not.
+	m := New(platform.Haswell(), 20190801)
+	apps := workload.BaseApps(workload.DiverseSuite())
+	comps := workload.RandomCompounds(apps, 20, 20190801)
+	for _, c := range comps {
+		run := m.Run(c.Parts...)
+		meas := m.MeasureDynamicEnergy(DefaultMethodology(), c.Parts...)
+		rel := math.Abs(meas.MeanJoules-run.TrueDynamicJoules) / run.TrueDynamicJoules
+		if rel > 0.12 {
+			t.Errorf("%s: measured %.1f J vs true %.1f J (%.0f%% off)",
+				run.Name, meas.MeanJoules, run.TrueDynamicJoules, 100*rel)
+		}
+	}
+}
+
+func TestPhaseStatsConsistent(t *testing.T) {
+	m := New(platform.Haswell(), 21)
+	r := m.Run(testApp(), smallApp())
+	if len(r.PhaseStats) != 2 {
+		t.Fatalf("phase stats = %d, want 2", len(r.PhaseStats))
+	}
+	var sumS, sumE float64
+	for _, p := range r.PhaseStats {
+		if p.Seconds <= 0 || p.DynamicJoules <= 0 {
+			t.Errorf("degenerate phase stat %+v", p)
+		}
+		sumS += p.Seconds
+		sumE += p.DynamicJoules
+	}
+	if math.Abs(sumS-r.Seconds) > 1e-9*r.Seconds {
+		t.Errorf("phase seconds %.6g != run seconds %.6g", sumS, r.Seconds)
+	}
+	// Context switches carry no energy, so phase energies sum to the run
+	// energy exactly.
+	if math.Abs(sumE-r.TrueDynamicJoules) > 1e-9*r.TrueDynamicJoules {
+		t.Errorf("phase energy %.6g != run energy %.6g", sumE, r.TrueDynamicJoules)
+	}
+	if r.PhaseStats[0].Name != "mkl-dgemm/4096" || r.PhaseStats[1].Name != "quicksort/8" {
+		t.Errorf("phase names %v", r.PhaseStats)
+	}
+}
+
+func TestDynamicTraceMatchesRun(t *testing.T) {
+	m := New(platform.Haswell(), 23)
+	r := m.Run(testApp(), smallApp())
+	tr := r.DynamicTrace()
+	if len(tr) != 2 {
+		t.Fatalf("trace segments = %d", len(tr))
+	}
+	if math.Abs(tr.Duration()-r.Seconds) > 1e-9*r.Seconds {
+		t.Errorf("trace duration %.6g != run seconds %.6g", tr.Duration(), r.Seconds)
+	}
+	if math.Abs(tr.IdealJoules()-r.TrueDynamicJoules) > 1e-9*r.TrueDynamicJoules {
+		t.Errorf("trace energy %.6g != run energy %.6g", tr.IdealJoules(), r.TrueDynamicJoules)
+	}
+	// Phases have genuinely different power levels (parallel DGEMM vs
+	// serial quicksort), which is why the meter needs the trace.
+	p0 := tr[0].Watts
+	p1 := tr[1].Watts
+	if p0/p1 < 3 {
+		t.Errorf("phase powers too similar: %.1f W vs %.1f W", p0, p1)
+	}
+}
+
+func TestRunNames(t *testing.T) {
+	m := New(platform.Haswell(), 1)
+	r := m.Run(smallApp(), testApp())
+	if r.Name != "quicksort/8+mkl-dgemm/4096" {
+		t.Errorf("compound run name = %q", r.Name)
+	}
+	if r.Phases != 2 {
+		t.Errorf("phases = %d", r.Phases)
+	}
+}

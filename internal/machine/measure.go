@@ -1,0 +1,75 @@
+package machine
+
+import (
+	"additivity/internal/energy"
+	"additivity/internal/stats"
+	"additivity/internal/workload"
+)
+
+// Measurement is the result of the paper's statistical measurement
+// methodology applied to one application: the application is executed
+// repeatedly, each run's dynamic energy is obtained through the
+// HCLWattsUp pipeline, and runs continue until the 95% confidence
+// interval of the sample mean is within the required precision (or the
+// run budget is exhausted).
+type Measurement struct {
+	Name          string
+	Samples       []float64 // per-run metered dynamic energy (J)
+	MeanJoules    float64   // sample mean dynamic energy
+	MeanSeconds   float64   // sample mean execution time
+	RunsPerformed int
+}
+
+// Methodology holds the repetition parameters of the measurement loop.
+// The defaults mirror the paper's supplemental: at least three runs, a
+// cap to keep experiment time bounded, and 5% precision at 95%
+// confidence.
+type Methodology struct {
+	MinRuns   int
+	MaxRuns   int
+	Precision float64
+}
+
+// DefaultMethodology returns the paper's measurement parameters.
+func DefaultMethodology() Methodology {
+	return Methodology{MinRuns: 3, MaxRuns: 10, Precision: 0.05}
+}
+
+// MeasureDynamicEnergy applies the statistical methodology to the given
+// application (one part = base application, several = compound).
+func (m *Machine) MeasureDynamicEnergy(meth Methodology, parts ...workload.App) Measurement {
+	hcl := m.newHCL()
+	name := ""
+	secondsSum := 0.0
+	n := 0
+	samples := stats.RepeatUntilPrecision(func() float64 {
+		run := m.Run(parts...)
+		name = run.Name
+		secondsSum += run.Seconds
+		n++
+		// The meter sees the phase-resolved power trace, so compound
+		// runs with unequal phase powers are metered faithfully.
+		joules, err := hcl.DynamicJoulesFromTrace(run.DynamicTrace())
+		if err != nil {
+			// Degenerate runs cannot happen for non-empty workloads; a
+			// zero reading keeps the loop total-ordered if they do.
+			return 0
+		}
+		return joules
+	}, meth.MinRuns, meth.MaxRuns, meth.Precision)
+
+	return Measurement{
+		Name:          name,
+		Samples:       samples,
+		MeanJoules:    stats.Mean(samples),
+		MeanSeconds:   secondsSum / float64(n),
+		RunsPerformed: n,
+	}
+}
+
+// newHCL builds the platform's measurement pipeline: a WattsUp-Pro meter
+// behind the HCLWattsUp API with the platform's static power.
+func (m *Machine) newHCL() *energy.HCLWattsUp {
+	m.runIndex++
+	return energy.NewHCLWattsUp(m.Spec.IdleWatts, m.rng.Split("hcl-"+itoa(m.runIndex)).Int63())
+}

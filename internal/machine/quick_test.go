@@ -1,0 +1,86 @@
+package machine
+
+import (
+	"testing"
+	"testing/quick"
+
+	"additivity/internal/platform"
+	"additivity/internal/workload"
+)
+
+// TestQuickRunInvariants checks, for random suite workloads and sizes:
+// positive time and energy, non-negative activity, and dynamic power
+// within the platform envelope.
+func TestQuickRunInvariants(t *testing.T) {
+	suite := workload.DiverseSuite()
+	m := New(platform.Haswell(), 99)
+	spec := platform.Haswell()
+	f := func(wIdx, sIdx uint8) bool {
+		w := suite[int(wIdx)%len(suite)]
+		sizes := w.DefaultSizes()
+		n := sizes[int(sIdx)%len(sizes)]
+		r := m.RunApp(workload.App{Workload: w, Size: n})
+		if r.Seconds <= 0 || r.TrueDynamicJoules <= 0 {
+			return false
+		}
+		if !r.Activity.NonNegative() {
+			return false
+		}
+		power := r.TrueDynamicJoules / r.Seconds
+		return power > 0 && power <= spec.TDPWatts
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickEnergyMonotoneInSize checks that within a workload, larger
+// problem sizes never consume less energy.
+func TestQuickEnergyMonotoneInSize(t *testing.T) {
+	suite := workload.DiverseSuite()
+	m := New(platform.Skylake(), 101)
+	f := func(wIdx, aRaw, bRaw uint8) bool {
+		w := suite[int(wIdx)%len(suite)]
+		sizes := w.DefaultSizes()
+		i, j := int(aRaw)%len(sizes), int(bRaw)%len(sizes)
+		if i == j {
+			return true
+		}
+		if i > j {
+			i, j = j, i
+		}
+		small := m.RunApp(workload.App{Workload: w, Size: sizes[i]})
+		big := m.RunApp(workload.App{Workload: w, Size: sizes[j]})
+		// Allow noise headroom on adjacent sizes.
+		return big.TrueDynamicJoules > small.TrueDynamicJoules*0.95
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCompoundEnergyNearSum checks the premise across random pairs.
+func TestQuickCompoundEnergyNearSum(t *testing.T) {
+	suite := workload.DiverseSuite()
+	m := New(platform.Haswell(), 103)
+	f := func(aIdx, bIdx, sA, sB uint8) bool {
+		wa := suite[int(aIdx)%len(suite)]
+		wb := suite[int(bIdx)%len(suite)]
+		na := wa.DefaultSizes()[int(sA)%len(wa.DefaultSizes())]
+		nb := wb.DefaultSizes()[int(sB)%len(wb.DefaultSizes())]
+		a := workload.App{Workload: wa, Size: na}
+		b := workload.App{Workload: wb, Size: nb}
+		sum := m.RunApp(a).TrueDynamicJoules + m.RunApp(b).TrueDynamicJoules
+		comp := m.Run(a, b).TrueDynamicJoules
+		rel := (sum - comp) / sum
+		if rel < 0 {
+			rel = -rel
+		}
+		// Single runs carry noise; 10% bounds the worst single-draw case
+		// (the sample-mean premise test asserts the tight 5%).
+		return rel < 0.10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,66 @@
+package mat
+
+import "math"
+
+// Cholesky computes the lower-triangular factor L of a symmetric
+// positive-definite matrix a, such that a = L·Lᵀ. It returns ErrSingular
+// when a is not (numerically) positive definite.
+func Cholesky(a *Dense) (*Dense, error) {
+	n, c := a.Dims()
+	if n != c {
+		return nil, ErrShape
+	}
+	l := NewDense(n, n)
+	for j := 0; j < n; j++ {
+		d := a.At(j, j)
+		for k := 0; k < j; k++ {
+			v := l.At(j, k)
+			d -= v * v
+		}
+		if d <= 0 {
+			return nil, ErrSingular
+		}
+		d = math.Sqrt(d)
+		l.Set(j, j, d)
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			l.Set(i, j, s/d)
+		}
+	}
+	return l, nil
+}
+
+// SolveCholesky solves a·x = b given the Cholesky factor L of a
+// (a = L·Lᵀ): forward substitution then backward substitution.
+func SolveCholesky(l *Dense, b []float64) ([]float64, error) {
+	n, c := l.Dims()
+	if n != c || len(b) != n {
+		return nil, ErrShape
+	}
+	// Forward: L·z = b.
+	z := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for j := 0; j < i; j++ {
+			s -= l.At(i, j) * z[j]
+		}
+		d := l.At(i, i)
+		if d == 0 {
+			return nil, ErrSingular
+		}
+		z[i] = s / d
+	}
+	// Backward: Lᵀ·x = z.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := z[i]
+		for j := i + 1; j < n; j++ {
+			s -= l.At(j, i) * x[j]
+		}
+		x[i] = s / l.At(i, i)
+	}
+	return x, nil
+}

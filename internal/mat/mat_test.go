@@ -1,0 +1,302 @@
+package mat
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewDenseAndAccess(t *testing.T) {
+	m := NewDense(2, 3)
+	if r, c := m.Dims(); r != 2 || c != 3 {
+		t.Fatalf("Dims = %d,%d", r, c)
+	}
+	m.Set(1, 2, 5)
+	if got := m.At(1, 2); got != 5 {
+		t.Errorf("At(1,2) = %v, want 5", got)
+	}
+	if got := m.At(0, 0); got != 0 {
+		t.Errorf("fresh matrix not zeroed: %v", got)
+	}
+}
+
+func TestNewDensePanicsOnBadDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewDense(0,1) did not panic")
+		}
+	}()
+	NewDense(0, 1)
+}
+
+func TestAtPanicsOutOfRange(t *testing.T) {
+	m := NewDense(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At out of range did not panic")
+		}
+	}()
+	m.At(2, 0)
+}
+
+func TestFromRows(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	if m.At(0, 1) != 2 || m.At(1, 0) != 3 {
+		t.Errorf("FromRows contents wrong: %v", m)
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ragged FromRows did not panic")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestRowColClone(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	r := m.Row(1)
+	if r[0] != 3 || r[1] != 4 {
+		t.Errorf("Row = %v", r)
+	}
+	c := m.Col(0)
+	if c[0] != 1 || c[1] != 3 {
+		t.Errorf("Col = %v", c)
+	}
+	// Mutating copies must not touch the source.
+	r[0] = 99
+	c[0] = 99
+	cl := m.Clone()
+	cl.Set(0, 0, 42)
+	if m.At(0, 0) != 1 || m.At(1, 0) != 3 {
+		t.Error("copies alias the source matrix")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	tr := m.T()
+	if r, c := tr.Dims(); r != 3 || c != 2 {
+		t.Fatalf("T dims = %d,%d", r, c)
+	}
+	if tr.At(2, 1) != 6 || tr.At(0, 1) != 4 {
+		t.Errorf("T contents wrong:\n%v", tr)
+	}
+}
+
+func TestMul(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	p, err := Mul(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := FromRows([][]float64{{19, 22}, {43, 50}})
+	if MaxAbsDiff(p, want) > 1e-12 {
+		t.Errorf("Mul =\n%v want\n%v", p, want)
+	}
+	if _, err := Mul(a, FromRows([][]float64{{1, 2}})); err == nil {
+		t.Error("shape mismatch not reported")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	y, err := a.MulVec([]float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y[0] != 3 || y[1] != 7 {
+		t.Errorf("MulVec = %v", y)
+	}
+	if _, err := a.MulVec([]float64{1}); err == nil {
+		t.Error("MulVec shape mismatch not reported")
+	}
+}
+
+func TestAddScaleIdentity(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	s, err := Add(a, Identity(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.At(0, 0) != 2 || s.At(1, 1) != 5 || s.At(0, 1) != 2 {
+		t.Errorf("Add =\n%v", s)
+	}
+	sc := a.Scale(2)
+	if sc.At(1, 1) != 8 {
+		t.Errorf("Scale =\n%v", sc)
+	}
+	if _, err := Add(a, NewDense(3, 2)); err == nil {
+		t.Error("Add shape mismatch not reported")
+	}
+}
+
+func TestVecHelpers(t *testing.T) {
+	if got := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); got != 32 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := Norm2([]float64{3, 4}); got != 5 {
+		t.Errorf("Norm2 = %v", got)
+	}
+	if got := Norm2([]float64{0, 0}); got != 0 {
+		t.Errorf("Norm2(zero) = %v", got)
+	}
+	// Overflow-resistant norm.
+	if got := Norm2([]float64{3e200, 4e200}); math.IsInf(got, 0) || math.Abs(got-5e200)/5e200 > 1e-12 {
+		t.Errorf("Norm2 large = %v", got)
+	}
+	z := AxPlusY(2, []float64{1, 2}, []float64{10, 20})
+	if z[0] != 12 || z[1] != 24 {
+		t.Errorf("AxPlusY = %v", z)
+	}
+	d := Sub([]float64{5, 7}, []float64{2, 3})
+	if d[0] != 3 || d[1] != 4 {
+		t.Errorf("Sub = %v", d)
+	}
+	sv := ScaleVec(3, []float64{1, 2})
+	if sv[0] != 3 || sv[1] != 6 {
+		t.Errorf("ScaleVec = %v", sv)
+	}
+}
+
+func TestSolveLSExact(t *testing.T) {
+	// Square, well-conditioned system: exact solution recovered.
+	a := FromRows([][]float64{
+		{2, 1},
+		{1, 3},
+	})
+	b := []float64{5, 10}
+	x, err := SolveLS(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2x + y = 5; x + 3y = 10 -> x = 1, y = 3.
+	if math.Abs(x[0]-1) > 1e-10 || math.Abs(x[1]-3) > 1e-10 {
+		t.Errorf("SolveLS = %v, want [1 3]", x)
+	}
+}
+
+func TestSolveLSOverdetermined(t *testing.T) {
+	// y = 2x fitted from noisy-free overdetermined data.
+	a := FromRows([][]float64{{1}, {2}, {3}, {4}})
+	b := []float64{2, 4, 6, 8}
+	x, err := SolveLS(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-2) > 1e-10 {
+		t.Errorf("slope = %v, want 2", x[0])
+	}
+}
+
+func TestSolveLSResidualOrthogonality(t *testing.T) {
+	// For the LS solution, the residual is orthogonal to the column space.
+	a := FromRows([][]float64{
+		{1, 0.5},
+		{1, 1.5},
+		{1, 2.5},
+		{1, 3.0},
+		{1, 4.2},
+	})
+	b := []float64{1, 2, 2, 4, 5}
+	x, err := SolveLS(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, _ := a.MulVec(x)
+	res := Sub(b, pred)
+	for j := 0; j < a.Cols(); j++ {
+		if d := math.Abs(Dot(a.Col(j), res)); d > 1e-9 {
+			t.Errorf("residual not orthogonal to column %d: %v", j, d)
+		}
+	}
+}
+
+func TestSolveLSRankDeficient(t *testing.T) {
+	// Second column is 2× the first: aliased predictor gets coefficient 0.
+	a := FromRows([][]float64{
+		{1, 2},
+		{2, 4},
+		{3, 6},
+	})
+	b := []float64{3, 6, 9}
+	x, err := SolveLS(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, _ := a.MulVec(x)
+	for i := range b {
+		if math.Abs(pred[i]-b[i]) > 1e-9 {
+			t.Errorf("rank-deficient fit wrong at %d: %v vs %v", i, pred[i], b[i])
+		}
+	}
+}
+
+func TestSolveLSShapeErrors(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}})
+	if _, err := SolveLS(a, []float64{1}); err == nil {
+		t.Error("wide matrix accepted")
+	}
+	tall := FromRows([][]float64{{1}, {2}})
+	if _, err := SolveLS(tall, []float64{1}); err == nil {
+		t.Error("rhs length mismatch accepted")
+	}
+}
+
+func TestSolveUpperTriangular(t *testing.T) {
+	r := FromRows([][]float64{
+		{2, 1},
+		{0, 4},
+	})
+	x, err := SolveUpperTriangular(r, []float64{4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[1]-2) > 1e-12 || math.Abs(x[0]-1) > 1e-12 {
+		t.Errorf("x = %v, want [1 2]", x)
+	}
+	sing := FromRows([][]float64{{0}})
+	if _, err := SolveUpperTriangular(sing, []float64{1}); err != ErrSingular {
+		t.Errorf("singular err = %v", err)
+	}
+}
+
+func TestCholesky(t *testing.T) {
+	a := FromRows([][]float64{
+		{4, 2},
+		{2, 3},
+	})
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reconstruct.
+	lt := l.T()
+	re, _ := Mul(l, lt)
+	if MaxAbsDiff(re, a) > 1e-12 {
+		t.Errorf("L·Lᵀ =\n%v want\n%v", re, a)
+	}
+	x, err := SolveCholesky(l, []float64{8, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, _ := a.MulVec(x)
+	if math.Abs(pred[0]-8) > 1e-10 || math.Abs(pred[1]-7) > 1e-10 {
+		t.Errorf("SolveCholesky residual: %v", pred)
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := FromRows([][]float64{
+		{1, 2},
+		{2, 1},
+	})
+	if _, err := Cholesky(a); err != ErrSingular {
+		t.Errorf("indefinite matrix err = %v, want ErrSingular", err)
+	}
+	if _, err := Cholesky(NewDense(2, 3)); err != ErrShape {
+		t.Errorf("non-square err = %v, want ErrShape", err)
+	}
+}

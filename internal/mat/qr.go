@@ -1,0 +1,116 @@
+package mat
+
+import "math"
+
+// SolveLS solves the least-squares problem min ||A·x - b||₂ for x using
+// Householder QR. A must have at least as many rows as columns. Columns
+// whose R diagonal is numerically zero (rank deficiency) get a zero
+// coefficient, the convention regression packages use for aliased
+// predictors.
+func SolveLS(a *Dense, b []float64) ([]float64, error) {
+	m, n := a.Dims()
+	if m < n {
+		return nil, ErrShape
+	}
+	if len(b) != m {
+		return nil, ErrShape
+	}
+	// Work on copies: the factorisation is in-place.
+	w := a.Clone()
+	y := make([]float64, m)
+	copy(y, b)
+
+	for k := 0; k < n; k++ {
+		// Householder vector v for column k of the trailing submatrix.
+		norm := 0.0
+		for i := k; i < m; i++ {
+			v := w.At(i, k)
+			norm += v * v
+		}
+		norm = math.Sqrt(norm)
+		if norm == 0 {
+			continue
+		}
+		alpha := -norm
+		if w.At(k, k) < 0 {
+			alpha = norm
+		}
+		// v = x - alpha·e1, copied out because applying H overwrites the
+		// column that stores it.
+		v := make([]float64, m-k)
+		v[0] = w.At(k, k) - alpha
+		vtv := v[0] * v[0]
+		for i := k + 1; i < m; i++ {
+			v[i-k] = w.At(i, k)
+			vtv += v[i-k] * v[i-k]
+		}
+		if vtv == 0 {
+			continue
+		}
+		beta := 2 / vtv
+
+		// Apply H = I - beta·v·vᵀ to columns k..n-1 of w.
+		for j := k; j < n; j++ {
+			s := 0.0
+			for i := k; i < m; i++ {
+				s += v[i-k] * w.At(i, j)
+			}
+			s *= beta
+			for i := k; i < m; i++ {
+				w.Set(i, j, w.At(i, j)-s*v[i-k])
+			}
+		}
+		// Apply H to the right-hand side.
+		s := 0.0
+		for i := k; i < m; i++ {
+			s += v[i-k] * y[i]
+		}
+		s *= beta
+		for i := k; i < m; i++ {
+			y[i] -= s * v[i-k]
+		}
+		// The diagonal now holds alpha up to rounding; set it exactly and
+		// clear the annihilated sub-column so back-substitution sees R.
+		w.Set(k, k, alpha)
+		for i := k + 1; i < m; i++ {
+			w.Set(i, k, 0)
+		}
+	}
+
+	// Back-substitute R·x = y[0:n].
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for j := i + 1; j < n; j++ {
+			s -= w.At(i, j) * x[j]
+		}
+		d := w.At(i, i)
+		if math.Abs(d) < 1e-12 {
+			x[i] = 0
+			continue
+		}
+		x[i] = s / d
+	}
+	return x, nil
+}
+
+// SolveUpperTriangular solves R·x = b for upper-triangular R.
+func SolveUpperTriangular(r *Dense, b []float64) ([]float64, error) {
+	n, c := r.Dims()
+	if n != c || len(b) != n {
+		return nil, ErrShape
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := b[i]
+		for j := i + 1; j < n; j++ {
+			s -= r.At(i, j) * x[j]
+		}
+		d := r.At(i, i)
+		if d == 0 {
+			return nil, ErrSingular
+		}
+		x[i] = s / d
+	}
+	return x, nil
+}

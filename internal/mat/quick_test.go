@@ -1,0 +1,184 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomTall builds a deterministic pseudo-random tall matrix and rhs from
+// a quick-check seed.
+func randomTall(seed int64, m, n int) (*Dense, []float64) {
+	r := rand.New(rand.NewSource(seed))
+	a := NewDense(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			a.Set(i, j, r.NormFloat64())
+		}
+	}
+	b := make([]float64, m)
+	for i := range b {
+		b[i] = r.NormFloat64()
+	}
+	return a, b
+}
+
+func TestQuickSolveLSResidualOrthogonal(t *testing.T) {
+	f := func(seed int64, mRaw, nRaw uint8) bool {
+		n := int(nRaw%4) + 1
+		m := n + int(mRaw%8) + 1
+		a, b := randomTall(seed, m, n)
+		x, err := SolveLS(a, b)
+		if err != nil {
+			return false
+		}
+		pred, _ := a.MulVec(x)
+		res := Sub(b, pred)
+		for j := 0; j < n; j++ {
+			if math.Abs(Dot(a.Col(j), res)) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickTransposeInvolution(t *testing.T) {
+	f := func(seed int64, mRaw, nRaw uint8) bool {
+		m := int(mRaw%6) + 1
+		n := int(nRaw%6) + 1
+		a, _ := randomTall(seed, m+n, n) // any shape works
+		return MaxAbsDiff(a.T().T(), a) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMulIdentity(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%6) + 1
+		a, _ := randomTall(seed, n, n)
+		left, err := Mul(Identity(n), a)
+		if err != nil {
+			return false
+		}
+		right, err := Mul(a, Identity(n))
+		if err != nil {
+			return false
+		}
+		return MaxAbsDiff(left, a) < 1e-12 && MaxAbsDiff(right, a) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCholeskyReconstructs(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%5) + 1
+		g, _ := randomTall(seed, n+3, n)
+		// gᵀ·g + I is symmetric positive definite.
+		gtg, err := Mul(g.T(), g)
+		if err != nil {
+			return false
+		}
+		spd, err := Add(gtg, Identity(n))
+		if err != nil {
+			return false
+		}
+		l, err := Cholesky(spd)
+		if err != nil {
+			return false
+		}
+		re, err := Mul(l, l.T())
+		if err != nil {
+			return false
+		}
+		return MaxAbsDiff(re, spd) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDotCauchySchwarz(t *testing.T) {
+	f := func(rawX, rawY []float64) bool {
+		n := len(rawX)
+		if len(rawY) < n {
+			n = len(rawY)
+		}
+		if n == 0 {
+			return true
+		}
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := 0; i < n; i++ {
+			x[i] = math.Mod(sanitizeQuick(rawX[i]), 1e3)
+			y[i] = math.Mod(sanitizeQuick(rawY[i]), 1e3)
+		}
+		lhs := math.Abs(Dot(x, y))
+		rhs := Norm2(x) * Norm2(y)
+		return lhs <= rhs*(1+1e-9)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func sanitizeQuick(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 1
+	}
+	return v
+}
+
+// TestQuickNormalEquationsAgreement: the QR least-squares solution agrees
+// with the Cholesky solution of the normal equations on well-conditioned
+// problems.
+func TestQuickNormalEquationsAgreement(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%4) + 1
+		m := n + 8
+		a, b := randomTall(seed, m, n)
+		xQR, err := SolveLS(a, b)
+		if err != nil {
+			return false
+		}
+		ata, err := Mul(a.T(), a)
+		if err != nil {
+			return false
+		}
+		// Random Gaussian columns are almost surely independent; ridge a
+		// hair for numerical safety.
+		reg, err := Add(ata, Identity(n).Scale(1e-10))
+		if err != nil {
+			return false
+		}
+		atb, err := a.T().MulVec(b)
+		if err != nil {
+			return false
+		}
+		l, err := Cholesky(reg)
+		if err != nil {
+			return false
+		}
+		xNE, err := SolveCholesky(l, atb)
+		if err != nil {
+			return false
+		}
+		for i := range xQR {
+			if math.Abs(xQR[i]-xNE[i]) > 1e-6*(1+math.Abs(xQR[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,69 @@
+package mat
+
+import "math"
+
+// Dot returns the inner product of x and y. The slices must have the same
+// length.
+func Dot(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("mat: Dot length mismatch")
+	}
+	s := 0.0
+	for i := range x {
+		s += x[i] * y[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of x.
+func Norm2(x []float64) float64 {
+	// Scaled computation to avoid overflow for large components.
+	max := 0.0
+	for _, v := range x {
+		if a := math.Abs(v); a > max {
+			max = a
+		}
+	}
+	if max == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range x {
+		r := v / max
+		s += r * r
+	}
+	return max * math.Sqrt(s)
+}
+
+// AxPlusY computes a*x + y element-wise into a new slice.
+func AxPlusY(a float64, x, y []float64) []float64 {
+	if len(x) != len(y) {
+		panic("mat: AxPlusY length mismatch")
+	}
+	out := make([]float64, len(x))
+	for i := range x {
+		out[i] = a*x[i] + y[i]
+	}
+	return out
+}
+
+// Sub returns x - y element-wise.
+func Sub(x, y []float64) []float64 {
+	if len(x) != len(y) {
+		panic("mat: Sub length mismatch")
+	}
+	out := make([]float64, len(x))
+	for i := range x {
+		out[i] = x[i] - y[i]
+	}
+	return out
+}
+
+// ScaleVec returns s*x as a new slice.
+func ScaleVec(s float64, x []float64) []float64 {
+	out := make([]float64, len(x))
+	for i := range x {
+		out[i] = s * x[i]
+	}
+	return out
+}

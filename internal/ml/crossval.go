@@ -1,0 +1,101 @@
+package ml
+
+import (
+	"errors"
+	"fmt"
+
+	"additivity/internal/stats"
+)
+
+// CVResult is the outcome of a k-fold cross-validation: per-fold error
+// statistics and their aggregate.
+type CVResult struct {
+	Folds []ErrorStats
+	// Mean of the per-fold average percentage errors.
+	MeanAvg float64
+	// Standard deviation of the per-fold averages (model stability).
+	StdAvg float64
+}
+
+// CrossValidate runs k-fold cross-validation of a model family on (X, y).
+// newModel must return a fresh, unfitted model for each fold (models are
+// stateful). Folds are contiguous blocks of a seeded permutation, so the
+// same seed reproduces the same folds.
+func CrossValidate(newModel func() Regressor, X [][]float64, y []float64, k int, seed int64) (CVResult, error) {
+	n, _, err := validate(X, y)
+	if err != nil {
+		return CVResult{}, err
+	}
+	if k < 2 {
+		return CVResult{}, errors.New("ml: need at least 2 folds")
+	}
+	if k > n {
+		return CVResult{}, fmt.Errorf("ml: %d folds for %d observations", k, n)
+	}
+	perm := stats.SplitSeed(seed, "cv").Perm(n)
+
+	var res CVResult
+	avgs := make([]float64, 0, k)
+	for fold := 0; fold < k; fold++ {
+		lo := fold * n / k
+		hi := (fold + 1) * n / k
+		var trX, teX [][]float64
+		var trY, teY []float64
+		for i, p := range perm {
+			if i >= lo && i < hi {
+				teX = append(teX, X[p])
+				teY = append(teY, y[p])
+			} else {
+				trX = append(trX, X[p])
+				trY = append(trY, y[p])
+			}
+		}
+		m := newModel()
+		if err := m.Fit(trX, trY); err != nil {
+			return CVResult{}, fmt.Errorf("ml: fold %d: %w", fold, err)
+		}
+		es, err := Evaluate(m, teX, teY)
+		if err != nil {
+			return CVResult{}, fmt.Errorf("ml: fold %d: %w", fold, err)
+		}
+		res.Folds = append(res.Folds, es)
+		avgs = append(avgs, es.Avg)
+	}
+	res.MeanAvg = stats.Mean(avgs)
+	res.StdAvg = stats.StdDev(avgs)
+	return res, nil
+}
+
+// SelectByCV picks the model family with the lowest cross-validated mean
+// average error. candidates maps a family name to its constructor.
+func SelectByCV(candidates map[string]func() Regressor, X [][]float64, y []float64, k int, seed int64) (string, CVResult, error) {
+	if len(candidates) == 0 {
+		return "", CVResult{}, errors.New("ml: no candidate models")
+	}
+	bestName := ""
+	var best CVResult
+	// Deterministic iteration: sort names.
+	names := make([]string, 0, len(candidates))
+	for name := range candidates {
+		names = append(names, name)
+	}
+	sortStrings(names)
+	for _, name := range names {
+		res, err := CrossValidate(candidates[name], X, y, k, seed)
+		if err != nil {
+			return "", CVResult{}, fmt.Errorf("ml: %s: %w", name, err)
+		}
+		if bestName == "" || res.MeanAvg < best.MeanAvg {
+			bestName, best = name, res
+		}
+	}
+	return bestName, best, nil
+}
+
+func sortStrings(xs []string) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

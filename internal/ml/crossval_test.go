@@ -1,0 +1,160 @@
+package ml
+
+import (
+	"math"
+	"testing"
+
+	"additivity/internal/stats"
+)
+
+func linearData(n int, seed int64) ([][]float64, []float64) {
+	g := stats.NewRNG(seed)
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		a, b := g.Uniform(1, 10), g.Uniform(1, 10)
+		X[i] = []float64{a, b}
+		y[i] = 5*a + 2*b + g.Normal(0, 0.1)
+	}
+	return X, y
+}
+
+func TestCrossValidateLinear(t *testing.T) {
+	X, y := linearData(100, 1)
+	res, err := CrossValidate(func() Regressor { return NewLinearRegression() }, X, y, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Folds) != 5 {
+		t.Fatalf("folds = %d", len(res.Folds))
+	}
+	if res.MeanAvg > 2 {
+		t.Errorf("CV mean avg error = %.2f%%, want small on clean linear data", res.MeanAvg)
+	}
+	if res.StdAvg < 0 {
+		t.Errorf("CV std = %v", res.StdAvg)
+	}
+}
+
+func TestCrossValidateDeterministic(t *testing.T) {
+	X, y := linearData(60, 2)
+	a, err := CrossValidate(func() Regressor { return NewLinearRegression() }, X, y, 4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CrossValidate(func() Regressor { return NewLinearRegression() }, X, y, 4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MeanAvg != b.MeanAvg {
+		t.Error("same-seed CV differs")
+	}
+}
+
+func TestCrossValidateErrors(t *testing.T) {
+	X, y := linearData(10, 3)
+	mk := func() Regressor { return NewLinearRegression() }
+	if _, err := CrossValidate(mk, X, y, 1, 1); err == nil {
+		t.Error("k=1 accepted")
+	}
+	if _, err := CrossValidate(mk, X, y, 11, 1); err == nil {
+		t.Error("k>n accepted")
+	}
+	if _, err := CrossValidate(mk, nil, nil, 2, 1); err == nil {
+		t.Error("empty data accepted")
+	}
+}
+
+func TestCrossValidateFoldsPartition(t *testing.T) {
+	// Every observation appears in exactly one test fold: total test size
+	// across folds equals n.
+	X, y := linearData(23, 4)
+	res, err := CrossValidate(func() Regressor { return NewLinearRegression() }, X, y, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Folds) != 4 {
+		t.Fatalf("folds = %d", len(res.Folds))
+	}
+}
+
+func TestSelectByCV(t *testing.T) {
+	// On clean linear data the linear model must beat the forest.
+	X, y := linearData(120, 5)
+	name, res, err := SelectByCV(map[string]func() Regressor{
+		"lr": func() Regressor { return NewLinearRegression() },
+		"rf": func() Regressor { return NewRandomForest(1) },
+	}, X, y, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "lr" {
+		t.Errorf("selected %s, want lr on linear data (mean avg %.2f)", name, res.MeanAvg)
+	}
+	if _, _, err := SelectByCV(nil, X, y, 4, 5); err == nil {
+		t.Error("empty candidates accepted")
+	}
+}
+
+func TestTreeImportances(t *testing.T) {
+	// Only the first feature matters; importances must say so.
+	g := stats.NewRNG(6)
+	X := make([][]float64, 200)
+	y := make([]float64, 200)
+	for i := range X {
+		X[i] = []float64{g.Uniform(0, 10), g.Uniform(0, 10)}
+		if X[i][0] > 5 {
+			y[i] = 100
+		} else {
+			y[i] = 10
+		}
+	}
+	tr := NewRegressionTree()
+	if err := tr.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	imp := tr.Importances()
+	if len(imp) != 2 {
+		t.Fatalf("importances = %v", imp)
+	}
+	if imp[0] < 0.9 {
+		t.Errorf("feature 0 importance = %.3f, want > 0.9", imp[0])
+	}
+	sum := imp[0] + imp[1]
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("importances sum to %v", sum)
+	}
+	// A constant-target tree never splits: all-zero importances.
+	ct := NewRegressionTree()
+	if err := ct.Fit([][]float64{{1}, {2}, {3}, {4}}, []float64{7, 7, 7, 7}); err != nil {
+		t.Fatal(err)
+	}
+	if got := ct.Importances(); got[0] != 0 {
+		t.Errorf("constant tree importance = %v", got)
+	}
+}
+
+func TestForestImportances(t *testing.T) {
+	g := stats.NewRNG(7)
+	X := make([][]float64, 300)
+	y := make([]float64, 300)
+	for i := range X {
+		X[i] = []float64{g.Uniform(0, 10), g.Uniform(0, 10), g.Uniform(0, 10)}
+		y[i] = 50*X[i][1] + g.Normal(0, 1) // only feature 1 matters
+	}
+	rf := NewRandomForest(3)
+	if err := rf.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	imp, err := rf.Importances()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imp[1] < 0.6 || imp[1] < imp[0] || imp[1] < imp[2] {
+		t.Errorf("importances = %v, want feature 1 dominant", imp)
+	}
+	var unfit RandomForest
+	if _, err := unfit.Importances(); err != ErrNotFitted {
+		t.Errorf("unfitted importances err = %v", err)
+	}
+}

@@ -1,0 +1,131 @@
+package ml
+
+import (
+	"errors"
+	"fmt"
+
+	"additivity/internal/stats"
+)
+
+// ForestOptions configures a random forest.
+type ForestOptions struct {
+	Trees    int   // number of trees (default 100)
+	MaxDepth int   // per-tree depth limit (0 = unlimited)
+	MinLeaf  int   // minimum samples per leaf
+	MTry     int   // features per split (0 = p/3, at least 1)
+	Seed     int64 // bootstrap / feature-bagging seed
+}
+
+// RandomForest is a bagged ensemble of CART regression trees with
+// per-split feature subsampling.
+type RandomForest struct {
+	Opts  ForestOptions
+	trees []*RegressionTree
+}
+
+// NewRandomForest returns a forest with the defaults used by the
+// experiments (100 trees, leaf size 3).
+func NewRandomForest(seed int64) *RandomForest {
+	return &RandomForest{Opts: ForestOptions{Trees: 100, MinLeaf: 3, Seed: seed}}
+}
+
+// Name implements Regressor.
+func (f *RandomForest) Name() string { return "RF" }
+
+// Fit implements Regressor.
+func (f *RandomForest) Fit(X [][]float64, y []float64) error {
+	rows, cols, err := validate(X, y)
+	if err != nil {
+		return err
+	}
+	if f.Opts.Trees < 1 {
+		f.Opts.Trees = 100
+	}
+	if f.Opts.MinLeaf < 1 {
+		f.Opts.MinLeaf = 3
+	}
+	mtry := f.Opts.MTry
+	if mtry <= 0 {
+		mtry = cols / 3
+	}
+	if mtry < 1 {
+		mtry = 1
+	}
+	if mtry > cols {
+		mtry = cols
+	}
+
+	f.trees = make([]*RegressionTree, f.Opts.Trees)
+	root := stats.NewRNG(f.Opts.Seed)
+	for t := 0; t < f.Opts.Trees; t++ {
+		g := root.Split(fmt.Sprintf("tree-%d", t))
+		// Bootstrap sample.
+		bx := make([][]float64, rows)
+		by := make([]float64, rows)
+		for i := 0; i < rows; i++ {
+			j := g.Intn(rows)
+			bx[i] = X[j]
+			by[i] = y[j]
+		}
+		tree := &RegressionTree{Opts: TreeOptions{
+			MaxDepth:      f.Opts.MaxDepth,
+			MinLeaf:       f.Opts.MinLeaf,
+			MaxThresholds: 32,
+			featurePicker: func(p int) []int {
+				perm := g.Perm(p)
+				return perm[:mtry]
+			},
+		}}
+		if err := tree.Fit(bx, by); err != nil {
+			return err
+		}
+		f.trees[t] = tree
+	}
+	return nil
+}
+
+// Predict implements Regressor: the mean of the trees' predictions.
+func (f *RandomForest) Predict(x []float64) (float64, error) {
+	if len(f.trees) == 0 {
+		return 0, ErrNotFitted
+	}
+	s := 0.0
+	for _, t := range f.trees {
+		p, err := t.Predict(x)
+		if err != nil {
+			return 0, err
+		}
+		s += p
+	}
+	return s / float64(len(f.trees)), nil
+}
+
+// Importances returns the forest's per-feature importance: the mean of
+// the trees' normalised impurity reductions, renormalised to sum to 1.
+func (f *RandomForest) Importances() ([]float64, error) {
+	if len(f.trees) == 0 {
+		return nil, ErrNotFitted
+	}
+	p := len(f.trees[0].importances)
+	sum := make([]float64, p)
+	for _, t := range f.trees {
+		for i, v := range t.Importances() {
+			sum[i] += v
+		}
+	}
+	total := 0.0
+	for _, v := range sum {
+		total += v
+	}
+	if total == 0 {
+		return sum, nil
+	}
+	for i := range sum {
+		sum[i] /= total
+	}
+	return sum, nil
+}
+
+// ErrNoOOB marks that out-of-bag error is not tracked by this minimal
+// forest; Evaluate with a held-out set instead.
+var ErrNoOOB = errors.New("ml: out-of-bag error not tracked")

@@ -1,0 +1,312 @@
+package ml
+
+import (
+	"errors"
+	"math"
+
+	"additivity/internal/mat"
+)
+
+// LinearOptions configures a linear regression model.
+type LinearOptions struct {
+	// NonNegative forces all coefficients to be >= 0 (Lawson–Hanson
+	// active-set NNLS). The paper's linear models are penalised to
+	// non-negative coefficients because dynamic energy contributions of
+	// hardware events cannot be negative.
+	NonNegative bool
+	// Intercept adds a constant term. The paper's models use a zero
+	// intercept: zero activity must predict zero dynamic energy.
+	Intercept bool
+	// Ridge adds an L2 penalty λ on the coefficients (0 disables it).
+	// Only valid without NonNegative; it stabilises correlated PMC
+	// features, trading bias for variance — an ablation against the
+	// paper's NNLS choice.
+	Ridge float64
+}
+
+// LinearRegression is an ordinary or non-negative least-squares linear
+// model.
+type LinearRegression struct {
+	Opts LinearOptions
+
+	coef      []float64 // per-feature coefficients
+	intercept float64
+	residStd  float64 // training residual standard deviation
+	fitted    bool
+}
+
+// NewLinearRegression returns the paper's linear model: non-negative
+// coefficients, zero intercept.
+func NewLinearRegression() *LinearRegression {
+	return &LinearRegression{Opts: LinearOptions{NonNegative: true, Intercept: false}}
+}
+
+// NewOLS returns an unconstrained ordinary-least-squares model with
+// intercept, for comparison and ablation.
+func NewOLS() *LinearRegression {
+	return &LinearRegression{Opts: LinearOptions{NonNegative: false, Intercept: true}}
+}
+
+// Name implements Regressor.
+func (l *LinearRegression) Name() string { return "LR" }
+
+// Coefficients returns a copy of the fitted feature coefficients.
+func (l *LinearRegression) Coefficients() []float64 {
+	out := make([]float64, len(l.coef))
+	copy(out, l.coef)
+	return out
+}
+
+// Intercept returns the fitted intercept (zero when disabled).
+func (l *LinearRegression) Intercept() float64 { return l.intercept }
+
+// Fit implements Regressor.
+func (l *LinearRegression) Fit(X [][]float64, y []float64) error {
+	rows, cols, err := validate(X, y)
+	if err != nil {
+		return err
+	}
+	p := cols
+	if l.Opts.Intercept {
+		p++
+	}
+	if rows < p {
+		return errors.New("ml: fewer observations than parameters")
+	}
+	a := mat.NewDense(rows, p)
+	for i, row := range X {
+		for j, v := range row {
+			a.Set(i, j, v)
+		}
+		if l.Opts.Intercept {
+			a.Set(i, p-1, 1)
+		}
+	}
+	var beta []float64
+	switch {
+	case l.Opts.NonNegative && l.Opts.Ridge != 0:
+		return errors.New("ml: ridge penalty is not supported with non-negative constraints")
+	case l.Opts.NonNegative:
+		beta, err = nnls(a, y)
+	case l.Opts.Ridge > 0:
+		beta, err = ridge(a, y, l.Opts.Ridge, l.Opts.Intercept)
+	case l.Opts.Ridge < 0:
+		return errors.New("ml: negative ridge penalty")
+	default:
+		beta, err = mat.SolveLS(a, y)
+	}
+	if err != nil {
+		return err
+	}
+	if l.Opts.Intercept {
+		l.coef = beta[:cols]
+		l.intercept = beta[cols]
+	} else {
+		l.coef = beta
+		l.intercept = 0
+	}
+	l.fitted = true
+
+	// Training residual spread, for prediction intervals.
+	ss := 0.0
+	for i, row := range X {
+		p, _ := l.Predict(row)
+		d := y[i] - p
+		ss += d * d
+	}
+	dof := float64(rows - p)
+	if dof < 1 {
+		dof = 1
+	}
+	l.residStd = math.Sqrt(ss / dof)
+	return nil
+}
+
+// PredictInterval returns the point prediction and the half-width of a
+// homoscedastic prediction interval at z standard deviations of the
+// training residuals (z = 1.96 for ≈95%). Energy predictions without
+// uncertainty invite over-trust — especially for online models built from
+// four counters.
+func (l *LinearRegression) PredictInterval(x []float64, z float64) (pred, halfWidth float64, err error) {
+	pred, err = l.Predict(x)
+	if err != nil {
+		return 0, 0, err
+	}
+	if z < 0 {
+		z = -z
+	}
+	return pred, z * l.residStd, nil
+}
+
+// ResidualStd returns the training residual standard deviation.
+func (l *LinearRegression) ResidualStd() float64 { return l.residStd }
+
+// Contributions returns the per-feature terms of a prediction:
+// coefficient × feature value. For the paper's energy models this is the
+// fine-grained decomposition of predicted dynamic energy per hardware
+// activity — the property that makes PMC models "ideal fundamental
+// building blocks for application-level energy optimization" (§1, §6).
+// The sum of the contributions plus the intercept equals Predict(x).
+func (l *LinearRegression) Contributions(x []float64) ([]float64, error) {
+	if !l.fitted {
+		return nil, ErrNotFitted
+	}
+	if len(x) != len(l.coef) {
+		return nil, errors.New("ml: feature width mismatch")
+	}
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = l.coef[i] * v
+	}
+	return out, nil
+}
+
+// Predict implements Regressor.
+func (l *LinearRegression) Predict(x []float64) (float64, error) {
+	if !l.fitted {
+		return 0, ErrNotFitted
+	}
+	if len(x) != len(l.coef) {
+		return 0, errors.New("ml: feature width mismatch")
+	}
+	s := l.intercept
+	for i, v := range x {
+		s += l.coef[i] * v
+	}
+	return s, nil
+}
+
+// ridge solves (AᵀA + λI)·x = Aᵀb via Cholesky. When the design matrix
+// carries an intercept column (the last one), the intercept is left
+// unpenalised, as is standard.
+func ridge(a *mat.Dense, b []float64, lambda float64, intercept bool) ([]float64, error) {
+	at := a.T()
+	ata, err := mat.Mul(at, a)
+	if err != nil {
+		return nil, err
+	}
+	_, p := ata.Dims()
+	for j := 0; j < p; j++ {
+		if intercept && j == p-1 {
+			continue
+		}
+		ata.Set(j, j, ata.At(j, j)+lambda)
+	}
+	atb, err := at.MulVec(b)
+	if err != nil {
+		return nil, err
+	}
+	l, err := mat.Cholesky(ata)
+	if err != nil {
+		return nil, err
+	}
+	return mat.SolveCholesky(l, atb)
+}
+
+// nnls solves min ||A·x − b||₂ subject to x >= 0 with the Lawson–Hanson
+// active-set algorithm.
+func nnls(a *mat.Dense, b []float64) ([]float64, error) {
+	rows, n := a.Dims()
+	x := make([]float64, n)
+	passive := make([]bool, n)
+
+	residual := func() []float64 {
+		ax, _ := a.MulVec(x)
+		return mat.Sub(b, ax)
+	}
+	gradient := func(r []float64) []float64 {
+		w := make([]float64, n)
+		for j := 0; j < n; j++ {
+			w[j] = mat.Dot(a.Col(j), r)
+		}
+		return w
+	}
+	// Tolerance scaled to the problem's magnitude.
+	tol := 1e-10 * mat.Norm2(b) * float64(n)
+	if tol == 0 {
+		tol = 1e-12
+	}
+
+	for iter := 0; iter < 3*n+30; iter++ {
+		w := gradient(residual())
+		// Pick the most promising inactive variable.
+		best, bestW := -1, tol
+		for j := 0; j < n; j++ {
+			if !passive[j] && w[j] > bestW {
+				best, bestW = j, w[j]
+			}
+		}
+		if best < 0 {
+			break // KKT satisfied
+		}
+		passive[best] = true
+
+		// Inner loop: solve the unconstrained problem on the passive set,
+		// clipping variables that go non-positive.
+		for {
+			idx := passiveIndices(passive)
+			sub := mat.NewDense(rows, len(idx))
+			for i := 0; i < rows; i++ {
+				for jj, j := range idx {
+					sub.Set(i, jj, a.At(i, j))
+				}
+			}
+			s, err := mat.SolveLS(sub, b)
+			if err != nil {
+				return nil, err
+			}
+			if allPositive(s) {
+				for jj, j := range idx {
+					x[j] = s[jj]
+				}
+				break
+			}
+			// Step toward s until the first variable hits zero.
+			alpha := math.Inf(1)
+			for jj, j := range idx {
+				if s[jj] <= 0 {
+					if d := x[j] - s[jj]; d > 0 {
+						if r := x[j] / d; r < alpha {
+							alpha = r
+						}
+					}
+				}
+			}
+			if math.IsInf(alpha, 1) {
+				alpha = 0
+			}
+			for jj, j := range idx {
+				x[j] += alpha * (s[jj] - x[j])
+			}
+			for _, j := range idx {
+				if x[j] <= 1e-14 {
+					x[j] = 0
+					passive[j] = false
+				}
+			}
+			if len(passiveIndices(passive)) == 0 {
+				break
+			}
+		}
+	}
+	return x, nil
+}
+
+func passiveIndices(passive []bool) []int {
+	var idx []int
+	for j, p := range passive {
+		if p {
+			idx = append(idx, j)
+		}
+	}
+	return idx
+}
+
+func allPositive(xs []float64) bool {
+	for _, v := range xs {
+		if v <= 0 {
+			return false
+		}
+	}
+	return true
+}

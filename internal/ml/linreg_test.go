@@ -1,0 +1,312 @@
+package ml
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"additivity/internal/stats"
+)
+
+func TestNNLSRecoversNonNegativeTruth(t *testing.T) {
+	// y = 2·x0 + 0·x1 + 5·x2, exactly.
+	g := stats.NewRNG(1)
+	X := make([][]float64, 60)
+	y := make([]float64, 60)
+	for i := range X {
+		X[i] = []float64{g.Uniform(0, 10), g.Uniform(0, 10), g.Uniform(0, 10)}
+		y[i] = 2*X[i][0] + 5*X[i][2]
+	}
+	lr := NewLinearRegression()
+	if err := lr.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	c := lr.Coefficients()
+	if math.Abs(c[0]-2) > 1e-8 || math.Abs(c[1]) > 1e-8 || math.Abs(c[2]-5) > 1e-8 {
+		t.Errorf("coefficients = %v, want [2 0 5]", c)
+	}
+	if lr.Intercept() != 0 {
+		t.Errorf("intercept = %v, want 0", lr.Intercept())
+	}
+}
+
+func TestNNLSClampsNegativeContributions(t *testing.T) {
+	// The true relationship has a negative weight; NNLS must zero it
+	// rather than go negative (the paper's "penalized linear regression
+	// that forces the coefficients to be non-negative").
+	g := stats.NewRNG(2)
+	X := make([][]float64, 80)
+	y := make([]float64, 80)
+	for i := range X {
+		X[i] = []float64{g.Uniform(0, 10), g.Uniform(0, 10)}
+		y[i] = 3*X[i][0] - 2*X[i][1]
+		if y[i] < 0 {
+			y[i] = 0
+		}
+	}
+	lr := NewLinearRegression()
+	if err := lr.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	for j, c := range lr.Coefficients() {
+		if c < 0 {
+			t.Errorf("coefficient %d = %v < 0", j, c)
+		}
+	}
+}
+
+func TestQuickNNLSAlwaysNonNegative(t *testing.T) {
+	f := func(seed int64) bool {
+		g := stats.NewRNG(seed)
+		n := 20 + g.Intn(30)
+		p := 1 + g.Intn(5)
+		X := make([][]float64, n)
+		y := make([]float64, n)
+		for i := range X {
+			X[i] = make([]float64, p)
+			for j := range X[i] {
+				X[i][j] = g.Normal(0, 5)
+			}
+			y[i] = g.Normal(0, 10)
+		}
+		lr := NewLinearRegression()
+		if err := lr.Fit(X, y); err != nil {
+			return false
+		}
+		for _, c := range lr.Coefficients() {
+			if c < 0 {
+				return false
+			}
+		}
+		// And the fit must be at least as good as the zero model in
+		// training loss (NNLS optimality sanity check).
+		pred, _ := PredictAll(lr, X)
+		return stats.RMSE(pred, y) <= stats.RMSE(make([]float64, n), y)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOLSWithIntercept(t *testing.T) {
+	X := [][]float64{{1}, {2}, {3}, {4}}
+	y := []float64{5, 7, 9, 11} // y = 2x + 3
+	ols := NewOLS()
+	if err := ols.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ols.Coefficients()[0]-2) > 1e-9 {
+		t.Errorf("slope = %v, want 2", ols.Coefficients()[0])
+	}
+	if math.Abs(ols.Intercept()-3) > 1e-9 {
+		t.Errorf("intercept = %v, want 3", ols.Intercept())
+	}
+	p, err := ols.Predict([]float64{10})
+	if err != nil || math.Abs(p-23) > 1e-8 {
+		t.Errorf("Predict(10) = %v, %v", p, err)
+	}
+}
+
+func TestLinearRegressionErrors(t *testing.T) {
+	lr := NewLinearRegression()
+	if _, err := lr.Predict([]float64{1}); err != ErrNotFitted {
+		t.Errorf("unfitted Predict err = %v", err)
+	}
+	if err := lr.Fit(nil, nil); err == nil {
+		t.Error("empty fit accepted")
+	}
+	if err := lr.Fit([][]float64{{1, 2}}, []float64{1}); err == nil {
+		t.Error("underdetermined fit accepted")
+	}
+	if err := lr.Fit([][]float64{{1}, {2}}, []float64{1}); err == nil {
+		t.Error("ragged targets accepted")
+	}
+	if err := lr.Fit([][]float64{{1}, {2, 3}}, []float64{1, 2}); err == nil {
+		t.Error("ragged rows accepted")
+	}
+	if err := lr.Fit([][]float64{{1}, {2}}, []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lr.Predict([]float64{1, 2}); err == nil {
+		t.Error("width mismatch accepted")
+	}
+}
+
+func TestContributionsDecomposePrediction(t *testing.T) {
+	g := stats.NewRNG(9)
+	X := make([][]float64, 40)
+	y := make([]float64, 40)
+	for i := range X {
+		X[i] = []float64{g.Uniform(0, 10), g.Uniform(0, 10), g.Uniform(0, 10)}
+		y[i] = 2*X[i][0] + 3*X[i][2]
+	}
+	lr := NewLinearRegression()
+	if err := lr.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{4, 5, 6}
+	contrib, err := lr.Contributions(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, _ := lr.Predict(x)
+	sum := 0.0
+	for _, c := range contrib {
+		if c < 0 {
+			t.Errorf("negative contribution %v under NNLS", c)
+		}
+		sum += c
+	}
+	if math.Abs(sum+lr.Intercept()-pred) > 1e-9 {
+		t.Errorf("contributions sum %v != prediction %v", sum, pred)
+	}
+	// The dead feature contributes nothing.
+	if contrib[1] != 0 {
+		t.Errorf("dead feature contributes %v", contrib[1])
+	}
+
+	var unfit LinearRegression
+	if _, err := unfit.Contributions(x); err != ErrNotFitted {
+		t.Errorf("unfitted err = %v", err)
+	}
+	if _, err := lr.Contributions([]float64{1}); err == nil {
+		t.Error("width mismatch accepted")
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	lr := NewLinearRegression()
+	X := [][]float64{{1}, {2}, {4}}
+	y := []float64{2, 4, 8}
+	if err := lr.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	es, err := Evaluate(lr, [][]float64{{3}, {5}}, []float64{6, 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Predictions 6 and 10 → errors 0% and ~9.09%.
+	if es.Min > 1e-9 || math.Abs(es.Max-100.0/11) > 1e-6 {
+		t.Errorf("Evaluate = %v", es)
+	}
+	if _, err := Evaluate(lr, nil, nil); err == nil {
+		t.Error("empty evaluation accepted")
+	}
+	if got := es.String(); got == "" {
+		t.Error("empty ErrorStats string")
+	}
+}
+
+func TestRidgeShrinksCoefficients(t *testing.T) {
+	g := stats.NewRNG(12)
+	X := make([][]float64, 60)
+	y := make([]float64, 60)
+	for i := range X {
+		a := g.Uniform(0, 10)
+		// Two almost-collinear features: OLS coefficients are unstable,
+		// ridge shrinks them toward a shared value.
+		X[i] = []float64{a, a + g.Normal(0, 0.01)}
+		y[i] = 3*a + g.Normal(0, 0.2)
+	}
+	ols := &LinearRegression{Opts: LinearOptions{}}
+	if err := ols.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	rr := &LinearRegression{Opts: LinearOptions{Ridge: 10}}
+	if err := rr.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	normOLS := math.Abs(ols.Coefficients()[0]) + math.Abs(ols.Coefficients()[1])
+	normRidge := math.Abs(rr.Coefficients()[0]) + math.Abs(rr.Coefficients()[1])
+	if normRidge >= normOLS {
+		t.Errorf("ridge norm %v >= OLS norm %v", normRidge, normOLS)
+	}
+	// Predictions remain sensible.
+	p, err := rr.Predict([]float64{5, 5})
+	if err != nil || math.Abs(p-15) > 1.5 {
+		t.Errorf("ridge Predict(5,5) = %v, %v", p, err)
+	}
+}
+
+func TestRidgeLeavesInterceptUnpenalised(t *testing.T) {
+	X := [][]float64{{1}, {2}, {3}, {4}, {5}}
+	y := []float64{101, 102, 103, 104, 105} // intercept 100, slope 1
+	rr := &LinearRegression{Opts: LinearOptions{Intercept: true, Ridge: 1000}}
+	if err := rr.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	// With a heavily penalised slope the intercept must absorb the mean.
+	if rr.Intercept() < 95 {
+		t.Errorf("intercept %v shrunk by the penalty", rr.Intercept())
+	}
+	if rr.Coefficients()[0] > 1 {
+		t.Errorf("slope %v not shrunk", rr.Coefficients()[0])
+	}
+}
+
+func TestRidgeOptionValidation(t *testing.T) {
+	X := [][]float64{{1}, {2}, {3}}
+	y := []float64{1, 2, 3}
+	bad := &LinearRegression{Opts: LinearOptions{NonNegative: true, Ridge: 1}}
+	if err := bad.Fit(X, y); err == nil {
+		t.Error("ridge+NNLS accepted")
+	}
+	neg := &LinearRegression{Opts: LinearOptions{Ridge: -1}}
+	if err := neg.Fit(X, y); err == nil {
+		t.Error("negative ridge accepted")
+	}
+}
+
+func TestPredictInterval(t *testing.T) {
+	g := stats.NewRNG(13)
+	X := make([][]float64, 100)
+	y := make([]float64, 100)
+	for i := range X {
+		a := g.Uniform(0, 10)
+		X[i] = []float64{a}
+		y[i] = 4*a + g.Normal(0, 2)
+	}
+	lr := NewLinearRegression()
+	if err := lr.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	// Residual spread near the generating sigma.
+	if rs := lr.ResidualStd(); rs < 1.5 || rs > 2.5 {
+		t.Errorf("residual std = %v, want ≈ 2", rs)
+	}
+	pred, hw, err := lr.PredictInterval([]float64{5}, 1.96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hw <= 0 {
+		t.Errorf("half width = %v", hw)
+	}
+	// Coverage: ~95% of fresh points fall inside the interval.
+	inside := 0
+	const trials = 400
+	for i := 0; i < trials; i++ {
+		a := g.Uniform(0, 10)
+		truth := 4*a + g.Normal(0, 2)
+		p, h, err := lr.PredictInterval([]float64{a}, 1.96)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if truth >= p-h && truth <= p+h {
+			inside++
+		}
+	}
+	cov := float64(inside) / trials
+	if cov < 0.90 || cov > 0.99 {
+		t.Errorf("interval coverage = %.3f, want ≈ 0.95", cov)
+	}
+	// Negative z is folded to positive.
+	_, hwNeg, _ := lr.PredictInterval([]float64{5}, -1.96)
+	if hwNeg != hw {
+		t.Errorf("negative-z half width %v != %v", hwNeg, hw)
+	}
+	_ = pred
+	var unfit LinearRegression
+	if _, _, err := unfit.PredictInterval([]float64{1}, 2); err != ErrNotFitted {
+		t.Errorf("unfitted err = %v", err)
+	}
+}

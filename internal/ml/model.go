@@ -1,0 +1,87 @@
+// Package ml implements the three model families the paper builds energy
+// predictive models with: penalised linear regression (non-negative
+// coefficients, zero intercept — the paper's exact construction), random
+// forests of CART regression trees, and a multilayer-perceptron neural
+// network with a linear transfer function. All three are implemented from
+// scratch on the standard library.
+package ml
+
+import (
+	"errors"
+	"fmt"
+
+	"additivity/internal/stats"
+)
+
+// ErrNotFitted is returned by Predict before Fit succeeds.
+var ErrNotFitted = errors.New("ml: model not fitted")
+
+// Regressor is a trainable single-output regression model.
+type Regressor interface {
+	// Fit trains the model on rows X (observations × features) and
+	// targets y.
+	Fit(X [][]float64, y []float64) error
+	// Predict returns the model output for one feature vector.
+	Predict(x []float64) (float64, error)
+	// Name identifies the model family ("LR", "RF", "NN").
+	Name() string
+}
+
+// validate checks a design matrix / target pair.
+func validate(X [][]float64, y []float64) (rows, cols int, err error) {
+	if len(X) == 0 {
+		return 0, 0, errors.New("ml: empty design matrix")
+	}
+	if len(X) != len(y) {
+		return 0, 0, fmt.Errorf("ml: %d rows but %d targets", len(X), len(y))
+	}
+	cols = len(X[0])
+	if cols == 0 {
+		return 0, 0, errors.New("ml: zero-width design matrix")
+	}
+	for i, row := range X {
+		if len(row) != cols {
+			return 0, 0, fmt.Errorf("ml: ragged row %d: %d != %d", i, len(row), cols)
+		}
+	}
+	return len(X), cols, nil
+}
+
+// PredictAll applies the model to every row.
+func PredictAll(m Regressor, X [][]float64) ([]float64, error) {
+	out := make([]float64, len(X))
+	for i, row := range X {
+		p, err := m.Predict(row)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = p
+	}
+	return out, nil
+}
+
+// ErrorStats is the paper's per-model accuracy report: minimum, average
+// and maximum percentage prediction error over a test set.
+type ErrorStats struct {
+	Min, Avg, Max float64
+}
+
+// String renders the triple the way the paper's tables do.
+func (e ErrorStats) String() string {
+	return fmt.Sprintf("(%.2f, %.2f, %.2f)", e.Min, e.Avg, e.Max)
+}
+
+// Evaluate fits nothing: it computes percentage prediction errors of the
+// fitted model on the test set and reports min/avg/max.
+func Evaluate(m Regressor, X [][]float64, y []float64) (ErrorStats, error) {
+	if len(X) != len(y) || len(X) == 0 {
+		return ErrorStats{}, errors.New("ml: bad evaluation set")
+	}
+	pred, err := PredictAll(m, X)
+	if err != nil {
+		return ErrorStats{}, err
+	}
+	errs := stats.PercentageErrors(pred, y)
+	min, avg, max := stats.MinAvgMax(errs)
+	return ErrorStats{Min: min, Avg: avg, Max: max}, nil
+}

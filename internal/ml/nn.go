@@ -1,0 +1,278 @@
+package ml
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"additivity/internal/stats"
+)
+
+// Activation selects the transfer function of a network's hidden layers.
+type Activation int
+
+// Supported activations. The paper trains its networks with a linear
+// transfer function — which is why the additivity of the PMC inputs
+// matters for NN models just as it does for plain linear regression.
+const (
+	ActLinear Activation = iota
+	ActReLU
+)
+
+// NNOptions configures a neural network.
+type NNOptions struct {
+	Hidden     []int      // hidden-layer widths (default: one layer of 8)
+	Activation Activation // hidden transfer function (default linear)
+	Epochs     int        // training epochs (default 300)
+	LearnRate  float64    // SGD learning rate (default 0.01)
+	Momentum   float64    // SGD momentum (default 0.9)
+	BatchSize  int        // mini-batch size (default 16)
+	Seed       int64      // weight-init and shuffle seed
+}
+
+// NeuralNetwork is a multilayer perceptron regressor trained with
+// mini-batch SGD on standardised inputs and targets.
+type NeuralNetwork struct {
+	Opts NNOptions
+
+	weights [][][]float64 // [layer][out][in]
+	biases  [][]float64   // [layer][out]
+	scaler  *Standardizer
+	yMean   float64
+	yScale  float64
+	fitted  bool
+}
+
+// NewNeuralNetwork returns the paper's network: one hidden layer with a
+// linear transfer function.
+func NewNeuralNetwork(seed int64) *NeuralNetwork {
+	return &NeuralNetwork{Opts: NNOptions{
+		Hidden: []int{8}, Activation: ActLinear,
+		Epochs: 300, LearnRate: 0.01, Momentum: 0.9, BatchSize: 16, Seed: seed,
+	}}
+}
+
+// Name implements Regressor.
+func (n *NeuralNetwork) Name() string { return "NN" }
+
+// Fit implements Regressor.
+func (n *NeuralNetwork) Fit(X [][]float64, y []float64) error {
+	rows, _, err := validate(X, y)
+	if err != nil {
+		return err
+	}
+	o := &n.Opts
+	if len(o.Hidden) == 0 {
+		o.Hidden = []int{8}
+	}
+	if o.Epochs <= 0 {
+		o.Epochs = 300
+	}
+	if o.LearnRate <= 0 {
+		o.LearnRate = 0.01
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = 16
+	}
+	if o.Momentum < 0 || o.Momentum >= 1 {
+		o.Momentum = 0.9
+	}
+
+	// Standardise inputs and target: counter magnitudes span ~1e4..1e13.
+	n.scaler = FitStandardizer(X)
+	xs := n.scaler.TransformAll(X)
+	n.yMean = stats.Mean(y)
+	n.yScale = stats.StdDev(y)
+	if n.yScale == 0 {
+		n.yScale = 1
+	}
+	ys := make([]float64, rows)
+	for i, v := range y {
+		ys[i] = (v - n.yMean) / n.yScale
+	}
+
+	// Multi-restart training: SGD from a single random initialisation
+	// occasionally lands in a poor optimum; train a few candidates from
+	// derived seeds and keep the one with the lowest training loss.
+	const restarts = 3
+	type candidate struct {
+		weights [][][]float64
+		biases  [][]float64
+		loss    float64
+	}
+	var best *candidate
+	for r := 0; r < restarts; r++ {
+		n.trainOnce(xs, ys, o.Seed+int64(r)*7919)
+		loss := n.trainLoss(xs, ys)
+		if best == nil || loss < best.loss {
+			best = &candidate{weights: n.weights, biases: n.biases, loss: loss}
+		}
+	}
+	n.weights = best.weights
+	n.biases = best.biases
+	n.fitted = true
+	return nil
+}
+
+// trainLoss returns the mean squared error on the (standardised)
+// training set.
+func (n *NeuralNetwork) trainLoss(xs [][]float64, ys []float64) float64 {
+	ss := 0.0
+	for i, x := range xs {
+		acts, _ := n.forward(x)
+		d := acts[len(acts)-1][0] - ys[i]
+		ss += d * d
+	}
+	return ss / float64(len(xs))
+}
+
+// trainOnce initialises the network from the seed and runs the SGD loop.
+func (n *NeuralNetwork) trainOnce(xs [][]float64, ys []float64, seed int64) {
+	o := &n.Opts
+	rows := len(xs)
+	cols := len(xs[0])
+	// Layer sizes: input → hidden… → 1.
+	sizes := append([]int{cols}, o.Hidden...)
+	sizes = append(sizes, 1)
+	g := stats.NewRNG(seed)
+	n.weights = make([][][]float64, len(sizes)-1)
+	n.biases = make([][]float64, len(sizes)-1)
+	vel := make([][][]float64, len(sizes)-1)
+	velB := make([][]float64, len(sizes)-1)
+	for l := 0; l+1 < len(sizes); l++ {
+		in, out := sizes[l], sizes[l+1]
+		n.weights[l] = make([][]float64, out)
+		vel[l] = make([][]float64, out)
+		n.biases[l] = make([]float64, out)
+		velB[l] = make([]float64, out)
+		limit := math.Sqrt(6.0 / float64(in+out)) // Glorot init
+		for u := 0; u < out; u++ {
+			n.weights[l][u] = make([]float64, in)
+			vel[l][u] = make([]float64, in)
+			for i := 0; i < in; i++ {
+				n.weights[l][u][i] = g.Uniform(-limit, limit)
+			}
+		}
+	}
+
+	order := make([]int, rows)
+	for i := range order {
+		order[i] = i
+	}
+	for epoch := 0; epoch < o.Epochs; epoch++ {
+		g.Shuffle(rows, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for start := 0; start < rows; start += o.BatchSize {
+			end := start + o.BatchSize
+			if end > rows {
+				end = rows
+			}
+			n.sgdStep(xs, ys, order[start:end], vel, velB)
+		}
+	}
+}
+
+// sgdStep applies one momentum-SGD update from a mini-batch.
+func (n *NeuralNetwork) sgdStep(xs [][]float64, ys []float64, batch []int,
+	vel [][][]float64, velB [][]float64) {
+	layers := len(n.weights)
+	gradW := make([][][]float64, layers)
+	gradB := make([][]float64, layers)
+	for l := range n.weights {
+		gradW[l] = make([][]float64, len(n.weights[l]))
+		gradB[l] = make([]float64, len(n.biases[l]))
+		for u := range n.weights[l] {
+			gradW[l][u] = make([]float64, len(n.weights[l][u]))
+		}
+	}
+
+	for _, i := range batch {
+		acts, pre := n.forward(xs[i])
+		// Output delta (MSE, linear output).
+		delta := []float64{acts[layers][0] - ys[i]}
+		for l := layers - 1; l >= 0; l-- {
+			// Accumulate gradients for layer l.
+			for u := range n.weights[l] {
+				gradB[l][u] += delta[u]
+				for k := range n.weights[l][u] {
+					gradW[l][u][k] += delta[u] * acts[l][k]
+				}
+			}
+			if l == 0 {
+				break
+			}
+			// Propagate to the previous layer.
+			prev := make([]float64, len(n.weights[l][0]))
+			for k := range prev {
+				s := 0.0
+				for u := range n.weights[l] {
+					s += n.weights[l][u][k] * delta[u]
+				}
+				if n.Opts.Activation == ActReLU && pre[l-1][k] <= 0 {
+					s = 0
+				}
+				prev[k] = s
+			}
+			delta = prev
+		}
+	}
+
+	lr := n.Opts.LearnRate / float64(len(batch))
+	for l := range n.weights {
+		for u := range n.weights[l] {
+			velB[l][u] = n.Opts.Momentum*velB[l][u] - lr*gradB[l][u]
+			n.biases[l][u] += velB[l][u]
+			for k := range n.weights[l][u] {
+				vel[l][u][k] = n.Opts.Momentum*vel[l][u][k] - lr*gradW[l][u][k]
+				n.weights[l][u][k] += vel[l][u][k]
+			}
+		}
+	}
+}
+
+// forward runs the network, returning the activations of every layer
+// (acts[0] is the input) and the pre-activation values of hidden layers.
+func (n *NeuralNetwork) forward(x []float64) (acts [][]float64, pre [][]float64) {
+	layers := len(n.weights)
+	acts = make([][]float64, layers+1)
+	pre = make([][]float64, layers)
+	acts[0] = x
+	for l := 0; l < layers; l++ {
+		out := make([]float64, len(n.weights[l]))
+		for u := range n.weights[l] {
+			s := n.biases[l][u]
+			for k, w := range n.weights[l][u] {
+				s += w * acts[l][k]
+			}
+			out[u] = s
+		}
+		pre[l] = out
+		if l < layers-1 && n.Opts.Activation == ActReLU {
+			applied := make([]float64, len(out))
+			for i, v := range out {
+				if v > 0 {
+					applied[i] = v
+				}
+			}
+			acts[l+1] = applied
+		} else {
+			acts[l+1] = out
+		}
+	}
+	return acts, pre
+}
+
+// Predict implements Regressor.
+func (n *NeuralNetwork) Predict(x []float64) (float64, error) {
+	if !n.fitted {
+		return 0, ErrNotFitted
+	}
+	if len(x) != len(n.scaler.mean) {
+		return 0, fmt.Errorf("ml: feature width %d, model expects %d", len(x), len(n.scaler.mean))
+	}
+	acts, _ := n.forward(n.scaler.Transform(x))
+	out := acts[len(acts)-1][0]
+	if math.IsNaN(out) {
+		return 0, errors.New("ml: network diverged (NaN output)")
+	}
+	return out*n.yScale + n.yMean, nil
+}

@@ -1,0 +1,255 @@
+package ml
+
+import (
+	"math"
+	"testing"
+
+	"additivity/internal/stats"
+)
+
+func TestNNLearnsLinearFunction(t *testing.T) {
+	g := stats.NewRNG(4)
+	X := make([][]float64, 200)
+	y := make([]float64, 200)
+	for i := range X {
+		a, b := g.Uniform(0, 100), g.Uniform(0, 100)
+		X[i] = []float64{a, b}
+		y[i] = 4*a + 7*b + 10
+	}
+	nn := NewNeuralNetwork(9)
+	if err := nn.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		a, b := g.Uniform(10, 90), g.Uniform(10, 90)
+		p, err := nn.Predict([]float64{a, b})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 4*a + 7*b + 10
+		if math.Abs(p-want)/want > 0.05 {
+			t.Errorf("Predict(%v,%v) = %v, want ≈ %v", a, b, p, want)
+		}
+	}
+}
+
+func TestNNHandlesHugeFeatureScales(t *testing.T) {
+	// PMC counts span many orders of magnitude; standardisation must make
+	// training stable.
+	g := stats.NewRNG(5)
+	X := make([][]float64, 150)
+	y := make([]float64, 150)
+	for i := range X {
+		a := g.Uniform(1e9, 1e12)
+		b := g.Uniform(1e3, 1e6)
+		X[i] = []float64{a, b}
+		y[i] = 2e-9*a + 1e-4*b
+	}
+	nn := NewNeuralNetwork(10)
+	if err := nn.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	p, err := nn.Predict(X[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(p) || math.IsInf(p, 0) {
+		t.Fatalf("prediction not finite: %v", p)
+	}
+	if math.Abs(p-y[0])/y[0] > 0.20 {
+		t.Errorf("huge-scale fit off by %v%%", 100*math.Abs(p-y[0])/y[0])
+	}
+}
+
+func TestNNReLUFitsNonlinearity(t *testing.T) {
+	g := stats.NewRNG(6)
+	X := make([][]float64, 400)
+	y := make([]float64, 400)
+	for i := range X {
+		a := g.Uniform(-5, 5)
+		X[i] = []float64{a}
+		y[i] = math.Abs(a) // kink at zero: linear net cannot fit this
+	}
+	relu := NewNeuralNetwork(3)
+	relu.Opts.Activation = ActReLU
+	relu.Opts.Epochs = 600
+	if err := relu.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	lin := NewNeuralNetwork(3)
+	if err := lin.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	var reluErr, linErr float64
+	for i := -40; i <= 40; i++ {
+		a := float64(i) / 10
+		pr, _ := relu.Predict([]float64{a})
+		pl, _ := lin.Predict([]float64{a})
+		reluErr += math.Abs(pr - math.Abs(a))
+		linErr += math.Abs(pl - math.Abs(a))
+	}
+	if reluErr >= linErr {
+		t.Errorf("ReLU error %v >= linear error %v on |x|", reluErr, linErr)
+	}
+}
+
+func TestNNDeterministicPerSeed(t *testing.T) {
+	g := stats.NewRNG(8)
+	X := make([][]float64, 50)
+	y := make([]float64, 50)
+	for i := range X {
+		X[i] = []float64{g.Uniform(0, 10)}
+		y[i] = 3 * X[i][0]
+	}
+	a, b := NewNeuralNetwork(42), NewNeuralNetwork(42)
+	if err := a.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	pa, _ := a.Predict([]float64{5})
+	pb, _ := b.Predict([]float64{5})
+	if pa != pb {
+		t.Errorf("same-seed networks disagree: %v vs %v", pa, pb)
+	}
+}
+
+func TestNNValidation(t *testing.T) {
+	nn := NewNeuralNetwork(1)
+	if _, err := nn.Predict([]float64{1}); err != ErrNotFitted {
+		t.Errorf("unfitted err = %v", err)
+	}
+	if err := nn.Fit(nil, nil); err == nil {
+		t.Error("empty fit accepted")
+	}
+	X := [][]float64{{1}, {2}, {3}}
+	if err := nn.Fit(X, []float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nn.Predict([]float64{1, 2}); err == nil {
+		t.Error("width mismatch accepted")
+	}
+}
+
+func TestStandardizer(t *testing.T) {
+	X := [][]float64{{1, 100}, {2, 100}, {3, 100}}
+	s := FitStandardizer(X)
+	z := s.TransformAll(X)
+	// First column standardised; constant column maps to 0.
+	if math.Abs(z[0][0]+1) > 1e-9 || math.Abs(z[1][0]) > 1e-9 || math.Abs(z[2][0]-1) > 1e-9 {
+		t.Errorf("standardised col = %v %v %v", z[0][0], z[1][0], z[2][0])
+	}
+	for i := range z {
+		if z[i][1] != 0 {
+			t.Errorf("constant column row %d = %v, want 0", i, z[i][1])
+		}
+	}
+}
+
+func TestRegressorNames(t *testing.T) {
+	if NewLinearRegression().Name() != "LR" {
+		t.Error("LR name")
+	}
+	if NewRandomForest(1).Name() != "RF" {
+		t.Error("RF name")
+	}
+	if NewNeuralNetwork(1).Name() != "NN" {
+		t.Error("NN name")
+	}
+	if NewRegressionTree().Name() != "Tree" {
+		t.Error("Tree name")
+	}
+}
+
+// TestNNGradientCheck verifies backpropagation against numerical
+// differentiation on a tiny ReLU network: the analytic gradient step must
+// reduce the loss in the direction finite differences predict.
+func TestNNGradientCheck(t *testing.T) {
+	g := stats.NewRNG(11)
+	X := make([][]float64, 30)
+	y := make([]float64, 30)
+	for i := range X {
+		a := g.Uniform(-2, 2)
+		X[i] = []float64{a}
+		y[i] = a*a + 1
+	}
+	nn := NewNeuralNetwork(5)
+	nn.Opts.Activation = ActReLU
+	nn.Opts.Hidden = []int{4}
+	nn.Opts.Epochs = 1
+	if err := nn.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	// Standardised data as the network sees it.
+	xs := nn.scaler.TransformAll(X)
+	ys := make([]float64, len(y))
+	for i, v := range y {
+		ys[i] = (v - nn.yMean) / nn.yScale
+	}
+	base := nn.trainLoss(xs, ys)
+
+	// Perturb one weight both ways; the numerical slope must match the
+	// loss change direction produced by nudging along it.
+	const eps = 1e-5
+	w := &nn.weights[0][0][0]
+	orig := *w
+	*w = orig + eps
+	up := nn.trainLoss(xs, ys)
+	*w = orig - eps
+	down := nn.trainLoss(xs, ys)
+	*w = orig
+	grad := (up - down) / (2 * eps)
+
+	// Step against the numerical gradient: loss must not increase.
+	*w = orig - 0.01*grad
+	stepped := nn.trainLoss(xs, ys)
+	if stepped > base+1e-9 {
+		t.Errorf("stepping against the gradient increased loss: %v -> %v (grad %v)",
+			base, stepped, grad)
+	}
+}
+
+func TestEvaluateWithZeroActuals(t *testing.T) {
+	// A test point with zero actual energy yields an infinite percentage
+	// error; Evaluate must propagate it without NaN poisoning the triple.
+	lr := NewLinearRegression()
+	if err := lr.Fit([][]float64{{1}, {2}, {3}}, []float64{2, 4, 6}); err != nil {
+		t.Fatal(err)
+	}
+	es, err := Evaluate(lr, [][]float64{{1}, {2}}, []float64{2, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(es.Max, 1) {
+		t.Errorf("max = %v, want +Inf for a zero actual", es.Max)
+	}
+	if math.IsNaN(es.Min) || math.IsNaN(es.Avg) {
+		t.Errorf("NaN in stats: %+v", es)
+	}
+}
+
+func TestNNCustomArchitecture(t *testing.T) {
+	// Two hidden layers train and predict.
+	g := stats.NewRNG(17)
+	X := make([][]float64, 120)
+	y := make([]float64, 120)
+	for i := range X {
+		a := g.Uniform(0, 10)
+		X[i] = []float64{a}
+		y[i] = 5 * a
+	}
+	nn := NewNeuralNetwork(3)
+	nn.Opts.Hidden = []int{6, 4}
+	nn.Opts.Activation = ActReLU
+	if err := nn.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	p, err := nn.Predict([]float64{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-25) > 5 {
+		t.Errorf("deep net Predict(5) = %v, want ≈ 25", p)
+	}
+}

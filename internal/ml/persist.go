@@ -1,0 +1,231 @@
+package ml
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Model persistence: trained models serialise to a tagged JSON envelope
+// so an online energy model can be trained once (the expensive offline
+// profiling pass) and deployed to the measurement host.
+
+// modelEnvelope is the on-disk form: a family tag plus the family's
+// parameter blob.
+type modelEnvelope struct {
+	Family string          `json:"family"`
+	Params json.RawMessage `json:"params"`
+}
+
+// linearParams serialises LinearRegression.
+type linearParams struct {
+	NonNegative bool      `json:"non_negative"`
+	HasIcept    bool      `json:"has_intercept"`
+	Coef        []float64 `json:"coefficients"`
+	Intercept   float64   `json:"intercept"`
+}
+
+// nnParams serialises NeuralNetwork.
+type nnParams struct {
+	Hidden     []int         `json:"hidden"`
+	Activation Activation    `json:"activation"`
+	Weights    [][][]float64 `json:"weights"`
+	Biases     [][]float64   `json:"biases"`
+	FeatMean   []float64     `json:"feature_mean"`
+	FeatScale  []float64     `json:"feature_scale"`
+	YMean      float64       `json:"y_mean"`
+	YScale     float64       `json:"y_scale"`
+}
+
+// treeParams serialises one regression tree as a flattened node array
+// (index 0 is the root; children reference indices).
+type treeParams struct {
+	Nodes []flatNode `json:"nodes"`
+}
+
+type flatNode struct {
+	Feature   int     `json:"f"`
+	Threshold float64 `json:"t"`
+	Left      int     `json:"l"`
+	Right     int     `json:"r"`
+	Leaf      bool    `json:"leaf"`
+	Value     float64 `json:"v"`
+}
+
+// forestParams serialises RandomForest.
+type forestParams struct {
+	Trees []treeParams `json:"trees"`
+}
+
+// SaveModel writes a fitted model to w.
+func SaveModel(w io.Writer, m Regressor) error {
+	var family string
+	var params interface{}
+	switch t := m.(type) {
+	case *LinearRegression:
+		if !t.fitted {
+			return ErrNotFitted
+		}
+		family = "linear"
+		params = linearParams{
+			NonNegative: t.Opts.NonNegative,
+			HasIcept:    t.Opts.Intercept,
+			Coef:        t.coef,
+			Intercept:   t.intercept,
+		}
+	case *NeuralNetwork:
+		if !t.fitted {
+			return ErrNotFitted
+		}
+		family = "neural"
+		params = nnParams{
+			Hidden:     t.Opts.Hidden,
+			Activation: t.Opts.Activation,
+			Weights:    t.weights,
+			Biases:     t.biases,
+			FeatMean:   t.scaler.mean,
+			FeatScale:  t.scaler.scale,
+			YMean:      t.yMean,
+			YScale:     t.yScale,
+		}
+	case *RandomForest:
+		if len(t.trees) == 0 {
+			return ErrNotFitted
+		}
+		fp := forestParams{Trees: make([]treeParams, len(t.trees))}
+		for i, tree := range t.trees {
+			fp.Trees[i] = flattenTree(tree.root)
+		}
+		family = "forest"
+		params = fp
+	default:
+		return fmt.Errorf("ml: cannot persist model family %T", m)
+	}
+	blob, err := json.Marshal(params)
+	if err != nil {
+		return err
+	}
+	return json.NewEncoder(w).Encode(modelEnvelope{Family: family, Params: blob})
+}
+
+// LoadModel reads a model written by SaveModel.
+func LoadModel(r io.Reader) (Regressor, error) {
+	var env modelEnvelope
+	if err := json.NewDecoder(r).Decode(&env); err != nil {
+		return nil, err
+	}
+	switch env.Family {
+	case "linear":
+		var p linearParams
+		if err := json.Unmarshal(env.Params, &p); err != nil {
+			return nil, err
+		}
+		if len(p.Coef) == 0 {
+			return nil, errors.New("ml: linear model without coefficients")
+		}
+		return &LinearRegression{
+			Opts:      LinearOptions{NonNegative: p.NonNegative, Intercept: p.HasIcept},
+			coef:      p.Coef,
+			intercept: p.Intercept,
+			fitted:    true,
+		}, nil
+	case "neural":
+		var p nnParams
+		if err := json.Unmarshal(env.Params, &p); err != nil {
+			return nil, err
+		}
+		if len(p.Weights) == 0 || len(p.FeatMean) == 0 {
+			return nil, errors.New("ml: neural model incomplete")
+		}
+		n := &NeuralNetwork{
+			weights: p.Weights,
+			biases:  p.Biases,
+			scaler:  &Standardizer{mean: p.FeatMean, scale: p.FeatScale},
+			yMean:   p.YMean,
+			yScale:  p.YScale,
+			fitted:  true,
+		}
+		n.Opts.Hidden = p.Hidden
+		n.Opts.Activation = p.Activation
+		return n, nil
+	case "forest":
+		var p forestParams
+		if err := json.Unmarshal(env.Params, &p); err != nil {
+			return nil, err
+		}
+		if len(p.Trees) == 0 {
+			return nil, errors.New("ml: empty forest")
+		}
+		f := &RandomForest{trees: make([]*RegressionTree, len(p.Trees))}
+		for i, tp := range p.Trees {
+			root, err := unflattenTree(tp)
+			if err != nil {
+				return nil, err
+			}
+			f.trees[i] = &RegressionTree{root: root}
+		}
+		return f, nil
+	default:
+		return nil, fmt.Errorf("ml: unknown model family %q", env.Family)
+	}
+}
+
+// flattenTree serialises a tree by preorder traversal into an index
+// array.
+func flattenTree(root *treeNode) treeParams {
+	var nodes []flatNode
+	var walk func(n *treeNode) int
+	walk = func(n *treeNode) int {
+		idx := len(nodes)
+		nodes = append(nodes, flatNode{})
+		if n.leaf {
+			nodes[idx] = flatNode{Leaf: true, Value: n.value, Left: -1, Right: -1}
+			return idx
+		}
+		fn := flatNode{Feature: n.feature, Threshold: n.threshold}
+		nodes[idx] = fn // placeholder children
+		fn.Left = walk(n.left)
+		fn.Right = walk(n.right)
+		nodes[idx] = fn
+		return idx
+	}
+	walk(root)
+	return treeParams{Nodes: nodes}
+}
+
+// unflattenTree rebuilds the node structure, validating references.
+func unflattenTree(p treeParams) (*treeNode, error) {
+	if len(p.Nodes) == 0 {
+		return nil, errors.New("ml: empty tree")
+	}
+	built := make([]*treeNode, len(p.Nodes))
+	var build func(i int) (*treeNode, error)
+	build = func(i int) (*treeNode, error) {
+		if i < 0 || i >= len(p.Nodes) {
+			return nil, fmt.Errorf("ml: tree node index %d out of range", i)
+		}
+		if built[i] != nil {
+			return nil, fmt.Errorf("ml: tree node %d referenced twice", i)
+		}
+		fn := p.Nodes[i]
+		n := &treeNode{}
+		built[i] = n
+		if fn.Leaf {
+			n.leaf = true
+			n.value = fn.Value
+			return n, nil
+		}
+		n.feature = fn.Feature
+		n.threshold = fn.Threshold
+		var err error
+		if n.left, err = build(fn.Left); err != nil {
+			return nil, err
+		}
+		if n.right, err = build(fn.Right); err != nil {
+			return nil, err
+		}
+		return n, nil
+	}
+	return build(0)
+}

@@ -1,0 +1,139 @@
+package ml
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"additivity/internal/stats"
+)
+
+// roundTrip saves and reloads a model, returning the reloaded instance.
+func roundTrip(t *testing.T, m Regressor) Regressor {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := SaveModel(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return back
+}
+
+// assertSamePredictions checks the reloaded model predicts identically.
+func assertSamePredictions(t *testing.T, orig, back Regressor, X [][]float64) {
+	t.Helper()
+	for i, x := range X {
+		a, err := orig.Predict(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := back.Predict(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(a-b) > 1e-12*(1+math.Abs(a)) {
+			t.Fatalf("prediction %d differs after round trip: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func persistData(seed int64) ([][]float64, []float64) {
+	g := stats.NewRNG(seed)
+	X := make([][]float64, 80)
+	y := make([]float64, 80)
+	for i := range X {
+		a, b := g.Uniform(0, 10), g.Uniform(0, 10)
+		X[i] = []float64{a, b}
+		y[i] = 4*a + b*b
+	}
+	return X, y
+}
+
+func TestPersistLinear(t *testing.T) {
+	X, y := persistData(1)
+	lr := NewLinearRegression()
+	if err := lr.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	back := roundTrip(t, lr)
+	assertSamePredictions(t, lr, back, X)
+	// The reloaded model keeps its family behaviour.
+	if back.Name() != "LR" {
+		t.Errorf("reloaded family = %s", back.Name())
+	}
+	if _, err := back.(*LinearRegression).Contributions(X[0]); err != nil {
+		t.Errorf("reloaded LR contributions: %v", err)
+	}
+}
+
+func TestPersistOLSWithIntercept(t *testing.T) {
+	X, y := persistData(2)
+	ols := NewOLS()
+	if err := ols.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	back := roundTrip(t, ols).(*LinearRegression)
+	if back.Intercept() != ols.Intercept() {
+		t.Errorf("intercept lost: %v vs %v", back.Intercept(), ols.Intercept())
+	}
+	assertSamePredictions(t, ols, back, X)
+}
+
+func TestPersistNeuralNetwork(t *testing.T) {
+	X, y := persistData(3)
+	nn := NewNeuralNetwork(7)
+	if err := nn.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	back := roundTrip(t, nn)
+	assertSamePredictions(t, nn, back, X)
+}
+
+func TestPersistForest(t *testing.T) {
+	X, y := persistData(4)
+	rf := NewRandomForest(9)
+	rf.Opts.Trees = 20
+	if err := rf.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	back := roundTrip(t, rf)
+	assertSamePredictions(t, rf, back, X)
+}
+
+func TestPersistRejectsUnfitted(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SaveModel(&buf, NewLinearRegression()); err != ErrNotFitted {
+		t.Errorf("unfitted LR save err = %v", err)
+	}
+	if err := SaveModel(&buf, NewNeuralNetwork(1)); err != ErrNotFitted {
+		t.Errorf("unfitted NN save err = %v", err)
+	}
+	if err := SaveModel(&buf, NewRandomForest(1)); err != ErrNotFitted {
+		t.Errorf("unfitted RF save err = %v", err)
+	}
+	if err := SaveModel(&buf, NewRegressionTree()); err == nil {
+		t.Error("unsupported family accepted")
+	}
+}
+
+func TestLoadModelRejectsGarbage(t *testing.T) {
+	cases := []string{
+		``,
+		`{"family":"martian","params":{}}`,
+		`{"family":"linear","params":{"coefficients":[]}}`,
+		`{"family":"neural","params":{}}`,
+		`{"family":"forest","params":{"trees":[]}}`,
+		`{"family":"forest","params":{"trees":[{"nodes":[]}]}}`,
+		`{"family":"forest","params":{"trees":[{"nodes":[{"leaf":false,"l":99,"r":99}]}]}}`,
+		`{"family":"forest","params":{"trees":[{"nodes":[{"leaf":false,"l":0,"r":0}]}]}}`,
+	}
+	for _, c := range cases {
+		if _, err := LoadModel(strings.NewReader(c)); err == nil {
+			t.Errorf("LoadModel accepted %q", c)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package ml
+
+import "additivity/internal/stats"
+
+// Standardizer shifts and scales features to zero mean and unit variance.
+// Constant features scale to zero (their information content is nil).
+type Standardizer struct {
+	mean  []float64
+	scale []float64
+}
+
+// FitStandardizer learns per-column statistics from X.
+func FitStandardizer(X [][]float64) *Standardizer {
+	if len(X) == 0 {
+		return &Standardizer{}
+	}
+	p := len(X[0])
+	s := &Standardizer{mean: make([]float64, p), scale: make([]float64, p)}
+	col := make([]float64, len(X))
+	for j := 0; j < p; j++ {
+		for i := range X {
+			col[i] = X[i][j]
+		}
+		s.mean[j] = stats.Mean(col)
+		sd := stats.StdDev(col)
+		if sd == 0 {
+			sd = 1
+		}
+		s.scale[j] = sd
+	}
+	return s
+}
+
+// Transform returns the standardised copy of one row.
+func (s *Standardizer) Transform(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for j, v := range x {
+		out[j] = (v - s.mean[j]) / s.scale[j]
+	}
+	return out
+}
+
+// TransformAll standardises every row.
+func (s *Standardizer) TransformAll(X [][]float64) [][]float64 {
+	out := make([][]float64, len(X))
+	for i, row := range X {
+		out[i] = s.Transform(row)
+	}
+	return out
+}

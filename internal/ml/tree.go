@@ -1,0 +1,276 @@
+package ml
+
+import (
+	"math"
+	"sort"
+)
+
+// treeNode is one node of a CART regression tree.
+type treeNode struct {
+	// Internal nodes.
+	feature   int
+	threshold float64
+	left      *treeNode
+	right     *treeNode
+	// Leaves.
+	leaf  bool
+	value float64
+}
+
+// TreeOptions configures a regression tree.
+type TreeOptions struct {
+	MaxDepth      int // maximum depth (0 = unlimited)
+	MinLeaf       int // minimum samples per leaf
+	MaxThresholds int // candidate thresholds per feature (quantile grid)
+	// MTry is the number of features considered per split; 0 means all
+	// (single trees) — forests set it to p/3.
+	MTry int
+	// featurePicker returns the feature subset for a split; nil means
+	// all features. Forests inject a seeded sampler here.
+	featurePicker func(p int) []int
+}
+
+// RegressionTree is a CART variance-reduction regression tree.
+type RegressionTree struct {
+	Opts TreeOptions
+	root *treeNode
+	// importances accumulates per-feature impurity (SSE) reduction over
+	// all splits; see Importances.
+	importances []float64
+}
+
+// NewRegressionTree returns a tree with sensible single-tree defaults.
+func NewRegressionTree() *RegressionTree {
+	return &RegressionTree{Opts: TreeOptions{MaxDepth: 0, MinLeaf: 2, MaxThresholds: 32}}
+}
+
+// Name implements Regressor.
+func (t *RegressionTree) Name() string { return "Tree" }
+
+// Fit implements Regressor.
+func (t *RegressionTree) Fit(X [][]float64, y []float64) error {
+	if _, _, err := validate(X, y); err != nil {
+		return err
+	}
+	if t.Opts.MinLeaf < 1 {
+		t.Opts.MinLeaf = 1
+	}
+	if t.Opts.MaxThresholds < 2 {
+		t.Opts.MaxThresholds = 32
+	}
+	idx := make([]int, len(X))
+	for i := range idx {
+		idx[i] = i
+	}
+	t.importances = make([]float64, len(X[0]))
+	t.root = t.build(X, y, idx, 0)
+	return nil
+}
+
+// Importances returns the tree's per-feature impurity reductions,
+// normalised to sum to 1 (all zeros when the tree never split).
+func (t *RegressionTree) Importances() []float64 {
+	out := make([]float64, len(t.importances))
+	total := 0.0
+	for _, v := range t.importances {
+		total += v
+	}
+	if total == 0 {
+		return out
+	}
+	for i, v := range t.importances {
+		out[i] = v / total
+	}
+	return out
+}
+
+// Predict implements Regressor.
+func (t *RegressionTree) Predict(x []float64) (float64, error) {
+	if t.root == nil {
+		return 0, ErrNotFitted
+	}
+	n := t.root
+	for !n.leaf {
+		if x[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.value, nil
+}
+
+func (t *RegressionTree) build(X [][]float64, y []float64, idx []int, depth int) *treeNode {
+	mean := subsetMean(y, idx)
+	if len(idx) < 2*t.Opts.MinLeaf ||
+		(t.Opts.MaxDepth > 0 && depth >= t.Opts.MaxDepth) ||
+		constantTargets(y, idx) {
+		return &treeNode{leaf: true, value: mean}
+	}
+
+	p := len(X[0])
+	features := t.splitFeatures(p)
+	bestFeature, bestThreshold := -1, 0.0
+	bestScore := math.Inf(1) // weighted child SSE; lower is better
+	for _, f := range features {
+		thresholds := t.candidateThresholds(X, idx, f)
+		for _, th := range thresholds {
+			score, ok := splitScore(X, y, idx, f, th, t.Opts.MinLeaf)
+			if ok && score < bestScore {
+				bestScore, bestFeature, bestThreshold = score, f, th
+			}
+		}
+	}
+	if bestFeature < 0 {
+		return &treeNode{leaf: true, value: mean}
+	}
+	// A split must actually improve on the parent SSE.
+	parentSSE := subsetSSE(y, idx)
+	if bestScore >= parentSSE-1e-12 {
+		return &treeNode{leaf: true, value: mean}
+	}
+	t.importances[bestFeature] += parentSSE - bestScore
+
+	var left, right []int
+	for _, i := range idx {
+		if X[i][bestFeature] <= bestThreshold {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	return &treeNode{
+		feature:   bestFeature,
+		threshold: bestThreshold,
+		left:      t.build(X, y, left, depth+1),
+		right:     t.build(X, y, right, depth+1),
+	}
+}
+
+// splitFeatures returns the features to consider at a split.
+func (t *RegressionTree) splitFeatures(p int) []int {
+	if t.Opts.featurePicker != nil {
+		return t.Opts.featurePicker(p)
+	}
+	all := make([]int, p)
+	for i := range all {
+		all[i] = i
+	}
+	return all
+}
+
+// candidateThresholds returns up to MaxThresholds split points for a
+// feature: quantile midpoints of the subset's values.
+func (t *RegressionTree) candidateThresholds(X [][]float64, idx []int, f int) []float64 {
+	vals := make([]float64, len(idx))
+	for k, i := range idx {
+		vals[k] = X[i][f]
+	}
+	sort.Float64s(vals)
+	// Dedup.
+	uniq := vals[:0]
+	for i, v := range vals {
+		if i == 0 || v != uniq[len(uniq)-1] {
+			uniq = append(uniq, v)
+		}
+	}
+	if len(uniq) < 2 {
+		return nil
+	}
+	k := t.Opts.MaxThresholds
+	var out []float64
+	if len(uniq)-1 <= k {
+		for i := 0; i+1 < len(uniq); i++ {
+			out = append(out, (uniq[i]+uniq[i+1])/2)
+		}
+		return out
+	}
+	for j := 1; j <= k; j++ {
+		pos := j * (len(uniq) - 1) / (k + 1)
+		out = append(out, (uniq[pos]+uniq[pos+1])/2)
+	}
+	return out
+}
+
+// splitScore returns the summed SSE of the two children, or ok=false when
+// the split violates MinLeaf.
+func splitScore(X [][]float64, y []float64, idx []int, f int, th float64, minLeaf int) (float64, bool) {
+	var nL, nR int
+	var sumL, sumR, sqL, sqR float64
+	for _, i := range idx {
+		v := y[i]
+		if X[i][f] <= th {
+			nL++
+			sumL += v
+			sqL += v * v
+		} else {
+			nR++
+			sumR += v
+			sqR += v * v
+		}
+	}
+	if nL < minLeaf || nR < minLeaf {
+		return 0, false
+	}
+	sseL := sqL - sumL*sumL/float64(nL)
+	sseR := sqR - sumR*sumR/float64(nR)
+	return sseL + sseR, true
+}
+
+func subsetMean(y []float64, idx []int) float64 {
+	s := 0.0
+	for _, i := range idx {
+		s += y[i]
+	}
+	return s / float64(len(idx))
+}
+
+func subsetSSE(y []float64, idx []int) float64 {
+	m := subsetMean(y, idx)
+	s := 0.0
+	for _, i := range idx {
+		d := y[i] - m
+		s += d * d
+	}
+	return s
+}
+
+func constantTargets(y []float64, idx []int) bool {
+	for _, i := range idx[1:] {
+		if y[i] != y[idx[0]] {
+			return false
+		}
+	}
+	return true
+}
+
+// Depth returns the tree's maximum depth (a leaf-only tree has depth 0).
+func (t *RegressionTree) Depth() int {
+	var walk func(n *treeNode) int
+	walk = func(n *treeNode) int {
+		if n == nil || n.leaf {
+			return 0
+		}
+		l, r := walk(n.left), walk(n.right)
+		if l > r {
+			return l + 1
+		}
+		return r + 1
+	}
+	return walk(t.root)
+}
+
+// Leaves returns the number of leaves.
+func (t *RegressionTree) Leaves() int {
+	var walk func(n *treeNode) int
+	walk = func(n *treeNode) int {
+		if n == nil {
+			return 0
+		}
+		if n.leaf {
+			return 1
+		}
+		return walk(n.left) + walk(n.right)
+	}
+	return walk(t.root)
+}

@@ -1,0 +1,229 @@
+package ml
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"additivity/internal/stats"
+)
+
+func stepData() ([][]float64, []float64) {
+	// y = 10 for x < 5, y = 20 for x >= 5: one split suffices.
+	var X [][]float64
+	var y []float64
+	for i := 0; i < 20; i++ {
+		v := float64(i)
+		X = append(X, []float64{v})
+		if v < 5 {
+			y = append(y, 10)
+		} else {
+			y = append(y, 20)
+		}
+	}
+	return X, y
+}
+
+func TestTreeLearnsStepFunction(t *testing.T) {
+	X, y := stepData()
+	tr := NewRegressionTree()
+	if err := tr.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []struct{ x, want float64 }{{0, 10}, {4.4, 10}, {5, 20}, {19, 20}} {
+		got, err := tr.Predict([]float64{c.x})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Predict(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestTreeConstantTarget(t *testing.T) {
+	X := [][]float64{{1}, {2}, {3}}
+	y := []float64{7, 7, 7}
+	tr := NewRegressionTree()
+	if err := tr.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := tr.Predict([]float64{99}); got != 7 {
+		t.Errorf("constant tree predicts %v", got)
+	}
+}
+
+func TestTreeRespectsMaxDepth(t *testing.T) {
+	g := stats.NewRNG(3)
+	X := make([][]float64, 200)
+	y := make([]float64, 200)
+	for i := range X {
+		X[i] = []float64{g.Uniform(0, 100)}
+		y[i] = X[i][0] * X[i][0]
+	}
+	tr := &RegressionTree{Opts: TreeOptions{MaxDepth: 1, MinLeaf: 1, MaxThresholds: 32}}
+	if err := tr.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	// Depth 1 = a single split = at most two distinct outputs.
+	seen := map[float64]bool{}
+	for i := 0; i < 100; i++ {
+		p, _ := tr.Predict([]float64{float64(i)})
+		seen[p] = true
+	}
+	if len(seen) > 2 {
+		t.Errorf("depth-1 tree produced %d distinct outputs", len(seen))
+	}
+}
+
+func TestTreeUnfitted(t *testing.T) {
+	tr := NewRegressionTree()
+	if _, err := tr.Predict([]float64{1}); err != ErrNotFitted {
+		t.Errorf("unfitted tree err = %v", err)
+	}
+}
+
+func TestQuickTreePredictionWithinTargetRange(t *testing.T) {
+	f := func(seed int64) bool {
+		g := stats.NewRNG(seed)
+		n := 10 + g.Intn(40)
+		X := make([][]float64, n)
+		y := make([]float64, n)
+		for i := range X {
+			X[i] = []float64{g.Uniform(-50, 50), g.Uniform(-50, 50)}
+			y[i] = g.Uniform(-100, 100)
+		}
+		tr := NewRegressionTree()
+		if err := tr.Fit(X, y); err != nil {
+			return false
+		}
+		lo, hi := stats.Min(y), stats.Max(y)
+		for i := 0; i < 20; i++ {
+			p, err := tr.Predict([]float64{g.Uniform(-60, 60), g.Uniform(-60, 60)})
+			if err != nil || p < lo-1e-9 || p > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestForestLearnsSmoothFunction(t *testing.T) {
+	g := stats.NewRNG(7)
+	X := make([][]float64, 300)
+	y := make([]float64, 300)
+	for i := range X {
+		a, b := g.Uniform(0, 10), g.Uniform(0, 10)
+		X[i] = []float64{a, b}
+		y[i] = 3*a + 2*b + g.Normal(0, 0.3)
+	}
+	rf := NewRandomForest(11)
+	if err := rf.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	// In-range test points: forest should be close.
+	errSum := 0.0
+	for i := 0; i < 50; i++ {
+		a, b := g.Uniform(1, 9), g.Uniform(1, 9)
+		p, err := rf.Predict([]float64{a, b})
+		if err != nil {
+			t.Fatal(err)
+		}
+		errSum += math.Abs(p - (3*a + 2*b))
+	}
+	if avg := errSum / 50; avg > 2.0 {
+		t.Errorf("forest mean abs error = %v, want < 2", avg)
+	}
+}
+
+func TestForestDeterministicPerSeed(t *testing.T) {
+	X, y := stepData()
+	a := NewRandomForest(5)
+	b := NewRandomForest(5)
+	if err := a.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		pa, _ := a.Predict([]float64{float64(i)})
+		pb, _ := b.Predict([]float64{float64(i)})
+		if pa != pb {
+			t.Fatalf("same-seed forests disagree at %d: %v vs %v", i, pa, pb)
+		}
+	}
+}
+
+func TestForestUnfittedAndValidation(t *testing.T) {
+	rf := NewRandomForest(1)
+	if _, err := rf.Predict([]float64{1}); err != ErrNotFitted {
+		t.Errorf("unfitted forest err = %v", err)
+	}
+	if err := rf.Fit(nil, nil); err == nil {
+		t.Error("empty fit accepted")
+	}
+}
+
+func TestForestPredictionBounded(t *testing.T) {
+	// Forest predictions are averages of tree leaves, hence bounded by
+	// the target range — unlike linear extrapolation.
+	X, y := stepData()
+	rf := NewRandomForest(3)
+	if err := rf.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := rf.Predict([]float64{1e9})
+	if p < 10 || p > 20 {
+		t.Errorf("forest extrapolated outside [10,20]: %v", p)
+	}
+}
+
+func TestTreeDepthAndLeaves(t *testing.T) {
+	X, y := stepData()
+	tr := NewRegressionTree()
+	if err := tr.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	// One split suffices for a step function.
+	if d := tr.Depth(); d != 1 {
+		t.Errorf("depth = %d, want 1", d)
+	}
+	if l := tr.Leaves(); l != 2 {
+		t.Errorf("leaves = %d, want 2", l)
+	}
+	// Constant target: single leaf, depth 0.
+	ct := NewRegressionTree()
+	if err := ct.Fit([][]float64{{1}, {2}}, []float64{7, 7}); err != nil {
+		t.Fatal(err)
+	}
+	if ct.Depth() != 0 || ct.Leaves() != 1 {
+		t.Errorf("constant tree depth/leaves = %d/%d", ct.Depth(), ct.Leaves())
+	}
+	// Unfitted tree.
+	var unfit RegressionTree
+	if unfit.Depth() != 0 || unfit.Leaves() != 0 {
+		t.Error("unfitted tree introspection wrong")
+	}
+	// Depth limit respected structurally.
+	g := stats.NewRNG(21)
+	X2 := make([][]float64, 200)
+	y2 := make([]float64, 200)
+	for i := range X2 {
+		X2[i] = []float64{g.Uniform(0, 100)}
+		y2[i] = X2[i][0] * X2[i][0]
+	}
+	lim := &RegressionTree{Opts: TreeOptions{MaxDepth: 3, MinLeaf: 1, MaxThresholds: 16}}
+	if err := lim.Fit(X2, y2); err != nil {
+		t.Fatal(err)
+	}
+	if d := lim.Depth(); d > 3 {
+		t.Errorf("depth %d exceeds limit 3", d)
+	}
+	if l := lim.Leaves(); l > 8 {
+		t.Errorf("leaves %d exceed 2^3", l)
+	}
+}

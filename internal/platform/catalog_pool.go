@@ -1,0 +1,213 @@
+package platform
+
+// This file holds the deterministic event-name pools used to pad the
+// per-platform catalogs to the exact sizes the paper reports (164 events
+// on Haswell, 385 on Skylake; 151 and 323 after eliminating low-count
+// events). Names follow Intel/Likwid conventions; the order is fixed so
+// catalogs are reproducible.
+
+type pooledEvent struct {
+	name string
+	cat  Category
+}
+
+// family expands a prefix and a list of suffixes into pool entries.
+func family(cat Category, prefix string, suffixes ...string) []pooledEvent {
+	out := make([]pooledEvent, 0, len(suffixes))
+	for _, s := range suffixes {
+		out = append(out, pooledEvent{name: prefix + "_" + s, cat: cat})
+	}
+	return out
+}
+
+func concat(groups ...[]pooledEvent) []pooledEvent {
+	var out []pooledEvent
+	for _, g := range groups {
+		out = append(out, g...)
+	}
+	return out
+}
+
+// fillerNames is the ordered pool of one-slot core events used to pad the
+// reduced catalogs.
+var fillerNames = concat(
+	family(CatBackEnd, "UOPS_DISPATCHED_PORT",
+		"PORT_0", "PORT_1", "PORT_2", "PORT_3", "PORT_4", "PORT_5", "PORT_6", "PORT_7"),
+	family(CatBackEnd, "UOPS_EXECUTED_PORT",
+		"PORT_0", "PORT_1", "PORT_2", "PORT_3", "PORT_4", "PORT_5", "PORT_6", "PORT_7"),
+	family(CatCacheL2, "L2_RQSTS",
+		"DEMAND_DATA_RD_HIT", "DEMAND_DATA_RD_MISS", "RFO_HIT", "RFO_MISS",
+		"CODE_RD_HIT", "CODE_RD_MISS", "ALL_DEMAND_DATA_RD", "ALL_RFO",
+		"ALL_CODE_RD", "ALL_DEMAND_MISS", "ALL_DEMAND_REFERENCES",
+		"REFERENCES", "PF_HIT", "PF_MISS", "ALL_PF"),
+	family(CatCacheL1, "L1D",
+		"REPLACEMENT", "M_EVICT", "PEND_MISS_PENDING", "PEND_MISS_PENDING_CYCLES",
+		"PEND_MISS_FB_FULL", "PEND_MISS_REQUESTS"),
+	family(CatMemory, "MEM_LOAD_RETIRED",
+		"L1_HIT", "L1_MISS", "L2_HIT", "L2_MISS", "L3_HIT", "FB_HIT"),
+	family(CatCacheL3, "MEM_LOAD_L3_HIT_RETIRED",
+		"XSNP_HIT", "XSNP_HITM", "XSNP_NONE"),
+	family(CatBranch, "BR_INST_RETIRED",
+		"CONDITIONAL", "NEAR_CALL", "NEAR_RETURN", "NOT_TAKEN", "NEAR_TAKEN", "FAR_BRANCH"),
+	family(CatBranch, "BR_MISP_RETIRED",
+		"CONDITIONAL", "NEAR_CALL", "NEAR_TAKEN"),
+	family(CatFrontEnd, "IDQ",
+		"ALL_DSB_CYCLES_ANY_UOPS", "ALL_MITE_CYCLES_ANY_UOPS",
+		"ALL_MITE_CYCLES_4_UOPS", "MS_CYCLES", "MS_SWITCHES",
+		"MITE_CYCLES", "DSB_CYCLES", "MS_DSB_CYCLES",
+		"ALL_DSB_CYCLES_4_UOPS", "ALL_MITE_CYCLES_ANY"),
+	family(CatStall, "CYCLE_ACTIVITY",
+		"STALLS_TOTAL", "STALLS_MEM_ANY", "STALLS_L1D_MISS", "STALLS_L2_MISS",
+		"STALLS_L3_MISS", "CYCLES_L1D_MISS", "CYCLES_L2_MISS", "CYCLES_L3_MISS",
+		"CYCLES_MEM_ANY"),
+	family(CatBackEnd, "EXE_ACTIVITY",
+		"1_PORTS_UTIL", "2_PORTS_UTIL", "3_PORTS_UTIL", "4_PORTS_UTIL",
+		"BOUND_ON_STORES", "EXE_BOUND_0_PORTS"),
+	family(CatStall, "RESOURCE_STALLS", "ANY", "SB", "RS", "ROB"),
+	family(CatTLB, "DTLB_LOAD_MISSES",
+		"MISS_CAUSES_A_WALK", "STLB_HIT", "WALK_COMPLETED", "WALK_PENDING", "WALK_ACTIVE"),
+	family(CatTLB, "DTLB_STORE_MISSES",
+		"MISS_CAUSES_A_WALK", "STLB_HIT", "WALK_COMPLETED", "WALK_PENDING", "WALK_ACTIVE"),
+	family(CatTLB, "ITLB_MISSES",
+		"MISS_CAUSES_A_WALK", "WALK_COMPLETED", "WALK_PENDING"),
+	family(CatFrontEnd, "ICACHE",
+		"16B_IFDATA_STALL", "64B_IFTAG_HIT", "64B_IFTAG_STALL"),
+	family(CatMemory, "OFFCORE_REQUESTS",
+		"ALL_DATA_RD", "DEMAND_DATA_RD", "DEMAND_CODE_RD", "DEMAND_RFO", "ALL_REQUESTS"),
+	family(CatFrontEnd, "UOPS_ISSUED",
+		"ANY", "STALL_CYCLES", "VECTOR_WIDTH_MISMATCH"),
+	family(CatBackEnd, "UOPS_RETIRED",
+		"RETIRE_SLOTS", "STALL_CYCLES", "TOTAL_CYCLES",
+		"CYCLES_GE_1_UOPS_EXEC", "CYCLES_GE_2_UOPS_EXEC", "CYCLES_GE_3_UOPS_EXEC"),
+	family(CatFP, "FP_ARITH_INST_RETIRED",
+		"SCALAR_SINGLE", "SCALAR_DOUBLE", "128B_PACKED_DOUBLE", "128B_PACKED_SINGLE",
+		"256B_PACKED_DOUBLE", "256B_PACKED_SINGLE", "512B_PACKED_DOUBLE", "512B_PACKED_SINGLE"),
+	family(CatBackEnd, "INST_RETIRED", "PREC_DIST", "TOTAL_CYCLES"),
+	family(CatFrontEnd, "LSD", "UOPS", "CYCLES_ACTIVE", "CYCLES_4_UOPS"),
+	family(CatBackEnd, "MACHINE_CLEARS", "COUNT", "MEMORY_ORDERING", "SMC"),
+	family(CatMemory, "LD_BLOCKS", "STORE_FORWARD", "NO_SR", "PARTIAL_ADDRESS_ALIAS"),
+	family(CatMemory, "MEM_TRANS_RETIRED",
+		"LOAD_LATENCY_GT_4", "LOAD_LATENCY_GT_8", "LOAD_LATENCY_GT_16",
+		"LOAD_LATENCY_GT_32", "LOAD_LATENCY_GT_64", "LOAD_LATENCY_GT_128",
+		"LOAD_LATENCY_GT_256", "LOAD_LATENCY_GT_512"),
+	family(CatMemory, "SW_PREFETCH_ACCESS", "NTA", "T0", "T1_T2", "PREFETCHW"),
+	family(CatBackEnd, "ARITH", "FPU_DIV_ACTIVE"),
+	family(CatBackEnd, "ROB_MISC_EVENTS", "LBR_INSERTS", "PAUSE_INST"),
+	family(CatBackEnd, "CPU_CLOCK_UNHALTED",
+		"REF_TSC", "REF_XCLK", "ONE_THREAD_ACTIVE", "RING0_TRANS"),
+	family(CatTLB, "PAGE_WALKER_LOADS",
+		"DTLB_L1", "DTLB_L2", "DTLB_L3", "DTLB_MEMORY",
+		"ITLB_L1", "ITLB_L2", "ITLB_L3", "ITLB_MEMORY"),
+	family(CatBackEnd, "OTHER_ASSISTS", "ANY", "FP_ASSIST"),
+	family(CatCacheL2, "L2_TRANS",
+		"DEMAND_DATA_RD", "RFO", "L1D_WB", "L2_FILL", "L2_WB", "ALL_REQUESTS"),
+	family(CatCacheL2, "L2_LINES_IN", "ALL", "I", "S", "E"),
+	family(CatCacheL2, "L2_LINES_OUT", "SILENT", "NON_SILENT", "USELESS_HWPF"),
+	family(CatCacheL3, "LONGEST_LAT_CACHE", "MISS", "REFERENCE"),
+	family(CatOS, "PAGE_FAULTS", "MINOR", "MAJOR"),
+	[]pooledEvent{
+		{name: "CONTEXT_SWITCHES", cat: CatOS},
+		{name: "CPU_MIGRATIONS", cat: CatOS},
+		{name: "TASK_CLOCK", cat: CatOS},
+	},
+	family(CatFrontEnd, "FRONTEND_RETIRED",
+		"DSB_MISS", "L1I_MISS", "ITLB_MISS", "STLB_MISS",
+		"LATENCY_GE_2", "LATENCY_GE_4", "LATENCY_GE_8", "LATENCY_GE_16", "LATENCY_GE_32"),
+	family(CatTLB, "TLB_FLUSH", "DTLB_THREAD", "STLB_ANY"),
+	[]pooledEvent{
+		{name: "HW_INTERRUPTS_RECEIVED", cat: CatOS},
+		{name: "BACLEARS_ANY", cat: CatFrontEnd},
+		{name: "ILD_STALL_LCP", cat: CatFrontEnd},
+		{name: "PARTIAL_RAT_STALLS_SCOREBOARD", cat: CatStall},
+	},
+	family(CatFrontEnd, "DSB2MITE_SWITCHES", "COUNT", "PENALTY_CYCLES"),
+	family(CatBackEnd, "MOVE_ELIMINATION",
+		"INT_ELIMINATED", "INT_NOT_ELIMINATED", "SIMD_ELIMINATED", "SIMD_NOT_ELIMINATED"),
+	family(CatStall, "RS_EVENTS", "EMPTY_CYCLES", "EMPTY_END"),
+	family(CatBackEnd, "CORE_POWER",
+		"LVL0_TURBO_LICENSE", "LVL1_TURBO_LICENSE", "LVL2_TURBO_LICENSE", "THROTTLE"),
+	family(CatMemory, "MEM_INST_RETIRED",
+		"STLB_MISS_LOADS", "STLB_MISS_STORES", "LOCK_LOADS", "SPLIT_LOADS", "SPLIT_STORES"),
+	family(CatBackEnd, "UOPS_EXECUTED",
+		"THREAD", "STALL_CYCLES", "CYCLES_GE_1_UOP_EXEC", "CYCLES_GE_2_UOPS_EXEC",
+		"CYCLES_GE_3_UOPS_EXEC", "CYCLES_GE_4_UOPS_EXEC", "X87"),
+	family(CatFrontEnd, "IDQ_UOPS_NOT_DELIVERED",
+		"CORE", "CYCLES_0_UOPS_DELIV_CORE", "CYCLES_LE_1_UOP_DELIV_CORE",
+		"CYCLES_LE_2_UOP_DELIV_CORE", "CYCLES_LE_3_UOP_DELIV_CORE", "CYCLES_FE_WAS_OK"),
+	family(CatMemory, "OFFCORE_REQUESTS_OUTSTANDING",
+		"ALL_DATA_RD", "CYCLES_WITH_DATA_RD", "DEMAND_DATA_RD", "DEMAND_RFO"),
+	[]pooledEvent{{name: "OFFCORE_REQUESTS_BUFFER_SQ_FULL", cat: CatMemory}},
+	family(CatUncore, "UNC_M_CAS_COUNT_RD",
+		"CH0", "CH1", "CH2", "CH3", "CH4", "CH5", "CH6", "CH7"),
+	family(CatUncore, "UNC_M_CAS_COUNT_WR",
+		"CH0", "CH1", "CH2", "CH3", "CH4", "CH5", "CH6", "CH7"),
+	family(CatUncore, "UNC_ARB_TRK_REQUESTS", "ALL", "RD", "WR", "EVICTIONS"),
+	family(CatUncore, "UNC_ARB_TRK_OCCUPANCY", "ALL", "RD", "WR", "CYCLES_WITH_ANY_REQUEST"),
+	[]pooledEvent{
+		{name: "EPT_WALK_PENDING", cat: CatTLB},
+		{name: "CYCLES_DIV_BUSY", cat: CatBackEnd},
+		{name: "LOCK_CYCLES_CACHE_LOCK_DURATION", cat: CatMemory},
+		{name: "SQ_MISC_SPLIT_LOCK", cat: CatMemory},
+		{name: "LOAD_HIT_PRE_SW_PF", cat: CatMemory},
+		{name: "IDQ_MS_MITE_UOPS", cat: CatFrontEnd},
+		{name: "INT_MISC_RECOVERY_CYCLES", cat: CatBackEnd},
+		{name: "INT_MISC_CLEAR_RESTEER_CYCLES", cat: CatBackEnd},
+	},
+)
+
+// lowCountNames is the ordered pool of events whose counts are <= 10 on
+// the simulated platforms (transactional memory, assists, misaligned
+// accesses). The paper eliminates these as non-reproducible.
+var lowCountNames = buildLowCountNames()
+
+func buildLowCountNames() []string {
+	abortSuffixes := []string{
+		"START", "COMMIT", "ABORTED", "ABORTED_MEM", "ABORTED_TIMER",
+		"ABORTED_UNFRIENDLY", "ABORTED_MEMTYPE", "ABORTED_EVENTS",
+	}
+	var names []string
+	for _, s := range abortSuffixes {
+		names = append(names, "HLE_RETIRED_"+s)
+	}
+	for _, s := range abortSuffixes {
+		names = append(names, "RTM_RETIRED_"+s)
+	}
+	for _, s := range []string{
+		"CONFLICT", "CAPACITY", "HLE_STORE_TO_ELIDED_LOCK",
+		"HLE_ELISION_BUFFER_NOT_EMPTY", "HLE_ELISION_BUFFER_MISMATCH",
+		"HLE_ELISION_BUFFER_UNSUPPORTED_ALIGNMENT", "HLE_ELISION_BUFFER_FULL",
+	} {
+		names = append(names, "TX_MEM_ABORT_"+s)
+	}
+	for i := 1; i <= 5; i++ {
+		names = append(names, "TX_EXEC_MISC"+string(rune('0'+i)))
+	}
+	names = append(names,
+		"FP_ASSIST_ANY",
+		"ASSISTS_FP",
+		"ASSISTS_SSE_AVX_MIX",
+		"MISALIGN_MEM_REF_LOADS",
+		"MISALIGN_MEM_REF_STORES",
+		"ALIGNMENT_FAULTS",
+		"EMULATION_FAULTS",
+		"MACHINE_CLEARS_MASKMOV",
+	)
+	for i := 0; i < 28; i++ {
+		names = append(names, "UNC_CHA_TOR_INSERTS_IA_MISS_BOX"+itoa(i))
+	}
+	return names
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	n := len(buf)
+	for i > 0 {
+		n--
+		buf[n] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(buf[n:])
+}

@@ -1,0 +1,66 @@
+package platform
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// Encoding is the PMU programming of an event: the event-select code and
+// unit mask written into the IA32_PERFEVTSELx MSR to count it. Encodings
+// are deterministic per (platform, event) and unique within a catalog —
+// what a real event file (likwid's perfmon data) provides.
+type Encoding struct {
+	EventSel uint8
+	Umask    uint8
+}
+
+// String renders the encoding the way event files do.
+func (e Encoding) String() string {
+	return fmt.Sprintf("0x%02X:0x%02X", e.EventSel, e.Umask)
+}
+
+// EventEncoding returns the unique encoding of a catalog event on the
+// platform.
+func EventEncoding(s *Spec, name string) (Encoding, error) {
+	table, err := encodingTable(s)
+	if err != nil {
+		return Encoding{}, err
+	}
+	enc, ok := table[name]
+	if !ok {
+		return Encoding{}, fmt.Errorf("platform: event %q not in %s catalog", name, s.Name)
+	}
+	return enc, nil
+}
+
+// encodingTables caches per-platform encoding assignments.
+var encodingTables = map[string]map[string]Encoding{}
+
+// encodingTable builds (once per platform) a collision-free assignment of
+// encodings to catalog events: a name-derived starting point, linear
+// probing over the 16-bit (eventSel, umask) space on collision.
+func encodingTable(s *Spec) (map[string]Encoding, error) {
+	if t, ok := encodingTables[s.Name]; ok {
+		return t, nil
+	}
+	events := Catalog(s)
+	table := make(map[string]Encoding, len(events))
+	used := make(map[uint16]bool, len(events))
+	for _, ev := range events {
+		h := fnv.New64a()
+		h.Write([]byte(s.Name))
+		h.Write([]byte(ev.Name))
+		probe := uint16(h.Sum64())
+		// Event-select 0x00 is reserved; skip encodings with sel 0.
+		for {
+			if probe>>8 != 0 && !used[probe] {
+				break
+			}
+			probe++
+		}
+		used[probe] = true
+		table[ev.Name] = Encoding{EventSel: uint8(probe >> 8), Umask: uint8(probe)}
+	}
+	encodingTables[s.Name] = table
+	return table, nil
+}

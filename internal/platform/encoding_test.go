@@ -1,0 +1,67 @@
+package platform
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEventEncodingsUniquePerCatalog(t *testing.T) {
+	for _, spec := range Platforms() {
+		seen := map[Encoding]string{}
+		for _, ev := range Catalog(spec) {
+			enc, err := EventEncoding(spec, ev.Name)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", spec.Name, ev.Name, err)
+			}
+			if enc.EventSel == 0 {
+				t.Errorf("%s/%s: reserved event-select 0x00", spec.Name, ev.Name)
+			}
+			if prev, dup := seen[enc]; dup {
+				t.Errorf("%s: encoding %s shared by %s and %s", spec.Name, enc, prev, ev.Name)
+			}
+			seen[enc] = ev.Name
+		}
+	}
+}
+
+func TestEventEncodingDeterministic(t *testing.T) {
+	a, err := EventEncoding(Skylake(), "FP_ARITH_INST_RETIRED_DOUBLE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EventEncoding(Skylake(), "FP_ARITH_INST_RETIRED_DOUBLE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("encoding not stable: %s vs %s", a, b)
+	}
+	// Platforms encode the same event independently.
+	h, err := EventEncoding(Haswell(), "IDQ_MS_UOPS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := EventEncoding(Skylake(), "IDQ_MS_UOPS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h == s {
+		t.Log("same encoding across platforms (allowed, but derived independently)")
+	}
+}
+
+func TestEventEncodingUnknown(t *testing.T) {
+	if _, err := EventEncoding(Haswell(), "NOT_A_COUNTER"); err == nil {
+		t.Error("unknown event accepted")
+	}
+}
+
+func TestEncodingString(t *testing.T) {
+	s := Encoding{EventSel: 0xC4, Umask: 0x20}.String()
+	if s != "0xC4:0x20" {
+		t.Errorf("String = %q", s)
+	}
+	if !strings.HasPrefix(s, "0x") {
+		t.Errorf("String format: %q", s)
+	}
+}

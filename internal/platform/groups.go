@@ -1,0 +1,113 @@
+package platform
+
+import "fmt"
+
+// PerfGroup is a named, co-schedulable event set in the style of Likwid's
+// performance groups (likwid-perfctr -g NAME): each group fits into one
+// collection run on the platform's programmable counters.
+type PerfGroup struct {
+	Name        string
+	Description string
+	Events      []string
+}
+
+// PerfGroups returns the platform's named performance groups. Every group
+// is validated by tests to exist in the catalog and to fit the register
+// file in a single run.
+func PerfGroups(s *Spec) []PerfGroup {
+	switch s.Name {
+	case "haswell":
+		return []PerfGroup{
+			{
+				Name:        "BRANCH",
+				Description: "branch prediction",
+				Events:      []string{"BR_INST_RETIRED_ALL_BRANCHES", "BR_MISP_RETIRED_ALL_BRANCHES", "INSTR_RETIRED_ANY"},
+			},
+			{
+				Name:        "L2",
+				Description: "L2 cache demand traffic and misses",
+				Events:      []string{"L2_RQSTS_MISS", "L2_RQSTS_ALL_DEMAND_DATA_RD", "L2_RQSTS_ALL_RFO", "L2_RQSTS_ALL_CODE_RD"},
+			},
+			{
+				Name:        "DATA",
+				Description: "load/store mix",
+				Events:      []string{"MEM_INST_RETIRED_ALL_LOADS", "MEM_INST_RETIRED_ALL_STORES", "INSTR_RETIRED_ANY"},
+			},
+			{
+				Name:        "FLOPS_DP",
+				Description: "double-precision floating point",
+				Events:      []string{"FP_ARITH_INST_RETIRED_DOUBLE", "UOPS_EXECUTED_CORE", "INSTR_RETIRED_ANY"},
+			},
+			{
+				Name:        "FRONTEND",
+				Description: "decode-stream composition",
+				Events:      []string{"IDQ_MITE_UOPS", "IDQ_DSB_UOPS", "IDQ_MS_UOPS", "ICACHE_64B_IFTAG_MISS"},
+			},
+			{
+				Name:        "DIVIDE",
+				Description: "divider-unit usage",
+				Events:      []string{"ARITH_DIVIDER_COUNT", "CPU_CLOCK_THREAD_UNHALTED", "INSTR_RETIRED_ANY"},
+			},
+			{
+				Name:        "TLB",
+				Description: "TLB behaviour",
+				Events:      []string{"DTLB_LOAD_MISSES_MISS_CAUSES_A_WALK", "DTLB_STORE_MISSES_MISS_CAUSES_A_WALK", "ITLB_MISSES_MISS_CAUSES_A_WALK"},
+			},
+		}
+	case "skylake":
+		return []PerfGroup{
+			{
+				Name:        "BRANCH",
+				Description: "branch prediction",
+				Events:      []string{"BR_INST_RETIRED_ALL_BRANCHES", "BR_MISP_RETIRED_ALL_BRANCHES", "INSTR_RETIRED_ANY"},
+			},
+			{
+				Name:        "L2",
+				Description: "L2 cache misses and code reads",
+				Events:      []string{"L2_RQSTS_MISS", "L2_TRANS_CODE_RD", "L2_LINES_IN_ALL"},
+			},
+			{
+				Name:        "L3",
+				Description: "last-level cache",
+				Events:      []string{"MEM_LOAD_RETIRED_L3_MISS", "MEM_LOAD_L3_HIT_RETIRED_XSNP_MISS", "LONGEST_LAT_CACHE_MISS"},
+			},
+			{
+				Name:        "DATA",
+				Description: "load/store mix",
+				Events:      []string{"MEM_INST_RETIRED_ALL_LOADS", "MEM_INST_RETIRED_ALL_STORES", "INSTR_RETIRED_ANY"},
+			},
+			{
+				Name:        "FLOPS_DP",
+				Description: "double-precision floating point",
+				Events:      []string{"FP_ARITH_INST_RETIRED_DOUBLE", "UOPS_EXECUTED_CORE", "INSTR_RETIRED_ANY"},
+			},
+			{
+				Name:        "FRONTEND",
+				Description: "decode-stream composition",
+				Events:      []string{"IDQ_MITE_UOPS", "IDQ_DSB_UOPS", "IDQ_MS_UOPS", "ICACHE_64B_IFTAG_MISS"},
+			},
+			{
+				Name:        "ONLINE_PA4",
+				Description: "the paper's additive online model set (Class C)",
+				Events:      []string{"UOPS_RETIRED_CYCLES_GE_4_UOPS_EXEC", "FP_ARITH_INST_RETIRED_DOUBLE", "UOPS_EXECUTED_CORE", "IDQ_ALL_CYCLES_6_UOPS"},
+			},
+			{
+				Name:        "TLB",
+				Description: "TLB behaviour",
+				Events:      []string{"ITLB_MISSES_STLB_HIT", "DTLB_LOAD_MISSES_MISS_CAUSES_A_WALK", "DTLB_STORE_MISSES_MISS_CAUSES_A_WALK"},
+			},
+		}
+	default:
+		return nil
+	}
+}
+
+// PerfGroupByName returns the named group on a platform.
+func PerfGroupByName(s *Spec, name string) (PerfGroup, error) {
+	for _, g := range PerfGroups(s) {
+		if g.Name == name {
+			return g, nil
+		}
+	}
+	return PerfGroup{}, fmt.Errorf("platform: no perf group %q on %s", name, s.Name)
+}

@@ -1,0 +1,63 @@
+package platform
+
+import "testing"
+
+func TestPerfGroupsValid(t *testing.T) {
+	for _, spec := range Platforms() {
+		groups := PerfGroups(spec)
+		if len(groups) < 5 {
+			t.Errorf("%s: only %d perf groups", spec.Name, len(groups))
+		}
+		seen := map[string]bool{}
+		for _, g := range groups {
+			if seen[g.Name] {
+				t.Errorf("%s: duplicate group %q", spec.Name, g.Name)
+			}
+			seen[g.Name] = true
+			if g.Description == "" {
+				t.Errorf("%s/%s: missing description", spec.Name, g.Name)
+			}
+			slots := 0
+			for _, name := range g.Events {
+				ev, err := FindEvent(spec, name)
+				if err != nil {
+					t.Errorf("%s/%s: %v", spec.Name, g.Name, err)
+					continue
+				}
+				if ev.LowCount {
+					t.Errorf("%s/%s: event %s is low-count", spec.Name, g.Name, name)
+				}
+				slots += ev.Slots
+			}
+			if slots > spec.Registers {
+				t.Errorf("%s/%s: %d slots exceed the %d registers — not co-schedulable",
+					spec.Name, g.Name, slots, spec.Registers)
+			}
+			if len(g.Events) == 0 {
+				t.Errorf("%s/%s: empty group", spec.Name, g.Name)
+			}
+		}
+	}
+}
+
+func TestPerfGroupByName(t *testing.T) {
+	g, err := PerfGroupByName(Skylake(), "ONLINE_PA4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Events) != 4 {
+		t.Errorf("ONLINE_PA4 has %d events, want 4", len(g.Events))
+	}
+	if _, err := PerfGroupByName(Haswell(), "ONLINE_PA4"); err == nil {
+		t.Error("haswell should not have ONLINE_PA4")
+	}
+	if _, err := PerfGroupByName(Haswell(), "NOPE"); err == nil {
+		t.Error("unknown group accepted")
+	}
+}
+
+func TestPerfGroupsUnknownPlatform(t *testing.T) {
+	if got := PerfGroups(&Spec{Name: "zen"}); got != nil {
+		t.Errorf("unknown platform groups = %v", got)
+	}
+}

@@ -1,0 +1,211 @@
+package pmc
+
+import (
+	"fmt"
+	"sort"
+
+	"additivity/internal/machine"
+	"additivity/internal/platform"
+	"additivity/internal/stats"
+	"additivity/internal/workload"
+)
+
+// Group is one collection run's worth of events: their slot total fits
+// the platform's programmable counter registers.
+type Group []platform.Event
+
+// ScheduleGroups packs events into collection groups under the register
+// budget using first-fit decreasing on slot size. The schedule is
+// deterministic; its length is the number of application runs needed to
+// collect all the events — 53 runs for the reduced Haswell catalog and
+// 99 for Skylake, matching the paper.
+func ScheduleGroups(events []platform.Event, registers int) ([]Group, error) {
+	for _, e := range events {
+		if e.Slots > registers {
+			return nil, fmt.Errorf("pmc: event %s needs %d slots, platform has %d",
+				e.Name, e.Slots, registers)
+		}
+	}
+	// Stable order: by slot size descending, then by catalog order.
+	idx := make([]int, len(events))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return events[idx[a]].Slots > events[idx[b]].Slots
+	})
+
+	var groups []Group
+	var free []int
+	for _, i := range idx {
+		e := events[i]
+		placed := false
+		for gi := range groups {
+			if free[gi] >= e.Slots {
+				groups[gi] = append(groups[gi], e)
+				free[gi] -= e.Slots
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			groups = append(groups, Group{e})
+			free = append(free, registers-e.Slots)
+		}
+	}
+	return groups, nil
+}
+
+// Collector gathers PMC values for applications by scheduling events onto
+// the platform's counter registers and executing one application run per
+// group — the Likwid-style multiplexed collection the paper describes.
+type Collector struct {
+	Machine *machine.Machine
+	rng     *stats.RNG
+	reads   int64
+}
+
+// NewCollector returns a collector over the given machine.
+func NewCollector(m *machine.Machine, seed int64) *Collector {
+	return &Collector{
+		Machine: m,
+		rng:     stats.SplitSeed(seed, "collector-"+m.Spec.Name),
+	}
+}
+
+// Counts maps event names to collected counter values.
+type Counts map[string]float64
+
+// Collect gathers the given events for one application (one part = base
+// application, several = compound). It returns the counts and the number
+// of application runs the collection required. Counter values from
+// different events may come from different runs — exactly the
+// inconsistency real multiplexed collection has.
+func (c *Collector) Collect(events []platform.Event, parts ...workload.App) (Counts, int, error) {
+	groups, err := ScheduleGroups(events, c.Machine.Spec.Registers)
+	if err != nil {
+		return nil, 0, err
+	}
+	counts := make(Counts, len(events))
+	for _, grp := range groups {
+		run := c.Machine.Run(parts...)
+		for _, ev := range grp {
+			counts[ev.Name] = c.read(run, ev)
+		}
+	}
+	return counts, len(groups), nil
+}
+
+// CollectMean collects the events reps times and returns per-event sample
+// means — the paper's statistical methodology applied to counter values.
+func (c *Collector) CollectMean(events []platform.Event, reps int, parts ...workload.App) (Counts, int, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	sums := make(Counts, len(events))
+	totalRuns := 0
+	for r := 0; r < reps; r++ {
+		counts, runs, err := c.Collect(events, parts...)
+		if err != nil {
+			return nil, 0, err
+		}
+		totalRuns += runs
+		for k, v := range counts {
+			sums[k] += v
+		}
+	}
+	for k := range sums {
+		sums[k] /= float64(reps)
+	}
+	return sums, totalRuns, nil
+}
+
+// CollectGroup collects one of the platform's named performance groups
+// (Likwid's `-g NAME` style) in a single application run.
+func (c *Collector) CollectGroup(groupName string, parts ...workload.App) (Counts, error) {
+	g, err := platform.PerfGroupByName(c.Machine.Spec, groupName)
+	if err != nil {
+		return nil, err
+	}
+	events := make([]platform.Event, 0, len(g.Events))
+	for _, name := range g.Events {
+		ev, err := platform.FindEvent(c.Machine.Spec, name)
+		if err != nil {
+			return nil, err
+		}
+		events = append(events, ev)
+	}
+	counts, runs, err := c.Collect(events, parts...)
+	if err != nil {
+		return nil, err
+	}
+	if runs != 1 {
+		return nil, fmt.Errorf("pmc: group %s needed %d runs; groups must be co-schedulable", groupName, runs)
+	}
+	return counts, nil
+}
+
+// counterBits is the width of the programmable counter registers: counts
+// wrap modulo 2⁴⁸, as on real PMUs. The collection tool unwraps by
+// polling counters faster than they can overflow (likwid reads every few
+// seconds), so RawRead exposes the wrapped value while Collect reports
+// unwrapped counts.
+const counterBits = 48
+
+// counterMax is the largest raw register value plus one.
+const counterMax = float64(uint64(1) << counterBits)
+
+// read produces one counter reading from a run: the event's ideal mapped
+// value scaled by its read noise; low-count events read as a handful of
+// spurious counts.
+func (c *Collector) read(run machine.Run, ev platform.Event) float64 {
+	c.reads++
+	g := c.rng.Split("read-" + itoa(c.reads))
+	if ev.LowCount {
+		return float64(g.Intn(11))
+	}
+	ideal := MappingFor(ev)(run.Activity)
+	return ideal * g.LogNormalFactor(ReadSigma(ev))
+}
+
+// RawRead returns the 48-bit register value a single end-of-run read
+// would observe for the event — wrapped, the way the hardware exposes it.
+// Tools that read only at run boundaries (instead of polling) see these
+// truncated values; Wrapped reports whether information was lost.
+func (c *Collector) RawRead(run machine.Run, ev platform.Event) (value float64, wrapped bool) {
+	v := c.read(run, ev)
+	if v < counterMax {
+		return v, false
+	}
+	// Fold into the register width. math.Mod keeps float semantics; the
+	// counts in range are integers well below 2⁵³ so this is exact.
+	folded := v
+	for folded >= counterMax {
+		folded -= counterMax
+	}
+	return folded, true
+}
+
+// RunsToCollectAll returns how many application runs collecting the whole
+// reduced catalog takes on the platform.
+func RunsToCollectAll(spec *platform.Spec) (int, error) {
+	groups, err := ScheduleGroups(platform.ReducedCatalog(spec), spec.Registers)
+	if err != nil {
+		return 0, err
+	}
+	return len(groups), nil
+}
+
+func itoa(n int64) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,76 @@
+package pmc
+
+import (
+	"fmt"
+	"strings"
+
+	"additivity/internal/platform"
+)
+
+// ParseEventSet parses a likwid-perfctr style event-set string into
+// catalog events:
+//
+//	"FP_ARITH_INST_RETIRED_DOUBLE:PMC0,UOPS_EXECUTED_CORE:PMC1"
+//
+// The ":PMCn" register annotations are optional; when present they must
+// be distinct and within the platform's register file. The returned
+// events are validated to be co-schedulable in one run.
+func ParseEventSet(spec *platform.Spec, set string) ([]platform.Event, error) {
+	if strings.TrimSpace(set) == "" {
+		return nil, fmt.Errorf("pmc: empty event set")
+	}
+	var events []platform.Event
+	usedRegs := map[int]string{}
+	slots := 0
+	for _, item := range strings.Split(set, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		name := item
+		if i := strings.IndexByte(item, ':'); i >= 0 {
+			name = item[:i]
+			reg := item[i+1:]
+			if !strings.HasPrefix(reg, "PMC") {
+				return nil, fmt.Errorf("pmc: bad register %q in %q (want PMCn)", reg, item)
+			}
+			var n int
+			if _, err := fmt.Sscanf(reg, "PMC%d", &n); err != nil {
+				return nil, fmt.Errorf("pmc: bad register %q in %q", reg, item)
+			}
+			if n < 0 || n >= spec.Registers {
+				return nil, fmt.Errorf("pmc: register PMC%d outside 0..%d", n, spec.Registers-1)
+			}
+			if prev, dup := usedRegs[n]; dup {
+				return nil, fmt.Errorf("pmc: register PMC%d assigned to both %s and %s", n, prev, name)
+			}
+			usedRegs[n] = name
+		}
+		ev, err := platform.FindEvent(spec, name)
+		if err != nil {
+			return nil, err
+		}
+		slots += ev.Slots
+		events = append(events, ev)
+	}
+	if len(events) == 0 {
+		return nil, fmt.Errorf("pmc: no events in set %q", set)
+	}
+	if slots > spec.Registers {
+		return nil, fmt.Errorf("pmc: event set needs %d slots, platform has %d registers",
+			slots, spec.Registers)
+	}
+	return events, nil
+}
+
+// FormatEventSet renders events as a likwid-style event-set string with
+// sequential register assignments.
+func FormatEventSet(events []platform.Event) string {
+	parts := make([]string, 0, len(events))
+	reg := 0
+	for _, ev := range events {
+		parts = append(parts, fmt.Sprintf("%s:PMC%d", ev.Name, reg))
+		reg += ev.Slots
+	}
+	return strings.Join(parts, ",")
+}

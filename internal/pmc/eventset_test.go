@@ -1,0 +1,64 @@
+package pmc
+
+import (
+	"strings"
+	"testing"
+
+	"additivity/internal/platform"
+)
+
+func TestParseEventSet(t *testing.T) {
+	spec := platform.Skylake()
+	events, err := ParseEventSet(spec,
+		"FP_ARITH_INST_RETIRED_DOUBLE:PMC0, UOPS_EXECUTED_CORE:PMC1, MEM_INST_RETIRED_ALL_STORES")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 3 {
+		t.Fatalf("events = %d", len(events))
+	}
+	if events[0].Name != "FP_ARITH_INST_RETIRED_DOUBLE" {
+		t.Errorf("first event = %s", events[0].Name)
+	}
+}
+
+func TestParseEventSetErrors(t *testing.T) {
+	spec := platform.Skylake()
+	cases := []string{
+		"",
+		"   ",
+		"NOT_A_COUNTER",
+		"UOPS_EXECUTED_CORE:GP0",  // bad register kind
+		"UOPS_EXECUTED_CORE:PMCX", // bad register number
+		"UOPS_EXECUTED_CORE:PMC9", // out of range
+		"UOPS_EXECUTED_CORE:PMC0,IDQ_MS_UOPS:PMC0",      // duplicate register
+		"OFFCORE_RESPONSE_0_OPTIONS,UOPS_EXECUTED_CORE", // 4+1 slots > 4
+	}
+	for _, c := range cases {
+		if _, err := ParseEventSet(spec, c); err == nil {
+			t.Errorf("ParseEventSet(%q) accepted", c)
+		}
+	}
+}
+
+func TestFormatEventSetRoundTrip(t *testing.T) {
+	spec := platform.Skylake()
+	in := "FP_ARITH_INST_RETIRED_DOUBLE,UOPS_EXECUTED_CORE,IDQ_ALL_CYCLES_6_UOPS"
+	events, err := ParseEventSet(spec, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FormatEventSet(events)
+	if !strings.Contains(out, "FP_ARITH_INST_RETIRED_DOUBLE:PMC0") ||
+		!strings.Contains(out, "UOPS_EXECUTED_CORE:PMC1") ||
+		!strings.Contains(out, "IDQ_ALL_CYCLES_6_UOPS:PMC2") {
+		t.Errorf("FormatEventSet = %q", out)
+	}
+	back, err := ParseEventSet(spec, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(events) {
+		t.Errorf("round trip lost events")
+	}
+}

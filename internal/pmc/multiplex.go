@@ -1,0 +1,68 @@
+package pmc
+
+import (
+	"math"
+
+	"additivity/internal/platform"
+	"additivity/internal/workload"
+)
+
+// CollectMultiplexed gathers all the events in a *single* application run
+// by time-division multiplexing, the way `perf stat` does when asked for
+// more events than the register file holds: the scheduler's groups rotate
+// onto the counters, each event is observed for a fraction of the run,
+// and its count is extrapolated to the full runtime.
+//
+// Extrapolation is exact only when the run is statistically stationary.
+// Each rotation adds sampling error, and compound (multi-phase) runs add
+// bias: an event whose activity concentrates in one phase is over- or
+// under-extrapolated depending on which windows its group occupied. This
+// is the classic accuracy/cost trade-off versus one-group-per-run
+// collection (Collect), and the reason the paper's methodology executes
+// applications once per group despite needing 53/99 runs for a full
+// catalog sweep.
+func (c *Collector) CollectMultiplexed(events []platform.Event, parts ...workload.App) (Counts, int, error) {
+	groups, err := ScheduleGroups(events, c.Machine.Spec.Registers)
+	if err != nil {
+		return nil, 0, err
+	}
+	run := c.Machine.Run(parts...)
+
+	// Sampling error grows with the number of rotating groups (each
+	// event's observation share shrinks).
+	muxSigma := 0.012 * math.Sqrt(float64(len(groups)-1))
+	// Phase-heterogeneity bias for compound runs: the spread of phase
+	// durations bounds how unrepresentative an observation window can be.
+	bias := 0.0
+	if run.Phases > 1 {
+		minShare := 1.0
+		for _, p := range run.PhaseStats {
+			if share := p.Seconds / run.Seconds; share < minShare {
+				minShare = share
+			}
+		}
+		bias = 0.5 * (1 - minShare) / float64(run.Phases)
+	}
+
+	counts := make(Counts, len(events))
+	for _, grp := range groups {
+		for _, ev := range grp {
+			c.reads++
+			g := c.rng.Split("mux-" + itoa(c.reads))
+			v := MappingFor(ev)(run.Activity)
+			if ev.LowCount {
+				counts[ev.Name] = float64(g.Intn(11))
+				continue
+			}
+			v *= g.LogNormalFactor(ReadSigma(ev))
+			if len(groups) > 1 {
+				v *= g.LogNormalFactor(muxSigma)
+				if bias > 0 {
+					v *= 1 + g.Uniform(-bias, bias)
+				}
+			}
+			counts[ev.Name] = v
+		}
+	}
+	return counts, 1, nil
+}

@@ -1,0 +1,122 @@
+package pmc
+
+import (
+	"math"
+	"testing"
+
+	"additivity/internal/machine"
+	"additivity/internal/platform"
+	"additivity/internal/stats"
+	"additivity/internal/workload"
+)
+
+func TestMultiplexedSingleRun(t *testing.T) {
+	spec := platform.Haswell()
+	c := NewCollector(machine.New(spec, 81), 81)
+	events := platform.ReducedCatalog(spec)
+	counts, runs, err := c.CollectMultiplexed(events, workload.App{Workload: workload.DGEMM(), Size: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs != 1 {
+		t.Errorf("multiplexed collection took %d runs, want 1", runs)
+	}
+	if len(counts) != len(events) {
+		t.Errorf("collected %d counts, want %d", len(counts), len(events))
+	}
+}
+
+func TestMultiplexedUnbiasedForBaseApps(t *testing.T) {
+	// For a single-phase run, multiplexing adds noise but no bias: the
+	// mean over repetitions converges to the per-run collection mean.
+	spec := platform.Haswell()
+	app := workload.App{Workload: workload.Stream(), Size: 64}
+	events := classAEvents(t, spec)
+
+	cMux := NewCollector(machine.New(spec, 83), 83)
+	cRef := NewCollector(machine.New(spec, 83), 830)
+	const reps = 30
+	mux := map[string][]float64{}
+	ref := map[string][]float64{}
+	for i := 0; i < reps; i++ {
+		cm, _, err := cMux.CollectMultiplexed(events, app)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cr, _, err := cRef.Collect(events, app)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k, v := range cm {
+			mux[k] = append(mux[k], v)
+		}
+		for k, v := range cr {
+			ref[k] = append(ref[k], v)
+		}
+	}
+	for _, ev := range events {
+		if ev.Name == "ARITH_DIVIDER_COUNT" {
+			continue // deliberately non-reproducible
+		}
+		mm, mr := stats.Mean(mux[ev.Name]), stats.Mean(ref[ev.Name])
+		if mr == 0 {
+			continue
+		}
+		if math.Abs(mm-mr)/mr > 0.10 {
+			t.Errorf("%s: multiplexed mean %.4g vs per-run mean %.4g (>10%% apart)",
+				ev.Name, mm, mr)
+		}
+	}
+}
+
+func TestMultiplexedNoisierThanPerRun(t *testing.T) {
+	// The cost of collecting everything in one run: higher variance.
+	spec := platform.Haswell()
+	app := workload.App{Workload: workload.DGEMM(), Size: 4096}
+	events := platform.ReducedCatalog(spec)
+	target := "INSTR_RETIRED_ANY"
+
+	cMux := NewCollector(machine.New(spec, 85), 85)
+	cRef := NewCollector(machine.New(spec, 85), 850)
+	const reps = 25
+	var mux, ref []float64
+	for i := 0; i < reps; i++ {
+		cm, _, err := cMux.CollectMultiplexed(events, app)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mux = append(mux, cm[target])
+		cr, _, err := cRef.Collect(events, app)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref = append(ref, cr[target])
+	}
+	cvMux := stats.StdDev(mux) / stats.Mean(mux)
+	cvRef := stats.StdDev(ref) / stats.Mean(ref)
+	if cvMux <= cvRef {
+		t.Errorf("multiplexed CV %.4f <= per-run CV %.4f: rotation noise missing", cvMux, cvRef)
+	}
+}
+
+func TestMultiplexedCompoundBias(t *testing.T) {
+	// Compound runs give multiplexing a phase-heterogeneity bias band;
+	// verify counts still land within a plausible envelope of the ideal.
+	spec := platform.Haswell()
+	c := NewCollector(machine.New(spec, 87), 87)
+	events := classAEvents(t, spec)
+	a := workload.App{Workload: workload.DGEMM(), Size: 4096}
+	bApp := workload.App{Workload: workload.Quicksort(), Size: 64}
+	counts, runs, err := c.CollectMultiplexed(events, a, bApp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs != 1 {
+		t.Errorf("runs = %d", runs)
+	}
+	for name, v := range counts {
+		if v < 0 {
+			t.Errorf("%s: negative count %v", name, v)
+		}
+	}
+}

@@ -1,0 +1,385 @@
+package pmc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"additivity/internal/activity"
+	"additivity/internal/machine"
+	"additivity/internal/platform"
+	"additivity/internal/stats"
+	"additivity/internal/workload"
+)
+
+func TestRunsToCollectAllMatchesPaper(t *testing.T) {
+	cases := []struct {
+		spec *platform.Spec
+		want int
+	}{
+		{platform.Haswell(), 53},
+		{platform.Skylake(), 99},
+	}
+	for _, c := range cases {
+		got, err := RunsToCollectAll(c.spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("%s: collecting the reduced catalog takes %d runs, want %d (paper)",
+				c.spec.Name, got, c.want)
+		}
+	}
+}
+
+func TestScheduleGroupsRespectsRegisterBudget(t *testing.T) {
+	for _, spec := range platform.Platforms() {
+		groups, err := ScheduleGroups(platform.ReducedCatalog(spec), spec.Registers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := map[string]bool{}
+		for gi, g := range groups {
+			slots := 0
+			for _, e := range g {
+				slots += e.Slots
+				if seen[e.Name] {
+					t.Errorf("%s: event %s scheduled twice", spec.Name, e.Name)
+				}
+				seen[e.Name] = true
+			}
+			if slots > spec.Registers {
+				t.Errorf("%s group %d uses %d slots > %d", spec.Name, gi, slots, spec.Registers)
+			}
+			if len(g) == 0 {
+				t.Errorf("%s group %d empty", spec.Name, gi)
+			}
+		}
+		if len(seen) != len(platform.ReducedCatalog(spec)) {
+			t.Errorf("%s: scheduled %d events, want %d",
+				spec.Name, len(seen), len(platform.ReducedCatalog(spec)))
+		}
+	}
+}
+
+func TestScheduleGroupsRejectsOversizedEvent(t *testing.T) {
+	events := []platform.Event{{Name: "X", Slots: 8}}
+	if _, err := ScheduleGroups(events, 4); err == nil {
+		t.Error("oversized event accepted")
+	}
+}
+
+func TestScheduleDeterministic(t *testing.T) {
+	a, _ := ScheduleGroups(platform.ReducedCatalog(platform.Skylake()), 4)
+	b, _ := ScheduleGroups(platform.ReducedCatalog(platform.Skylake()), 4)
+	if len(a) != len(b) {
+		t.Fatal("schedules differ in length")
+	}
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j].Name != b[i][j].Name {
+				t.Fatalf("schedule differs at group %d", i)
+			}
+		}
+	}
+}
+
+func TestExplicitMappingsCoverPaperPMCs(t *testing.T) {
+	names := []string{
+		"IDQ_MITE_UOPS", "IDQ_MS_UOPS", "ICACHE_64B_IFTAG_MISS",
+		"ARITH_DIVIDER_COUNT", "L2_RQSTS_MISS", "UOPS_EXECUTED_PORT_PORT_6",
+		"UOPS_RETIRED_CYCLES_GE_4_UOPS_EXEC", "FP_ARITH_INST_RETIRED_DOUBLE",
+		"MEM_INST_RETIRED_ALL_STORES", "UOPS_EXECUTED_CORE",
+		"UOPS_DISPATCHED_PORT_PORT_4", "IDQ_DSB_CYCLES_6_UOPS",
+		"IDQ_ALL_DSB_CYCLES_5_UOPS", "IDQ_ALL_CYCLES_6_UOPS",
+		"MEM_LOAD_RETIRED_L3_MISS", "CPU_CLOCK_THREAD_UNHALTED",
+		"BR_MISP_RETIRED_ALL_BRANCHES", "MEM_LOAD_L3_HIT_RETIRED_XSNP_MISS",
+		"FRONTEND_RETIRED_L2_MISS", "ITLB_MISSES_STLB_HIT", "L2_TRANS_CODE_RD",
+	}
+	for _, n := range names {
+		if _, ok := explicitMappings[n]; !ok {
+			t.Errorf("no explicit mapping for %s", n)
+		}
+	}
+}
+
+func TestMappingLinearity(t *testing.T) {
+	// Every explicit mapping must be linear in activity: m(2v) = 2·m(v).
+	var v activity.Vector
+	for i := range v {
+		v[i] = float64(i + 1)
+	}
+	for name, m := range explicitMappings {
+		a := m(v)
+		b := m(v.Scale(2))
+		if math.Abs(b-2*a) > 1e-9*(1+math.Abs(a)) {
+			t.Errorf("%s mapping not linear: f(2v)=%v, 2f(v)=%v", name, b, 2*a)
+		}
+	}
+}
+
+func TestGeneratedMappingsDeterministicAndNonTrivial(t *testing.T) {
+	spec := platform.Skylake()
+	run := machine.New(spec, 1).RunApp(workload.App{Workload: workload.DGEMM(), Size: 6400})
+	zero := 0
+	for _, ev := range platform.ReducedCatalog(spec) {
+		m1 := MappingFor(ev)(run.Activity)
+		m2 := MappingFor(ev)(run.Activity)
+		if m1 != m2 {
+			t.Errorf("%s: mapping not deterministic", ev.Name)
+		}
+		if m1 < 0 {
+			t.Errorf("%s: negative count %v", ev.Name, m1)
+		}
+		if m1 == 0 {
+			zero++
+		}
+	}
+	// A few events legitimately see no activity for DGEMM, but the bulk
+	// of the catalog must produce counts.
+	if zero > 20 {
+		t.Errorf("%d reduced-catalog events read zero for DGEMM; mappings too sparse", zero)
+	}
+}
+
+func TestLowCountEventsReadLow(t *testing.T) {
+	spec := platform.Haswell()
+	m := machine.New(spec, 3)
+	c := NewCollector(m, 3)
+	var low []platform.Event
+	for _, e := range platform.Catalog(spec) {
+		if e.LowCount {
+			low = append(low, e)
+		}
+	}
+	if len(low) == 0 {
+		t.Fatal("no low-count events in catalog")
+	}
+	counts, _, err := c.Collect(low, workload.App{Workload: workload.DGEMM(), Size: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, v := range counts {
+		if v > 10 {
+			t.Errorf("low-count event %s read %v > 10", name, v)
+		}
+	}
+}
+
+func TestCollectReturnsAllEventsAndRunCount(t *testing.T) {
+	spec := platform.Haswell()
+	c := NewCollector(machine.New(spec, 5), 5)
+	events := platform.ReducedCatalog(spec)
+	counts, runs, err := c.Collect(events, workload.App{Workload: workload.Stream(), Size: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(counts) != len(events) {
+		t.Errorf("collected %d counts, want %d", len(counts), len(events))
+	}
+	if runs != 53 {
+		t.Errorf("collection took %d runs, want 53", runs)
+	}
+}
+
+func TestCollectMeanAveragesReps(t *testing.T) {
+	spec := platform.Haswell()
+	c := NewCollector(machine.New(spec, 5), 5)
+	six := classAEvents(t, spec)
+	mean, runs, err := c.CollectMean(six, 4, workload.App{Workload: workload.DGEMM(), Size: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mean) != 6 {
+		t.Errorf("mean counts = %d events", len(mean))
+	}
+	// Six one-slot events fit two groups of ≤4; 4 reps → 8 runs.
+	if runs != 8 {
+		t.Errorf("CollectMean runs = %d, want 8", runs)
+	}
+	// Reps must average out read noise: compare to a huge-rep mean.
+	big, _, err := c.CollectMean(six, 32, workload.App{Workload: workload.DGEMM(), Size: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name := range mean {
+		if big[name] <= 0 {
+			continue
+		}
+		if name == "ARITH_DIVIDER_COUNT" {
+			// Deliberately non-reproducible (loader ASLR): its whole point
+			// is to defeat sample means; see the additivity experiments.
+			continue
+		}
+		if math.Abs(mean[name]-big[name])/big[name] > 0.25 {
+			t.Errorf("%s: 4-rep mean %.4g far from 32-rep mean %.4g", name, mean[name], big[name])
+		}
+	}
+}
+
+func classAEvents(t *testing.T, spec *platform.Spec) []platform.Event {
+	t.Helper()
+	names := []string{
+		"IDQ_MITE_UOPS", "IDQ_MS_UOPS", "ICACHE_64B_IFTAG_MISS",
+		"ARITH_DIVIDER_COUNT", "L2_RQSTS_MISS", "UOPS_EXECUTED_PORT_PORT_6",
+	}
+	events := make([]platform.Event, 0, len(names))
+	for _, n := range names {
+		e, err := platform.FindEvent(spec, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		events = append(events, e)
+	}
+	return events
+}
+
+func TestPortFourTracksStores(t *testing.T) {
+	spec := platform.Skylake()
+	run := machine.New(spec, 9).RunApp(workload.App{Workload: workload.Stream(), Size: 64})
+	ev, err := platform.FindEvent(spec, "UOPS_DISPATCHED_PORT_PORT_4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := MappingFor(ev)(run.Activity)
+	stores := run.Activity.Get(activity.Stores)
+	if math.Abs(got-stores)/stores > 1e-9 {
+		t.Errorf("port 4 = %.4g, want stores %.4g", got, stores)
+	}
+}
+
+func TestCollectGroup(t *testing.T) {
+	spec := platform.Skylake()
+	c := NewCollector(machine.New(spec, 77), 77)
+	app := workload.App{Workload: workload.DGEMM(), Size: 6400}
+	counts, err := c.CollectGroup("ONLINE_PA4", app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(counts) != 4 {
+		t.Errorf("group collected %d counters, want 4", len(counts))
+	}
+	for name, v := range counts {
+		if v <= 0 {
+			t.Errorf("group counter %s = %v", name, v)
+		}
+	}
+	if _, err := c.CollectGroup("NOPE", app); err == nil {
+		t.Error("unknown group accepted")
+	}
+}
+
+func TestRawReadCounterWraparound(t *testing.T) {
+	spec := platform.Skylake()
+	c := NewCollector(machine.New(spec, 91), 91)
+	ev, err := platform.FindEvent(spec, "FP_ARITH_INST_RETIRED_DOUBLE")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A realistic run stays inside the 48-bit register.
+	realRun := machine.New(spec, 91).RunApp(workload.App{Workload: workload.DGEMM(), Size: 20000})
+	v, wrapped := c.RawRead(realRun, ev)
+	if wrapped {
+		t.Errorf("realistic run wrapped the counter at %v", v)
+	}
+	if v <= 0 {
+		t.Errorf("raw read = %v", v)
+	}
+
+	// A synthetic run beyond 2⁴⁸ flops wraps.
+	var huge activity.Vector
+	huge.Set(activity.FPDouble, 3.2e14) // > 2^48 ≈ 2.81e14
+	v, wrapped = c.RawRead(machine.Run{Activity: huge}, ev)
+	if !wrapped {
+		t.Fatalf("3.2e14 events did not wrap a 48-bit counter (read %v)", v)
+	}
+	if v >= float64(uint64(1)<<48) || v < 0 {
+		t.Errorf("wrapped value %v outside register range", v)
+	}
+}
+
+func TestReadSigmaRanges(t *testing.T) {
+	for _, spec := range platform.Platforms() {
+		for _, ev := range platform.Catalog(spec) {
+			s := ReadSigma(ev)
+			if s < 0 || s > 1.0 {
+				t.Errorf("%s: read sigma %v out of range", ev.Name, s)
+			}
+		}
+	}
+	// The snoop-miss counter must be among the noisiest.
+	ev, _ := platform.FindEvent(platform.Skylake(), "MEM_LOAD_L3_HIT_RETIRED_XSNP_MISS")
+	if ReadSigma(ev) < 0.5 {
+		t.Error("XSNP_MISS sigma too small to reproduce its ~0 energy correlation")
+	}
+}
+
+// TestQuickSchedulerBounds: for random event subsets, the schedule length
+// stays between the capacity lower bound and the one-event-per-run upper
+// bound, and never splits an event.
+func TestQuickSchedulerBounds(t *testing.T) {
+	catalog := platform.ReducedCatalog(platform.Skylake())
+	f := func(seed int64, nRaw uint8) bool {
+		g := stats.NewRNG(seed)
+		n := int(nRaw%64) + 1
+		events := make([]platform.Event, n)
+		for i := range events {
+			events[i] = catalog[g.Intn(len(catalog))]
+		}
+		groups, err := ScheduleGroups(events, 4)
+		if err != nil {
+			return false
+		}
+		slots := 0
+		scheduled := 0
+		for _, grp := range groups {
+			used := 0
+			for _, e := range grp {
+				used += e.Slots
+				scheduled++
+			}
+			if used > 4 {
+				return false
+			}
+			slots += used
+		}
+		lower := (slots + 3) / 4
+		return scheduled == n && len(groups) >= lower && len(groups) <= n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCatalogObservesAllMeaningfulChannels: every energy-relevant
+// activity channel is observed by at least one reduced-catalog event on
+// each platform — the catalog has no blind spots the energy law can hide
+// in.
+func TestCatalogObservesAllMeaningfulChannels(t *testing.T) {
+	meaningful := []activity.Channel{
+		activity.Cycles, activity.Instructions, activity.UopsIssued,
+		activity.UopsExecuted, activity.FPDouble, activity.Loads,
+		activity.Stores, activity.L1DMiss, activity.L2Miss, activity.L3Miss,
+		activity.BranchInstr, activity.BranchMisp, activity.DivOps,
+		activity.ICacheMiss, activity.ITLBMiss, activity.DTLBMiss,
+		activity.MSUops, activity.DSBUops, activity.MITEUops,
+		activity.StallCycles,
+	}
+	for _, spec := range platform.Platforms() {
+		for _, ch := range meaningful {
+			var probe activity.Vector
+			probe.Set(ch, 1e9)
+			observed := false
+			for _, ev := range platform.ReducedCatalog(spec) {
+				if MappingFor(ev)(probe) > 0 {
+					observed = true
+					break
+				}
+			}
+			if !observed {
+				t.Errorf("%s: no catalog event observes channel %s", spec.Name, ch)
+			}
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package pmc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"additivity/internal/platform"
+	"additivity/internal/workload"
+)
+
+// GroupReport is a likwid-perfctr-style measurement report: the raw
+// counter values of one performance group collected in a single
+// application run, plus the group's derived metrics.
+type GroupReport struct {
+	Group    string
+	App      string
+	RuntimeS float64
+	Counts   Counts
+	Metrics  map[string]float64
+}
+
+// metricDef derives one named metric from counter values and runtime.
+type metricDef struct {
+	name string
+	f    func(c Counts, runtimeS float64) float64
+}
+
+// ratio returns a/b, or 0 when b is 0 — counter ratios over empty
+// denominators read as zero on the real tool too.
+func ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// groupMetrics defines the derived metrics per performance group, in the
+// style of Likwid's group metric formulas.
+var groupMetrics = map[string][]metricDef{
+	"BRANCH": {
+		{"branch rate", func(c Counts, _ float64) float64 {
+			return ratio(c["BR_INST_RETIRED_ALL_BRANCHES"], c["INSTR_RETIRED_ANY"])
+		}},
+		{"branch misprediction ratio", func(c Counts, _ float64) float64 {
+			return ratio(c["BR_MISP_RETIRED_ALL_BRANCHES"], c["BR_INST_RETIRED_ALL_BRANCHES"])
+		}},
+		{"instructions per branch", func(c Counts, _ float64) float64 {
+			return ratio(c["INSTR_RETIRED_ANY"], c["BR_INST_RETIRED_ALL_BRANCHES"])
+		}},
+	},
+	"FLOPS_DP": {
+		{"DP MFLOP/s", func(c Counts, t float64) float64 {
+			return ratio(c["FP_ARITH_INST_RETIRED_DOUBLE"], t) / 1e6
+		}},
+		{"flops per instruction", func(c Counts, _ float64) float64 {
+			return ratio(c["FP_ARITH_INST_RETIRED_DOUBLE"], c["INSTR_RETIRED_ANY"])
+		}},
+		{"uops per instruction", func(c Counts, _ float64) float64 {
+			return ratio(c["UOPS_EXECUTED_CORE"], c["INSTR_RETIRED_ANY"])
+		}},
+	},
+	"DATA": {
+		{"loads per instruction", func(c Counts, _ float64) float64 {
+			return ratio(c["MEM_INST_RETIRED_ALL_LOADS"], c["INSTR_RETIRED_ANY"])
+		}},
+		{"load to store ratio", func(c Counts, _ float64) float64 {
+			return ratio(c["MEM_INST_RETIRED_ALL_LOADS"], c["MEM_INST_RETIRED_ALL_STORES"])
+		}},
+	},
+	"FRONTEND": {
+		{"uop cache coverage", func(c Counts, _ float64) float64 {
+			total := c["IDQ_DSB_UOPS"] + c["IDQ_MITE_UOPS"] + c["IDQ_MS_UOPS"]
+			return ratio(c["IDQ_DSB_UOPS"], total)
+		}},
+		{"microcode share", func(c Counts, _ float64) float64 {
+			total := c["IDQ_DSB_UOPS"] + c["IDQ_MITE_UOPS"] + c["IDQ_MS_UOPS"]
+			return ratio(c["IDQ_MS_UOPS"], total)
+		}},
+		{"icache tag misses per second", func(c Counts, t float64) float64 {
+			return ratio(c["ICACHE_64B_IFTAG_MISS"], t)
+		}},
+	},
+	"DIVIDE": {
+		{"divider ops per second", func(c Counts, t float64) float64 {
+			return ratio(c["ARITH_DIVIDER_COUNT"], t)
+		}},
+		{"divider ops per kilo-instruction", func(c Counts, _ float64) float64 {
+			return 1000 * ratio(c["ARITH_DIVIDER_COUNT"], c["INSTR_RETIRED_ANY"])
+		}},
+	},
+	"L2": {
+		{"L2 misses per second", func(c Counts, t float64) float64 {
+			return ratio(c["L2_RQSTS_MISS"], t)
+		}},
+	},
+	"L3": {
+		{"L3 load misses per second", func(c Counts, t float64) float64 {
+			return ratio(c["MEM_LOAD_RETIRED_L3_MISS"], t)
+		}},
+		{"memory read bandwidth MB/s", func(c Counts, t float64) float64 {
+			return ratio(c["MEM_LOAD_RETIRED_L3_MISS"]*64, t) / 1e6
+		}},
+	},
+	"TLB": {
+		{"TLB walks per second", func(c Counts, t float64) float64 {
+			walks := c["DTLB_LOAD_MISSES_MISS_CAUSES_A_WALK"] +
+				c["DTLB_STORE_MISSES_MISS_CAUSES_A_WALK"] +
+				c["ITLB_MISSES_MISS_CAUSES_A_WALK"]
+			return ratio(walks, t)
+		}},
+	},
+	"ONLINE_PA4": {
+		{"uops per second", func(c Counts, t float64) float64 {
+			return ratio(c["UOPS_EXECUTED_CORE"], t)
+		}},
+		{"DP MFLOP/s", func(c Counts, t float64) float64 {
+			return ratio(c["FP_ARITH_INST_RETIRED_DOUBLE"], t) / 1e6
+		}},
+	},
+}
+
+// Report runs one performance group for the application in a single run
+// and derives the group's metrics — the likwid-perfctr experience on the
+// simulated machine.
+func (c *Collector) Report(groupName string, parts ...workload.App) (*GroupReport, error) {
+	g, err := platform.PerfGroupByName(c.Machine.Spec, groupName)
+	if err != nil {
+		return nil, err
+	}
+	events := make([]platform.Event, 0, len(g.Events))
+	slots := 0
+	for _, name := range g.Events {
+		ev, err := platform.FindEvent(c.Machine.Spec, name)
+		if err != nil {
+			return nil, err
+		}
+		slots += ev.Slots
+		events = append(events, ev)
+	}
+	if slots > c.Machine.Spec.Registers {
+		return nil, fmt.Errorf("pmc: group %s needs %d slots, platform has %d",
+			groupName, slots, c.Machine.Spec.Registers)
+	}
+
+	run := c.Machine.Run(parts...)
+	counts := make(Counts, len(events))
+	for _, ev := range events {
+		counts[ev.Name] = c.read(run, ev)
+	}
+	report := &GroupReport{
+		Group:    groupName,
+		App:      run.Name,
+		RuntimeS: run.Seconds,
+		Counts:   counts,
+		Metrics:  map[string]float64{},
+	}
+	for _, md := range groupMetrics[groupName] {
+		report.Metrics[md.name] = md.f(counts, run.Seconds)
+	}
+	return report, nil
+}
+
+// String renders the report in likwid's two-block style.
+func (r *GroupReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Group %s, application %s, runtime %.4f s\n", r.Group, r.App, r.RuntimeS)
+	names := make([]string, 0, len(r.Counts))
+	for n := range r.Counts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "  %-42s %.6g\n", n, r.Counts[n])
+	}
+	if len(r.Metrics) > 0 {
+		b.WriteString("Derived metrics:\n")
+		mnames := make([]string, 0, len(r.Metrics))
+		for n := range r.Metrics {
+			mnames = append(mnames, n)
+		}
+		sort.Strings(mnames)
+		for _, n := range mnames {
+			fmt.Fprintf(&b, "  %-42s %.6g\n", n, r.Metrics[n])
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,98 @@
+package pmc
+
+import (
+	"strings"
+	"testing"
+
+	"additivity/internal/machine"
+	"additivity/internal/platform"
+	"additivity/internal/workload"
+)
+
+func TestReportBranchGroup(t *testing.T) {
+	spec := platform.Haswell()
+	c := NewCollector(machine.New(spec, 61), 61)
+	// Quicksort is the branchiest workload in the suite.
+	rep, err := c.Report("BRANCH", workload.App{Workload: workload.Quicksort(), Size: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RuntimeS <= 0 {
+		t.Errorf("runtime = %v", rep.RuntimeS)
+	}
+	misp := rep.Metrics["branch misprediction ratio"]
+	if misp < 0.05 || misp > 0.2 {
+		t.Errorf("quicksort misprediction ratio = %.3f, want ≈ 0.09", misp)
+	}
+	rate := rep.Metrics["branch rate"]
+	if rate < 0.1 || rate > 0.4 {
+		t.Errorf("quicksort branch rate = %.3f, want ≈ 0.22", rate)
+	}
+}
+
+func TestReportFlopsGroup(t *testing.T) {
+	spec := platform.Skylake()
+	c := NewCollector(machine.New(spec, 63), 63)
+	rep, err := c.Report("FLOPS_DP", workload.App{Workload: workload.DGEMM(), Size: 8192})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fpi := rep.Metrics["flops per instruction"]
+	if fpi < 3.0 || fpi > 3.7 {
+		t.Errorf("DGEMM flops/instr = %.3f, want ≈ 3.33", fpi)
+	}
+	mflops := rep.Metrics["DP MFLOP/s"]
+	// 22 cores of AVX-512-class DGEMM: hundreds of GFLOP/s.
+	if mflops < 1e4 || mflops > 1e7 {
+		t.Errorf("DGEMM rate = %.3g MFLOP/s, want 1e4..1e7", mflops)
+	}
+}
+
+func TestReportFrontendCoverage(t *testing.T) {
+	spec := platform.Haswell()
+	c := NewCollector(machine.New(spec, 65), 65)
+	rep, err := c.Report("FRONTEND", workload.App{Workload: workload.DGEMM(), Size: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cov := rep.Metrics["uop cache coverage"]
+	if cov < 0.7 || cov > 1.0 {
+		t.Errorf("DGEMM uop-cache coverage = %.3f, want high", cov)
+	}
+}
+
+func TestReportStringRendering(t *testing.T) {
+	spec := platform.Haswell()
+	c := NewCollector(machine.New(spec, 67), 67)
+	rep, err := c.Report("DIVIDE", workload.App{Workload: workload.MonteCarlo(), Size: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rep.String()
+	for _, want := range []string{"Group DIVIDE", "ARITH_DIVIDER_COUNT", "Derived metrics", "divider ops per second"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q:\n%s", want, s)
+		}
+	}
+	perK := rep.Metrics["divider ops per kilo-instruction"]
+	// MonteCarlo divides at 0.02/instr = 20/kinstr.
+	if perK < 10 || perK > 30 {
+		t.Errorf("montecarlo div/kinstr = %.2f, want ≈ 20", perK)
+	}
+}
+
+func TestReportUnknownGroup(t *testing.T) {
+	c := NewCollector(machine.New(platform.Haswell(), 1), 1)
+	if _, err := c.Report("NOPE", workload.App{Workload: workload.DGEMM(), Size: 2048}); err == nil {
+		t.Error("unknown group accepted")
+	}
+}
+
+func TestRatioHelper(t *testing.T) {
+	if ratio(10, 2) != 5 {
+		t.Error("ratio wrong")
+	}
+	if ratio(10, 0) != 0 {
+		t.Error("zero denominator not handled")
+	}
+}

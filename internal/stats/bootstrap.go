@@ -1,0 +1,45 @@
+package stats
+
+import "sort"
+
+// BootstrapCI estimates a two-sided confidence interval for a statistic
+// of a sample by non-parametric bootstrap resampling: resamples samples
+// with replacement, applies stat, and returns the empirical
+// (alpha/2, 1-alpha/2) quantiles.
+//
+// The experiments use it to attach uncertainty to quantities whose
+// sampling distribution is awkward analytically — the maximum additivity
+// error over a compound suite, or a model's average percentage error.
+func BootstrapCI(samples []float64, stat func([]float64) float64,
+	resamples int, alpha float64, seed int64) (lo, hi float64) {
+	if len(samples) == 0 {
+		return 0, 0
+	}
+	if resamples < 10 {
+		resamples = 10
+	}
+	if alpha <= 0 || alpha >= 1 {
+		alpha = 0.05
+	}
+	g := SplitSeed(seed, "bootstrap")
+	stats := make([]float64, resamples)
+	buf := make([]float64, len(samples))
+	for r := 0; r < resamples; r++ {
+		for i := range buf {
+			buf[i] = samples[g.Intn(len(samples))]
+		}
+		stats[r] = stat(buf)
+	}
+	sort.Float64s(stats)
+	loIdx := int(alpha / 2 * float64(resamples))
+	hiIdx := int((1 - alpha/2) * float64(resamples))
+	if hiIdx >= resamples {
+		hiIdx = resamples - 1
+	}
+	return stats[loIdx], stats[hiIdx]
+}
+
+// BootstrapMeanCI is BootstrapCI specialised to the sample mean.
+func BootstrapMeanCI(samples []float64, resamples int, alpha float64, seed int64) (lo, hi float64) {
+	return BootstrapCI(samples, Mean, resamples, alpha, seed)
+}

@@ -1,0 +1,74 @@
+package stats
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBootstrapMeanCIBracketsTruth(t *testing.T) {
+	g := NewRNG(1)
+	samples := make([]float64, 200)
+	for i := range samples {
+		samples[i] = g.Normal(50, 5)
+	}
+	lo, hi := BootstrapMeanCI(samples, 500, 0.05, 1)
+	m := Mean(samples)
+	if lo > m || hi < m {
+		t.Errorf("CI [%v, %v] does not bracket the sample mean %v", lo, hi, m)
+	}
+	// For n=200, sigma=5 the CI half-width is below ~1.5.
+	if hi-lo > 3 {
+		t.Errorf("CI [%v, %v] implausibly wide", lo, hi)
+	}
+	if hi-lo <= 0 {
+		t.Errorf("degenerate CI [%v, %v]", lo, hi)
+	}
+}
+
+func TestBootstrapDeterministicPerSeed(t *testing.T) {
+	samples := []float64{1, 5, 3, 8, 2, 9, 4}
+	lo1, hi1 := BootstrapMeanCI(samples, 200, 0.05, 9)
+	lo2, hi2 := BootstrapMeanCI(samples, 200, 0.05, 9)
+	if lo1 != lo2 || hi1 != hi2 {
+		t.Error("same-seed bootstrap differs")
+	}
+}
+
+func TestBootstrapCustomStatistic(t *testing.T) {
+	samples := []float64{1, 2, 3, 4, 100}
+	lo, hi := BootstrapCI(samples, Max, 300, 0.05, 3)
+	if hi != 100 {
+		t.Errorf("bootstrap max upper = %v, want 100", hi)
+	}
+	if lo > 100 {
+		t.Errorf("bootstrap max lower = %v", lo)
+	}
+}
+
+func TestBootstrapDegenerateInputs(t *testing.T) {
+	if lo, hi := BootstrapMeanCI(nil, 100, 0.05, 1); lo != 0 || hi != 0 {
+		t.Errorf("empty sample CI = [%v, %v]", lo, hi)
+	}
+	// Repaired resample count and alpha.
+	lo, hi := BootstrapCI([]float64{5, 5, 5}, Mean, 1, -2, 1)
+	if lo != 5 || hi != 5 {
+		t.Errorf("constant sample CI = [%v, %v], want [5,5]", lo, hi)
+	}
+}
+
+func TestQuickBootstrapCIOrdered(t *testing.T) {
+	f := func(raw []float64, seed int64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = sanitize(v)
+		}
+		lo, hi := BootstrapMeanCI(xs, 100, 0.05, seed)
+		return lo <= hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,76 @@
+package stats
+
+import "math"
+
+// Student-t critical values for a two-sided 95% confidence interval,
+// indexed by degrees of freedom (1-based; index 0 unused). Beyond the
+// table we fall back to the normal quantile 1.960.
+var t95 = []float64{
+	math.NaN(),
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// TCritical95 returns the two-sided Student-t critical value at the 95%
+// confidence level for the given degrees of freedom. Degrees of freedom
+// below one yield +Inf (no confidence can be claimed from one sample).
+func TCritical95(df int) float64 {
+	if df < 1 {
+		return math.Inf(1)
+	}
+	if df < len(t95) {
+		return t95[df]
+	}
+	return 1.960
+}
+
+// ConfidenceInterval95 returns the half-width of the 95% confidence
+// interval of the mean of xs (Student-t, unknown variance).
+func ConfidenceInterval95(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return math.Inf(1)
+	}
+	return TCritical95(n-1) * StdDev(xs) / math.Sqrt(float64(n))
+}
+
+// MeanWithinPrecision reports whether the 95% confidence interval of the
+// sample mean is within precision (a fraction, e.g. 0.05 for 5%) of the
+// mean itself. This is the stopping rule of the paper's statistical
+// measurement methodology (HCLWattsUp): repeat an experiment until the CI
+// is within the required precision of the sample mean.
+func MeanWithinPrecision(xs []float64, precision float64) bool {
+	if len(xs) < 2 {
+		return false
+	}
+	m := Mean(xs)
+	if m == 0 {
+		// A zero mean with any spread never satisfies a relative
+		// precision requirement; a zero mean with zero spread does.
+		return StdDev(xs) == 0
+	}
+	return ConfidenceInterval95(xs) <= precision*math.Abs(m)
+}
+
+// RepeatUntilPrecision calls sample() until the running sample mean's 95%
+// confidence interval is within precision of the mean, or maxRuns samples
+// have been collected. At least minRuns samples are always collected.
+// It returns all observations. This mirrors the paper's methodology of
+// building each reported data point from several experimental runs.
+func RepeatUntilPrecision(sample func() float64, minRuns, maxRuns int, precision float64) []float64 {
+	if minRuns < 2 {
+		minRuns = 2
+	}
+	if maxRuns < minRuns {
+		maxRuns = minRuns
+	}
+	xs := make([]float64, 0, minRuns)
+	for len(xs) < maxRuns {
+		xs = append(xs, sample())
+		if len(xs) >= minRuns && MeanWithinPrecision(xs, precision) {
+			break
+		}
+	}
+	return xs
+}

@@ -1,0 +1,91 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTCritical95(t *testing.T) {
+	if got := TCritical95(0); !math.IsInf(got, 1) {
+		t.Errorf("TCritical95(0) = %v, want +Inf", got)
+	}
+	if got := TCritical95(1); got != 12.706 {
+		t.Errorf("TCritical95(1) = %v, want 12.706", got)
+	}
+	if got := TCritical95(10); got != 2.228 {
+		t.Errorf("TCritical95(10) = %v, want 2.228", got)
+	}
+	if got := TCritical95(1000); got != 1.960 {
+		t.Errorf("TCritical95(1000) = %v, want 1.960", got)
+	}
+	// Monotone non-increasing in df.
+	prev := TCritical95(1)
+	for df := 2; df < 60; df++ {
+		cur := TCritical95(df)
+		if cur > prev {
+			t.Fatalf("TCritical95 not monotone at df=%d: %v > %v", df, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestConfidenceInterval95(t *testing.T) {
+	if got := ConfidenceInterval95([]float64{5}); !math.IsInf(got, 1) {
+		t.Errorf("CI of single sample = %v, want +Inf", got)
+	}
+	xs := []float64{10, 12, 14, 16, 18}
+	// stddev = sqrt(10), n = 5, t(4) = 2.776.
+	want := 2.776 * math.Sqrt(10) / math.Sqrt(5)
+	if got := ConfidenceInterval95(xs); !almostEqual(got, want, 1e-9) {
+		t.Errorf("CI = %v, want %v", got, want)
+	}
+	// Constant sample: CI is zero.
+	if got := ConfidenceInterval95([]float64{3, 3, 3}); got != 0 {
+		t.Errorf("CI of constant sample = %v, want 0", got)
+	}
+}
+
+func TestMeanWithinPrecision(t *testing.T) {
+	if MeanWithinPrecision([]float64{5}, 0.05) {
+		t.Error("single sample should never satisfy precision")
+	}
+	if !MeanWithinPrecision([]float64{100, 100, 100}, 0.05) {
+		t.Error("constant sample should satisfy any precision")
+	}
+	if MeanWithinPrecision([]float64{1, 200}, 0.05) {
+		t.Error("wildly spread sample should not satisfy 5% precision")
+	}
+	// Zero mean with spread can never satisfy relative precision.
+	if MeanWithinPrecision([]float64{-1, 1}, 0.05) {
+		t.Error("zero-mean spread sample should not satisfy precision")
+	}
+	if !MeanWithinPrecision([]float64{0, 0, 0}, 0.05) {
+		t.Error("all-zero sample should satisfy precision")
+	}
+}
+
+func TestRepeatUntilPrecision(t *testing.T) {
+	// A constant source should stop at minRuns.
+	n := 0
+	xs := RepeatUntilPrecision(func() float64 { n++; return 7 }, 3, 100, 0.05)
+	if len(xs) != 3 || n != 3 {
+		t.Errorf("constant source: got %d samples (%d calls), want 3", len(xs), n)
+	}
+
+	// A noisy source must stop by maxRuns even if precision is impossible.
+	g := NewRNG(1)
+	alt := 0.0
+	xs = RepeatUntilPrecision(func() float64 {
+		alt += 1
+		return g.Uniform(-1000, 1000)
+	}, 3, 10, 1e-9)
+	if len(xs) != 10 {
+		t.Errorf("noisy source: got %d samples, want maxRuns=10", len(xs))
+	}
+
+	// Degenerate bounds are repaired.
+	xs = RepeatUntilPrecision(func() float64 { return 1 }, 0, 0, 0.05)
+	if len(xs) != 2 {
+		t.Errorf("repaired bounds: got %d samples, want 2", len(xs))
+	}
+}

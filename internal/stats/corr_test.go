@@ -1,0 +1,93 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPearsonPerfect(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	if got := Pearson(xs, ys); !almostEqual(got, 1, 1e-12) {
+		t.Errorf("Pearson positive = %v, want 1", got)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	if got := Pearson(xs, neg); !almostEqual(got, -1, 1e-12) {
+		t.Errorf("Pearson negative = %v, want -1", got)
+	}
+}
+
+func TestPearsonDegenerate(t *testing.T) {
+	if got := Pearson([]float64{1, 1, 1}, []float64{1, 2, 3}); got != 0 {
+		t.Errorf("constant x: Pearson = %v, want 0", got)
+	}
+	if got := Pearson([]float64{1, 2}, []float64{1}); got != 0 {
+		t.Errorf("length mismatch: Pearson = %v, want 0", got)
+	}
+	if got := Pearson([]float64{1}, []float64{2}); got != 0 {
+		t.Errorf("short sample: Pearson = %v, want 0", got)
+	}
+}
+
+func TestPearsonKnownValue(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 1, 4, 3, 5}
+	// Hand-computed: sxy = 8, sxx = syy = 10, so r = 8/10.
+	want := 0.8
+	if got := Pearson(xs, ys); !almostEqual(got, want, 1e-12) {
+		t.Errorf("Pearson = %v, want %v", got, want)
+	}
+}
+
+func TestPearsonInvariantToAffineTransform(t *testing.T) {
+	g := NewRNG(7)
+	xs := make([]float64, 50)
+	ys := make([]float64, 50)
+	for i := range xs {
+		xs[i] = g.Uniform(0, 100)
+		ys[i] = 3*xs[i] + g.Normal(0, 5)
+	}
+	base := Pearson(xs, ys)
+	scaled := make([]float64, len(xs))
+	for i := range xs {
+		scaled[i] = 42*xs[i] + 17
+	}
+	if got := Pearson(scaled, ys); !almostEqual(got, base, 1e-9) {
+		t.Errorf("Pearson not affine-invariant: %v vs %v", got, base)
+	}
+}
+
+func TestSpearmanMonotone(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{1, 8, 27, 64, 125} // monotone but nonlinear
+	if got := Spearman(xs, ys); !almostEqual(got, 1, 1e-12) {
+		t.Errorf("Spearman monotone = %v, want 1", got)
+	}
+	if got := Spearman(xs, []float64{5, 4, 3, 2, 1}); !almostEqual(got, -1, 1e-12) {
+		t.Errorf("Spearman reversed = %v, want -1", got)
+	}
+}
+
+func TestSpearmanTies(t *testing.T) {
+	// With ties handled by average ranks, these have a well-defined value
+	// strictly between 0 and 1.
+	got := Spearman([]float64{1, 2, 2, 3}, []float64{1, 2, 3, 4})
+	if math.IsNaN(got) || got <= 0 || got > 1 {
+		t.Errorf("Spearman with ties = %v, want in (0,1]", got)
+	}
+}
+
+func TestRanks(t *testing.T) {
+	rs := ranks([]float64{30, 10, 20})
+	want := []float64{3, 1, 2}
+	for i := range want {
+		if rs[i] != want[i] {
+			t.Fatalf("ranks = %v, want %v", rs, want)
+		}
+	}
+	// Ties share an average rank.
+	rs = ranks([]float64{5, 5, 1})
+	if rs[0] != 2.5 || rs[1] != 2.5 || rs[2] != 1 {
+		t.Fatalf("tied ranks = %v, want [2.5 2.5 1]", rs)
+	}
+}

@@ -1,0 +1,90 @@
+package stats
+
+import "math"
+
+// PercentageError returns the absolute percentage deviation of predicted
+// from actual: |predicted-actual| / |actual| * 100. A zero actual with a
+// non-zero prediction yields +Inf; zero/zero yields 0.
+func PercentageError(predicted, actual float64) float64 {
+	if actual == 0 {
+		if predicted == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(predicted-actual) / math.Abs(actual) * 100
+}
+
+// PercentageErrors returns the element-wise percentage errors of the
+// predicted values against the actual values. The slices must have the
+// same length.
+func PercentageErrors(predicted, actual []float64) []float64 {
+	if len(predicted) != len(actual) {
+		panic("stats: PercentageErrors length mismatch")
+	}
+	errs := make([]float64, len(predicted))
+	for i := range predicted {
+		errs[i] = PercentageError(predicted[i], actual[i])
+	}
+	return errs
+}
+
+// AdditivityError implements Eq. (1) of the paper: the percentage error
+// between the sum of the base-application sample means and the compound-
+// application sample mean, relative to the sum of the base means:
+//
+//	Error(%) = | (eb1 + eb2 - ec) / (eb1 + eb2) | * 100
+//
+// A zero base sum with a non-zero compound value yields +Inf.
+func AdditivityError(baseMean1, baseMean2, compoundMean float64) float64 {
+	sum := baseMean1 + baseMean2
+	if sum == 0 {
+		if compoundMean == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs((sum-compoundMean)/sum) * 100
+}
+
+// MAPE returns the mean absolute percentage error of predicted against
+// actual.
+func MAPE(predicted, actual []float64) float64 {
+	return Mean(PercentageErrors(predicted, actual))
+}
+
+// RMSE returns the root-mean-square error of predicted against actual.
+func RMSE(predicted, actual []float64) float64 {
+	if len(predicted) != len(actual) {
+		panic("stats: RMSE length mismatch")
+	}
+	if len(predicted) == 0 {
+		return 0
+	}
+	ss := 0.0
+	for i := range predicted {
+		d := predicted[i] - actual[i]
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(predicted)))
+}
+
+// R2 returns the coefficient of determination of predicted against
+// actual: 1 - SS_res/SS_tot. A constant actual vector yields 0.
+func R2(predicted, actual []float64) float64 {
+	if len(predicted) != len(actual) || len(actual) == 0 {
+		return 0
+	}
+	m := Mean(actual)
+	var ssRes, ssTot float64
+	for i := range actual {
+		d := actual[i] - predicted[i]
+		ssRes += d * d
+		t := actual[i] - m
+		ssTot += t * t
+	}
+	if ssTot == 0 {
+		return 0
+	}
+	return 1 - ssRes/ssTot
+}

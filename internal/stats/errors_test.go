@@ -1,0 +1,124 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPercentageError(t *testing.T) {
+	cases := []struct {
+		pred, actual, want float64
+	}{
+		{110, 100, 10},
+		{90, 100, 10},
+		{100, 100, 0},
+		{-50, 100, 150},
+		{50, -100, 150},
+	}
+	for _, c := range cases {
+		if got := PercentageError(c.pred, c.actual); !almostEqual(got, c.want, 1e-9) {
+			t.Errorf("PercentageError(%v,%v) = %v, want %v", c.pred, c.actual, got, c.want)
+		}
+	}
+	if got := PercentageError(1, 0); !math.IsInf(got, 1) {
+		t.Errorf("PercentageError(1,0) = %v, want +Inf", got)
+	}
+	if got := PercentageError(0, 0); got != 0 {
+		t.Errorf("PercentageError(0,0) = %v, want 0", got)
+	}
+}
+
+func TestPercentageErrorsMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	PercentageErrors([]float64{1}, []float64{1, 2})
+}
+
+func TestAdditivityError(t *testing.T) {
+	// Perfectly additive: compound equals sum of bases.
+	if got := AdditivityError(100, 200, 300); got != 0 {
+		t.Errorf("additive case = %v, want 0", got)
+	}
+	// Compound 10% below the sum.
+	if got := AdditivityError(100, 100, 180); !almostEqual(got, 10, 1e-9) {
+		t.Errorf("10%% case = %v, want 10", got)
+	}
+	// Compound above the sum is also an error (absolute value).
+	if got := AdditivityError(100, 100, 220); !almostEqual(got, 10, 1e-9) {
+		t.Errorf("overshoot case = %v, want 10", got)
+	}
+	// Degenerate zero base sum.
+	if got := AdditivityError(0, 0, 5); !math.IsInf(got, 1) {
+		t.Errorf("zero-base case = %v, want +Inf", got)
+	}
+	if got := AdditivityError(0, 0, 0); got != 0 {
+		t.Errorf("all-zero case = %v, want 0", got)
+	}
+}
+
+func TestMAPEAndRMSE(t *testing.T) {
+	pred := []float64{110, 90}
+	act := []float64{100, 100}
+	if got := MAPE(pred, act); !almostEqual(got, 10, 1e-9) {
+		t.Errorf("MAPE = %v, want 10", got)
+	}
+	if got := RMSE(pred, act); !almostEqual(got, 10, 1e-9) {
+		t.Errorf("RMSE = %v, want 10", got)
+	}
+	if got := RMSE(nil, nil); got != 0 {
+		t.Errorf("RMSE(nil) = %v, want 0", got)
+	}
+}
+
+func TestR2(t *testing.T) {
+	act := []float64{1, 2, 3, 4}
+	if got := R2(act, act); !almostEqual(got, 1, 1e-12) {
+		t.Errorf("perfect R2 = %v, want 1", got)
+	}
+	mean := []float64{2.5, 2.5, 2.5, 2.5}
+	if got := R2(mean, act); !almostEqual(got, 0, 1e-12) {
+		t.Errorf("mean-predictor R2 = %v, want 0", got)
+	}
+	if got := R2([]float64{1, 1}, []float64{3, 3}); got != 0 {
+		t.Errorf("constant actual R2 = %v, want 0", got)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same-seed RNGs diverged")
+		}
+	}
+	// Different labels produce different streams.
+	c := SplitSeed(42, "alpha")
+	d := SplitSeed(42, "beta")
+	same := true
+	for i := 0; i < 10; i++ {
+		if c.Float64() != d.Float64() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("differently labelled RNG splits produced identical streams")
+	}
+}
+
+func TestRNGLogNormalFactorPositive(t *testing.T) {
+	g := NewRNG(3)
+	for i := 0; i < 1000; i++ {
+		if f := g.LogNormalFactor(0.3); f <= 0 {
+			t.Fatalf("LogNormalFactor returned non-positive %v", f)
+		}
+	}
+	// sigma=0 means exactly 1.
+	if f := g.LogNormalFactor(0); f != 1 {
+		t.Errorf("LogNormalFactor(0) = %v, want 1", f)
+	}
+}

@@ -1,0 +1,96 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram is a fixed-bin histogram over a sample, used to summarise
+// error distributions (per-compound additivity errors, per-point
+// prediction errors) beyond the min/avg/max triples the paper reports.
+type Histogram struct {
+	Edges  []float64 // len = bins+1, ascending
+	Counts []int     // len = bins
+	Below  int       // samples below Edges[0]
+	Above  int       // samples at or above Edges[len-1]
+}
+
+// NewHistogram builds a histogram with the given bin edges (must be
+// ascending, at least two edges).
+func NewHistogram(edges []float64, samples []float64) (*Histogram, error) {
+	if len(edges) < 2 {
+		return nil, fmt.Errorf("stats: histogram needs at least 2 edges, got %d", len(edges))
+	}
+	for i := 1; i < len(edges); i++ {
+		if edges[i] <= edges[i-1] {
+			return nil, fmt.Errorf("stats: histogram edges not ascending at %d", i)
+		}
+	}
+	h := &Histogram{Edges: append([]float64(nil), edges...), Counts: make([]int, len(edges)-1)}
+	for _, x := range samples {
+		switch {
+		case math.IsNaN(x):
+			continue
+		case x < edges[0]:
+			h.Below++
+		case x >= edges[len(edges)-1]:
+			h.Above++
+		default:
+			// Linear scan: bins are few.
+			for i := 0; i+1 < len(edges); i++ {
+				if x >= edges[i] && x < edges[i+1] {
+					h.Counts[i]++
+					break
+				}
+			}
+		}
+	}
+	return h, nil
+}
+
+// LinearHistogram builds count equal-width bins spanning [lo, hi).
+func LinearHistogram(lo, hi float64, bins int, samples []float64) (*Histogram, error) {
+	if bins < 1 || hi <= lo {
+		return nil, fmt.Errorf("stats: bad histogram range [%v, %v) / %d bins", lo, hi, bins)
+	}
+	edges := make([]float64, bins+1)
+	for i := range edges {
+		edges[i] = lo + (hi-lo)*float64(i)/float64(bins)
+	}
+	return NewHistogram(edges, samples)
+}
+
+// Total returns the number of binned samples including under/overflow.
+func (h *Histogram) Total() int {
+	n := h.Below + h.Above
+	for _, c := range h.Counts {
+		n += c
+	}
+	return n
+}
+
+// Render draws the histogram as fixed-width text bars.
+func (h *Histogram) Render(width int) string {
+	if width < 1 {
+		width = 40
+	}
+	max := 1
+	for _, c := range h.Counts {
+		if c > max {
+			max = c
+		}
+	}
+	var b strings.Builder
+	if h.Below > 0 {
+		fmt.Fprintf(&b, "%12s < %-8.4g %5d\n", "", h.Edges[0], h.Below)
+	}
+	for i, c := range h.Counts {
+		bar := strings.Repeat("#", c*width/max)
+		fmt.Fprintf(&b, "[%8.4g, %8.4g) %5d %s\n", h.Edges[i], h.Edges[i+1], c, bar)
+	}
+	if h.Above > 0 {
+		fmt.Fprintf(&b, "%12s >= %-7.4g %5d\n", "", h.Edges[len(h.Edges)-1], h.Above)
+	}
+	return b.String()
+}

@@ -1,0 +1,87 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewHistogram(t *testing.T) {
+	h, err := NewHistogram([]float64{0, 10, 20}, []float64{-5, 0, 5, 9.99, 10, 15, 20, 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Below != 1 {
+		t.Errorf("below = %d", h.Below)
+	}
+	if h.Above != 2 {
+		t.Errorf("above = %d", h.Above)
+	}
+	if h.Counts[0] != 3 || h.Counts[1] != 2 {
+		t.Errorf("counts = %v", h.Counts)
+	}
+	if h.Total() != 8 {
+		t.Errorf("total = %d", h.Total())
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	if _, err := NewHistogram([]float64{1}, nil); err == nil {
+		t.Error("single edge accepted")
+	}
+	if _, err := NewHistogram([]float64{2, 1}, nil); err == nil {
+		t.Error("descending edges accepted")
+	}
+	if _, err := LinearHistogram(5, 5, 3, nil); err == nil {
+		t.Error("empty range accepted")
+	}
+	if _, err := LinearHistogram(0, 10, 0, nil); err == nil {
+		t.Error("zero bins accepted")
+	}
+}
+
+func TestLinearHistogram(t *testing.T) {
+	samples := []float64{0.5, 1.5, 2.5, 3.5}
+	h, err := LinearHistogram(0, 4, 4, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range h.Counts {
+		if c != 1 {
+			t.Errorf("bin %d count = %d", i, c)
+		}
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	h, err := LinearHistogram(0, 10, 2, []float64{1, 1, 1, 7, -3, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := h.Render(10)
+	if !strings.Contains(out, "###") {
+		t.Errorf("render missing bars:\n%s", out)
+	}
+	if !strings.Contains(out, "<") || !strings.Contains(out, ">=") {
+		t.Errorf("render missing overflow rows:\n%s", out)
+	}
+}
+
+func TestQuickHistogramConservesSamples(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if v == v { // drop NaN, which the histogram skips by design
+				xs = append(xs, sanitize(v))
+			}
+		}
+		h, err := LinearHistogram(-100, 100, 7, xs)
+		if err != nil {
+			return false
+		}
+		return h.Total() == len(xs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,112 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// sanitize maps arbitrary float64s into a bounded, finite range so that
+// property tests exercise realistic magnitudes without overflow.
+func sanitize(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 1
+	}
+	return math.Mod(x, 1e6)
+}
+
+func TestQuickMeanBoundedByMinMax(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = sanitize(v)
+		}
+		m := Mean(xs)
+		return m >= Min(xs)-1e-9 && m <= Max(xs)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickVarianceNonNegative(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = sanitize(v)
+		}
+		return Variance(xs) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickPearsonBounded(t *testing.T) {
+	f := func(rawX, rawY []float64) bool {
+		n := len(rawX)
+		if len(rawY) < n {
+			n = len(rawY)
+		}
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := 0; i < n; i++ {
+			xs[i] = sanitize(rawX[i])
+			ys[i] = sanitize(rawY[i])
+		}
+		r := Pearson(xs, ys)
+		return r >= -1-1e-9 && r <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickAdditivityErrorSymmetricInBases(t *testing.T) {
+	f := func(a, b, c float64) bool {
+		a, b, c = sanitize(a), sanitize(b), sanitize(c)
+		e1 := AdditivityError(a, b, c)
+		e2 := AdditivityError(b, a, c)
+		if math.IsInf(e1, 1) {
+			return math.IsInf(e2, 1)
+		}
+		return almostEqual(e1, e2, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickAdditivityErrorZeroWhenExact(t *testing.T) {
+	f := func(a, b float64) bool {
+		a, b = math.Abs(sanitize(a)), math.Abs(sanitize(b))
+		return AdditivityError(a, b, a+b) <= 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickPercentileMonotoneInP(t *testing.T) {
+	f := func(raw []float64, p1, p2 float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = sanitize(v)
+		}
+		p1 = math.Abs(math.Mod(sanitize(p1), 100))
+		p2 = math.Abs(math.Mod(sanitize(p2), 100))
+		if p1 > p2 {
+			p1, p2 = p2, p1
+		}
+		return Percentile(xs, p1) <= Percentile(xs, p2)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

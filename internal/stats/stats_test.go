@@ -1,0 +1,134 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestMean(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"single", []float64{5}, 5},
+		{"pair", []float64{2, 4}, 3},
+		{"negatives", []float64{-1, 1, -3, 3}, 0},
+		{"fractional", []float64{0.5, 1.5, 2.5}, 1.5},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := Mean(c.in); !almostEqual(got, c.want, 1e-12) {
+				t.Errorf("Mean(%v) = %v, want %v", c.in, got, c.want)
+			}
+		})
+	}
+}
+
+func TestSum(t *testing.T) {
+	if got := Sum([]float64{1, 2, 3.5}); !almostEqual(got, 6.5, 1e-12) {
+		t.Errorf("Sum = %v, want 6.5", got)
+	}
+	if got := Sum(nil); got != 0 {
+		t.Errorf("Sum(nil) = %v, want 0", got)
+	}
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	// Sample variance with n-1 denominator: 32/7.
+	want := 32.0 / 7.0
+	if got := Variance(xs); !almostEqual(got, want, 1e-12) {
+		t.Errorf("Variance = %v, want %v", got, want)
+	}
+	if got := StdDev(xs); !almostEqual(got, math.Sqrt(want), 1e-12) {
+		t.Errorf("StdDev = %v, want %v", got, math.Sqrt(want))
+	}
+	if got := Variance([]float64{42}); got != 0 {
+		t.Errorf("Variance of single sample = %v, want 0", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 4, 1, 5, -9, 2, 6}
+	if got := Min(xs); got != -9 {
+		t.Errorf("Min = %v, want -9", got)
+	}
+	if got := Max(xs); got != 6 {
+		t.Errorf("Max = %v, want 6", got)
+	}
+}
+
+func TestMinPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Min(nil) did not panic")
+		}
+	}()
+	Min(nil)
+}
+
+func TestMaxPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Max(nil) did not panic")
+		}
+	}()
+	Max(nil)
+}
+
+func TestMedianAndPercentile(t *testing.T) {
+	xs := []float64{7, 1, 3, 5}
+	if got := Median(xs); !almostEqual(got, 4, 1e-12) {
+		t.Errorf("Median = %v, want 4", got)
+	}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Errorf("P0 = %v, want 1", got)
+	}
+	if got := Percentile(xs, 100); got != 7 {
+		t.Errorf("P100 = %v, want 7", got)
+	}
+	if got := Percentile([]float64{9}, 50); got != 9 {
+		t.Errorf("P50 of singleton = %v, want 9", got)
+	}
+	// Percentile must not reorder the input.
+	if xs[0] != 7 || xs[3] != 5 {
+		t.Errorf("Percentile mutated its input: %v", xs)
+	}
+	// Clamping out-of-range p.
+	if got := Percentile(xs, -10); got != 1 {
+		t.Errorf("P(-10) = %v, want 1", got)
+	}
+	if got := Percentile(xs, 200); got != 7 {
+		t.Errorf("P(200) = %v, want 7", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	if _, err := Summarize(nil); err != ErrEmptySample {
+		t.Fatalf("Summarize(nil) err = %v, want ErrEmptySample", err)
+	}
+	s, err := Summarize([]float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 3 || s.Mean != 2 || s.Min != 1 || s.Max != 3 {
+		t.Errorf("Summarize = %+v", s)
+	}
+}
+
+func TestMinAvgMax(t *testing.T) {
+	min, avg, max := MinAvgMax([]float64{4, 2, 6})
+	if min != 2 || avg != 4 || max != 6 {
+		t.Errorf("MinAvgMax = %v %v %v", min, avg, max)
+	}
+	min, avg, max = MinAvgMax(nil)
+	if min != 0 || avg != 0 || max != 0 {
+		t.Errorf("MinAvgMax(nil) = %v %v %v, want zeros", min, avg, max)
+	}
+}

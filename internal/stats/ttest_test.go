@@ -1,0 +1,94 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWelchTIdenticalSamples(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	tt, _, p := WelchT(a, a)
+	if tt != 0 {
+		t.Errorf("t = %v, want 0", tt)
+	}
+	if p < 0.99 {
+		t.Errorf("p = %v, want ≈ 1", p)
+	}
+}
+
+func TestWelchTClearlyDifferent(t *testing.T) {
+	g := NewRNG(1)
+	a := make([]float64, 40)
+	b := make([]float64, 40)
+	for i := range a {
+		a[i] = g.Normal(10, 1)
+		b[i] = g.Normal(20, 1)
+	}
+	tt, df, p := WelchT(a, b)
+	if tt >= 0 {
+		t.Errorf("t = %v, want strongly negative", tt)
+	}
+	if df < 10 {
+		t.Errorf("df = %v implausible", df)
+	}
+	if p > 1e-6 {
+		t.Errorf("p = %v, want ≈ 0", p)
+	}
+}
+
+func TestWelchTOverlappingSamples(t *testing.T) {
+	// Fixed interleaved samples with the same spread and nearly the same
+	// mean: no significance.
+	a := []float64{8, 9, 10, 11, 12, 8.5, 10.5, 11.5, 9.5, 10}
+	b := []float64{8.2, 9.2, 10.2, 11.2, 12.2, 8.7, 10.7, 11.7, 9.7, 10.2}
+	_, _, p := WelchT(a, b)
+	if p < 0.3 {
+		t.Errorf("p = %v: near-identical distributions flagged significant", p)
+	}
+}
+
+func TestWelchTDegenerate(t *testing.T) {
+	if _, _, p := WelchT([]float64{1}, []float64{2, 3}); p != 1 {
+		t.Errorf("tiny sample p = %v, want 1", p)
+	}
+	// Zero variance, equal means.
+	if tt, _, p := WelchT([]float64{5, 5}, []float64{5, 5}); tt != 0 || p != 1 {
+		t.Errorf("constant equal samples t=%v p=%v", tt, p)
+	}
+	// Zero variance, different means.
+	if tt, _, p := WelchT([]float64{5, 5}, []float64{6, 6}); !math.IsInf(tt, 1) && !math.IsInf(tt, -1) {
+		t.Errorf("constant different samples t=%v p=%v", tt, p)
+	} else if p != 0 {
+		t.Errorf("p = %v, want 0", p)
+	}
+}
+
+func TestRegIncBetaKnownValues(t *testing.T) {
+	// I_x(1,1) = x (uniform CDF).
+	for _, x := range []float64{0.1, 0.5, 0.9} {
+		if got := regIncBeta(1, 1, x); math.Abs(got-x) > 1e-12 {
+			t.Errorf("I_%v(1,1) = %v", x, got)
+		}
+	}
+	// Symmetry: I_x(a,b) = 1 - I_{1-x}(b,a).
+	if got := regIncBeta(2, 3, 0.4) + regIncBeta(3, 2, 0.6); math.Abs(got-1) > 1e-10 {
+		t.Errorf("symmetry violated: %v", got)
+	}
+	// Bounds.
+	if regIncBeta(2, 2, 0) != 0 || regIncBeta(2, 2, 1) != 1 {
+		t.Error("bounds wrong")
+	}
+}
+
+func TestStudentTSFMatchesNormalForLargeDF(t *testing.T) {
+	// With df → ∞, P(T > 1.96) → 0.025.
+	got := studentTSF(1.96, 1e6)
+	if math.Abs(got-0.025) > 1e-3 {
+		t.Errorf("SF(1.96, 1e6) = %v, want ≈ 0.025", got)
+	}
+	// df=1 (Cauchy): P(T > 1) = 0.25.
+	got = studentTSF(1, 1)
+	if math.Abs(got-0.25) > 1e-6 {
+		t.Errorf("SF(1, 1) = %v, want 0.25", got)
+	}
+}

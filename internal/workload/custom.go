@@ -1,0 +1,122 @@
+package workload
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// KernelSpec is a declarative description of a workload model, loadable
+// from JSON: downstream users can model their own applications against
+// the simulated machines without writing Go. Instruction count and
+// footprint follow power laws of the problem size:
+//
+//	work(n)  = WorkCoef  · n^WorkExp  · (log2 n if WorkLog)
+//	bytes(n) = BytesBase + BytesCoef · n^BytesExp
+type KernelSpec struct {
+	Name     string  `json:"name"`
+	Class    string  `json:"class"` // compute, memory, mixed or synthetic
+	Parallel bool    `json:"parallel"`
+	WorkCoef float64 `json:"work_coef"`
+	WorkExp  float64 `json:"work_exp"`
+	WorkLog  bool    `json:"work_log"`
+
+	BytesBase float64 `json:"bytes_base"`
+	BytesCoef float64 `json:"bytes_coef"`
+	BytesExp  float64 `json:"bytes_exp"`
+
+	Mix   Mix   `json:"mix"`
+	Sizes []int `json:"sizes"`
+}
+
+var classByName = map[string]Class{
+	"compute": ClassCompute, "memory": ClassMemory,
+	"mixed": ClassMixed, "synthetic": ClassSynthetic,
+}
+
+// Validate checks the spec for physical plausibility.
+func (s *KernelSpec) Validate() error {
+	if s.Name == "" {
+		return errors.New("workload: kernel spec needs a name")
+	}
+	if _, ok := classByName[s.Class]; !ok {
+		return fmt.Errorf("workload: unknown class %q (want compute, memory, mixed or synthetic)", s.Class)
+	}
+	if s.WorkCoef <= 0 || s.WorkExp <= 0 {
+		return fmt.Errorf("workload: %s: work law needs positive coefficient and exponent", s.Name)
+	}
+	if s.BytesCoef < 0 || s.BytesBase < 0 {
+		return fmt.Errorf("workload: %s: negative footprint law", s.Name)
+	}
+	if len(s.Sizes) == 0 {
+		return fmt.Errorf("workload: %s: needs at least one default size", s.Name)
+	}
+	prev := 0
+	for _, n := range s.Sizes {
+		if n <= prev {
+			return fmt.Errorf("workload: %s: sizes must be positive and increasing", s.Name)
+		}
+		prev = n
+	}
+	m := s.Mix
+	for _, r := range []struct {
+		name string
+		v    float64
+		max  float64
+	}{
+		{"fp_double", m.FPDouble, 5},
+		{"loads", m.Loads, 1},
+		{"stores", m.Stores, 1},
+		{"l1_miss_per_load", m.L1MissPerLoad, 1},
+		{"l2_miss_per_l1", m.L2MissPerL1, 1},
+		{"l3_miss_per_l2", m.L3MissPerL2, 1},
+		{"branch", m.Branch, 0.5},
+		{"misp_per_branch", m.MispPerBranch, 0.5},
+		{"div", m.Div, 0.2},
+		{"dsb_share", m.DSBShare, 0.98},
+	} {
+		if r.v < 0 || r.v > r.max {
+			return fmt.Errorf("workload: %s: mix rate %s = %v outside [0, %v]", s.Name, r.name, r.v, r.max)
+		}
+	}
+	if m.UopsPerInstr < 1 || m.UopsPerInstr > 3 {
+		return fmt.Errorf("workload: %s: uops per instruction %v outside [1, 3]", s.Name, m.UopsPerInstr)
+	}
+	if m.ExecPerIssue < 0.8 || m.ExecPerIssue > 2 {
+		return fmt.Errorf("workload: %s: executed/issued ratio %v outside [0.8, 2]", s.Name, m.ExecPerIssue)
+	}
+	return nil
+}
+
+// Kernel builds the workload model from a validated spec.
+func (s *KernelSpec) Kernel() (*Kernel, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	spec := *s // capture by value
+	work := func(n float64) float64 {
+		w := spec.WorkCoef * math.Pow(n, spec.WorkExp)
+		if spec.WorkLog {
+			w *= math.Log2(math.Max(n, 2))
+		}
+		return w
+	}
+	bytes := func(n float64) float64 {
+		return spec.BytesBase + spec.BytesCoef*math.Pow(n, spec.BytesExp)
+	}
+	return NewKernel(spec.Name, classByName[spec.Class], spec.Parallel,
+		work, bytes, spec.Mix, spec.Sizes), nil
+}
+
+// LoadKernel reads a JSON kernel spec and builds the workload.
+func LoadKernel(r io.Reader) (*Kernel, error) {
+	var spec KernelSpec
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		return nil, fmt.Errorf("workload: parsing kernel spec: %w", err)
+	}
+	return spec.Kernel()
+}

@@ -1,0 +1,97 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"additivity/internal/activity"
+	"additivity/internal/platform"
+)
+
+const validSpec = `{
+	"name": "my-solver",
+	"class": "mixed",
+	"parallel": true,
+	"work_coef": 1e6, "work_exp": 2, "work_log": true,
+	"bytes_base": 1e7, "bytes_coef": 16, "bytes_exp": 2,
+	"mix": {
+		"fp_double": 0.5, "loads": 0.3, "stores": 0.1,
+		"l1_miss_per_load": 0.1, "l2_miss_per_l1": 0.4, "l3_miss_per_l2": 0.5,
+		"branch": 0.08, "misp_per_branch": 0.01,
+		"icache_per_k": 0.01, "dsb_share": 0.9,
+		"uops_per_instr": 1.05, "exec_per_issue": 1.05
+	},
+	"sizes": [64, 128, 256]
+}`
+
+func TestLoadKernel(t *testing.T) {
+	k, err := LoadKernel(strings.NewReader(validSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Name() != "my-solver" || k.Class() != ClassMixed || !k.Parallel() {
+		t.Errorf("kernel header wrong: %s/%s/%v", k.Name(), k.Class(), k.Parallel())
+	}
+	if got := k.DefaultSizes(); len(got) != 3 || got[2] != 256 {
+		t.Errorf("sizes = %v", got)
+	}
+	// Work law: 1e6 · n² · log2 n.
+	if got, want := k.Work(64), 1e6*64*64*6.0; got != want {
+		t.Errorf("Work(64) = %v, want %v", got, want)
+	}
+	v := k.Profile(128, platform.Skylake())
+	if !v.NonNegative() {
+		t.Errorf("profile has negative channels: %v", v)
+	}
+	if v.Get(activity.FPDouble) <= 0 || v.Get(activity.Cycles) <= 0 {
+		t.Error("profile missing core channels")
+	}
+}
+
+func TestLoadKernelRejectsBadSpecs(t *testing.T) {
+	cases := []struct {
+		name  string
+		patch func(s string) string
+	}{
+		{"empty name", func(s string) string { return strings.Replace(s, "my-solver", "", 1) }},
+		{"bad class", func(s string) string { return strings.Replace(s, "mixed", "quantum", 1) }},
+		{"zero work", func(s string) string { return strings.Replace(s, `"work_coef": 1e6`, `"work_coef": 0`, 1) }},
+		{"no sizes", func(s string) string { return strings.Replace(s, "[64, 128, 256]", "[]", 1) }},
+		{"unsorted sizes", func(s string) string { return strings.Replace(s, "[64, 128, 256]", "[64, 32]", 1) }},
+		{"crazy loads", func(s string) string { return strings.Replace(s, `"loads": 0.3`, `"loads": 7`, 1) }},
+		{"bad uops", func(s string) string { return strings.Replace(s, `"uops_per_instr": 1.05`, `"uops_per_instr": 9`, 1) }},
+		{"unknown field", func(s string) string { return strings.Replace(s, `"parallel"`, `"warp_drive"`, 1) }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := LoadKernel(strings.NewReader(c.patch(validSpec))); err == nil {
+				t.Errorf("spec accepted")
+			}
+		})
+	}
+	if _, err := LoadKernel(strings.NewReader("{nope")); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+}
+
+func TestCustomKernelRunsThroughPipeline(t *testing.T) {
+	// A loaded kernel behaves like any suite workload: profiles scale
+	// monotonically and compose into compounds.
+	k, err := LoadKernel(strings.NewReader(validSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := platform.Haswell()
+	small := k.Profile(64, spec)
+	big := k.Profile(256, spec)
+	if big.Get(activity.Instructions) <= small.Get(activity.Instructions) {
+		t.Error("custom kernel not monotone in size")
+	}
+	comp := CompoundApp{Parts: []App{
+		{Workload: k, Size: 64},
+		{Workload: DGEMM(), Size: 2048},
+	}}
+	if got := comp.Profile(spec); !got.NonNegative() {
+		t.Error("compound with custom kernel invalid")
+	}
+}

@@ -1,0 +1,120 @@
+package workload
+
+import "math"
+
+// This file provides additional application models beyond the paper's
+// test suite. They are not part of DiverseSuite (whose 277-point base
+// dataset mirrors the paper) but extend the library for users studying
+// additivity and energy modelling on other workload shapes. ExtendedSuite
+// returns them all.
+
+// KMeans returns a k-means clustering model: alternating distance
+// computation (fp, streaming reads) and assignment (branchy). Size n is
+// thousands of points × iterations.
+func KMeans() *Kernel {
+	return NewKernel("kmeans", ClassMixed, true,
+		func(n float64) float64 { return n * 5e7 },
+		func(n float64) float64 { return n * 4e6 },
+		Mix{
+			FPDouble: 0.55, Loads: 0.35, Stores: 0.05,
+			L1MissPerLoad: 0.10, L2MissPerL1: 0.45, L3MissPerL2: 0.55,
+			Branch: 0.10, MispPerBranch: 0.020,
+			ICachePerK: 0.004, ITLBPerK: 0.001, DTLBPerKLoad: 3,
+			MSUopsPerK: 0.05, DSBShare: 0.90,
+			UopsPerInstr: 1.05, ExecPerIssue: 1.06,
+		},
+		sizeRange(8, 40, 16))
+}
+
+// Stencil2D returns a 5-point Jacobi stencil: regular streaming with
+// high spatial locality. Size n is the square grid side.
+func Stencil2D() *Kernel {
+	return NewKernel("stencil2d", ClassMemory, true,
+		func(n float64) float64 { return 40 * n * n },
+		func(n float64) float64 { return 2 * 8 * n * n },
+		Mix{
+			FPDouble: 0.45, Loads: 0.40, Stores: 0.10,
+			L1MissPerLoad: 0.08, L2MissPerL1: 0.60, L3MissPerL2: 0.70,
+			Branch: 0.03, MispPerBranch: 0.001,
+			ICachePerK: 0.001, ITLBPerK: 0.001, DTLBPerKLoad: 4,
+			MSUopsPerK: 0.02, DSBShare: 0.94,
+			UopsPerInstr: 1.03, ExecPerIssue: 1.04,
+		},
+		sizeRange(4096, 2048, 16))
+}
+
+// GUPS returns a RandomAccess (giga-updates-per-second) model: pure
+// pointer-chasing table updates, the worst case for every cache level.
+// Size n scales the update count.
+func GUPS() *Kernel {
+	return NewKernel("gups", ClassMemory, true,
+		func(n float64) float64 { return n * 2e7 },
+		func(n float64) float64 { return 2e9 },
+		Mix{
+			Loads: 0.30, Stores: 0.25,
+			L1MissPerLoad: 0.60, L2MissPerL1: 0.85, L3MissPerL2: 0.90,
+			Branch: 0.05, MispPerBranch: 0.002,
+			ICachePerK: 0.001, ITLBPerK: 0.001, DTLBPerKLoad: 40,
+			MSUopsPerK: 0.02, DSBShare: 0.93,
+			UopsPerInstr: 1.02, ExecPerIssue: 1.02,
+		},
+		sizeRange(8, 40, 16))
+}
+
+// BlackScholes returns an option-pricing model: transcendental-function
+// dense floating point with divider use (exp/log/sqrt chains). Size n is
+// millions of options.
+func BlackScholes() *Kernel {
+	return NewKernel("blackscholes", ClassCompute, true,
+		func(n float64) float64 { return n * 9e7 },
+		func(n float64) float64 { return n * 4.8e7 },
+		Mix{
+			FPDouble: 0.60, Loads: 0.15, Stores: 0.04,
+			L1MissPerLoad: 0.02, L2MissPerL1: 0.20, L3MissPerL2: 0.30,
+			Branch: 0.05, MispPerBranch: 0.004, Div: 0.012,
+			ICachePerK: 0.003, ITLBPerK: 0.001, DTLBPerKLoad: 0.5,
+			MSUopsPerK: 0.25, DSBShare: 0.91,
+			UopsPerInstr: 1.08, ExecPerIssue: 1.12,
+		},
+		sizeRange(8, 32, 16))
+}
+
+// SpMV returns a sparse matrix-vector product (CSR) model: the classic
+// bandwidth-bound irregular kernel. Size n scales rows.
+func SpMV() *Kernel {
+	return NewKernel("spmv", ClassMemory, true,
+		func(n float64) float64 { return n * 3.2e7 },
+		func(n float64) float64 { return n * 1.2e7 },
+		Mix{
+			FPDouble: 0.22, Loads: 0.48, Stores: 0.04,
+			L1MissPerLoad: 0.20, L2MissPerL1: 0.55, L3MissPerL2: 0.75,
+			Branch: 0.07, MispPerBranch: 0.005,
+			ICachePerK: 0.004, ITLBPerK: 0.002, DTLBPerKLoad: 8,
+			MSUopsPerK: 1.20, DSBShare: 0.92,
+			UopsPerInstr: 1.05, ExecPerIssue: 1.03,
+		},
+		sizeRange(8, 40, 16))
+}
+
+// Jacobi3D returns a 7-point 3D stencil with log-linear convergence
+// iterations. Size n is the cubic grid side.
+func Jacobi3D() *Kernel {
+	return NewKernel("jacobi3d", ClassMemory, true,
+		func(n float64) float64 { return 55 * n * n * n * math.Log2(n) / 8 },
+		func(n float64) float64 { return 2 * 8 * n * n * n },
+		Mix{
+			FPDouble: 0.40, Loads: 0.42, Stores: 0.09,
+			L1MissPerLoad: 0.10, L2MissPerL1: 0.55, L3MissPerL2: 0.65,
+			Branch: 0.03, MispPerBranch: 0.001,
+			ICachePerK: 0.002, ITLBPerK: 0.001, DTLBPerKLoad: 4,
+			MSUopsPerK: 0.03, DSBShare: 0.93,
+			UopsPerInstr: 1.03, ExecPerIssue: 1.05,
+		},
+		sizeRange(96, 24, 16))
+}
+
+// ExtendedSuite returns the additional workload models. Combine with
+// DiverseSuite for a larger experiment population.
+func ExtendedSuite() []Workload {
+	return []Workload{KMeans(), Stencil2D(), GUPS(), BlackScholes(), SpMV(), Jacobi3D()}
+}

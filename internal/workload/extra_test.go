@@ -1,0 +1,72 @@
+package workload
+
+import (
+	"testing"
+
+	"additivity/internal/activity"
+	"additivity/internal/platform"
+)
+
+func TestExtendedSuiteValid(t *testing.T) {
+	suite := ExtendedSuite()
+	if len(suite) != 6 {
+		t.Fatalf("extended suite = %d workloads", len(suite))
+	}
+	seen := map[string]bool{}
+	for _, w := range suite {
+		if seen[w.Name()] {
+			t.Errorf("duplicate workload %q", w.Name())
+		}
+		seen[w.Name()] = true
+		for _, spec := range platform.Platforms() {
+			for _, n := range w.DefaultSizes() {
+				v := w.Profile(n, spec)
+				if !v.NonNegative() {
+					t.Errorf("%s/%d on %s: negative activity", w.Name(), n, spec.Name)
+				}
+				l1, l2, l3 := v.Get(activity.L1DMiss), v.Get(activity.L2Miss), v.Get(activity.L3Miss)
+				if l2 > l1 || l3 > l2 {
+					t.Errorf("%s/%d: miss chain out of order", w.Name(), n)
+				}
+			}
+		}
+	}
+}
+
+func TestExtendedSuiteDistinctFromDiverse(t *testing.T) {
+	diverse := map[string]bool{}
+	for _, w := range DiverseSuite() {
+		diverse[w.Name()] = true
+	}
+	for _, w := range ExtendedSuite() {
+		if diverse[w.Name()] {
+			t.Errorf("%s appears in both suites", w.Name())
+		}
+	}
+	// The Class A base dataset must stay at the paper's 277 points.
+	if got := len(BaseApps(DiverseSuite())); got != 277 {
+		t.Errorf("diverse base apps = %d, want 277", got)
+	}
+}
+
+func TestGUPSIsCacheHostile(t *testing.T) {
+	spec := platform.Haswell()
+	g := GUPS().Profile(200, spec)
+	s := Stencil2D().Profile(8192, spec)
+	gupsMissRate := g.Get(activity.L3Miss) / g.Get(activity.Loads)
+	stencilMissRate := s.Get(activity.L3Miss) / s.Get(activity.Loads)
+	if gupsMissRate < 5*stencilMissRate {
+		t.Errorf("GUPS L3 miss/load %.4f not ≫ stencil %.4f", gupsMissRate, stencilMissRate)
+	}
+}
+
+func TestBlackScholesUsesDivider(t *testing.T) {
+	v := BlackScholes().Profile(64, platform.Skylake())
+	if v.Get(activity.DivOps) <= 0 {
+		t.Error("blackscholes has no divider activity")
+	}
+	perInstr := v.Get(activity.DivOps) / v.Get(activity.Instructions)
+	if perInstr < 0.005 || perInstr > 0.03 {
+		t.Errorf("blackscholes div/instr = %.4f, want ≈ 0.012", perInstr)
+	}
+}

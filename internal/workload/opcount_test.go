@@ -1,0 +1,96 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"additivity/internal/activity"
+	"additivity/internal/platform"
+)
+
+// These tests pin the operation-count formulas of the kernel models to
+// their closed forms, so mix refactoring cannot silently change the
+// computational laws the experiments rest on.
+
+func TestFFTFlopCount(t *testing.T) {
+	f := FFT()
+	spec := platform.Skylake()
+	for _, m := range []int{8192, 16384, 32768} {
+		v := f.Profile(m, spec)
+		// 2D FFT: ≈ 10·m²·log2(m) flops.
+		want := 10 * float64(m) * float64(m) * math.Log2(float64(m))
+		got := v.Get(activity.FPDouble)
+		if math.Abs(got-want)/want > 0.02 {
+			t.Errorf("FFT(%d) flops = %.4g, want ≈ %.4g", m, got, want)
+		}
+	}
+}
+
+// scalingExponent estimates d log(work) / d log(n) between two sizes.
+func scalingExponent(w Workload, spec *platform.Spec, n1, n2 int) float64 {
+	w1 := w.Profile(n1, spec).Get(activity.Instructions)
+	w2 := w.Profile(n2, spec).Get(activity.Instructions)
+	return math.Log(w2/w1) / math.Log(float64(n2)/float64(n1))
+}
+
+func TestWorkScalingExponents(t *testing.T) {
+	spec := platform.Haswell()
+	cases := []struct {
+		w        Workload
+		n1, n2   int
+		exponent float64
+		tol      float64
+	}{
+		{DGEMM(), 2048, 4096, 3.0, 0.01},     // n³
+		{NASMG(), 128, 256, 3.0, 0.01},       // n³
+		{NASLU(), 96, 192, 3.0, 0.01},        // n³
+		{NASCG(), 400, 1600, 1.5, 0.01},      // n^1.5
+		{NASEP(), 100, 400, 1.0, 0.01},       // linear
+		{Quicksort(), 100, 400, 1.0, 0.01},   // modelled linear (log folded in)
+		{Transpose(), 2048, 8192, 2.0, 0.01}, // n²
+	}
+	for _, c := range cases {
+		got := scalingExponent(c.w, spec, c.n1, c.n2)
+		if math.Abs(got-c.exponent) > c.tol {
+			t.Errorf("%s: work exponent %.3f, want %.1f", c.w.Name(), got, c.exponent)
+		}
+	}
+	// FFT and FT carry a log factor: exponent slightly above the power.
+	fft := scalingExponent(FFT(), spec, 8192, 32768)
+	if fft < 2.0 || fft > 2.2 {
+		t.Errorf("FFT work exponent %.3f, want 2 < e < 2.2 (n² log n)", fft)
+	}
+	ft := scalingExponent(NASFT(), spec, 128, 256)
+	if ft < 3.0 || ft > 3.3 {
+		t.Errorf("NAS FT work exponent %.3f, want 3 < e < 3.3 (n³ log n)", ft)
+	}
+}
+
+func TestFootprintFormulas(t *testing.T) {
+	// DGEMM stores three n×n double matrices.
+	if got, want := DGEMM().DataBytes(1000), 3*8*1000.0*1000; got != want {
+		t.Errorf("DGEMM footprint = %v, want %v", got, want)
+	}
+	// FFT holds two complex-double grids.
+	if got, want := FFT().DataBytes(1000), 2*16*1000.0*1000; got != want {
+		t.Errorf("FFT footprint = %v, want %v", got, want)
+	}
+	// Footprints fit the platforms' memory at the experiment sizes.
+	maxDGEMM := DGEMM().DataBytes(38400)
+	if maxDGEMM > 96e9 {
+		t.Errorf("DGEMM/38400 footprint %.3g B exceeds Skylake memory", maxDGEMM)
+	}
+	maxFFT := FFT().DataBytes(41536)
+	if maxFFT > 96e9 {
+		t.Errorf("FFT/41536 footprint %.3g B exceeds Skylake memory", maxFFT)
+	}
+}
+
+func TestPageFaultsFollowFootprint(t *testing.T) {
+	spec := platform.Haswell()
+	v := Stream().Profile(64, spec)
+	want := Stream().DataBytes(64) / 4096
+	if got := v.Get(activity.PageFaults); math.Abs(got-want) > 1 {
+		t.Errorf("page faults = %v, want %v (footprint/4096)", got, want)
+	}
+}

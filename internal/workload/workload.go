@@ -1,0 +1,271 @@
+// Package workload provides analytic models of the applications the paper
+// runs: MKL DGEMM and FFT, NAS-Parallel-Benchmark-style kernels, HPCG,
+// stress, and non-optimised / non-scientific programs.
+//
+// A workload maps a problem size to a deterministic expected activity
+// vector (see internal/activity) using operation-count formulas: flops,
+// loads/stores, cache-miss chains, branch statistics, decode-stream
+// composition. The machine simulator adds run-to-run noise, process
+// startup work and compound-run boundary effects on top of these
+// profiles. An App is a workload at a concrete problem size; a
+// CompoundApp is a list of Apps executed serially — the construction the
+// additivity test is built on.
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"additivity/internal/activity"
+	"additivity/internal/platform"
+)
+
+// Class is a coarse characterisation of a workload's resource behaviour.
+type Class int
+
+// Workload classes.
+const (
+	ClassCompute   Class = iota // compute bound (dense linear algebra, EP)
+	ClassMemory                 // memory bound (streaming, sparse)
+	ClassMixed                  // balanced
+	ClassSynthetic              // synthetic / non-scientific
+)
+
+var classNames = map[Class]string{
+	ClassCompute: "compute", ClassMemory: "memory",
+	ClassMixed: "mixed", ClassSynthetic: "synthetic",
+}
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	if s, ok := classNames[c]; ok {
+		return s
+	}
+	return fmt.Sprintf("class(%d)", int(c))
+}
+
+// Workload is an application model.
+type Workload interface {
+	// Name is the workload's identifier (e.g. "mkl-dgemm").
+	Name() string
+	// Class characterises the workload's resource behaviour.
+	Class() Class
+	// Profile returns the expected activity of one run at problem size n
+	// on the given platform, excluding process-startup work (the machine
+	// adds that, since it is a property of a *run*, not of the
+	// computation).
+	Profile(n int, spec *platform.Spec) activity.Vector
+	// DataBytes returns the memory footprint at problem size n, used for
+	// page-fault and footprint modelling.
+	DataBytes(n int) float64
+	// Parallel reports whether the workload uses all cores (scientific
+	// kernels) or one (the non-scientific programs in the suite).
+	Parallel() bool
+	// DefaultSizes returns the problem sizes used when building the
+	// experiment datasets.
+	DefaultSizes() []int
+}
+
+// Mix holds a kernel's per-instruction activity rates. Together with the
+// instruction-count formula it fully determines the expected activity
+// profile.
+type Mix struct {
+	FPDouble      float64 `json:"fp_double"`        // double-precision flops per instruction
+	Loads         float64 `json:"loads"`            // loads per instruction
+	Stores        float64 `json:"stores"`           // stores per instruction
+	L1MissPerLoad float64 `json:"l1_miss_per_load"` // L1D misses per load
+	L2MissPerL1   float64 `json:"l2_miss_per_l1"`   // L2 misses per L1D miss (at reference L2 size)
+	L3MissPerL2   float64 `json:"l3_miss_per_l2"`   // L3 misses per L2 miss (at reference L3 size)
+	Branch        float64 `json:"branch"`           // branches per instruction
+	MispPerBranch float64 `json:"misp_per_branch"`  // mispredictions per branch
+	Div           float64 `json:"div"`              // divider operations per instruction
+	ICachePerK    float64 `json:"icache_per_k"`     // instruction-cache misses per 1000 instructions
+	ITLBPerK      float64 `json:"itlb_per_k"`       // ITLB misses per 1000 instructions
+	DTLBPerKLoad  float64 `json:"dtlb_per_k_load"`  // DTLB misses per 1000 loads
+	MSUopsPerK    float64 `json:"ms_uops_per_k"`    // microcode uops per 1000 instructions
+	DSBShare      float64 `json:"dsb_share"`        // fraction of issued uops served by the uop cache
+	UopsPerInstr  float64 `json:"uops_per_instr"`   // issued uops per instruction
+	ExecPerIssue  float64 `json:"exec_per_issue"`   // executed uops per issued uop
+}
+
+// Kernel is the shared implementation of Workload: a name, a class, an
+// instruction-count formula, an activity mix, and default problem sizes.
+type Kernel struct {
+	name     string
+	class    Class
+	parallel bool
+	// work returns the retired-instruction count at problem size n.
+	work func(n float64) float64
+	// bytes returns the memory footprint at problem size n.
+	bytes func(n float64) float64
+	mix   Mix
+	sizes []int
+	// post optionally adjusts the generic profile with kernel-specific
+	// behaviour the per-instruction mix cannot express (e.g. DGEMM's
+	// traffic-optimal cache blocking).
+	post func(n float64, spec *platform.Spec, v *activity.Vector)
+}
+
+// NewKernel builds a Kernel. It is exported for tests and for users who
+// want to model their own applications against the simulated machines.
+func NewKernel(name string, class Class, parallel bool,
+	work, bytes func(n float64) float64, mix Mix, sizes []int) *Kernel {
+	return &Kernel{
+		name: name, class: class, parallel: parallel,
+		work: work, bytes: bytes, mix: mix, sizes: sizes,
+	}
+}
+
+// Name implements Workload.
+func (k *Kernel) Name() string { return k.name }
+
+// Class implements Workload.
+func (k *Kernel) Class() Class { return k.class }
+
+// Parallel implements Workload.
+func (k *Kernel) Parallel() bool { return k.parallel }
+
+// DataBytes implements Workload.
+func (k *Kernel) DataBytes(n int) float64 { return k.bytes(float64(n)) }
+
+// DefaultSizes implements Workload.
+func (k *Kernel) DefaultSizes() []int {
+	out := make([]int, len(k.sizes))
+	copy(out, k.sizes)
+	return out
+}
+
+// Mix returns the kernel's activity mix.
+func (k *Kernel) Mix() Mix { return k.mix }
+
+// SetPost installs a kernel-specific profile adjustment, applied after
+// the mix-driven profile and before the cycle model.
+func (k *Kernel) SetPost(post func(n float64, spec *platform.Spec, v *activity.Vector)) {
+	k.post = post
+}
+
+// Work returns the kernel's instruction count at size n.
+func (k *Kernel) Work(n int) float64 { return k.work(float64(n)) }
+
+// Profile implements Workload. The cache-miss chain is scaled by the
+// platform's cache sizes relative to the Haswell reference (256 KB L2,
+// 30 MB L3): bigger caches convert misses at one level into hits.
+func (k *Kernel) Profile(n int, spec *platform.Spec) activity.Vector {
+	var v activity.Vector
+	w := k.work(float64(n))
+	m := k.mix
+
+	v.Set(activity.Instructions, w)
+	issued := w * m.UopsPerInstr
+	v.Set(activity.UopsIssued, issued)
+	v.Set(activity.UopsExecuted, issued*m.ExecPerIssue)
+
+	ms := w * m.MSUopsPerK / 1000
+	v.Set(activity.MSUops, ms)
+	// The uop cache serves a platform-adjusted share of the issue stream;
+	// microcoded uops always come from the MS, the rest from legacy decode.
+	dsbShare := m.DSBShare * spec.DSBShare / 0.80
+	if dsbShare > 0.98 {
+		dsbShare = 0.98
+	}
+	dsb := (issued - ms) * dsbShare
+	v.Set(activity.DSBUops, dsb)
+	v.Set(activity.MITEUops, issued-ms-dsb)
+
+	v.Set(activity.FPDouble, w*m.FPDouble)
+	loads := w * m.Loads
+	v.Set(activity.Loads, loads)
+	v.Set(activity.Stores, w*m.Stores)
+
+	l1 := loads * m.L1MissPerLoad
+	v.Set(activity.L1DMiss, l1)
+	l2 := l1 * m.L2MissPerL1 * math.Sqrt(256/float64(spec.L2KB))
+	v.Set(activity.L2Miss, l2)
+	l3 := l2 * m.L3MissPerL2 * math.Sqrt(30720/float64(spec.L3KB))
+	v.Set(activity.L3Miss, l3)
+
+	br := w * m.Branch
+	v.Set(activity.BranchInstr, br)
+	v.Set(activity.BranchMisp, br*m.MispPerBranch)
+	v.Set(activity.DivOps, w*m.Div)
+	v.Set(activity.ICacheMiss, w*m.ICachePerK/1000)
+	v.Set(activity.ITLBMiss, w*m.ITLBPerK/1000)
+	v.Set(activity.DTLBMiss, loads*m.DTLBPerKLoad/1000)
+	v.Set(activity.PageFaults, k.bytes(float64(n))/4096)
+
+	if k.post != nil {
+		k.post(float64(n), spec, &v)
+		l2 = v.Get(activity.L2Miss)
+		l3 = v.Get(activity.L3Miss)
+	}
+
+	// Cycle model: peak throughput plus partially overlapped penalties.
+	base := v.Get(activity.UopsExecuted) / spec.PeakIPC
+	penalty := l2*12 + l3*spec.MemLatCycles + br*m.MispPerBranch*15 +
+		w*m.Div*20 + v.Get(activity.ICacheMiss)*30
+	const overlap = 0.35 // fraction of penalty cycles not hidden by OoO execution
+	stall := overlap * penalty
+	v.Set(activity.StallCycles, stall)
+	v.Set(activity.Cycles, base+stall)
+	// Context switches are a property of wall-clock time; the machine
+	// fills them in from the computed run time.
+	return v
+}
+
+// App is a workload at a concrete problem size — one data point of the
+// paper's datasets.
+type App struct {
+	Workload Workload
+	Size     int
+}
+
+// Name returns "workload/size".
+func (a App) Name() string { return fmt.Sprintf("%s/%d", a.Workload.Name(), a.Size) }
+
+// Profile returns the app's expected activity on the platform.
+func (a App) Profile(spec *platform.Spec) activity.Vector {
+	return a.Workload.Profile(a.Size, spec)
+}
+
+// CompoundApp is a serial execution of two or more base applications —
+// the construction used by the additivity test. The paper composes
+// compound applications by placing the core computations of the base
+// applications one after the other in a single program.
+type CompoundApp struct {
+	Parts []App
+}
+
+// Name returns the "+"-joined part names.
+func (c CompoundApp) Name() string {
+	s := ""
+	for i, p := range c.Parts {
+		if i > 0 {
+			s += "+"
+		}
+		s += p.Name()
+	}
+	return s
+}
+
+// Profile returns the boundary-effect-free expected activity: the sum of
+// the parts' profiles. Real compound runs observed through the machine
+// simulator additionally contain phase-switch effects.
+func (c CompoundApp) Profile(spec *platform.Spec) activity.Vector {
+	var v activity.Vector
+	for _, p := range c.Parts {
+		v = v.Add(p.Profile(spec))
+	}
+	return v
+}
+
+// DataBytes returns the peak footprint (max over parts, since phases run
+// serially and reuse the heap).
+func (c CompoundApp) DataBytes() float64 {
+	max := 0.0
+	for _, p := range c.Parts {
+		if b := p.Workload.DataBytes(p.Size); b > max {
+			max = b
+		}
+	}
+	return max
+}
