@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench tables artifacts examples clean
+.PHONY: all build vet test test-short race bench tables artifacts examples clean
 
 all: build vet test
 
@@ -17,6 +17,12 @@ test:
 
 test-short:
 	$(GO) test -short ./...
+
+# Race-detector gate for the parallel experiment engine: every test —
+# including the Workers=1 vs Workers=8 equivalence suite — runs under
+# -race, plus vet. CI runs this on every push and pull request.
+race: vet
+	$(GO) test -race ./...
 
 bench:
 	$(GO) test -bench=. -benchmem .

@@ -9,6 +9,7 @@ package additivity_test
 //     multiplexed collection, model fits).
 
 import (
+	"fmt"
 	"testing"
 
 	"additivity"
@@ -328,6 +329,28 @@ func BenchmarkFitForest(b *testing.B) {
 		if err := additivity.NewRandomForest(7).Fit(X, y); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkCrossValParallel measures k-fold cross-validation's
+// worker-pool scaling with a random-forest family (the heaviest fold
+// body). Fold results are byte-identical across worker counts; only
+// wall-clock time changes, and only on multicore hosts.
+func BenchmarkCrossValParallel(b *testing.B) {
+	train, _ := ablationDataset(b)
+	X, y, err := train.Matrix(additivity.PAPMCs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	newModel := func() additivity.Regressor { return additivity.NewRandomForest(7) }
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := additivity.CrossValidateWorkers(newModel, X, y, 5, 31, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -276,6 +276,13 @@ func CrossValidate(newModel func() Regressor, X [][]float64, y []float64, k int,
 	return ml.CrossValidate(newModel, X, y, k, seed)
 }
 
+// CrossValidateWorkers is CrossValidate with the folds trained on a
+// bounded worker pool (workers <= 0: GOMAXPROCS). The result is
+// byte-identical for every worker count.
+func CrossValidateWorkers(newModel func() Regressor, X [][]float64, y []float64, k int, seed int64, workers int) (CVResult, error) {
+	return ml.CrossValidateWorkers(newModel, X, y, k, seed, workers)
+}
+
 // SelectByCV picks the model family with the lowest cross-validated mean
 // average error.
 func SelectByCV(candidates map[string]func() Regressor, X [][]float64, y []float64, k int, seed int64) (string, CVResult, error) {

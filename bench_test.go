@@ -12,6 +12,7 @@ package additivity_test
 // asserted by the test suite in internal/experiments.
 
 import (
+	"fmt"
 	"testing"
 
 	"additivity"
@@ -160,6 +161,25 @@ func BenchmarkAdditivityStudy(b *testing.B) {
 	b.ReportMetric(float64(res.AdditiveCount(5)), "additive@5%")
 	b.ReportMetric(float64(len(res.Verdicts)), "events")
 	b.ReportMetric(float64(res.NonReproducibleCount()), "non-reproducible")
+}
+
+// BenchmarkStudyParallel measures the catalog survey's worker-pool
+// scaling: the same survey (identical verdicts, enforced by the
+// sequential-equivalence tests) at 1, 4 and 8 workers. The speedup at
+// workers=N over workers=1 is the engine's headline; on a single-core
+// host the variants tie, since only wall-clock parallelism differs.
+func BenchmarkStudyParallel(b *testing.B) {
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := additivity.RunAdditivityStudy(additivity.Haswell(),
+					additivity.StudyConfig{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkTable7bClassC regenerates the four-PMC online models (paper:

@@ -31,6 +31,7 @@ func main() {
 	pmcList := flag.String("pmcs", "", "comma-separated PMC names")
 	setName := flag.String("set", "", "named PMC set: classa, pa or pna")
 	seed := flag.Int64("seed", additivity.DefaultSeed, "seed")
+	workers := flag.Int("workers", 0, "training worker pool size for rf (0: GOMAXPROCS); the model is identical for every value")
 	csvPath := flag.String("csv", "", "write the full dataset to this CSV file")
 	flag.Parse()
 
@@ -100,7 +101,9 @@ func main() {
 		ridge.Opts.Ridge = 1e-3
 		model = ridge
 	case "rf":
-		model = additivity.NewRandomForest(*seed)
+		rf := additivity.NewRandomForest(*seed)
+		rf.Opts.Workers = *workers
+		model = rf
 	case "nn":
 		model = additivity.NewNeuralNetwork(*seed)
 	default:

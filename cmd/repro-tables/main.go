@@ -25,6 +25,7 @@ func main() {
 	log.SetPrefix("repro-tables: ")
 	table := flag.String("table", "all", "table to regenerate: all, 1, 2, 3, 4, 5, 6, 7a, 7b, curves, collection, study, premise, sensors, suite")
 	seed := flag.Int64("seed", additivity.DefaultSeed, "experiment seed")
+	workers := flag.Int("workers", 0, "experiment worker pool size (0: GOMAXPROCS); tables are identical for every value")
 	artifacts := flag.String("artifacts", "", "write all tables, datasets and a predictor package to this directory")
 	flag.Parse()
 
@@ -102,7 +103,7 @@ func main() {
 				log.Fatal(err)
 			}
 			fmt.Fprintf(os.Stderr, "surveying the %s reduced catalog...\n", name)
-			study, err := additivity.RunAdditivityStudy(spec, additivity.StudyConfig{Seed: *seed + 2})
+			study, err := additivity.RunAdditivityStudy(spec, additivity.StudyConfig{Seed: *seed + 2, Workers: *workers})
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -113,7 +114,7 @@ func main() {
 
 	if want("2", "3", "4", "5", "curves") {
 		fmt.Fprintln(os.Stderr, "running Class A (Haswell, 277 base apps, 50 compounds)...")
-		a, err := additivity.RunClassA(additivity.ClassAConfig{Seed: *seed})
+		a, err := additivity.RunClassA(additivity.ClassAConfig{Seed: *seed, Workers: *workers})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -136,7 +137,7 @@ func main() {
 
 	if want("6", "7a", "7b") {
 		fmt.Fprintln(os.Stderr, "running Class B (Skylake, 801-point DGEMM+FFT dataset)...")
-		b, err := additivity.RunClassB(additivity.ClassBConfig{Seed: *seed + 1})
+		b, err := additivity.RunClassB(additivity.ClassBConfig{Seed: *seed + 1, Workers: *workers})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -32,6 +32,7 @@ func main() {
 	maxPMCs := flag.Int("pmcs", 4, "online register budget")
 	tolerance := flag.Float64("tolerance", 5, "additivity tolerance in percent")
 	seed := flag.Int64("seed", additivity.DefaultSeed, "seed")
+	workers := flag.Int("workers", 0, "pipeline worker pool size (0: GOMAXPROCS); the predictor is identical for every value")
 	save := flag.String("save", "", "write the trained predictor package to this file")
 	load := flag.String("load", "", "load a predictor package instead of training")
 	appSpec := flag.String("app", "", "with -load: application (workload/size) to predict")
@@ -50,6 +51,7 @@ func main() {
 		MaxPMCs:      *maxPMCs,
 		TolerancePct: *tolerance,
 		Seed:         *seed,
+		Workers:      *workers,
 	})
 	if err != nil {
 		log.Fatal(err)

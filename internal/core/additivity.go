@@ -13,10 +13,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
+	"additivity/internal/parallel"
 	"additivity/internal/platform"
 	"additivity/internal/pmc"
 	"additivity/internal/stats"
@@ -34,6 +37,11 @@ type Config struct {
 	// coefficient of variation across repeated runs of the same
 	// application exceeds this is not deterministic/reproducible.
 	ReproCVMax float64
+	// Workers bounds the concurrency of the per-application collection
+	// fan-out (zero or negative: GOMAXPROCS). Every application's counts
+	// are gathered on a collector forked from the task's identity, so
+	// the verdicts are byte-identical for any worker count.
+	Workers int
 }
 
 // DefaultConfig returns the paper's test parameters.
@@ -66,7 +74,9 @@ type Checker struct {
 	Config    Config
 	// Progress, when set, is called after each application's counts are
 	// gathered: done applications out of total. Catalog-wide surveys take
-	// thousands of simulated runs; CLIs use this to show progress.
+	// thousands of simulated runs; CLIs use this to show progress. With
+	// Workers > 1 the callback fires from pool workers (serialised, with
+	// monotonic done counts), so it must not assume a completion order.
 	Progress func(done, total int)
 }
 
@@ -96,11 +106,12 @@ func (a *appCounts) cv(event string) float64 {
 	return stats.StdDev(xs) / math.Abs(m)
 }
 
-// gather collects Reps samples of every event for one application.
-func (ch *Checker) gather(events []platform.Event, parts ...workload.App) (*appCounts, error) {
+// gather collects Reps samples of every event for one application on
+// the given collector.
+func (ch *Checker) gather(col *pmc.Collector, events []platform.Event, parts ...workload.App) (*appCounts, error) {
 	out := &appCounts{samples: make(map[string][]float64, len(events))}
 	for r := 0; r < ch.Config.Reps; r++ {
-		counts, _, err := ch.Collector.Collect(events, parts...)
+		counts, _, err := col.Collect(events, parts...)
 		if err != nil {
 			return nil, err
 		}
@@ -109,6 +120,13 @@ func (ch *Checker) gather(events []platform.Event, parts ...workload.App) (*appC
 		}
 	}
 	return out, nil
+}
+
+// gatherTask is one unit of the collection fan-out: a base application
+// or a compound, with the stable label its collector fork derives from.
+type gatherTask struct {
+	label string
+	parts []workload.App
 }
 
 // Check runs the two-stage additivity test for the given events against a
@@ -120,50 +138,71 @@ func (ch *Checker) Check(events []platform.Event, compounds []workload.CompoundA
 	if len(compounds) == 0 {
 		return nil, fmt.Errorf("core: additivity test needs at least one compound application")
 	}
-	// Count the distinct applications up front so progress is meaningful.
-	distinct := map[string]bool{}
 	for _, comp := range compounds {
 		if len(comp.Parts) < 2 {
 			return nil, fmt.Errorf("core: compound %q has %d parts, want >= 2", comp.Name(), len(comp.Parts))
 		}
-		for _, p := range comp.Parts {
-			distinct[p.Name()] = true
-		}
 	}
-	total := len(distinct) + len(compounds)
-	done := 0
-	tick := func() {
-		done++
-		if ch.Progress != nil {
-			ch.Progress(done, total)
-		}
-	}
-
-	// Collect base counts once per distinct base application.
-	baseCounts := map[string]*appCounts{}
+	// Build the collection fan-out: one task per distinct base
+	// application (first-appearance order) plus one per compound. Each
+	// task gathers on a collector forked from the task's label, so its
+	// counts depend only on (checker seed, label) — not on which worker
+	// runs it or in which order. That makes the collection stage safe to
+	// parallelise without changing a single output bit.
+	var tasks []gatherTask
+	seen := map[string]bool{}
+	baseIdx := map[string]int{}
 	for _, comp := range compounds {
 		for _, p := range comp.Parts {
-			if _, ok := baseCounts[p.Name()]; ok {
+			if seen[p.Name()] {
 				continue
 			}
-			ac, err := ch.gather(events, p)
+			seen[p.Name()] = true
+			baseIdx[p.Name()] = len(tasks)
+			tasks = append(tasks, gatherTask{label: "base/" + p.Name(), parts: []workload.App{p}})
+		}
+	}
+	nBases := len(tasks)
+	for i, comp := range compounds {
+		tasks = append(tasks, gatherTask{
+			label: fmt.Sprintf("compound/%d/%s", i, comp.Name()),
+			parts: comp.Parts,
+		})
+	}
+
+	total := len(tasks)
+	var progressMu sync.Mutex
+	done := 0
+	tick := func() {
+		if ch.Progress == nil {
+			return
+		}
+		// The callback runs under the lock so invocations are serialised
+		// and done is strictly increasing even when fired from workers.
+		progressMu.Lock()
+		defer progressMu.Unlock()
+		done++
+		ch.Progress(done, total)
+	}
+
+	gathered, err := parallel.Map(context.Background(), ch.Config.Workers, tasks,
+		func(_ context.Context, _ int, t gatherTask) (*appCounts, error) {
+			ac, err := ch.gather(ch.Collector.Fork(t.label), events, t.parts...)
 			if err != nil {
 				return nil, err
 			}
-			baseCounts[p.Name()] = ac
 			tick()
-		}
+			return ac, nil
+		})
+	if err != nil {
+		return nil, err
 	}
-	// Collect compound counts.
-	compCounts := make([]*appCounts, len(compounds))
-	for i, comp := range compounds {
-		ac, err := ch.gather(events, comp.Parts...)
-		if err != nil {
-			return nil, err
-		}
-		compCounts[i] = ac
-		tick()
+
+	baseCounts := make(map[string]*appCounts, nBases)
+	for name, i := range baseIdx {
+		baseCounts[name] = gathered[i]
 	}
+	compCounts := gathered[nBases:]
 
 	verdicts := make([]Verdict, 0, len(events))
 	for _, ev := range events {

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"additivity/internal/machine"
+	"additivity/internal/platform"
+	"additivity/internal/pmc"
+	"additivity/internal/workload"
+)
+
+// TestCheckSequentialEquivalence is the engine's headline guarantee at
+// the checker level: the verdict list — orderings, errors, per-compound
+// breakdowns — is byte-identical whether the collection stage runs on
+// one worker or many.
+func TestCheckSequentialEquivalence(t *testing.T) {
+	run := func(workers int) []Verdict {
+		m := machine.New(platform.Haswell(), 20190801)
+		col := pmc.NewCollector(m, 20190801)
+		checker := NewChecker(col, Config{
+			ToleranceFrac: 0.05, Reps: 3, ReproCVMax: 0.2, Workers: workers,
+		})
+		base := workload.BaseApps(workload.DiverseSuite())
+		compounds := workload.RandomCompounds(base, 8, 20190801)
+		verdicts, err := checker.Check(classAEvents(t), compounds)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return verdicts
+	}
+	want := run(1)
+	for _, workers := range []int{2, 8} {
+		got := run(workers)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("verdicts with %d workers differ from sequential run", workers)
+		}
+	}
+}
+
+// TestCheckProgressMonotonicUnderWorkers verifies the progress callback
+// still reports every completed collection exactly once when fired from
+// pool workers.
+func TestCheckProgressMonotonicUnderWorkers(t *testing.T) {
+	m := machine.New(platform.Haswell(), 7)
+	col := pmc.NewCollector(m, 7)
+	var seen []int
+	checker := NewChecker(col, Config{ToleranceFrac: 0.05, Reps: 2, ReproCVMax: 0.2, Workers: 8})
+	checker.Progress = func(done, total int) { seen = append(seen, done) }
+	base := workload.BaseApps(workload.DiverseSuite())
+	compounds := workload.RandomCompounds(base, 5, 7)
+	if _, err := checker.Check(classAEvents(t), compounds); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) == 0 {
+		t.Fatal("no progress callbacks")
+	}
+	for i, d := range seen {
+		if d != i+1 {
+			t.Fatalf("progress out of order: callback %d reported done=%d", i, d)
+		}
+	}
+}

@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"additivity/internal/core"
 	"additivity/internal/dataset"
 	"additivity/internal/machine"
 	"additivity/internal/ml"
+	"additivity/internal/parallel"
 	"additivity/internal/platform"
 	"additivity/internal/pmc"
 	"additivity/internal/workload"
@@ -60,6 +62,10 @@ type ClassAConfig struct {
 	// suite — re-runs the whole Class A protocol on different
 	// applications.
 	Suite []workload.Workload
+	// Workers bounds the concurrency of the additivity test's collection
+	// fan-out and of the nested-model fitting (zero or negative:
+	// GOMAXPROCS). Tables 2-5 are byte-identical for every worker count.
+	Workers int
 }
 
 func (c *ClassAConfig) fill() {
@@ -109,7 +115,7 @@ func RunClassA(cfg ClassAConfig) (*ClassAResult, error) {
 
 	// Additivity test (Table 2).
 	checker := core.NewChecker(col, core.Config{
-		ToleranceFrac: 0.05, Reps: cfg.CheckerReps, ReproCVMax: 0.20,
+		ToleranceFrac: 0.05, Reps: cfg.CheckerReps, ReproCVMax: 0.20, Workers: cfg.Workers,
 	})
 	verdicts, err := checker.Check(events, compounds)
 	if err != nil {
@@ -130,28 +136,42 @@ func RunClassA(cfg ClassAConfig) (*ClassAResult, error) {
 	// Nested PMC sets: drop the most non-additive PMC at each step.
 	sets := nestedSets(verdicts)
 
-	res := &ClassAResult{Verdicts: verdicts, Train: train, Test: test}
+	// Fit the three families over every nested set on the worker pool.
+	// Each task owns a fresh model whose seed depends only on the set
+	// index, and fitEval only reads the shared datasets, so the family
+	// tables come out identical for every worker count.
+	type fitTask struct {
+		name  string
+		set   []string
+		model func() ml.Regressor
+	}
+	var fits []fitTask
 	for i, set := range sets {
-		lr, err := fitEval(train, test, set, ml.NewLinearRegression())
-		if err != nil {
-			return nil, err
-		}
-		lr.Name = fmt.Sprintf("LR%d", i+1)
-		res.LR = append(res.LR, lr)
+		i, set := i, set
+		fits = append(fits,
+			fitTask{fmt.Sprintf("LR%d", i+1), set, func() ml.Regressor { return ml.NewLinearRegression() }},
+			fitTask{fmt.Sprintf("RF%d", i+1), set, func() ml.Regressor { return ml.NewRandomForest(cfg.Seed + int64(i)) }},
+			fitTask{fmt.Sprintf("NN%d", i+1), set, func() ml.Regressor { return ml.NewNeuralNetwork(cfg.Seed + int64(i)) }},
+		)
+	}
+	fitted, err := parallel.Map(context.Background(), cfg.Workers, fits,
+		func(_ context.Context, _ int, ft fitTask) (ModelResult, error) {
+			mr, err := fitEval(train, test, ft.set, ft.model())
+			if err != nil {
+				return ModelResult{}, fmt.Errorf("experiments: %s: %w", ft.name, err)
+			}
+			mr.Name = ft.name
+			return mr, nil
+		})
+	if err != nil {
+		return nil, err
+	}
 
-		rf, err := fitEval(train, test, set, ml.NewRandomForest(cfg.Seed+int64(i)))
-		if err != nil {
-			return nil, err
-		}
-		rf.Name = fmt.Sprintf("RF%d", i+1)
-		res.RF = append(res.RF, rf)
-
-		nn, err := fitEval(train, test, set, ml.NewNeuralNetwork(cfg.Seed+int64(i)))
-		if err != nil {
-			return nil, err
-		}
-		nn.Name = fmt.Sprintf("NN%d", i+1)
-		res.NN = append(res.NN, nn)
+	res := &ClassAResult{Verdicts: verdicts, Train: train, Test: test}
+	for i := range sets {
+		res.LR = append(res.LR, fitted[3*i])
+		res.RF = append(res.RF, fitted[3*i+1])
+		res.NN = append(res.NN, fitted[3*i+2])
 	}
 	return res, nil
 }

@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"additivity/internal/core"
 	"additivity/internal/dataset"
 	"additivity/internal/machine"
 	"additivity/internal/ml"
+	"additivity/internal/parallel"
 	"additivity/internal/platform"
 	"additivity/internal/pmc"
 	"additivity/internal/stats"
@@ -46,6 +48,11 @@ type ClassBConfig struct {
 	Seed        int64
 	CheckerReps int
 	TestPoints  int // held-out points (paper: 150 of 801)
+	// Workers bounds the concurrency of the additivity test's collection
+	// fan-out and of the Table-7a model fitting (zero or negative:
+	// GOMAXPROCS). Tables 6 and 7a are byte-identical for every worker
+	// count.
+	Workers int
 }
 
 func (c *ClassBConfig) fill() {
@@ -105,7 +112,7 @@ func RunClassB(cfg ClassBConfig) (*ClassBResult, error) {
 
 	// Additivity verdicts for Table 6.
 	checker := core.NewChecker(col, core.Config{
-		ToleranceFrac: 0.05, Reps: cfg.CheckerReps, ReproCVMax: 0.20,
+		ToleranceFrac: 0.05, Reps: cfg.CheckerReps, ReproCVMax: 0.20, Workers: cfg.Workers,
 	})
 	verdicts, err := checker.Check(events, classBAdditivityCompounds(cfg.Seed))
 	if err != nil {
@@ -136,26 +143,35 @@ func RunClassB(cfg ClassBConfig) (*ClassBResult, error) {
 		Train: train, Test: test, cfg: cfg,
 	}
 
-	// Six models: each technique on PA and on PNA.
-	for _, mc := range []struct {
+	// Six models, fitted on the worker pool: each technique on PA and on
+	// PNA. Model seeds are fixed per slot, so Table 7a is identical for
+	// every worker count.
+	type modelSpec struct {
 		name  string
 		pmcs  []string
-		model ml.Regressor
-	}{
-		{"LR-A", PAPMCs, ml.NewLinearRegression()},
-		{"LR-NA", PNAPMCs, ml.NewLinearRegression()},
-		{"RF-A", PAPMCs, ml.NewRandomForest(cfg.Seed + 10)},
-		{"RF-NA", PNAPMCs, ml.NewRandomForest(cfg.Seed + 11)},
-		{"NN-A", PAPMCs, ml.NewNeuralNetwork(cfg.Seed + 12)},
-		{"NN-NA", PNAPMCs, ml.NewNeuralNetwork(cfg.Seed + 13)},
-	} {
-		r, err := fitEval(train, test, mc.pmcs, mc.model)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: %s: %w", mc.name, err)
-		}
-		r.Name = mc.name
-		res.Models = append(res.Models, r)
+		model func() ml.Regressor
 	}
+	modelSpecs := []modelSpec{
+		{"LR-A", PAPMCs, func() ml.Regressor { return ml.NewLinearRegression() }},
+		{"LR-NA", PNAPMCs, func() ml.Regressor { return ml.NewLinearRegression() }},
+		{"RF-A", PAPMCs, func() ml.Regressor { return ml.NewRandomForest(cfg.Seed + 10) }},
+		{"RF-NA", PNAPMCs, func() ml.Regressor { return ml.NewRandomForest(cfg.Seed + 11) }},
+		{"NN-A", PAPMCs, func() ml.Regressor { return ml.NewNeuralNetwork(cfg.Seed + 12) }},
+		{"NN-NA", PNAPMCs, func() ml.Regressor { return ml.NewNeuralNetwork(cfg.Seed + 13) }},
+	}
+	models, err := parallel.Map(context.Background(), cfg.Workers, modelSpecs,
+		func(_ context.Context, _ int, mc modelSpec) (ModelResult, error) {
+			r, err := fitEval(train, test, mc.pmcs, mc.model())
+			if err != nil {
+				return ModelResult{}, fmt.Errorf("experiments: %s: %w", mc.name, err)
+			}
+			r.Name = mc.name
+			return r, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	res.Models = models
 	return res, nil
 }
 

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"additivity/internal/platform"
+)
+
+// Negative knobs used to be passed through silently — a negative
+// compound count degenerated the survey to nothing and a negative
+// budget emptied the selection. fill now rejects them.
+
+func TestStudyConfigFillRejectsNegatives(t *testing.T) {
+	cases := []struct {
+		name    string
+		cfg     StudyConfig
+		wantErr string
+	}{
+		{"negative compounds", StudyConfig{Compounds: -1}, "Compounds"},
+		{"negative reps", StudyConfig{Reps: -3}, "Reps"},
+		{"zero defaults ok", StudyConfig{}, ""},
+		{"explicit values ok", StudyConfig{Compounds: 7, Reps: 2}, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.fill()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("fill() = %v, want nil", err)
+				}
+				if tc.cfg.Compounds <= 0 || tc.cfg.Reps <= 0 || tc.cfg.Seed == 0 {
+					t.Fatalf("fill() left zero values: %+v", tc.cfg)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("fill() = %v, want error mentioning %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestPipelineConfigFillRejectsNegatives(t *testing.T) {
+	cases := []struct {
+		name    string
+		cfg     PipelineConfig
+		wantErr string
+	}{
+		{"negative compounds", PipelineConfig{Compounds: -5}, "Compounds"},
+		{"negative budget", PipelineConfig{MaxPMCs: -1}, "MaxPMCs"},
+		{"negative tolerance", PipelineConfig{TolerancePct: -0.5}, "TolerancePct"},
+		{"unknown model", PipelineConfig{Model: "svm"}, "unknown model"},
+		{"zero defaults ok", PipelineConfig{}, ""},
+		{"explicit values ok", PipelineConfig{MaxPMCs: 2, TolerancePct: 10, Compounds: 3}, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.fill()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("fill() = %v, want nil", err)
+				}
+				if tc.cfg.MaxPMCs <= 0 || tc.cfg.TolerancePct <= 0 || tc.cfg.Compounds <= 0 || tc.cfg.Model == "" {
+					t.Fatalf("fill() left zero values: %+v", tc.cfg)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("fill() = %v, want error mentioning %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestRunPipelineRejectsNegativeConfig(t *testing.T) {
+	if _, err := RunPipeline(PipelineConfig{Platform: "skylake", MaxPMCs: -2}); err == nil {
+		t.Error("RunPipeline accepted a negative register budget")
+	}
+}
+
+func TestRunAdditivityStudyRejectsNegativeConfig(t *testing.T) {
+	if _, err := RunAdditivityStudy(platform.Haswell(), StudyConfig{Compounds: -1}); err == nil {
+		t.Error("RunAdditivityStudy accepted a negative compound count")
+	}
+}

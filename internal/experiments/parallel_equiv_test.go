@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"additivity/internal/platform"
+	"additivity/internal/workload"
+)
+
+// These tests pin the engine's headline guarantee end to end: every
+// experiment renders byte-identical tables for Workers=1 and Workers=8
+// with the same seed. Configs are scaled down (fewer compounds, reps,
+// suite apps) so each experiment runs twice without dominating the
+// suite; the guarantee itself is scale-independent.
+
+func TestClassAWorkersEquivalence(t *testing.T) {
+	run := func(workers int) *ClassAResult {
+		r, err := RunClassA(ClassAConfig{
+			Compounds: 6, CheckerReps: 2,
+			Suite:   workload.DiverseSuite()[:8],
+			Workers: workers,
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return r
+	}
+	seq, par := run(1), run(8)
+	for _, tbl := range []struct {
+		name     string
+		seq, par string
+	}{
+		{"Table2", seq.Table2().Render(), par.Table2().Render()},
+		{"Table3", seq.Table3().Render(), par.Table3().Render()},
+		{"Table4", seq.Table4().Render(), par.Table4().Render()},
+		{"Table5", seq.Table5().Render(), par.Table5().Render()},
+	} {
+		if tbl.seq != tbl.par {
+			t.Errorf("%s differs between 1 and 8 workers:\n--- workers=1\n%s\n--- workers=8\n%s",
+				tbl.name, tbl.seq, tbl.par)
+		}
+	}
+	if !reflect.DeepEqual(seq.Verdicts, par.Verdicts) {
+		t.Error("Class A verdicts differ between 1 and 8 workers")
+	}
+	// Model coefficients, not just their rendering.
+	for i := range seq.LR {
+		if !reflect.DeepEqual(seq.LR[i].Coefficients, par.LR[i].Coefficients) {
+			t.Errorf("LR%d coefficients differ between 1 and 8 workers", i+1)
+		}
+	}
+}
+
+func TestClassBWorkersEquivalence(t *testing.T) {
+	run := func(workers int) *ClassBResult {
+		r, err := RunClassB(ClassBConfig{CheckerReps: 2, Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return r
+	}
+	seq, par := run(1), run(8)
+	if a, b := seq.Table6().Render(), par.Table6().Render(); a != b {
+		t.Errorf("Table 6 differs between 1 and 8 workers:\n--- workers=1\n%s\n--- workers=8\n%s", a, b)
+	}
+	if a, b := seq.Table7a().Render(), par.Table7a().Render(); a != b {
+		t.Errorf("Table 7a differs between 1 and 8 workers:\n--- workers=1\n%s\n--- workers=8\n%s", a, b)
+	}
+	if !reflect.DeepEqual(seq.Verdicts, par.Verdicts) {
+		t.Error("Class B verdicts differ between 1 and 8 workers")
+	}
+}
+
+func TestStudyWorkersEquivalence(t *testing.T) {
+	run := func(workers int) *AdditivityStudy {
+		s, err := RunAdditivityStudy(platform.Haswell(), StudyConfig{
+			Compounds: 5, Reps: 2, Workers: workers,
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return s
+	}
+	seq, par := run(1), run(8)
+	if !reflect.DeepEqual(seq.Verdicts, par.Verdicts) {
+		t.Error("study verdicts differ between 1 and 8 workers")
+	}
+	tols := []float64{0.5, 1, 2, 5, 10, 20}
+	if a, b := seq.SensitivityTable(tols).Render(), par.SensitivityTable(tols).Render(); a != b {
+		t.Errorf("sensitivity table differs between 1 and 8 workers:\n--- workers=1\n%s\n--- workers=8\n%s", a, b)
+	}
+}
+
+func TestPipelineWorkersEquivalence(t *testing.T) {
+	run := func(workers int) *PipelineResult {
+		r, err := RunPipeline(PipelineConfig{
+			Platform: "skylake", Model: "rf", Compounds: 5, Workers: workers,
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return r
+	}
+	seq, par := run(1), run(8)
+	if !reflect.DeepEqual(seq.Selected, par.Selected) {
+		t.Errorf("pipeline selection differs: %v vs %v", seq.Selected, par.Selected)
+	}
+	if !reflect.DeepEqual(seq.Verdicts, par.Verdicts) {
+		t.Error("pipeline verdicts differ between 1 and 8 workers")
+	}
+	if seq.Train != par.Train || seq.Test != par.Test {
+		t.Errorf("pipeline model errors differ: train %v vs %v, test %v vs %v",
+			seq.Train, par.Train, seq.Test, par.Test)
+	}
+}

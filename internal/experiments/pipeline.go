@@ -35,9 +35,26 @@ type PipelineConfig struct {
 	Model string
 	// Compounds sizes the additivity suite (default 20).
 	Compounds int
+	// Workers bounds the concurrency of the additivity test's collection
+	// fan-out (zero or negative: GOMAXPROCS). The pipeline's verdicts,
+	// selection and model are byte-identical for every worker count.
+	Workers int
 }
 
+// fill defaults the zero values and rejects misconfigurations. Negative
+// Compounds, MaxPMCs or TolerancePct are errors, not defaults: a
+// negative budget or tolerance would silently produce an empty selection
+// or condemn every PMC.
 func (c *PipelineConfig) fill() error {
+	if c.Compounds < 0 {
+		return fmt.Errorf("experiments: PipelineConfig.Compounds = %d, must not be negative", c.Compounds)
+	}
+	if c.MaxPMCs < 0 {
+		return fmt.Errorf("experiments: PipelineConfig.MaxPMCs = %d, must not be negative", c.MaxPMCs)
+	}
+	if c.TolerancePct < 0 {
+		return fmt.Errorf("experiments: PipelineConfig.TolerancePct = %v, must not be negative", c.TolerancePct)
+	}
 	if c.Platform == "" {
 		c.Platform = "skylake"
 	}
@@ -115,7 +132,7 @@ func RunPipeline(cfg PipelineConfig) (*PipelineResult, error) {
 		compounds = workload.RandomCompounds(addBase, cfg.Compounds, cfg.Seed)
 	}
 	checker := core.NewChecker(col, core.Config{
-		ToleranceFrac: cfg.TolerancePct / 100, Reps: 5, ReproCVMax: 0.20,
+		ToleranceFrac: cfg.TolerancePct / 100, Reps: 5, ReproCVMax: 0.20, Workers: cfg.Workers,
 	})
 	verdicts, err := checker.Check(events, compounds)
 	if err != nil {
@@ -150,7 +167,11 @@ func RunPipeline(cfg PipelineConfig) (*PipelineResult, error) {
 	case "lr":
 		model = ml.NewLinearRegression()
 	case "rf":
-		model = ml.NewRandomForest(cfg.Seed + 40)
+		// Per-tree fitting fans out on the pool; the forest is identical
+		// for every worker count.
+		rf := ml.NewRandomForest(cfg.Seed + 40)
+		rf.Opts.Workers = cfg.Workers
+		model = rf
 	case "nn":
 		model = ml.NewNeuralNetwork(cfg.Seed + 41)
 	}

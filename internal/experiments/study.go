@@ -24,14 +24,26 @@ type AdditivityStudy struct {
 }
 
 // StudyConfig parameterises the catalog survey; zero values take
-// experiment defaults scaled for a full-catalog sweep.
+// experiment defaults scaled for a full-catalog sweep. Negative
+// Compounds or Reps are rejected rather than silently passed through —
+// a negative count would quietly degenerate the survey.
 type StudyConfig struct {
 	Seed      int64
 	Compounds int // compound applications (default 20)
 	Reps      int // runs per sample mean (default 3)
+	// Workers bounds the survey's collection concurrency (zero or
+	// negative: GOMAXPROCS). The verdicts are identical for every
+	// worker count; only wall-clock time changes.
+	Workers int
 }
 
-func (c *StudyConfig) fill() {
+func (c *StudyConfig) fill() error {
+	if c.Compounds < 0 {
+		return fmt.Errorf("experiments: StudyConfig.Compounds = %d, must not be negative", c.Compounds)
+	}
+	if c.Reps < 0 {
+		return fmt.Errorf("experiments: StudyConfig.Reps = %d, must not be negative", c.Reps)
+	}
 	if c.Seed == 0 {
 		c.Seed = DefaultSeed + 2
 	}
@@ -41,17 +53,20 @@ func (c *StudyConfig) fill() {
 	if c.Reps == 0 {
 		c.Reps = 3
 	}
+	return nil
 }
 
 // RunAdditivityStudy surveys the platform's reduced catalog against a
 // compound suite: the diverse suite on Haswell, the DGEMM/FFT suite on
 // Skylake.
 func RunAdditivityStudy(spec *platform.Spec, cfg StudyConfig) (*AdditivityStudy, error) {
-	cfg.fill()
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
 	m := machine.New(spec, cfg.Seed)
 	col := pmc.NewCollector(m, cfg.Seed)
 	checker := core.NewChecker(col, core.Config{
-		ToleranceFrac: 0.05, Reps: cfg.Reps, ReproCVMax: 0.20,
+		ToleranceFrac: 0.05, Reps: cfg.Reps, ReproCVMax: 0.20, Workers: cfg.Workers,
 	})
 
 	var compounds []workload.CompoundApp

@@ -27,7 +27,8 @@ type Machine struct {
 	Spec  *platform.Spec
 	Coeff energy.Coefficients
 
-	rng *stats.RNG
+	seed int64
+	rng  *stats.RNG
 	// runIndex makes every run draw from a fresh noise stream while the
 	// machine as a whole stays deterministic for a given seed.
 	runIndex int64
@@ -41,7 +42,27 @@ func New(spec *platform.Spec, seed int64) *Machine {
 	return &Machine{
 		Spec:  spec,
 		Coeff: energy.CoefficientsFor(spec),
+		seed:  seed,
 		rng:   stats.SplitSeed(seed, "machine-"+spec.Name),
+	}
+}
+
+// Fork returns an independent machine whose noise streams are derived
+// purely from this machine's base seed and the label — never from its
+// mutable RNG state. Forking neither reads nor advances the parent's
+// streams, so a fork's runs are identical whether the parent ran zero or
+// a thousand applications first, and forks taken under different labels
+// are mutually independent. The parallel experiment engine forks one
+// machine per task (label = task identity) so tasks can execute in any
+// order, on any worker, and still reproduce the sequential results
+// bit-for-bit. The fork inherits the frequency scale in effect.
+func (m *Machine) Fork(label string) *Machine {
+	return &Machine{
+		Spec:  m.Spec,
+		Coeff: m.Coeff,
+		seed:  m.seed,
+		rng:   stats.SplitSeed(m.seed, "machine-"+m.Spec.Name+"/fork/"+label),
+		dvfs:  m.dvfs,
 	}
 }
 

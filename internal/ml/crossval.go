@@ -1,9 +1,11 @@
 package ml
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
+	"additivity/internal/parallel"
 	"additivity/internal/stats"
 )
 
@@ -20,8 +22,20 @@ type CVResult struct {
 // CrossValidate runs k-fold cross-validation of a model family on (X, y).
 // newModel must return a fresh, unfitted model for each fold (models are
 // stateful). Folds are contiguous blocks of a seeded permutation, so the
-// same seed reproduces the same folds.
+// same seed reproduces the same folds. It is CrossValidateWorkers with a
+// single worker.
 func CrossValidate(newModel func() Regressor, X [][]float64, y []float64, k int, seed int64) (CVResult, error) {
+	return CrossValidateWorkers(newModel, X, y, k, seed, 1)
+}
+
+// CrossValidateWorkers is CrossValidate with the folds trained and
+// evaluated on a bounded worker pool (workers <= 0: GOMAXPROCS). The
+// fold permutation is drawn once up front and every fold trains a fresh
+// model on its own slice views, so the result — per-fold error stats and
+// their aggregate — is byte-identical for every worker count. newModel
+// must be safe to call concurrently (constructors that only allocate,
+// like the ml.New* functions, are).
+func CrossValidateWorkers(newModel func() Regressor, X [][]float64, y []float64, k int, seed int64, workers int) (CVResult, error) {
 	n, _, err := validate(X, y)
 	if err != nil {
 		return CVResult{}, err
@@ -34,32 +48,43 @@ func CrossValidate(newModel func() Regressor, X [][]float64, y []float64, k int,
 	}
 	perm := stats.SplitSeed(seed, "cv").Perm(n)
 
-	var res CVResult
-	avgs := make([]float64, 0, k)
-	for fold := 0; fold < k; fold++ {
-		lo := fold * n / k
-		hi := (fold + 1) * n / k
-		var trX, teX [][]float64
-		var trY, teY []float64
-		for i, p := range perm {
-			if i >= lo && i < hi {
-				teX = append(teX, X[p])
-				teY = append(teY, y[p])
-			} else {
-				trX = append(trX, X[p])
-				trY = append(trY, y[p])
+	folds := make([]int, k)
+	for fold := range folds {
+		folds[fold] = fold
+	}
+	foldStats, err := parallel.Map(context.Background(), workers, folds,
+		func(_ context.Context, _ int, fold int) (ErrorStats, error) {
+			lo := fold * n / k
+			hi := (fold + 1) * n / k
+			var trX, teX [][]float64
+			var trY, teY []float64
+			for i, p := range perm {
+				if i >= lo && i < hi {
+					teX = append(teX, X[p])
+					teY = append(teY, y[p])
+				} else {
+					trX = append(trX, X[p])
+					trY = append(trY, y[p])
+				}
 			}
-		}
-		m := newModel()
-		if err := m.Fit(trX, trY); err != nil {
-			return CVResult{}, fmt.Errorf("ml: fold %d: %w", fold, err)
-		}
-		es, err := Evaluate(m, teX, teY)
-		if err != nil {
-			return CVResult{}, fmt.Errorf("ml: fold %d: %w", fold, err)
-		}
-		res.Folds = append(res.Folds, es)
-		avgs = append(avgs, es.Avg)
+			m := newModel()
+			if err := m.Fit(trX, trY); err != nil {
+				return ErrorStats{}, fmt.Errorf("ml: fold %d: %w", fold, err)
+			}
+			es, err := Evaluate(m, teX, teY)
+			if err != nil {
+				return ErrorStats{}, fmt.Errorf("ml: fold %d: %w", fold, err)
+			}
+			return es, nil
+		})
+	if err != nil {
+		return CVResult{}, err
+	}
+
+	res := CVResult{Folds: foldStats}
+	avgs := make([]float64, k)
+	for i, es := range foldStats {
+		avgs[i] = es.Avg
 	}
 	res.MeanAvg = stats.Mean(avgs)
 	res.StdAvg = stats.StdDev(avgs)

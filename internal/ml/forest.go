@@ -1,9 +1,11 @@
 package ml
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
+	"additivity/internal/parallel"
 	"additivity/internal/stats"
 )
 
@@ -14,6 +16,11 @@ type ForestOptions struct {
 	MinLeaf  int   // minimum samples per leaf
 	MTry     int   // features per split (0 = p/3, at least 1)
 	Seed     int64 // bootstrap / feature-bagging seed
+	// Workers bounds how many trees fit concurrently (zero or negative:
+	// GOMAXPROCS). Every tree's RNG stream is derived sequentially from
+	// the seed before any fitting starts, so the fitted forest is
+	// byte-identical for every worker count.
+	Workers int
 }
 
 // RandomForest is a bagged ensemble of CART regression trees with
@@ -55,33 +62,43 @@ func (f *RandomForest) Fit(X [][]float64, y []float64) error {
 		mtry = cols
 	}
 
+	// Derive every tree's RNG stream sequentially from the root before
+	// any fitting starts (Split advances the root stream, so the
+	// derivation order is part of the forest's identity). Fitting then
+	// fans out across workers: each task touches only its own pre-split
+	// RNG and its own tree, so the fitted forest — trees, splits,
+	// importances — is byte-identical for every worker count.
 	f.trees = make([]*RegressionTree, f.Opts.Trees)
 	root := stats.NewRNG(f.Opts.Seed)
+	gs := make([]*stats.RNG, f.Opts.Trees)
 	for t := 0; t < f.Opts.Trees; t++ {
-		g := root.Split(fmt.Sprintf("tree-%d", t))
-		// Bootstrap sample.
-		bx := make([][]float64, rows)
-		by := make([]float64, rows)
-		for i := 0; i < rows; i++ {
-			j := g.Intn(rows)
-			bx[i] = X[j]
-			by[i] = y[j]
-		}
-		tree := &RegressionTree{Opts: TreeOptions{
-			MaxDepth:      f.Opts.MaxDepth,
-			MinLeaf:       f.Opts.MinLeaf,
-			MaxThresholds: 32,
-			featurePicker: func(p int) []int {
-				perm := g.Perm(p)
-				return perm[:mtry]
-			},
-		}}
-		if err := tree.Fit(bx, by); err != nil {
-			return err
-		}
-		f.trees[t] = tree
+		gs[t] = root.Split(fmt.Sprintf("tree-%d", t))
 	}
-	return nil
+	return parallel.ForEach(context.Background(), f.Opts.Workers, gs,
+		func(_ context.Context, t int, g *stats.RNG) error {
+			// Bootstrap sample.
+			bx := make([][]float64, rows)
+			by := make([]float64, rows)
+			for i := 0; i < rows; i++ {
+				j := g.Intn(rows)
+				bx[i] = X[j]
+				by[i] = y[j]
+			}
+			tree := &RegressionTree{Opts: TreeOptions{
+				MaxDepth:      f.Opts.MaxDepth,
+				MinLeaf:       f.Opts.MinLeaf,
+				MaxThresholds: 32,
+				featurePicker: func(p int) []int {
+					perm := g.Perm(p)
+					return perm[:mtry]
+				},
+			}}
+			if err := tree.Fit(bx, by); err != nil {
+				return err
+			}
+			f.trees[t] = tree
+			return nil
+		})
 }
 
 // Predict implements Regressor: the mean of the trees' predictions.

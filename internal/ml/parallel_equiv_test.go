@@ -1,0 +1,97 @@
+package ml
+
+import (
+	"reflect"
+	"testing"
+
+	"additivity/internal/stats"
+)
+
+// synthData builds a reproducible regression problem: y is linear in
+// four features plus noise.
+func synthData(n int, seed int64) ([][]float64, []float64) {
+	rng := stats.NewRNG(seed)
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		row := make([]float64, 4)
+		for j := range row {
+			row[j] = 10 + 100*rng.Float64()
+		}
+		X[i] = row
+		y[i] = 3*row[0] + 0.5*row[1] + 7*row[3] + rng.Normal(0, 1)
+	}
+	return X, y
+}
+
+func TestCrossValidateWorkersEquivalence(t *testing.T) {
+	X, y := synthData(80, 11)
+	want, err := CrossValidateWorkers(func() Regressor { return NewLinearRegression() }, X, y, 5, 42, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		got, err := CrossValidateWorkers(func() Regressor { return NewLinearRegression() }, X, y, 5, 42, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("CV result with %d workers differs from sequential run:\n got %+v\nwant %+v",
+				workers, got, want)
+		}
+	}
+	if len(want.Folds) != 5 {
+		t.Fatalf("got %d folds, want 5", len(want.Folds))
+	}
+}
+
+func TestCrossValidateWrapperIsSequential(t *testing.T) {
+	X, y := synthData(60, 3)
+	a, err := CrossValidate(func() Regressor { return NewLinearRegression() }, X, y, 4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CrossValidateWorkers(func() Regressor { return NewLinearRegression() }, X, y, 4, 9, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("CrossValidate differs from CrossValidateWorkers(..., 1)")
+	}
+}
+
+func TestForestWorkersEquivalence(t *testing.T) {
+	X, y := synthData(120, 17)
+	fit := func(workers int) *RandomForest {
+		f := NewRandomForest(99)
+		f.Opts.Trees = 25
+		f.Opts.Workers = workers
+		if err := f.Fit(X, y); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return f
+	}
+	seq := fit(1)
+	probe, _ := synthData(30, 23)
+	want := make([]float64, len(probe))
+	for i, x := range probe {
+		p, err := seq.Predict(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = p
+	}
+	for _, workers := range []int{2, 8} {
+		par := fit(workers)
+		for i, x := range probe {
+			p, err := par.Predict(x)
+			if err != nil {
+				t.Fatalf("workers=%d: %v", workers, err)
+			}
+			if p != want[i] {
+				t.Fatalf("workers=%d: prediction %d = %v, want %v (forest not byte-identical)",
+					workers, i, p, want[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,241 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// square doubles as a deterministic task body for equivalence checks.
+func square(_ context.Context, i int, x int) (int, error) { return x * x, nil }
+
+func TestMapMatchesSequential(t *testing.T) {
+	items := make([]int, 100)
+	for i := range items {
+		items[i] = i + 1
+	}
+	want, err := Map(context.Background(), 1, items, square)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8, 16, 100} {
+		got, err := Map(context.Background(), workers, items, square)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: result[%d] = %d, want %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMapEmptyInputReturnsImmediately(t *testing.T) {
+	before := runtime.NumGoroutine()
+	res, err := Map(context.Background(), 8, nil, square)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != nil {
+		t.Fatalf("empty input: got %v, want nil", res)
+	}
+	if after := runtime.NumGoroutine(); after > before+2 {
+		t.Fatalf("empty input spawned goroutines: %d -> %d", before, after)
+	}
+}
+
+func TestMapZeroAndNegativeWorkersFallBack(t *testing.T) {
+	if got := Normalize(0); got != Default() {
+		t.Fatalf("Normalize(0) = %d, want Default() = %d", got, Default())
+	}
+	if got := Normalize(-3); got != Default() {
+		t.Fatalf("Normalize(-3) = %d, want Default() = %d", got, Default())
+	}
+	if got := Normalize(7); got != 7 {
+		t.Fatalf("Normalize(7) = %d, want 7", got)
+	}
+	for _, workers := range []int{0, -1, -100} {
+		res, err := Map(context.Background(), workers, []int{1, 2, 3}, square)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(res) != 3 || res[0] != 1 || res[1] != 4 || res[2] != 9 {
+			t.Fatalf("workers=%d: got %v", workers, res)
+		}
+	}
+}
+
+func TestMapPanicPropagatesWithoutDeadlock(t *testing.T) {
+	items := make([]int, 64)
+	for i := range items {
+		items[i] = i
+	}
+	for _, workers := range []int{1, 8} {
+		done := make(chan error, 1)
+		go func() {
+			_, err := Map(context.Background(), workers, items,
+				func(_ context.Context, i int, x int) (int, error) {
+					if x == 20 {
+						panic("task exploded")
+					}
+					return x, nil
+				})
+			done <- err
+		}()
+		select {
+		case err := <-done:
+			var pe *PanicError
+			if !errors.As(err, &pe) {
+				t.Fatalf("workers=%d: got %v, want *PanicError", workers, err)
+			}
+			if pe.Index != 20 {
+				t.Fatalf("workers=%d: panic index %d, want 20", workers, pe.Index)
+			}
+			if pe.Value != "task exploded" {
+				t.Fatalf("workers=%d: panic value %v", workers, pe.Value)
+			}
+			if !strings.Contains(string(pe.Stack), "parallel") {
+				t.Fatalf("workers=%d: panic stack missing", workers)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("workers=%d: pool deadlocked on panic", workers)
+		}
+	}
+}
+
+func TestMapLowestFailingIndexWins(t *testing.T) {
+	items := make([]int, 64)
+	for i := range items {
+		items[i] = i
+	}
+	// Several tasks fail; the later ones finish first. The pool must
+	// still report index 5's error, the one a sequential loop hits.
+	for _, workers := range []int{1, 8} {
+		_, err := Map(context.Background(), workers, items,
+			func(_ context.Context, i int, x int) (int, error) {
+				switch {
+				case x == 5:
+					time.Sleep(50 * time.Millisecond)
+					return 0, fmt.Errorf("fail-%d", x)
+				case x > 5 && x < 12:
+					return 0, fmt.Errorf("fail-%d", x)
+				}
+				return x, nil
+			})
+		if err == nil || err.Error() != "fail-5" {
+			t.Fatalf("workers=%d: got %v, want fail-5", workers, err)
+		}
+	}
+}
+
+func TestMapContextCancellationDrainsWorkers(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	items := make([]int, 1000)
+	var started, finished atomic.Int64
+	done := make(chan error, 1)
+	go func() {
+		_, err := Map(ctx, 4, items, func(ctx context.Context, i int, _ int) (int, error) {
+			started.Add(1)
+			if i == 0 {
+				cancel()
+			}
+			time.Sleep(time.Millisecond)
+			finished.Add(1)
+			return 0, nil
+		})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("got %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancellation did not stop the pool")
+	}
+	if s, f := started.Load(), finished.Load(); s != f {
+		t.Fatalf("cancellation left tasks in flight: started %d, finished %d", s, f)
+	}
+	if s := started.Load(); s == int64(len(items)) {
+		t.Fatalf("cancellation did not stop dispatch: all %d tasks ran", s)
+	}
+}
+
+func TestMapPreCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var calls atomic.Int64
+	for _, workers := range []int{1, 8} {
+		_, err := Map(ctx, workers, []int{1, 2, 3}, func(_ context.Context, _ int, x int) (int, error) {
+			calls.Add(1)
+			return x, nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: got %v, want context.Canceled", workers, err)
+		}
+	}
+	if calls.Load() != 0 {
+		t.Fatalf("pre-cancelled context still ran %d tasks", calls.Load())
+	}
+}
+
+func TestMapBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, max atomic.Int64
+	var mu sync.Mutex
+	items := make([]int, 50)
+	_, err := Map(context.Background(), workers, items,
+		func(_ context.Context, _ int, _ int) (int, error) {
+			n := cur.Add(1)
+			mu.Lock()
+			if n > max.Load() {
+				max.Store(n)
+			}
+			mu.Unlock()
+			time.Sleep(time.Millisecond)
+			cur.Add(-1)
+			return 0, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := max.Load(); m > workers {
+		t.Fatalf("observed %d concurrent tasks, want <= %d", m, workers)
+	}
+}
+
+func TestForEachSharesMapSemantics(t *testing.T) {
+	out := make([]int, 40)
+	err := ForEach(context.Background(), 8, out, func(_ context.Context, i int, _ int) error {
+		out[i] = i * 2
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*2 {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*2)
+		}
+	}
+	wantErr := errors.New("boom")
+	err = ForEach(context.Background(), 8, out, func(_ context.Context, i int, _ int) error {
+		if i == 7 {
+			return wantErr
+		}
+		return nil
+	})
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("got %v, want %v", err, wantErr)
+	}
+}

@@ -61,6 +61,7 @@ func ScheduleGroups(events []platform.Event, registers int) ([]Group, error) {
 // group — the Likwid-style multiplexed collection the paper describes.
 type Collector struct {
 	Machine *machine.Machine
+	seed    int64
 	rng     *stats.RNG
 	reads   int64
 }
@@ -69,7 +70,23 @@ type Collector struct {
 func NewCollector(m *machine.Machine, seed int64) *Collector {
 	return &Collector{
 		Machine: m,
+		seed:    seed,
 		rng:     stats.SplitSeed(seed, "collector-"+m.Spec.Name),
+	}
+}
+
+// Fork returns an independent collector (over an equally independent
+// fork of the machine) whose read-noise streams derive purely from the
+// base seed and the label, not from the parent's mutable state. Forks
+// under distinct labels are mutually independent and unaffected by how
+// much the parent has collected, which is what lets the parallel
+// experiment engine give every task its own collector and still keep
+// results identical across worker counts and scheduling orders.
+func (c *Collector) Fork(label string) *Collector {
+	return &Collector{
+		Machine: c.Machine.Fork(label),
+		seed:    c.seed,
+		rng:     stats.SplitSeed(c.seed, "collector-"+c.Machine.Spec.Name+"/fork/"+label),
 	}
 }
 

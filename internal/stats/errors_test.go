@@ -110,6 +110,37 @@ func TestRNGDeterminism(t *testing.T) {
 	}
 }
 
+func TestTaskSeedDeterministicAndDistinct(t *testing.T) {
+	// Same (base, task) pair → same seed; the stream depends only on the
+	// task's identity, not on when or where the task runs.
+	if TaskSeed(42, 7) != TaskSeed(42, 7) {
+		t.Error("TaskSeed not deterministic")
+	}
+	// Distinct tasks and distinct bases get distinct seeds — the mixer
+	// must not collapse neighbouring indices.
+	seen := map[int64]bool{}
+	for base := int64(0); base < 4; base++ {
+		for task := int64(0); task < 256; task++ {
+			s := TaskSeed(base, task)
+			if seen[s] {
+				t.Fatalf("TaskSeed collision at base=%d task=%d", base, task)
+			}
+			seen[s] = true
+		}
+	}
+	a, b := TaskRNG(42, 0), TaskRNG(42, 1)
+	same := true
+	for i := 0; i < 10; i++ {
+		if a.Float64() != b.Float64() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("neighbouring task RNGs produced identical streams")
+	}
+}
+
 func TestRNGLogNormalFactorPositive(t *testing.T) {
 	g := NewRNG(3)
 	for i := 0; i < 1000; i++ {
