@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race bench tables artifacts examples clean
+.PHONY: all build vet test test-short race bench bench-record bench-smoke tables artifacts examples clean
 
 all: build vet test
 
@@ -24,8 +24,24 @@ test-short:
 race: vet
 	$(GO) test -race ./...
 
+# Benchmark packages: the training-kernel hot paths (ml, mat) plus the
+# root study/CV benchmarks.
+BENCH_PKGS = ./internal/ml ./internal/mat .
+
 bench:
-	$(GO) test -bench=. -benchmem .
+	$(GO) test -run '^$$' -bench=. -benchmem $(BENCH_PKGS)
+
+# Record the benchmark trajectory: run every kernel benchmark and write
+# ns/op, B/op and allocs/op per kernel to BENCH_PR2.json. Pass
+# BASELINE=<old.json> to also record per-kernel speedups against a
+# previous recording.
+bench-record:
+	$(GO) run ./cmd/bench-record -out BENCH_PR2.json $(if $(BASELINE),-baseline $(BASELINE)) \
+		-pkgs './internal/ml,./internal/mat,.'
+
+# One-iteration smoke run so benchmarks cannot rot; CI runs this.
+bench-smoke:
+	$(GO) test -run '^$$' -bench=. -benchtime=1x $(BENCH_PKGS)
 
 # Regenerate every paper table (plus premise, sensor and survey tables).
 tables:

@@ -1,0 +1,183 @@
+// Command bench-record runs the repository's benchmark suite and records
+// the results as a JSON perf-trajectory snapshot (ns/op, B/op, allocs/op
+// per benchmark). Each PR that touches a hot path appends a BENCH_<PR>.json
+// to the repo so regressions and wins stay measurable across the project's
+// history:
+//
+//	go run ./cmd/bench-record -out BENCH_PR2.json -baseline /tmp/before.json
+//
+// With -baseline, each benchmark also records the baseline numbers and the
+// speedup (baseline ns/op ÷ current ns/op), so the emitted file is a
+// self-contained before/after report.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Record is one benchmark measurement.
+type Record struct {
+	Name        string  `json:"name"`
+	Package     string  `json:"package"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BPerOp      float64 `json:"b_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+
+	// Baseline comparison, present when -baseline is given.
+	BaselineNsPerOp     float64 `json:"baseline_ns_per_op,omitempty"`
+	BaselineBPerOp      float64 `json:"baseline_b_per_op,omitempty"`
+	BaselineAllocsPerOp float64 `json:"baseline_allocs_per_op,omitempty"`
+	Speedup             float64 `json:"speedup,omitempty"`
+}
+
+// Report is the file schema of BENCH_*.json.
+type Report struct {
+	Label      string   `json:"label"`
+	GoVersion  string   `json:"go_version"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	Benchtime  string   `json:"benchtime"`
+	Packages   []string `json:"packages"`
+	Benchmarks []Record `json:"benchmarks"`
+}
+
+// benchLine matches `go test -bench -benchmem` result lines, e.g.
+//
+//	BenchmarkTreeFit-8   500   2514217 ns/op   812345 B/op   9021 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+([\d.]+) allocs/op)?`)
+
+func main() {
+	out := flag.String("out", "BENCH.json", "output JSON path")
+	baseline := flag.String("baseline", "", "optional baseline BENCH JSON to diff against")
+	label := flag.String("label", "", "snapshot label recorded in the file (default: out file stem)")
+	benchtime := flag.String("benchtime", "", "passed to go test -benchtime (default: go's)")
+	benchRe := flag.String("bench", ".", "benchmark filter regex")
+	pkgsFlag := flag.String("pkgs", "./internal/ml,./internal/mat,.", "comma-separated packages to benchmark")
+	flag.Parse()
+
+	pkgs := strings.Split(*pkgsFlag, ",")
+	if *label == "" {
+		*label = strings.TrimSuffix(strings.TrimPrefix(*out, "BENCH_"), ".json")
+	}
+
+	var base map[string]Record
+	if *baseline != "" {
+		var err error
+		base, err = loadBaseline(*baseline)
+		if err != nil {
+			fatalf("loading baseline: %v", err)
+		}
+	}
+
+	rep := Report{
+		Label:     *label,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Benchtime: *benchtime,
+		Packages:  pkgs,
+	}
+	for _, pkg := range pkgs {
+		recs, err := runPackage(pkg, *benchRe, *benchtime)
+		if err != nil {
+			fatalf("benchmarking %s: %v", pkg, err)
+		}
+		rep.Benchmarks = append(rep.Benchmarks, recs...)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fatalf("no benchmark results parsed")
+	}
+	for i := range rep.Benchmarks {
+		r := &rep.Benchmarks[i]
+		b, ok := base[r.Name]
+		if !ok {
+			continue
+		}
+		r.BaselineNsPerOp = b.NsPerOp
+		r.BaselineBPerOp = b.BPerOp
+		r.BaselineAllocsPerOp = b.AllocsPerOp
+		if r.NsPerOp > 0 {
+			r.Speedup = round2(b.NsPerOp / r.NsPerOp)
+		}
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatalf("encoding report: %v", err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatalf("writing %s: %v", *out, err)
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(rep.Benchmarks))
+}
+
+// runPackage runs one package's benchmarks and parses the result lines.
+func runPackage(pkg, benchRe, benchtime string) ([]Record, error) {
+	args := []string{"test", "-run", "^$", "-bench", benchRe, "-benchmem", "-count", "1"}
+	if benchtime != "" {
+		args = append(args, "-benchtime", benchtime)
+	}
+	args = append(args, pkg)
+	cmd := exec.Command("go", args...)
+	var outBuf bytes.Buffer
+	cmd.Stdout = &outBuf
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go %s: %w", strings.Join(args, " "), err)
+	}
+	var recs []Record
+	sc := bufio.NewScanner(&outBuf)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		r := Record{Name: m[1], Package: pkg}
+		r.NsPerOp, _ = strconv.ParseFloat(m[2], 64)
+		if m[3] != "" {
+			r.BPerOp, _ = strconv.ParseFloat(m[3], 64)
+		}
+		if m[4] != "" {
+			r.AllocsPerOp, _ = strconv.ParseFloat(m[4], 64)
+		}
+		recs = append(recs, r)
+	}
+	return recs, sc.Err()
+}
+
+func loadBaseline(path string) (map[string]Record, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		return nil, err
+	}
+	m := make(map[string]Record, len(rep.Benchmarks))
+	for _, r := range rep.Benchmarks {
+		m[r.Name] = r
+	}
+	return m, nil
+}
+
+func round2(v float64) float64 {
+	return float64(int(v*100+0.5)) / 100
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "bench-record: "+format+"\n", args...)
+	os.Exit(1)
+}

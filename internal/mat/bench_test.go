@@ -1,0 +1,85 @@
+package mat
+
+import (
+	"testing"
+)
+
+func benchMatrix(r, c int, seed uint64) *Dense {
+	m := NewDense(r, c)
+	s := seed
+	for i := range m.data {
+		// xorshift64: cheap deterministic fill without pulling in a RNG dep.
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		m.data[i] = float64(s%1000)/1000 - 0.5
+	}
+	return m
+}
+
+func benchVector(n int, seed uint64) []float64 {
+	v := make([]float64, n)
+	s := seed
+	for i := range v {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		v[i] = float64(s%1000)/1000 - 0.5
+	}
+	return v
+}
+
+// BenchmarkNormalEquations measures the XᵀX / Xᵀy build that fronts every
+// ridge solve (the T() + Mul + MulVec chain or its fused replacement).
+func BenchmarkNormalEquations(b *testing.B) {
+	a := benchMatrix(300, 12, 1)
+	y := benchVector(300, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ata, atb, err := NormalEquations(a, y)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = ata
+		_ = atb
+	}
+}
+
+// BenchmarkSolveLS measures the Householder QR least-squares solve — the
+// kernel inside OLS and every NNLS inner iteration.
+func BenchmarkSolveLS(b *testing.B) {
+	a := benchMatrix(300, 12, 3)
+	y := benchVector(300, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveLS(a, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCholeskySolve measures factor + solve of a small SPD system,
+// the ridge backend.
+func BenchmarkCholeskySolve(b *testing.B) {
+	a := benchMatrix(300, 12, 5)
+	ata, atb, err := NormalEquations(a, benchVector(300, 6))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for j := 0; j < 12; j++ {
+		ata.Set(j, j, ata.At(j, j)+1)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l, err := Cholesky(ata)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := SolveCholesky(l, atb); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -11,26 +11,89 @@ func Cholesky(a *Dense) (*Dense, error) {
 		return nil, ErrShape
 	}
 	l := NewDense(n, n)
+	if err := choleskyInto(l, a); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// choleskyInto factors a into the caller-provided l, which must already
+// be n×n. Only the lower triangle of l is written (and later read by the
+// solvers), so a reused workspace needs no zeroing. The inner loops run
+// on row slices — the same operations in the same order as checked
+// At/Set indexing, without the per-access bounds tests.
+func choleskyInto(l, a *Dense) error {
+	n, _ := a.Dims()
+	ld, ad := l.data, a.data
 	for j := 0; j < n; j++ {
-		d := a.At(j, j)
+		jrow := ld[j*n : (j+1)*n]
+		d := ad[j*n+j]
 		for k := 0; k < j; k++ {
-			v := l.At(j, k)
+			v := jrow[k]
 			d -= v * v
 		}
 		if d <= 0 {
-			return nil, ErrSingular
+			return ErrSingular
 		}
 		d = math.Sqrt(d)
-		l.Set(j, j, d)
+		jrow[j] = d
 		for i := j + 1; i < n; i++ {
-			s := a.At(i, j)
+			irow := ld[i*n : (i+1)*n]
+			s := ad[i*n+j]
 			for k := 0; k < j; k++ {
-				s -= l.At(i, k) * l.At(j, k)
+				s -= irow[k] * jrow[k]
 			}
-			l.Set(i, j, s/d)
+			irow[j] = s / d
 		}
 	}
-	return l, nil
+	return nil
+}
+
+// SPDWorkspace is a reusable solver for symmetric positive-definite
+// systems (the ridge normal equations): the Cholesky factor and the
+// forward-substitution buffer persist between calls. The zero value is
+// ready to use. Not safe for concurrent use.
+type SPDWorkspace struct {
+	l *Dense
+	z []float64
+}
+
+// Solve factors a (SPD, n×n) and solves a·x = b, reusing the workspace's
+// factor storage. The returned solution is freshly allocated and safe to
+// retain.
+func (ws *SPDWorkspace) Solve(a *Dense, b []float64) ([]float64, error) {
+	n, c := a.Dims()
+	if n != c || len(b) != n {
+		return nil, ErrShape
+	}
+	if ws.l == nil {
+		ws.l = &Dense{rows: n, cols: n, data: make([]float64, 0, n*n)}
+	}
+	ws.l.Reshape(n, n)
+	if err := choleskyInto(ws.l, a); err != nil {
+		return nil, err
+	}
+	ws.z = growFloats(ws.z, n)
+	ld, z := ws.l.data, ws.z
+	// Forward: L·z = b.
+	for i := 0; i < n; i++ {
+		irow := ld[i*n : (i+1)*n]
+		s := b[i]
+		for j := 0; j < i; j++ {
+			s -= irow[j] * z[j]
+		}
+		z[i] = s / irow[i]
+	}
+	// Backward: Lᵀ·x = z.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := z[i]
+		for j := i + 1; j < n; j++ {
+			s -= ld[j*n+i] * x[j]
+		}
+		x[i] = s / ld[i*n+i]
+	}
+	return x, nil
 }
 
 // SolveCholesky solves a·x = b given the Cholesky factor L of a

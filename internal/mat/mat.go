@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"strings"
 )
 
 // ErrShape is returned when operand dimensions are incompatible.
@@ -195,12 +196,13 @@ func MaxAbsDiff(a, b *Dense) float64 {
 
 // String renders the matrix for debugging.
 func (m *Dense) String() string {
-	s := ""
+	var b strings.Builder
+	b.Grow(m.rows * (m.cols*11 + 1))
 	for i := 0; i < m.rows; i++ {
 		for j := 0; j < m.cols; j++ {
-			s += fmt.Sprintf("%10.4g ", m.At(i, j))
+			fmt.Fprintf(&b, "%10.4g ", m.At(i, j))
 		}
-		s += "\n"
+		b.WriteByte('\n')
 	}
-	return s
+	return b.String()
 }

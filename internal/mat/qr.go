@@ -8,6 +8,32 @@ import "math"
 // coefficient, the convention regression packages use for aliased
 // predictors.
 func SolveLS(a *Dense, b []float64) ([]float64, error) {
+	var ws LSWorkspace
+	x, err := ws.Solve(a, b)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(x))
+	copy(out, x)
+	return out, nil
+}
+
+// LSWorkspace is a reusable least-squares solver: the QR factorisation
+// scratch (working copy of A, transformed right-hand side, Householder
+// vector, solution) is kept between calls, so repeated solves — the NNLS
+// active-set loop, CV fold refits — run allocation-free once warm. The
+// zero value is ready to use. Not safe for concurrent use.
+type LSWorkspace struct {
+	w *Dense
+	y []float64
+	v []float64
+	x []float64
+}
+
+// Solve is SolveLS on the workspace's buffers. The returned slice aliases
+// the workspace and is only valid until the next Solve call; callers that
+// retain it must copy.
+func (ws *LSWorkspace) Solve(a *Dense, b []float64) ([]float64, error) {
 	m, n := a.Dims()
 	if m < n {
 		return nil, ErrShape
@@ -15,16 +41,25 @@ func SolveLS(a *Dense, b []float64) ([]float64, error) {
 	if len(b) != m {
 		return nil, ErrShape
 	}
-	// Work on copies: the factorisation is in-place.
-	w := a.Clone()
-	y := make([]float64, m)
-	copy(y, b)
+	if ws.w == nil {
+		ws.w = &Dense{rows: m, cols: n, data: make([]float64, 0, m*n)}
+	}
+	ws.w.Reshape(m, n)
+	copy(ws.w.data, a.data)
+	ws.y = growFloats(ws.y, m)
+	copy(ws.y, b)
+	ws.v = growFloats(ws.v, m)
+	ws.x = growFloats(ws.x, n)
 
+	// The transform loops index w's backing array directly — identical
+	// operations in identical order to checked At/Set access, without the
+	// per-element bounds tests that dominate this kernel's profile.
+	wd, y := ws.w.data, ws.y
 	for k := 0; k < n; k++ {
 		// Householder vector v for column k of the trailing submatrix.
 		norm := 0.0
 		for i := k; i < m; i++ {
-			v := w.At(i, k)
+			v := wd[i*n+k]
 			norm += v * v
 		}
 		norm = math.Sqrt(norm)
@@ -32,16 +67,16 @@ func SolveLS(a *Dense, b []float64) ([]float64, error) {
 			continue
 		}
 		alpha := -norm
-		if w.At(k, k) < 0 {
+		if wd[k*n+k] < 0 {
 			alpha = norm
 		}
 		// v = x - alpha·e1, copied out because applying H overwrites the
 		// column that stores it.
-		v := make([]float64, m-k)
-		v[0] = w.At(k, k) - alpha
+		v := ws.v[:m-k]
+		v[0] = wd[k*n+k] - alpha
 		vtv := v[0] * v[0]
 		for i := k + 1; i < m; i++ {
-			v[i-k] = w.At(i, k)
+			v[i-k] = wd[i*n+k]
 			vtv += v[i-k] * v[i-k]
 		}
 		if vtv == 0 {
@@ -53,11 +88,11 @@ func SolveLS(a *Dense, b []float64) ([]float64, error) {
 		for j := k; j < n; j++ {
 			s := 0.0
 			for i := k; i < m; i++ {
-				s += v[i-k] * w.At(i, j)
+				s += v[i-k] * wd[i*n+j]
 			}
 			s *= beta
 			for i := k; i < m; i++ {
-				w.Set(i, j, w.At(i, j)-s*v[i-k])
+				wd[i*n+j] -= s * v[i-k]
 			}
 		}
 		// Apply H to the right-hand side.
@@ -71,20 +106,21 @@ func SolveLS(a *Dense, b []float64) ([]float64, error) {
 		}
 		// The diagonal now holds alpha up to rounding; set it exactly and
 		// clear the annihilated sub-column so back-substitution sees R.
-		w.Set(k, k, alpha)
+		wd[k*n+k] = alpha
 		for i := k + 1; i < m; i++ {
-			w.Set(i, k, 0)
+			wd[i*n+k] = 0
 		}
 	}
 
 	// Back-substitute R·x = y[0:n].
-	x := make([]float64, n)
+	x := ws.x[:n]
 	for i := n - 1; i >= 0; i-- {
+		irow := wd[i*n : (i+1)*n]
 		s := y[i]
 		for j := i + 1; j < n; j++ {
-			s -= w.At(i, j) * x[j]
+			s -= irow[j] * x[j]
 		}
-		d := w.At(i, i)
+		d := irow[i]
 		if math.Abs(d) < 1e-12 {
 			x[i] = 0
 			continue
@@ -92,6 +128,14 @@ func SolveLS(a *Dense, b []float64) ([]float64, error) {
 		x[i] = s / d
 	}
 	return x, nil
+}
+
+// growFloats returns buf resized to n, reusing its storage when possible.
+func growFloats(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
 }
 
 // SolveUpperTriangular solves R·x = b for upper-triangular R.

@@ -1,0 +1,158 @@
+package mat
+
+import "fmt"
+
+// This file is the allocation-free / workspace layer of the package: the
+// in-place counterparts of the allocating operations in mat.go, plus the
+// reusable solver workspaces the regression hot paths (ridge, NNLS, CV
+// fold refits) run on.
+
+// NormalEquations returns AᵀA and Aᵀb for the least-squares normal
+// equations, computed directly from A in one pass — no transpose copy, no
+// intermediate matrix product. Per-entry summation order matches the
+// explicit T() + Mul + MulVec chain, so results are bit-compatible with
+// the naive construction.
+func NormalEquations(a *Dense, b []float64) (*Dense, []float64, error) {
+	if len(b) != a.rows {
+		return nil, nil, fmt.Errorf("%w: %d×%d with vec(%d)", ErrShape, a.rows, a.cols, len(b))
+	}
+	c := a.cols
+	ata := NewDense(c, c)
+	atb := make([]float64, c)
+	for k := 0; k < a.rows; k++ {
+		row := a.data[k*c : (k+1)*c]
+		bk := b[k]
+		for i, vi := range row {
+			atb[i] += vi * bk
+			if vi == 0 {
+				continue // mirrors Mul's zero-row skip
+			}
+			out := ata.data[i*c : (i+1)*c]
+			for j, vj := range row {
+				out[j] += vi * vj
+			}
+		}
+	}
+	return ata, atb, nil
+}
+
+// MulInto computes a·b into dst, reusing dst's backing storage. dst is
+// reshaped to a.rows×b.cols (growing only when capacity is insufficient)
+// and must not alias a or b.
+func MulInto(dst, a, b *Dense) error {
+	if a.cols != b.rows {
+		return fmt.Errorf("%w: %d×%d · %d×%d", ErrShape, a.rows, a.cols, b.rows, b.cols)
+	}
+	dst.Reshape(a.rows, b.cols)
+	for i := range dst.data {
+		dst.data[i] = 0
+	}
+	for i := 0; i < a.rows; i++ {
+		for k := 0; k < a.cols; k++ {
+			aik := a.data[i*a.cols+k]
+			if aik == 0 {
+				continue
+			}
+			brow := b.data[k*b.cols : (k+1)*b.cols]
+			orow := dst.data[i*dst.cols : (i+1)*dst.cols]
+			for j, bv := range brow {
+				orow[j] += aik * bv
+			}
+		}
+	}
+	return nil
+}
+
+// MulVecInto computes m·x into dst, which must have length m.rows.
+func (m *Dense) MulVecInto(dst, x []float64) error {
+	if m.cols != len(x) || len(dst) != m.rows {
+		return fmt.Errorf("%w: %d×%d · vec(%d) into vec(%d)", ErrShape, m.rows, m.cols, len(x), len(dst))
+	}
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		s := 0.0
+		for j, v := range row {
+			s += v * x[j]
+		}
+		dst[i] = s
+	}
+	return nil
+}
+
+// AddInPlace adds b into a element-wise.
+func AddInPlace(a, b *Dense) error {
+	if a.rows != b.rows || a.cols != b.cols {
+		return ErrShape
+	}
+	for i, v := range b.data {
+		a.data[i] += v
+	}
+	return nil
+}
+
+// SubInto computes x−y into dst. All three must have equal length.
+func SubInto(dst, x, y []float64) {
+	if len(x) != len(y) || len(dst) != len(x) {
+		panic("mat: SubInto length mismatch")
+	}
+	for i := range x {
+		dst[i] = x[i] - y[i]
+	}
+}
+
+// ColDot returns the dot product of column j with r, without copying the
+// column out first. Summation order matches Dot(m.Col(j), r).
+func (m *Dense) ColDot(j int, r []float64) float64 {
+	if j < 0 || j >= m.cols || len(r) != m.rows {
+		panic(fmt.Sprintf("mat: ColDot column %d of %d×%d with vec(%d)", j, m.rows, m.cols, len(r)))
+	}
+	s := 0.0
+	for i := 0; i < m.rows; i++ {
+		s += m.data[i*m.cols+j] * r[i]
+	}
+	return s
+}
+
+// Reshape resizes m to r×c in place, reusing the backing storage when it
+// is large enough and growing it otherwise. The contents afterwards are
+// unspecified — callers must overwrite every element.
+func (m *Dense) Reshape(r, c int) {
+	if r <= 0 || c <= 0 {
+		panic(fmt.Sprintf("mat: invalid reshape %d×%d", r, c))
+	}
+	if cap(m.data) < r*c {
+		m.data = make([]float64, r*c)
+	}
+	m.rows, m.cols, m.data = r, c, m.data[:r*c]
+}
+
+// GatherColumns reshapes m to src.rows×len(cols) and fills it with the
+// selected columns of src, in the given order — the NNLS passive-set
+// submatrix build, without a fresh allocation per active-set iteration.
+func (m *Dense) GatherColumns(src *Dense, cols []int) error {
+	if len(cols) == 0 {
+		return ErrShape
+	}
+	for _, j := range cols {
+		if j < 0 || j >= src.cols {
+			return fmt.Errorf("%w: column %d of %d×%d", ErrShape, j, src.rows, src.cols)
+		}
+	}
+	m.Reshape(src.rows, len(cols))
+	for i := 0; i < src.rows; i++ {
+		srow := src.data[i*src.cols : (i+1)*src.cols]
+		drow := m.data[i*m.cols : (i+1)*m.cols]
+		for jj, j := range cols {
+			drow[jj] = srow[j]
+		}
+	}
+	return nil
+}
+
+// SetRow copies vals into row i.
+func (m *Dense) SetRow(i int, vals []float64) {
+	if i < 0 || i >= m.rows || len(vals) != m.cols {
+		panic(fmt.Sprintf("mat: SetRow %d (len %d) on %d×%d", i, len(vals), m.rows, m.cols))
+	}
+	copy(m.data[i*m.cols:(i+1)*m.cols], vals)
+}

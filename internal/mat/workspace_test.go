@@ -1,0 +1,272 @@
+package mat
+
+import (
+	"math"
+	"testing"
+)
+
+func fillRand(m *Dense, state *uint64) {
+	for i := range m.data {
+		*state ^= *state << 13
+		*state ^= *state >> 7
+		*state ^= *state << 17
+		m.data[i] = float64(int64(*state>>12))/float64(1<<51) - 0.5
+	}
+}
+
+func randVec(n int, state *uint64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		*state ^= *state << 13
+		*state ^= *state >> 7
+		*state ^= *state << 17
+		out[i] = float64(int64(*state>>12))/float64(1<<51) - 0.5
+	}
+	return out
+}
+
+// TestNormalEquationsMatchesChain asserts the fused AᵀA / Aᵀb builder is
+// bitwise identical to the explicit T() + Mul + MulVec chain it replaces.
+func TestNormalEquationsMatchesChain(t *testing.T) {
+	state := uint64(0x9e3779b97f4a7c15)
+	for trial := 0; trial < 20; trial++ {
+		rows, cols := 5+trial, 2+trial%6
+		a := NewDense(rows, cols)
+		fillRand(a, &state)
+		if trial%3 == 0 {
+			a.Set(trial%rows, trial%cols, 0) // exercise the zero-skip path
+		}
+		b := randVec(rows, &state)
+
+		ata, atb, err := NormalEquations(a, b)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		at := a.T()
+		wantAta, err := Mul(at, a)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		wantAtb, err := at.MulVec(b)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if d := MaxAbsDiff(ata, wantAta); d != 0 {
+			t.Fatalf("trial %d: AᵀA differs by %g", trial, d)
+		}
+		for i := range wantAtb {
+			if atb[i] != wantAtb[i] {
+				t.Fatalf("trial %d: Aᵀb[%d] = %g, want %g", trial, i, atb[i], wantAtb[i])
+			}
+		}
+	}
+}
+
+// TestLSWorkspaceReuse runs one workspace through a sequence of
+// least-squares problems of varying shapes; every solution must be
+// bitwise identical to a fresh SolveLS, proving no state leaks between
+// solves.
+func TestLSWorkspaceReuse(t *testing.T) {
+	state := uint64(42)
+	var ws LSWorkspace
+	for trial := 0; trial < 30; trial++ {
+		rows := 4 + (trial*7)%20
+		cols := 1 + trial%4
+		if cols > rows {
+			cols = rows
+		}
+		a := NewDense(rows, cols)
+		fillRand(a, &state)
+		b := randVec(rows, &state)
+
+		got, err := ws.Solve(a, b)
+		if err != nil {
+			t.Fatalf("trial %d: workspace solve: %v", trial, err)
+		}
+		want, err := SolveLS(a, b)
+		if err != nil {
+			t.Fatalf("trial %d: fresh solve: %v", trial, err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: x[%d] = %g, want %g", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestSPDWorkspaceReuse checks the reusable Cholesky solver against the
+// factor-then-substitute pair across a sequence of SPD systems.
+func TestSPDWorkspaceReuse(t *testing.T) {
+	state := uint64(7)
+	var ws SPDWorkspace
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + trial%6
+		g := NewDense(4+n, n)
+		fillRand(g, &state)
+		a, _, err := NormalEquations(g, make([]float64, 4+n))
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for j := 0; j < n; j++ {
+			a.Set(j, j, a.At(j, j)+1) // well-conditioned SPD
+		}
+		b := randVec(n, &state)
+
+		got, err := ws.Solve(a, b)
+		if err != nil {
+			t.Fatalf("trial %d: workspace solve: %v", trial, err)
+		}
+		l, err := Cholesky(a)
+		if err != nil {
+			t.Fatalf("trial %d: cholesky: %v", trial, err)
+		}
+		want, err := SolveCholesky(l, b)
+		if err != nil {
+			t.Fatalf("trial %d: solve: %v", trial, err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: x[%d] = %g, want %g", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSPDWorkspaceSingular(t *testing.T) {
+	var ws SPDWorkspace
+	a := NewDense(2, 2) // zero matrix: not positive definite
+	if _, err := ws.Solve(a, []float64{1, 2}); err == nil {
+		t.Fatal("expected ErrSingular for a zero matrix")
+	}
+}
+
+// TestGatherColumns checks the in-place submatrix gather against manual
+// column extraction, including repeated reshaping of one workspace.
+func TestGatherColumns(t *testing.T) {
+	state := uint64(99)
+	src := NewDense(6, 5)
+	fillRand(src, &state)
+	var sub Dense
+	for _, cols := range [][]int{{0}, {4, 0, 2}, {1, 2, 3, 4}, {3}} {
+		if err := sub.GatherColumns(src, cols); err != nil {
+			t.Fatalf("gather %v: %v", cols, err)
+		}
+		r, c := sub.Dims()
+		if r != 6 || c != len(cols) {
+			t.Fatalf("gather %v: got %d×%d", cols, r, c)
+		}
+		for i := 0; i < r; i++ {
+			for jj, j := range cols {
+				if sub.At(i, jj) != src.At(i, j) {
+					t.Fatalf("gather %v: (%d,%d) = %g, want %g", cols, i, jj, sub.At(i, jj), src.At(i, j))
+				}
+			}
+		}
+	}
+	if err := sub.GatherColumns(src, nil); err == nil {
+		t.Fatal("expected error for empty column set")
+	}
+	if err := sub.GatherColumns(src, []int{5}); err == nil {
+		t.Fatal("expected error for out-of-range column")
+	}
+}
+
+func TestMulIntoAndMulVecInto(t *testing.T) {
+	state := uint64(1234)
+	a := NewDense(4, 3)
+	b := NewDense(3, 5)
+	fillRand(a, &state)
+	fillRand(b, &state)
+	var dst Dense
+	if err := MulInto(&dst, a, b); err != nil {
+		t.Fatal(err)
+	}
+	want, err := Mul(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := MaxAbsDiff(&dst, want); d != 0 {
+		t.Fatalf("MulInto differs by %g", d)
+	}
+	// Reuse with a different shape.
+	c := NewDense(5, 2)
+	fillRand(c, &state)
+	if err := MulInto(&dst, b, c); err != nil {
+		t.Fatal(err)
+	}
+	want2, _ := Mul(b, c)
+	if d := MaxAbsDiff(&dst, want2); d != 0 {
+		t.Fatalf("MulInto reuse differs by %g", d)
+	}
+
+	x := randVec(3, &state)
+	out := make([]float64, 4)
+	if err := a.MulVecInto(out, x); err != nil {
+		t.Fatal(err)
+	}
+	wantV, _ := a.MulVec(x)
+	for i := range wantV {
+		if out[i] != wantV[i] {
+			t.Fatalf("MulVecInto[%d] = %g, want %g", i, out[i], wantV[i])
+		}
+	}
+}
+
+func TestAddInPlaceSubIntoColDot(t *testing.T) {
+	state := uint64(77)
+	a := NewDense(3, 4)
+	b := NewDense(3, 4)
+	fillRand(a, &state)
+	fillRand(b, &state)
+	want, _ := Add(a, b)
+	if err := AddInPlace(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if d := MaxAbsDiff(a, want); d != 0 {
+		t.Fatalf("AddInPlace differs by %g", d)
+	}
+
+	x := randVec(5, &state)
+	y := randVec(5, &state)
+	dst := make([]float64, 5)
+	SubInto(dst, x, y)
+	wantSub := Sub(x, y)
+	for i := range wantSub {
+		if dst[i] != wantSub[i] {
+			t.Fatalf("SubInto[%d] = %g, want %g", i, dst[i], wantSub[i])
+		}
+	}
+
+	r := randVec(3, &state)
+	for j := 0; j < 4; j++ {
+		if got, want := b.ColDot(j, r), Dot(b.Col(j), r); got != want {
+			t.Fatalf("ColDot(%d) = %g, want %g", j, got, want)
+		}
+	}
+}
+
+func TestReshapeGrowsAndReuses(t *testing.T) {
+	var m Dense
+	m.Reshape(2, 3)
+	if r, c := m.Dims(); r != 2 || c != 3 {
+		t.Fatalf("got %d×%d", r, c)
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			m.Set(i, j, float64(i*3+j))
+		}
+	}
+	m.Reshape(3, 2) // same backing size
+	if r, c := m.Dims(); r != 3 || c != 2 {
+		t.Fatalf("got %d×%d", r, c)
+	}
+	m.Reshape(4, 4) // must grow
+	if r, c := m.Dims(); r != 4 || c != 4 {
+		t.Fatalf("got %d×%d", r, c)
+	}
+	m.Set(3, 3, 1)
+	if math.IsNaN(m.At(3, 3)) {
+		t.Fatal("unwritable after grow")
+	}
+}

@@ -1,0 +1,112 @@
+package ml
+
+import (
+	"testing"
+
+	"additivity/internal/stats"
+)
+
+// benchData builds a deterministic synthetic regression set: p noisy
+// linear features over n rows, the shape of the paper's per-application
+// PMC datasets (hundreds of observations, a handful of counters).
+func benchData(n, p int, seed int64) ([][]float64, []float64) {
+	g := stats.NewRNG(seed)
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		row := make([]float64, p)
+		s := 0.0
+		for j := range row {
+			row[j] = g.Uniform(0, 100)
+			s += float64(j+1) * row[j]
+		}
+		X[i] = row
+		y[i] = s + g.Normal(0, 5)
+	}
+	return X, y
+}
+
+// BenchmarkTreeFit measures a single CART fit — the kernel under every
+// forest of Tables 4 and 7a.
+func BenchmarkTreeFit(b *testing.B) {
+	X, y := benchData(400, 8, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := &RegressionTree{Opts: TreeOptions{MinLeaf: 2, MaxThresholds: 32}}
+		if err := tr.Fit(X, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkForestFit measures a bagged ensemble fit at a single worker,
+// so per-tree kernel cost is what's visible, not pool scaling.
+func BenchmarkForestFit(b *testing.B) {
+	X, y := benchData(300, 8, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rf := NewRandomForest(7)
+		rf.Opts.Trees = 30
+		rf.Opts.Workers = 1
+		if err := rf.Fit(X, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNNFit measures the paper's default network (one hidden layer,
+// linear transfer, 3 restarts × 300 epochs of minibatch SGD).
+func BenchmarkNNFit(b *testing.B) {
+	X, y := benchData(200, 6, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nn := NewNeuralNetwork(11)
+		if err := nn.Fit(X, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRidgeSolve measures the penalised least-squares path
+// (XᵀX + λI Cholesky solve) used by the ridge ablations.
+func BenchmarkRidgeSolve(b *testing.B) {
+	X, y := benchData(300, 12, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lr := &LinearRegression{Opts: LinearOptions{Ridge: 1.0, Intercept: true}}
+		if err := lr.Fit(X, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNNLSFit measures the paper's exact linear model: Lawson–Hanson
+// non-negative least squares with zero intercept.
+func BenchmarkNNLSFit(b *testing.B) {
+	X, y := benchData(300, 8, 5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lr := NewLinearRegression()
+		if err := lr.Fit(X, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCrossValLR measures a 5-fold CV of the paper's linear model —
+// the per-fold refit path the studies lean on.
+func BenchmarkCrossValLR(b *testing.B) {
+	X, y := benchData(200, 6, 6)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := CrossValidate(func() Regressor { return NewLinearRegression() }, X, y, 5, 17); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

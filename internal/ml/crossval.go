@@ -56,8 +56,11 @@ func CrossValidateWorkers(newModel func() Regressor, X [][]float64, y []float64,
 		func(_ context.Context, _ int, fold int) (ErrorStats, error) {
 			lo := fold * n / k
 			hi := (fold + 1) * n / k
-			var trX, teX [][]float64
-			var trY, teY []float64
+			nTe := hi - lo
+			teX := make([][]float64, 0, nTe)
+			teY := make([]float64, 0, nTe)
+			trX := make([][]float64, 0, n-nTe)
+			trY := make([]float64, 0, n-nTe)
 			for i, p := range perm {
 				if i >= lo && i < hi {
 					teX = append(teX, X[p])

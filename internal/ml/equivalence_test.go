@@ -1,0 +1,419 @@
+package ml
+
+// Kernel-equivalence tests: the optimized training kernels (prefix-sum
+// CART splits, workspace-backed ridge/NNLS, scratch-arena NN backprop)
+// must make exactly the decisions their pre-optimization counterparts
+// made. Each optimized kernel is quickchecked against a naive reference
+// that mirrors the original allocating implementation.
+
+import (
+	"math"
+	"testing"
+
+	"additivity/internal/mat"
+	"additivity/internal/stats"
+)
+
+// naiveBestSplit is the pre-optimization splitter: enumerate the quantile
+// midpoints with candidateThresholds and rescan the subset per threshold
+// with splitScore, keeping the first strict minimum.
+func naiveBestSplit(t *RegressionTree, X [][]float64, y []float64, idx []int, f int) (threshold, score float64, ok bool) {
+	bestScore := math.Inf(1)
+	for _, th := range t.candidateThresholds(X, idx, f) {
+		s, sok := splitScore(X, y, idx, f, th, t.Opts.MinLeaf)
+		if sok && s < bestScore {
+			bestScore, threshold = s, th
+		}
+	}
+	if math.IsInf(bestScore, 1) {
+		return 0, 0, false
+	}
+	return threshold, bestScore, true
+}
+
+// quickDataset draws a random regression subset. Half the features are
+// quantised onto a few levels so duplicate values — the dedup and
+// midpoint-rounding edge cases — show up constantly.
+func quickDataset(g *stats.RNG, n, p int) (X [][]float64, y []float64) {
+	X = make([][]float64, n)
+	y = make([]float64, n)
+	for i := range X {
+		row := make([]float64, p)
+		for j := range row {
+			v := g.Uniform(-5, 5)
+			if j%2 == 1 {
+				v = math.Floor(v) // few distinct values => many ties
+			}
+			row[j] = v
+		}
+		X[i] = row
+		y[i] = row[0] + 3*math.Abs(row[p-1]) + g.Normal(0, 0.5)
+	}
+	return X, y
+}
+
+// TestSplitterMatchesNaiveReference quickchecks that the prefix-sum
+// splitter picks the same (feature, threshold, score) — bitwise — as the
+// naive reference, across subset sizes, tie-heavy features, MinLeaf and
+// MaxThresholds settings, and shuffled subset orders.
+func TestSplitterMatchesNaiveReference(tt *testing.T) {
+	g := stats.NewRNG(42)
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + g.Intn(60)
+		p := 1 + g.Intn(5)
+		X, y := quickDataset(g, n, p)
+		tr := &RegressionTree{Opts: TreeOptions{
+			MinLeaf:       1 + g.Intn(3),
+			MaxThresholds: []int{2, 3, 8, 32}[g.Intn(4)],
+		}}
+		// Random subset in random order, as mid-tree nodes see it.
+		perm := g.Perm(n)
+		idx := perm[:1+g.Intn(n)]
+
+		sc := newSplitScratch(len(idx))
+		bestF, bestTh, bestS := -1, 0.0, math.Inf(1)
+		refF, refTh, refS := -1, 0.0, math.Inf(1)
+		for f := 0; f < p; f++ {
+			th, s, ok := bestSplitForFeature(X, y, idx, f, tr.Opts.MinLeaf, tr.Opts.MaxThresholds, sc)
+			rth, rs, rok := naiveBestSplit(tr, X, y, idx, f)
+			if ok != rok {
+				tt.Fatalf("trial %d feature %d: ok=%v, naive ok=%v", trial, f, ok, rok)
+			}
+			if !ok {
+				continue
+			}
+			if th != rth || s != rs {
+				tt.Fatalf("trial %d feature %d: got (%.17g, %.17g), naive (%.17g, %.17g)",
+					trial, f, th, s, rth, rs)
+			}
+			if s < bestS {
+				bestF, bestTh, bestS = f, th, s
+			}
+			if rs < refS {
+				refF, refTh, refS = f, rth, rs
+			}
+		}
+		if bestF != refF || bestTh != refTh || bestS != refS {
+			tt.Fatalf("trial %d: node pick (%d, %.17g, %.17g) vs naive (%d, %.17g, %.17g)",
+				trial, bestF, bestTh, bestS, refF, refTh, refS)
+		}
+	}
+}
+
+// naiveRidge is the pre-optimization ridge solver: explicit transpose,
+// matrix products, and a fresh Cholesky factorisation.
+func naiveRidge(a *mat.Dense, b []float64, lambda float64, intercept bool) ([]float64, error) {
+	at := a.T()
+	ata, err := mat.Mul(at, a)
+	if err != nil {
+		return nil, err
+	}
+	_, p := ata.Dims()
+	for j := 0; j < p; j++ {
+		if intercept && j == p-1 {
+			continue
+		}
+		ata.Set(j, j, ata.At(j, j)+lambda)
+	}
+	atb, err := at.MulVec(b)
+	if err != nil {
+		return nil, err
+	}
+	l, err := mat.Cholesky(ata)
+	if err != nil {
+		return nil, err
+	}
+	return mat.SolveCholesky(l, atb)
+}
+
+func TestRidgeMatchesNaiveReference(t *testing.T) {
+	g := stats.NewRNG(7)
+	for trial := 0; trial < 50; trial++ {
+		rows := 10 + g.Intn(40)
+		p := 2 + g.Intn(6)
+		a := mat.NewDense(rows, p)
+		b := make([]float64, rows)
+		for i := 0; i < rows; i++ {
+			for j := 0; j < p; j++ {
+				a.Set(i, j, g.Normal(0, 1))
+			}
+			b[i] = g.Normal(0, 1)
+		}
+		for _, intercept := range []bool{false, true} {
+			got, err := ridge(a, b, 0.5, intercept)
+			if err != nil {
+				t.Fatalf("trial %d: ridge: %v", trial, err)
+			}
+			want, err := naiveRidge(a, b, 0.5, intercept)
+			if err != nil {
+				t.Fatalf("trial %d: naive ridge: %v", trial, err)
+			}
+			for j := range want {
+				if d := math.Abs(got[j] - want[j]); d > 1e-12 {
+					t.Fatalf("trial %d intercept=%v coef %d: %g vs %g (diff %g)",
+						trial, intercept, j, got[j], want[j], d)
+				}
+			}
+		}
+	}
+}
+
+// naiveNNLS is the pre-optimization Lawson–Hanson loop: fresh residual,
+// gradient, and passive-set submatrix allocations every iteration.
+func naiveNNLS(a *mat.Dense, b []float64) ([]float64, error) {
+	rows, n := a.Dims()
+	x := make([]float64, n)
+	passive := make([]bool, n)
+
+	residual := func() []float64 {
+		ax, _ := a.MulVec(x)
+		return mat.Sub(b, ax)
+	}
+	gradient := func(r []float64) []float64 {
+		w := make([]float64, n)
+		for j := 0; j < n; j++ {
+			w[j] = mat.Dot(a.Col(j), r)
+		}
+		return w
+	}
+	passiveIndices := func() []int {
+		var idx []int
+		for j, p := range passive {
+			if p {
+				idx = append(idx, j)
+			}
+		}
+		return idx
+	}
+	tol := 1e-10 * mat.Norm2(b) * float64(n)
+	if tol == 0 {
+		tol = 1e-12
+	}
+
+	for iter := 0; iter < 3*n+30; iter++ {
+		w := gradient(residual())
+		best, bestW := -1, tol
+		for j := 0; j < n; j++ {
+			if !passive[j] && w[j] > bestW {
+				best, bestW = j, w[j]
+			}
+		}
+		if best < 0 {
+			break
+		}
+		passive[best] = true
+		for {
+			idx := passiveIndices()
+			sub := mat.NewDense(rows, len(idx))
+			for i := 0; i < rows; i++ {
+				for jj, j := range idx {
+					sub.Set(i, jj, a.At(i, j))
+				}
+			}
+			s, err := mat.SolveLS(sub, b)
+			if err != nil {
+				return nil, err
+			}
+			if allPositive(s) {
+				for jj, j := range idx {
+					x[j] = s[jj]
+				}
+				break
+			}
+			alpha := math.Inf(1)
+			for jj, j := range idx {
+				if s[jj] <= 0 {
+					if d := x[j] - s[jj]; d > 0 {
+						if r := x[j] / d; r < alpha {
+							alpha = r
+						}
+					}
+				}
+			}
+			if math.IsInf(alpha, 1) {
+				alpha = 0
+			}
+			for jj, j := range idx {
+				x[j] += alpha * (s[jj] - x[j])
+			}
+			for _, j := range idx {
+				if x[j] <= 1e-14 {
+					x[j] = 0
+					passive[j] = false
+				}
+			}
+			if len(passiveIndices()) == 0 {
+				break
+			}
+		}
+	}
+	return x, nil
+}
+
+func TestNNLSMatchesNaiveReference(t *testing.T) {
+	g := stats.NewRNG(19)
+	for trial := 0; trial < 40; trial++ {
+		rows := 12 + g.Intn(40)
+		p := 2 + g.Intn(6)
+		a := mat.NewDense(rows, p)
+		b := make([]float64, rows)
+		for i := 0; i < rows; i++ {
+			s := 0.0
+			for j := 0; j < p; j++ {
+				v := g.Normal(0, 1)
+				a.Set(i, j, v)
+				// Mixed-sign true coefficients force active-set churn.
+				if j%2 == 0 {
+					s += 2 * v
+				} else {
+					s -= v
+				}
+			}
+			b[i] = s + g.Normal(0, 0.1)
+		}
+		got, err := nnls(a, b)
+		if err != nil {
+			t.Fatalf("trial %d: nnls: %v", trial, err)
+		}
+		want, err := naiveNNLS(a, b)
+		if err != nil {
+			t.Fatalf("trial %d: naive nnls: %v", trial, err)
+		}
+		for j := range want {
+			if d := math.Abs(got[j] - want[j]); d > 1e-12 {
+				t.Fatalf("trial %d coef %d: %g vs %g (diff %g)", trial, j, got[j], want[j], d)
+			}
+		}
+	}
+}
+
+// refSGDStep is the pre-optimization mini-batch step: per-sample
+// allocating forward pass (the retained forward method) and fresh delta
+// and gradient buffers every call.
+func refSGDStep(n *NeuralNetwork, xs [][]float64, ys []float64, batch []int,
+	vel [][][]float64, velB [][]float64) {
+	layers := len(n.weights)
+	gradW := make([][][]float64, layers)
+	gradB := make([][]float64, layers)
+	for l := 0; l < layers; l++ {
+		gradB[l] = make([]float64, len(n.weights[l]))
+		gradW[l] = make([][]float64, len(n.weights[l]))
+		for u := range n.weights[l] {
+			gradW[l][u] = make([]float64, len(n.weights[l][u]))
+		}
+	}
+	for _, i := range batch {
+		acts, pre := n.forward(xs[i])
+		delta := make([][]float64, layers)
+		delta[layers-1] = []float64{acts[layers][0] - ys[i]}
+		for l := layers - 1; l >= 0; l-- {
+			for u := range n.weights[l] {
+				d := delta[l][u]
+				gradB[l][u] += d
+				for k := range n.weights[l][u] {
+					gradW[l][u][k] += d * acts[l][k]
+				}
+			}
+			if l == 0 {
+				break
+			}
+			delta[l-1] = make([]float64, len(n.weights[l-1]))
+			for k := range delta[l-1] {
+				s := 0.0
+				for u := range n.weights[l] {
+					s += n.weights[l][u][k] * delta[l][u]
+				}
+				if n.Opts.Activation == ActReLU && pre[l-1][k] <= 0 {
+					s = 0
+				}
+				delta[l-1][k] = s
+			}
+		}
+	}
+	lr := n.Opts.LearnRate / float64(len(batch))
+	for l := range n.weights {
+		for u := range n.weights[l] {
+			velB[l][u] = n.Opts.Momentum*velB[l][u] - lr*gradB[l][u]
+			n.biases[l][u] += velB[l][u]
+			for k := range n.weights[l][u] {
+				vel[l][u][k] = n.Opts.Momentum*vel[l][u][k] - lr*gradW[l][u][k]
+				n.weights[l][u][k] += vel[l][u][k]
+			}
+		}
+	}
+}
+
+func cloneNN(n *NeuralNetwork) *NeuralNetwork {
+	c := &NeuralNetwork{Opts: n.Opts}
+	c.weights = make([][][]float64, len(n.weights))
+	c.biases = make([][]float64, len(n.biases))
+	for l := range n.weights {
+		c.weights[l] = make([][]float64, len(n.weights[l]))
+		for u := range n.weights[l] {
+			c.weights[l][u] = append([]float64(nil), n.weights[l][u]...)
+		}
+		c.biases[l] = append([]float64(nil), n.biases[l]...)
+	}
+	return c
+}
+
+func zerosLike(w [][][]float64) ([][][]float64, [][]float64) {
+	v := make([][][]float64, len(w))
+	vb := make([][]float64, len(w))
+	for l := range w {
+		v[l] = make([][]float64, len(w[l]))
+		vb[l] = make([]float64, len(w[l]))
+		for u := range w[l] {
+			v[l][u] = make([]float64, len(w[l][u]))
+		}
+	}
+	return v, vb
+}
+
+// TestSGDStepMatchesNaiveReference drives several fused scratch-arena SGD
+// steps and the allocating reference over the same batches and asserts
+// the parameters stay within 1e-12 (they are bitwise equal: only the
+// allocation strategy changed, not the arithmetic).
+func TestSGDStepMatchesNaiveReference(t *testing.T) {
+	for _, act := range []Activation{ActLinear, ActReLU} {
+		g := stats.NewRNG(5)
+		n := &NeuralNetwork{Opts: NNOptions{
+			Hidden: []int{6, 4}, Activation: act,
+			Epochs: 1, LearnRate: 0.05, Momentum: 0.9, BatchSize: 8, Seed: 3,
+		}}
+		rows, p := 32, 5
+		xs := make([][]float64, rows)
+		ys := make([]float64, rows)
+		for i := range xs {
+			xs[i] = make([]float64, p)
+			for j := range xs[i] {
+				xs[i][j] = g.Normal(0, 1)
+			}
+			ys[i] = g.Normal(0, 1)
+		}
+		sizes := layerSizes(p, n.Opts.Hidden)
+		ws := newNNScratch(sizes, act)
+		n.trainOnce(xs, ys, n.Opts.Seed, ws) // materialise weights
+		ref := cloneNN(n)
+
+		vel, velB := zerosLike(n.weights)
+		rvel, rvelB := zerosLike(ref.weights)
+		for step := 0; step < 10; step++ {
+			batch := g.Perm(rows)[:n.Opts.BatchSize]
+			n.sgdStep(xs, ys, batch, vel, velB, ws)
+			refSGDStep(ref, xs, ys, batch, rvel, rvelB)
+		}
+		for l := range n.weights {
+			for u := range n.weights[l] {
+				if d := math.Abs(n.biases[l][u] - ref.biases[l][u]); d > 1e-12 {
+					t.Fatalf("act=%v bias[%d][%d] drift %g", act, l, u, d)
+				}
+				for k := range n.weights[l][u] {
+					if d := math.Abs(n.weights[l][u][k] - ref.weights[l][u][k]); d > 1e-12 {
+						t.Fatalf("act=%v weight[%d][%d][%d] drift %g", act, l, u, k, d)
+					}
+				}
+			}
+		}
+	}
+}

@@ -74,12 +74,16 @@ func (l *LinearRegression) Fit(X [][]float64, y []float64) error {
 		return errors.New("ml: fewer observations than parameters")
 	}
 	a := mat.NewDense(rows, p)
-	for i, row := range X {
-		for j, v := range row {
-			a.Set(i, j, v)
+	if l.Opts.Intercept {
+		buf := make([]float64, p)
+		buf[p-1] = 1
+		for i, row := range X {
+			copy(buf, row)
+			a.SetRow(i, buf)
 		}
-		if l.Opts.Intercept {
-			a.Set(i, p-1, 1)
+	} else {
+		for i, row := range X {
+			a.SetRow(i, row)
 		}
 	}
 	var beta []float64
@@ -178,10 +182,11 @@ func (l *LinearRegression) Predict(x []float64) (float64, error) {
 
 // ridge solves (AᵀA + λI)·x = Aᵀb via Cholesky. When the design matrix
 // carries an intercept column (the last one), the intercept is left
-// unpenalised, as is standard.
+// unpenalised, as is standard. The normal equations are built in one
+// fused pass (no transpose copy, no intermediate product) and solved on
+// a Cholesky workspace.
 func ridge(a *mat.Dense, b []float64, lambda float64, intercept bool) ([]float64, error) {
-	at := a.T()
-	ata, err := mat.Mul(at, a)
+	ata, atb, err := mat.NormalEquations(a, b)
 	if err != nil {
 		return nil, err
 	}
@@ -192,34 +197,34 @@ func ridge(a *mat.Dense, b []float64, lambda float64, intercept bool) ([]float64
 		}
 		ata.Set(j, j, ata.At(j, j)+lambda)
 	}
-	atb, err := at.MulVec(b)
-	if err != nil {
-		return nil, err
-	}
-	l, err := mat.Cholesky(ata)
-	if err != nil {
-		return nil, err
-	}
-	return mat.SolveCholesky(l, atb)
+	var ws mat.SPDWorkspace
+	return ws.Solve(ata, atb)
 }
 
 // nnls solves min ||A·x − b||₂ subject to x >= 0 with the Lawson–Hanson
-// active-set algorithm.
+// active-set algorithm. All scratch — residual, gradient, passive-set
+// submatrix, QR workspace — is allocated once up front and reused across
+// active-set iterations; the arithmetic order is identical to a naive
+// allocate-per-iteration formulation.
 func nnls(a *mat.Dense, b []float64) ([]float64, error) {
 	rows, n := a.Dims()
 	x := make([]float64, n)
 	passive := make([]bool, n)
+	ax := make([]float64, rows)
+	r := make([]float64, rows)
+	w := make([]float64, n)
+	idx := make([]int, 0, n)
+	var sub mat.Dense
+	var ws mat.LSWorkspace
 
-	residual := func() []float64 {
-		ax, _ := a.MulVec(x)
-		return mat.Sub(b, ax)
-	}
-	gradient := func(r []float64) []float64 {
-		w := make([]float64, n)
-		for j := 0; j < n; j++ {
-			w[j] = mat.Dot(a.Col(j), r)
+	gatherPassive := func() []int {
+		idx = idx[:0]
+		for j, p := range passive {
+			if p {
+				idx = append(idx, j)
+			}
 		}
-		return w
+		return idx
 	}
 	// Tolerance scaled to the problem's magnitude.
 	tol := 1e-10 * mat.Norm2(b) * float64(n)
@@ -228,7 +233,14 @@ func nnls(a *mat.Dense, b []float64) ([]float64, error) {
 	}
 
 	for iter := 0; iter < 3*n+30; iter++ {
-		w := gradient(residual())
+		// Gradient w = Aᵀ(b − A·x) of the passive-set objective.
+		if err := a.MulVecInto(ax, x); err != nil {
+			return nil, err
+		}
+		mat.SubInto(r, b, ax)
+		for j := 0; j < n; j++ {
+			w[j] = a.ColDot(j, r)
+		}
 		// Pick the most promising inactive variable.
 		best, bestW := -1, tol
 		for j := 0; j < n; j++ {
@@ -244,14 +256,11 @@ func nnls(a *mat.Dense, b []float64) ([]float64, error) {
 		// Inner loop: solve the unconstrained problem on the passive set,
 		// clipping variables that go non-positive.
 		for {
-			idx := passiveIndices(passive)
-			sub := mat.NewDense(rows, len(idx))
-			for i := 0; i < rows; i++ {
-				for jj, j := range idx {
-					sub.Set(i, jj, a.At(i, j))
-				}
+			idx := gatherPassive()
+			if err := sub.GatherColumns(a, idx); err != nil {
+				return nil, err
 			}
-			s, err := mat.SolveLS(sub, b)
+			s, err := ws.Solve(&sub, b)
 			if err != nil {
 				return nil, err
 			}
@@ -278,28 +287,21 @@ func nnls(a *mat.Dense, b []float64) ([]float64, error) {
 			for jj, j := range idx {
 				x[j] += alpha * (s[jj] - x[j])
 			}
+			empty := true
 			for _, j := range idx {
 				if x[j] <= 1e-14 {
 					x[j] = 0
 					passive[j] = false
+				} else {
+					empty = false
 				}
 			}
-			if len(passiveIndices(passive)) == 0 {
+			if empty {
 				break
 			}
 		}
 	}
 	return x, nil
-}
-
-func passiveIndices(passive []bool) []int {
-	var idx []int
-	for j, p := range passive {
-		if p {
-			idx = append(idx, j)
-		}
-	}
-	return idx
 }
 
 func allPositive(xs []float64) bool {

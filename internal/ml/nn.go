@@ -93,16 +93,20 @@ func (n *NeuralNetwork) Fit(X [][]float64, y []float64) error {
 
 	// Multi-restart training: SGD from a single random initialisation
 	// occasionally lands in a poor optimum; train a few candidates from
-	// derived seeds and keep the one with the lowest training loss.
+	// derived seeds and keep the one with the lowest training loss. All
+	// restarts share one scratch arena — forward/backward buffers and
+	// gradient accumulators are allocated once per Fit, not per sample.
 	const restarts = 3
 	type candidate struct {
 		weights [][][]float64
 		biases  [][]float64
 		loss    float64
 	}
+	sizes := layerSizes(len(X[0]), o.Hidden)
+	ws := newNNScratch(sizes, o.Activation)
 	var best *candidate
 	for r := 0; r < restarts; r++ {
-		n.trainOnce(xs, ys, o.Seed+int64(r)*7919)
+		n.trainOnce(xs, ys, o.Seed+int64(r)*7919, ws)
 		loss := n.trainLoss(xs, ys)
 		if best == nil || loss < best.loss {
 			best = &candidate{weights: n.weights, biases: n.biases, loss: loss}
@@ -114,26 +118,99 @@ func (n *NeuralNetwork) Fit(X [][]float64, y []float64) error {
 	return nil
 }
 
+// layerSizes returns the width of every layer: input → hidden… → 1.
+func layerSizes(cols int, hidden []int) []int {
+	sizes := make([]int, 0, len(hidden)+2)
+	sizes = append(sizes, cols)
+	sizes = append(sizes, hidden...)
+	return append(sizes, 1)
+}
+
+// nnScratch is the per-Fit workspace of the SGD loop: activation and
+// pre-activation buffers, per-layer deltas, and gradient accumulators.
+// For layers with a linear transfer (and the output layer) acts[l+1]
+// aliases pre[l], exactly as the allocating forward pass shared them.
+type nnScratch struct {
+	acts  [][]float64 // acts[0] is set per sample to the input row
+	pre   [][]float64
+	delta [][]float64 // delta[l]: loss gradient at layer l's outputs
+	gradW [][][]float64
+	gradB [][]float64
+}
+
+func newNNScratch(sizes []int, act Activation) *nnScratch {
+	layers := len(sizes) - 1
+	ws := &nnScratch{
+		acts:  make([][]float64, layers+1),
+		pre:   make([][]float64, layers),
+		delta: make([][]float64, layers),
+		gradW: make([][][]float64, layers),
+		gradB: make([][]float64, layers),
+	}
+	for l := 0; l < layers; l++ {
+		out := sizes[l+1]
+		ws.pre[l] = make([]float64, out)
+		if l < layers-1 && act == ActReLU {
+			ws.acts[l+1] = make([]float64, out)
+		} else {
+			ws.acts[l+1] = ws.pre[l]
+		}
+		ws.delta[l] = make([]float64, out)
+		ws.gradB[l] = make([]float64, out)
+		ws.gradW[l] = make([][]float64, out)
+		for u := 0; u < out; u++ {
+			ws.gradW[l][u] = make([]float64, sizes[l])
+		}
+	}
+	return ws
+}
+
+// forwardInto runs the network into the scratch buffers; no allocation.
+func (n *NeuralNetwork) forwardInto(x []float64, ws *nnScratch) {
+	layers := len(n.weights)
+	ws.acts[0] = x
+	for l := 0; l < layers; l++ {
+		in := ws.acts[l]
+		out := ws.pre[l]
+		for u := range n.weights[l] {
+			s := n.biases[l][u]
+			for k, w := range n.weights[l][u] {
+				s += w * in[k]
+			}
+			out[u] = s
+		}
+		if l < layers-1 && n.Opts.Activation == ActReLU {
+			ap := ws.acts[l+1]
+			for i, v := range out {
+				if v > 0 {
+					ap[i] = v
+				} else {
+					ap[i] = 0
+				}
+			}
+		}
+	}
+}
+
 // trainLoss returns the mean squared error on the (standardised)
 // training set.
 func (n *NeuralNetwork) trainLoss(xs [][]float64, ys []float64) float64 {
+	ws := newNNScratch(layerSizes(len(xs[0]), n.Opts.Hidden), n.Opts.Activation)
+	layers := len(n.weights)
 	ss := 0.0
 	for i, x := range xs {
-		acts, _ := n.forward(x)
-		d := acts[len(acts)-1][0] - ys[i]
+		n.forwardInto(x, ws)
+		d := ws.acts[layers][0] - ys[i]
 		ss += d * d
 	}
 	return ss / float64(len(xs))
 }
 
 // trainOnce initialises the network from the seed and runs the SGD loop.
-func (n *NeuralNetwork) trainOnce(xs [][]float64, ys []float64, seed int64) {
+func (n *NeuralNetwork) trainOnce(xs [][]float64, ys []float64, seed int64, ws *nnScratch) {
 	o := &n.Opts
 	rows := len(xs)
-	cols := len(xs[0])
-	// Layer sizes: input → hidden… → 1.
-	sizes := append([]int{cols}, o.Hidden...)
-	sizes = append(sizes, 1)
+	sizes := layerSizes(len(xs[0]), o.Hidden)
 	g := stats.NewRNG(seed)
 	n.weights = make([][][]float64, len(sizes)-1)
 	n.biases = make([][]float64, len(sizes)-1)
@@ -166,64 +243,69 @@ func (n *NeuralNetwork) trainOnce(xs [][]float64, ys []float64, seed int64) {
 			if end > rows {
 				end = rows
 			}
-			n.sgdStep(xs, ys, order[start:end], vel, velB)
+			n.sgdStep(xs, ys, order[start:end], vel, velB, ws)
 		}
 	}
 }
 
-// sgdStep applies one momentum-SGD update from a mini-batch.
+// sgdStep applies one momentum-SGD update from a mini-batch. Gradient
+// accumulators live in the scratch arena; the fused update loop below
+// consumes and re-zeroes them in the same pass, so each step runs
+// allocation-free.
 func (n *NeuralNetwork) sgdStep(xs [][]float64, ys []float64, batch []int,
-	vel [][][]float64, velB [][]float64) {
+	vel [][][]float64, velB [][]float64, ws *nnScratch) {
 	layers := len(n.weights)
-	gradW := make([][][]float64, layers)
-	gradB := make([][]float64, layers)
-	for l := range n.weights {
-		gradW[l] = make([][]float64, len(n.weights[l]))
-		gradB[l] = make([]float64, len(n.biases[l]))
-		for u := range n.weights[l] {
-			gradW[l][u] = make([]float64, len(n.weights[l][u]))
-		}
-	}
+	gradW, gradB := ws.gradW, ws.gradB
 
 	for _, i := range batch {
-		acts, pre := n.forward(xs[i])
+		n.forwardInto(xs[i], ws)
 		// Output delta (MSE, linear output).
-		delta := []float64{acts[layers][0] - ys[i]}
+		ws.delta[layers-1][0] = ws.acts[layers][0] - ys[i]
 		for l := layers - 1; l >= 0; l-- {
 			// Accumulate gradients for layer l.
+			delta := ws.delta[l]
+			acts := ws.acts[l]
 			for u := range n.weights[l] {
-				gradB[l][u] += delta[u]
-				for k := range n.weights[l][u] {
-					gradW[l][u][k] += delta[u] * acts[l][k]
+				d := delta[u]
+				gradB[l][u] += d
+				gw := gradW[l][u]
+				for k := range gw {
+					gw[k] += d * acts[k]
 				}
 			}
 			if l == 0 {
 				break
 			}
 			// Propagate to the previous layer.
-			prev := make([]float64, len(n.weights[l][0]))
+			prev := ws.delta[l-1]
 			for k := range prev {
 				s := 0.0
 				for u := range n.weights[l] {
 					s += n.weights[l][u][k] * delta[u]
 				}
-				if n.Opts.Activation == ActReLU && pre[l-1][k] <= 0 {
+				if n.Opts.Activation == ActReLU && ws.pre[l-1][k] <= 0 {
 					s = 0
 				}
 				prev[k] = s
 			}
-			delta = prev
 		}
 	}
 
+	// Fused update: velocity, parameter and gradient-reset in one sweep,
+	// leaving the accumulators zeroed for the next step.
 	lr := n.Opts.LearnRate / float64(len(batch))
 	for l := range n.weights {
 		for u := range n.weights[l] {
 			velB[l][u] = n.Opts.Momentum*velB[l][u] - lr*gradB[l][u]
 			n.biases[l][u] += velB[l][u]
-			for k := range n.weights[l][u] {
-				vel[l][u][k] = n.Opts.Momentum*vel[l][u][k] - lr*gradW[l][u][k]
-				n.weights[l][u][k] += vel[l][u][k]
+			gradB[l][u] = 0
+			gw := gradW[l][u]
+			vw := vel[l][u]
+			w := n.weights[l][u]
+			for k := range gw {
+				vw[k] = n.Opts.Momentum*vw[k] - lr*gw[k]
+				w[k] += vw[k]
+				gw[k] = 0
 			}
 		}
 	}

@@ -1,6 +1,7 @@
 package ml
 
 import (
+	"fmt"
 	"math"
 	"sort"
 )
@@ -20,14 +21,36 @@ type treeNode struct {
 // TreeOptions configures a regression tree.
 type TreeOptions struct {
 	MaxDepth      int // maximum depth (0 = unlimited)
-	MinLeaf       int // minimum samples per leaf
-	MaxThresholds int // candidate thresholds per feature (quantile grid)
+	MinLeaf       int // minimum samples per leaf (0 = default 1)
+	MaxThresholds int // candidate thresholds per feature (0 = default 32)
 	// MTry is the number of features considered per split; 0 means all
 	// (single trees) — forests set it to p/3.
 	MTry int
 	// featurePicker returns the feature subset for a split; nil means
 	// all features. Forests inject a seeded sampler here.
 	featurePicker func(p int) []int
+}
+
+// validateTreeOptions rejects nonsensical options instead of silently
+// rewriting them. Zero values mean "use the default"; negatives and a
+// threshold budget of 1 (too small to form a quantile grid) are errors.
+func validateTreeOptions(o *TreeOptions) error {
+	if o.MaxDepth < 0 {
+		return fmt.Errorf("ml: negative MaxDepth %d", o.MaxDepth)
+	}
+	if o.MinLeaf < 0 {
+		return fmt.Errorf("ml: negative MinLeaf %d", o.MinLeaf)
+	}
+	if o.MaxThresholds < 0 || o.MaxThresholds == 1 {
+		return fmt.Errorf("ml: invalid MaxThresholds %d (want 0 for default, or >= 2)", o.MaxThresholds)
+	}
+	if o.MinLeaf == 0 {
+		o.MinLeaf = 1
+	}
+	if o.MaxThresholds == 0 {
+		o.MaxThresholds = 32
+	}
+	return nil
 }
 
 // RegressionTree is a CART variance-reduction regression tree.
@@ -52,18 +75,19 @@ func (t *RegressionTree) Fit(X [][]float64, y []float64) error {
 	if _, _, err := validate(X, y); err != nil {
 		return err
 	}
-	if t.Opts.MinLeaf < 1 {
-		t.Opts.MinLeaf = 1
+	if err := validateTreeOptions(&t.Opts); err != nil {
+		return err
 	}
-	if t.Opts.MaxThresholds < 2 {
-		t.Opts.MaxThresholds = 32
-	}
-	idx := make([]int, len(X))
+	n := len(X)
+	idx := make([]int, n)
 	for i := range idx {
 		idx[i] = i
 	}
 	t.importances = make([]float64, len(X[0]))
-	t.root = t.build(X, y, idx, 0)
+	// All node-local working storage is carved from one scratch arena
+	// sized to the root subset; build() reuses it down the recursion, so
+	// fitting allocates O(n) once instead of O(n) per (node, feature).
+	t.root = t.build(X, y, idx, 0, newSplitScratch(n))
 	return nil
 }
 
@@ -100,7 +124,239 @@ func (t *RegressionTree) Predict(x []float64) (float64, error) {
 	return n.value, nil
 }
 
-func (t *RegressionTree) build(X [][]float64, y []float64, idx []int, depth int) *treeNode {
+// splitRec is one subset row viewed through a feature: its value, target
+// and position within the subset. pos makes the sort order — and hence
+// every floating-point prefix sum — fully deterministic under value ties.
+type splitRec struct {
+	v, y float64
+	pos  int32
+}
+
+// splitScratch holds the per-node working storage of the prefix-sum
+// splitter: the sorted view of one feature, prefix sums of the targets,
+// unique-value boundaries, and a stable-partition buffer. One arena is
+// allocated per Fit and shared down the recursion (children run strictly
+// after their parent, so reuse is safe).
+type splitScratch struct {
+	recs  []splitRec // subset's (value, target, pos), sorted by (value, pos)
+	sum   []float64  // sum[c] = Σ y over the first c sorted rows
+	sq    []float64  // sq[c] = Σ y² over the first c sorted rows
+	cut   []int      // unique-value boundaries: count of rows <= each unique value
+	part  []int      // stable-partition buffer for the right child
+	feats []int      // cached 0..p-1 feature list for single trees
+	cth   []float64  // candidate thresholds of the feature being scored
+	csc   []float64  // matching prefix-sum scores
+}
+
+func newSplitScratch(n int) *splitScratch {
+	return &splitScratch{
+		recs: make([]splitRec, n),
+		sum:  make([]float64, n+1),
+		sq:   make([]float64, n+1),
+		cut:  make([]int, 0, n),
+		part: make([]int, n),
+		cth:  make([]float64, 0, n),
+		csc:  make([]float64, 0, n),
+	}
+}
+
+// recLess orders records by (value, subset position).
+func recLess(a, b splitRec) bool {
+	return a.v < b.v || (a.v == b.v && a.pos < b.pos)
+}
+
+// sortRecs sorts records by (value, position) with an insertion-sort /
+// median-of-three quicksort hybrid. A specialised sorter (no interface
+// calls, one contiguous record array) is what keeps the per-node
+// re-sorting cheaper than the naive splitter's rescans at forest sizes.
+func sortRecs(recs []splitRec) {
+	for len(recs) > 12 {
+		// Median-of-three pivot, parked at position 0.
+		m := len(recs) / 2
+		hi := len(recs) - 1
+		if recLess(recs[m], recs[0]) {
+			recs[m], recs[0] = recs[0], recs[m]
+		}
+		if recLess(recs[hi], recs[0]) {
+			recs[hi], recs[0] = recs[0], recs[hi]
+		}
+		if recLess(recs[hi], recs[m]) {
+			recs[hi], recs[m] = recs[m], recs[hi]
+		}
+		recs[0], recs[m] = recs[m], recs[0]
+		pivot := recs[0]
+		i, j := 1, hi
+		for {
+			for i <= j && recLess(recs[i], pivot) {
+				i++
+			}
+			for recLess(pivot, recs[j]) {
+				j--
+			}
+			if i >= j {
+				break
+			}
+			recs[i], recs[j] = recs[j], recs[i]
+			i++
+			j--
+		}
+		recs[0], recs[j] = recs[j], recs[0]
+		// Recurse on the smaller side, loop on the larger.
+		if j < len(recs)-j-1 {
+			sortRecs(recs[:j])
+			recs = recs[j+1:]
+		} else {
+			sortRecs(recs[j+1:])
+			recs = recs[:j]
+		}
+	}
+	for i := 1; i < len(recs); i++ {
+		r := recs[i]
+		j := i - 1
+		for j >= 0 && recLess(r, recs[j]) {
+			recs[j+1] = recs[j]
+			j--
+		}
+		recs[j+1] = r
+	}
+}
+
+// bestSplitForFeature scores every candidate threshold of one feature in
+// a single sweep. It sorts the subset's (value, target) pairs once,
+// builds prefix sums of y and y², and reads each candidate's child SSEs
+// straight off the prefix arrays — O(n log n + T) against the naive
+// O(T·n) rescan. Candidates are the same quantile-grid midpoints the
+// naive splitter scores (see candidateThresholds), deduplicated, and are
+// visited in ascending threshold order with strict improvement, so the
+// chosen (feature, threshold) keeps the naive splitter's lowest-
+// (feature, threshold) tie-breaking.
+//
+// Bit-exactness: the prefix sums accumulate targets in sorted order while
+// the naive splitScore accumulates them in subset order, so the two can
+// disagree in the last ulps — enough to flip a near-tie split and change
+// the reproduced tables. The sweep therefore treats the prefix score as a
+// fast filter: only candidates within a rigorous summation-order error
+// bound of the prefix minimum can win under naive scoring, and exactly
+// those are re-scored with splitScore, whose values alone enter the
+// comparison chain. Every split decision — and the returned score — is
+// bitwise identical to the naive splitter's, while almost all candidates
+// resolve from the prefix arrays alone.
+func bestSplitForFeature(X [][]float64, y []float64, idx []int, f int,
+	minLeaf, maxThresholds int, sc *splitScratch) (threshold, score float64, ok bool) {
+	n := len(idx)
+	recs := sc.recs[:n]
+	for k, i := range idx {
+		recs[k] = splitRec{v: X[i][f], y: y[i], pos: int32(k)}
+	}
+	sortRecs(recs)
+
+	// One pass builds the prefix sums of y and y² and collects the
+	// unique-value boundaries (cut[u] = #rows <= the u-th unique value).
+	sum, sq := sc.sum[:n+1], sc.sq[:n+1]
+	sum[0], sq[0] = 0, 0
+	absSum, maxAbs := 0.0, 0.0
+	cut := sc.cut[:0]
+	for k := range recs {
+		v := recs[k].y
+		sum[k+1] = sum[k] + v
+		sq[k+1] = sq[k] + v*v
+		a := math.Abs(v)
+		absSum += a
+		if a > maxAbs {
+			maxAbs = a
+		}
+		if k > 0 && recs[k].v != recs[k-1].v {
+			cut = append(cut, k)
+		}
+	}
+	cut = append(cut, n)
+	sc.cut = cut
+	uniq := len(cut)
+	if uniq < 2 {
+		return 0, 0, false
+	}
+
+	// How far a sorted-order SSE score can drift from the subset-order
+	// one: bounded by the summation-order error of Σy (≤ ~2nu·Σ|y|) and
+	// Σy² (≤ ~2nu·Σy²) folded through sse = Σy² − (Σy)²/m. The (Σy)²/m
+	// term contributes ≤ 2·(Σ|y|)²/m · d, and (Σ|y|side)²/mside ≤
+	// Σ|y|·max|y|, so the bound stays proportional to n·ȳ·max|y| rather
+	// than (n·ȳ)² — tight enough that large-magnitude targets (energies
+	// in joules) rarely force a rescan. Wide safety margins on the
+	// constants; candidates beaten by more than this cannot win under
+	// naive scoring and need no rescan.
+	const u = 1.1102230246251565e-16 // 2⁻⁵³
+	errBound := float64(n) * u * (32*sq[n] + 64*absSum*maxAbs)
+
+	// Pass 1: prefix-score every viable candidate, in ascending threshold
+	// order, remembering the smallest prefix score.
+	total := n
+	cth, csc := sc.cth[:0], sc.csc[:0]
+	minPrefix := math.Inf(1)
+	lastNL := -1
+	score1 := func(b int) {
+		th := (recs[cut[b]-1].v + recs[cut[b]].v) / 2
+		// The midpoint of two adjacent floats can round up onto the
+		// upper value; the effective partition under v <= th then
+		// absorbs that whole unique-value run into the left child.
+		nL := cut[b]
+		if th >= recs[cut[b]].v {
+			nL = cut[b+1]
+		}
+		if nL == lastNL {
+			return // duplicate candidate: same partition already scored
+		}
+		lastNL = nL
+		nR := total - nL
+		if nL < minLeaf || nR < minLeaf {
+			return
+		}
+		sumL, sqL := sum[nL], sq[nL]
+		sumR, sqR := sum[total]-sumL, sq[total]-sqL
+		sseL := sqL - sumL*sumL/float64(nL)
+		sseR := sqR - sumR*sumR/float64(nR)
+		cth = append(cth, th)
+		csc = append(csc, sseL+sseR)
+		if sseL+sseR < minPrefix {
+			minPrefix = sseL + sseR
+		}
+	}
+	if uniq-1 <= maxThresholds {
+		for b := 0; b+1 < uniq; b++ {
+			score1(b)
+		}
+	} else {
+		for j := 1; j <= maxThresholds; j++ {
+			score1(j * (uniq - 1) / (maxThresholds + 1))
+		}
+	}
+	sc.cth, sc.csc = cth, csc
+	if len(cth) == 0 {
+		return 0, 0, false
+	}
+
+	// Pass 2: only candidates within the error bound of the prefix
+	// minimum can win under subset-order scoring — rescan those (almost
+	// always exactly one) with the naive reference, keeping its ascending
+	// strict-improvement tie-break.
+	lim := minPrefix + 2*errBound
+	bestScore := math.Inf(1)
+	for i, st := range csc {
+		if st > lim {
+			continue
+		}
+		if s, sok := splitScore(X, y, idx, f, cth[i], minLeaf); sok && s < bestScore {
+			bestScore = s
+			threshold = cth[i]
+		}
+	}
+	if math.IsInf(bestScore, 1) {
+		return 0, 0, false
+	}
+	return threshold, bestScore, true
+}
+
+func (t *RegressionTree) build(X [][]float64, y []float64, idx []int, depth int, sc *splitScratch) *treeNode {
 	mean := subsetMean(y, idx)
 	if len(idx) < 2*t.Opts.MinLeaf ||
 		(t.Opts.MaxDepth > 0 && depth >= t.Opts.MaxDepth) ||
@@ -109,16 +365,13 @@ func (t *RegressionTree) build(X [][]float64, y []float64, idx []int, depth int)
 	}
 
 	p := len(X[0])
-	features := t.splitFeatures(p)
+	features := t.splitFeatures(p, sc)
 	bestFeature, bestThreshold := -1, 0.0
 	bestScore := math.Inf(1) // weighted child SSE; lower is better
 	for _, f := range features {
-		thresholds := t.candidateThresholds(X, idx, f)
-		for _, th := range thresholds {
-			score, ok := splitScore(X, y, idx, f, th, t.Opts.MinLeaf)
-			if ok && score < bestScore {
-				bestScore, bestFeature, bestThreshold = score, f, th
-			}
+		th, score, ok := bestSplitForFeature(X, y, idx, f, t.Opts.MinLeaf, t.Opts.MaxThresholds, sc)
+		if ok && score < bestScore {
+			bestScore, bestFeature, bestThreshold = score, f, th
 		}
 	}
 	if bestFeature < 0 {
@@ -131,36 +384,50 @@ func (t *RegressionTree) build(X [][]float64, y []float64, idx []int, depth int)
 	}
 	t.importances[bestFeature] += parentSSE - bestScore
 
-	var left, right []int
+	// Stable in-place partition: left-child rows compact to the front of
+	// idx, right-child rows park in the scratch buffer and copy back
+	// behind them. Both children keep their original relative order, so
+	// every downstream subset sum visits rows in the same order the
+	// append-based partition produced.
+	nL := 0
+	right := sc.part[:0]
 	for _, i := range idx {
 		if X[i][bestFeature] <= bestThreshold {
-			left = append(left, i)
+			idx[nL] = i
+			nL++
 		} else {
 			right = append(right, i)
 		}
 	}
+	copy(idx[nL:], right)
+	left, rest := idx[:nL], idx[nL:]
 	return &treeNode{
 		feature:   bestFeature,
 		threshold: bestThreshold,
-		left:      t.build(X, y, left, depth+1),
-		right:     t.build(X, y, right, depth+1),
+		left:      t.build(X, y, left, depth+1, sc),
+		right:     t.build(X, y, rest, depth+1, sc),
 	}
 }
 
-// splitFeatures returns the features to consider at a split.
-func (t *RegressionTree) splitFeatures(p int) []int {
+// splitFeatures returns the features to consider at a split. The
+// all-features list of a single tree is built once and cached in the
+// scratch arena.
+func (t *RegressionTree) splitFeatures(p int, sc *splitScratch) []int {
 	if t.Opts.featurePicker != nil {
 		return t.Opts.featurePicker(p)
 	}
-	all := make([]int, p)
-	for i := range all {
-		all[i] = i
+	if len(sc.feats) != p {
+		sc.feats = make([]int, p)
+		for i := range sc.feats {
+			sc.feats[i] = i
+		}
 	}
-	return all
+	return sc.feats
 }
 
 // candidateThresholds returns up to MaxThresholds split points for a
-// feature: quantile midpoints of the subset's values.
+// feature: quantile midpoints of the subset's values. Retained as the
+// naive reference the prefix-sum splitter is equivalence-tested against.
 func (t *RegressionTree) candidateThresholds(X [][]float64, idx []int, f int) []float64 {
 	vals := make([]float64, len(idx))
 	for k, i := range idx {
@@ -193,7 +460,8 @@ func (t *RegressionTree) candidateThresholds(X [][]float64, idx []int, f int) []
 }
 
 // splitScore returns the summed SSE of the two children, or ok=false when
-// the split violates MinLeaf.
+// the split violates MinLeaf. It rescans the whole subset per call —
+// retained as the naive reference for the prefix-sum equivalence tests.
 func splitScore(X [][]float64, y []float64, idx []int, f int, th float64, minLeaf int) (float64, bool) {
 	var nL, nR int
 	var sumL, sumR, sqL, sqR float64
