@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race bench bench-record bench-smoke tables artifacts examples clean
+.PHONY: all build vet test test-short race bench bench-record bench-smoke chaos resume-check tables artifacts examples clean
 
 all: build vet test
 
@@ -42,6 +42,19 @@ bench-record:
 # One-iteration smoke run so benchmarks cannot rot; CI runs this.
 bench-smoke:
 	$(GO) test -run '^$$' -bench=. -benchtime=1x $(BENCH_PKGS)
+
+# Fault-injection property tests under the race detector: recoverable
+# faults and any interrupt/resume split must leave every output
+# byte-identical; above-threshold faults must degrade explicitly.
+# CI runs this on every push and pull request.
+chaos:
+	$(GO) test -race -run 'Fault|Chaos|Resume|Quarantine|Degrad|Journal|Robust|Wrap' \
+		./internal/faults ./internal/pmc ./internal/energy ./internal/core ./internal/experiments
+
+# Kill a checkpointed study mid-run (SIGKILL) and assert the resumed run
+# regenerates byte-identical tables. CI runs this.
+resume-check:
+	bash scripts/resume_check.sh
 
 # Regenerate every paper table (plus premise, sensor and survey tables).
 tables:

@@ -5,6 +5,7 @@ import (
 	"additivity/internal/dataset"
 	"additivity/internal/energy"
 	"additivity/internal/experiments"
+	"additivity/internal/faults"
 	"additivity/internal/machine"
 	"additivity/internal/ml"
 	"additivity/internal/platform"
@@ -430,3 +431,50 @@ var PNAPMCs = experiments.PNAPMCs
 // DefaultSeed regenerates the tables exactly as recorded in
 // EXPERIMENTS.md.
 const DefaultSeed = experiments.DefaultSeed
+
+// Fault injection and resilience (see EXPERIMENTS.md, "Fault model").
+type (
+	// FaultRates configures per-class fault probabilities.
+	FaultRates = faults.Rates
+	// FaultClass identifies one injected fault kind.
+	FaultClass = faults.Class
+	// FaultError is the typed error a fault delivery reports.
+	FaultError = faults.Error
+	// FaultInjector draws seeded, forkable fault decisions.
+	FaultInjector = faults.Injector
+	// RetryPolicy bounds redelivery attempts and backoff.
+	RetryPolicy = faults.RetryPolicy
+	// CollectStats reports a collector's fault bookkeeping.
+	CollectStats = pmc.CollectStats
+	// CollectorMethodology selects the collector's aggregation method.
+	CollectorMethodology = pmc.Methodology
+	// MeterStats reports a power meter's fault bookkeeping.
+	MeterStats = energy.MeterStats
+	// RAPLStats reports an on-chip sensor's fault bookkeeping.
+	RAPLStats = energy.RAPLStats
+	// CheckReport summarises retries, recoveries and degradation across
+	// one additivity check.
+	CheckReport = core.CheckReport
+	// Journal checkpoints completed work units for resumption.
+	Journal = core.Journal
+	// FileJournal is the crash-tolerant append-only Journal used by
+	// checkpointed studies and pipelines.
+	FileJournal = experiments.FileJournal
+)
+
+// NewFaultInjector returns a seeded injector for the given rates.
+func NewFaultInjector(seed int64, rates FaultRates) *FaultInjector {
+	return faults.New(seed, rates)
+}
+
+// UniformFaultRates sets every detectable fault class to probability p,
+// capped at maxConsecutive faulted attempts per delivery.
+func UniformFaultRates(p float64, maxConsecutive int) FaultRates {
+	return faults.Uniform(p, maxConsecutive)
+}
+
+// DefaultRetryPolicy returns the standard bounded-retry policy.
+func DefaultRetryPolicy() RetryPolicy { return faults.DefaultRetryPolicy() }
+
+// OpenFileJournal opens (creating if needed) a checkpoint journal.
+var OpenFileJournal = experiments.OpenFileJournal

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildBinary compiles the command into a temp dir and returns its path.
+func buildBinary(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "pmc-collect")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func TestSmokeDefaultFlags(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the binary")
+	}
+	bin := buildBinary(t)
+	out, err := exec.Command(bin).CombinedOutput()
+	if err != nil {
+		t.Fatalf("pmc-collect: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "collected") {
+		t.Errorf("unexpected output:\n%s", out)
+	}
+
+	out, err = exec.Command(bin, "-plan", "-all").CombinedOutput()
+	if err != nil {
+		t.Fatalf("pmc-collect -plan -all: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "collection runs") {
+		t.Errorf("unexpected plan output:\n%s", out)
+	}
+}

@@ -4,6 +4,11 @@
 // Usage:
 //
 //	repro-tables [-table all|1|2|3|4|5|6|7a|7b|collection] [-seed N]
+//	             [-checkpoint dir] [-chaos rate]
+//
+// -checkpoint journals study progress so an interrupted run resumes with
+// byte-identical tables; -chaos injects recoverable measurement faults
+// (the tables stay identical — see EXPERIMENTS.md, "Fault model").
 //
 // Tables 2-5 run the Class A experiment (Haswell, diverse suite); tables
 // 6, 7a and 7b run the Class B/C experiments (Skylake, DGEMM+FFT). The
@@ -27,7 +32,15 @@ func main() {
 	seed := flag.Int64("seed", additivity.DefaultSeed, "experiment seed")
 	workers := flag.Int("workers", 0, "experiment worker pool size (0: GOMAXPROCS); tables are identical for every value")
 	artifacts := flag.String("artifacts", "", "write all tables, datasets and a predictor package to this directory")
+	checkpoint := flag.String("checkpoint", "", "journal study progress to this directory; an interrupted run resumes from it with identical tables")
+	chaos := flag.Float64("chaos", 0, "inject recoverable measurement faults at this per-read probability; tables stay identical")
 	flag.Parse()
+
+	var chaosRates *additivity.FaultRates
+	if *chaos > 0 {
+		r := additivity.UniformFaultRates(*chaos, 2)
+		chaosRates = &r
+	}
 
 	if *artifacts != "" {
 		fmt.Fprintf(os.Stderr, "writing artifacts to %s...\n", *artifacts)
@@ -103,9 +116,16 @@ func main() {
 				log.Fatal(err)
 			}
 			fmt.Fprintf(os.Stderr, "surveying the %s reduced catalog...\n", name)
-			study, err := additivity.RunAdditivityStudy(spec, additivity.StudyConfig{Seed: *seed + 2, Workers: *workers})
+			study, err := additivity.RunAdditivityStudy(spec, additivity.StudyConfig{
+				Seed: *seed + 2, Workers: *workers,
+				Faults: chaosRates, Retry: additivity.DefaultRetryPolicy(),
+				CheckpointDir: *checkpoint,
+			})
 			if err != nil {
 				log.Fatal(err)
+			}
+			if study.Report != nil && (chaosRates != nil || *checkpoint != "") {
+				fmt.Fprintln(os.Stderr, study.Report.Summary())
 			}
 			fmt.Println(study.SensitivityTable([]float64{0.5, 1, 2, 5, 10, 20}).Render())
 			fmt.Println(study.CategoryTable().Render())

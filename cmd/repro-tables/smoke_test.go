@@ -1,0 +1,54 @@
+package main
+
+import (
+	"bytes"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// buildBinary compiles the command into a temp dir and returns its path.
+func buildBinary(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "repro-tables")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// run returns the binary's stdout only — progress lines go to stderr and
+// are not part of the byte-identity contract.
+func run(t *testing.T, bin string, args ...string) []byte {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("repro-tables %v: %v\n%s", args, err, stderr.Bytes())
+	}
+	return stdout.Bytes()
+}
+
+// The -chaos and -checkpoint flags must not change the rendered tables:
+// recoverable faults are absorbed by retry, and a journaled run replays
+// the same values.
+func TestSmokeChaosAndCheckpointPreserveTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the binary")
+	}
+	bin := buildBinary(t)
+
+	clean := run(t, bin, "-table", "study")
+	chaotic := run(t, bin, "-table", "study", "-chaos", "0.3")
+	if !bytes.Equal(clean, chaotic) {
+		t.Error("-chaos 0.3 changed the study tables")
+	}
+
+	dir := t.TempDir()
+	first := run(t, bin, "-table", "study", "-checkpoint", dir)
+	resumed := run(t, bin, "-table", "study", "-checkpoint", dir)
+	if !bytes.Equal(clean, first) || !bytes.Equal(clean, resumed) {
+		t.Error("-checkpoint changed the study tables")
+	}
+}

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildBinary compiles the command into a temp dir and returns its path.
+func buildBinary(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "slope")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// The smoke test exercises both modes end to end: train-and-save with
+// default flags, then load the package and predict one application.
+func TestSmokeTrainSaveLoadPredict(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the binary")
+	}
+	bin := buildBinary(t)
+	model := filepath.Join(t.TempDir(), "model.json")
+
+	out, err := exec.Command(bin, "-save", model).CombinedOutput()
+	if err != nil {
+		t.Fatalf("slope -save: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "selected:") {
+		t.Errorf("unexpected training output:\n%s", out)
+	}
+
+	out, err = exec.Command(bin, "-load", model, "-app", "mkl-dgemm/16000").CombinedOutput()
+	if err != nil {
+		t.Fatalf("slope -load: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "predicted") {
+		t.Errorf("unexpected prediction output:\n%s", out)
+	}
+}

@@ -14,6 +14,7 @@ package core
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -65,6 +66,11 @@ type Verdict struct {
 	MaxErrorPct  float64 // stage 2: max Eq.-1 error over the compound suite
 	Additive     bool    // passed both stages within tolerance
 	PerCompound  []CompoundResult
+	// Quarantined marks a verdict resting on incomplete data: under
+	// fault injection the event lost at least one sample to an exhausted
+	// delivery, or was quarantined outright on some gather task. The
+	// zero value (complete data) keeps fault-free verdicts identical.
+	Quarantined bool
 }
 
 // Checker runs the additivity test — the AdditivityChecker tool of the
@@ -78,6 +84,12 @@ type Checker struct {
 	// Workers > 1 the callback fires from pool workers (serialised, with
 	// monotonic done counts), so it must not assume a completion order.
 	Progress func(done, total int)
+	// Journal, when set, makes the check resumable: each gather task's
+	// samples are recorded under a stable unit key as they complete, and
+	// a re-run replays journaled units instead of re-measuring them. An
+	// interrupted check resumed against the same journal produces
+	// byte-identical verdicts.
+	Journal Journal
 }
 
 // NewChecker returns a Checker over the collector with the given config.
@@ -135,12 +147,27 @@ type gatherTask struct {
 // compounds from two base applications; the test accepts any number of
 // parts >= 2, with Eq. 1 generalised to the sum over all parts.
 func (ch *Checker) Check(events []platform.Event, compounds []workload.CompoundApp) ([]Verdict, error) {
+	verdicts, _, err := ch.CheckWithReport(events, compounds)
+	return verdicts, err
+}
+
+// taskOutcome is one gather task's contribution to the check: its
+// journaled (or freshly measured) record and whether it was resumed.
+type taskOutcome struct {
+	rec     taskRecord
+	resumed bool
+}
+
+// CheckWithReport runs the additivity test and additionally returns the
+// resilience report: journal resume counts, retry/recovery totals, and
+// the explicit list of events whose verdicts rest on degraded data.
+func (ch *Checker) CheckWithReport(events []platform.Event, compounds []workload.CompoundApp) ([]Verdict, *CheckReport, error) {
 	if len(compounds) == 0 {
-		return nil, fmt.Errorf("core: additivity test needs at least one compound application")
+		return nil, nil, fmt.Errorf("core: additivity test needs at least one compound application")
 	}
 	for _, comp := range compounds {
 		if len(comp.Parts) < 2 {
-			return nil, fmt.Errorf("core: compound %q has %d parts, want >= 2", comp.Name(), len(comp.Parts))
+			return nil, nil, fmt.Errorf("core: compound %q has %d parts, want >= 2", comp.Name(), len(comp.Parts))
 		}
 	}
 	// Build the collection fan-out: one task per distinct base
@@ -186,27 +213,72 @@ func (ch *Checker) Check(events []platform.Event, compounds []workload.CompoundA
 	}
 
 	gathered, err := parallel.Map(context.Background(), ch.Config.Workers, tasks,
-		func(_ context.Context, _ int, t gatherTask) (*appCounts, error) {
-			ac, err := ch.gather(ch.Collector.Fork(t.label), events, t.parts...)
+		func(_ context.Context, _ int, t gatherTask) (*taskOutcome, error) {
+			unit := "gather/" + t.label
+			if ch.Journal != nil {
+				if data, ok := ch.Journal.Lookup(unit); ok {
+					var rec taskRecord
+					if err := json.Unmarshal(data, &rec); err == nil && rec.Samples != nil {
+						tick()
+						return &taskOutcome{rec: rec, resumed: true}, nil
+					}
+					// A corrupt journal entry is re-measured, not trusted.
+				}
+			}
+			col := ch.Collector.Fork(t.label)
+			ac, err := ch.gather(col, events, t.parts...)
 			if err != nil {
 				return nil, err
 			}
+			cs := col.Stats()
+			rec := taskRecord{
+				Samples:      ac.samples,
+				Dropped:      cs.Dropped,
+				Quarantined:  cs.Quarantined,
+				Wrapped:      cs.Wrapped,
+				Retries:      cs.Retries,
+				Recovered:    cs.Recovered,
+				SilentSpikes: cs.SilentSpikes,
+			}
+			if ch.Journal != nil {
+				data, err := json.Marshal(rec)
+				if err != nil {
+					return nil, fmt.Errorf("core: journal encode %s: %w", unit, err)
+				}
+				if err := ch.Journal.Record(unit, data); err != nil {
+					return nil, fmt.Errorf("core: journal %s: %w", unit, err)
+				}
+			}
 			tick()
-			return ac, nil
+			return &taskOutcome{rec: rec}, nil
 		})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
+
+	report := &CheckReport{}
+	for _, out := range gathered {
+		report.mergeRecord(out.rec, out.resumed)
+	}
+	report.finish()
 
 	baseCounts := make(map[string]*appCounts, nBases)
 	for name, i := range baseIdx {
-		baseCounts[name] = gathered[i]
+		baseCounts[name] = &appCounts{samples: gathered[i].rec.Samples}
 	}
-	compCounts := gathered[nBases:]
+	compCounts := make([]*appCounts, 0, len(compounds))
+	for _, out := range gathered[nBases:] {
+		compCounts = append(compCounts, &appCounts{samples: out.rec.Samples})
+	}
+
+	degraded := map[string]bool{}
+	for _, ev := range report.DegradedEvents {
+		degraded[ev] = true
+	}
 
 	verdicts := make([]Verdict, 0, len(events))
 	for _, ev := range events {
-		v := Verdict{Event: ev, Reproducible: true}
+		v := Verdict{Event: ev, Reproducible: true, Quarantined: degraded[ev.Name]}
 		// Stage 1: determinism/reproducibility over every base app.
 		for _, ac := range baseCounts {
 			if ac.cv(ev.Name) > ch.Config.ReproCVMax {
@@ -232,7 +304,7 @@ func (ch *Checker) Check(events []platform.Event, compounds []workload.CompoundA
 		v.Additive = v.Reproducible && v.MaxErrorPct <= ch.Config.ToleranceFrac*100
 		verdicts = append(verdicts, v)
 	}
-	return verdicts, nil
+	return verdicts, report, nil
 }
 
 // ErrorPercentile returns the p-th percentile of the verdict's per-

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Journal persists completed work units so an interrupted study can
+// resume without re-measuring. Implementations must be safe for
+// concurrent use: the collection fan-out records units from pool
+// workers. Lookup returns the payload recorded for the unit, if any.
+//
+// Resume preserves byte-identity because every unit's measurements
+// derive purely from (seed, unit label): replaying a journaled unit
+// returns exactly the samples a fresh gather would have produced, and
+// re-gathering a missing unit is unaffected by which other units were
+// skipped.
+type Journal interface {
+	Lookup(unit string) ([]byte, bool)
+	Record(unit string, payload []byte) error
+}
+
+// taskRecord is the journaled payload of one gather task: the per-event
+// count samples plus the resilience statistics of the task's collector
+// fork. float64 values survive the JSON round-trip exactly (shortest
+// round-trip encoding), so resumed runs are byte-identical.
+type taskRecord struct {
+	Samples      map[string][]float64 `json:"samples"`
+	Dropped      map[string]int       `json:"dropped,omitempty"`
+	Quarantined  []string             `json:"quarantined,omitempty"`
+	Wrapped      map[string]int       `json:"wrapped,omitempty"`
+	Retries      int64                `json:"retries,omitempty"`
+	Recovered    int64                `json:"recovered,omitempty"`
+	SilentSpikes int64                `json:"silent_spikes,omitempty"`
+}
+
+// CheckReport aggregates what the resilience layer did during one
+// additivity check: how much was resumed from the journal, how many
+// faulted deliveries were recovered by retry, and — when fault rates
+// exceed the recoverable regime — exactly which PMCs were degraded.
+// Degradation is always explicit: a study never silently loses an
+// event.
+type CheckReport struct {
+	// Tasks is the number of gather units in the fan-out; Resumed is
+	// how many were replayed from the journal instead of re-measured.
+	Tasks   int
+	Resumed int
+	// Retries and Recovered count delivery attempts beyond the first
+	// and deliveries that succeeded after at least one faulted attempt.
+	Retries   int64
+	Recovered int64
+	// SilentSpikes counts undetectably corrupted samples (mitigated
+	// only by the robust-aggregation methodology).
+	SilentSpikes int64
+	// WrappedReads counts, per event, reads whose raw 48-bit register
+	// value wrapped.
+	WrappedReads map[string]int
+	// DroppedByEvent counts, per event, deliveries that exhausted their
+	// retry budget and lost a sample.
+	DroppedByEvent map[string]int
+	// QuarantinedEvents lists events dropped from collection on at
+	// least one gather task after repeated exhaustion, sorted.
+	QuarantinedEvents []string
+	// DegradedEvents lists events whose verdicts rest on incomplete
+	// data (a dropped sample or a quarantine anywhere), sorted.
+	DegradedEvents []string
+}
+
+// Degraded reports whether any event's verdict rests on incomplete
+// data.
+func (r *CheckReport) Degraded() bool { return len(r.DegradedEvents) > 0 }
+
+// Summary renders the report's one-paragraph human-readable form.
+func (r *CheckReport) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "gather tasks: %d (%d resumed from journal); retries: %d, recovered: %d",
+		r.Tasks, r.Resumed, r.Retries, r.Recovered)
+	if r.SilentSpikes > 0 {
+		fmt.Fprintf(&b, "; silent spikes: %d", r.SilentSpikes)
+	}
+	if len(r.DroppedByEvent) > 0 {
+		dropped := 0
+		for _, n := range r.DroppedByEvent {
+			dropped += n
+		}
+		fmt.Fprintf(&b, "; dropped samples: %d", dropped)
+	}
+	if len(r.QuarantinedEvents) > 0 {
+		fmt.Fprintf(&b, "\nquarantined events: %s", strings.Join(r.QuarantinedEvents, ", "))
+	}
+	if r.Degraded() {
+		fmt.Fprintf(&b, "\nDEGRADED verdicts (incomplete data): %s", strings.Join(r.DegradedEvents, ", "))
+	} else {
+		b.WriteString("\nno degradation: all verdicts rest on complete data")
+	}
+	return b.String()
+}
+
+// mergeRecord folds one gather task's record into the report.
+func (r *CheckReport) mergeRecord(rec taskRecord, resumed bool) {
+	r.Tasks++
+	if resumed {
+		r.Resumed++
+	}
+	r.Retries += rec.Retries
+	r.Recovered += rec.Recovered
+	r.SilentSpikes += rec.SilentSpikes
+	for k, n := range rec.Wrapped {
+		if r.WrappedReads == nil {
+			r.WrappedReads = map[string]int{}
+		}
+		r.WrappedReads[k] += n
+	}
+	for k, n := range rec.Dropped {
+		if r.DroppedByEvent == nil {
+			r.DroppedByEvent = map[string]int{}
+		}
+		r.DroppedByEvent[k] += n
+	}
+	for _, ev := range rec.Quarantined {
+		if !contains(r.QuarantinedEvents, ev) {
+			r.QuarantinedEvents = append(r.QuarantinedEvents, ev)
+		}
+	}
+}
+
+// finish sorts the report's lists and derives the degraded-event set.
+func (r *CheckReport) finish() {
+	sort.Strings(r.QuarantinedEvents)
+	degraded := map[string]bool{}
+	for _, ev := range r.QuarantinedEvents {
+		degraded[ev] = true
+	}
+	for ev := range r.DroppedByEvent {
+		degraded[ev] = true
+	}
+	r.DegradedEvents = make([]string, 0, len(degraded))
+	for ev := range degraded {
+		r.DegradedEvents = append(r.DegradedEvents, ev)
+	}
+	sort.Strings(r.DegradedEvents)
+	if len(r.DegradedEvents) == 0 {
+		r.DegradedEvents = nil
+	}
+}
+
+func contains(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}

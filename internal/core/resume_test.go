@@ -1,0 +1,132 @@
+package core
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"additivity/internal/faults"
+	"additivity/internal/machine"
+	"additivity/internal/platform"
+	"additivity/internal/pmc"
+	"additivity/internal/workload"
+)
+
+// memJournal is an in-memory core.Journal that remembers record order,
+// so tests can replay any prefix — simulating an interrupt after any
+// number of completed units.
+type memJournal struct {
+	mu    sync.Mutex
+	units map[string][]byte
+	order []string
+}
+
+func newMemJournal() *memJournal { return &memJournal{units: map[string][]byte{}} }
+
+func (j *memJournal) Lookup(unit string) ([]byte, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	data, ok := j.units[unit]
+	return data, ok
+}
+
+func (j *memJournal) Record(unit string, payload []byte) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, ok := j.units[unit]; !ok {
+		j.order = append(j.order, unit)
+	}
+	j.units[unit] = append([]byte(nil), payload...)
+	return nil
+}
+
+// prefix returns a journal holding the first k recorded units.
+func (j *memJournal) prefix(k int) *memJournal {
+	p := newMemJournal()
+	for _, unit := range j.order[:k] {
+		p.units[unit] = j.units[unit]
+		p.order = append(p.order, unit)
+	}
+	return p
+}
+
+// resumeFixture runs a small additivity check with the given journal
+// and optional fault rates, on a fresh measurement stack each time.
+func resumeFixture(t *testing.T, j Journal, rates *faults.Rates) ([]Verdict, *CheckReport) {
+	t.Helper()
+	const seed = 71
+	m := machine.New(platform.Haswell(), seed)
+	col := pmc.NewCollector(m, seed)
+	if rates != nil {
+		inj := faults.New(seed, *rates)
+		m.SetFaults(inj.Fork("machine"), faults.DefaultRetryPolicy())
+		col.SetFaults(inj.Fork("pmc"), faults.DefaultRetryPolicy(), 0)
+	}
+	checker := NewChecker(col, Config{ToleranceFrac: 0.05, Reps: 2, ReproCVMax: 0.20})
+	checker.Journal = j
+	base := workload.BaseApps(workload.DiverseSuite())[:6]
+	compounds := workload.RandomCompounds(base, 4, seed)
+	verdicts, report, err := checker.CheckWithReport(classAEvents(t), compounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return verdicts, report
+}
+
+// TestResumeAnySplitByteIdentical pins the resume contract: a check
+// interrupted after ANY number of completed gather units and resumed on
+// a fresh measurement stack produces byte-identical verdicts, because
+// every unit's samples derive purely from (seed, unit label).
+func TestResumeAnySplitByteIdentical(t *testing.T) {
+	rates := faults.Uniform(0.3, 2)
+	for name, r := range map[string]*faults.Rates{"fault-free": nil, "recoverable-faults": &rates} {
+		t.Run(name, func(t *testing.T) {
+			full := newMemJournal()
+			want, _ := resumeFixture(t, full, r)
+			if len(full.order) == 0 {
+				t.Fatal("no units journaled")
+			}
+			for k := 0; k <= len(full.order); k++ {
+				verdicts, report := resumeFixture(t, full.prefix(k), r)
+				if !reflect.DeepEqual(want, verdicts) {
+					t.Fatalf("resume after %d/%d units changed the verdicts", k, len(full.order))
+				}
+				if report.Resumed != k {
+					t.Fatalf("resume after %d units reported %d resumed", k, report.Resumed)
+				}
+				if report.Tasks != len(full.order) {
+					t.Fatalf("report tasks = %d, want %d", report.Tasks, len(full.order))
+				}
+			}
+		})
+	}
+}
+
+// A journal-free run must match a journaled one: journaling is pure
+// bookkeeping.
+func TestJournalDoesNotChangeVerdicts(t *testing.T) {
+	plain, _ := resumeFixture(t, nil, nil)
+	journaled, report := resumeFixture(t, newMemJournal(), nil)
+	if !reflect.DeepEqual(plain, journaled) {
+		t.Error("journaling changed the verdicts")
+	}
+	if report.Resumed != 0 {
+		t.Errorf("fresh journal resumed %d units", report.Resumed)
+	}
+}
+
+// A corrupt journal entry must be re-measured, not trusted — and the
+// re-measurement restores the byte-identical verdict.
+func TestCorruptJournalEntryRemeasured(t *testing.T) {
+	full := newMemJournal()
+	want, _ := resumeFixture(t, full, nil)
+	corrupt := full.prefix(len(full.order))
+	corrupt.units[corrupt.order[0]] = []byte("{truncated garb")
+	verdicts, report := resumeFixture(t, corrupt, nil)
+	if !reflect.DeepEqual(want, verdicts) {
+		t.Error("re-measuring a corrupt unit changed the verdicts")
+	}
+	if report.Resumed != len(full.order)-1 {
+		t.Errorf("resumed %d units, want %d", report.Resumed, len(full.order)-1)
+	}
+}

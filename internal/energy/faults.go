@@ -1,0 +1,118 @@
+package energy
+
+import (
+	"math"
+	"time"
+
+	"additivity/internal/faults"
+)
+
+// MeterStats summarises the resilience layer's activity on one meter:
+// injected glitches recovered by re-reads, and outlier readings that
+// persisted past the retry budget and were delivered flagged.
+type MeterStats struct {
+	// Retries is the number of delivery attempts beyond the first.
+	Retries int64
+	// Recovered is the number of readings delivered clean after at
+	// least one faulted attempt.
+	Recovered int64
+	// SpikedReadings is the number of implausible power readings that
+	// survived the retry budget and were delivered as outliers.
+	SpikedReadings int64
+	// SimulatedBackoff is the total deterministic backoff accrued.
+	SimulatedBackoff time.Duration
+}
+
+// SetFaults arms the meter with a fault injector and bounded-retry
+// policy; a nil injector disarms.
+func (m *Meter) SetFaults(inj *faults.Injector, retry faults.RetryPolicy) {
+	m.inj = inj
+	m.retry = retry
+}
+
+// Stats returns the meter's resilience statistics.
+func (m *Meter) Stats() MeterStats { return m.mstats }
+
+// SetFaults arms the underlying meter (see Meter.SetFaults).
+func (h *HCLWattsUp) SetFaults(inj *faults.Injector, retry faults.RetryPolicy) {
+	h.Meter.SetFaults(inj, retry)
+}
+
+// deliverJoules carries one finished energy reading through the
+// fault-injection delivery path. The reading is computed exactly once
+// before delivery, so a recovered delivery returns the identical value
+// — a glitched serial link does not lose the meter's internal energy
+// accumulator, and a re-read after backoff observes the same total. A
+// power spike that persists past the retry budget is delivered as an
+// outlier and counted, never silently averaged in.
+func (m *Meter) deliverJoules(site string, v float64) float64 {
+	if m.inj == nil {
+		return v
+	}
+	out := m.inj.Deliver(m.retry, site, faults.MeterGlitch, faults.PowerSpike)
+	m.mstats.Retries += int64(out.Attempts - 1)
+	m.mstats.SimulatedBackoff += out.Backoff
+	if out.Err == nil {
+		if out.Attempts > 1 {
+			m.mstats.Recovered++
+		}
+		return v
+	}
+	if out.Err.Class == faults.PowerSpike {
+		m.mstats.SpikedReadings++
+		return v * m.inj.Factor(faults.PowerSpike, 1.5, 4)
+	}
+	// MeterGlitch exhaustion: the accumulator is intact, so the final
+	// re-read still delivers the true total.
+	return v
+}
+
+// RAPLStats summarises injected on-chip sensor faults.
+type RAPLStats struct {
+	// Retries is the number of delivery attempts beyond the first.
+	Retries int64
+	// Recovered is the number of readings delivered clean after at
+	// least one faulted attempt.
+	Recovered int64
+	// Stale is the number of readings that exhausted their retries on a
+	// stale accumulator and reported a zero energy delta.
+	Stale int64
+	// Overflowed is the number of readings wrapped by the 32-bit
+	// energy-status register.
+	Overflowed int64
+}
+
+// SetFaults arms the sensor with a fault injector and bounded-retry
+// policy; a nil injector disarms.
+func (r *RAPLSensor) SetFaults(inj *faults.Injector, retry faults.RetryPolicy) {
+	r.inj = inj
+	r.retry = retry
+}
+
+// Stats returns the sensor's resilience statistics.
+func (r *RAPLSensor) Stats() RAPLStats { return r.rstats }
+
+// deliverEstimate carries one firmware energy estimate through the
+// fault-injection delivery path. Stale reads that persist past the
+// retry budget report a zero observed delta; overflow wraps the
+// estimate modulo the 32-bit energy-status register span. Both are
+// counted — the degradation is explicit, never silent.
+func (r *RAPLSensor) deliverEstimate(estimate float64) float64 {
+	if r.inj == nil {
+		return estimate
+	}
+	out := r.inj.Deliver(r.retry, "rapl", faults.RAPLStale, faults.RAPLOverflow)
+	r.rstats.Retries += int64(out.Attempts - 1)
+	if out.Err == nil {
+		if out.Attempts > 1 {
+			r.rstats.Recovered++
+		}
+		return estimate
+	}
+	if out.Err.Class == faults.RAPLOverflow {
+		r.rstats.Overflowed++
+		return math.Mod(estimate, r.UpdateJoules*math.Pow(2, 32))
+	}
+	r.rstats.Stale++
+	return 0
+}

@@ -1,0 +1,108 @@
+package energy
+
+import (
+	"testing"
+
+	"additivity/internal/activity"
+	"additivity/internal/faults"
+)
+
+// Meter glitches are delivery-path transients: the meter's accumulator
+// is unaffected, so readings under recoverable rates are byte-identical
+// to fault-free ones.
+func TestMeterByteIdenticalUnderRecoverableFaults(t *testing.T) {
+	tr := Trace{{Seconds: 20, Watts: 80}, {Seconds: 10, Watts: 140}}
+	clean := NewMeter(17)
+	want, err := clean.MeasureTraceJoules(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	faulty := NewMeter(17)
+	faulty.SetFaults(faults.New(17, faults.Rates{MeterGlitch: 0.8, MaxConsecutive: 2}),
+		faults.DefaultRetryPolicy())
+	got, err := faulty.MeasureTraceJoules(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("recoverable meter glitches changed the reading: %v vs %v", got, want)
+	}
+	// Even exhausted glitches deliver the true accumulator total.
+	exhausted := NewMeter(17)
+	exhausted.SetFaults(faults.New(3, faults.Rates{MeterGlitch: 1}), faults.DefaultRetryPolicy())
+	got, err = exhausted.MeasureTraceJoules(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("exhausted glitches corrupted the reading: %v vs %v", got, want)
+	}
+}
+
+// A power spike that persists past the retry budget is delivered as an
+// outlier and counted — explicit, never silent.
+func TestMeterPowerSpikeDeliveredAndCounted(t *testing.T) {
+	tr := Trace{{Seconds: 30, Watts: 100}}
+	clean := NewMeter(23)
+	want, err := clean.MeasureTraceJoules(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m := NewMeter(23)
+	m.SetFaults(faults.New(23, faults.Rates{PowerSpike: 1}), faults.DefaultRetryPolicy())
+	got, err := m.MeasureTraceJoules(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < want*1.5 || got >= want*4 {
+		t.Errorf("spiked reading %v outside [1.5, 4)x of %v", got, want)
+	}
+	if s := m.Stats(); s.SpikedReadings != 1 || s.Retries == 0 {
+		t.Errorf("spike not accounted: %+v", s)
+	}
+}
+
+// RAPL faults degrade explicitly: stale reads report a zero delta,
+// overflow wraps the 32-bit energy-status register, both counted.
+func TestRAPLStaleAndOverflow(t *testing.T) {
+	var v activity.Vector
+	v.Set(activity.UopsExecuted, 5e10)
+	v.Set(activity.L3Miss, 2e8)
+	c := Coefficients{PerUopExecuted: 0.5, PerL3Miss: 10}
+
+	clean := NewRAPLSensor(9)
+	want := clean.DynamicJoules(v, c)
+	if want <= 0 {
+		t.Fatalf("clean estimate %v", want)
+	}
+
+	stale := NewRAPLSensor(9)
+	stale.SetFaults(faults.New(9, faults.Rates{RAPLStale: 1}), faults.DefaultRetryPolicy())
+	if got := stale.DynamicJoules(v, c); got != 0 {
+		t.Errorf("stale sensor read %v, want 0", got)
+	}
+	if s := stale.Stats(); s.Stale != 1 {
+		t.Errorf("stale not counted: %+v", s)
+	}
+
+	over := NewRAPLSensor(9)
+	over.UpdateJoules = 1.0 / (1 << 28) // shrink the register span below the estimate
+	over.SetFaults(faults.New(9, faults.Rates{RAPLOverflow: 1}), faults.DefaultRetryPolicy())
+	got := over.DynamicJoules(v, c)
+	span := over.UpdateJoules * (1 << 16) * (1 << 16)
+	if got < 0 || got >= span {
+		t.Errorf("overflowed reading %v outside [0, %v)", got, span)
+	}
+	if s := over.Stats(); s.Overflowed != 1 {
+		t.Errorf("overflow not counted: %+v", s)
+	}
+
+	// Recoverable rates leave the estimate untouched.
+	rec := NewRAPLSensor(9)
+	rec.SetFaults(faults.New(5, faults.Rates{RAPLStale: 0.9, MaxConsecutive: 2}), faults.DefaultRetryPolicy())
+	if got := rec.DynamicJoules(v, c); got != want {
+		t.Errorf("recoverable RAPL faults changed the estimate: %v vs %v", got, want)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math"
 
+	"additivity/internal/faults"
 	"additivity/internal/stats"
 )
 
@@ -18,7 +19,10 @@ type Meter struct {
 	ResolutionW   float64 // power reading resolution (0.1 W)
 	AccuracyFrac  float64 // calibration accuracy (±1.5%)
 
-	rng *stats.RNG
+	rng    *stats.RNG
+	inj    *faults.Injector
+	retry  faults.RetryPolicy
+	mstats MeterStats
 }
 
 // NewMeter returns a WattsUp-Pro-like meter seeded for reproducibility.
@@ -63,7 +67,7 @@ func (m *Meter) MeasureTotalJoules(powerW, durationS float64) (float64, error) {
 		p = math.Round(p/m.ResolutionW) * m.ResolutionW
 		total += p * remainder
 	}
-	return total * calib, nil
+	return m.deliverJoules("meter/total", total*calib), nil
 }
 
 // HCLWattsUp is the measurement API of the paper: it converts metered

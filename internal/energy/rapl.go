@@ -2,6 +2,7 @@ package energy
 
 import (
 	"additivity/internal/activity"
+	"additivity/internal/faults"
 	"additivity/internal/stats"
 )
 
@@ -25,7 +26,10 @@ type RAPLSensor struct {
 	// keep a coarser epsilon to stay observable).
 	UpdateJoules float64
 
-	rng *stats.RNG
+	rng    *stats.RNG
+	inj    *faults.Injector
+	retry  faults.RetryPolicy
+	rstats RAPLStats
 }
 
 // NewRAPLSensor returns a sensor with documented-in-the-wild attribution
@@ -65,5 +69,5 @@ func (r *RAPLSensor) DynamicJoules(v activity.Vector, c Coefficients) float64 {
 		units := float64(int64(estimate / r.UpdateJoules))
 		estimate = units * r.UpdateJoules
 	}
-	return estimate
+	return r.deliverEstimate(estimate)
 }

@@ -59,7 +59,7 @@ func (m *Meter) MeasureTraceJoules(tr Trace) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	return raw * m.calibFactor(), nil
+	return m.deliverJoules("meter/trace", raw*m.calibFactor()), nil
 }
 
 // calibFactor draws the measurement session's calibration error within
@@ -118,5 +118,5 @@ func (h *HCLWattsUp) DynamicJoulesFromTrace(dynamic Trace) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	return (wallRaw - idleRaw) * h.Meter.calibFactor(), nil
+	return h.Meter.deliverJoules("hcl/dynamic", (wallRaw-idleRaw)*h.Meter.calibFactor()), nil
 }

@@ -1,0 +1,233 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"additivity/internal/faults"
+	"additivity/internal/platform"
+)
+
+// smallStudy is the scaled-down survey config the chaos properties run
+// on; the guarantees are scale-independent.
+func smallStudy(workers int) StudyConfig {
+	return StudyConfig{Compounds: 5, Reps: 2, Workers: workers}
+}
+
+func runStudy(t *testing.T, cfg StudyConfig) *AdditivityStudy {
+	t.Helper()
+	spec := platform.Haswell()
+	s, err := RunAdditivityStudy(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// Chaos property 1: fault rates inside the recoverable regime leave the
+// study's verdicts and rendered tables byte-identical to a fault-free
+// run, at every worker count.
+func TestStudyByteIdenticalUnderRecoverableFaults(t *testing.T) {
+	clean := runStudy(t, smallStudy(1))
+
+	rates := faults.Uniform(0.3, 2)
+	retry := faults.DefaultRetryPolicy()
+	if !rates.Recoverable(retry) {
+		t.Fatal("test rates must be recoverable")
+	}
+	for _, workers := range []int{1, 8} {
+		cfg := smallStudy(workers)
+		cfg.Faults = &rates
+		cfg.Retry = retry
+		faulty := runStudy(t, cfg)
+
+		if !reflect.DeepEqual(clean.Verdicts, faulty.Verdicts) {
+			t.Errorf("workers=%d: recoverable faults changed the verdicts", workers)
+		}
+		a := clean.SensitivityTable([]float64{1, 5, 10}).Render()
+		b := faulty.SensitivityTable([]float64{1, 5, 10}).Render()
+		if a != b {
+			t.Errorf("workers=%d: sensitivity table differs under recoverable faults:\n%s\nvs\n%s", workers, a, b)
+		}
+		if faulty.Report.Retries == 0 || faulty.Report.Recovered == 0 {
+			t.Errorf("workers=%d: faults at rate 0.3 never struck: %+v", workers, faulty.Report)
+		}
+		if faulty.Report.Degraded() {
+			t.Errorf("workers=%d: recoverable regime degraded: %v", workers, faulty.Report.DegradedEvents)
+		}
+	}
+}
+
+// Chaos property 2: above the recoverable regime degradation is
+// explicit — dropped and quarantined events are named in the report and
+// flagged on their verdicts, and the study still completes.
+func TestStudyExplicitDegradationAboveThreshold(t *testing.T) {
+	cfg := smallStudy(4)
+	cfg.Faults = &faults.Rates{TransientRead: 0.85, DroppedSample: 0.4}
+	s := runStudy(t, cfg)
+
+	r := s.Report
+	if !r.Degraded() {
+		t.Fatalf("uncapped faults at rate 0.85 never exhausted a delivery: %+v", r)
+	}
+	if len(r.DroppedByEvent) == 0 {
+		t.Error("degraded report names no dropped events")
+	}
+	flagged := 0
+	for _, v := range s.Verdicts {
+		if v.Quarantined {
+			flagged++
+		}
+	}
+	if flagged != len(r.DegradedEvents) {
+		t.Errorf("%d verdicts flagged, report names %d degraded events", flagged, len(r.DegradedEvents))
+	}
+	summary := r.Summary()
+	if !strings.Contains(summary, "DEGRADED") {
+		t.Errorf("summary does not surface degradation:\n%s", summary)
+	}
+}
+
+// Resume property: a study interrupted after any prefix of its journal
+// and re-run against the same checkpoint directory reproduces the
+// uninterrupted study byte-for-byte. The interrupt is simulated the way
+// a kill really manifests: the journal file is cut mid-line.
+func TestStudyResumeFromTruncatedJournal(t *testing.T) {
+	spec := platform.Haswell()
+	dir := t.TempDir()
+
+	cfg := smallStudy(4)
+	cfg.CheckpointDir = dir
+	want, err := RunAdditivityStudy(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "study-haswell.jsonl")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Report.Resumed != 0 {
+		t.Fatalf("first run resumed %d units", want.Report.Resumed)
+	}
+
+	// Cut the journal mid-line after roughly half its bytes — the tail
+	// left by a SIGKILL — and resume.
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := RunAdditivityStudy(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want.Verdicts, resumed.Verdicts) {
+		t.Error("verdicts differ after truncated-journal resume")
+	}
+	if resumed.Report.Resumed == 0 || resumed.Report.Resumed >= resumed.Report.Tasks {
+		t.Errorf("resumed %d of %d units, want a proper prefix", resumed.Report.Resumed, resumed.Report.Tasks)
+	}
+
+	// A second full resume replays everything.
+	again, err := RunAdditivityStudy(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Report.Resumed != again.Report.Tasks {
+		t.Errorf("complete journal resumed %d of %d units", again.Report.Resumed, again.Report.Tasks)
+	}
+	if !reflect.DeepEqual(want.Verdicts, again.Verdicts) {
+		t.Error("verdicts differ after full-journal resume")
+	}
+}
+
+// The pipeline's checkpoint covers both stages: gather units and the
+// profiling dataset. A resumed pipeline must reproduce verdicts,
+// selection and model errors exactly.
+func TestPipelineResumeByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	cfg := PipelineConfig{Platform: "haswell", Compounds: 4, CheckpointDir: dir}
+	want, err := RunPipeline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunPipeline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want.Verdicts, got.Verdicts) {
+		t.Error("verdicts differ after pipeline resume")
+	}
+	if !reflect.DeepEqual(want.Selected, got.Selected) {
+		t.Errorf("selection differs after resume: %v vs %v", want.Selected, got.Selected)
+	}
+	if want.Train != got.Train || want.Test != got.Test {
+		t.Error("model errors differ after pipeline resume")
+	}
+	if got.Report.Resumed != got.Report.Tasks {
+		t.Errorf("resumed %d of %d gather units", got.Report.Resumed, got.Report.Tasks)
+	}
+
+	// And a checkpointed run equals an unjournaled one.
+	plain, err := RunPipeline(PipelineConfig{Platform: "haswell", Compounds: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain.Verdicts, want.Verdicts) || !reflect.DeepEqual(plain.Selected, want.Selected) {
+		t.Error("checkpointing changed the pipeline outputs")
+	}
+}
+
+// FileJournal crash tolerance: garbage and truncated tails are skipped,
+// intact entries load, and the journal accepts new records afterwards.
+func TestFileJournalTolerantLoad(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	j, err := OpenFileJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record("a", []byte(`{"x":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record("b", []byte(`{"y":2}`)); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	// Append a garbage line and a truncated record.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString("not json at all\n")
+	f.WriteString(`{"unit":"c","data":{"z":`)
+	f.Close()
+
+	j2, err := OpenFileJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Len() != 2 {
+		t.Errorf("loaded %d units, want 2", j2.Len())
+	}
+	if data, ok := j2.Lookup("a"); !ok || string(data) != `{"x":1}` {
+		t.Errorf("unit a = %q, %v", data, ok)
+	}
+	if _, ok := j2.Lookup("c"); ok {
+		t.Error("truncated unit c loaded")
+	}
+	if err := j2.Record("c", []byte(`{"z":3}`)); err != nil {
+		t.Fatal(err)
+	}
+	j3, err := OpenFileJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	if j3.Len() != 3 {
+		t.Errorf("after recovery recorded %d units, want 3", j3.Len())
+	}
+}

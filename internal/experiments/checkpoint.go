@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"additivity/internal/core"
+)
+
+// FileJournal is a crash-tolerant, append-only checkpoint journal: one
+// JSON line per completed work unit. Opening an existing journal loads
+// every intact line and tolerates a truncated or garbled tail — exactly
+// what a killed process leaves behind — so a study can be interrupted at
+// any point and resumed against the same file. It implements
+// core.Journal and is safe for concurrent use by pool workers.
+type FileJournal struct {
+	mu   sync.Mutex
+	f    *os.File
+	done map[string]json.RawMessage
+}
+
+var _ core.Journal = (*FileJournal)(nil)
+
+// journalLine is the on-disk form of one completed unit.
+type journalLine struct {
+	Unit string          `json:"unit"`
+	Data json.RawMessage `json:"data"`
+}
+
+// OpenFileJournal opens (creating if needed) the journal at path and
+// loads its completed units.
+func OpenFileJournal(path string) (*FileJournal, error) {
+	done := map[string]json.RawMessage{}
+	unterminated := false
+	if existing, err := os.Open(path); err == nil {
+		// Payloads can run to hundreds of kilobytes (a full profiling
+		// dataset is one unit), far past bufio.Scanner's token limit, so
+		// read lines with a plain buffered reader.
+		r := bufio.NewReader(existing)
+		for {
+			line, err := r.ReadBytes('\n')
+			complete := err == nil
+			if len(line) > 0 {
+				unterminated = !complete
+			}
+			if len(bytes.TrimSpace(line)) > 0 && complete {
+				var jl journalLine
+				if json.Unmarshal(line, &jl) == nil && jl.Unit != "" && len(jl.Data) > 0 {
+					done[jl.Unit] = jl.Data
+				}
+				// An undecodable intact line is ignored the same way a
+				// truncated tail is: the unit is simply re-measured.
+			}
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				existing.Close()
+				return nil, fmt.Errorf("experiments: read journal %s: %w", path, err)
+			}
+		}
+		existing.Close()
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if unterminated {
+		// A killed writer can leave a newline-less tail; terminate it so
+		// the next record starts on its own line instead of extending the
+		// garbage.
+		if _, err := f.Write([]byte{'\n'}); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return &FileJournal{f: f, done: done}, nil
+}
+
+// Lookup returns the payload journaled for the unit, if any.
+func (j *FileJournal) Lookup(unit string) ([]byte, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	data, ok := j.done[unit]
+	return data, ok
+}
+
+// Record appends the unit's payload to the journal. Each record is one
+// write syscall of a complete line, so a kill between records never
+// corrupts earlier entries and a kill mid-write leaves only a truncated
+// tail that reopening tolerates.
+func (j *FileJournal) Record(unit string, payload []byte) error {
+	line, err := json.Marshal(journalLine{Unit: unit, Data: json.RawMessage(payload)})
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(line); err != nil {
+		return err
+	}
+	j.done[unit] = json.RawMessage(payload)
+	return nil
+}
+
+// Len returns the number of completed units loaded or recorded.
+func (j *FileJournal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.done)
+}
+
+// Close closes the underlying file.
+func (j *FileJournal) Close() error { return j.f.Close() }

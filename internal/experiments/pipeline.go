@@ -6,9 +6,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"path/filepath"
 
 	"additivity/internal/core"
 	"additivity/internal/dataset"
+	"additivity/internal/faults"
 	"additivity/internal/machine"
 	"additivity/internal/ml"
 	"additivity/internal/platform"
@@ -39,6 +41,26 @@ type PipelineConfig struct {
 	// fan-out (zero or negative: GOMAXPROCS). The pipeline's verdicts,
 	// selection and model are byte-identical for every worker count.
 	Workers int
+	// Faults, when non-nil, arms seeded fault injection against the
+	// pipeline's measurement stack (see StudyConfig.Faults).
+	Faults *faults.Rates
+	// Retry bounds fault-delivery retries (zero value: 4 attempts,
+	// simulated backoff).
+	Retry faults.RetryPolicy
+	// QuarantineAfter is the per-event exhausted-delivery budget before
+	// an event is dropped from collection (0: faults default).
+	QuarantineAfter int
+	// RobustMean aggregates the profiling dataset's repeated PMC samples
+	// with median/MAD outlier rejection instead of the plain mean — the
+	// mitigation for silent sample spikes. Off by default: the paper's
+	// methodology (and the seed outputs) use the plain mean.
+	RobustMean bool
+	// CheckpointDir, when set, journals completed work (each gather unit
+	// of the additivity stage, then the whole profiling dataset) to
+	// pipeline-<platform>.jsonl in that directory, and resumes journaled
+	// work — an interrupted pipeline continues with byte-identical
+	// results.
+	CheckpointDir string
 }
 
 // fill defaults the zero values and rejects misconfigurations. Negative
@@ -89,6 +111,10 @@ type PipelineResult struct {
 	Model    ml.Regressor
 	Train    ml.ErrorStats
 	Test     ml.ErrorStats
+	// Report carries the resilience layer's accounting for the
+	// additivity stage: journal resume counts, fault retries and
+	// recoveries, and any explicit degradation.
+	Report *core.CheckReport
 }
 
 // RunPipeline executes the workflow on the platform's default experiment
@@ -103,6 +129,23 @@ func RunPipeline(cfg PipelineConfig) (*PipelineResult, error) {
 	}
 	m := machine.New(spec, cfg.Seed)
 	col := pmc.NewCollector(m, cfg.Seed)
+	if cfg.Faults != nil {
+		inj := faults.New(cfg.Seed, *cfg.Faults)
+		m.SetFaults(inj.Fork("machine"), cfg.Retry)
+		col.SetFaults(inj.Fork("pmc"), cfg.Retry, cfg.QuarantineAfter)
+	}
+	if cfg.RobustMean {
+		col.Methodology = pmc.Methodology{RobustMean: true}
+	}
+	var journal *FileJournal
+	if cfg.CheckpointDir != "" {
+		j, err := OpenFileJournal(filepath.Join(cfg.CheckpointDir, "pipeline-"+spec.Name+".jsonl"))
+		if err != nil {
+			return nil, err
+		}
+		defer j.Close()
+		journal = j
+	}
 
 	candidates := cfg.Candidates
 	if len(candidates) == 0 {
@@ -134,16 +177,45 @@ func RunPipeline(cfg PipelineConfig) (*PipelineResult, error) {
 	checker := core.NewChecker(col, core.Config{
 		ToleranceFrac: cfg.TolerancePct / 100, Reps: 5, ReproCVMax: 0.20, Workers: cfg.Workers,
 	})
-	verdicts, err := checker.Check(events, compounds)
+	if journal != nil {
+		checker.Journal = journal
+	}
+	verdicts, report, err := checker.CheckWithReport(events, compounds)
 	if err != nil {
 		return nil, err
 	}
 
-	// Stage 2: profiling dataset.
-	builder := dataset.NewBuilder(m, col, events)
-	full, err := builder.Build(bases, nil)
-	if err != nil {
-		return nil, err
+	// Stage 2: profiling dataset. The builder drives the shared machine
+	// and collector sequentially, so the stage is journaled as a single
+	// unit: replaying it (or re-measuring it whole) leaves the
+	// measurement streams exactly where a fresh run would, which is what
+	// keeps resumed pipelines byte-identical. Journaling individual
+	// points would split the sequential stream across runs and break
+	// that.
+	var full *dataset.Dataset
+	if journal != nil {
+		if data, ok := journal.Lookup("dataset/full"); ok {
+			var ds dataset.Dataset
+			if json.Unmarshal(data, &ds) == nil && len(ds.Points) > 0 {
+				full = &ds
+			}
+		}
+	}
+	if full == nil {
+		builder := dataset.NewBuilder(m, col, events)
+		full, err = builder.Build(bases, nil)
+		if err != nil {
+			return nil, err
+		}
+		if journal != nil {
+			data, err := json.Marshal(full)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: journal encode dataset: %w", err)
+			}
+			if err := journal.Record("dataset/full", data); err != nil {
+				return nil, err
+			}
+		}
 	}
 	testN := full.Len() / 5
 	if testN < 1 {
@@ -202,6 +274,7 @@ func RunPipeline(cfg PipelineConfig) (*PipelineResult, error) {
 		Model:    model,
 		Train:    trainStats,
 		Test:     testStats,
+		Report:   report,
 	}, nil
 }
 

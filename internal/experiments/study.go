@@ -2,9 +2,11 @@ package experiments
 
 import (
 	"fmt"
+	"path/filepath"
 	"sort"
 
 	"additivity/internal/core"
+	"additivity/internal/faults"
 	"additivity/internal/machine"
 	"additivity/internal/platform"
 	"additivity/internal/pmc"
@@ -21,6 +23,9 @@ import (
 type AdditivityStudy struct {
 	Platform string
 	Verdicts []core.Verdict
+	// Report carries the resilience layer's accounting: journal resume
+	// counts, fault retries/recoveries, and any explicit degradation.
+	Report *core.CheckReport
 }
 
 // StudyConfig parameterises the catalog survey; zero values take
@@ -35,6 +40,22 @@ type StudyConfig struct {
 	// negative: GOMAXPROCS). The verdicts are identical for every
 	// worker count; only wall-clock time changes.
 	Workers int
+	// Faults, when non-nil, arms seeded fault injection against the
+	// survey's measurement stack. In the recoverable regime
+	// (Rates.Recoverable(Retry)) the verdicts are byte-identical to a
+	// fault-free run; above it, degradation is explicit in Report.
+	Faults *faults.Rates
+	// Retry bounds fault-delivery retries (zero value: 4 attempts,
+	// simulated backoff).
+	Retry faults.RetryPolicy
+	// QuarantineAfter is the per-event exhausted-delivery budget before
+	// an event is dropped from collection (0: faults default).
+	QuarantineAfter int
+	// CheckpointDir, when set, journals completed gather units to
+	// study-<platform>.jsonl in that directory and resumes any units
+	// already journaled there — an interrupted survey continues where it
+	// stopped with byte-identical results.
+	CheckpointDir string
 }
 
 func (c *StudyConfig) fill() error {
@@ -65,9 +86,22 @@ func RunAdditivityStudy(spec *platform.Spec, cfg StudyConfig) (*AdditivityStudy,
 	}
 	m := machine.New(spec, cfg.Seed)
 	col := pmc.NewCollector(m, cfg.Seed)
+	if cfg.Faults != nil {
+		inj := faults.New(cfg.Seed, *cfg.Faults)
+		m.SetFaults(inj.Fork("machine"), cfg.Retry)
+		col.SetFaults(inj.Fork("pmc"), cfg.Retry, cfg.QuarantineAfter)
+	}
 	checker := core.NewChecker(col, core.Config{
 		ToleranceFrac: 0.05, Reps: cfg.Reps, ReproCVMax: 0.20, Workers: cfg.Workers,
 	})
+	if cfg.CheckpointDir != "" {
+		j, err := OpenFileJournal(filepath.Join(cfg.CheckpointDir, "study-"+spec.Name+".jsonl"))
+		if err != nil {
+			return nil, err
+		}
+		defer j.Close()
+		checker.Journal = j
+	}
 
 	var compounds []workload.CompoundApp
 	if spec.Name == "haswell" {
@@ -80,11 +114,11 @@ func RunAdditivityStudy(spec *platform.Spec, cfg StudyConfig) (*AdditivityStudy,
 		compounds = workload.RandomCompounds(base, cfg.Compounds, cfg.Seed)
 	}
 
-	verdicts, err := checker.Check(platform.ReducedCatalog(spec), compounds)
+	verdicts, report, err := checker.CheckWithReport(platform.ReducedCatalog(spec), compounds)
 	if err != nil {
 		return nil, err
 	}
-	return &AdditivityStudy{Platform: spec.Name, Verdicts: verdicts}, nil
+	return &AdditivityStudy{Platform: spec.Name, Verdicts: verdicts, Report: report}, nil
 }
 
 // AdditiveCount returns how many catalog events pass the additivity test

@@ -1,0 +1,523 @@
+// Package faults provides seeded, deterministic fault injection for the
+// measurement stack. Real PMC/RAPL collection is the flakiest part of an
+// energy-modelling pipeline: perf reads fail transiently, multiplexed
+// event groups fail to schedule, 48-bit counters wrap, on-chip energy
+// accumulators return stale or overflowed values, and wall meters emit
+// outlier power spikes. This package reproduces those failure modes on
+// the simulated stack so the resilience layer (bounded retry, per-event
+// quarantine, robust aggregation) can be exercised and property-tested.
+//
+// Every injection decision is a pure function of the injector's
+// construction path — (base seed, fork labels, per-class decision index)
+// — and never of shared mutable RNG state. Forking an injector under a
+// label neither reads nor advances the parent, exactly like
+// machine.Fork and stats.TaskSeed, so the parallel experiment engine can
+// give every task its own injector and keep the injected fault sequence
+// identical across worker counts and scheduling orders. Crucially, the
+// injector's decision streams are disjoint from the measurement noise
+// streams: arming faults perturbs *delivery* of readings, never the
+// readings themselves, which is what makes the determinism-under-faults
+// contract provable (see Deliver).
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Class identifies one injected fault mode.
+type Class uint8
+
+const (
+	// TransientRead is a failed counter read: the perf syscall errored
+	// or the event group failed to schedule this time. Retrying re-reads
+	// the same end-of-run register value.
+	TransientRead Class = iota
+	// DroppedSample is a zeroed/garbage PMC sample. The collection
+	// layer's plausibility check catches it, so it is retried like a
+	// transient, but it is classified as corruption, not slowness.
+	DroppedSample
+	// CounterWrap is a 48-bit counter wraparound delivered to a
+	// boundary-read tool. The collector's wrap check detects the
+	// truncation and re-derives the unwrapped count.
+	CounterWrap
+	// SampleSpike is a silent multiplicative outlier on a PMC sample.
+	// Nothing in the delivery path can detect it; only robust
+	// aggregation (median/MAD rejection in CollectMean) mitigates it.
+	SampleSpike
+	// RunFailure aborts an application run transiently (OOM kill,
+	// scheduler preemption); the run is re-executed.
+	RunFailure
+	// MeterGlitch is a transient wall-meter failure (serial-link
+	// timeout); the meter's internal energy accumulator is unaffected,
+	// so a re-read delivers the true reading.
+	MeterGlitch
+	// PowerSpike is an implausible wall-power reading. The measurement
+	// methodology's sanity filter rejects and re-reads it; if the spike
+	// persists past the retry budget the outlier is delivered and
+	// counted, never silently averaged in.
+	PowerSpike
+	// RAPLStale is an on-chip energy accumulator returning a stale
+	// value (zero observed delta).
+	RAPLStale
+	// RAPLOverflow wraps the on-chip 32-bit energy-status register.
+	RAPLOverflow
+
+	numClasses
+)
+
+var classNames = [numClasses]string{
+	"transient-read", "dropped-sample", "counter-wrap", "sample-spike",
+	"run-failure", "meter-glitch", "power-spike", "rapl-stale", "rapl-overflow",
+}
+
+// String returns the class's stable report name.
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("class(%d)", int(c))
+}
+
+// Transient reports whether the class is a delivery-path transient: a
+// retry re-delivers the true value with no information lost.
+func (c Class) Transient() bool {
+	switch c {
+	case TransientRead, RunFailure, MeterGlitch, RAPLStale:
+		return true
+	}
+	return false
+}
+
+// Corrupt reports whether the class delivers a wrong value rather than
+// no value. Detectable corruption (dropped samples, wraps, power
+// spikes) is caught and retried by the resilience layer; silent
+// corruption (SampleSpike) is not.
+func (c Class) Corrupt() bool { return !c.Transient() }
+
+// Silent reports whether the class evades the delivery-path checks
+// entirely, so retry cannot recover it.
+func (c Class) Silent() bool { return c == SampleSpike }
+
+// Rates configures per-class injection probabilities (each in [0, 1],
+// applied per delivery opportunity). The zero value injects nothing.
+type Rates struct {
+	TransientRead float64
+	DroppedSample float64
+	CounterWrap   float64
+	SampleSpike   float64
+	RunFailure    float64
+	MeterGlitch   float64
+	PowerSpike    float64
+	RAPLStale     float64
+	RAPLOverflow  float64
+
+	// MaxConsecutive bounds the number of faulted attempts within a
+	// single delivery: once that many attempts of one delivery have
+	// faulted, the next attempt is forced clean. This is the
+	// "quarantine threshold" dial of the determinism contract — any
+	// fault sequence with 0 < MaxConsecutive < RetryPolicy.MaxAttempts
+	// is fully recovered by bounded retry, so outputs are byte-identical
+	// to the fault-free run. 0 leaves fault runs unbounded (deliveries
+	// can exhaust their retries and degrade).
+	MaxConsecutive int
+}
+
+func (r Rates) rate(c Class) float64 {
+	switch c {
+	case TransientRead:
+		return r.TransientRead
+	case DroppedSample:
+		return r.DroppedSample
+	case CounterWrap:
+		return r.CounterWrap
+	case SampleSpike:
+		return r.SampleSpike
+	case RunFailure:
+		return r.RunFailure
+	case MeterGlitch:
+		return r.MeterGlitch
+	case PowerSpike:
+		return r.PowerSpike
+	case RAPLStale:
+		return r.RAPLStale
+	case RAPLOverflow:
+		return r.RAPLOverflow
+	}
+	return 0
+}
+
+// Uniform returns rates injecting every *detectable* fault class at
+// probability p with the given per-delivery fault cap. Silent spikes
+// are excluded: they cannot be recovered by retry, so a uniform-chaos
+// run with maxConsecutive < MaxAttempts stays byte-identical to a
+// fault-free run.
+func Uniform(p float64, maxConsecutive int) Rates {
+	return Rates{
+		TransientRead: p, DroppedSample: p, CounterWrap: p,
+		RunFailure: p, MeterGlitch: p, PowerSpike: p,
+		RAPLStale: p, RAPLOverflow: p,
+		MaxConsecutive: maxConsecutive,
+	}
+}
+
+// Recoverable reports whether every injected fault sequence under these
+// rates is guaranteed recovered within the retry budget — the regime in
+// which the determinism contract promises byte-identical outputs.
+func (r Rates) Recoverable(p RetryPolicy) bool {
+	return r.SampleSpike == 0 && r.MaxConsecutive > 0 &&
+		r.MaxConsecutive < p.normalize().MaxAttempts
+}
+
+// Error is a typed measurement fault. Transient errors mean the
+// delivery never produced a value; corrupt errors mean the produced
+// value was detected as wrong (or, for exhausted PowerSpike deliveries,
+// delivered and flagged).
+type Error struct {
+	Class   Class
+	Site    string
+	Attempt int
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("faults: %s at %s (attempt %d)", e.Class, e.Site, e.Attempt)
+}
+
+// IsTransient reports whether err is an injected transient fault.
+func IsTransient(err error) bool {
+	var fe *Error
+	return errors.As(err, &fe) && fe.Class.Transient()
+}
+
+// IsCorrupt reports whether err is an injected corrupt-sample fault.
+func IsCorrupt(err error) bool {
+	var fe *Error
+	return errors.As(err, &fe) && fe.Class.Corrupt()
+}
+
+// Counters aggregates injection and recovery counts across an injector
+// and all its forks. Updates are atomic: forks inject concurrently from
+// pool workers.
+type Counters struct {
+	injected  [numClasses]atomic.Int64
+	retries   atomic.Int64
+	recovered atomic.Int64
+	exhausted atomic.Int64
+}
+
+// CountersSnapshot is a point-in-time copy of the shared counters.
+type CountersSnapshot struct {
+	Injected  map[string]int64 // per fault class, only non-zero entries
+	Retries   int64            // delivery attempts beyond the first
+	Recovered int64            // deliveries that succeeded after >= 1 faulted attempt
+	Exhausted int64            // deliveries that failed every attempt
+}
+
+// Total returns the total number of injected faults.
+func (s CountersSnapshot) Total() int64 {
+	var n int64
+	for _, v := range s.Injected {
+		n += v
+	}
+	return n
+}
+
+// Snapshot copies the counters.
+func (c *Counters) Snapshot() CountersSnapshot {
+	s := CountersSnapshot{
+		Injected:  map[string]int64{},
+		Retries:   c.retries.Load(),
+		Recovered: c.recovered.Load(),
+		Exhausted: c.exhausted.Load(),
+	}
+	for i := range c.injected {
+		if n := c.injected[i].Load(); n > 0 {
+			s.Injected[Class(i).String()] = n
+		}
+	}
+	return s
+}
+
+// Injector draws per-class fault decisions from streams derived purely
+// from its construction path. A nil *Injector is valid and injects
+// nothing, so call sites need no guards.
+type Injector struct {
+	rates    Rates
+	seed     uint64
+	counters *Counters
+	n        [numClasses]uint64 // per-class decision index
+}
+
+// New returns an injector over the seed with the given rates.
+func New(seed int64, rates Rates) *Injector {
+	return &Injector{rates: rates, seed: splitmix(uint64(seed)), counters: &Counters{}}
+}
+
+// Fork derives an independent child injector from this injector's seed
+// and the label, sharing the aggregate counters. Forking neither reads
+// nor advances the parent's decision streams.
+func (in *Injector) Fork(label string) *Injector {
+	if in == nil {
+		return nil
+	}
+	h := fnv.New64a()
+	h.Write([]byte(label))
+	return &Injector{
+		rates:    in.rates,
+		seed:     splitmix(in.seed ^ h.Sum64()),
+		counters: in.counters,
+	}
+}
+
+// Counters returns the aggregate counters shared by this injector and
+// every fork in its tree (nil for a nil injector).
+func (in *Injector) Counters() *Counters {
+	if in == nil {
+		return nil
+	}
+	return in.counters
+}
+
+// Inject draws the next decision of the class's stream: true means a
+// fault of that class strikes this opportunity.
+func (in *Injector) Inject(c Class) bool {
+	if in == nil {
+		return false
+	}
+	p := in.rates.rate(c)
+	in.n[c]++
+	if p <= 0 {
+		return false
+	}
+	if unitFloat(splitmix(in.seed^classSalt(c, in.n[c]))) >= p {
+		return false
+	}
+	in.counters.injected[c].Add(1)
+	return true
+}
+
+// Spike draws the class's next decision and, when it injects, a
+// deterministic multiplicative outlier factor in [lo, hi).
+func (in *Injector) Spike(c Class, lo, hi float64) (float64, bool) {
+	if !in.Inject(c) {
+		return 1, false
+	}
+	return in.Factor(c, lo, hi), true
+}
+
+// Factor returns the next deterministic factor in [lo, hi) from the
+// class's factor stream (used for outlier magnitudes).
+func (in *Injector) Factor(c Class, lo, hi float64) float64 {
+	if in == nil {
+		return 1
+	}
+	in.n[c]++
+	u := unitFloat(splitmix(in.seed ^ classSalt(c, in.n[c]) ^ 0xf1c7a2))
+	return lo + (hi-lo)*u
+}
+
+// Outcome reports one delivery through the injector.
+type Outcome struct {
+	// Attempts is the number of delivery attempts made (1 = clean first
+	// try).
+	Attempts int
+	// Backoff is the deterministic backoff the retry schedule accrued
+	// (simulated when the policy's base is zero).
+	Backoff time.Duration
+	// Last is the fault class of the last faulted attempt.
+	Last Class
+	// Err is non-nil when every attempt faulted; its class is the last
+	// injected fault.
+	Err *Error
+}
+
+// Deliver attempts one delivery at the site, drawing the given fault
+// classes in order on each attempt, retrying per the policy with
+// deterministic exponential backoff. The value being delivered is
+// computed by the caller exactly once before Deliver, so retries never
+// touch the measurement RNG streams — recovered deliveries are
+// byte-identical to fault-free ones. Rates.MaxConsecutive caps the
+// faulted attempts of the delivery; with MaxConsecutive < MaxAttempts a
+// delivery can never exhaust.
+func (in *Injector) Deliver(p RetryPolicy, site string, classes ...Class) Outcome {
+	p = p.normalize()
+	out := Outcome{Attempts: 1}
+	if in == nil {
+		return out
+	}
+	faulted := 0
+	for a := 1; a <= p.MaxAttempts; a++ {
+		out.Attempts = a
+		injected := false
+		if in.rates.MaxConsecutive <= 0 || faulted < in.rates.MaxConsecutive {
+			for _, cl := range classes {
+				if in.Inject(cl) {
+					injected, out.Last = true, cl
+					break
+				}
+			}
+		}
+		if !injected {
+			if a > 1 {
+				in.counters.recovered.Add(1)
+			}
+			return out
+		}
+		faulted++
+		if a < p.MaxAttempts {
+			in.counters.retries.Add(1)
+			d := p.Backoff(a)
+			out.Backoff += d
+			if p.BaseBackoff > 0 {
+				time.Sleep(d)
+			}
+		}
+	}
+	in.counters.exhausted.Add(1)
+	out.Err = &Error{Class: out.Last, Site: site, Attempt: out.Attempts}
+	return out
+}
+
+// RetryPolicy bounds fault-delivery retries.
+type RetryPolicy struct {
+	// MaxAttempts is the total delivery attempts (default 4).
+	MaxAttempts int
+	// BaseBackoff is the base of the exponential backoff schedule. Zero
+	// (the default) keeps the backoff purely simulated — accrued in the
+	// delivery outcome but never slept — so experiments stay fast; a
+	// positive base makes Deliver sleep the schedule for real.
+	BaseBackoff time.Duration
+	// MaxBackoff caps one backoff step (default 100ms when sleeping).
+	MaxBackoff time.Duration
+}
+
+// DefaultRetryPolicy returns the default bounded-retry policy: four
+// attempts, simulated backoff.
+func DefaultRetryPolicy() RetryPolicy { return RetryPolicy{MaxAttempts: 4} }
+
+func (p RetryPolicy) normalize() RetryPolicy {
+	if p.MaxAttempts < 1 {
+		p.MaxAttempts = 4
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 100 * time.Millisecond
+	}
+	return p
+}
+
+// Backoff returns the deterministic backoff after the attempt-th
+// failure: base·2^(attempt−1), capped. With a zero base the schedule is
+// computed over a 1ms virtual base for the simulated ledger.
+func (p RetryPolicy) Backoff(attempt int) time.Duration {
+	p = p.normalize()
+	base := p.BaseBackoff
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	d := base
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if d >= p.MaxBackoff {
+			return p.MaxBackoff
+		}
+	}
+	if d > p.MaxBackoff {
+		d = p.MaxBackoff
+	}
+	return d
+}
+
+// Quarantine tracks per-item exhausted deliveries and drops items whose
+// failure count reaches the threshold — the graceful-degradation stage
+// behind bounded retry. It is not safe for concurrent use; the
+// collector keeps one per fork, so quarantine decisions depend only on
+// the fork's own fault stream, never on worker scheduling.
+type Quarantine struct {
+	threshold int
+	mu        sync.Mutex
+	failures  map[string]int
+	out       map[string]bool
+}
+
+// DefaultQuarantineAfter is the default exhausted-delivery budget per
+// item before it is quarantined.
+const DefaultQuarantineAfter = 3
+
+// NewQuarantine returns a tracker quarantining items after threshold
+// exhausted deliveries (<= 0: DefaultQuarantineAfter).
+func NewQuarantine(threshold int) *Quarantine {
+	if threshold <= 0 {
+		threshold = DefaultQuarantineAfter
+	}
+	return &Quarantine{threshold: threshold}
+}
+
+// Failure records one exhausted delivery for the item and reports
+// whether the item just crossed into quarantine.
+func (q *Quarantine) Failure(item string) bool {
+	if q == nil {
+		return false
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.failures == nil {
+		q.failures = map[string]int{}
+	}
+	q.failures[item]++
+	if q.failures[item] >= q.threshold && !q.out[item] {
+		if q.out == nil {
+			q.out = map[string]bool{}
+		}
+		q.out[item] = true
+		return true
+	}
+	return false
+}
+
+// Quarantined reports whether the item has been dropped.
+func (q *Quarantine) Quarantined(item string) bool {
+	if q == nil {
+		return false
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.out[item]
+}
+
+// Items returns the quarantined items, sorted.
+func (q *Quarantine) Items() []string {
+	if q == nil {
+		return nil
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	items := make([]string, 0, len(q.out))
+	for it := range q.out {
+		items = append(items, it)
+	}
+	sort.Strings(items)
+	return items
+}
+
+// splitmix is the splitmix64 mixer (Steele et al.), the same primitive
+// behind stats.TaskSeed.
+func splitmix(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func classSalt(c Class, n uint64) uint64 {
+	return splitmix(uint64(c+1)*0x9e3779b97f4a7c15 + n)
+}
+
+// unitFloat maps a 64-bit hash to [0, 1).
+func unitFloat(u uint64) float64 {
+	return float64(u>>11) / (1 << 53)
+}

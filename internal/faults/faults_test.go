@@ -1,0 +1,203 @@
+package faults
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestInjectorDeterministic(t *testing.T) {
+	draw := func() []bool {
+		in := New(42, Rates{TransientRead: 0.3, DroppedSample: 0.1})
+		out := make([]bool, 0, 200)
+		for i := 0; i < 100; i++ {
+			out = append(out, in.Inject(TransientRead))
+			out = append(out, in.Inject(DroppedSample))
+		}
+		return out
+	}
+	if !reflect.DeepEqual(draw(), draw()) {
+		t.Fatal("same seed and rates drew different fault sequences")
+	}
+
+	// The realised rate must be in the right ballpark.
+	in := New(7, Rates{TransientRead: 0.3})
+	n := 0
+	for i := 0; i < 10000; i++ {
+		if in.Inject(TransientRead) {
+			n++
+		}
+	}
+	if n < 2500 || n > 3500 {
+		t.Errorf("rate 0.3 injected %d/10000", n)
+	}
+}
+
+func TestForkIndependentOfParentState(t *testing.T) {
+	// A fork's stream depends only on (seed, label), not on how much the
+	// parent has injected.
+	fresh := New(11, Uniform(0.5, 0))
+	forkA := fresh.Fork("task")
+	var a []bool
+	for i := 0; i < 50; i++ {
+		a = append(a, forkA.Inject(TransientRead))
+	}
+
+	busy := New(11, Uniform(0.5, 0))
+	for i := 0; i < 1000; i++ {
+		busy.Inject(TransientRead)
+		busy.Inject(RunFailure)
+	}
+	forkB := busy.Fork("task")
+	var b []bool
+	for i := 0; i < 50; i++ {
+		b = append(b, forkB.Inject(TransientRead))
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("fork stream depends on parent's mutable state")
+	}
+
+	// Distinct labels give distinct streams.
+	forkC := fresh.Fork("other-task")
+	var c []bool
+	for i := 0; i < 50; i++ {
+		c = append(c, forkC.Inject(TransientRead))
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Error("distinct fork labels drew identical streams")
+	}
+}
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if in.Inject(TransientRead) {
+		t.Error("nil injector injected")
+	}
+	if _, ok := in.Spike(SampleSpike, 2, 4); ok {
+		t.Error("nil injector spiked")
+	}
+	if in.Fork("x") != nil {
+		t.Error("nil fork not nil")
+	}
+	out := in.Deliver(DefaultRetryPolicy(), "site", TransientRead)
+	if out.Err != nil || out.Attempts != 1 {
+		t.Errorf("nil delivery: %+v", out)
+	}
+}
+
+func TestDeliverRecoversWithinBudget(t *testing.T) {
+	// MaxConsecutive < MaxAttempts: no delivery can ever exhaust, at any
+	// seed and rate — the recoverable regime of the determinism contract.
+	for _, seed := range []int64{1, 2, 3, 99, 12345} {
+		rates := Uniform(0.9, 2)
+		if !rates.Recoverable(RetryPolicy{MaxAttempts: 4}) {
+			t.Fatal("rates should be recoverable")
+		}
+		in := New(seed, rates)
+		for i := 0; i < 500; i++ {
+			out := in.Deliver(RetryPolicy{MaxAttempts: 4}, "site",
+				TransientRead, DroppedSample, CounterWrap)
+			if out.Err != nil {
+				t.Fatalf("seed %d delivery %d exhausted despite MaxConsecutive=2", seed, i)
+			}
+			if out.Attempts > 3 {
+				t.Fatalf("seed %d delivery %d took %d attempts, cap is 2 faults", seed, i, out.Attempts)
+			}
+		}
+	}
+}
+
+func TestDeliverExhaustsAboveBudget(t *testing.T) {
+	in := New(5, Rates{TransientRead: 1})
+	out := in.Deliver(RetryPolicy{MaxAttempts: 3}, "ev", TransientRead)
+	if out.Err == nil {
+		t.Fatal("certain fault with no cap should exhaust")
+	}
+	if out.Attempts != 3 {
+		t.Errorf("attempts = %d, want 3", out.Attempts)
+	}
+	if !IsTransient(out.Err) || IsCorrupt(out.Err) {
+		t.Errorf("transient-read error classified wrong: %v", out.Err)
+	}
+	var fe *Error
+	if !errors.As(error(out.Err), &fe) || fe.Site != "ev" {
+		t.Errorf("error site = %v", out.Err)
+	}
+	snap := in.Counters().Snapshot()
+	if snap.Exhausted != 1 || snap.Retries != 2 {
+		t.Errorf("counters: %+v", snap)
+	}
+}
+
+func TestBackoffSchedule(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 5, BaseBackoff: 2 * time.Millisecond, MaxBackoff: 10 * time.Millisecond}
+	got := []time.Duration{p.Backoff(1), p.Backoff(2), p.Backoff(3), p.Backoff(4)}
+	want := []time.Duration{2 * time.Millisecond, 4 * time.Millisecond, 8 * time.Millisecond, 10 * time.Millisecond}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("backoff schedule %v, want %v", got, want)
+	}
+	// Simulated schedule (zero base) still accrues a ledger.
+	sim := RetryPolicy{MaxAttempts: 4}
+	if sim.Backoff(1) <= 0 {
+		t.Error("simulated backoff ledger empty")
+	}
+}
+
+func TestQuarantineThreshold(t *testing.T) {
+	q := NewQuarantine(3)
+	for i := 0; i < 2; i++ {
+		if q.Failure("EV") {
+			t.Fatal("quarantined before threshold")
+		}
+	}
+	if q.Quarantined("EV") {
+		t.Fatal("quarantined at 2 failures with threshold 3")
+	}
+	if !q.Failure("EV") {
+		t.Fatal("third failure should quarantine")
+	}
+	if !q.Quarantined("EV") || q.Quarantined("OTHER") {
+		t.Fatal("quarantine membership wrong")
+	}
+	q.Failure("ALPHA")
+	q.Failure("ALPHA")
+	q.Failure("ALPHA")
+	if got := q.Items(); !reflect.DeepEqual(got, []string{"ALPHA", "EV"}) {
+		t.Errorf("items = %v", got)
+	}
+	var nilQ *Quarantine
+	if nilQ.Failure("x") || nilQ.Quarantined("x") || nilQ.Items() != nil {
+		t.Error("nil quarantine not inert")
+	}
+}
+
+func TestSpikeFactorRange(t *testing.T) {
+	in := New(3, Rates{SampleSpike: 1})
+	for i := 0; i < 100; i++ {
+		f, ok := in.Spike(SampleSpike, 4, 16)
+		if !ok {
+			t.Fatal("certain spike did not inject")
+		}
+		if f < 4 || f >= 16 {
+			t.Fatalf("spike factor %v outside [4,16)", f)
+		}
+	}
+}
+
+func TestClassTaxonomy(t *testing.T) {
+	for c := Class(0); c < numClasses; c++ {
+		if c.Transient() == c.Corrupt() {
+			t.Errorf("%s both/neither transient and corrupt", c)
+		}
+		if c.Silent() && !c.Corrupt() {
+			t.Errorf("%s silent but not corrupt", c)
+		}
+		if c.String() == "" {
+			t.Errorf("class %d unnamed", c)
+		}
+	}
+	if !SampleSpike.Silent() || TransientRead.Silent() {
+		t.Error("silence taxonomy wrong")
+	}
+}

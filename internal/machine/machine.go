@@ -15,8 +15,11 @@
 package machine
 
 import (
+	"strconv"
+
 	"additivity/internal/activity"
 	"additivity/internal/energy"
+	"additivity/internal/faults"
 	"additivity/internal/platform"
 	"additivity/internal/stats"
 	"additivity/internal/workload"
@@ -35,6 +38,18 @@ type Machine struct {
 	// dvfs is the frequency scale (0 means nominal 1.0); see
 	// SetFrequencyScale.
 	dvfs float64
+
+	inj   *faults.Injector
+	retry faults.RetryPolicy
+}
+
+// SetFaults arms the machine with a fault injector and bounded-retry
+// policy: application runs suffer injected transient failures
+// (re-executed within the retry budget), and the measurement pipeline's
+// meters inherit forks of the injector. A nil injector disarms.
+func (m *Machine) SetFaults(inj *faults.Injector, retry faults.RetryPolicy) {
+	m.inj = inj
+	m.retry = retry
 }
 
 // New returns a machine for the platform, seeded for reproducibility.
@@ -63,6 +78,8 @@ func (m *Machine) Fork(label string) *Machine {
 		seed:  m.seed,
 		rng:   stats.SplitSeed(m.seed, "machine-"+m.Spec.Name+"/fork/"+label),
 		dvfs:  m.dvfs,
+		inj:   m.inj.Fork("machine/" + label),
+		retry: m.retry,
 	}
 }
 
@@ -96,7 +113,7 @@ func (m *Machine) Run(parts ...workload.App) Run {
 		panic("machine: Run with no parts")
 	}
 	m.runIndex++
-	g := m.rng.Split("run-" + itoa(m.runIndex))
+	g := m.rng.Split("run-" + strconv.FormatInt(m.runIndex, 10))
 
 	var total activity.Vector
 	seconds := 0.0
@@ -137,6 +154,14 @@ func (m *Machine) Run(parts ...workload.App) Run {
 	for _, ps := range stats {
 		trueJoules += ps.DynamicJoules
 	}
+	// Deliver the realised run through the fault-injection path. The run
+	// is computed exactly once above (a single advance of the noise
+	// stream); an injected transient failure (OOM kill, preemption)
+	// re-executes it deterministically, so a recovered delivery yields
+	// the identical run and fault-free outputs stay byte-identical. A
+	// delivery that exhausts its budget still returns the computed run —
+	// the exhaustion is visible in the injector's counters.
+	m.inj.Deliver(m.retry, "run/"+name, faults.RunFailure)
 	return Run{
 		Name:              name,
 		Phases:            len(parts),
@@ -177,18 +202,4 @@ func (m *Machine) phaseSeconds(v activity.Vector, parallel bool) float64 {
 	}
 	hz := m.Spec.BaseGHz * 1e9 * m.FrequencyScale()
 	return v.Get(activity.Cycles) / (cores * hz)
-}
-
-func itoa(n int64) string {
-	if n == 0 {
-		return "0"
-	}
-	var buf [20]byte
-	i := len(buf)
-	for n > 0 {
-		i--
-		buf[i] = byte('0' + n%10)
-		n /= 10
-	}
-	return string(buf[i:])
 }

@@ -1,6 +1,8 @@
 package machine
 
 import (
+	"strconv"
+
 	"additivity/internal/energy"
 	"additivity/internal/stats"
 	"additivity/internal/workload"
@@ -71,5 +73,10 @@ func (m *Machine) MeasureDynamicEnergy(meth Methodology, parts ...workload.App) 
 // behind the HCLWattsUp API with the platform's static power.
 func (m *Machine) newHCL() *energy.HCLWattsUp {
 	m.runIndex++
-	return energy.NewHCLWattsUp(m.Spec.IdleWatts, m.rng.Split("hcl-"+itoa(m.runIndex)).Int63())
+	idx := strconv.FormatInt(m.runIndex, 10)
+	hcl := energy.NewHCLWattsUp(m.Spec.IdleWatts, m.rng.Split("hcl-"+idx).Int63())
+	if m.inj != nil {
+		hcl.SetFaults(m.inj.Fork("hcl/"+idx), m.retry)
+	}
+	return hcl
 }

@@ -3,7 +3,10 @@ package pmc
 import (
 	"fmt"
 	"sort"
+	"strconv"
+	"time"
 
+	"additivity/internal/faults"
 	"additivity/internal/machine"
 	"additivity/internal/platform"
 	"additivity/internal/stats"
@@ -56,14 +59,67 @@ func ScheduleGroups(events []platform.Event, registers int) ([]Group, error) {
 	return groups, nil
 }
 
+// Methodology configures the collector's statistical treatment of
+// repeated samples. The zero value reproduces the paper's plain sample
+// mean, keeping default outputs unchanged.
+type Methodology struct {
+	// RobustMean aggregates repeated samples with median/MAD outlier
+	// rejection instead of the plain mean — the mitigation for silent
+	// sample spikes that no delivery-path check can catch.
+	RobustMean bool
+	// MADCut is the rejection cut in scaled MADs (0 means 3.5).
+	MADCut float64
+}
+
+// DefaultMADCut is the median/MAD rejection cut used when Methodology
+// enables RobustMean without choosing one.
+const DefaultMADCut = 3.5
+
+// CollectStats summarises the resilience layer's activity on one
+// collector (or collector fork): what was injected against it, what was
+// recovered by retry, and what had to be degraded.
+type CollectStats struct {
+	// Reads is the total number of counter reads produced.
+	Reads int64
+	// Wrapped counts, per event, reads whose raw 48-bit register value
+	// wrapped (information a boundary-read tool would have lost).
+	Wrapped map[string]int
+	// Retries is the number of delivery attempts beyond the first.
+	Retries int64
+	// Recovered is the number of deliveries that succeeded after at
+	// least one faulted attempt.
+	Recovered int64
+	// SilentSpikes is the number of samples corrupted by undetectable
+	// multiplicative spikes (only robust aggregation mitigates these).
+	SilentSpikes int64
+	// Dropped counts, per event, deliveries that exhausted their retry
+	// budget and delivered no sample.
+	Dropped map[string]int
+	// Quarantined lists events dropped from collection after repeated
+	// exhausted deliveries, sorted.
+	Quarantined []string
+	// SimulatedBackoff is the total deterministic backoff the retry
+	// schedule accrued (wall-slept only when the policy's base is set).
+	SimulatedBackoff time.Duration
+}
+
 // Collector gathers PMC values for applications by scheduling events onto
 // the platform's counter registers and executing one application run per
 // group — the Likwid-style multiplexed collection the paper describes.
 type Collector struct {
 	Machine *machine.Machine
-	seed    int64
-	rng     *stats.RNG
-	reads   int64
+	// Methodology selects the aggregation treatment for CollectMean.
+	Methodology Methodology
+
+	seed  int64
+	rng   *stats.RNG
+	reads int64
+
+	inj        *faults.Injector
+	retry      faults.RetryPolicy
+	qafter     int
+	quarantine *faults.Quarantine
+	cstats     CollectStats
 }
 
 // NewCollector returns a collector over the given machine.
@@ -75,19 +131,66 @@ func NewCollector(m *machine.Machine, seed int64) *Collector {
 	}
 }
 
+// SetFaults arms the collector with a fault injector and bounded-retry
+// policy. Exhausted deliveries count against the per-event quarantine
+// budget (quarantineAfter <= 0 uses faults.DefaultQuarantineAfter); a
+// quarantined event is dropped from subsequent collection rather than
+// failing the study. A nil injector disarms.
+func (c *Collector) SetFaults(inj *faults.Injector, retry faults.RetryPolicy, quarantineAfter int) {
+	c.inj = inj
+	c.retry = retry
+	c.qafter = quarantineAfter
+	c.quarantine = nil
+	if inj != nil {
+		c.quarantine = faults.NewQuarantine(quarantineAfter)
+	}
+}
+
 // Fork returns an independent collector (over an equally independent
 // fork of the machine) whose read-noise streams derive purely from the
 // base seed and the label, not from the parent's mutable state. Forks
 // under distinct labels are mutually independent and unaffected by how
 // much the parent has collected, which is what lets the parallel
 // experiment engine give every task its own collector and still keep
-// results identical across worker counts and scheduling orders.
+// results identical across worker counts and scheduling orders. An
+// armed fault injector forks the same way, and each fork quarantines
+// independently, so fault and quarantine decisions are also invariant
+// to worker scheduling.
 func (c *Collector) Fork(label string) *Collector {
-	return &Collector{
-		Machine: c.Machine.Fork(label),
-		seed:    c.seed,
-		rng:     stats.SplitSeed(c.seed, "collector-"+c.Machine.Spec.Name+"/fork/"+label),
+	f := &Collector{
+		Machine:     c.Machine.Fork(label),
+		Methodology: c.Methodology,
+		seed:        c.seed,
+		rng:         stats.SplitSeed(c.seed, "collector-"+c.Machine.Spec.Name+"/fork/"+label),
+		inj:         c.inj.Fork("collector/" + label),
+		retry:       c.retry,
+		qafter:      c.qafter,
 	}
+	if f.inj != nil {
+		f.quarantine = faults.NewQuarantine(c.qafter)
+	}
+	return f
+}
+
+// Stats returns a copy of the collector's resilience statistics.
+func (c *Collector) Stats() CollectStats {
+	s := c.cstats
+	s.Reads = c.reads
+	s.Wrapped = copyCounts(c.cstats.Wrapped)
+	s.Dropped = copyCounts(c.cstats.Dropped)
+	s.Quarantined = c.quarantine.Items()
+	return s
+}
+
+func copyCounts(m map[string]int) map[string]int {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
 }
 
 // Counts maps event names to collected counter values.
@@ -98,6 +201,11 @@ type Counts map[string]float64
 // of application runs the collection required. Counter values from
 // different events may come from different runs — exactly the
 // inconsistency real multiplexed collection has.
+//
+// Under fault injection, an event whose delivery exhausts its retry
+// budget is absent from the returned counts for that collection, and an
+// event quarantined after repeated exhaustion is skipped outright —
+// collection degrades per event instead of failing.
 func (c *Collector) Collect(events []platform.Event, parts ...workload.App) (Counts, int, error) {
 	groups, err := ScheduleGroups(events, c.Machine.Spec.Registers)
 	if err != nil {
@@ -107,7 +215,12 @@ func (c *Collector) Collect(events []platform.Event, parts ...workload.App) (Cou
 	for _, grp := range groups {
 		run := c.Machine.Run(parts...)
 		for _, ev := range grp {
-			counts[ev.Name] = c.read(run, ev)
+			if c.quarantine.Quarantined(ev.Name) {
+				continue
+			}
+			if v, ok := c.deliver(run, ev); ok {
+				counts[ev.Name] = v
+			}
 		}
 	}
 	return counts, len(groups), nil
@@ -115,11 +228,16 @@ func (c *Collector) Collect(events []platform.Event, parts ...workload.App) (Cou
 
 // CollectMean collects the events reps times and returns per-event sample
 // means — the paper's statistical methodology applied to counter values.
+// With Methodology.RobustMean set, per-event samples are aggregated with
+// median/MAD outlier rejection instead; otherwise the plain mean keeps
+// results bit-identical to the pre-resilience collector. Events that
+// delivered no samples (dropped or quarantined throughout) are absent
+// from the result.
 func (c *Collector) CollectMean(events []platform.Event, reps int, parts ...workload.App) (Counts, int, error) {
 	if reps < 1 {
 		reps = 1
 	}
-	sums := make(Counts, len(events))
+	samples := make(map[string][]float64, len(events))
 	totalRuns := 0
 	for r := 0; r < reps; r++ {
 		counts, runs, err := c.Collect(events, parts...)
@@ -127,14 +245,25 @@ func (c *Collector) CollectMean(events []platform.Event, reps int, parts ...work
 			return nil, 0, err
 		}
 		totalRuns += runs
-		for k, v := range counts {
-			sums[k] += v
+		for _, ev := range events {
+			if v, ok := counts[ev.Name]; ok {
+				samples[ev.Name] = append(samples[ev.Name], v)
+			}
 		}
 	}
-	for k := range sums {
-		sums[k] /= float64(reps)
+	means := make(Counts, len(samples))
+	for k, xs := range samples {
+		if c.Methodology.RobustMean {
+			cut := c.Methodology.MADCut
+			if cut == 0 {
+				cut = DefaultMADCut
+			}
+			means[k] = stats.RobustMean(xs, cut)
+		} else {
+			means[k] = stats.Mean(xs)
+		}
 	}
-	return sums, totalRuns, nil
+	return means, totalRuns, nil
 }
 
 // CollectGroup collects one of the platform's named performance groups
@@ -177,7 +306,7 @@ const counterMax = float64(uint64(1) << counterBits)
 // spurious counts.
 func (c *Collector) read(run machine.Run, ev platform.Event) float64 {
 	c.reads++
-	g := c.rng.Split("read-" + itoa(c.reads))
+	g := c.rng.Split("read-" + strconv.FormatInt(c.reads, 10))
 	if ev.LowCount {
 		return float64(g.Intn(11))
 	}
@@ -185,22 +314,68 @@ func (c *Collector) read(run machine.Run, ev platform.Event) float64 {
 	return ideal * g.LogNormalFactor(ReadSigma(ev))
 }
 
-// RawRead returns the 48-bit register value a single end-of-run read
-// would observe for the event — wrapped, the way the hardware exposes it.
-// Tools that read only at run boundaries (instead of polling) see these
-// truncated values; Wrapped reports whether information was lost.
-func (c *Collector) RawRead(run machine.Run, ev platform.Event) (value float64, wrapped bool) {
+// deliver produces the event's reading for the run and carries it
+// through the fault-injection delivery path: the true value is computed
+// exactly once (a single advance of the measurement noise stream), then
+// injected transient-read, dropped-sample, and counter-wrap faults are
+// retried with bounded deterministic backoff. A recovered delivery
+// returns the identical true value, which is what keeps outputs under
+// recoverable fault rates byte-identical to fault-free runs. An
+// exhausted delivery returns ok=false, counts against the event's
+// quarantine budget, and drops just this sample. Silent sample spikes,
+// when armed, corrupt the delivered value undetectably.
+func (c *Collector) deliver(run machine.Run, ev platform.Event) (value float64, ok bool) {
 	v := c.read(run, ev)
+	if _, w := foldCounter(v); w {
+		if c.cstats.Wrapped == nil {
+			c.cstats.Wrapped = map[string]int{}
+		}
+		c.cstats.Wrapped[ev.Name]++
+	}
+	if c.inj == nil {
+		return v, true
+	}
+	out := c.inj.Deliver(c.retry, ev.Name,
+		faults.TransientRead, faults.DroppedSample, faults.CounterWrap)
+	c.cstats.Retries += int64(out.Attempts - 1)
+	c.cstats.SimulatedBackoff += out.Backoff
+	if out.Err != nil {
+		if c.cstats.Dropped == nil {
+			c.cstats.Dropped = map[string]int{}
+		}
+		c.cstats.Dropped[ev.Name]++
+		c.quarantine.Failure(ev.Name)
+		return 0, false
+	}
+	if out.Attempts > 1 {
+		c.cstats.Recovered++
+	}
+	if f, spiked := c.inj.Spike(faults.SampleSpike, 4, 16); spiked {
+		c.cstats.SilentSpikes++
+		v *= f
+	}
+	return v, true
+}
+
+// foldCounter folds a count into the 48-bit register width, reporting
+// whether information was lost. The subtraction loop keeps float
+// semantics; in-range counts are integers well below 2⁵³ so it is exact.
+func foldCounter(v float64) (folded float64, wrapped bool) {
 	if v < counterMax {
 		return v, false
 	}
-	// Fold into the register width. math.Mod keeps float semantics; the
-	// counts in range are integers well below 2⁵³ so this is exact.
-	folded := v
-	for folded >= counterMax {
-		folded -= counterMax
+	for v >= counterMax {
+		v -= counterMax
 	}
-	return folded, true
+	return v, true
+}
+
+// RawRead returns the 48-bit register value a single end-of-run read
+// would observe for the event — wrapped, the way the hardware exposes it.
+// Tools that read only at run boundaries (instead of polling) see these
+// truncated values; wrapped reports whether information was lost.
+func (c *Collector) RawRead(run machine.Run, ev platform.Event) (value float64, wrapped bool) {
+	return foldCounter(c.read(run, ev))
 }
 
 // RunsToCollectAll returns how many application runs collecting the whole
@@ -211,18 +386,4 @@ func RunsToCollectAll(spec *platform.Spec) (int, error) {
 		return 0, err
 	}
 	return len(groups), nil
-}
-
-func itoa(n int64) string {
-	if n == 0 {
-		return "0"
-	}
-	var buf [20]byte
-	i := len(buf)
-	for n > 0 {
-		i--
-		buf[i] = byte('0' + n%10)
-		n /= 10
-	}
-	return string(buf[i:])
 }

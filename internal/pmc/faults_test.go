@@ -1,0 +1,177 @@
+package pmc
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"additivity/internal/faults"
+	"additivity/internal/machine"
+	"additivity/internal/platform"
+	"additivity/internal/workload"
+)
+
+func newTestCollector(seed int64) *Collector {
+	spec := platform.Haswell()
+	return NewCollector(machine.New(spec, seed), seed)
+}
+
+var testApp = workload.App{Workload: workload.DGEMM(), Size: 2048}
+
+// Recoverable fault rates (MaxConsecutive < retry attempts) must leave
+// every collected value byte-identical to a fault-free collection: the
+// true reading is computed once and retries merely redeliver it.
+func TestCollectByteIdenticalUnderRecoverableFaults(t *testing.T) {
+	spec := platform.Haswell()
+	events := classAEvents(t, spec)
+
+	clean := newTestCollector(33)
+	want, wantRuns, err := clean.CollectMean(events, 4, testApp)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	faulty := newTestCollector(33)
+	rates := faults.Uniform(0.5, 2)
+	retry := faults.DefaultRetryPolicy()
+	if !rates.Recoverable(retry) {
+		t.Fatal("test rates must be in the recoverable regime")
+	}
+	faulty.SetFaults(faults.New(33, rates), retry, 0)
+	got, gotRuns, err := faulty.CollectMean(events, 4, testApp)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(want, got) || wantRuns != gotRuns {
+		t.Errorf("recoverable faults changed the collection:\nclean  %v\nfaulty %v", want, got)
+	}
+	cs := faulty.Stats()
+	if cs.Retries == 0 || cs.Recovered == 0 {
+		t.Errorf("faults at rate 0.5 never struck: %+v", cs)
+	}
+	if len(cs.Dropped) != 0 || len(cs.Quarantined) != 0 {
+		t.Errorf("recoverable regime dropped samples: %+v", cs)
+	}
+	if cs.SimulatedBackoff <= 0 {
+		t.Error("retries accrued no simulated backoff")
+	}
+	// Forks inherit the armed injector and stay byte-identical too.
+	cf, ff := clean.Fork("task"), faulty.Fork("task")
+	a, _, err1 := cf.Collect(events, testApp)
+	b, _, err2 := ff.Collect(events, testApp)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("forked collection differs under recoverable faults")
+	}
+}
+
+// Above the recoverable regime an event must degrade explicitly: its
+// exhausted deliveries are counted, it is quarantined after the budget,
+// and collection continues without it instead of failing.
+func TestCollectQuarantinesExhaustedEvents(t *testing.T) {
+	spec := platform.Haswell()
+	events := classAEvents(t, spec)
+
+	c := newTestCollector(7)
+	// Certain transient faults with no per-delivery cap: every delivery
+	// exhausts its four attempts.
+	c.SetFaults(faults.New(7, faults.Rates{TransientRead: 1}), faults.DefaultRetryPolicy(), 2)
+
+	var counts Counts
+	var err error
+	for r := 0; r < 3; r++ {
+		counts, _, err = c.Collect(events, testApp)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(counts) != 0 {
+		t.Errorf("certain faults still delivered %d events", len(counts))
+	}
+	cs := c.Stats()
+	if len(cs.Quarantined) != len(events) {
+		t.Errorf("quarantined %v, want all %d events", cs.Quarantined, len(events))
+	}
+	for _, ev := range events {
+		if cs.Dropped[ev.Name] < 2 {
+			t.Errorf("event %s dropped %d times, want >= quarantine budget", ev.Name, cs.Dropped[ev.Name])
+		}
+	}
+}
+
+// Silent sample spikes evade the delivery path; the robust-aggregation
+// methodology must pull the mean back toward the clean value.
+func TestRobustMeanMitigatesSilentSpikes(t *testing.T) {
+	spec := platform.Haswell()
+	events := classAEvents(t, spec)
+	const reps = 9
+
+	clean := newTestCollector(11)
+	want, _, err := clean.CollectMean(events, reps, testApp)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	collect := func(robust bool) Counts {
+		c := newTestCollector(11)
+		c.Methodology = Methodology{RobustMean: robust}
+		c.SetFaults(faults.New(11, faults.Rates{SampleSpike: 0.12}), faults.DefaultRetryPolicy(), 0)
+		got, _, err := c.CollectMean(events, reps, testApp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	naive, robust := collect(false), collect(true)
+
+	var naiveErr, robustErr float64
+	for name, w := range want {
+		if w == 0 {
+			continue
+		}
+		naiveErr += math.Abs(naive[name]-w) / w
+		robustErr += math.Abs(robust[name]-w) / w
+	}
+	if naiveErr <= robustErr {
+		t.Errorf("robust mean did not mitigate spikes: naive err %v, robust err %v", naiveErr, robustErr)
+	}
+}
+
+// The wrapped flag from raw reads must surface in the likwid-style
+// report as per-event wrap counts, while Counts stay unwrapped.
+func TestReportSurfacesWrappedReads(t *testing.T) {
+	spec := platform.Skylake()
+	c := NewCollector(machine.New(spec, 91), 91)
+	// 2·60000³ ≈ 4.3e14 flops > 2⁴⁸ ≈ 2.8e14: the FP counter wraps at a
+	// boundary read.
+	rep, err := c.Report("FLOPS_DP", workload.App{Workload: workload.DGEMM(), Size: 60000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Wrapped["FP_ARITH_INST_RETIRED_DOUBLE"] != 1 {
+		t.Errorf("wrapped reads = %v, want FP_ARITH_INST_RETIRED_DOUBLE: 1", rep.Wrapped)
+	}
+	if rep.Counts["FP_ARITH_INST_RETIRED_DOUBLE"] < counterMax {
+		t.Error("report counts must stay unwrapped")
+	}
+	out := rep.String()
+	if !strings.Contains(out, "Wrapped reads") || !strings.Contains(out, "FP_ARITH_INST_RETIRED_DOUBLE") {
+		t.Errorf("report rendering missing wrapped block:\n%s", out)
+	}
+
+	// A non-wrapping run renders no wrapped block.
+	small, err := c.Report("FLOPS_DP", testApp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(small.Wrapped) != 0 {
+		t.Errorf("small run wrapped: %v", small.Wrapped)
+	}
+	if strings.Contains(small.String(), "Wrapped reads") {
+		t.Error("non-wrapping report renders a wrapped block")
+	}
+}

@@ -2,6 +2,7 @@ package pmc
 
 import (
 	"math"
+	"strconv"
 
 	"additivity/internal/platform"
 	"additivity/internal/workload"
@@ -48,7 +49,7 @@ func (c *Collector) CollectMultiplexed(events []platform.Event, parts ...workloa
 	for _, grp := range groups {
 		for _, ev := range grp {
 			c.reads++
-			g := c.rng.Split("mux-" + itoa(c.reads))
+			g := c.rng.Split("mux-" + strconv.FormatInt(c.reads, 10))
 			v := MappingFor(ev)(run.Activity)
 			if ev.LowCount {
 				counts[ev.Name] = float64(g.Intn(11))

@@ -18,6 +18,10 @@ type GroupReport struct {
 	RuntimeS float64
 	Counts   Counts
 	Metrics  map[string]float64
+	// Wrapped counts, per event, reads whose raw 48-bit register value
+	// wrapped. Counts are still reported unwrapped (the tool polls fast
+	// enough to unwrap), but a boundary-read tool would have lost these.
+	Wrapped map[string]int
 }
 
 // metricDef derives one named metric from counter values and runtime.
@@ -145,8 +149,13 @@ func (c *Collector) Report(groupName string, parts ...workload.App) (*GroupRepor
 
 	run := c.Machine.Run(parts...)
 	counts := make(Counts, len(events))
+	wrapped := map[string]int{}
 	for _, ev := range events {
-		counts[ev.Name] = c.read(run, ev)
+		v := c.read(run, ev)
+		if _, w := foldCounter(v); w {
+			wrapped[ev.Name]++
+		}
+		counts[ev.Name] = v
 	}
 	report := &GroupReport{
 		Group:    groupName,
@@ -154,6 +163,7 @@ func (c *Collector) Report(groupName string, parts ...workload.App) (*GroupRepor
 		RuntimeS: run.Seconds,
 		Counts:   counts,
 		Metrics:  map[string]float64{},
+		Wrapped:  wrapped,
 	}
 	for _, md := range groupMetrics[groupName] {
 		report.Metrics[md.name] = md.f(counts, run.Seconds)
@@ -182,6 +192,17 @@ func (r *GroupReport) String() string {
 		sort.Strings(mnames)
 		for _, n := range mnames {
 			fmt.Fprintf(&b, "  %-42s %.6g\n", n, r.Metrics[n])
+		}
+	}
+	if len(r.Wrapped) > 0 {
+		b.WriteString("Wrapped reads (48-bit counter overflow at run boundary):\n")
+		wnames := make([]string, 0, len(r.Wrapped))
+		for n := range r.Wrapped {
+			wnames = append(wnames, n)
+		}
+		sort.Strings(wnames)
+		for _, n := range wnames {
+			fmt.Fprintf(&b, "  %-42s %d\n", n, r.Wrapped[n])
 		}
 	}
 	return b.String()

@@ -1,0 +1,50 @@
+package stats
+
+import "math"
+
+// madScale converts a median absolute deviation into a consistent
+// estimate of the standard deviation under normality (1/Φ⁻¹(3/4)).
+const madScale = 1.4826
+
+// MAD returns the median absolute deviation of xs about its median.
+// It returns 0 for samples shorter than two observations.
+func MAD(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	med := Median(xs)
+	dev := make([]float64, len(xs))
+	for i, x := range xs {
+		dev[i] = math.Abs(x - med)
+	}
+	return Median(dev)
+}
+
+// RobustMean returns the mean of xs after rejecting outliers more than
+// cut scaled MADs from the median — the standard median/MAD filter for
+// counter and power samples polluted by collection spikes. Samples too
+// short to estimate spread (< 3), and samples whose MAD is zero (no
+// spread to reject against), fall back to the plain mean, so the filter
+// degrades to Mean exactly when it has nothing to say. Surviving values
+// are averaged in input order, keeping results bit-stable.
+func RobustMean(xs []float64, cut float64) float64 {
+	if len(xs) < 3 || cut <= 0 {
+		return Mean(xs)
+	}
+	mad := MAD(xs)
+	if mad == 0 {
+		return Mean(xs)
+	}
+	med := Median(xs)
+	limit := cut * madScale * mad
+	kept := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if math.Abs(x-med) <= limit {
+			kept = append(kept, x)
+		}
+	}
+	if len(kept) == 0 {
+		return Mean(xs)
+	}
+	return Mean(kept)
+}

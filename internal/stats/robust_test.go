@@ -1,0 +1,53 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMAD(t *testing.T) {
+	if got := MAD([]float64{1, 2, 3, 4, 100}); got != 1 {
+		t.Errorf("MAD = %v, want 1", got)
+	}
+	if got := MAD([]float64{5}); got != 0 {
+		t.Errorf("MAD of singleton = %v", got)
+	}
+	if got := MAD([]float64{3, 3, 3, 3}); got != 0 {
+		t.Errorf("MAD of constant sample = %v", got)
+	}
+}
+
+func TestRobustMeanRejectsSpike(t *testing.T) {
+	clean := []float64{10, 10.2, 9.9, 10.1, 9.8}
+	spiked := append(append([]float64{}, clean...), 120) // one 12x outlier
+	got := RobustMean(spiked, 3.5)
+	want := Mean(clean)
+	if math.Abs(got-want) > 0.2 {
+		t.Errorf("robust mean %v far from clean mean %v", got, want)
+	}
+	naive := Mean(spiked)
+	if math.Abs(naive-want) < math.Abs(got-want) {
+		t.Errorf("naive mean %v beat robust mean %v", naive, got)
+	}
+}
+
+func TestRobustMeanFallsBackToMean(t *testing.T) {
+	cases := [][]float64{
+		{},               // empty
+		{4},              // too short
+		{4, 5},           // too short
+		{7, 7, 7, 7},     // zero MAD
+		{1, 2, 3, 4, 5},  // nothing to reject
+		{10, 10, 10, 11}, // tight sample
+	}
+	for _, xs := range cases {
+		if got, want := RobustMean(xs, 3.5), Mean(xs); got != want {
+			t.Errorf("RobustMean(%v) = %v, want plain mean %v", xs, got, want)
+		}
+	}
+	// cut <= 0 disables the filter entirely.
+	xs := []float64{1, 1, 1, 100}
+	if got := RobustMean(xs, 0); got != Mean(xs) {
+		t.Errorf("cut=0 should fall back to Mean")
+	}
+}
