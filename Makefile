@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race bench bench-record bench-smoke chaos resume-check tables artifacts examples clean
+.PHONY: all build vet test test-short race bench bench-record bench-smoke chaos resume-check cache-check tables artifacts examples clean
 
 all: build vet test
 
@@ -24,37 +24,45 @@ test-short:
 race: vet
 	$(GO) test -race ./...
 
-# Benchmark packages: the training-kernel hot paths (ml, mat) plus the
-# root study/CV benchmarks.
-BENCH_PKGS = ./internal/ml ./internal/mat .
+# Benchmark packages: the training-kernel hot paths (ml, mat), the
+# stats kernels, plus the root study/CV/cache benchmarks.
+BENCH_PKGS = ./internal/ml ./internal/mat ./internal/stats .
 
 bench:
 	$(GO) test -run '^$$' -bench=. -benchmem $(BENCH_PKGS)
 
 # Record the benchmark trajectory: run every kernel benchmark and write
-# ns/op, B/op and allocs/op per kernel to BENCH_PR2.json. Pass
+# ns/op, B/op and allocs/op per kernel to BENCH_PR4.json (cold/warm
+# cache pairs and the gather-dedup counts included). Pass
 # BASELINE=<old.json> to also record per-kernel speedups against a
 # previous recording.
 bench-record:
-	$(GO) run ./cmd/bench-record -out BENCH_PR2.json $(if $(BASELINE),-baseline $(BASELINE)) \
-		-pkgs './internal/ml,./internal/mat,.'
+	$(GO) run ./cmd/bench-record -out BENCH_PR4.json $(if $(BASELINE),-baseline $(BASELINE)) \
+		-pkgs './internal/ml,./internal/mat,./internal/stats,.'
 
 # One-iteration smoke run so benchmarks cannot rot; CI runs this.
 bench-smoke:
 	$(GO) test -run '^$$' -bench=. -benchtime=1x $(BENCH_PKGS)
 
-# Fault-injection property tests under the race detector: recoverable
-# faults and any interrupt/resume split must leave every output
-# byte-identical; above-threshold faults must degrade explicitly.
+# Fault-injection and cache property tests under the race detector:
+# recoverable faults and any interrupt/resume split must leave every
+# output byte-identical; above-threshold faults must degrade explicitly;
+# single-flight must coalesce concurrent gathers of the same unit.
 # CI runs this on every push and pull request.
 chaos:
-	$(GO) test -race -run 'Fault|Chaos|Resume|Quarantine|Degrad|Journal|Robust|Wrap' \
-		./internal/faults ./internal/pmc ./internal/energy ./internal/core ./internal/experiments
+	$(GO) test -race -run 'Fault|Chaos|Resume|Quarantine|Degrad|Journal|Robust|Wrap|Cache|Flight' \
+		./internal/faults ./internal/pmc ./internal/energy ./internal/core ./internal/experiments ./internal/memo
 
 # Kill a checkpointed study mid-run (SIGKILL) and assert the resumed run
 # regenerates byte-identical tables. CI runs this.
 resume-check:
 	bash scripts/resume_check.sh
+
+# Run repro-tables twice against one -cache-dir and assert the warm run
+# renders byte-identical tables while serving from the cache. CI runs
+# this.
+cache-check:
+	bash scripts/cache_check.sh
 
 # Regenerate every paper table (plus premise, sensor and survey tables).
 tables:

@@ -7,6 +7,7 @@ import (
 	"additivity/internal/experiments"
 	"additivity/internal/faults"
 	"additivity/internal/machine"
+	"additivity/internal/memo"
 	"additivity/internal/ml"
 	"additivity/internal/platform"
 	"additivity/internal/pmc"
@@ -478,3 +479,35 @@ func DefaultRetryPolicy() RetryPolicy { return faults.DefaultRetryPolicy() }
 
 // OpenFileJournal opens (creating if needed) a checkpoint journal.
 var OpenFileJournal = experiments.OpenFileJournal
+
+// Content-addressed measurement caching (see EXPERIMENTS.md,
+// "Measurement cache").
+type (
+	// MeasurementCache deduplicates measurement work across checks,
+	// studies and processes: an in-process single-flight LRU over an
+	// optional checksummed on-disk store, keyed by the full identity of
+	// each work unit. Cached results are byte-identical to fresh
+	// measurements.
+	MeasurementCache = memo.Cache
+	// CacheOptions configures a measurement cache (disk directory,
+	// capacity, sharding).
+	CacheOptions = memo.Options
+	// CacheStats is a point-in-time snapshot of a cache's counters.
+	CacheStats = memo.StatsSnapshot
+	// CacheOutcome says how one cached request was satisfied.
+	CacheOutcome = memo.Outcome
+	// DatasetStage is one Build call of a cached dataset stage.
+	DatasetStage = experiments.DatasetStage
+)
+
+// NewMeasurementCache opens a measurement cache; a non-empty
+// CacheOptions.Dir backs it with the on-disk store.
+func NewMeasurementCache(opts CacheOptions) (*MeasurementCache, error) { return memo.New(opts) }
+
+// BuildDatasetsCached runs a whole sequential dataset-building stage as
+// one cached unit (cache may be nil: the stage just runs). The stage
+// must be the last user of the builder's machine and collector — see
+// the experiments package documentation.
+func BuildDatasetsCached(cache *MeasurementCache, b *DatasetBuilder, label string, stages []DatasetStage) ([]*Dataset, CacheOutcome, error) {
+	return experiments.BuildDatasetsCached(cache, b, label, stages)
+}

@@ -182,6 +182,120 @@ func BenchmarkStudyParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkStudyColdVsWarm measures the content-addressed measurement
+// cache on the catalog survey: cold runs measure every gather unit and
+// store it; warm runs serve every unit from the cache. The cold/warm
+// ns/op ratio is the cache's headline speedup (verdicts are
+// byte-identical either way, enforced by the cache test suite).
+func BenchmarkStudyColdVsWarm(b *testing.B) {
+	run := func(b *testing.B, cache *additivity.MeasurementCache) {
+		b.Helper()
+		if _, err := additivity.RunAdditivityStudy(additivity.Haswell(),
+			additivity.StudyConfig{Cache: cache}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cache, err := additivity.NewMeasurementCache(additivity.CacheOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			run(b, cache)
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		cache, err := additivity.NewMeasurementCache(additivity.CacheOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		run(b, cache) // prime
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			run(b, cache)
+		}
+		st := cache.Stats()
+		b.ReportMetric(float64(st.Hits)/float64(b.N), "hits/op")
+		b.ReportMetric(float64(st.Misses), "total-misses")
+	})
+}
+
+// BenchmarkClassAColdVsWarm is the cold/warm pair for the Class A
+// study's measurement phase — the additivity check over 50 compounds
+// plus the whole train/test dataset stage, exactly the work the cache
+// covers. Model fitting is excluded: it consumes the cached
+// measurements but is not itself measurement cost (the wall-clock
+// bottleneck the cache targets).
+func BenchmarkClassAColdVsWarm(b *testing.B) {
+	spec := additivity.Haswell()
+	events, err := additivity.FindEvents(spec, additivity.ClassAPMCs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bases := additivity.BaseApps(additivity.DiverseSuite())
+	compounds := additivity.RandomCompounds(bases, 50, additivity.DefaultSeed)
+	run := func(b *testing.B, cache *additivity.MeasurementCache) {
+		b.Helper()
+		m := additivity.NewMachine(spec, additivity.DefaultSeed)
+		col := additivity.NewCollector(m, additivity.DefaultSeed)
+		checker := additivity.NewChecker(col, additivity.CheckerConfig{
+			ToleranceFrac: 0.05, Reps: 5, ReproCVMax: 0.20,
+		})
+		checker.Cache = cache
+		if _, err := checker.Check(events, compounds); err != nil {
+			b.Fatal(err)
+		}
+		builder := additivity.NewDatasetBuilder(m, col, events)
+		ds, _, err := additivity.BuildDatasetsCached(cache, builder, "classa/datasets",
+			[]additivity.DatasetStage{{Bases: bases}, {Compounds: compounds}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(ds) != 2 {
+			b.Fatalf("dataset stage returned %d datasets, want 2", len(ds))
+		}
+	}
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cache, err := additivity.NewMeasurementCache(additivity.CacheOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			run(b, cache)
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		cache, err := additivity.NewMeasurementCache(additivity.CacheOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		run(b, cache) // prime
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			run(b, cache)
+		}
+		st := cache.Stats()
+		b.ReportMetric(float64(st.Hits)/float64(b.N), "hits/op")
+	})
+}
+
+// BenchmarkGatherDedup reports the study-graph deduplication pass: the
+// gather count a naive plan (every compound re-measuring each of its
+// bases) would execute versus the canonicalised fan-out the engine runs.
+func BenchmarkGatherDedup(b *testing.B) {
+	var rep *additivity.CheckReport
+	for i := 0; i < b.N; i++ {
+		r, err := additivity.RunPipeline(additivity.PipelineConfig{Platform: "haswell"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep = r.Report
+	}
+	b.ReportMetric(float64(rep.NaiveUnits), "naive-units")
+	b.ReportMetric(float64(rep.UniqueUnits), "unique-units")
+	b.ReportMetric(float64(rep.NaiveUnits-rep.UniqueUnits), "dedup-saved")
+}
+
 // BenchmarkTable7bClassC regenerates the four-PMC online models (paper:
 // PA4 wins; correlation alone does not help).
 func BenchmarkTable7bClassC(b *testing.B) {

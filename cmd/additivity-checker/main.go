@@ -7,15 +7,19 @@
 //
 //	additivity-checker [-platform haswell|skylake] [-pmcs a,b,c]
 //	                   [-compounds N] [-reps N] [-tolerance pct] [-seed N]
+//	                   [-cache-dir dir]
 //
 // Without -pmcs, the paper's PMC sets are tested: the six Class A PMCs on
-// Haswell, or the PA+PNA sets on Skylake.
+// Haswell, or the PA+PNA sets on Skylake. -cache-dir backs the check with
+// a content-addressed measurement cache: an identical re-run is served
+// from the cache with byte-identical output (statistics go to stderr).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strings"
 
 	"additivity"
@@ -31,6 +35,7 @@ func main() {
 	tolerance := flag.Float64("tolerance", 5.0, "additivity tolerance in percent")
 	seed := flag.Int64("seed", additivity.DefaultSeed, "experiment seed")
 	full := flag.Bool("full", false, "survey the whole reduced catalog with tolerance sensitivity")
+	cacheDir := flag.String("cache-dir", "", "content-addressed measurement cache directory; warm re-runs are byte-identical")
 	flag.Parse()
 
 	spec, err := additivity.PlatformByName(*platformName)
@@ -38,11 +43,24 @@ func main() {
 		log.Fatal(err)
 	}
 
+	var cache *additivity.MeasurementCache
+	if *cacheDir != "" {
+		cache, err = additivity.NewMeasurementCache(additivity.CacheOptions{Dir: *cacheDir})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			st := cache.Stats()
+			fmt.Fprintf(os.Stderr, "cache: %d hits, %d disk hits, %d misses, %d single-flight merges\n",
+				st.Hits, st.DiskHits, st.Misses, st.SingleFlightMerges)
+		}()
+	}
+
 	if *full {
 		fmt.Printf("surveying the %s reduced catalog (%d events)...\n",
 			spec.Name, len(additivity.ReducedCatalog(spec)))
 		study, err := additivity.RunAdditivityStudy(spec, additivity.StudyConfig{
-			Seed: *seed, Compounds: *compounds, Reps: *reps,
+			Seed: *seed, Compounds: *compounds, Reps: *reps, Cache: cache,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -85,6 +103,7 @@ func main() {
 		Reps:          *reps,
 		ReproCVMax:    0.20,
 	})
+	checker.Cache = cache
 
 	var comps []additivity.CompoundApp
 	if spec.Name == "haswell" {

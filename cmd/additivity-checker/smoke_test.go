@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// buildBinary compiles the command into a temp dir and returns its path.
+func buildBinary(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "additivity-checker")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// run returns the binary's stdout and stderr separately — only stdout is
+// part of the byte-identity contract.
+func run(t *testing.T, bin string, args ...string) (stdout, stderr []byte) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	var out, errb bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &errb
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("additivity-checker %v: %v\n%s", args, err, errb.Bytes())
+	}
+	return out.Bytes(), errb.Bytes()
+}
+
+// The checker prints a verdict table and an additive-count summary for
+// the default Class A set, deterministically for a fixed seed.
+func TestSmokeCheckerOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the binary")
+	}
+	bin := buildBinary(t)
+	args := []string{"-compounds", "4", "-reps", "2"}
+	out, _ := run(t, bin, args...)
+	for _, want := range []string{"platform haswell", "PMCs are additive within", "least additive:"} {
+		if !bytes.Contains(out, []byte(want)) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	again, _ := run(t, bin, args...)
+	if !bytes.Equal(out, again) {
+		t.Error("same seed produced different output")
+	}
+}
+
+// A warm -cache-dir re-run must serve every gather unit from the cache
+// (nonzero hits on stderr) and keep stdout byte-identical.
+func TestSmokeCacheDirWarmRunByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the binary")
+	}
+	bin := buildBinary(t)
+	dir := t.TempDir()
+	args := []string{"-compounds", "4", "-reps", "2", "-cache-dir", dir}
+	cold, coldErr := run(t, bin, args...)
+	warm, warmErr := run(t, bin, args...)
+	if !bytes.Equal(cold, warm) {
+		t.Errorf("warm cached run changed stdout:\n--- cold\n%s\n--- warm\n%s", cold, warm)
+	}
+	if !bytes.Contains(coldErr, []byte("cache:")) || !bytes.Contains(warmErr, []byte("cache:")) {
+		t.Errorf("cache statistics missing from stderr:\ncold: %s\nwarm: %s", coldErr, warmErr)
+	}
+	if bytes.Contains(warmErr, []byte("0 disk hits")) {
+		t.Errorf("warm run reported no disk hits: %s", warmErr)
+	}
+}

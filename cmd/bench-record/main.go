@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"regexp"
 	"runtime"
 	"strconv"
@@ -67,7 +68,7 @@ func main() {
 
 	pkgs := strings.Split(*pkgsFlag, ",")
 	if *label == "" {
-		*label = strings.TrimSuffix(strings.TrimPrefix(*out, "BENCH_"), ".json")
+		*label = strings.TrimSuffix(strings.TrimPrefix(filepath.Base(*out), "BENCH_"), ".json")
 	}
 
 	var base map[string]Record

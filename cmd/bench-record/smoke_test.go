@@ -1,0 +1,106 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// buildBinary compiles the command into a temp dir and returns its path.
+func buildBinary(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "bench-record")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// repoRoot returns the module root (two levels up from cmd/bench-record)
+// so relative -pkgs arguments resolve.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+// bench-record runs a benchmark package and emits a parseable snapshot;
+// a second run against the first as -baseline records speedups.
+func TestSmokeRecordAndBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the binary, runs real benchmarks")
+	}
+	bin := buildBinary(t)
+	dir := t.TempDir()
+	out1 := filepath.Join(dir, "BENCH_first.json")
+	args := []string{
+		"-out", out1, "-pkgs", "./internal/stats",
+		"-bench", "BenchmarkSpearman", "-benchtime", "20x",
+	}
+	cmd := exec.Command(bin, args...)
+	cmd.Dir = repoRoot(t)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("bench-record: %v\n%s", err, out)
+	}
+
+	var rep Report
+	buf, err := os.ReadFile(out1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		t.Fatalf("snapshot not valid JSON: %v", err)
+	}
+	if rep.Label != "first" {
+		t.Errorf("label = %q, want %q (derived from the out file stem)", rep.Label, "first")
+	}
+	if len(rep.Benchmarks) == 0 {
+		t.Fatal("no benchmarks recorded")
+	}
+	for _, r := range rep.Benchmarks {
+		if r.Name != "BenchmarkSpearman" || r.NsPerOp <= 0 {
+			t.Errorf("bad record: %+v", r)
+		}
+	}
+
+	out2 := filepath.Join(dir, "BENCH_second.json")
+	cmd = exec.Command(bin, "-out", out2, "-baseline", out1, "-pkgs", "./internal/stats",
+		"-bench", "BenchmarkSpearman", "-benchtime", "20x")
+	cmd.Dir = repoRoot(t)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("bench-record with baseline: %v\n%s", err, out)
+	}
+	buf, err = os.ReadFile(out2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep2 Report
+	if err := json.Unmarshal(buf, &rep2); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rep2.Benchmarks {
+		if r.BaselineNsPerOp <= 0 || r.Speedup <= 0 {
+			t.Errorf("baseline comparison missing: %+v", r)
+		}
+	}
+}
+
+// An unmatchable benchmark filter is an explicit error, not an empty
+// snapshot.
+func TestSmokeNoBenchmarksIsAnError(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the binary")
+	}
+	bin := buildBinary(t)
+	cmd := exec.Command(bin, "-out", filepath.Join(t.TempDir(), "BENCH.json"),
+		"-pkgs", "./internal/stats", "-bench", "NoSuchBenchmarkAnywhere")
+	cmd.Dir = repoRoot(t)
+	if out, err := cmd.CombinedOutput(); err == nil {
+		t.Errorf("expected failure for empty benchmark set, got success:\n%s", out)
+	}
+}

@@ -6,6 +6,7 @@
 //
 //	energy-train [-platform haswell|skylake] [-model lr|rf|nn]
 //	             [-pmcs a,b,c | -set classa|pa|pna] [-seed N] [-csv out.csv]
+//	             [-cache-dir dir]
 //
 // On Haswell the model trains on the 277-point diverse-suite dataset and
 // tests on 50 compound applications (the Class A protocol); on Skylake it
@@ -33,11 +34,25 @@ func main() {
 	seed := flag.Int64("seed", additivity.DefaultSeed, "seed")
 	workers := flag.Int("workers", 0, "training worker pool size for rf (0: GOMAXPROCS); the model is identical for every value")
 	csvPath := flag.String("csv", "", "write the full dataset to this CSV file")
+	cacheDir := flag.String("cache-dir", "", "content-addressed measurement cache directory; warm re-runs skip the measurement stage with identical output")
 	flag.Parse()
 
 	spec, err := additivity.PlatformByName(*platformName)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	var cache *additivity.MeasurementCache
+	if *cacheDir != "" {
+		cache, err = additivity.NewMeasurementCache(additivity.CacheOptions{Dir: *cacheDir})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			st := cache.Stats()
+			fmt.Fprintf(os.Stderr, "cache: %d hits, %d disk hits, %d misses, %d single-flight merges\n",
+				st.Hits, st.DiskHits, st.Misses, st.SingleFlightMerges)
+		}()
 	}
 
 	names, err := pmcNames(spec, *pmcList, *setName)
@@ -59,22 +74,22 @@ func main() {
 		compounds := additivity.RandomCompounds(bases, 50, *seed)
 		fmt.Fprintf(os.Stderr, "measuring %d base + %d compound applications on %s...\n",
 			len(bases), len(compounds), spec.Name)
-		train, err = builder.Build(bases, nil)
+		ds, _, err := additivity.BuildDatasetsCached(cache, builder, "energy-train/haswell",
+			[]additivity.DatasetStage{{Bases: bases}, {Compounds: compounds}})
 		if err != nil {
 			log.Fatal(err)
 		}
-		test, err = builder.Build(nil, compounds)
-		if err != nil {
-			log.Fatal(err)
-		}
+		train, test = ds[0], ds[1]
 	} else {
 		apps := additivity.SizeSweep(additivity.DGEMM(), 6400, 38400, 64)
 		apps = append(apps, additivity.SizeSweep(additivity.FFT(), 22400, 41536, 64)...)
 		fmt.Fprintf(os.Stderr, "measuring %d applications on %s...\n", len(apps), spec.Name)
-		full, err := builder.Build(apps, nil)
+		ds, _, err := additivity.BuildDatasetsCached(cache, builder, "energy-train/skylake",
+			[]additivity.DatasetStage{{Bases: apps}})
 		if err != nil {
 			log.Fatal(err)
 		}
+		full := ds[0]
 		if *csvPath != "" {
 			if err := writeCSV(full, *csvPath); err != nil {
 				log.Fatal(err)

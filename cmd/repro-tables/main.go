@@ -4,11 +4,15 @@
 // Usage:
 //
 //	repro-tables [-table all|1|2|3|4|5|6|7a|7b|collection] [-seed N]
-//	             [-checkpoint dir] [-chaos rate]
+//	             [-checkpoint dir] [-chaos rate] [-cache-dir dir]
 //
 // -checkpoint journals study progress so an interrupted run resumes with
 // byte-identical tables; -chaos injects recoverable measurement faults
-// (the tables stay identical — see EXPERIMENTS.md, "Fault model").
+// (the tables stay identical — see EXPERIMENTS.md, "Fault model");
+// -cache-dir backs the experiments with a shared content-addressed
+// measurement cache, so re-runs (and units shared between experiments)
+// are served from the cache with byte-identical tables. Cache statistics
+// go to stderr; stdout carries only the tables.
 //
 // Tables 2-5 run the Class A experiment (Haswell, diverse suite); tables
 // 6, 7a and 7b run the Class B/C experiments (Skylake, DGEMM+FFT). The
@@ -34,12 +38,27 @@ func main() {
 	artifacts := flag.String("artifacts", "", "write all tables, datasets and a predictor package to this directory")
 	checkpoint := flag.String("checkpoint", "", "journal study progress to this directory; an interrupted run resumes from it with identical tables")
 	chaos := flag.Float64("chaos", 0, "inject recoverable measurement faults at this per-read probability; tables stay identical")
+	cacheDir := flag.String("cache-dir", "", "content-addressed measurement cache directory shared by all experiments; warm re-runs render identical tables")
 	flag.Parse()
 
 	var chaosRates *additivity.FaultRates
 	if *chaos > 0 {
 		r := additivity.UniformFaultRates(*chaos, 2)
 		chaosRates = &r
+	}
+
+	var cache *additivity.MeasurementCache
+	if *cacheDir != "" {
+		c, err := additivity.NewMeasurementCache(additivity.CacheOptions{Dir: *cacheDir})
+		if err != nil {
+			log.Fatal(err)
+		}
+		cache = c
+		defer func() {
+			st := cache.Stats()
+			fmt.Fprintf(os.Stderr, "cache: %d hits, %d disk hits, %d misses, %d single-flight merges\n",
+				st.Hits, st.DiskHits, st.Misses, st.SingleFlightMerges)
+		}()
 	}
 
 	if *artifacts != "" {
@@ -119,12 +138,12 @@ func main() {
 			study, err := additivity.RunAdditivityStudy(spec, additivity.StudyConfig{
 				Seed: *seed + 2, Workers: *workers,
 				Faults: chaosRates, Retry: additivity.DefaultRetryPolicy(),
-				CheckpointDir: *checkpoint,
+				CheckpointDir: *checkpoint, Cache: cache,
 			})
 			if err != nil {
 				log.Fatal(err)
 			}
-			if study.Report != nil && (chaosRates != nil || *checkpoint != "") {
+			if study.Report != nil && (chaosRates != nil || *checkpoint != "" || cache != nil) {
 				fmt.Fprintln(os.Stderr, study.Report.Summary())
 			}
 			fmt.Println(study.SensitivityTable([]float64{0.5, 1, 2, 5, 10, 20}).Render())
@@ -134,7 +153,7 @@ func main() {
 
 	if want("2", "3", "4", "5", "curves") {
 		fmt.Fprintln(os.Stderr, "running Class A (Haswell, 277 base apps, 50 compounds)...")
-		a, err := additivity.RunClassA(additivity.ClassAConfig{Seed: *seed, Workers: *workers})
+		a, err := additivity.RunClassA(additivity.ClassAConfig{Seed: *seed, Workers: *workers, Cache: cache})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -157,7 +176,7 @@ func main() {
 
 	if want("6", "7a", "7b") {
 		fmt.Fprintln(os.Stderr, "running Class B (Skylake, 801-point DGEMM+FFT dataset)...")
-		b, err := additivity.RunClassB(additivity.ClassBConfig{Seed: *seed + 1, Workers: *workers})
+		b, err := additivity.RunClassB(additivity.ClassBConfig{Seed: *seed + 1, Workers: *workers, Cache: cache})
 		if err != nil {
 			log.Fatal(err)
 		}

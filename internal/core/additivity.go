@@ -20,6 +20,7 @@ import (
 	"sort"
 	"sync"
 
+	"additivity/internal/memo"
 	"additivity/internal/parallel"
 	"additivity/internal/platform"
 	"additivity/internal/pmc"
@@ -90,6 +91,18 @@ type Checker struct {
 	// interrupted check resumed against the same journal produces
 	// byte-identical verdicts.
 	Journal Journal
+	// Cache, when set, memoizes gather units content-addressed by their
+	// full identity (collector fingerprint, event set, reps, seed
+	// lineage, application specs — see unitKey): identical units
+	// requested anywhere in the process resolve to one measurement
+	// (concurrent requests single-flight onto one in-progress gather),
+	// and a disk-backed cache warm-starts later processes. Because every
+	// unit's samples derive purely from its identity, cache hits are
+	// byte-identical to fresh measurements; degraded units (dropped
+	// samples, quarantine) are never cached or served. The cache
+	// composes with Journal: the journal is consulted first, and units
+	// resolved through the cache are still journaled.
+	Cache *memo.Cache
 }
 
 // NewChecker returns a Checker over the collector with the given config.
@@ -135,10 +148,12 @@ func (ch *Checker) gather(col *pmc.Collector, events []platform.Event, parts ...
 }
 
 // gatherTask is one unit of the collection fan-out: a base application
-// or a compound, with the stable label its collector fork derives from.
+// or a compound, with the stable label its collector fork derives from
+// and the content digest of its full identity.
 type gatherTask struct {
 	label string
 	parts []workload.App
+	key   memo.Key
 }
 
 // Check runs the two-stage additivity test for the given events against a
@@ -152,10 +167,18 @@ func (ch *Checker) Check(events []platform.Event, compounds []workload.CompoundA
 }
 
 // taskOutcome is one gather task's contribution to the check: its
-// journaled (or freshly measured) record and whether it was resumed.
+// journaled, cached or freshly measured record, whether it was resumed
+// from the journal, and how the cache satisfied it.
 type taskOutcome struct {
 	rec     taskRecord
 	resumed bool
+	// cached is set when the unit went through the cache layer;
+	// outcome then says which layer satisfied it, and rejected marks a
+	// served entry that failed the degraded/parse guard and was
+	// re-measured.
+	cached   bool
+	outcome  memo.Outcome
+	rejected bool
 }
 
 // CheckWithReport runs the additivity test and additionally returns the
@@ -196,6 +219,22 @@ func (ch *Checker) CheckWithReport(events []platform.Event, compounds []workload
 			parts: comp.Parts,
 		})
 	}
+	for i := range tasks {
+		tasks[i].key = ch.unitKey(events, tasks[i])
+	}
+
+	// Canonicalise the gather plan before fan-out: walk the naive plan —
+	// every compound re-gathering each of its bases plus itself — and
+	// collapse digest-equal unit references. Shared bases dedup to one
+	// gather each; the naive-vs-unique counts quantify the saving and
+	// the plan's unit list is exactly the fan-out executed below.
+	plan := memo.NewPlan()
+	for i, comp := range compounds {
+		for _, p := range comp.Parts {
+			plan.Add(tasks[baseIdx[p.Name()]].key, "base/"+p.Name())
+		}
+		plan.Add(tasks[nBases+i].key, tasks[nBases+i].label)
+	}
 
 	total := len(tasks)
 	var progressMu sync.Mutex
@@ -225,23 +264,22 @@ func (ch *Checker) CheckWithReport(events []platform.Event, compounds []workload
 					// A corrupt journal entry is re-measured, not trusted.
 				}
 			}
-			col := ch.Collector.Fork(t.label)
-			ac, err := ch.gather(col, events, t.parts...)
-			if err != nil {
-				return nil, err
-			}
-			cs := col.Stats()
-			rec := taskRecord{
-				Samples:      ac.samples,
-				Dropped:      cs.Dropped,
-				Quarantined:  cs.Quarantined,
-				Wrapped:      cs.Wrapped,
-				Retries:      cs.Retries,
-				Recovered:    cs.Recovered,
-				SilentSpikes: cs.SilentSpikes,
+			out := &taskOutcome{}
+			if ch.Cache != nil {
+				rec, outcome, rejected, err := ch.cachedTask(events, t)
+				if err != nil {
+					return nil, err
+				}
+				out.rec, out.cached, out.outcome, out.rejected = rec, true, outcome, rejected
+			} else {
+				rec, err := ch.measureTask(events, t)
+				if err != nil {
+					return nil, err
+				}
+				out.rec = rec
 			}
 			if ch.Journal != nil {
-				data, err := json.Marshal(rec)
+				data, err := json.Marshal(out.rec)
 				if err != nil {
 					return nil, fmt.Errorf("core: journal encode %s: %w", unit, err)
 				}
@@ -250,15 +288,16 @@ func (ch *Checker) CheckWithReport(events []platform.Event, compounds []workload
 				}
 			}
 			tick()
-			return &taskOutcome{rec: rec}, nil
+			return out, nil
 		})
 	if err != nil {
 		return nil, nil, err
 	}
 
-	report := &CheckReport{}
+	report := &CheckReport{NaiveUnits: plan.NaiveRefs(), UniqueUnits: plan.UniqueUnits()}
 	for _, out := range gathered {
 		report.mergeRecord(out.rec, out.resumed)
+		report.mergeCacheOutcome(out)
 	}
 	report.finish()
 

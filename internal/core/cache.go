@@ -1,0 +1,116 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"additivity/internal/memo"
+	"additivity/internal/platform"
+)
+
+// gatherKeySchema versions the cache key schema for additivity gather
+// units. Bump it whenever the identity field set below changes meaning.
+const gatherKeySchema = "additivity-gather/v1"
+
+// unitKey digests the full identity of one gather unit:
+//
+//   - the collector fingerprint — platform spec, machine/collector
+//     seeds and stream positions, DVFS, methodology (robust mean, MAD
+//     cut), fault rates, retry policy, and quarantine state;
+//   - the methodology's repetition count;
+//   - the task label — the seed lineage its collector fork derives
+//     from, so distinct fork streams can never share an entry;
+//   - the event set, in collection order, with each event's register
+//     footprint and category;
+//   - the application parts, in execution order, with their class,
+//     parallelism, memory footprint and full expected activity profile
+//     (the opcount model) on this platform.
+//
+// Two requests agree on the digest exactly when a fresh gather would
+// produce byte-identical samples for both, which is what makes serving
+// the cached payload indistinguishable from re-measuring.
+func (ch *Checker) unitKey(events []platform.Event, t gatherTask) memo.Key {
+	kb := memo.NewKeyBuilder(gatherKeySchema)
+	kb.Field("collector", ch.Collector.Fingerprint())
+	kb.Int("reps", int64(ch.Config.Reps))
+	kb.Field("label", t.label)
+	kb.Int("nevents", int64(len(events)))
+	for _, ev := range events {
+		kb.Field("event", fmt.Sprintf("%s cat=%d slots=%d low=%t", ev.Name, ev.Category, ev.Slots, ev.LowCount))
+	}
+	kb.Int("nparts", int64(len(t.parts)))
+	spec := ch.Collector.Machine.Spec
+	for _, p := range t.parts {
+		kb.Field("part", fmt.Sprintf("%s class=%s parallel=%t bytes=%v",
+			p.Name(), p.Workload.Class(), p.Workload.Parallel(), p.Workload.DataBytes(p.Size)))
+		kb.Field("profile", fmt.Sprintf("%v", p.Workload.Profile(p.Size, spec)))
+	}
+	return kb.Key()
+}
+
+// degradedRecord reports whether a gather record rests on incomplete
+// data — a dropped sample or a quarantined event. Degraded records are
+// never cached, and a served entry that somehow decodes as degraded is
+// rejected and re-measured.
+func degradedRecord(rec taskRecord) bool {
+	return len(rec.Dropped) > 0 || len(rec.Quarantined) > 0
+}
+
+// measureTask runs one gather unit fresh on a collector forked from the
+// task's label and packages the result as a taskRecord.
+func (ch *Checker) measureTask(events []platform.Event, t gatherTask) (taskRecord, error) {
+	col := ch.Collector.Fork(t.label)
+	ac, err := ch.gather(col, events, t.parts...)
+	if err != nil {
+		return taskRecord{}, err
+	}
+	cs := col.Stats()
+	return taskRecord{
+		Samples:      ac.samples,
+		Dropped:      cs.Dropped,
+		Quarantined:  cs.Quarantined,
+		Wrapped:      cs.Wrapped,
+		Retries:      cs.Retries,
+		Recovered:    cs.Recovered,
+		SilentSpikes: cs.SilentSpikes,
+	}, nil
+}
+
+// cachedTask resolves one gather unit through the content-addressed
+// cache: an identical unit already measured (by this process, by a
+// concurrent worker mid-flight, or by an earlier process via the disk
+// store) is served instead of re-measured. Records produced under a
+// degraded regime are returned but never retained; a served entry that
+// decodes as degraded or unparsable is rejected and re-measured fresh.
+// The outcome is folded into the report's cache counters by the caller.
+func (ch *Checker) cachedTask(events []platform.Event, t gatherTask) (rec taskRecord, out memo.Outcome, rejected bool, err error) {
+	var fresh taskRecord
+	computed := false
+	payload, out, err := ch.Cache.GetOrCompute(t.key, func() ([]byte, bool, error) {
+		r, err := ch.measureTask(events, t)
+		if err != nil {
+			return nil, false, err
+		}
+		data, err := json.Marshal(r)
+		if err != nil {
+			return nil, false, fmt.Errorf("core: cache encode %s: %w", t.label, err)
+		}
+		fresh, computed = r, true
+		return data, !degradedRecord(r), nil
+	})
+	if err != nil {
+		return taskRecord{}, out, false, err
+	}
+	if computed {
+		// This goroutine led the flight: use the record it measured
+		// (bit-identical to the payload round-trip, but cheaper).
+		return fresh, out, false, nil
+	}
+	if jerr := json.Unmarshal(payload, &rec); jerr != nil || rec.Samples == nil || degradedRecord(rec) {
+		// Serve-side guard: a cached entry must decode to a complete,
+		// non-degraded record or it is not trusted — re-measure.
+		rec, err = ch.measureTask(events, t)
+		return rec, out, true, err
+	}
+	return rec, out, false, nil
+}

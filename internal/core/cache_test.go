@@ -1,0 +1,282 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"additivity/internal/faults"
+	"additivity/internal/machine"
+	"additivity/internal/memo"
+	"additivity/internal/platform"
+	"additivity/internal/pmc"
+	"additivity/internal/workload"
+)
+
+// cacheFixture runs a small additivity check with the given cache,
+// journal, fault rates and worker count, on a fresh measurement stack
+// each time — so repeated calls model repeated studies/processes over a
+// shared cache.
+func cacheFixture(t *testing.T, cache *memo.Cache, j Journal, rates *faults.Rates, workers int) ([]Verdict, *CheckReport) {
+	t.Helper()
+	const seed = 71
+	m := machine.New(platform.Haswell(), seed)
+	col := pmc.NewCollector(m, seed)
+	if rates != nil {
+		inj := faults.New(seed, *rates)
+		m.SetFaults(inj.Fork("machine"), faults.DefaultRetryPolicy())
+		col.SetFaults(inj.Fork("pmc"), faults.DefaultRetryPolicy(), 0)
+	}
+	checker := NewChecker(col, Config{ToleranceFrac: 0.05, Reps: 2, ReproCVMax: 0.20, Workers: workers})
+	checker.Cache = cache
+	checker.Journal = j
+	base := workload.BaseApps(workload.DiverseSuite())[:6]
+	compounds := workload.RandomCompounds(base, 4, seed)
+	verdicts, report, err := checker.CheckWithReport(classAEvents(t), compounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return verdicts, report
+}
+
+func newTestCache(t *testing.T, dir string) *memo.Cache {
+	t.Helper()
+	c, err := memo.New(memo.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// Caching is pure bookkeeping: a cached cold run must produce verdicts
+// byte-identical to an uncached run's, with every unit a miss.
+func TestCacheDoesNotChangeVerdicts(t *testing.T) {
+	plain, _ := cacheFixture(t, nil, nil, nil, 0)
+	cached, report := cacheFixture(t, newTestCache(t, ""), nil, nil, 0)
+	if !reflect.DeepEqual(plain, cached) {
+		t.Error("caching changed the verdicts")
+	}
+	if !report.Cached {
+		t.Error("report must mark the check as cached")
+	}
+	if report.CacheMisses != report.Tasks || report.CacheHits+report.CacheDiskHits+report.CacheMerges != 0 {
+		t.Errorf("cold run cache counters: %+v", report)
+	}
+}
+
+// The warm-run contract: an identical check over a warm cache serves
+// every unit from the cache and reproduces the verdicts byte-for-byte —
+// in memory within a process, and from the disk store across processes.
+func TestCacheWarmRunByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	shared := newTestCache(t, dir)
+	want, cold := cacheFixture(t, shared, nil, nil, 0)
+
+	// Same process, same cache: all in-memory hits.
+	warm, report := cacheFixture(t, shared, nil, nil, 0)
+	if !reflect.DeepEqual(want, warm) {
+		t.Error("warm in-process run changed the verdicts")
+	}
+	if report.CacheHits != report.Tasks {
+		t.Errorf("warm run: %d hits of %d tasks (%+v)", report.CacheHits, report.Tasks, report)
+	}
+
+	// Fresh cache over the same directory models a new process: all
+	// units come back from the checksummed disk store.
+	fresh := newTestCache(t, dir)
+	warm2, report2 := cacheFixture(t, fresh, nil, nil, 0)
+	if !reflect.DeepEqual(want, warm2) {
+		t.Error("warm cross-process run changed the verdicts")
+	}
+	if report2.CacheDiskHits != report2.Tasks {
+		t.Errorf("disk-warm run: %d disk hits of %d tasks", report2.CacheDiskHits, report2.Tasks)
+	}
+	if cold.CacheMisses != cold.Tasks {
+		t.Errorf("cold run misses: %+v", cold)
+	}
+}
+
+// Worker-count invariance must survive the cache: cold or warm, 1 or 8
+// workers, the verdicts are identical.
+func TestCacheWorkerCountInvariance(t *testing.T) {
+	want, _ := cacheFixture(t, nil, nil, nil, 1)
+	dir := t.TempDir()
+	for _, workers := range []int{1, 8} {
+		shared := newTestCache(t, dir)
+		cold, _ := cacheFixture(t, shared, nil, nil, workers)
+		if !reflect.DeepEqual(want, cold) {
+			t.Errorf("cold cached run with %d workers changed the verdicts", workers)
+		}
+		warm, report := cacheFixture(t, shared, nil, nil, workers)
+		if !reflect.DeepEqual(want, warm) {
+			t.Errorf("warm cached run with %d workers changed the verdicts", workers)
+		}
+		if report.CacheHits+report.CacheDiskHits != report.Tasks {
+			t.Errorf("warm run with %d workers not fully served from cache: %+v", workers, report)
+		}
+	}
+}
+
+// Two identical studies racing over one shared cache must execute each
+// unique gather unit exactly once between them: whichever study reaches
+// a unit first measures it, the other hits or single-flight merges.
+func TestCacheSingleFlightAcrossConcurrentChecks(t *testing.T) {
+	shared := newTestCache(t, "")
+	var wg sync.WaitGroup
+	verdicts := make([][]Verdict, 2)
+	reports := make([]*CheckReport, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			verdicts[i], reports[i] = cacheFixture(t, shared, nil, nil, 4)
+		}(i)
+	}
+	wg.Wait()
+
+	if !reflect.DeepEqual(verdicts[0], verdicts[1]) {
+		t.Error("concurrent cached studies disagreed")
+	}
+	units := reports[0].Tasks
+	st := shared.Stats()
+	if st.Misses != uint64(units) {
+		t.Errorf("unique units measured %d times total, want exactly %d (one gather per unit): %+v",
+			st.Misses, units, st)
+	}
+	if st.Hits+st.SingleFlightMerges != uint64(units) {
+		t.Errorf("second study's units must all be served (hit or merged): %+v", st)
+	}
+}
+
+// Units measured under a degraded regime (dropped samples) are never
+// cached: every run re-measures them, and being uncacheable changes no
+// output bit.
+func TestDegradedUnitsNeverCached(t *testing.T) {
+	rates := &faults.Rates{TransientRead: 0.9} // exhausts retries, drops samples
+	dir := t.TempDir()
+	shared := newTestCache(t, dir)
+	want, cold := cacheFixture(t, shared, nil, rates, 0)
+	if !cold.Degraded() {
+		t.Fatal("fixture must degrade under 0.9 transient-read rate")
+	}
+	st := shared.Stats()
+	if st.Uncacheable == 0 {
+		t.Fatal("degraded units must be marked uncacheable")
+	}
+	if shared.Len() != cold.Tasks-int(st.Uncacheable) {
+		t.Errorf("resident entries = %d, want tasks %d minus uncacheable %d",
+			shared.Len(), cold.Tasks, st.Uncacheable)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != cold.Tasks-int(st.Uncacheable) {
+		t.Errorf("disk entries = %d, want %d", len(entries), cold.Tasks-int(st.Uncacheable))
+	}
+	// A warm run re-measures exactly the degraded units — deterministic
+	// re-measurement keeps the verdicts byte-identical.
+	warm, report := cacheFixture(t, shared, nil, rates, 0)
+	if !reflect.DeepEqual(want, warm) {
+		t.Error("warm degraded run changed the verdicts")
+	}
+	if report.CacheMisses != int(st.Uncacheable) {
+		t.Errorf("warm run re-measured %d units, want the %d degraded ones", report.CacheMisses, st.Uncacheable)
+	}
+}
+
+// A corrupt disk entry (truncated write, bit rot) is detected by its
+// checksum, discarded, and re-measured — restoring identical verdicts.
+func TestCorruptCacheEntryRemeasured(t *testing.T) {
+	dir := t.TempDir()
+	want, _ := cacheFixture(t, newTestCache(t, dir), nil, nil, 0)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no disk entries written")
+	}
+	// Truncate one entry mid-payload.
+	victim := filepath.Join(dir, entries[0].Name())
+	raw, err := os.ReadFile(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(victim, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fresh := newTestCache(t, dir)
+	got, report := cacheFixture(t, fresh, nil, nil, 0)
+	if !reflect.DeepEqual(want, got) {
+		t.Error("re-measuring a corrupt cache entry changed the verdicts")
+	}
+	if st := fresh.Stats(); st.CorruptEntries != 1 {
+		t.Errorf("corrupt entries detected = %d, want 1 (%+v)", st.CorruptEntries, st)
+	}
+	if report.CacheMisses != 1 || report.CacheDiskHits != report.Tasks-1 {
+		t.Errorf("corrupt-entry run counters: %+v", report)
+	}
+}
+
+// The cache composes with the journal: the journal is consulted first,
+// so a fully journaled check resumes without touching the cache, and a
+// cold check with both layers records units to both.
+func TestCacheComposesWithJournal(t *testing.T) {
+	j := newMemJournal()
+	cache := newTestCache(t, "")
+	want, cold := cacheFixture(t, cache, j, nil, 0)
+	if cold.Resumed != 0 || cold.CacheMisses != cold.Tasks {
+		t.Fatalf("cold run: %+v", cold)
+	}
+	if len(j.order) != cold.Tasks {
+		t.Errorf("journal recorded %d units, want %d", len(j.order), cold.Tasks)
+	}
+
+	// Full journal, cold cache: everything resumes from the journal and
+	// the cache is never consulted.
+	coldCache := newTestCache(t, "")
+	got, report := cacheFixture(t, coldCache, j, nil, 0)
+	if !reflect.DeepEqual(want, got) {
+		t.Error("journal resume with cache changed the verdicts")
+	}
+	if report.Resumed != report.Tasks {
+		t.Errorf("resumed %d of %d", report.Resumed, report.Tasks)
+	}
+	if s := coldCache.Stats(); s.Requests() != 0 {
+		t.Errorf("journal-resumed units must not touch the cache: %+v", s)
+	}
+
+	// Warm cache, fresh journal: units come from the cache and are
+	// still journaled, so the journal stays a complete record.
+	j2 := newMemJournal()
+	got2, report2 := cacheFixture(t, cache, j2, nil, 0)
+	if !reflect.DeepEqual(want, got2) {
+		t.Error("cache-served run with fresh journal changed the verdicts")
+	}
+	if report2.CacheHits != report2.Tasks {
+		t.Errorf("warm run: %+v", report2)
+	}
+	if len(j2.order) != report2.Tasks {
+		t.Errorf("cache-served units must still be journaled: %d of %d", len(j2.order), report2.Tasks)
+	}
+}
+
+// The dedup plan accounts the naive-vs-unique gather counts: every
+// compound re-gathering its bases would cost NaiveUnits gathers; the
+// canonicalised plan fans out UniqueUnits.
+func TestPlanDedupCounts(t *testing.T) {
+	_, report := cacheFixture(t, nil, nil, nil, 0)
+	if report.UniqueUnits != report.Tasks {
+		t.Errorf("UniqueUnits = %d, want %d (the fan-out)", report.UniqueUnits, report.Tasks)
+	}
+	// 4 compounds of 2 parts each: 4×3 = 12 naive references.
+	if report.NaiveUnits != 12 {
+		t.Errorf("NaiveUnits = %d, want 12", report.NaiveUnits)
+	}
+	if report.NaiveUnits <= report.UniqueUnits {
+		t.Errorf("shared bases must dedup: naive %d, unique %d", report.NaiveUnits, report.UniqueUnits)
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"additivity/internal/memo"
 )
 
 // Journal persists completed work units so an interrupted study can
@@ -65,6 +67,27 @@ type CheckReport struct {
 	// DegradedEvents lists events whose verdicts rest on incomplete
 	// data (a dropped sample or a quarantine anywhere), sorted.
 	DegradedEvents []string
+
+	// NaiveUnits is the gather count a naive plan would execute (every
+	// compound re-gathering each of its bases plus itself);
+	// UniqueUnits is the deduplicated plan actually fanned out.
+	NaiveUnits  int
+	UniqueUnits int
+
+	// Cache counters, populated when the check ran with a measurement
+	// cache: how each gather unit was satisfied. CacheHits counts
+	// in-process LRU hits, CacheDiskHits entries served from the disk
+	// store, CacheMisses fresh measurements, CacheMerges units that
+	// single-flighted onto a concurrent in-progress gather, and
+	// CacheRejected served entries that failed the degraded/parse guard
+	// and were re-measured.
+	CacheHits     int
+	CacheDiskHits int
+	CacheMisses   int
+	CacheMerges   int
+	CacheRejected int
+	// Cached reports whether the check ran with a measurement cache.
+	Cached bool
 }
 
 // Degraded reports whether any event's verdict rests on incomplete
@@ -76,6 +99,17 @@ func (r *CheckReport) Summary() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "gather tasks: %d (%d resumed from journal); retries: %d, recovered: %d",
 		r.Tasks, r.Resumed, r.Retries, r.Recovered)
+	if r.NaiveUnits > r.UniqueUnits {
+		fmt.Fprintf(&b, "\ngather plan: %d unique units from %d naive references (dedup saved %d gathers)",
+			r.UniqueUnits, r.NaiveUnits, r.NaiveUnits-r.UniqueUnits)
+	}
+	if r.Cached {
+		fmt.Fprintf(&b, "\ncache: %d hits, %d disk hits, %d misses, %d single-flight merges",
+			r.CacheHits, r.CacheDiskHits, r.CacheMisses, r.CacheMerges)
+		if r.CacheRejected > 0 {
+			fmt.Fprintf(&b, ", %d rejected entries re-measured", r.CacheRejected)
+		}
+	}
 	if r.SilentSpikes > 0 {
 		fmt.Fprintf(&b, "; silent spikes: %d", r.SilentSpikes)
 	}
@@ -95,6 +129,27 @@ func (r *CheckReport) Summary() string {
 		b.WriteString("\nno degradation: all verdicts rest on complete data")
 	}
 	return b.String()
+}
+
+// mergeCacheOutcome folds one task's cache outcome into the counters.
+func (r *CheckReport) mergeCacheOutcome(out *taskOutcome) {
+	if !out.cached {
+		return
+	}
+	r.Cached = true
+	switch out.outcome {
+	case memo.Hit:
+		r.CacheHits++
+	case memo.DiskHit:
+		r.CacheDiskHits++
+	case memo.Merged:
+		r.CacheMerges++
+	default:
+		r.CacheMisses++
+	}
+	if out.rejected {
+		r.CacheRejected++
+	}
 }
 
 // mergeRecord folds one gather task's record into the report.

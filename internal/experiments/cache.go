@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"additivity/internal/dataset"
+	"additivity/internal/memo"
+	"additivity/internal/platform"
+	"additivity/internal/pmc"
+	"additivity/internal/workload"
+)
+
+// openCache resolves a config's cache knobs: an explicit *memo.Cache
+// (shared across studies in one process) wins; otherwise a non-empty
+// directory opens a disk-backed cache; otherwise caching is off.
+func openCache(cache *memo.Cache, dir string) (*memo.Cache, error) {
+	if cache != nil {
+		return cache, nil
+	}
+	if dir == "" {
+		return nil, nil
+	}
+	return memo.New(memo.Options{Dir: dir})
+}
+
+// cacheStats snapshots a cache for a result struct (nil when uncached).
+func cacheStats(c *memo.Cache) *memo.StatsSnapshot {
+	if c == nil {
+		return nil
+	}
+	s := c.Stats()
+	return &s
+}
+
+// DatasetStage is one sequential Builder.Build call of a memoized
+// dataset stage.
+type DatasetStage struct {
+	Bases     []workload.App         `json:"bases,omitempty"`
+	Compounds []workload.CompoundApp `json:"compounds,omitempty"`
+}
+
+// datasetPayload is the cached form of a whole dataset stage.
+type datasetPayload struct {
+	Datasets []*dataset.Dataset `json:"datasets"`
+}
+
+// datasetKeySchema versions the cache key schema for dataset stages.
+const datasetKeySchema = "dataset-stage/v1"
+
+// appKeyString canonicalises one application's identity for cache keys:
+// name (workload + problem size), class, parallelism, memory footprint,
+// and the full expected activity profile (the opcount model) on the
+// platform.
+func appKeyString(p workload.App, spec *platform.Spec) string {
+	return fmt.Sprintf("%s class=%s parallel=%t bytes=%v profile=%v",
+		p.Name(), p.Workload.Class(), p.Workload.Parallel(),
+		p.Workload.DataBytes(p.Size), p.Workload.Profile(p.Size, spec))
+}
+
+// datasetStageKey digests the full identity of a dataset stage: the
+// collector fingerprint (platform, seeds, stream positions, DVFS,
+// methodology, fault/retry/quarantine config), the builder's repetition
+// counts and energy methodology, the event set, and every application
+// measured, in order.
+func datasetStageKey(b *dataset.Builder, label string, stages []DatasetStage) memo.Key {
+	kb := memo.NewKeyBuilder(datasetKeySchema)
+	kb.Field("machine", b.Machine.Fingerprint())
+	kb.Field("collector", b.Collector.Fingerprint())
+	kb.Int("reps", int64(b.Reps))
+	kb.Field("energy-methodology", fmt.Sprintf("%+v", b.Methodology))
+	kb.Field("label", label)
+	spec := b.Collector.Machine.Spec
+	kb.Int("nevents", int64(len(b.Events)))
+	for _, ev := range b.Events {
+		kb.Field("event", fmt.Sprintf("%s cat=%d slots=%d low=%t", ev.Name, ev.Category, ev.Slots, ev.LowCount))
+	}
+	kb.Int("nstages", int64(len(stages)))
+	for _, st := range stages {
+		kb.Int("nbases", int64(len(st.Bases)))
+		for _, a := range st.Bases {
+			kb.Field("base", appKeyString(a, spec))
+		}
+		kb.Int("ncompounds", int64(len(st.Compounds)))
+		for _, c := range st.Compounds {
+			kb.Int("nparts", int64(len(c.Parts)))
+			for _, p := range c.Parts {
+				kb.Field("part", appKeyString(p, spec))
+			}
+		}
+	}
+	return kb.Key()
+}
+
+// degradationMark summarises the collector's degradation state (total
+// dropped samples plus quarantined events) so a stage can tell whether
+// it degraded anything.
+func degradationMark(col *pmc.Collector) int {
+	s := col.Stats()
+	n := len(s.Quarantined)
+	for _, d := range s.Dropped {
+		n += d
+	}
+	return n
+}
+
+// BuildDatasetsCached runs a whole sequential dataset-building stage —
+// one or more Builder.Build calls on the shared parent machine and
+// collector — as ONE content-addressed cache unit.
+//
+// The stage must be cached whole because the builder drives the parent
+// measurement streams sequentially: the second Build's inputs depend on
+// where the first left the stream, so caching the Builds separately
+// would let a warm run skip the first and hand the second a stream
+// position no cold run ever produces. Caching the stage as a unit keyed
+// by the collector's pre-stage fingerprint (stream positions included)
+// is exact: a key hit certifies the whole sequential history matches.
+//
+// Two contract requirements on the caller: the stage must start from
+// the state the key was computed at (trivially true — the key is
+// computed here), and the stage must be the LAST user of the parent
+// machine/collector, because a cache hit serves the datasets without
+// advancing the parent streams. Every experiment in this package
+// satisfies the second by construction (the additivity stage before it
+// runs only on forks; nothing measures after the dataset stage).
+//
+// Stages that degrade (dropped samples or quarantined events) are
+// returned but never cached, mirroring the gather-unit rule.
+func BuildDatasetsCached(cache *memo.Cache, b *dataset.Builder, label string, stages []DatasetStage) ([]*dataset.Dataset, memo.Outcome, error) {
+	build := func() ([]*dataset.Dataset, error) {
+		out := make([]*dataset.Dataset, 0, len(stages))
+		for _, st := range stages {
+			d, err := b.Build(st.Bases, st.Compounds)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, d)
+		}
+		return out, nil
+	}
+	if cache == nil {
+		ds, err := build()
+		return ds, memo.Miss, err
+	}
+
+	key := datasetStageKey(b, label, stages)
+	var fresh []*dataset.Dataset
+	computed := false
+	payload, out, err := cache.GetOrCompute(key, func() ([]byte, bool, error) {
+		before := degradationMark(b.Collector)
+		ds, err := build()
+		if err != nil {
+			return nil, false, err
+		}
+		data, err := json.Marshal(datasetPayload{Datasets: ds})
+		if err != nil {
+			return nil, false, fmt.Errorf("experiments: cache encode %s: %w", label, err)
+		}
+		fresh, computed = ds, true
+		return data, degradationMark(b.Collector) == before, nil
+	})
+	if err != nil {
+		return nil, out, err
+	}
+	if computed {
+		return fresh, out, nil
+	}
+	var p datasetPayload
+	if jerr := json.Unmarshal(payload, &p); jerr != nil || len(p.Datasets) != len(stages) {
+		// Serve-side guard: an entry that does not decode to the exact
+		// stage shape is not trusted — re-measure (the parent streams
+		// are untouched, so a fresh build starts from the keyed state).
+		ds, err := build()
+		return ds, out, err
+	}
+	return p.Datasets, out, nil
+}

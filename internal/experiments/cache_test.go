@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"os"
+	"reflect"
+	"testing"
+
+	"additivity/internal/memo"
+	"additivity/internal/platform"
+	"additivity/internal/workload"
+)
+
+// These tests pin the cache's end-to-end contract at the experiment
+// layer: a warm run — in-process or from the disk store — serves every
+// gather unit and the whole dataset stage from the cache and still
+// renders byte-identical results. Configs are scaled down as in
+// parallel_equiv_test.go.
+
+func newExpCache(t *testing.T, dir string) *memo.Cache {
+	t.Helper()
+	c, err := memo.New(memo.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// The survey over a disk-backed cache directory: a second process (a
+// fresh cache over the same directory) reproduces the verdicts entirely
+// from the disk store.
+func TestStudyCacheColdWarmByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	cfg := StudyConfig{Compounds: 5, Reps: 2}
+	plainCfg := cfg
+	plain, err := RunAdditivityStudy(platform.Haswell(), plainCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.CacheStats != nil {
+		t.Error("uncached study must not report cache stats")
+	}
+
+	coldCfg := cfg
+	coldCfg.CacheDir = dir
+	cold, err := RunAdditivityStudy(platform.Haswell(), coldCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain.Verdicts, cold.Verdicts) {
+		t.Error("cold cached study changed the verdicts")
+	}
+	if cold.CacheStats == nil || cold.CacheStats.Misses == 0 {
+		t.Fatalf("cold study stats: %+v", cold.CacheStats)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("-cache-dir must persist entries to disk")
+	}
+
+	warmCfg := cfg
+	warmCfg.CacheDir = dir
+	warm, err := RunAdditivityStudy(platform.Haswell(), warmCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain.Verdicts, warm.Verdicts) {
+		t.Error("warm cached study changed the verdicts")
+	}
+	tols := []float64{1, 5, 10}
+	if a, b := plain.SensitivityTable(tols).Render(), warm.SensitivityTable(tols).Render(); a != b {
+		t.Errorf("warm sensitivity table differs:\n--- cold\n%s\n--- warm\n%s", a, b)
+	}
+	st := warm.CacheStats
+	if st == nil || st.Misses != 0 || st.DiskHits == 0 {
+		t.Errorf("warm study must be fully disk-served: %+v", st)
+	}
+}
+
+// Class A over a shared in-process cache: the second run serves both the
+// additivity gather units and the two-build train/test dataset stage
+// from memory, and every table is byte-identical.
+func TestClassACacheColdWarmByteIdentical(t *testing.T) {
+	shared := newExpCache(t, "")
+	run := func() *ClassAResult {
+		r, err := RunClassA(ClassAConfig{
+			Compounds: 6, CheckerReps: 2,
+			Suite: workload.DiverseSuite()[:8],
+			Cache: shared,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	cold, warm := run(), run()
+	if cold.CacheStats.Misses == 0 || cold.CacheStats.Hits != 0 {
+		t.Errorf("cold run stats: %+v", cold.CacheStats)
+	}
+	// Warm-run stats are cumulative (shared cache): no new misses.
+	if warm.CacheStats.Misses != cold.CacheStats.Misses || warm.CacheStats.Hits == 0 {
+		t.Errorf("warm run must add hits, not misses: cold %+v, warm %+v", cold.CacheStats, warm.CacheStats)
+	}
+	for _, tbl := range []struct {
+		name       string
+		cold, warm string
+	}{
+		{"Table2", cold.Table2().Render(), warm.Table2().Render()},
+		{"Table3", cold.Table3().Render(), warm.Table3().Render()},
+		{"Table4", cold.Table4().Render(), warm.Table4().Render()},
+		{"Table5", cold.Table5().Render(), warm.Table5().Render()},
+	} {
+		if tbl.cold != tbl.warm {
+			t.Errorf("%s differs cold vs warm:\n--- cold\n%s\n--- warm\n%s", tbl.name, tbl.cold, tbl.warm)
+		}
+	}
+	if !reflect.DeepEqual(cold.Train, warm.Train) || !reflect.DeepEqual(cold.Test, warm.Test) {
+		t.Error("cached dataset stage changed the train/test datasets")
+	}
+}
+
+// The pipeline over a shared cache: selection, verdicts and model errors
+// survive a warm run bit-for-bit, with the profiling-dataset stage
+// served as one unit.
+func TestPipelineCacheColdWarmByteIdentical(t *testing.T) {
+	shared := newExpCache(t, "")
+	run := func() *PipelineResult {
+		r, err := RunPipeline(PipelineConfig{
+			Platform: "haswell", Compounds: 4, Cache: shared,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	cold, warm := run(), run()
+	if !reflect.DeepEqual(cold.Verdicts, warm.Verdicts) {
+		t.Error("warm pipeline changed the verdicts")
+	}
+	if !reflect.DeepEqual(cold.Selected, warm.Selected) {
+		t.Errorf("warm pipeline changed the selection: %v vs %v", cold.Selected, warm.Selected)
+	}
+	if cold.Train != warm.Train || cold.Test != warm.Test {
+		t.Errorf("warm pipeline changed the model errors: train %v vs %v, test %v vs %v",
+			cold.Train, warm.Train, cold.Test, warm.Test)
+	}
+	if warm.CacheStats.Misses != cold.CacheStats.Misses || warm.CacheStats.Hits == 0 {
+		t.Errorf("warm pipeline must add hits, not misses: cold %+v, warm %+v", cold.CacheStats, warm.CacheStats)
+	}
+	// The warm run's report marks every gather unit cache-served.
+	if warm.Report.CacheHits != warm.Report.Tasks {
+		t.Errorf("warm pipeline report: %+v", warm.Report)
+	}
+}

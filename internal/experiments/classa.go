@@ -7,6 +7,7 @@ import (
 	"additivity/internal/core"
 	"additivity/internal/dataset"
 	"additivity/internal/machine"
+	"additivity/internal/memo"
 	"additivity/internal/ml"
 	"additivity/internal/parallel"
 	"additivity/internal/platform"
@@ -49,6 +50,9 @@ type ClassAResult struct {
 	NN       []ModelResult // NN1..NN6
 	Train    *dataset.Dataset
 	Test     *dataset.Dataset
+	// CacheStats snapshots the measurement cache after the experiment
+	// (nil when it ran uncached).
+	CacheStats *memo.StatsSnapshot
 }
 
 // ClassAConfig parameterises the Class A experiment; zero values take the
@@ -66,6 +70,14 @@ type ClassAConfig struct {
 	// fan-out and of the nested-model fitting (zero or negative:
 	// GOMAXPROCS). Tables 2-5 are byte-identical for every worker count.
 	Workers int
+	// CacheDir, when set, backs the experiment with a content-addressed
+	// measurement cache on disk: the additivity gather units and the
+	// train/test dataset stage are served from the cache when their full
+	// identity matches an earlier run, with byte-identical tables.
+	CacheDir string
+	// Cache, when non-nil, is used directly and takes precedence over
+	// CacheDir — the way to share one in-process cache across studies.
+	Cache *memo.Cache
 }
 
 func (c *ClassAConfig) fill() {
@@ -117,21 +129,27 @@ func RunClassA(cfg ClassAConfig) (*ClassAResult, error) {
 	checker := core.NewChecker(col, core.Config{
 		ToleranceFrac: 0.05, Reps: cfg.CheckerReps, ReproCVMax: 0.20, Workers: cfg.Workers,
 	})
+	cache, err := openCache(cfg.Cache, cfg.CacheDir)
+	if err != nil {
+		return nil, err
+	}
+	checker.Cache = cache
 	verdicts, err := checker.Check(events, compounds)
 	if err != nil {
 		return nil, err
 	}
 
-	// Datasets: bases for training, compounds for testing.
+	// Datasets: bases for training, compounds for testing. The two builds
+	// drive the parent measurement streams sequentially, so they are
+	// memoized together as one cache stage.
 	builder := dataset.NewBuilder(m, col, events)
-	train, err := builder.Build(bases, nil)
+	ds, _, err := BuildDatasetsCached(cache, builder, "classa/datasets", []DatasetStage{
+		{Bases: bases}, {Compounds: compounds},
+	})
 	if err != nil {
 		return nil, err
 	}
-	test, err := builder.Build(nil, compounds)
-	if err != nil {
-		return nil, err
-	}
+	train, test := ds[0], ds[1]
 
 	// Nested PMC sets: drop the most non-additive PMC at each step.
 	sets := nestedSets(verdicts)
@@ -167,7 +185,7 @@ func RunClassA(cfg ClassAConfig) (*ClassAResult, error) {
 		return nil, err
 	}
 
-	res := &ClassAResult{Verdicts: verdicts, Train: train, Test: test}
+	res := &ClassAResult{Verdicts: verdicts, Train: train, Test: test, CacheStats: cacheStats(cache)}
 	for i := range sets {
 		res.LR = append(res.LR, fitted[3*i])
 		res.RF = append(res.RF, fitted[3*i+1])

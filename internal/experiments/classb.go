@@ -7,6 +7,7 @@ import (
 	"additivity/internal/core"
 	"additivity/internal/dataset"
 	"additivity/internal/machine"
+	"additivity/internal/memo"
 	"additivity/internal/ml"
 	"additivity/internal/parallel"
 	"additivity/internal/platform"
@@ -53,6 +54,14 @@ type ClassBConfig struct {
 	// GOMAXPROCS). Tables 6 and 7a are byte-identical for every worker
 	// count.
 	Workers int
+	// CacheDir, when set, backs the experiment with a content-addressed
+	// measurement cache on disk: additivity gather units and the
+	// 801-point dataset stage are served from the cache when their full
+	// identity matches an earlier run, with byte-identical tables.
+	CacheDir string
+	// Cache, when non-nil, is used directly and takes precedence over
+	// CacheDir — the way to share one in-process cache across studies.
+	Cache *memo.Cache
 }
 
 func (c *ClassBConfig) fill() {
@@ -75,7 +84,10 @@ type ClassBResult struct {
 	Models       []ModelResult // LR-A, LR-NA, RF-A, RF-NA, NN-A, NN-NA
 	Train        *dataset.Dataset
 	Test         *dataset.Dataset
-	cfg          ClassBConfig
+	// CacheStats snapshots the measurement cache after the experiment
+	// (nil when it ran uncached).
+	CacheStats *memo.StatsSnapshot
+	cfg        ClassBConfig
 }
 
 // classBModelApps returns the 801-point model dataset of the paper:
@@ -114,17 +126,25 @@ func RunClassB(cfg ClassBConfig) (*ClassBResult, error) {
 	checker := core.NewChecker(col, core.Config{
 		ToleranceFrac: 0.05, Reps: cfg.CheckerReps, ReproCVMax: 0.20, Workers: cfg.Workers,
 	})
+	cache, err := openCache(cfg.Cache, cfg.CacheDir)
+	if err != nil {
+		return nil, err
+	}
+	checker.Cache = cache
 	verdicts, err := checker.Check(events, classBAdditivityCompounds(cfg.Seed))
 	if err != nil {
 		return nil, err
 	}
 
-	// The 801-point model dataset, split 651 train / 150 test.
+	// The 801-point model dataset, split 651 train / 150 test. The build
+	// drives the parent measurement streams, so it is memoized as one
+	// cache stage.
 	builder := dataset.NewBuilder(m, col, events)
-	full, err := builder.Build(classBModelApps(), nil)
+	ds, _, err := BuildDatasetsCached(cache, builder, "classb/dataset", []DatasetStage{{Bases: classBModelApps()}})
 	if err != nil {
 		return nil, err
 	}
+	full := ds[0]
 	train, test, err := full.Split(cfg.TestPoints, cfg.Seed)
 	if err != nil {
 		return nil, err
@@ -141,6 +161,7 @@ func RunClassB(cfg ClassBConfig) (*ClassBResult, error) {
 	res := &ClassBResult{
 		Verdicts: verdicts, Correlations: corr,
 		Train: train, Test: test, cfg: cfg,
+		CacheStats: cacheStats(cache),
 	}
 
 	// Six models, fitted on the worker pool: each technique on PA and on

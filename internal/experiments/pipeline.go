@@ -12,6 +12,7 @@ import (
 	"additivity/internal/dataset"
 	"additivity/internal/faults"
 	"additivity/internal/machine"
+	"additivity/internal/memo"
 	"additivity/internal/ml"
 	"additivity/internal/platform"
 	"additivity/internal/pmc"
@@ -61,6 +62,16 @@ type PipelineConfig struct {
 	// work — an interrupted pipeline continues with byte-identical
 	// results.
 	CheckpointDir string
+	// CacheDir, when set, backs the pipeline with a content-addressed
+	// measurement cache on disk: additivity gather units and the whole
+	// profiling-dataset stage are served from the cache when their full
+	// identity matches an earlier run, with byte-identical results. The
+	// journal, when also set, is consulted first.
+	CacheDir string
+	// Cache, when non-nil, is used directly and takes precedence over
+	// CacheDir — the way to share one in-process cache (and its
+	// single-flight deduplication) across several pipelines.
+	Cache *memo.Cache
 }
 
 // fill defaults the zero values and rejects misconfigurations. Negative
@@ -115,6 +126,9 @@ type PipelineResult struct {
 	// additivity stage: journal resume counts, fault retries and
 	// recoveries, and any explicit degradation.
 	Report *core.CheckReport
+	// CacheStats snapshots the measurement cache after the pipeline (nil
+	// when the pipeline ran uncached).
+	CacheStats *memo.StatsSnapshot
 }
 
 // RunPipeline executes the workflow on the platform's default experiment
@@ -177,6 +191,11 @@ func RunPipeline(cfg PipelineConfig) (*PipelineResult, error) {
 	checker := core.NewChecker(col, core.Config{
 		ToleranceFrac: cfg.TolerancePct / 100, Reps: 5, ReproCVMax: 0.20, Workers: cfg.Workers,
 	})
+	cache, err := openCache(cfg.Cache, cfg.CacheDir)
+	if err != nil {
+		return nil, err
+	}
+	checker.Cache = cache
 	if journal != nil {
 		checker.Journal = journal
 	}
@@ -203,10 +222,11 @@ func RunPipeline(cfg PipelineConfig) (*PipelineResult, error) {
 	}
 	if full == nil {
 		builder := dataset.NewBuilder(m, col, events)
-		full, err = builder.Build(bases, nil)
+		ds, _, err := BuildDatasetsCached(cache, builder, "pipeline/dataset", []DatasetStage{{Bases: bases}})
 		if err != nil {
 			return nil, err
 		}
+		full = ds[0]
 		if journal != nil {
 			data, err := json.Marshal(full)
 			if err != nil {
@@ -268,13 +288,14 @@ func RunPipeline(cfg PipelineConfig) (*PipelineResult, error) {
 	}
 
 	return &PipelineResult{
-		Platform: spec.Name,
-		Verdicts: verdicts,
-		Selected: selected,
-		Model:    model,
-		Train:    trainStats,
-		Test:     testStats,
-		Report:   report,
+		Platform:   spec.Name,
+		Verdicts:   verdicts,
+		Selected:   selected,
+		Model:      model,
+		Train:      trainStats,
+		Test:       testStats,
+		Report:     report,
+		CacheStats: cacheStats(cache),
 	}, nil
 }
 

@@ -8,6 +8,7 @@ import (
 	"additivity/internal/core"
 	"additivity/internal/faults"
 	"additivity/internal/machine"
+	"additivity/internal/memo"
 	"additivity/internal/platform"
 	"additivity/internal/pmc"
 	"additivity/internal/stats"
@@ -26,6 +27,9 @@ type AdditivityStudy struct {
 	// Report carries the resilience layer's accounting: journal resume
 	// counts, fault retries/recoveries, and any explicit degradation.
 	Report *core.CheckReport
+	// CacheStats snapshots the measurement cache after the survey (nil
+	// when the survey ran uncached).
+	CacheStats *memo.StatsSnapshot
 }
 
 // StudyConfig parameterises the catalog survey; zero values take
@@ -56,6 +60,17 @@ type StudyConfig struct {
 	// already journaled there — an interrupted survey continues where it
 	// stopped with byte-identical results.
 	CheckpointDir string
+	// CacheDir, when set, backs the survey with a content-addressed
+	// measurement cache on disk: gather units whose full identity
+	// (platform fingerprint, seeds, methodology, fault config, event set,
+	// applications) matches an earlier run are served from the cache with
+	// byte-identical results. The journal, when also set, is consulted
+	// first.
+	CacheDir string
+	// Cache, when non-nil, is used directly and takes precedence over
+	// CacheDir — the way to share one in-process cache (and its
+	// single-flight deduplication) across several studies.
+	Cache *memo.Cache
 }
 
 func (c *StudyConfig) fill() error {
@@ -94,6 +109,11 @@ func RunAdditivityStudy(spec *platform.Spec, cfg StudyConfig) (*AdditivityStudy,
 	checker := core.NewChecker(col, core.Config{
 		ToleranceFrac: 0.05, Reps: cfg.Reps, ReproCVMax: 0.20, Workers: cfg.Workers,
 	})
+	cache, err := openCache(cfg.Cache, cfg.CacheDir)
+	if err != nil {
+		return nil, err
+	}
+	checker.Cache = cache
 	if cfg.CheckpointDir != "" {
 		j, err := OpenFileJournal(filepath.Join(cfg.CheckpointDir, "study-"+spec.Name+".jsonl"))
 		if err != nil {
@@ -118,7 +138,10 @@ func RunAdditivityStudy(spec *platform.Spec, cfg StudyConfig) (*AdditivityStudy,
 	if err != nil {
 		return nil, err
 	}
-	return &AdditivityStudy{Platform: spec.Name, Verdicts: verdicts, Report: report}, nil
+	return &AdditivityStudy{
+		Platform: spec.Name, Verdicts: verdicts, Report: report,
+		CacheStats: cacheStats(cache),
+	}, nil
 }
 
 // AdditiveCount returns how many catalog events pass the additivity test

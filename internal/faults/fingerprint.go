@@ -1,0 +1,47 @@
+package faults
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Fingerprint returns a canonical one-line identity of the rates for
+// content-addressed cache keys. Any change to any per-class probability
+// or to the per-delivery fault cap changes the fingerprint.
+func (r Rates) Fingerprint() string {
+	return fmt.Sprintf("rates{tr=%v ds=%v cw=%v ss=%v rf=%v mg=%v ps=%v rs=%v ro=%v maxc=%d}",
+		r.TransientRead, r.DroppedSample, r.CounterWrap, r.SampleSpike,
+		r.RunFailure, r.MeterGlitch, r.PowerSpike, r.RAPLStale, r.RAPLOverflow,
+		r.MaxConsecutive)
+}
+
+// Fingerprint returns a canonical one-line identity of the retry policy
+// for content-addressed cache keys.
+func (p RetryPolicy) Fingerprint() string {
+	return fmt.Sprintf("retry{attempts=%d base=%d max=%d}",
+		p.MaxAttempts, int64(p.BaseBackoff), int64(p.MaxBackoff))
+}
+
+// Fingerprint returns a canonical one-line identity of the injector for
+// content-addressed cache keys: the seed (which encodes the whole fork
+// lineage), the rates, and the current per-class decision indexes. The
+// decision indexes matter because an injector used directly (rather
+// than through a pristine fork) has consumed part of its decision
+// streams — two injectors that differ only in consumed decisions would
+// inject different fault sequences from here on, so they must key
+// differently. A nil injector fingerprints as the disarmed sentinel.
+func (in *Injector) Fingerprint() string {
+	if in == nil {
+		return "injector{none}"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "injector{seed=%d %s n=[", in.seed, in.rates.Fingerprint())
+	for i, n := range in.n {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d", n)
+	}
+	b.WriteString("]}")
+	return b.String()
+}

@@ -1,0 +1,18 @@
+package machine
+
+import "fmt"
+
+// Fingerprint returns a canonical one-line identity of the machine for
+// content-addressed cache keys: platform, energy coefficients, base
+// seed, current noise-stream position (runIndex — a machine that has
+// already executed runs is a different measurement source than a
+// pristine one), DVFS setting, and the armed fault/retry configuration.
+// Together with the collector fingerprint this is the "machine
+// fingerprint" layer of the cache key schema: any change here changes
+// every unit key derived from this machine, so stale entries are never
+// served across platform, seed, DVFS or fault-config changes.
+func (m *Machine) Fingerprint() string {
+	return fmt.Sprintf("machine{%s coeff=%v seed=%d stream=%q run=%d dvfs=%v %s %s}",
+		m.Spec.Fingerprint(), m.Coeff, m.seed, m.rngLabel, m.runIndex, m.FrequencyScale(),
+		m.inj.Fingerprint(), m.retry.Fingerprint())
+}

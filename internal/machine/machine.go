@@ -32,6 +32,10 @@ type Machine struct {
 
 	seed int64
 	rng  *stats.RNG
+	// rngLabel is the derivation label rng was split under. Together
+	// with seed and runIndex it is the complete identity of the noise
+	// stream — what the cache fingerprint needs to distinguish forks.
+	rngLabel string
 	// runIndex makes every run draw from a fresh noise stream while the
 	// machine as a whole stays deterministic for a given seed.
 	runIndex int64
@@ -55,10 +59,11 @@ func (m *Machine) SetFaults(inj *faults.Injector, retry faults.RetryPolicy) {
 // New returns a machine for the platform, seeded for reproducibility.
 func New(spec *platform.Spec, seed int64) *Machine {
 	return &Machine{
-		Spec:  spec,
-		Coeff: energy.CoefficientsFor(spec),
-		seed:  seed,
-		rng:   stats.SplitSeed(seed, "machine-"+spec.Name),
+		Spec:     spec,
+		Coeff:    energy.CoefficientsFor(spec),
+		seed:     seed,
+		rng:      stats.SplitSeed(seed, "machine-"+spec.Name),
+		rngLabel: "machine-" + spec.Name,
 	}
 }
 
@@ -73,13 +78,14 @@ func New(spec *platform.Spec, seed int64) *Machine {
 // bit-for-bit. The fork inherits the frequency scale in effect.
 func (m *Machine) Fork(label string) *Machine {
 	return &Machine{
-		Spec:  m.Spec,
-		Coeff: m.Coeff,
-		seed:  m.seed,
-		rng:   stats.SplitSeed(m.seed, "machine-"+m.Spec.Name+"/fork/"+label),
-		dvfs:  m.dvfs,
-		inj:   m.inj.Fork("machine/" + label),
-		retry: m.retry,
+		Spec:     m.Spec,
+		Coeff:    m.Coeff,
+		seed:     m.seed,
+		rng:      stats.SplitSeed(m.seed, "machine-"+m.Spec.Name+"/fork/"+label),
+		rngLabel: "machine-" + m.Spec.Name + "/fork/" + label,
+		dvfs:     m.dvfs,
+		inj:      m.inj.Fork("machine/" + label),
+		retry:    m.retry,
 	}
 }
 

@@ -1,0 +1,326 @@
+package memo
+
+import (
+	"container/list"
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// Outcome describes how one GetOrCompute request was satisfied.
+type Outcome int
+
+const (
+	// Miss: no usable entry anywhere; this caller ran the compute.
+	Miss Outcome = iota
+	// Hit: served from the in-process LRU.
+	Hit
+	// DiskHit: served from the on-disk store (and promoted to the LRU).
+	DiskHit
+	// Merged: another caller was already computing the same key; this
+	// caller blocked on that single flight and shared its result.
+	Merged
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Miss:
+		return "miss"
+	case Hit:
+		return "hit"
+	case DiskHit:
+		return "disk-hit"
+	case Merged:
+		return "merged"
+	}
+	return "unknown"
+}
+
+// Options configures a Cache.
+type Options struct {
+	// Dir, when non-empty, backs the cache with an on-disk store so
+	// entries survive the process and warm-start later runs.
+	Dir string
+	// MaxEntries bounds the in-process LRU (whole cache, all shards
+	// combined). 0 means DefaultMaxEntries; negative means unbounded.
+	MaxEntries int
+	// Shards is the lock-shard count, rounded up to a power of two.
+	// 0 means DefaultShards.
+	Shards int
+}
+
+// DefaultMaxEntries bounds the in-process LRU when Options.MaxEntries
+// is zero. A gather unit payload is a few KB, so the default keeps the
+// cache at tens of MB even for large surveys.
+const DefaultMaxEntries = 4096
+
+// DefaultShards is the default lock-shard count.
+const DefaultShards = 16
+
+// StatsSnapshot is a point-in-time copy of a cache's counters.
+type StatsSnapshot struct {
+	// Hits counts requests served from the in-process LRU.
+	Hits uint64 `json:"hits"`
+	// DiskHits counts requests served from the on-disk store.
+	DiskHits uint64 `json:"disk_hits"`
+	// Misses counts requests that ran the compute function.
+	Misses uint64 `json:"misses"`
+	// SingleFlightMerges counts requests that blocked on — and shared —
+	// another caller's in-progress compute for the same key.
+	SingleFlightMerges uint64 `json:"single_flight_merges"`
+	// Stores counts payloads written to the on-disk store.
+	Stores uint64 `json:"stores"`
+	// CorruptEntries counts on-disk entries that failed their checksum
+	// or length validation and were discarded and re-measured.
+	CorruptEntries uint64 `json:"corrupt_entries"`
+	// Uncacheable counts computes whose result the caller marked
+	// non-cacheable (degraded regime: drops or quarantine), so nothing
+	// was retained in memory or on disk.
+	Uncacheable uint64 `json:"uncacheable"`
+}
+
+// Requests is the total number of GetOrCompute calls reflected in s.
+func (s StatsSnapshot) Requests() uint64 {
+	return s.Hits + s.DiskHits + s.Misses + s.SingleFlightMerges
+}
+
+// Add returns the field-wise sum of two snapshots.
+func (s StatsSnapshot) Add(t StatsSnapshot) StatsSnapshot {
+	return StatsSnapshot{
+		Hits:               s.Hits + t.Hits,
+		DiskHits:           s.DiskHits + t.DiskHits,
+		Misses:             s.Misses + t.Misses,
+		SingleFlightMerges: s.SingleFlightMerges + t.SingleFlightMerges,
+		Stores:             s.Stores + t.Stores,
+		CorruptEntries:     s.CorruptEntries + t.CorruptEntries,
+		Uncacheable:        s.Uncacheable + t.Uncacheable,
+	}
+}
+
+// Cache is the in-process layer: a sharded LRU over unit payloads with
+// single-flight deduplication and an optional disk store behind it.
+// All methods are safe for concurrent use; a nil *Cache is valid and
+// behaves as a pass-through (every request is a Miss that computes).
+type Cache struct {
+	shards []shard
+	mask   uint32
+	disk   *DiskStore
+	// maxPerShard bounds each shard's LRU; <0 means unbounded.
+	maxPerShard int
+
+	hits        atomic.Uint64
+	diskHits    atomic.Uint64
+	misses      atomic.Uint64
+	merges      atomic.Uint64
+	stores      atomic.Uint64
+	corrupt     atomic.Uint64
+	uncacheable atomic.Uint64
+}
+
+type shard struct {
+	mu       sync.Mutex
+	entries  map[Key]*list.Element // values are *entry
+	order    *list.List            // front = most recent
+	inflight map[Key]*flight
+}
+
+type entry struct {
+	key     Key
+	payload []byte
+}
+
+// flight is one in-progress compute; followers block on done.
+type flight struct {
+	done    chan struct{}
+	payload []byte
+	err     error
+}
+
+// New creates a cache. When opts.Dir is non-empty the on-disk store is
+// opened (created if needed) and becomes the second lookup layer.
+func New(opts Options) (*Cache, error) {
+	n := opts.Shards
+	if n <= 0 {
+		n = DefaultShards
+	}
+	// Round up to a power of two so shard selection is a mask.
+	pow := 1
+	for pow < n {
+		pow <<= 1
+	}
+	c := &Cache{shards: make([]shard, pow), mask: uint32(pow - 1)}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[Key]*list.Element)
+		c.shards[i].order = list.New()
+		c.shards[i].inflight = make(map[Key]*flight)
+	}
+	switch {
+	case opts.MaxEntries == 0:
+		c.maxPerShard = (DefaultMaxEntries + pow - 1) / pow
+	case opts.MaxEntries < 0:
+		c.maxPerShard = -1
+	default:
+		c.maxPerShard = (opts.MaxEntries + pow - 1) / pow
+		if c.maxPerShard < 1 {
+			c.maxPerShard = 1
+		}
+	}
+	if opts.Dir != "" {
+		disk, err := OpenDiskStore(opts.Dir)
+		if err != nil {
+			return nil, err
+		}
+		c.disk = disk
+	}
+	return c, nil
+}
+
+func (c *Cache) shardOf(k Key) *shard {
+	// The key is a sha256 digest, so any four bytes are uniform.
+	idx := uint32(k.d[0]) | uint32(k.d[1])<<8 | uint32(k.d[2])<<16 | uint32(k.d[3])<<24
+	return &c.shards[idx&c.mask]
+}
+
+// GetOrCompute returns the payload for key, computing it at most once
+// per process at a time. compute returns the payload, whether it may be
+// cached (false for results produced under a degraded regime — those
+// are returned to this caller but never retained or served to others),
+// and an error. The returned Outcome says which layer satisfied the
+// request. On a nil cache, compute runs unconditionally.
+//
+// The returned payload is shared — callers must not mutate it.
+func (c *Cache) GetOrCompute(key Key, compute func() (payload []byte, cacheable bool, err error)) ([]byte, Outcome, error) {
+	if c == nil {
+		p, _, err := compute()
+		return p, Miss, err
+	}
+	if key.IsZero() {
+		return nil, Miss, errors.New("memo: zero key")
+	}
+	s := c.shardOf(key)
+
+	s.mu.Lock()
+	if el, ok := s.entries[key]; ok {
+		s.order.MoveToFront(el)
+		p := el.Value.(*entry).payload
+		s.mu.Unlock()
+		c.hits.Add(1)
+		return p, Hit, nil
+	}
+	if fl, ok := s.inflight[key]; ok {
+		s.mu.Unlock()
+		<-fl.done
+		c.merges.Add(1)
+		if fl.err != nil {
+			return nil, Merged, fl.err
+		}
+		return fl.payload, Merged, nil
+	}
+	// This caller leads the flight for key.
+	fl := &flight{done: make(chan struct{})}
+	s.inflight[key] = fl
+	s.mu.Unlock()
+
+	payload, outcome, err := c.lead(key, s, compute)
+	fl.payload, fl.err = payload, err
+	close(fl.done)
+	s.mu.Lock()
+	delete(s.inflight, key)
+	s.mu.Unlock()
+	return payload, outcome, err
+}
+
+// lead performs the flight leader's work: disk lookup, then compute,
+// then retention. Called outside the shard lock.
+func (c *Cache) lead(key Key, s *shard, compute func() ([]byte, bool, error)) ([]byte, Outcome, error) {
+	if c.disk != nil {
+		payload, ok, err := c.disk.Load(key)
+		if err != nil && errors.Is(err, errCorrupt) {
+			// Fall through to a fresh measurement.
+			c.corrupt.Add(1)
+		} else if err != nil {
+			return nil, Miss, err
+		} else if ok {
+			c.diskHits.Add(1)
+			c.retain(key, s, payload)
+			return payload, DiskHit, nil
+		}
+	}
+	payload, cacheable, err := compute()
+	if err != nil {
+		c.misses.Add(1)
+		return nil, Miss, err
+	}
+	if !cacheable {
+		c.misses.Add(1)
+		c.uncacheable.Add(1)
+		return payload, Miss, nil
+	}
+	if c.disk != nil {
+		if err := c.disk.Store(key, payload); err != nil {
+			return nil, Miss, err
+		}
+		c.stores.Add(1)
+	}
+	c.misses.Add(1)
+	c.retain(key, s, payload)
+	return payload, Miss, nil
+}
+
+// retain inserts the payload into the shard's LRU, evicting from the
+// cold end when over budget.
+func (c *Cache) retain(key Key, s *shard, payload []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.entries[key]; ok {
+		s.order.MoveToFront(el)
+		return
+	}
+	s.entries[key] = s.order.PushFront(&entry{key: key, payload: payload})
+	if c.maxPerShard >= 0 {
+		for s.order.Len() > c.maxPerShard {
+			back := s.order.Back()
+			s.order.Remove(back)
+			delete(s.entries, back.Value.(*entry).key)
+		}
+	}
+}
+
+// Len reports the number of entries currently resident in memory.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.order.Len()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Stats returns a snapshot of the cache's counters. Safe on nil.
+func (c *Cache) Stats() StatsSnapshot {
+	if c == nil {
+		return StatsSnapshot{}
+	}
+	return StatsSnapshot{
+		Hits:               c.hits.Load(),
+		DiskHits:           c.diskHits.Load(),
+		Misses:             c.misses.Load(),
+		SingleFlightMerges: c.merges.Load(),
+		Stores:             c.stores.Load(),
+		CorruptEntries:     c.corrupt.Load(),
+		Uncacheable:        c.uncacheable.Load(),
+	}
+}
+
+// Dir returns the backing directory, or "" for a memory-only cache.
+func (c *Cache) Dir() string {
+	if c == nil || c.disk == nil {
+		return ""
+	}
+	return c.disk.Dir()
+}

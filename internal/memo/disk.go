@@ -1,0 +1,137 @@
+package memo
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// diskMagic versions the on-disk entry format. Bumping it invalidates
+// every stored entry at once (they stop parsing and are re-measured).
+const diskMagic = "memo1"
+
+// errCorrupt marks a stored entry whose header, checksum or length does
+// not match its payload — truncated writes, bit rot, or a foreign file
+// under the entry name. Corrupt entries are treated as misses and
+// re-measured, never served.
+var errCorrupt = errors.New("memo: corrupt disk entry")
+
+// DiskStore is the append-only on-disk layer of the cache: a flat
+// directory of digest-named entries, one file per unit. Each file is
+//
+//	memo1 <hex sha256 of payload> <payload length>\n<payload>
+//
+// so a load can verify the payload byte-for-byte before serving it.
+// Writes go through a temp file + rename, so a SIGKILL mid-write leaves
+// either no entry or a stray *.tmp file — never a half-entry under the
+// final name; whatever does end up corrupt is caught by the checksum.
+// Entries are never rewritten in place: the payload for a digest is a
+// pure function of the digest, so the first complete write is final.
+type DiskStore struct {
+	dir string
+}
+
+// OpenDiskStore creates (if needed) and opens an entry directory.
+func OpenDiskStore(dir string) (*DiskStore, error) {
+	if dir == "" {
+		return nil, errors.New("memo: empty cache directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("memo: create cache dir: %w", err)
+	}
+	return &DiskStore{dir: dir}, nil
+}
+
+// Dir returns the store's directory.
+func (s *DiskStore) Dir() string { return s.dir }
+
+func (s *DiskStore) path(k Key) string {
+	return filepath.Join(s.dir, k.Hex()+".memo")
+}
+
+// Load returns the payload stored for k. ok is false when no entry
+// exists. A present-but-invalid entry returns errCorrupt (and the file
+// is removed so the re-measured value can be stored cleanly).
+func (s *DiskStore) Load(k Key) (payload []byte, ok bool, err error) {
+	raw, err := os.ReadFile(s.path(k))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, false, nil
+		}
+		return nil, false, err
+	}
+	payload, err = parseEntry(raw)
+	if err != nil {
+		os.Remove(s.path(k))
+		return nil, false, err
+	}
+	return payload, true, nil
+}
+
+// Store writes the payload for k atomically. Storing the same key again
+// is a no-op: the existing complete entry wins.
+func (s *DiskStore) Store(k Key, payload []byte) error {
+	final := s.path(k)
+	if _, err := os.Stat(final); err == nil {
+		return nil
+	}
+	sum := sha256.Sum256(payload)
+	header := diskMagic + " " + hex.EncodeToString(sum[:]) + " " + strconv.Itoa(len(payload)) + "\n"
+	tmp, err := os.CreateTemp(s.dir, k.Hex()+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.WriteString(header); err != nil {
+		tmp.Close()
+		return err
+	}
+	if _, err := tmp.Write(payload); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), final)
+}
+
+// parseEntry validates one raw entry file and extracts its payload.
+func parseEntry(raw []byte) ([]byte, error) {
+	nl := -1
+	for i, b := range raw {
+		if b == '\n' {
+			nl = i
+			break
+		}
+	}
+	if nl < 0 {
+		return nil, errCorrupt
+	}
+	fields := strings.Fields(string(raw[:nl]))
+	if len(fields) != 3 || fields[0] != diskMagic {
+		return nil, errCorrupt
+	}
+	wantSum, err := hex.DecodeString(fields[1])
+	if err != nil || len(wantSum) != sha256.Size {
+		return nil, errCorrupt
+	}
+	wantLen, err := strconv.Atoi(fields[2])
+	if err != nil || wantLen < 0 {
+		return nil, errCorrupt
+	}
+	payload := raw[nl+1:]
+	if len(payload) != wantLen {
+		return nil, errCorrupt
+	}
+	gotSum := sha256.Sum256(payload)
+	if gotSum != [sha256.Size]byte(wantSum) {
+		return nil, errCorrupt
+	}
+	return payload, nil
+}

@@ -1,0 +1,111 @@
+// Package memo is the content-addressed measurement cache behind the
+// repository's memoized measurement layer. Real PMC campaigns are
+// dominated by counter-collection cost, and the paper's pipeline asks
+// for the same (application, event-set, reps) unit many times: every
+// compound additivity test re-runs its base applications, the nested
+// model families train on overlapping PMC subsets of one gathered
+// dataset, and repeated CLI invocations repeat identical gather units
+// from scratch. This package makes each unique unit a cacheable value:
+//
+//   - a unit's identity is a canonical digest of everything that
+//     determines its measurement — application spec and operation
+//     counts, event set, machine/platform fingerprint, methodology,
+//     seed lineage, and fault/retry configuration (see KeyBuilder);
+//   - an in-process sharded LRU serves repeats, with single-flight
+//     semantics so concurrent workers requesting the same unit block on
+//     one in-progress gather instead of duplicating it (see Cache);
+//   - an optional on-disk store (directory of digest-named, checksummed
+//     entries) warm-starts later processes; corrupt or truncated
+//     entries are detected and re-measured (see DiskStore);
+//   - a Plan canonicalises a study's gather graph before fan-out so
+//     digest-equal unit references collapse to one gather each.
+//
+// The cache preserves the repository's determinism contract: because
+// every unit's measurement derives purely from its identity (seed and
+// fork label included), a cache hit returns byte-for-byte what a fresh
+// gather would have produced. Entries measured under a degraded regime
+// (dropped samples, quarantined events) are never cached or served —
+// callers mark them uncacheable — so resilience accounting stays
+// explicit rather than frozen into the cache.
+package memo
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"strconv"
+)
+
+// Key is the canonical content digest of one measurement unit. The zero
+// Key is invalid and rejected by the cache.
+type Key struct {
+	d [sha256.Size]byte
+}
+
+// IsZero reports whether the key is the (invalid) zero digest.
+func (k Key) IsZero() bool { return k == Key{} }
+
+// Hex returns the key's lowercase hex form — the on-disk entry name.
+func (k Key) Hex() string { return hex.EncodeToString(k.d[:]) }
+
+// KeyBuilder assembles a unit identity field by field and digests it.
+// Fields are framed with length prefixes, so distinct field sequences
+// can never collide by concatenation, and the digest is independent of
+// everything except the (name, value) sequence written.
+type KeyBuilder struct {
+	buf []byte
+}
+
+// NewKeyBuilder starts a key under the given schema label. Bump the
+// schema (e.g. "additivity-gather/v2") whenever the field set or the
+// meaning of a field changes; old entries then simply never match.
+func NewKeyBuilder(schema string) *KeyBuilder {
+	kb := &KeyBuilder{}
+	kb.Field("schema", schema)
+	return kb
+}
+
+// Field appends one named string field.
+func (kb *KeyBuilder) Field(name, value string) *KeyBuilder {
+	kb.frame(name)
+	kb.frame(value)
+	return kb
+}
+
+// Int appends one named integer field.
+func (kb *KeyBuilder) Int(name string, v int64) *KeyBuilder {
+	return kb.Field(name, strconv.FormatInt(v, 10))
+}
+
+// Float appends one named float field in shortest round-trip form, so
+// bit-identical floats produce identical keys and nothing else does.
+func (kb *KeyBuilder) Float(name string, v float64) *KeyBuilder {
+	return kb.Field(name, strconv.FormatFloat(v, 'g', -1, 64))
+}
+
+// Floats appends a named float-slice field.
+func (kb *KeyBuilder) Floats(name string, vs []float64) *KeyBuilder {
+	kb.frame(name)
+	kb.frame(strconv.Itoa(len(vs)))
+	for _, v := range vs {
+		kb.frame(strconv.FormatFloat(v, 'g', -1, 64))
+	}
+	return kb
+}
+
+// frame appends one length-prefixed token to the pending buffer.
+func (kb *KeyBuilder) frame(s string) {
+	kb.buf = strconv.AppendInt(kb.buf, int64(len(s)), 10)
+	kb.buf = append(kb.buf, ':')
+	kb.buf = append(kb.buf, s...)
+}
+
+// Key finalises the digest. The builder may keep accumulating fields
+// afterwards; each call digests everything written so far.
+func (kb *KeyBuilder) Key() Key {
+	return Key{d: sha256.Sum256(kb.buf)}
+}
+
+// KeyOf is a convenience for digesting a ready-made canonical string.
+func KeyOf(canonical string) Key {
+	return Key{d: sha256.Sum256([]byte(canonical))}
+}

@@ -1,0 +1,56 @@
+package memo
+
+// Plan canonicalises a study's gather graph before fan-out. Callers
+// add every unit reference the naive plan would gather (each compound's
+// bases, each compound itself, every PMC subset's dataset slice); the
+// plan collapses digest-equal references so each unique unit appears
+// once, in first-reference order. The ratio NaiveRefs/UniqueUnits is
+// the dedup factor reported alongside cache statistics.
+type Plan struct {
+	units []PlanUnit
+	index map[Key]int
+	refs  int
+}
+
+// PlanUnit is one deduplicated unit of a plan.
+type PlanUnit struct {
+	// Key is the unit's canonical digest.
+	Key Key
+	// Label is the first reference's label — the seed-lineage label the
+	// unit is gathered under (later digest-equal references share its
+	// measurement, so only the first label ever reaches an RNG fork).
+	Label string
+	// Refs counts how many references collapsed into this unit.
+	Refs int
+}
+
+// NewPlan returns an empty plan.
+func NewPlan() *Plan {
+	return &Plan{index: make(map[Key]int)}
+}
+
+// Add records one unit reference. It returns the unit's position in
+// the deduplicated plan and whether the reference was the first for its
+// digest (i.e. whether it introduced a new unit to gather).
+func (p *Plan) Add(key Key, label string) (pos int, first bool) {
+	p.refs++
+	if i, ok := p.index[key]; ok {
+		p.units[i].Refs++
+		return i, false
+	}
+	i := len(p.units)
+	p.units = append(p.units, PlanUnit{Key: key, Label: label, Refs: 1})
+	p.index[key] = i
+	return i, true
+}
+
+// Units returns the deduplicated units in first-reference order. The
+// returned slice is the plan's own; callers must not mutate it.
+func (p *Plan) Units() []PlanUnit { return p.units }
+
+// NaiveRefs is the number of references added — the gather count a
+// naive (dedup-free) plan would execute.
+func (p *Plan) NaiveRefs() int { return p.refs }
+
+// UniqueUnits is the number of distinct units actually gathered.
+func (p *Plan) UniqueUnits() int { return len(p.units) }

@@ -1,0 +1,21 @@
+package platform
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Fingerprint returns a canonical one-line identity of the platform for
+// content-addressed cache keys: every field that influences simulated
+// measurements is included, so changing any parameter (register budget,
+// cache sizes, idle power, micro-architectural dials) changes the
+// fingerprint and invalidates all cached measurements for the platform.
+func (s *Spec) Fingerprint() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "platform{name=%s proc=%s os=%s uarch=%s", s.Name, s.Processor, s.OS, s.Microarch)
+	fmt.Fprintf(&b, " tpc=%d cps=%d sockets=%d numa=%d", s.ThreadsCore, s.CoresSocket, s.Sockets, s.NUMANodes)
+	fmt.Fprintf(&b, " l1d=%d l1i=%d l2=%d l3=%d mem=%d", s.L1dKB, s.L1iKB, s.L2KB, s.L3KB, s.MemoryGB)
+	fmt.Fprintf(&b, " tdp=%v idle=%v ghz=%v regs=%d", s.TDPWatts, s.IdleWatts, s.BaseGHz, s.Registers)
+	fmt.Fprintf(&b, " decode=%d dsb=%v ipc=%v memlat=%v}", s.DecodeWidth, s.DSBShare, s.PeakIPC, s.MemLatCycles)
+	return b.String()
+}

@@ -111,9 +111,13 @@ type Collector struct {
 	// Methodology selects the aggregation treatment for CollectMean.
 	Methodology Methodology
 
-	seed  int64
-	rng   *stats.RNG
-	reads int64
+	seed int64
+	rng  *stats.RNG
+	// rngLabel is the derivation label rng was split under; with seed
+	// and reads it is the complete identity of the read-noise stream
+	// (see Fingerprint).
+	rngLabel string
+	reads    int64
 
 	inj        *faults.Injector
 	retry      faults.RetryPolicy
@@ -125,9 +129,10 @@ type Collector struct {
 // NewCollector returns a collector over the given machine.
 func NewCollector(m *machine.Machine, seed int64) *Collector {
 	return &Collector{
-		Machine: m,
-		seed:    seed,
-		rng:     stats.SplitSeed(seed, "collector-"+m.Spec.Name),
+		Machine:  m,
+		seed:     seed,
+		rng:      stats.SplitSeed(seed, "collector-"+m.Spec.Name),
+		rngLabel: "collector-" + m.Spec.Name,
 	}
 }
 
@@ -162,6 +167,7 @@ func (c *Collector) Fork(label string) *Collector {
 		Methodology: c.Methodology,
 		seed:        c.seed,
 		rng:         stats.SplitSeed(c.seed, "collector-"+c.Machine.Spec.Name+"/fork/"+label),
+		rngLabel:    "collector-" + c.Machine.Spec.Name + "/fork/" + label,
 		inj:         c.inj.Fork("collector/" + label),
 		retry:       c.retry,
 		qafter:      c.qafter,

@@ -1,0 +1,27 @@
+package pmc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Fingerprint returns a canonical one-line identity of the collector
+// for content-addressed cache keys: the machine fingerprint (platform,
+// seed, DVFS, fault config), the collector's own seed and read-stream
+// position (a collector that has already produced reads is a different
+// measurement source than a pristine one), the statistical methodology,
+// and the armed fault/retry/quarantine configuration including the set
+// of currently quarantined events. Any difference in any of these makes
+// a different unit key, so cached measurements are never served across
+// platform, seed, methodology, fault-config or quarantine changes.
+func (c *Collector) Fingerprint() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "collector{%s seed=%d stream=%q reads=%d", c.Machine.Fingerprint(), c.seed, c.rngLabel, c.reads)
+	fmt.Fprintf(&b, " robust=%t madcut=%v", c.Methodology.RobustMean, c.Methodology.MADCut)
+	fmt.Fprintf(&b, " %s %s qafter=%d", c.inj.Fingerprint(), c.retry.Fingerprint(), c.qafter)
+	if items := c.quarantine.Items(); len(items) > 0 {
+		fmt.Fprintf(&b, " quarantined=%v", items)
+	}
+	b.WriteString("}")
+	return b.String()
+}

@@ -1,0 +1,143 @@
+package pmc
+
+import (
+	"strings"
+	"testing"
+
+	"additivity/internal/faults"
+	"additivity/internal/machine"
+	"additivity/internal/platform"
+	"additivity/internal/workload"
+)
+
+func newFPCollector(seed int64) *Collector {
+	return NewCollector(machine.New(platform.Haswell(), seed), seed+1)
+}
+
+// The fingerprint is the cache key's identity layer: equal construction
+// must fingerprint equally, and every knob that changes measurements
+// must change it.
+func TestCollectorFingerprintIdentity(t *testing.T) {
+	a, b := newFPCollector(42), newFPCollector(42)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("identically constructed collectors must fingerprint identically")
+	}
+	if f := a.Fingerprint(); f != a.Fingerprint() {
+		t.Fatalf("fingerprint must be stable: %q", f)
+	}
+}
+
+func TestCollectorFingerprintSensitivity(t *testing.T) {
+	base := func() *Collector { return newFPCollector(42) }
+	mutations := map[string]func(*Collector){
+		"seed": func(c *Collector) {
+			*c = *newFPCollector(43)
+		},
+		"platform": func(c *Collector) {
+			*c = *NewCollector(machine.New(platform.Skylake(), 42), 43)
+		},
+		"robust-mean": func(c *Collector) {
+			c.Methodology.RobustMean = true
+		},
+		"mad-cut": func(c *Collector) {
+			c.Methodology.RobustMean = true
+			c.Methodology.MADCut = 5
+		},
+		"faults": func(c *Collector) {
+			c.SetFaults(faults.New(7, faults.Uniform(0.01, 2)), faults.DefaultRetryPolicy(), 3)
+		},
+		"dvfs": func(c *Collector) {
+			if err := c.Machine.SetFrequencyScale(0.8); err != nil {
+				t.Fatal(err)
+			}
+		},
+		"machine-run-consumed": func(c *Collector) {
+			c.Machine.Run(workload.App{Workload: workload.DGEMM(), Size: 4096})
+		},
+		"reads-consumed": func(c *Collector) {
+			run := c.Machine.Run(workload.App{Workload: workload.DGEMM(), Size: 4096})
+			c.read(run, platform.ReducedCatalog(c.Machine.Spec)[0])
+		},
+	}
+	ref := base().Fingerprint()
+	for name, mutate := range mutations {
+		t.Run(name, func(t *testing.T) {
+			c := base()
+			mutate(c)
+			if c.Fingerprint() == ref {
+				t.Fatalf("mutation %q must change the fingerprint", name)
+			}
+		})
+	}
+}
+
+func TestCollectorFingerprintQuarantine(t *testing.T) {
+	// Exhaust deliveries until an event is quarantined: the fingerprint
+	// must reflect quarantined state, so cached entries from a healthy
+	// collector are never confused with a degraded one's.
+	c := newFPCollector(42)
+	c.SetFaults(faults.New(3, faults.Rates{TransientRead: 1}), faults.RetryPolicy{MaxAttempts: 2}, 1)
+	healthy := c.Fingerprint()
+	events := platform.ReducedCatalog(c.Machine.Spec)[:2]
+	app := workload.App{Workload: workload.DGEMM(), Size: 4096}
+	for i := 0; i < 4; i++ {
+		if _, _, err := c.Collect(events, app); err != nil {
+			t.Fatal(err)
+		}
+		if len(c.Stats().Quarantined) > 0 {
+			break
+		}
+	}
+	if len(c.Stats().Quarantined) == 0 {
+		t.Fatal("expected quarantined events under certain faults")
+	}
+	got := c.Fingerprint()
+	if got == healthy {
+		t.Fatal("quarantine must change the fingerprint")
+	}
+	if !strings.Contains(got, "quarantined=") {
+		t.Fatalf("fingerprint must name quarantined state: %q", got)
+	}
+}
+
+func TestForkFingerprintIndependentOfParentState(t *testing.T) {
+	// Forks derive purely from (base seed, label): the fork of a heavily
+	// used parent must fingerprint identically to the fork of a pristine
+	// one — that invariance is what makes fork-level cache keys valid
+	// across worker counts and scheduling orders.
+	fresh := newFPCollector(42).Fork("task-1").Fingerprint()
+	used := newFPCollector(42)
+	app := workload.App{Workload: workload.DGEMM(), Size: 4096}
+	if _, _, err := used.Collect(platform.ReducedCatalog(used.Machine.Spec)[:3], app); err != nil {
+		t.Fatal(err)
+	}
+	if got := used.Fork("task-1").Fingerprint(); got != fresh {
+		t.Fatalf("fork fingerprint must not depend on parent state:\n fresh: %s\n used:  %s", fresh, got)
+	}
+	if newFPCollector(42).Fork("task-2").Fingerprint() == fresh {
+		t.Fatal("distinct fork labels must fingerprint distinctly")
+	}
+}
+
+func TestInjectorFingerprint(t *testing.T) {
+	var nilInj *faults.Injector
+	if nilInj.Fingerprint() != "injector{none}" {
+		t.Fatalf("nil injector sentinel: %q", nilInj.Fingerprint())
+	}
+	in := faults.New(7, faults.Uniform(0.01, 2))
+	ref := in.Fingerprint()
+	if faults.New(7, faults.Uniform(0.01, 2)).Fingerprint() != ref {
+		t.Fatal("equal injectors must fingerprint equally")
+	}
+	if faults.New(8, faults.Uniform(0.01, 2)).Fingerprint() == ref {
+		t.Fatal("seed must be part of the injector fingerprint")
+	}
+	if faults.New(7, faults.Uniform(0.02, 2)).Fingerprint() == ref {
+		t.Fatal("rates must be part of the injector fingerprint")
+	}
+	// Consuming a decision changes the stream position and the identity.
+	in.Inject(faults.TransientRead)
+	if in.Fingerprint() == ref {
+		t.Fatal("consumed decisions must change the injector fingerprint")
+	}
+}

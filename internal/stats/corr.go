@@ -32,21 +32,43 @@ func Pearson(xs, ys []float64) float64 {
 // Spearman returns Spearman's rank correlation coefficient of xs and ys.
 // Ties receive their average rank.
 func Spearman(xs, ys []float64) float64 {
-	if len(xs) != len(ys) || len(xs) < 2 {
+	n := len(xs)
+	if n != len(ys) || n < 2 {
 		return 0
 	}
-	return Pearson(ranks(xs), ranks(ys))
+	// One rank buffer and one index permutation, reused for both
+	// samples: correlation sweeps call Spearman once per PMC column, so
+	// the per-call sort.Slice closure allocations add up.
+	buf := make([]float64, 2*n)
+	s := &rankSorter{idx: make([]int, n)}
+	rx, ry := buf[:n], buf[n:]
+	rankInto(rx, s, xs)
+	rankInto(ry, s, ys)
+	return Pearson(rx, ry)
 }
 
-// ranks returns the fractional ranks of xs (average rank for ties).
-func ranks(xs []float64) []float64 {
+// rankSorter sorts an index permutation by its sample's values — a
+// concrete sort.Interface, so sorting allocates no per-call closure and
+// swaps without reflection.
+type rankSorter struct {
+	idx []int
+	xs  []float64
+}
+
+func (s *rankSorter) Len() int           { return len(s.idx) }
+func (s *rankSorter) Less(a, b int) bool { return s.xs[s.idx[a]] < s.xs[s.idx[b]] }
+func (s *rankSorter) Swap(a, b int)      { s.idx[a], s.idx[b] = s.idx[b], s.idx[a] }
+
+// rankInto writes the fractional ranks of xs (average rank for ties)
+// into rs, reusing the sorter's index permutation.
+func rankInto(rs []float64, s *rankSorter, xs []float64) {
 	n := len(xs)
-	idx := make([]int, n)
-	for i := range idx {
-		idx[i] = i
+	s.xs = xs
+	for i := range s.idx {
+		s.idx[i] = i
 	}
-	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
-	rs := make([]float64, n)
+	sort.Sort(s)
+	idx := s.idx
 	for i := 0; i < n; {
 		j := i
 		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
@@ -59,5 +81,11 @@ func ranks(xs []float64) []float64 {
 		}
 		i = j + 1
 	}
+}
+
+// ranks returns the fractional ranks of xs (average rank for ties).
+func ranks(xs []float64) []float64 {
+	rs := make([]float64, len(xs))
+	rankInto(rs, &rankSorter{idx: make([]int, len(xs))}, xs)
 	return rs
 }

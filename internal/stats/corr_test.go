@@ -2,7 +2,9 @@ package stats
 
 import (
 	"math"
+	"sort"
 	"testing"
+	"testing/quick"
 )
 
 func TestPearsonPerfect(t *testing.T) {
@@ -89,5 +91,94 @@ func TestRanks(t *testing.T) {
 	rs = ranks([]float64{5, 5, 1})
 	if rs[0] != 2.5 || rs[1] != 2.5 || rs[2] != 1 {
 		t.Fatalf("tied ranks = %v, want [2.5 2.5 1]", rs)
+	}
+}
+
+// ranksReference is the original sort.Slice implementation, kept as the
+// oracle for the allocation-free rewrite.
+func ranksReference(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	rs := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			rs[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return rs
+}
+
+// The rank rewrite must be bitwise equivalent to the sort.Slice
+// original on arbitrary inputs. Inputs are quantised to a handful of
+// levels so tie groups (the only subtle path: unstable sort order
+// within a group must not matter) occur on nearly every case.
+func TestRanksBitwiseEquivalentToReference(t *testing.T) {
+	f := func(raw []uint8, coarse bool) bool {
+		xs := make([]float64, len(raw))
+		for i, b := range raw {
+			if coarse {
+				xs[i] = float64(b % 7) // heavy ties
+			} else {
+				xs[i] = float64(b) / 3
+			}
+		}
+		got, want := ranks(xs), ranksReference(xs)
+		for i := range want {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				return false
+			}
+		}
+		return len(got) == len(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Spearman over the reused rank buffers must match the two-allocation
+// reference composition bit for bit.
+func TestSpearmanBitwiseEquivalentToReference(t *testing.T) {
+	f := func(raw []uint8, split uint8) bool {
+		if len(raw) < 4 {
+			return true
+		}
+		n := len(raw) / 2
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := 0; i < n; i++ {
+			xs[i] = float64(raw[i] % (split%13 + 2))
+			ys[i] = float64(raw[n+i]) / 7
+		}
+		got := Spearman(xs, ys)
+		want := Pearson(ranksReference(xs), ranksReference(ys))
+		return math.Float64bits(got) == math.Float64bits(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSpearman(b *testing.B) {
+	g := NewRNG(11)
+	xs := make([]float64, 801)
+	ys := make([]float64, 801)
+	for i := range xs {
+		xs[i] = g.Uniform(0, 100)
+		ys[i] = 3*xs[i] + g.Normal(0, 25)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Spearman(xs, ys)
 	}
 }

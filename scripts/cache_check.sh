@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# cache_check.sh — prove the content-addressed measurement cache serves
+# warm runs with byte-identical output.
+#
+# Runs repro-tables twice against one -cache-dir: the first run measures
+# every unit and fills the disk store, the second must render exactly the
+# same tables on stdout while reporting nonzero cache hits on stderr. A
+# plain uncached run pins the baseline, so the cache cannot change the
+# tables in either direction.
+#
+# Usage: scripts/cache_check.sh [table]
+set -u
+
+TABLE="${1:-study}"
+DIR="$(mktemp -d)"
+trap 'rm -rf "$DIR"' EXIT
+
+# Build once so timings and outputs come from one binary.
+go build -o "$DIR/repro-tables" ./cmd/repro-tables || exit 1
+
+echo "baseline: uncached run of -table $TABLE..."
+"$DIR/repro-tables" -table "$TABLE" >"$DIR/plain.txt" 2>/dev/null || {
+    echo "FAIL: uncached run failed" >&2
+    exit 1
+}
+
+echo "cold: first run with -cache-dir $DIR/cache..."
+"$DIR/repro-tables" -table "$TABLE" -cache-dir "$DIR/cache" \
+    >"$DIR/cold.txt" 2>"$DIR/cold.err" || {
+    echo "FAIL: cold cached run failed" >&2
+    cat "$DIR/cold.err" >&2
+    exit 1
+}
+
+ENTRIES=$(ls "$DIR/cache" 2>/dev/null | wc -l)
+echo "disk store holds ${ENTRIES} entries"
+if [ "$ENTRIES" -eq 0 ]; then
+    echo "FAIL: cold run persisted no cache entries" >&2
+    exit 1
+fi
+
+echo "warm: second run against the same cache directory..."
+"$DIR/repro-tables" -table "$TABLE" -cache-dir "$DIR/cache" \
+    >"$DIR/warm.txt" 2>"$DIR/warm.err" || {
+    echo "FAIL: warm cached run failed" >&2
+    cat "$DIR/warm.err" >&2
+    exit 1
+}
+
+if ! cmp -s "$DIR/plain.txt" "$DIR/cold.txt"; then
+    echo "FAIL: cold cached tables differ from the uncached run" >&2
+    diff "$DIR/plain.txt" "$DIR/cold.txt" | head -40 >&2
+    exit 1
+fi
+if ! cmp -s "$DIR/plain.txt" "$DIR/warm.txt"; then
+    echo "FAIL: warm cached tables differ from the uncached run" >&2
+    diff "$DIR/plain.txt" "$DIR/warm.txt" | head -40 >&2
+    exit 1
+fi
+
+# The warm run must actually hit: its stderr stats line reads
+# "cache: <hits> hits, <disk hits> disk hits, ...". In-memory and disk
+# hits both count — a fresh process serves warm units from disk.
+HITS=0
+for n in $(grep -o 'cache: [0-9]* hits, [0-9]* disk hits' "$DIR/warm.err" \
+    | tail -1 | grep -o '[0-9]*'); do
+    HITS=$((HITS + n))
+done
+echo "warm run served $(grep 'cache:' "$DIR/warm.err" | tail -1 | sed 's/^cache: //')"
+if [ "$HITS" -eq 0 ]; then
+    echo "FAIL: warm run reported zero cache hits" >&2
+    cat "$DIR/warm.err" >&2
+    exit 1
+fi
+
+echo "PASS: warm-cache tables are byte-identical with ${HITS} combined hits"
