@@ -2,15 +2,22 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race bench bench-record bench-smoke chaos resume-check cache-check tables artifacts examples clean
+.PHONY: all build vet lint test test-short race bench bench-record bench-smoke chaos resume-check cache-check tables artifacts examples clean
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis gate: go vet plus the project-specific analyzer suite
+# (determinism, rngfork, floatcmp, fingerprint, errwrap) that enforces
+# the reproducibility contracts at compile time. CI runs this on every
+# push and pull request.
+lint: vet
+	$(GO) run ./cmd/additivity-lint ./...
 
 test:
 	$(GO) test ./...
@@ -47,9 +54,11 @@ bench-smoke:
 # Fault-injection and cache property tests under the race detector:
 # recoverable faults and any interrupt/resume split must leave every
 # output byte-identical; above-threshold faults must degrade explicitly;
-# single-flight must coalesce concurrent gathers of the same unit.
+# single-flight must coalesce concurrent gathers of the same unit. The
+# lint suite runs first: the determinism/fingerprint contracts those
+# properties rest on are checked statically before being exercised.
 # CI runs this on every push and pull request.
-chaos:
+chaos: lint
 	$(GO) test -race -run 'Fault|Chaos|Resume|Quarantine|Degrad|Journal|Robust|Wrap|Cache|Flight' \
 		./internal/faults ./internal/pmc ./internal/energy ./internal/core ./internal/experiments ./internal/memo
 

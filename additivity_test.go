@@ -9,6 +9,8 @@ import (
 	"testing"
 
 	"additivity"
+
+	"additivity/internal/stats"
 )
 
 func TestFacadePlatforms(t *testing.T) {
@@ -164,7 +166,7 @@ func TestFacadeTrace(t *testing.T) {
 		additivity.Segment{Seconds: 2, Watts: 100},
 		additivity.Segment{Seconds: 1, Watts: 50},
 	}
-	if tr.IdealJoules() != 250 {
+	if !stats.SameFloat(tr.IdealJoules(), 250) {
 		t.Errorf("IdealJoules = %v", tr.IdealJoules())
 	}
 	meter := additivity.NewPowerMeter(1)

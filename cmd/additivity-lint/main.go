@@ -1,0 +1,140 @@
+// Command additivity-lint runs the project-specific static analysis
+// suite over Go packages in this module. The five passes enforce the
+// repository's reproducibility contracts mechanically:
+//
+//	determinism — no ambient state (time.Now, global math/rand, pids,
+//	              env) or map-iteration-ordered output in result paths
+//	rngfork     — closures run in parallel must Fork captured RNG
+//	              carriers, never share the parent stream
+//	floatcmp    — float comparisons must name their contract
+//	              (tolerance or bit identity), never bare ==/!=
+//	fingerprint — every field of a struct feeding a cache key must be
+//	              written into the key
+//	errwrap     — fault-path fmt.Errorf must wrap errors with %w
+//
+// Usage:
+//
+//	additivity-lint [-checks determinism,floatcmp] [-list] [patterns]
+//
+// Patterns default to ./... and are resolved by `go list` from the
+// current directory, which must sit inside the module. Findings print
+// one per line as file:line:col: message (check). A finding is
+// suppressed by `//lint:ignore <check> <reason>` on, or on the line
+// above, the flagged line; the reason is mandatory and malformed
+// directives are themselves findings.
+//
+// Exit status: 0 — clean; 1 — findings; 2 — usage, load or type errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"additivity/internal/analysis"
+	"additivity/internal/analysis/passes/determinism"
+	"additivity/internal/analysis/passes/errwrap"
+	"additivity/internal/analysis/passes/fingerprint"
+	"additivity/internal/analysis/passes/floatcmp"
+	"additivity/internal/analysis/passes/rngfork"
+)
+
+// all lists every registered pass.
+var all = []*analysis.Analyzer{
+	determinism.Analyzer,
+	errwrap.Analyzer,
+	fingerprint.Analyzer,
+	floatcmp.Analyzer,
+	rngfork.Analyzer,
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("additivity-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	checks := fs.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	list := fs.Bool("list", false, "list registered checks and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, a := range all {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers, err := selectChecks(*checks)
+	if err != nil {
+		fmt.Fprintln(stderr, "additivity-lint:", err)
+		return 2
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dir, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, "additivity-lint:", err)
+		return 2
+	}
+
+	res, err := analysis.Run(dir, analyzers, patterns)
+	if err != nil {
+		fmt.Fprintln(stderr, "additivity-lint:", err)
+		return 2
+	}
+	if len(res.TypeErrors) > 0 {
+		for _, terr := range res.TypeErrors {
+			fmt.Fprintln(stderr, "additivity-lint: type error:", terr)
+		}
+		return 2
+	}
+	for _, d := range res.Diagnostics {
+		fmt.Fprintln(stdout, d)
+	}
+	if len(res.Diagnostics) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// selectChecks resolves the -checks flag to a subset of registered
+// analyzers (all of them for an empty flag).
+func selectChecks(csv string) ([]*analysis.Analyzer, error) {
+	if csv == "" {
+		return all, nil
+	}
+	byName := make(map[string]*analysis.Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(csv, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		a, ok := byName[name]
+		if !ok {
+			known := make([]string, 0, len(byName))
+			for n := range byName {
+				known = append(known, n)
+			}
+			sort.Strings(known)
+			return nil, fmt.Errorf("unknown check %q (known: %s)", name, strings.Join(known, ", "))
+		}
+		out = append(out, a)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-checks selected no checks")
+	}
+	return out, nil
+}

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"additivity/internal/analysis/analysistest"
+)
+
+// buildLint compiles the additivity-lint binary once into a temp dir.
+func buildLint(t *testing.T, root string) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "additivity-lint")
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/additivity-lint")
+	cmd.Dir = root
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// runLint executes the built binary and returns combined output and
+// exit code.
+func runLint(t *testing.T, root, bin string, args ...string) (string, int) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	cmd.Dir = root
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		return string(out), 0
+	}
+	if ee, ok := err.(*exec.ExitError); ok {
+		return string(out), ee.ExitCode()
+	}
+	t.Fatalf("run %v: %v\n%s", args, err, out)
+	return "", -1
+}
+
+// TestSmoke is the end-to-end contract of the lint tool: the known-bad
+// fixtures trip every check with exit 1, and the repository itself is
+// clean with exit 0.
+func TestSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and typechecks the module twice")
+	}
+	root := analysistest.ModuleRoot(t)
+	bin := buildLint(t, root)
+
+	fixtures := []string{
+		"./internal/analysis/passes/determinism/testdata/src/detfix",
+		"./internal/analysis/passes/rngfork/testdata/src/rngforkfix",
+		"./internal/analysis/passes/floatcmp/testdata/src/floatcmpfix",
+		"./internal/analysis/passes/fingerprint/testdata/src/fingerprintfix",
+		"./internal/analysis/passes/errwrap/testdata/src/errwrapfix",
+	}
+	out, code := runLint(t, root, bin, fixtures...)
+	if code != 1 {
+		t.Fatalf("fixture run: exit %d, want 1\n%s", code, out)
+	}
+	for _, check := range []string{"(determinism)", "(rngfork)", "(floatcmp)", "(fingerprint)", "(errwrap)"} {
+		if !strings.Contains(out, check) {
+			t.Errorf("fixture run: no %s finding in output:\n%s", check, out)
+		}
+	}
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if !strings.Contains(line, ".go:") {
+			t.Errorf("finding without file:line position: %q", line)
+		}
+	}
+
+	out, code = runLint(t, root, bin, "./...")
+	if code != 0 || strings.TrimSpace(out) != "" {
+		t.Fatalf("tree run: exit %d, want 0 with no findings\n%s", code, out)
+	}
+}
+
+// TestListAndBadCheck covers the flag surface: -list names every pass,
+// and an unknown -checks value is a usage error (exit 2).
+func TestListAndBadCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary")
+	}
+	root := analysistest.ModuleRoot(t)
+	bin := buildLint(t, root)
+
+	out, code := runLint(t, root, bin, "-list")
+	if code != 0 {
+		t.Fatalf("-list: exit %d\n%s", code, out)
+	}
+	for _, name := range []string{"determinism", "rngfork", "floatcmp", "fingerprint", "errwrap"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("-list output missing %s:\n%s", name, out)
+		}
+	}
+
+	out, code = runLint(t, root, bin, "-checks", "nosuchcheck", "./...")
+	if code != 2 {
+		t.Fatalf("unknown check: exit %d, want 2\n%s", code, out)
+	}
+}

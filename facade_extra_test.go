@@ -9,6 +9,8 @@ import (
 	"testing"
 
 	"additivity"
+
+	"additivity/internal/stats"
 )
 
 func TestFacadePipelineAndPredictorPackage(t *testing.T) {
@@ -144,7 +146,7 @@ func TestFacadeDVFSAndRanking(t *testing.T) {
 	if err := m.SetFrequencyScale(0.8); err != nil {
 		t.Fatal(err)
 	}
-	if m.FrequencyScale() != 0.8 {
+	if !stats.SameFloat(m.FrequencyScale(), 0.8) {
 		t.Errorf("scale = %v", m.FrequencyScale())
 	}
 	vs := []additivity.Verdict{}

@@ -4,6 +4,8 @@ import (
 	"strings"
 	"testing"
 	"testing/quick"
+
+	"additivity/internal/stats"
 )
 
 func TestChannelNamesComplete(t *testing.T) {
@@ -33,7 +35,7 @@ func TestVectorAccessors(t *testing.T) {
 	var v Vector
 	v.Set(FPDouble, 100)
 	v.AddTo(FPDouble, 50)
-	if got := v.Get(FPDouble); got != 150 {
+	if got := v.Get(FPDouble); !stats.SameFloat(got, 150) {
 		t.Errorf("Get = %v, want 150", got)
 	}
 	if got := v.Get(Loads); got != 0 {
@@ -47,18 +49,18 @@ func TestVectorAddScaleTotal(t *testing.T) {
 	a.Set(Stores, 4)
 	b.Set(Loads, 5)
 	sum := a.Add(b)
-	if sum.Get(Loads) != 15 || sum.Get(Stores) != 4 {
+	if !stats.SameFloat(sum.Get(Loads), 15) || !stats.SameFloat(sum.Get(Stores), 4) {
 		t.Errorf("Add = %v", sum)
 	}
 	// Add must not mutate operands.
-	if a.Get(Loads) != 10 || b.Get(Loads) != 5 {
+	if !stats.SameFloat(a.Get(Loads), 10) || !stats.SameFloat(b.Get(Loads), 5) {
 		t.Error("Add mutated an operand")
 	}
 	sc := a.Scale(2)
-	if sc.Get(Loads) != 20 || sc.Get(Stores) != 8 {
+	if !stats.SameFloat(sc.Get(Loads), 20) || !stats.SameFloat(sc.Get(Stores), 8) {
 		t.Errorf("Scale = %v", sc)
 	}
-	if got := a.Total(); got != 14 {
+	if got := a.Total(); !stats.SameFloat(got, 14) {
 		t.Errorf("Total = %v, want 14", got)
 	}
 }

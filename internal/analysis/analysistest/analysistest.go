@@ -1,0 +1,161 @@
+// Package analysistest runs analyzers against golden fixture packages.
+//
+// A fixture is an ordinary Go package under a pass's testdata/src tree
+// (go build ignores testdata, so deliberate violations never break the
+// module build, while the package still typechecks against real module
+// imports). Expected findings are annotated in place:
+//
+//	v := time.Now() // want `determinism: call to time\.Now`
+//
+// Each `want "regexp"` (double- or back-quoted) on a line must match a
+// diagnostic reported on that line, and every diagnostic must be
+// matched by a want — unmatched in either direction fails the test. The
+// fixture runs through the exact loader/suppression pipeline the
+// additivity-lint command uses, so the golden tests certify the
+// behaviour of the shipped tool, not a test-only harness.
+package analysistest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"additivity/internal/analysis"
+)
+
+// wantRe matches one annotation introducing one or more expectations:
+// want "..." [`...` ...] — each quoted pattern is a separate expected
+// diagnostic on the line.
+var (
+	wantRe    = regexp.MustCompile("want\\s+")
+	patternRe = regexp.MustCompile("^(\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`)\\s*")
+)
+
+// expectation is one want annotation.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+// ModuleRoot locates the enclosing module root (the directory holding
+// go.mod) starting from the current working directory.
+func ModuleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("analysistest: no go.mod above working directory")
+		}
+		dir = parent
+	}
+}
+
+// Run loads the fixture package at fixtureDir (relative to the test's
+// package directory, conventionally "testdata/src/<name>") and checks
+// the analyzers' diagnostics against its want annotations.
+func Run(t *testing.T, fixtureDir string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	abs, err := filepath.Abs(fixtureDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := ModuleRoot(t)
+	rel, err := filepath.Rel(root, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		t.Fatalf("analysistest: fixture %s is outside module %s", abs, root)
+	}
+
+	res, err := analysis.Run(root, analyzers, []string{"./" + filepath.ToSlash(rel)})
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	for _, terr := range res.TypeErrors {
+		t.Errorf("fixture type error: %v", terr)
+	}
+
+	wants := collectWants(t, abs)
+	matched := make([]bool, len(res.Diagnostics))
+	for _, w := range wants {
+		found := false
+		for i, d := range res.Diagnostics {
+			if matched[i] || d.Pos.Filename != w.file || d.Pos.Line != w.line {
+				continue
+			}
+			if w.re.MatchString(fmt.Sprintf("%s: %s", d.Check, d.Message)) {
+				matched[i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+	for i, d := range res.Diagnostics {
+		if !matched[i] {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+}
+
+// collectWants scans every .go file under dir for want annotations.
+func collectWants(t *testing.T, dir string) []expectation {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wants []expectation
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for ln, line := range strings.Split(string(data), "\n") {
+			loc := wantRe.FindStringIndex(line)
+			if loc == nil {
+				continue
+			}
+			rest := line[loc[1]:]
+			for {
+				m := patternRe.FindStringSubmatch(rest)
+				if m == nil {
+					break
+				}
+				rest = rest[len(m[0]):]
+				raw := m[1]
+				var pattern string
+				if raw[0] == '`' {
+					pattern = raw[1 : len(raw)-1]
+				} else {
+					pattern, err = strconv.Unquote(raw)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want string %s: %v", path, ln+1, raw, err)
+					}
+				}
+				re, err := regexp.Compile(pattern)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", path, ln+1, pattern, err)
+				}
+				wants = append(wants, expectation{file: path, line: ln + 1, re: re})
+			}
+		}
+	}
+	return wants
+}

@@ -1,0 +1,219 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one typechecked unit of analysis: a module package with
+// its in-package test files merged, or a standalone _test external test
+// package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+	// TypeErrors holds non-fatal type-checker complaints (analysis
+	// proceeds on whatever typechecked; see Loader.Load).
+	TypeErrors []error
+}
+
+// listPackage is the subset of `go list -json` output the loader needs.
+type listPackage struct {
+	ImportPath   string
+	Dir          string
+	Export       string
+	GoFiles      []string
+	CgoFiles     []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	DepOnly      bool
+	ForTest      string
+	Standard     bool
+	Error        *struct{ Err string }
+}
+
+// A Loader parses and typechecks module packages without any dependency
+// beyond the standard library. Dependency types come from compiler
+// export data discovered with `go list -e -deps -test -export -json`,
+// so the loader is module-aware for free and never re-implements import
+// resolution; only the packages under analysis are parsed from source.
+type Loader struct {
+	// Dir is the directory go list runs in (the module root or any
+	// directory inside the module).
+	Dir  string
+	Fset *token.FileSet
+
+	exports map[string]string // import path -> export data file
+	imp     types.ImporterFrom
+}
+
+// NewLoader returns a loader rooted at dir.
+func NewLoader(dir string) *Loader {
+	l := &Loader{Dir: dir, Fset: token.NewFileSet()}
+	l.imp = importer.ForCompiler(l.Fset, "gc", l.lookup).(types.ImporterFrom)
+	return l
+}
+
+// lookup serves export data recorded by the last go list run.
+func (l *Loader) lookup(path string) (io.ReadCloser, error) {
+	f, ok := l.exports[path]
+	if !ok || f == "" {
+		return nil, fmt.Errorf("analysis: no export data for %q", path)
+	}
+	return os.Open(f)
+}
+
+// goList runs go list over the patterns and decodes the JSON stream.
+func (l *Loader) goList(patterns []string) ([]*listPackage, error) {
+	args := append([]string{"list", "-e", "-deps", "-test", "-export", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.Dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	var pkgs []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decode go list output: %v", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// baseImportPath strips a test-variant suffix: "p [q.test]" -> "p".
+func baseImportPath(ip string) string {
+	if i := strings.Index(ip, " ["); i >= 0 {
+		return ip[:i]
+	}
+	return ip
+}
+
+// Load typechecks every package matched by the patterns (testdata
+// directories included when named explicitly). For each module package
+// the in-package test files are merged into the main package, and an
+// external _test package is loaded as its own unit. Type errors are
+// collected, not fatal: a pass analyses whatever typechecked, so one
+// broken file cannot mask findings elsewhere.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	raw, err := l.goList(patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	// Export data for every dependency, preferring the plain build of a
+	// package over its test variant.
+	l.exports = map[string]string{}
+	variantExports := map[string]string{}
+	for _, p := range raw {
+		if p.Export == "" {
+			continue
+		}
+		base := baseImportPath(p.ImportPath)
+		if p.ForTest != "" {
+			if _, ok := variantExports[base]; !ok {
+				variantExports[base] = p.Export
+			}
+			continue
+		}
+		if _, ok := l.exports[base]; !ok {
+			l.exports[base] = p.Export
+		}
+	}
+
+	var out []*Package
+	seen := map[string]bool{}
+	for _, p := range raw {
+		if p.DepOnly || p.Standard || p.ForTest != "" ||
+			strings.HasSuffix(p.ImportPath, ".test") || seen[p.ImportPath] {
+			continue
+		}
+		seen[p.ImportPath] = true
+		if p.Error != nil && len(p.GoFiles) == 0 && len(p.TestGoFiles) == 0 && len(p.XTestGoFiles) == 0 {
+			continue
+		}
+		main := append(append([]string{}, p.GoFiles...), p.CgoFiles...)
+		main = append(main, p.TestGoFiles...)
+		if len(main) > 0 {
+			pkg, err := l.check(p.ImportPath, p.Dir, main, l.imp)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, pkg)
+		}
+		if len(p.XTestGoFiles) > 0 {
+			// The external test package may use identifiers that
+			// in-package test files export, which only the test-variant
+			// export data carries.
+			imp := l.imp
+			if v, ok := variantExports[p.ImportPath]; ok {
+				override := importer.ForCompiler(l.Fset, "gc", func(path string) (io.ReadCloser, error) {
+					if path == p.ImportPath {
+						return os.Open(v)
+					}
+					return l.lookup(path)
+				}).(types.ImporterFrom)
+				imp = override
+			}
+			pkg, err := l.check(p.ImportPath+"_test", p.Dir, p.XTestGoFiles, imp)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, pkg)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ImportPath < out[j].ImportPath })
+	return out, nil
+}
+
+// check parses the named files in dir and typechecks them as one
+// package.
+func (l *Loader) check(importPath, dir string, files []string, imp types.ImporterFrom) (*Package, error) {
+	pkg := &Package{ImportPath: importPath, Dir: dir}
+	for _, name := range files {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parse %s: %v", name, err)
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+	conf := types.Config{
+		Importer:    imp,
+		FakeImportC: true,
+		Error:       func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	pkg.Info = &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Instances:  map[*ast.Ident]types.Instance{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	// Errors are collected by conf.Error; Check's own error repeats the
+	// first one, so it is deliberately ignored.
+	pkg.Types, _ = conf.Check(importPath, l.Fset, pkg.Files, pkg.Info)
+	return pkg, nil
+}

@@ -1,0 +1,312 @@
+// Package determinism forbids ambient nondeterminism in the packages
+// that produce the paper's results. Every table is contractually a pure
+// function of (seed, configuration); one time.Now() or global math/rand
+// draw in a result path silently breaks byte-identical reproduction and
+// poisons content-addressed cache keys. The pass bans:
+//
+//   - wall-clock and process-identity reads (time.Now/Since/Until,
+//     os.Getpid, os.Getenv and friends);
+//   - the global math/rand stream (rand.Int, rand.Float64, ... — seeded
+//     generators via rand.New(rand.NewSource(seed)) stay legal, which is
+//     exactly how stats.RNG is built);
+//   - ranging over a map when the loop body feeds order-sensitive output
+//     (appends to an outer slice, string concatenation, fmt printing or
+//     writer emission) — Go randomises map iteration order per run, so
+//     such loops must iterate a sorted key slice instead.
+package determinism
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"additivity/internal/analysis"
+)
+
+// scope lists the result-producing packages under contract.
+var scope = []string{
+	"internal/core", "internal/ml", "internal/mat",
+	"internal/stats", "internal/experiments", "internal/memo",
+}
+
+// forbidden maps package path -> function name -> replacement advice.
+var forbidden = map[string]map[string]string{
+	"time": {
+		"Now":   "derive timestamps from the experiment config",
+		"Since": "compute durations from configured quantities",
+		"Until": "compute durations from configured quantities",
+	},
+	"os": {
+		"Getpid":    "results must not depend on process identity",
+		"Getenv":    "thread configuration through explicit config structs",
+		"LookupEnv": "thread configuration through explicit config structs",
+		"Environ":   "thread configuration through explicit config structs",
+		"Hostname":  "results must not depend on the host",
+		"Getwd":     "thread paths through explicit config",
+	},
+}
+
+// randAllowed lists math/rand constructors that are deterministic when
+// explicitly seeded; everything else in math/rand draws from the global
+// stream.
+var randAllowed = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+// Analyzer is the determinism pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "determinism",
+	Doc:  "forbid ambient state (wall clock, env, pid, global math/rand) and order-sensitive map iteration in result-producing packages",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) {
+	if !analysis.InScope(pass.Pkg.Path(), scope...) {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				checkCall(pass, call)
+				return true
+			}
+			// Range statements are inspected via their enclosing
+			// statement list, so the collect-keys-then-sort idiom can be
+			// recognised by looking at the statements that follow.
+			var list []ast.Stmt
+			switch n := n.(type) {
+			case *ast.BlockStmt:
+				list = n.List
+			case *ast.CaseClause:
+				list = n.Body
+			case *ast.CommClause:
+				list = n.Body
+			default:
+				return true
+			}
+			for i, stmt := range list {
+				if lbl, ok := stmt.(*ast.LabeledStmt); ok {
+					stmt = lbl.Stmt
+				}
+				if rng, ok := stmt.(*ast.RangeStmt); ok {
+					checkMapRange(pass, rng, list[i+1:])
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkCall flags calls into the ambient-state deny list.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := analysis.CalleeFunc(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Type().(*types.Signature).Recv() != nil {
+		return
+	}
+	path, name := fn.Pkg().Path(), fn.Name()
+	if advice, ok := forbidden[path][name]; ok {
+		pass.Reportf(call.Pos(), "determinism: call to %s.%s in a result-producing package; %s", path, name, advice)
+		return
+	}
+	if (path == "math/rand" || path == "math/rand/v2") && !randAllowed[name] {
+		pass.Reportf(call.Pos(), "determinism: global math/rand stream (%s.%s) in a result-producing package; draw from a seeded stats.RNG instead", path, name)
+	}
+}
+
+// checkMapRange flags `for ... range m` over a map whose body emits
+// order-sensitive output. rest holds the statements following the loop
+// in its enclosing list: an append target that is sorted immediately
+// afterwards is the approved collect-then-sort idiom and stays clean.
+func checkMapRange(pass *analysis.Pass, rng *ast.RangeStmt, rest []ast.Stmt) {
+	tv, ok := pass.Info.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	sink, target := orderedSink(pass, rng)
+	if sink == "" {
+		return
+	}
+	if target != nil && sortedAfter(pass, target, rest) {
+		return
+	}
+	pass.Reportf(rng.Pos(), "determinism: map iteration feeds ordered output (%s); iterate a sorted key slice instead", sink)
+}
+
+// sortedAfter reports whether one of the following statements sorts the
+// append target (sort.Strings/Slice/..., slices.Sort*), which makes the
+// collected order irrelevant.
+func sortedAfter(pass *analysis.Pass, target types.Object, rest []ast.Stmt) bool {
+	for _, stmt := range rest {
+		found := false
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			fn := analysis.CalleeFunc(pass.Info, call)
+			if fn == nil || fn.Pkg() == nil || len(call.Args) == 0 {
+				return true
+			}
+			if p := fn.Pkg().Path(); p != "sort" && p != "slices" && !sortNamed(fn.Name()) {
+				return true
+			}
+			if root, ok := firstIdent(call.Args[0]).(*ast.Ident); ok && pass.Info.Uses[root] == target {
+				found = true
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// sortNamed reports whether a function name announces a sort (local
+// helpers like sortStrings count the same as the sort package).
+func sortNamed(name string) bool {
+	return strings.HasPrefix(name, "sort") || strings.HasPrefix(name, "Sort")
+}
+
+// orderedSink reports how (if at all) the range body emits data whose
+// order follows map iteration order: appending to a variable declared
+// outside the loop, building a string with +=, or printing/writing
+// directly. Loops that only aggregate order-insensitively (counters,
+// map-to-map copies, max/sum folds) pass. For an append sink the target
+// variable is returned so the caller can recognise collect-then-sort.
+func orderedSink(pass *analysis.Pass, rng *ast.RangeStmt) (string, types.Object) {
+	sink := ""
+	var target types.Object
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if sink != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isBuiltinAppend(pass, n) && len(n.Args) > 0 && isOuterTarget(pass, rng, n.Args[0]) &&
+				!keyedByRangeVar(pass, rng, n.Args[0]) {
+				sink = "append to a slice declared outside the loop"
+				if id, ok := firstIdent(n.Args[0]).(*ast.Ident); ok {
+					target = pass.Info.Uses[id]
+				}
+				return false
+			}
+			if fn := analysis.CalleeFunc(pass.Info, n); fn != nil {
+				recv := fn.Type().(*types.Signature).Recv()
+				if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" && recv == nil {
+					switch fn.Name() {
+					case "Fprint", "Fprintf", "Fprintln", "Print", "Printf", "Println":
+						sink = "fmt." + fn.Name()
+						return false
+					}
+				}
+				switch fn.Name() {
+				case "Write", "WriteString", "WriteByte", "WriteRune":
+					if recv != nil {
+						sink = "writer emission (" + fn.Name() + ")"
+						return false
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isOuterTarget(pass, rng, n.Lhs[0]) &&
+				!keyedByRangeVar(pass, rng, n.Lhs[0]) {
+				if tv, ok := pass.Info.Types[n.Lhs[0]]; ok {
+					if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						sink = "string concatenation into an outer variable"
+						return false
+					}
+				}
+			}
+		}
+		return true
+	})
+	return sink, target
+}
+
+// keyedByRangeVar reports whether the sink expression indexes storage
+// by the loop's own key/value variable (out[k] = append(out[k], v),
+// acc[k] += v). Each iteration then writes a slot owned by its key, so
+// the result is independent of iteration order and not an ordered sink.
+func keyedByRangeVar(pass *analysis.Pass, rng *ast.RangeStmt, e ast.Expr) bool {
+	vars := map[types.Object]bool{}
+	for _, k := range []ast.Expr{rng.Key, rng.Value} {
+		if id, ok := k.(*ast.Ident); ok {
+			if obj := pass.Info.Defs[id]; obj != nil {
+				vars[obj] = true
+			} else if obj := pass.Info.Uses[id]; obj != nil {
+				vars[obj] = true
+			}
+		}
+	}
+	if len(vars) == 0 {
+		return false
+	}
+	keyed := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		idx, ok := n.(*ast.IndexExpr)
+		if !ok || keyed {
+			return !keyed
+		}
+		ast.Inspect(idx.Index, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok && vars[pass.Info.Uses[id]] {
+				keyed = true
+			}
+			return !keyed
+		})
+		return !keyed
+	})
+	return keyed
+}
+
+// isBuiltinAppend reports whether the call is the append builtin.
+func isBuiltinAppend(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	if b, ok := pass.Info.Uses[id].(*types.Builtin); ok {
+		return b.Name() == "append"
+	}
+	return false
+}
+
+// isOuterTarget reports whether the expression denotes storage declared
+// outside the range statement: an identifier whose object is declared
+// before the loop, or any selector/index path (whose root necessarily
+// outlives the loop body's own declarations in the patterns we flag).
+func isOuterTarget(pass *analysis.Pass, rng *ast.RangeStmt, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := pass.Info.Uses[e]
+		if obj == nil {
+			obj = pass.Info.Defs[e]
+		}
+		if obj == nil {
+			return false
+		}
+		return obj.Pos() < rng.Pos() || obj.Pos() > rng.End()
+	case *ast.SelectorExpr:
+		return isOuterTarget(pass, rng, firstIdent(e))
+	case *ast.IndexExpr:
+		return isOuterTarget(pass, rng, e.X)
+	}
+	return false
+}
+
+// firstIdent returns the leftmost identifier of a selector chain (or the
+// expression itself when it is not a chain of selectors).
+func firstIdent(e ast.Expr) ast.Expr {
+	for {
+		sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+		if !ok {
+			return ast.Unparen(e)
+		}
+		e = sel.X
+	}
+}

@@ -1,0 +1,12 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"additivity/internal/analysis/analysistest"
+	"additivity/internal/analysis/passes/determinism"
+)
+
+func TestFixture(t *testing.T) {
+	analysistest.Run(t, "testdata/src/detfix", determinism.Analyzer)
+}

@@ -1,0 +1,103 @@
+// Package detfix is the determinism golden fixture: seeded violations
+// of every ambient-state rule plus negative cases that must stay clean.
+package detfix
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Ambient state: every call below must be flagged.
+func ambient() (float64, string) {
+	t := time.Now()         // want `determinism: call to time\.Now`
+	_ = time.Since(t)       // want `determinism: call to time\.Since`
+	_ = os.Getpid()         // want `determinism: call to os\.Getpid`
+	env := os.Getenv("LAB") // want `determinism: call to os\.Getenv`
+	v := rand.Float64()     // want `determinism: global math/rand stream`
+	_ = rand.Intn(10)       // want `determinism: global math/rand stream`
+	return v, env
+}
+
+// Seeded generators stay legal: this is exactly how stats.RNG is built.
+func seeded(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}
+
+// orderedEmit feeds map iteration order into ordered output three ways.
+func orderedEmit(m map[string]float64, w *strings.Builder) ([]string, string) {
+	var names []string
+	for k := range m { // want `determinism: map iteration feeds ordered output`
+		names = append(names, k)
+	}
+	line := ""
+	for k, v := range m { // want `determinism: map iteration feeds ordered output`
+		line += fmt.Sprint(k, v)
+	}
+	for k := range m { // want `determinism: map iteration feeds ordered output`
+		w.WriteString(k)
+	}
+	return names, line
+}
+
+// unorderedFold aggregates order-insensitively: counters, map copies and
+// folds over map values are clean.
+func unorderedFold(m map[string]float64) (float64, map[string]float64) {
+	sum := 0.0
+	out := make(map[string]float64, len(m))
+	for k, v := range m {
+		sum += v
+		out[k] = v
+	}
+	return sum, out
+}
+
+// sortedEmit is the approved pattern: iterate a sorted key slice.
+func sortedEmit(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	lines := make([]string, 0, len(keys))
+	for _, k := range keys {
+		lines = append(lines, fmt.Sprintf("%s=%g", k, m[k]))
+	}
+	return lines
+}
+
+// keyedAppend writes into slots owned by the iteration key: each key's
+// slice grows independently, so iteration order cannot show. Clean.
+func keyedAppend(reps []map[string]float64) map[string][]float64 {
+	out := make(map[string][]float64)
+	for _, counts := range reps {
+		for k, v := range counts {
+			out[k] = append(out[k], v)
+		}
+	}
+	return out
+}
+
+// localSortHelper collects keys and sorts them with a package-local
+// helper: the collected order is irrelevant. Clean.
+func localSortHelper(m map[string]float64) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sortStrings(names)
+	return names
+}
+
+func sortStrings(xs []string) { sort.Strings(xs) }
+
+// suppressed documents a deliberate exception; the directive must
+// silence the finding, so no want annotation here.
+func suppressed() int64 {
+	//lint:ignore determinism fixture: demonstrates a documented suppression
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,127 @@
+// Package errwrap enforces the typed-error discipline of the fault
+// pipeline. internal/faults classifies failures as transient (retryable
+// — bounded retry recovers the fault-free bytes) or corrupt (a cache or
+// journal entry that must be discarded), and callers dispatch on that
+// classification with errors.Is/errors.As. A fmt.Errorf that formats an
+// error value with %v, %s or %q flattens it to text and severs the
+// chain: the transient-vs-corrupt type is gone, retry/quarantine logic
+// silently stops matching, and a recoverable fault is handled as a hard
+// failure (or vice versa). On fault-path packages every error argument
+// to fmt.Errorf must therefore be wrapped with %w.
+package errwrap
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+
+	"additivity/internal/analysis"
+)
+
+// Analyzer is the errwrap pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "errwrap",
+	Doc:  "fault-path fmt.Errorf must wrap error values with %w, not flatten them with %v/%s/%q",
+	Run:  run,
+}
+
+// scope lists the packages on the fault path: everywhere a flattened
+// error would break transient-vs-corrupt dispatch.
+var scope = []string{
+	"internal/faults",
+	"internal/pmc",
+	"internal/energy",
+	"internal/machine",
+	"internal/core",
+	"internal/experiments",
+	"internal/memo",
+}
+
+func run(pass *analysis.Pass) {
+	if !analysis.InScope(pass.Pkg.Path(), scope...) {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if ok {
+				checkErrorf(pass, call)
+			}
+			return true
+		})
+	}
+}
+
+// checkErrorf flags error-typed arguments of fmt.Errorf formatted with
+// a flattening verb.
+func checkErrorf(pass *analysis.Pass, call *ast.CallExpr) {
+	if !analysis.IsCallTo(pass.Info, call, "fmt", "Errorf") || len(call.Args) < 2 {
+		return
+	}
+	tv, ok := pass.Info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	format := constant.StringVal(tv.Value)
+	verbs, ok := parseVerbs(format)
+	if !ok {
+		// Indexed arguments (%[n]d) reorder consumption; stay silent
+		// rather than mis-attribute verbs to arguments.
+		return
+	}
+	args := call.Args[1:]
+	for i, v := range verbs {
+		if i >= len(args) {
+			break
+		}
+		if v != 'v' && v != 's' && v != 'q' {
+			continue
+		}
+		if !isError(pass.Info.Types[args[i]].Type) {
+			continue
+		}
+		pass.Reportf(args[i].Pos(), "errwrap: error value formatted with %%%c loses its transient-vs-corrupt classification; wrap it with %%w so errors.Is/As keep working", v)
+	}
+}
+
+// parseVerbs returns the verb letter consuming each successive argument
+// of the format string, or ok=false for indexed (%[n]) forms.
+func parseVerbs(format string) (verbs []byte, ok bool) {
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		// Flags, width and precision; each '*' consumes one argument.
+		for i < len(format) {
+			c := format[i]
+			if c == '[' {
+				return nil, false
+			}
+			if c == '*' {
+				verbs = append(verbs, '*')
+				i++
+				continue
+			}
+			if c == '%' { // literal %%
+				break
+			}
+			if (c >= '0' && c <= '9') || c == '+' || c == '-' || c == '#' || c == ' ' || c == '.' {
+				i++
+				continue
+			}
+			verbs = append(verbs, c)
+			break
+		}
+	}
+	return verbs, true
+}
+
+// isError reports whether the type implements the error interface.
+func isError(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	iface := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	return types.Implements(t, iface)
+}

@@ -1,0 +1,12 @@
+package errwrap_test
+
+import (
+	"testing"
+
+	"additivity/internal/analysis/analysistest"
+	"additivity/internal/analysis/passes/errwrap"
+)
+
+func TestFixture(t *testing.T) {
+	analysistest.Run(t, "testdata/src/errwrapfix", errwrap.Analyzer)
+}

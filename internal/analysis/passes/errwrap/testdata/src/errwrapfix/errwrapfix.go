@@ -1,0 +1,46 @@
+// Package errwrapfix is the errwrap golden fixture: fault-path error
+// wrapping done wrong, done right, and deliberately suppressed.
+package errwrapfix
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errTransient = errors.New("transient read fault")
+
+// flattened loses the typed classification: flagged.
+func flattened(err error) error {
+	return fmt.Errorf("deliver unit: %v", err) // want `errwrap: error value formatted with %v`
+}
+
+// quoted and stringified are the same bug in other spellings: flagged.
+func quoted(label string, err error) error {
+	if label == "" {
+		return fmt.Errorf("bad run: %q", err) // want `errwrap: error value formatted with %q`
+	}
+	return fmt.Errorf("bad run %s: %s", label, err) // want `errwrap: error value formatted with %s`
+}
+
+// wrapped preserves the chain: clean.
+func wrapped(err error) error {
+	return fmt.Errorf("deliver unit: %w", err)
+}
+
+// nonError formats ordinary values with %v: clean.
+func nonError(attempts int, label string) error {
+	return fmt.Errorf("gave up after %v attempts on %v: %w", attempts, label, errTransient)
+}
+
+// message formats err.Error() output — already a plain string, the
+// author explicitly chose text over the chain: clean.
+func message(err error) string {
+	return fmt.Sprintf("note: %v", err)
+}
+
+// suppressed documents a boundary where the chain deliberately ends
+// (e.g. an error serialized into a journal record).
+func suppressed(err error) error {
+	//lint:ignore errwrap fixture: journal records store flattened text on purpose
+	return fmt.Errorf("journal: %v", err)
+}

@@ -1,0 +1,234 @@
+// Package fingerprint cross-checks cache-identity completeness: every
+// field of a struct that feeds a content-addressed cache key must be
+// written into that key. The memoization layer's core guarantee — a
+// cache hit is byte-identical to a fresh measurement — holds only if
+// the key covers everything that determines the measurement, so a
+// struct field added without a matching Fingerprint()/KeyBuilder write
+// silently serves stale entries across configurations that should key
+// differently. This pass turns that omission into a lint finding at
+// the field's declaration.
+//
+// Two kinds of functions are checked:
+//
+//   - methods named Fingerprint: every field of the receiver struct
+//     must be read (the fingerprint IS the struct's cache identity);
+//   - functions that call memo.NewKeyBuilder: every module-local
+//     struct parameter the function reads at least one field of must
+//     have ALL its fields read (a partially-keyed struct is the
+//     classic stale-cache bug).
+//
+// A field counts as covered if the function reads it directly, or
+// calls a same-package method on the struct that (transitively) reads
+// it — e.g. Machine.Fingerprint covers the dvfs field through
+// m.FrequencyScale(). Fields deliberately excluded from identity
+// (derived RNG streams, aggregate counters) must carry a
+// //lint:ignore fingerprint suppression at their declaration, making
+// the exclusion a reviewed decision rather than an accident.
+package fingerprint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"additivity/internal/analysis"
+)
+
+// Analyzer is the fingerprint pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "fingerprint",
+	Doc:  "every field of a struct feeding a cache key must be written into the key",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) {
+	// Index this package's methods by (receiver named type, name) so
+	// coverage can follow same-package method calls transitively.
+	methods := indexMethods(pass)
+
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fd.Name.Name == "Fingerprint" && fd.Recv != nil {
+				checkFingerprintMethod(pass, methods, fd)
+				continue
+			}
+			if callsKeyBuilder(pass, fd) {
+				checkKeyFunc(pass, methods, fd)
+			}
+		}
+	}
+}
+
+// methodKey identifies one method of a named type in this package.
+type methodKey struct {
+	recv *types.TypeName
+	name string
+}
+
+func indexMethods(pass *analysis.Pass) map[methodKey]*ast.FuncDecl {
+	idx := make(map[methodKey]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			if named := recvNamed(pass, fd); named != nil {
+				idx[methodKey{named.Obj(), fd.Name.Name}] = fd
+			}
+		}
+	}
+	return idx
+}
+
+// recvNamed returns the receiver's named type (through one pointer).
+func recvNamed(pass *analysis.Pass, fd *ast.FuncDecl) *types.Named {
+	if len(fd.Recv.List) != 1 {
+		return nil
+	}
+	t := pass.Info.Types[fd.Recv.List[0].Type].Type
+	if t == nil {
+		return nil
+	}
+	named, _ := analysis.Deref(t).(*types.Named)
+	return named
+}
+
+// checkFingerprintMethod requires the Fingerprint method to cover every
+// field of its receiver struct.
+func checkFingerprintMethod(pass *analysis.Pass, methods map[methodKey]*ast.FuncDecl, fd *ast.FuncDecl) {
+	named := recvNamed(pass, fd)
+	if named == nil {
+		return
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	covered := make(map[int]bool)
+	visited := make(map[*ast.FuncDecl]bool)
+	collectCoverage(pass, methods, fd, named, covered, visited)
+	reportUncovered(pass, fd, named, st, covered, "receiver")
+}
+
+// callsKeyBuilder reports whether the function body calls
+// memo.NewKeyBuilder (or the package-local NewKeyBuilder inside memo).
+func callsKeyBuilder(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := analysis.CalleeFunc(pass.Info, call)
+		if fn != nil && fn.Name() == "NewKeyBuilder" && fn.Pkg() != nil &&
+			analysis.PathMatches(fn.Pkg().Path(), "internal/memo") {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// checkKeyFunc requires every module-local struct parameter the
+// function reads at least one field of to have all fields covered.
+func checkKeyFunc(pass *analysis.Pass, methods map[methodKey]*ast.FuncDecl, fd *ast.FuncDecl) {
+	if fd.Type.Params == nil {
+		return
+	}
+	for _, field := range fd.Type.Params.List {
+		t := pass.Info.Types[field.Type].Type
+		if t == nil {
+			continue
+		}
+		// Deref one slice layer then one pointer layer: []T, []*T, *T.
+		if sl, ok := t.Underlying().(*types.Slice); ok {
+			t = sl.Elem()
+		}
+		named, _ := analysis.Deref(t).(*types.Named)
+		if named == nil || !moduleLocal(named) {
+			continue
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		covered := make(map[int]bool)
+		visited := make(map[*ast.FuncDecl]bool)
+		collectCoverage(pass, methods, fd, named, covered, visited)
+		if len(covered) == 0 {
+			// The struct is only passed through, never keyed field by
+			// field — not a partially-keyed identity.
+			continue
+		}
+		reportUncovered(pass, fd, named, st, covered, "parameter")
+	}
+}
+
+// moduleLocal reports whether the named type is declared inside this
+// module (stdlib and vendored types are outside the contract).
+func moduleLocal(named *types.Named) bool {
+	pkg := named.Obj().Pkg()
+	if pkg == nil {
+		return false
+	}
+	path := pkg.Path()
+	return strings.HasPrefix(path, "additivity") ||
+		strings.Contains(path, "testdata") || strings.Contains(path, "fixture")
+}
+
+// collectCoverage marks every field of target that fn reads, directly
+// or through same-package method calls on the target type.
+func collectCoverage(pass *analysis.Pass, methods map[methodKey]*ast.FuncDecl, fn *ast.FuncDecl, target *types.Named, covered map[int]bool, visited map[*ast.FuncDecl]bool) {
+	if visited[fn] {
+		return
+	}
+	visited[fn] = true
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		s, ok := pass.Info.Selections[sel]
+		if !ok {
+			return true
+		}
+		recvNamed, _ := analysis.Deref(s.Recv()).(*types.Named)
+		if recvNamed == nil || recvNamed.Obj() != target.Obj() {
+			return true
+		}
+		switch s.Kind() {
+		case types.FieldVal:
+			// Index()[0] is the direct field even when the selection
+			// tunnels through an embedded struct.
+			covered[s.Index()[0]] = true
+		case types.MethodVal:
+			if m, ok := methods[methodKey{target.Obj(), s.Obj().Name()}]; ok {
+				collectCoverage(pass, methods, m, target, covered, visited)
+			}
+		}
+		return true
+	})
+}
+
+// reportUncovered emits one diagnostic per missing field, anchored at
+// the field's declaration when it lives in the analyzed package (where
+// a //lint:ignore can sit next to it) and at the function otherwise.
+func reportUncovered(pass *analysis.Pass, fd *ast.FuncDecl, named *types.Named, st *types.Struct, covered map[int]bool, role string) {
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if covered[i] || f.Name() == "_" {
+			continue
+		}
+		pos := fd.Name.Pos()
+		if f.Pkg() == pass.Pkg && f.Pos().IsValid() {
+			pos = f.Pos()
+		}
+		pass.Reportf(pos, "fingerprint: field %s.%s is never written into the cache key built by %s (%s); add it to the key or suppress with a reviewed //lint:ignore",
+			named.Obj().Name(), f.Name(), fd.Name.Name, role)
+	}
+}

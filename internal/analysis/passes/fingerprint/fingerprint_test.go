@@ -1,0 +1,12 @@
+package fingerprint_test
+
+import (
+	"testing"
+
+	"additivity/internal/analysis/analysistest"
+	"additivity/internal/analysis/passes/fingerprint"
+)
+
+func TestFixture(t *testing.T) {
+	analysistest.Run(t, "testdata/src/fingerprintfix", fingerprint.Analyzer)
+}

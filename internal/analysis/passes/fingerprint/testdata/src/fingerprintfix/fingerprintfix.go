@@ -1,0 +1,91 @@
+// Package fingerprintfix is the fingerprint golden fixture: structs
+// feeding cache keys with deliberately missing, transitively covered,
+// and suppressed fields.
+package fingerprintfix
+
+import (
+	"fmt"
+
+	"additivity/internal/memo"
+)
+
+// Probe's Fingerprint forgets the tolerance knob: two probes differing
+// only in tol would share a cache key.
+type Probe struct {
+	Seed  int64
+	Label string
+	tol   float64 // want `fingerprint: field Probe\.tol is never written into the cache key built by Fingerprint`
+}
+
+func (p *Probe) Fingerprint() string {
+	return fmt.Sprintf("probe{seed=%d label=%q}", p.Seed, p.Label)
+}
+
+// Sensor covers every field, gain transitively through gainScale: clean.
+type Sensor struct {
+	Seed int64
+	gain float64
+}
+
+func (s *Sensor) gainScale() float64 {
+	if s.gain == 0 {
+		return 1.0
+	}
+	return s.gain
+}
+
+func (s *Sensor) Fingerprint() string {
+	return fmt.Sprintf("sensor{seed=%d gain=%v}", s.Seed, s.gainScale())
+}
+
+// job feeds a KeyBuilder that skips the cost field.
+type job struct {
+	name  string
+	parts int
+	cost  float64 // want `fingerprint: field job\.cost is never written into the cache key built by jobKey`
+}
+
+func jobKey(j job) memo.Key {
+	return memo.NewKeyBuilder("fixture-job/v1").
+		Field("name", j.name).
+		Int("parts", int64(j.parts)).
+		Key()
+}
+
+// span is fully keyed: clean.
+type span struct {
+	Lo, Hi float64
+}
+
+func spanKey(spans []*span) memo.Key {
+	kb := memo.NewKeyBuilder("fixture-span/v1")
+	for _, s := range spans {
+		kb.Float("lo", s.Lo)
+		kb.Float("hi", s.Hi)
+	}
+	return kb.Key()
+}
+
+// carrier is passed through opaquely (no field reads), so keyFrom owes
+// it no coverage: clean.
+type carrier struct {
+	payload string
+}
+
+func keyFrom(c carrier, label string) memo.Key {
+	_ = c
+	return memo.NewKeyBuilder("fixture-carrier/v1").Field("label", label).Key()
+}
+
+// ledger documents a reviewed exclusion at the field declaration.
+type ledger struct {
+	ID int64
+	//lint:ignore fingerprint fixture: scratch buffer never affects measurements
+	scratch []byte
+}
+
+func (l *ledger) Fingerprint() string {
+	return fmt.Sprintf("ledger{%d}", l.ID)
+}
+
+var _ = []interface{}{jobKey, spanKey, keyFrom}

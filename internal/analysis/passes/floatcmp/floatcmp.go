@@ -1,0 +1,131 @@
+// Package floatcmp forbids exact ==/!= on floating-point values. Exact
+// float comparison either hides rounding drift (when the author meant a
+// tolerance) or under-states intent (when the author meant bit
+// identity, the repository's reproducibility currency). The approved
+// spellings are the tolerance helpers stats.ApproxEqual / mat.MaxAbsDiff
+// and the bit-identity helper stats.SameFloat (math.Float64bits under
+// the hood), so every float comparison in the tree names which contract
+// it checks.
+//
+// Allowed without annotation:
+//   - comparisons where both operands are compile-time constants;
+//   - comparison against an exact zero constant — the idiomatic
+//     "knob unset" sentinel test for config fields;
+//   - the x != x NaN idiom;
+//   - the bodies of the approved helpers themselves.
+package floatcmp
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"additivity/internal/analysis"
+)
+
+// Analyzer is the floatcmp pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "floatcmp",
+	Doc:  "forbid exact ==/!= on floats outside the approved tolerance/bit-identity helpers",
+	Run:  run,
+}
+
+// approvedHelpers may compare floats exactly: they are the vocabulary
+// the rest of the tree must use. Keyed by function name; the function
+// must live in internal/stats or internal/mat (or a fixture).
+var approvedHelpers = map[string]bool{
+	"ApproxEqual": true,
+	"SameFloat":   true,
+	"almostEqual": true,
+}
+
+func run(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		var decls []*ast.FuncDecl
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				decls = append(decls, fd)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if cmp, ok := n.(*ast.BinaryExpr); ok && (cmp.Op == token.EQL || cmp.Op == token.NEQ) {
+				checkCompare(pass, cmp, enclosing(decls, cmp))
+			}
+			return true
+		})
+	}
+}
+
+// enclosing returns the func declaration containing n (top-level
+// functions cannot nest, so position containment is unambiguous).
+func enclosing(decls []*ast.FuncDecl, n ast.Node) *ast.FuncDecl {
+	for _, cand := range decls {
+		if cand.Pos() <= n.Pos() && n.End() <= cand.End() {
+			return cand
+		}
+	}
+	return nil
+}
+
+// checkCompare flags one exact float comparison unless it is an allowed
+// idiom or sits inside an approved helper.
+func checkCompare(pass *analysis.Pass, cmp *ast.BinaryExpr, fn *ast.FuncDecl) {
+	xt, xok := pass.Info.Types[cmp.X]
+	yt, yok := pass.Info.Types[cmp.Y]
+	if !xok || !yok {
+		return
+	}
+	if !isFloat(xt.Type) && !isFloat(yt.Type) {
+		return
+	}
+	// Both constants: folded at compile time, nothing can drift.
+	if xt.Value != nil && yt.Value != nil {
+		return
+	}
+	// Exact-zero sentinel: if knob == 0 { use default }.
+	if isZero(xt.Value) || isZero(yt.Value) {
+		return
+	}
+	// NaN idiom: x != x.
+	if types.ExprString(cmp.X) == types.ExprString(cmp.Y) {
+		return
+	}
+	if fn != nil && approvedHelpers[fn.Name.Name] && helperPackage(pass.Pkg.Path()) {
+		return
+	}
+	pass.Reportf(cmp.Pos(), "floatcmp: exact %s on floating-point values; state the contract with stats.ApproxEqual (tolerance) or stats.SameFloat (bit identity)", cmp.Op)
+}
+
+// helperPackage restricts the approved helpers to stats/mat (fixtures
+// included so the golden tests can exercise the allowance).
+func helperPackage(path string) bool {
+	return analysis.PathMatches(path, "internal/stats") ||
+		analysis.PathMatches(path, "internal/stats_test") ||
+		analysis.PathMatches(path, "internal/mat") ||
+		analysis.PathMatches(path, "internal/mat_test") ||
+		strings.Contains(path, "testdata") || strings.Contains(path, "fixture")
+}
+
+// isFloat reports whether the type's underlying kind is a float or
+// complex.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+// isZero reports whether a constant value is exactly zero.
+func isZero(v constant.Value) bool {
+	if v == nil {
+		return false
+	}
+	switch v.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(v) == 0
+	}
+	return false
+}

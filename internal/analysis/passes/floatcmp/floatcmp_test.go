@@ -1,0 +1,12 @@
+package floatcmp_test
+
+import (
+	"testing"
+
+	"additivity/internal/analysis/analysistest"
+	"additivity/internal/analysis/passes/floatcmp"
+)
+
+func TestFixture(t *testing.T) {
+	analysistest.Run(t, "testdata/src/floatcmpfix", floatcmp.Analyzer)
+}

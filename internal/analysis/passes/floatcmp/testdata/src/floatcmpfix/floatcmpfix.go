@@ -1,0 +1,62 @@
+// Package floatcmpfix is the floatcmp golden fixture: exact float
+// comparisons that must be flagged, next to every allowed idiom.
+package floatcmpfix
+
+import "math"
+
+// exact comparisons on computed values: all flagged.
+func drifted(a, b float64, xs []float64) bool {
+	if a == b { // want `floatcmp: exact == on floating-point values`
+		return true
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum != a*b // want `floatcmp: exact != on floating-point values`
+}
+
+// float32 and complex comparisons are under the same contract.
+func narrow(x, y float32, c, d complex128) bool {
+	return x == y || c == d // want `floatcmp: exact == on floating-point values` `floatcmp: exact == on floating-point values`
+}
+
+// constants fold at compile time: clean.
+const eps = 1e-9
+
+func constants() bool {
+	return eps == 1e-9
+}
+
+// zero-sentinel config checks: clean.
+func sentinel(knob float64) float64 {
+	if knob == 0 {
+		return 3.5
+	}
+	return knob
+}
+
+// the NaN idiom: clean.
+func isNaN(x float64) bool {
+	return x != x
+}
+
+// bit-identity spelled explicitly: clean (operands are uint64).
+func bitIdentical(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+// almostEqual is an approved helper name in fixture scope: its body may
+// compare exactly.
+func almostEqual(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= tol
+}
+
+// suppressed documents a deliberate exact comparison.
+func suppressed(prev, cur float64) bool {
+	//lint:ignore floatcmp fixture: change detection against the exact previous value
+	return prev != cur
+}

@@ -1,0 +1,169 @@
+// Package rngfork enforces the fork discipline of the parallel
+// experiment engine: a closure handed to parallel.Map/ForEach or
+// launched with `go` must not use a captured RNG-bearing object —
+// *stats.RNG, *machine.Machine, *pmc.Collector, *faults.Injector —
+// except to derive an independent per-task fork from it.
+//
+// Sharing one of these across tasks is the exact failure mode the
+// engine's sequential-equivalence property tests guard against: the
+// objects advance mutable streams on use, so worker scheduling would
+// leak into results (and into cache fingerprints, which include stream
+// positions). Calling .Fork(label) on a captured object is safe by
+// construction — forks derive purely from the base seed and the label,
+// never from mutable parent state — as is deriving task streams with
+// stats.TaskSeed/TaskRNG from plain integers.
+package rngfork
+
+import (
+	"go/ast"
+	"go/types"
+
+	"additivity/internal/analysis"
+)
+
+// guarded lists the forkable stream-bearing types under contract.
+var guarded = []struct{ pkg, name string }{
+	{"internal/stats", "RNG"},
+	{"internal/machine", "Machine"},
+	{"internal/pmc", "Collector"},
+	{"internal/faults", "Injector"},
+}
+
+// Analyzer is the rngfork pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "rngfork",
+	Doc:  "closures run by parallel.Map/ForEach or go statements must fork captured RNG-bearing objects instead of using them",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if analysis.IsCallTo(pass.Info, n, "internal/parallel", "Map") ||
+					analysis.IsCallTo(pass.Info, n, "internal/parallel", "ForEach") {
+					for _, arg := range n.Args {
+						if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+							checkClosure(pass, lit, "closure passed to parallel."+analysis.CalleeFunc(pass.Info, n).Name())
+						}
+					}
+				}
+			case *ast.GoStmt:
+				if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+					checkClosure(pass, lit, "go-statement closure")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// guardedType reports whether t is (a pointer to) one of the guarded
+// stream-bearing types.
+func guardedType(t types.Type) (string, bool) {
+	if t == nil {
+		return "", false
+	}
+	for _, g := range guarded {
+		if analysis.NamedAs(t, g.pkg, g.name) {
+			n := analysis.Deref(t).(*types.Named)
+			return n.Obj().Pkg().Name() + "." + n.Obj().Name(), true
+		}
+	}
+	return "", false
+}
+
+// checkClosure walks one task closure and reports every use of a
+// captured guarded object that is not a Fork derivation.
+func checkClosure(pass *analysis.Pass, lit *ast.FuncLit, what string) {
+	reported := map[string]bool{}
+
+	// parent tracking: a guarded expression is allowed exactly when it
+	// is the receiver of an immediately-invoked Fork call.
+	var stack []ast.Node
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+
+		e, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		typ := pass.Info.Types[e].Type
+		name, isGuarded := guardedType(typ)
+		if !isGuarded {
+			return true
+		}
+		root, pure := chainRoot(e)
+		if !pure || root == nil {
+			return true // fork results, call chains, composite values
+		}
+		obj := pass.Info.Uses[root]
+		if obj == nil {
+			return true
+		}
+		if obj.Pos() >= lit.Pos() && obj.Pos() < lit.End() {
+			return true // declared inside the closure (a local fork, a parameter)
+		}
+		if isForkReceiver(stack, e) {
+			return true
+		}
+		key := types.ExprString(e)
+		if reported[key] {
+			return true
+		}
+		reported[key] = true
+		pass.Reportf(e.Pos(), "rngfork: %s captures %s (%s) without forking; derive a per-task stream inside the task (Fork(label), stats.TaskSeed/TaskRNG)",
+			what, key, name)
+		return true
+	}
+	// ast.Inspect with a manual stack: the callback receives nil when
+	// leaving a node.
+	ast.Inspect(lit.Body, visit)
+}
+
+// chainRoot returns the leftmost identifier of a pure ident/selector
+// chain. pure is false when the chain passes through a call, index or
+// any other expression form (whose value is not the captured object
+// itself).
+func chainRoot(e ast.Expr) (*ast.Ident, bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e, true
+	case *ast.SelectorExpr:
+		return chainRoot(e.X)
+	default:
+		return nil, false
+	}
+}
+
+// isForkReceiver reports whether e appears as the X of a SelectorExpr
+// selecting Fork that is immediately called: e.Fork(...).
+func isForkReceiver(stack []ast.Node, e ast.Expr) bool {
+	// stack[len-1] == e; parent is stack[len-2] (skipping parens).
+	i := len(stack) - 2
+	for i >= 0 {
+		if _, ok := stack[i].(*ast.ParenExpr); ok {
+			i--
+			continue
+		}
+		break
+	}
+	if i < 0 {
+		return false
+	}
+	sel, ok := stack[i].(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Fork" || ast.Unparen(sel.X) != ast.Unparen(e) {
+		return false
+	}
+	if i-1 < 0 {
+		return false
+	}
+	call, ok := stack[i-1].(*ast.CallExpr)
+	return ok && ast.Unparen(call.Fun) == sel
+}

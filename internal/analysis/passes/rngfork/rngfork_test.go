@@ -1,0 +1,12 @@
+package rngfork_test
+
+import (
+	"testing"
+
+	"additivity/internal/analysis/analysistest"
+	"additivity/internal/analysis/passes/rngfork"
+)
+
+func TestFixture(t *testing.T) {
+	analysistest.Run(t, "testdata/src/rngforkfix", rngfork.Analyzer)
+}

@@ -1,0 +1,67 @@
+// Package rngforkfix is the rngfork golden fixture: closures that share
+// captured RNG-bearing objects across tasks (flagged) and closures that
+// derive per-task forks (clean).
+package rngforkfix
+
+import (
+	"context"
+
+	"additivity/internal/machine"
+	"additivity/internal/parallel"
+	"additivity/internal/pmc"
+	"additivity/internal/stats"
+)
+
+// sharedRNG draws from the captured parent stream: worker scheduling
+// would order the draws.
+func sharedRNG(rng *stats.RNG, items []int) ([]float64, error) {
+	return parallel.Map(context.Background(), 4, items,
+		func(ctx context.Context, i int, it int) (float64, error) {
+			return rng.Float64(), nil // want `rngfork: closure passed to parallel\.Map captures rng`
+		})
+}
+
+// taskStreams derives per-task streams from plain integers — approved.
+func taskStreams(seed int64, items []int) ([]float64, error) {
+	return parallel.Map(context.Background(), 4, items,
+		func(ctx context.Context, i int, it int) (float64, error) {
+			return stats.TaskRNG(seed, int64(i)).Float64(), nil
+		})
+}
+
+// forkedCollector forks the captured collector per task — approved: a
+// fork derives purely from the base seed and the label.
+func forkedCollector(col *pmc.Collector, labels []string) error {
+	return parallel.ForEach(context.Background(), 2, labels,
+		func(ctx context.Context, i int, label string) error {
+			f := col.Fork(label)
+			_ = f.Fingerprint()
+			return nil
+		})
+}
+
+// sharedCollector hands the captured collector itself to the task body.
+func sharedCollector(col *pmc.Collector, labels []string) error {
+	return parallel.ForEach(context.Background(), 2, labels,
+		func(ctx context.Context, i int, label string) error {
+			use(col) // want `rngfork: closure passed to parallel\.ForEach captures col`
+			return nil
+		})
+}
+
+func use(c *pmc.Collector) {}
+
+// goShared uses a captured machine from a spawned goroutine.
+func goShared(m *machine.Machine, done chan string) {
+	go func() {
+		done <- m.Fingerprint() // want `rngfork: go-statement closure captures m`
+	}()
+}
+
+// goForked forks the captured machine first — approved.
+func goForked(m *machine.Machine, done chan string) {
+	go func() {
+		f := m.Fork("background")
+		done <- f.Fingerprint()
+	}()
+}

@@ -1,0 +1,83 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+)
+
+// A Result is one lint run's outcome: surviving diagnostics in
+// deterministic order, plus any non-fatal type-checker complaints.
+type Result struct {
+	Diagnostics []Diagnostic
+	TypeErrors  []error
+}
+
+// Run loads every package matched by the patterns (relative to dir) and
+// applies each analyzer to each package. //lint:ignore suppressions are
+// collected from every loaded file — so a suppression sits next to the
+// code it exempts even when the diagnostic is reported from a different
+// package's pass — and malformed suppressions are diagnostics
+// themselves. Diagnostics are deduplicated and sorted by position.
+func Run(dir string, analyzers []*Analyzer, patterns []string) (Result, error) {
+	loader := NewLoader(dir)
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		return Result{}, err
+	}
+
+	var res Result
+	var diags []Diagnostic
+	sups := suppressionSet{}
+	for _, pkg := range pkgs {
+		res.TypeErrors = append(res.TypeErrors, pkg.TypeErrors...)
+		pkgSups, malformed := collectSuppressions(loader.Fset, pkg.Files)
+		for _, sup := range pkgSups {
+			sups.add(sup)
+		}
+		diags = append(diags, malformed...)
+		if pkg.Types == nil {
+			continue
+		}
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     loader.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				diags:    &diags,
+			}
+			a.Run(pass)
+		}
+	}
+
+	seen := map[string]bool{}
+	for _, d := range diags {
+		if sups.matches(d.Pos.Filename, d.Pos.Line, d.Check) {
+			continue
+		}
+		key := fmt.Sprintf("%s:%d:%d:%s:%s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		res.Diagnostics = append(res.Diagnostics, d)
+	}
+	sort.Slice(res.Diagnostics, func(i, j int) bool {
+		a, b := res.Diagnostics[i], res.Diagnostics[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Message < b.Message
+	})
+	return res, nil
+}

@@ -1,0 +1,105 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// A suppression is one parsed //lint:ignore directive. It silences
+// diagnostics of the named checks (or every check, for "all") on the
+// directive's own line and on the line immediately below it, so both
+// trailing and preceding placements work:
+//
+//	x := m[k] //lint:ignore determinism read-only probe
+//
+//	//lint:ignore floatcmp comparing against the exact sentinel
+//	if v == prev { ... }
+//
+// A reason is mandatory: a suppression without one is itself reported
+// (check "lint"), so every deliberate contract exception in the tree is
+// documented where it lives.
+type suppression struct {
+	file   string
+	line   int
+	all    bool
+	checks map[string]bool
+	reason string
+}
+
+// suppressionSet indexes directives by file and line.
+type suppressionSet map[string]map[int][]suppression
+
+// add merges one directive.
+func (s suppressionSet) add(sup suppression) {
+	byLine, ok := s[sup.file]
+	if !ok {
+		byLine = map[int][]suppression{}
+		s[sup.file] = byLine
+	}
+	byLine[sup.line] = append(byLine[sup.line], sup)
+}
+
+// matches reports whether the set silences a diagnostic of the given
+// check at file:line.
+func (s suppressionSet) matches(file string, line int, check string) bool {
+	byLine := s[file]
+	if byLine == nil {
+		return false
+	}
+	for _, l := range []int{line, line - 1} {
+		for _, sup := range byLine[l] {
+			if sup.all || sup.checks[check] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+const ignorePrefix = "lint:ignore"
+
+// collectSuppressions parses every //lint:ignore directive in the files.
+// Malformed directives (no checks, or no reason) are returned as
+// diagnostics so they fail the lint run instead of silently ignoring
+// nothing — or worse, everything.
+func collectSuppressions(fset *token.FileSet, files []*ast.File) ([]suppression, []Diagnostic) {
+	var sups []suppression
+	var malformed []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//")
+				if !ok {
+					continue // /* */ comments are not directives
+				}
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, ignorePrefix)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				checksField, reason, _ := strings.Cut(strings.TrimSpace(rest), " ")
+				reason = strings.TrimSpace(reason)
+				if checksField == "" || reason == "" {
+					malformed = append(malformed, Diagnostic{
+						Pos:     pos,
+						Check:   "lint",
+						Message: "malformed //lint:ignore: want //lint:ignore <check>[,<check>...] <reason>",
+					})
+					continue
+				}
+				sup := suppression{file: pos.Filename, line: pos.Line, reason: reason, checks: map[string]bool{}}
+				for _, name := range strings.Split(checksField, ",") {
+					if name == "all" {
+						sup.all = true
+					} else {
+						sup.checks[name] = true
+					}
+				}
+				sups = append(sups, sup)
+			}
+		}
+	}
+	return sups, malformed
+}

@@ -6,6 +6,7 @@ import (
 	"additivity/internal/machine"
 	"additivity/internal/platform"
 	"additivity/internal/pmc"
+	"additivity/internal/stats"
 	"additivity/internal/workload"
 )
 
@@ -237,7 +238,7 @@ func TestCheckDeterministicPerSeeds(t *testing.T) {
 	}
 	v1, v2 := run(), run()
 	for i := range v1 {
-		if v1[i].MaxErrorPct != v2[i].MaxErrorPct ||
+		if !stats.SameFloat(v1[i].MaxErrorPct, v2[i].MaxErrorPct) ||
 			v1[i].Reproducible != v2[i].Reproducible ||
 			v1[i].Additive != v2[i].Additive {
 			t.Errorf("verdict %d differs across identical runs: %+v vs %+v",

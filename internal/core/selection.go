@@ -28,7 +28,7 @@ func RankByCorrelation(features map[string][]float64, energy []float64) ([]Corre
 	}
 	sort.SliceStable(out, func(i, j int) bool {
 		ai, aj := abs(out[i].Correlation), abs(out[j].Correlation)
-		if ai != aj {
+		if !stats.SameFloat(ai, aj) {
 			return ai > aj
 		}
 		return out[i].Name < out[j].Name // deterministic tie-break

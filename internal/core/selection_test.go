@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"additivity/internal/platform"
+	"additivity/internal/stats"
 )
 
 func mkVerdict(name string, err float64, repro bool) Verdict {
@@ -162,7 +163,7 @@ func TestErrorPercentileAndRanking(t *testing.T) {
 	outlier := mk("outlier", 1, 1, 1, 1, 1, 1, 1, 1, 1, 90)
 	steady := mk("steady", 12, 12, 12, 12, 12, 12, 12, 12, 12, 12)
 
-	if got := outlier.ErrorPercentile(50); got != 1 {
+	if got := outlier.ErrorPercentile(50); !stats.SameFloat(got, 1) {
 		t.Errorf("outlier p50 = %v, want 1", got)
 	}
 	if got := (Verdict{}).ErrorPercentile(50); got != 0 {

@@ -8,6 +8,7 @@ import (
 	"additivity/internal/machine"
 	"additivity/internal/platform"
 	"additivity/internal/pmc"
+	"additivity/internal/stats"
 	"additivity/internal/workload"
 )
 
@@ -83,7 +84,7 @@ func TestMatrixAndColumns(t *testing.T) {
 		t.Fatalf("matrix shape %dx%d, y %d", len(X), len(X[0]), len(y))
 	}
 	// Column order follows the request, not the dataset.
-	if X[0][0] != ds.Points[0].Features["L2_RQSTS_MISS"] {
+	if !stats.SameFloat(X[0][0], ds.Points[0].Features["L2_RQSTS_MISS"]) {
 		t.Error("matrix column order wrong")
 	}
 	if _, _, err := ds.Matrix([]string{"NOPE"}); err == nil {
@@ -93,7 +94,7 @@ func TestMatrixAndColumns(t *testing.T) {
 	if len(cols) != 3 || len(cols["IDQ_MITE_UOPS"]) != 4 {
 		t.Errorf("FeatureColumns shape wrong: %d", len(cols))
 	}
-	if e := ds.Energies(); len(e) != 4 || e[0] != ds.Points[0].EnergyJ {
+	if e := ds.Energies(); len(e) != 4 || !stats.SameFloat(e[0], ds.Points[0].EnergyJ) {
 		t.Error("Energies wrong")
 	}
 }
@@ -161,11 +162,11 @@ func TestCSVRoundTrip(t *testing.T) {
 	}
 	for i := range ds.Points {
 		a, b := ds.Points[i], got.Points[i]
-		if a.App != b.App || a.Compound != b.Compound || a.EnergyJ != b.EnergyJ || a.TimeS != b.TimeS {
+		if a.App != b.App || a.Compound != b.Compound || !stats.SameFloat(a.EnergyJ, b.EnergyJ) || !stats.SameFloat(a.TimeS, b.TimeS) {
 			t.Errorf("point %d mismatch: %+v vs %+v", i, a, b)
 		}
 		for _, name := range ds.PMCs {
-			if a.Features[name] != b.Features[name] {
+			if !stats.SameFloat(a.Features[name], b.Features[name]) {
 				t.Errorf("point %d feature %s mismatch", i, name)
 			}
 		}

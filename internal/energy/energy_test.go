@@ -7,6 +7,7 @@ import (
 
 	"additivity/internal/activity"
 	"additivity/internal/platform"
+	"additivity/internal/stats"
 )
 
 func TestCoefficientsSkylakeMoreEfficient(t *testing.T) {
@@ -130,11 +131,11 @@ func TestMeterRejectsInvalidInput(t *testing.T) {
 func TestMeterDeterministicPerSeed(t *testing.T) {
 	a, _ := NewMeter(3).MeasureTotalJoules(120, 10)
 	b, _ := NewMeter(3).MeasureTotalJoules(120, 10)
-	if a != b {
+	if !stats.SameFloat(a, b) {
 		t.Errorf("same-seed meters disagree: %v vs %v", a, b)
 	}
 	c, _ := NewMeter(4).MeasureTotalJoules(120, 10)
-	if a == c {
+	if stats.SameFloat(a, c) {
 		t.Error("different seeds produced identical readings")
 	}
 }

@@ -5,6 +5,7 @@ import (
 
 	"additivity/internal/activity"
 	"additivity/internal/faults"
+	"additivity/internal/stats"
 )
 
 // Meter glitches are delivery-path transients: the meter's accumulator
@@ -25,7 +26,7 @@ func TestMeterByteIdenticalUnderRecoverableFaults(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got != want {
+	if !stats.SameFloat(got, want) {
 		t.Errorf("recoverable meter glitches changed the reading: %v vs %v", got, want)
 	}
 	// Even exhausted glitches deliver the true accumulator total.
@@ -35,7 +36,7 @@ func TestMeterByteIdenticalUnderRecoverableFaults(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got != want {
+	if !stats.SameFloat(got, want) {
 		t.Errorf("exhausted glitches corrupted the reading: %v vs %v", got, want)
 	}
 }
@@ -102,7 +103,7 @@ func TestRAPLStaleAndOverflow(t *testing.T) {
 	// Recoverable rates leave the estimate untouched.
 	rec := NewRAPLSensor(9)
 	rec.SetFaults(faults.New(5, faults.Rates{RAPLStale: 0.9, MaxConsecutive: 2}), faults.DefaultRetryPolicy())
-	if got := rec.DynamicJoules(v, c); got != want {
+	if got := rec.DynamicJoules(v, c); !stats.SameFloat(got, want) {
 		t.Errorf("recoverable RAPL faults changed the estimate: %v vs %v", got, want)
 	}
 }

@@ -4,14 +4,16 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+
+	"additivity/internal/stats"
 )
 
 func TestTraceDurationAndIdealJoules(t *testing.T) {
 	tr := Trace{{Seconds: 10, Watts: 100}, {Seconds: 5, Watts: 200}}
-	if got := tr.Duration(); got != 15 {
+	if got := tr.Duration(); !stats.SameFloat(got, 15) {
 		t.Errorf("Duration = %v", got)
 	}
-	if got := tr.IdealJoules(); got != 2000 {
+	if got := tr.IdealJoules(); !stats.SameFloat(got, 2000) {
 		t.Errorf("IdealJoules = %v", got)
 	}
 	if got := (Trace{}).Duration(); got != 0 {
@@ -26,7 +28,7 @@ func TestTracePowerAt(t *testing.T) {
 		{99, 200}, // clamped past the end
 	}
 	for _, c := range cases {
-		if got := tr.powerAt(c.t); got != c.want {
+		if got := tr.powerAt(c.t); !stats.SameFloat(got, c.want) {
 			t.Errorf("powerAt(%v) = %v, want %v", c.t, got, c.want)
 		}
 	}

@@ -5,6 +5,7 @@ import (
 
 	"additivity/internal/core"
 	"additivity/internal/ml"
+	"additivity/internal/stats"
 )
 
 // ClassCResult holds the Class C artifacts: the online (4-PMC) sets and
@@ -61,7 +62,7 @@ func topByStoredCorrelation(b *ClassBResult, candidates []string, k int) []strin
 		best := i
 		for j := i + 1; j < len(ranked); j++ {
 			ai, aj := abs(ranked[j].Correlation), abs(ranked[best].Correlation)
-			if ai > aj || (ai == aj && ranked[j].Name < ranked[best].Name) {
+			if ai > aj || (stats.SameFloat(ai, aj) && ranked[j].Name < ranked[best].Name) {
 				best = j
 			}
 		}

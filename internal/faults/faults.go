@@ -247,8 +247,9 @@ func (c *Counters) Snapshot() CountersSnapshot {
 // from its construction path. A nil *Injector is valid and injects
 // nothing, so call sites need no guards.
 type Injector struct {
-	rates    Rates
-	seed     uint64
+	rates Rates
+	seed  uint64
+	//lint:ignore fingerprint counters aggregate observability shared across forks; they never alter decisions
 	counters *Counters
 	n        [numClasses]uint64 // per-class decision index
 }

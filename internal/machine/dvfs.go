@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"additivity/internal/activity"
+	"additivity/internal/stats"
 )
 
 // SetFrequencyScale applies DVFS: the core clock runs at scale × nominal
@@ -38,7 +39,7 @@ func (m *Machine) FrequencyScale() float64 {
 // preserved: stall cycles are re-expressed at the scaled clock.
 func (m *Machine) applyDVFS(v activity.Vector) (activity.Vector, float64) {
 	scale := m.FrequencyScale()
-	if scale == 1.0 {
+	if stats.SameFloat(scale, 1.0) {
 		return v, 1.0
 	}
 	stall := v.Get(activity.StallCycles)

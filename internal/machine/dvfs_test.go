@@ -4,12 +4,13 @@ import (
 	"testing"
 
 	"additivity/internal/platform"
+	"additivity/internal/stats"
 	"additivity/internal/workload"
 )
 
 func TestSetFrequencyScaleValidation(t *testing.T) {
 	m := New(platform.Haswell(), 1)
-	if m.FrequencyScale() != 1.0 {
+	if !stats.SameFloat(m.FrequencyScale(), 1.0) {
 		t.Errorf("default scale = %v", m.FrequencyScale())
 	}
 	if err := m.SetFrequencyScale(0.1); err == nil {
@@ -21,7 +22,7 @@ func TestSetFrequencyScaleValidation(t *testing.T) {
 	if err := m.SetFrequencyScale(0.7); err != nil {
 		t.Fatal(err)
 	}
-	if m.FrequencyScale() != 0.7 {
+	if !stats.SameFloat(m.FrequencyScale(), 0.7) {
 		t.Errorf("scale = %v", m.FrequencyScale())
 	}
 }

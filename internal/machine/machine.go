@@ -31,7 +31,8 @@ type Machine struct {
 	Coeff energy.Coefficients
 
 	seed int64
-	rng  *stats.RNG
+	//lint:ignore fingerprint rng derives purely from (seed, rngLabel, runIndex), which the fingerprint covers
+	rng *stats.RNG
 	// rngLabel is the derivation label rng was split under. Together
 	// with seed and runIndex it is the complete identity of the noise
 	// stream — what the cache fingerprint needs to distinguish forks.

@@ -21,7 +21,7 @@ func smallApp() workload.App {
 func TestRunDeterministicPerSeed(t *testing.T) {
 	a := New(platform.Haswell(), 42).RunApp(testApp())
 	b := New(platform.Haswell(), 42).RunApp(testApp())
-	if a.Activity != b.Activity || a.Seconds != b.Seconds {
+	if a.Activity != b.Activity || !stats.SameFloat(a.Seconds, b.Seconds) {
 		t.Error("same-seed machines produced different runs")
 	}
 	c := New(platform.Haswell(), 43).RunApp(testApp())

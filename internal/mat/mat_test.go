@@ -3,6 +3,8 @@ package mat
 import (
 	"math"
 	"testing"
+
+	"additivity/internal/stats"
 )
 
 func TestNewDenseAndAccess(t *testing.T) {
@@ -11,7 +13,7 @@ func TestNewDenseAndAccess(t *testing.T) {
 		t.Fatalf("Dims = %d,%d", r, c)
 	}
 	m.Set(1, 2, 5)
-	if got := m.At(1, 2); got != 5 {
+	if got := m.At(1, 2); !stats.SameFloat(got, 5) {
 		t.Errorf("At(1,2) = %v, want 5", got)
 	}
 	if got := m.At(0, 0); got != 0 {
@@ -40,7 +42,7 @@ func TestAtPanicsOutOfRange(t *testing.T) {
 
 func TestFromRows(t *testing.T) {
 	m := FromRows([][]float64{{1, 2}, {3, 4}})
-	if m.At(0, 1) != 2 || m.At(1, 0) != 3 {
+	if !stats.SameFloat(m.At(0, 1), 2) || !stats.SameFloat(m.At(1, 0), 3) {
 		t.Errorf("FromRows contents wrong: %v", m)
 	}
 }
@@ -57,11 +59,11 @@ func TestFromRowsRaggedPanics(t *testing.T) {
 func TestRowColClone(t *testing.T) {
 	m := FromRows([][]float64{{1, 2}, {3, 4}})
 	r := m.Row(1)
-	if r[0] != 3 || r[1] != 4 {
+	if !stats.SameFloat(r[0], 3) || !stats.SameFloat(r[1], 4) {
 		t.Errorf("Row = %v", r)
 	}
 	c := m.Col(0)
-	if c[0] != 1 || c[1] != 3 {
+	if !stats.SameFloat(c[0], 1) || !stats.SameFloat(c[1], 3) {
 		t.Errorf("Col = %v", c)
 	}
 	// Mutating copies must not touch the source.
@@ -69,7 +71,7 @@ func TestRowColClone(t *testing.T) {
 	c[0] = 99
 	cl := m.Clone()
 	cl.Set(0, 0, 42)
-	if m.At(0, 0) != 1 || m.At(1, 0) != 3 {
+	if !stats.SameFloat(m.At(0, 0), 1) || !stats.SameFloat(m.At(1, 0), 3) {
 		t.Error("copies alias the source matrix")
 	}
 }
@@ -80,7 +82,7 @@ func TestTranspose(t *testing.T) {
 	if r, c := tr.Dims(); r != 3 || c != 2 {
 		t.Fatalf("T dims = %d,%d", r, c)
 	}
-	if tr.At(2, 1) != 6 || tr.At(0, 1) != 4 {
+	if !stats.SameFloat(tr.At(2, 1), 6) || !stats.SameFloat(tr.At(0, 1), 4) {
 		t.Errorf("T contents wrong:\n%v", tr)
 	}
 }
@@ -107,7 +109,7 @@ func TestMulVec(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if y[0] != 3 || y[1] != 7 {
+	if !stats.SameFloat(y[0], 3) || !stats.SameFloat(y[1], 7) {
 		t.Errorf("MulVec = %v", y)
 	}
 	if _, err := a.MulVec([]float64{1}); err == nil {
@@ -121,11 +123,11 @@ func TestAddScaleIdentity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if s.At(0, 0) != 2 || s.At(1, 1) != 5 || s.At(0, 1) != 2 {
+	if !stats.SameFloat(s.At(0, 0), 2) || !stats.SameFloat(s.At(1, 1), 5) || !stats.SameFloat(s.At(0, 1), 2) {
 		t.Errorf("Add =\n%v", s)
 	}
 	sc := a.Scale(2)
-	if sc.At(1, 1) != 8 {
+	if !stats.SameFloat(sc.At(1, 1), 8) {
 		t.Errorf("Scale =\n%v", sc)
 	}
 	if _, err := Add(a, NewDense(3, 2)); err == nil {
@@ -134,10 +136,10 @@ func TestAddScaleIdentity(t *testing.T) {
 }
 
 func TestVecHelpers(t *testing.T) {
-	if got := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); got != 32 {
+	if got := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); !stats.SameFloat(got, 32) {
 		t.Errorf("Dot = %v", got)
 	}
-	if got := Norm2([]float64{3, 4}); got != 5 {
+	if got := Norm2([]float64{3, 4}); !stats.SameFloat(got, 5) {
 		t.Errorf("Norm2 = %v", got)
 	}
 	if got := Norm2([]float64{0, 0}); got != 0 {
@@ -148,15 +150,15 @@ func TestVecHelpers(t *testing.T) {
 		t.Errorf("Norm2 large = %v", got)
 	}
 	z := AxPlusY(2, []float64{1, 2}, []float64{10, 20})
-	if z[0] != 12 || z[1] != 24 {
+	if !stats.SameFloat(z[0], 12) || !stats.SameFloat(z[1], 24) {
 		t.Errorf("AxPlusY = %v", z)
 	}
 	d := Sub([]float64{5, 7}, []float64{2, 3})
-	if d[0] != 3 || d[1] != 4 {
+	if !stats.SameFloat(d[0], 3) || !stats.SameFloat(d[1], 4) {
 		t.Errorf("Sub = %v", d)
 	}
 	sv := ScaleVec(3, []float64{1, 2})
-	if sv[0] != 3 || sv[1] != 6 {
+	if !stats.SameFloat(sv[0], 3) || !stats.SameFloat(sv[1], 6) {
 		t.Errorf("ScaleVec = %v", sv)
 	}
 }

@@ -3,6 +3,8 @@ package mat
 import (
 	"math"
 	"testing"
+
+	"additivity/internal/stats"
 )
 
 func fillRand(m *Dense, state *uint64) {
@@ -55,7 +57,7 @@ func TestNormalEquationsMatchesChain(t *testing.T) {
 			t.Fatalf("trial %d: AᵀA differs by %g", trial, d)
 		}
 		for i := range wantAtb {
-			if atb[i] != wantAtb[i] {
+			if !stats.SameFloat(atb[i], wantAtb[i]) {
 				t.Fatalf("trial %d: Aᵀb[%d] = %g, want %g", trial, i, atb[i], wantAtb[i])
 			}
 		}
@@ -88,7 +90,7 @@ func TestLSWorkspaceReuse(t *testing.T) {
 			t.Fatalf("trial %d: fresh solve: %v", trial, err)
 		}
 		for i := range want {
-			if got[i] != want[i] {
+			if !stats.SameFloat(got[i], want[i]) {
 				t.Fatalf("trial %d: x[%d] = %g, want %g", trial, i, got[i], want[i])
 			}
 		}
@@ -126,7 +128,7 @@ func TestSPDWorkspaceReuse(t *testing.T) {
 			t.Fatalf("trial %d: solve: %v", trial, err)
 		}
 		for i := range want {
-			if got[i] != want[i] {
+			if !stats.SameFloat(got[i], want[i]) {
 				t.Fatalf("trial %d: x[%d] = %g, want %g", trial, i, got[i], want[i])
 			}
 		}
@@ -158,7 +160,7 @@ func TestGatherColumns(t *testing.T) {
 		}
 		for i := 0; i < r; i++ {
 			for jj, j := range cols {
-				if sub.At(i, jj) != src.At(i, j) {
+				if !stats.SameFloat(sub.At(i, jj), src.At(i, j)) {
 					t.Fatalf("gather %v: (%d,%d) = %g, want %g", cols, i, jj, sub.At(i, jj), src.At(i, j))
 				}
 			}
@@ -207,7 +209,7 @@ func TestMulIntoAndMulVecInto(t *testing.T) {
 	}
 	wantV, _ := a.MulVec(x)
 	for i := range wantV {
-		if out[i] != wantV[i] {
+		if !stats.SameFloat(out[i], wantV[i]) {
 			t.Fatalf("MulVecInto[%d] = %g, want %g", i, out[i], wantV[i])
 		}
 	}
@@ -233,14 +235,14 @@ func TestAddInPlaceSubIntoColDot(t *testing.T) {
 	SubInto(dst, x, y)
 	wantSub := Sub(x, y)
 	for i := range wantSub {
-		if dst[i] != wantSub[i] {
+		if !stats.SameFloat(dst[i], wantSub[i]) {
 			t.Fatalf("SubInto[%d] = %g, want %g", i, dst[i], wantSub[i])
 		}
 	}
 
 	r := randVec(3, &state)
 	for j := 0; j < 4; j++ {
-		if got, want := b.ColDot(j, r), Dot(b.Col(j), r); got != want {
+		if got, want := b.ColDot(j, r), Dot(b.Col(j), r); !stats.SameFloat(got, want) {
 			t.Fatalf("ColDot(%d) = %g, want %g", j, got, want)
 		}
 	}

@@ -1,0 +1,84 @@
+package memo
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"strconv"
+	"testing"
+)
+
+// encodeEntry builds a well-formed disk entry the way Store writes one.
+func encodeEntry(payload []byte) []byte {
+	sum := sha256.Sum256(payload)
+	header := diskMagic + " " + hex.EncodeToString(sum[:]) + " " + strconv.Itoa(len(payload)) + "\n"
+	return append([]byte(header), payload...)
+}
+
+// FuzzParseEntry hammers the disk-entry header parser with corrupted,
+// truncated and adversarial inputs. The contract: never panic, never
+// accept an entry whose checksum or length disagrees with its payload,
+// and always accept an entry encoded the way Store encodes it.
+func FuzzParseEntry(f *testing.F) {
+	valid := encodeEntry([]byte(`{"samples":{"cycles":[1,2,3]}}`))
+	f.Add(valid)
+	f.Add(encodeEntry(nil))
+	f.Add(valid[:len(valid)-4])                                             // truncated payload
+	f.Add(valid[:10])                                                       // truncated header, no newline
+	f.Add([]byte("memo1\n"))                                                // too few header fields
+	f.Add([]byte("memo2 00 0\n"))                                           // wrong magic
+	f.Add([]byte("memo1 zz 0\n"))                                           // bad hex digest
+	f.Add([]byte("memo1 " + hex.EncodeToString(make([]byte, 16)) + " 0\n")) // short digest
+	f.Add(bytes.Replace(valid, []byte(" "), []byte("  "), 1))
+	f.Add([]byte{})
+	f.Add([]byte("\n"))
+	f.Add([]byte("memo1 e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855 -1\n"))
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		payload, err := parseEntry(raw)
+		if err != nil {
+			return
+		}
+		// Accepted entries must be internally consistent: the payload is
+		// exactly the bytes after the first newline, and the header's
+		// digest and length agree with it (the header may use extra
+		// whitespace; the binding facts are digest and length).
+		nl := bytes.IndexByte(raw, '\n')
+		if nl < 0 {
+			t.Fatalf("accepted entry with no header terminator: %q", raw)
+		}
+		if !bytes.Equal(payload, raw[nl+1:]) {
+			t.Fatalf("payload %q is not the entry body %q", payload, raw[nl+1:])
+		}
+		fields := bytes.Fields(raw[:nl])
+		if len(fields) != 3 {
+			t.Fatalf("accepted entry with %d header fields: %q", len(fields), raw[:nl])
+		}
+		sum := sha256.Sum256(payload)
+		if string(fields[1]) != hex.EncodeToString(sum[:]) {
+			t.Fatalf("accepted entry whose digest does not match its payload: %q", raw[:nl])
+		}
+		if string(fields[2]) != strconv.Itoa(len(payload)) {
+			t.Fatalf("accepted entry whose length does not match its payload: %q", raw[:nl])
+		}
+	})
+}
+
+// FuzzParseEntryRoundTrip asserts every payload round-trips through the
+// canonical encoding.
+func FuzzParseEntryRoundTrip(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add([]byte("x"))
+	f.Add([]byte(`{"k":"v"}`))
+	f.Add(bytes.Repeat([]byte{0}, 1024))
+
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		got, err := parseEntry(encodeEntry(payload))
+		if err != nil {
+			t.Fatalf("canonical entry rejected: %v", err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("round trip: got %q, want %q", got, payload)
+		}
+	})
+}

@@ -46,7 +46,7 @@ func TestCrossValidateDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if a.MeanAvg != b.MeanAvg {
+	if !stats.SameFloat(a.MeanAvg, b.MeanAvg) {
 		t.Error("same-seed CV differs")
 	}
 }

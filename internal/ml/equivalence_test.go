@@ -82,7 +82,7 @@ func TestSplitterMatchesNaiveReference(tt *testing.T) {
 			if !ok {
 				continue
 			}
-			if th != rth || s != rs {
+			if !stats.SameFloat(th, rth) || !stats.SameFloat(s, rs) {
 				tt.Fatalf("trial %d feature %d: got (%.17g, %.17g), naive (%.17g, %.17g)",
 					trial, f, th, s, rth, rs)
 			}
@@ -93,7 +93,7 @@ func TestSplitterMatchesNaiveReference(tt *testing.T) {
 				refF, refTh, refS = f, rth, rs
 			}
 		}
-		if bestF != refF || bestTh != refTh || bestS != refS {
+		if bestF != refF || !stats.SameFloat(bestTh, refTh) || !stats.SameFloat(bestS, refS) {
 			tt.Fatalf("trial %d: node pick (%d, %.17g, %.17g) vs naive (%d, %.17g, %.17g)",
 				trial, bestF, bestTh, bestS, refF, refTh, refS)
 		}

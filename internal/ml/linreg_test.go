@@ -301,7 +301,7 @@ func TestPredictInterval(t *testing.T) {
 	}
 	// Negative z is folded to positive.
 	_, hwNeg, _ := lr.PredictInterval([]float64{5}, -1.96)
-	if hwNeg != hw {
+	if !stats.SameFloat(hwNeg, hw) {
 		t.Errorf("negative-z half width %v != %v", hwNeg, hw)
 	}
 	_ = pred

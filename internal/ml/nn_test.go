@@ -110,7 +110,7 @@ func TestNNDeterministicPerSeed(t *testing.T) {
 	}
 	pa, _ := a.Predict([]float64{5})
 	pb, _ := b.Predict([]float64{5})
-	if pa != pb {
+	if !stats.SameFloat(pa, pb) {
 		t.Errorf("same-seed networks disagree: %v vs %v", pa, pb)
 	}
 }

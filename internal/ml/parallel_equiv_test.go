@@ -88,7 +88,7 @@ func TestForestWorkersEquivalence(t *testing.T) {
 			if err != nil {
 				t.Fatalf("workers=%d: %v", workers, err)
 			}
-			if p != want[i] {
+			if !stats.SameFloat(p, want[i]) {
 				t.Fatalf("workers=%d: prediction %d = %v, want %v (forest not byte-identical)",
 					workers, i, p, want[i])
 			}

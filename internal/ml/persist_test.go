@@ -77,7 +77,7 @@ func TestPersistOLSWithIntercept(t *testing.T) {
 		t.Fatal(err)
 	}
 	back := roundTrip(t, ols).(*LinearRegression)
-	if back.Intercept() != ols.Intercept() {
+	if !stats.SameFloat(back.Intercept(), ols.Intercept()) {
 		t.Errorf("intercept lost: %v vs %v", back.Intercept(), ols.Intercept())
 	}
 	assertSamePredictions(t, ols, back, X)

@@ -162,6 +162,7 @@ func newSplitScratch(n int) *splitScratch {
 
 // recLess orders records by (value, subset position).
 func recLess(a, b splitRec) bool {
+	//lint:ignore floatcmp ordering ties break on position; IEEE equality must match the < above (+0 ties with -0)
 	return a.v < b.v || (a.v == b.v && a.pos < b.pos)
 }
 
@@ -265,6 +266,7 @@ func bestSplitForFeature(X [][]float64, y []float64, idx []int, f int,
 		if a > maxAbs {
 			maxAbs = a
 		}
+		//lint:ignore floatcmp split candidates sit between IEEE-distinct sorted values; must agree with recLess ordering
 		if k > 0 && recs[k].v != recs[k-1].v {
 			cut = append(cut, k)
 		}
@@ -437,6 +439,7 @@ func (t *RegressionTree) candidateThresholds(X [][]float64, idx []int, f int) []
 	// Dedup.
 	uniq := vals[:0]
 	for i, v := range vals {
+		//lint:ignore floatcmp dedup of sort.Float64s output uses IEEE equality so +0/-0 collapse like the sort ordered them
 		if i == 0 || v != uniq[len(uniq)-1] {
 			uniq = append(uniq, v)
 		}
@@ -505,6 +508,7 @@ func subsetSSE(y []float64, idx []int) float64 {
 
 func constantTargets(y []float64, idx []int) bool {
 	for _, i := range idx[1:] {
+		//lint:ignore floatcmp a node whose targets differ only in zero sign is constant for splitting purposes
 		if y[i] != y[idx[0]] {
 			return false
 		}

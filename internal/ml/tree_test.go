@@ -48,7 +48,7 @@ func TestTreeConstantTarget(t *testing.T) {
 	if err := tr.Fit(X, y); err != nil {
 		t.Fatal(err)
 	}
-	if got, _ := tr.Predict([]float64{99}); got != 7 {
+	if got, _ := tr.Predict([]float64{99}); !stats.SameFloat(got, 7) {
 		t.Errorf("constant tree predicts %v", got)
 	}
 }
@@ -152,7 +152,7 @@ func TestForestDeterministicPerSeed(t *testing.T) {
 	for i := 0; i < 20; i++ {
 		pa, _ := a.Predict([]float64{float64(i)})
 		pb, _ := b.Predict([]float64{float64(i)})
-		if pa != pb {
+		if !stats.SameFloat(pa, pb) {
 			t.Fatalf("same-seed forests disagree at %d: %v vs %v", i, pa, pb)
 		}
 	}

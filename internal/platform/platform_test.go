@@ -3,6 +3,8 @@ package platform
 import (
 	"strings"
 	"testing"
+
+	"additivity/internal/stats"
 )
 
 func TestTable1Specs(t *testing.T) {
@@ -16,7 +18,7 @@ func TestTable1Specs(t *testing.T) {
 	if h.L2KB != 256 || h.L3KB != 30720 || h.MemoryGB != 64 {
 		t.Errorf("Haswell cache/memory = %d/%d/%d", h.L2KB, h.L3KB, h.MemoryGB)
 	}
-	if h.TDPWatts != 240 || h.IdleWatts != 58 {
+	if !stats.SameFloat(h.TDPWatts, 240) || !stats.SameFloat(h.IdleWatts, 58) {
 		t.Errorf("Haswell power = %v/%v", h.TDPWatts, h.IdleWatts)
 	}
 
@@ -27,7 +29,7 @@ func TestTable1Specs(t *testing.T) {
 	if s.L2KB != 1024 || s.L3KB != 30976 || s.MemoryGB != 96 {
 		t.Errorf("Skylake cache/memory = %d/%d/%d", s.L2KB, s.L3KB, s.MemoryGB)
 	}
-	if s.TDPWatts != 140 || s.IdleWatts != 32 {
+	if !stats.SameFloat(s.TDPWatts, 140) || !stats.SameFloat(s.IdleWatts, 32) {
 		t.Errorf("Skylake power = %v/%v", s.TDPWatts, s.IdleWatts)
 	}
 	for _, p := range Platforms() {

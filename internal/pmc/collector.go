@@ -112,7 +112,8 @@ type Collector struct {
 	Methodology Methodology
 
 	seed int64
-	rng  *stats.RNG
+	//lint:ignore fingerprint rng derives purely from (seed, rngLabel, reads), which the fingerprint covers
+	rng *stats.RNG
 	// rngLabel is the derivation label rng was split under; with seed
 	// and reads it is the complete identity of the read-noise stream
 	// (see Fingerprint).
@@ -123,7 +124,8 @@ type Collector struct {
 	retry      faults.RetryPolicy
 	qafter     int
 	quarantine *faults.Quarantine
-	cstats     CollectStats
+	//lint:ignore fingerprint cstats is observability accounting; it never feeds measured values
+	cstats CollectStats
 }
 
 // NewCollector returns a collector over the given machine.

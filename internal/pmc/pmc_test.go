@@ -125,7 +125,7 @@ func TestGeneratedMappingsDeterministicAndNonTrivial(t *testing.T) {
 	for _, ev := range platform.ReducedCatalog(spec) {
 		m1 := MappingFor(ev)(run.Activity)
 		m2 := MappingFor(ev)(run.Activity)
-		if m1 != m2 {
+		if !stats.SameFloat(m1, m2) {
 			t.Errorf("%s: mapping not deterministic", ev.Name)
 		}
 		if m1 < 0 {

@@ -6,6 +6,7 @@ import (
 
 	"additivity/internal/machine"
 	"additivity/internal/platform"
+	"additivity/internal/stats"
 	"additivity/internal/workload"
 )
 
@@ -89,7 +90,7 @@ func TestReportUnknownGroup(t *testing.T) {
 }
 
 func TestRatioHelper(t *testing.T) {
-	if ratio(10, 2) != 5 {
+	if !stats.SameFloat(ratio(10, 2), 5) {
 		t.Error("ratio wrong")
 	}
 	if ratio(10, 0) != 0 {

@@ -29,7 +29,7 @@ func TestBootstrapDeterministicPerSeed(t *testing.T) {
 	samples := []float64{1, 5, 3, 8, 2, 9, 4}
 	lo1, hi1 := BootstrapMeanCI(samples, 200, 0.05, 9)
 	lo2, hi2 := BootstrapMeanCI(samples, 200, 0.05, 9)
-	if lo1 != lo2 || hi1 != hi2 {
+	if !SameFloat(lo1, lo2) || !SameFloat(hi1, hi2) {
 		t.Error("same-seed bootstrap differs")
 	}
 }
@@ -37,7 +37,7 @@ func TestBootstrapDeterministicPerSeed(t *testing.T) {
 func TestBootstrapCustomStatistic(t *testing.T) {
 	samples := []float64{1, 2, 3, 4, 100}
 	lo, hi := BootstrapCI(samples, Max, 300, 0.05, 3)
-	if hi != 100 {
+	if !SameFloat(hi, 100) {
 		t.Errorf("bootstrap max upper = %v, want 100", hi)
 	}
 	if lo > 100 {
@@ -51,7 +51,7 @@ func TestBootstrapDegenerateInputs(t *testing.T) {
 	}
 	// Repaired resample count and alpha.
 	lo, hi := BootstrapCI([]float64{5, 5, 5}, Mean, 1, -2, 1)
-	if lo != 5 || hi != 5 {
+	if !SameFloat(lo, 5) || !SameFloat(hi, 5) {
 		t.Errorf("constant sample CI = [%v, %v], want [5,5]", lo, hi)
 	}
 }

@@ -9,13 +9,13 @@ func TestTCritical95(t *testing.T) {
 	if got := TCritical95(0); !math.IsInf(got, 1) {
 		t.Errorf("TCritical95(0) = %v, want +Inf", got)
 	}
-	if got := TCritical95(1); got != 12.706 {
+	if got := TCritical95(1); !SameFloat(got, 12.706) {
 		t.Errorf("TCritical95(1) = %v, want 12.706", got)
 	}
-	if got := TCritical95(10); got != 2.228 {
+	if got := TCritical95(10); !SameFloat(got, 2.228) {
 		t.Errorf("TCritical95(10) = %v, want 2.228", got)
 	}
-	if got := TCritical95(1000); got != 1.960 {
+	if got := TCritical95(1000); !SameFloat(got, 1.960) {
 		t.Errorf("TCritical95(1000) = %v, want 1.960", got)
 	}
 	// Monotone non-increasing in df.

@@ -1,0 +1,29 @@
+package stats
+
+import "math"
+
+// ApproxEqual reports whether a and b agree within the absolute
+// tolerance tol. This is the approved spelling for "close enough"
+// float comparison under the floatcmp lint contract: a bare == either
+// hides rounding drift or under-states intent, so every comparison
+// names its tolerance explicitly. NaN is never approximately equal to
+// anything, including itself.
+func ApproxEqual(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= tol
+}
+
+// SameFloat reports whether a and b are bit-identical. This is the
+// approved spelling for exact float comparison under the floatcmp lint
+// contract — the repository's reproducibility currency is byte-identical
+// output, and bit equality is the comparison that matches it. Unlike ==,
+// SameFloat distinguishes +0 from -0 and treats a NaN as identical to
+// itself (same bit pattern).
+func SameFloat(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}

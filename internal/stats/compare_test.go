@@ -1,0 +1,45 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestApproxEqual(t *testing.T) {
+	cases := []struct {
+		a, b, tol float64
+		want      bool
+	}{
+		{1.0, 1.0, 0, true},
+		{1.0, 1.0 + 1e-12, 1e-9, true},
+		{1.0, 1.1, 1e-9, false},
+		{math.NaN(), math.NaN(), 1, false},
+		{math.Inf(1), math.Inf(1), 0, true},
+		{math.Inf(1), math.Inf(-1), 1e300, false},
+		{math.Copysign(0, -1), 0.0, 0, true},
+	}
+	for _, c := range cases {
+		if got := ApproxEqual(c.a, c.b, c.tol); got != c.want {
+			t.Errorf("ApproxEqual(%v, %v, %v) = %v, want %v", c.a, c.b, c.tol, got, c.want)
+		}
+	}
+}
+
+func TestSameFloat(t *testing.T) {
+	cases := []struct {
+		a, b float64
+		want bool
+	}{
+		{1.5, 1.5, true},
+		{1.5, 1.5000001, false},
+		{math.NaN(), math.NaN(), true},
+		{math.Copysign(0, -1), 0.0, false},
+		{math.Inf(1), math.Inf(1), true},
+		{math.Inf(1), math.Inf(-1), false},
+	}
+	for _, c := range cases {
+		if got := SameFloat(c.a, c.b); got != c.want {
+			t.Errorf("SameFloat(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}

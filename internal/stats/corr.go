@@ -71,6 +71,7 @@ func rankInto(rs []float64, s *rankSorter, xs []float64) {
 	idx := s.idx
 	for i := 0; i < n; {
 		j := i
+		//lint:ignore floatcmp tie groups use IEEE equality on sorted data so +0/-0 share one rank
 		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
 			j++
 		}

@@ -83,13 +83,13 @@ func TestRanks(t *testing.T) {
 	rs := ranks([]float64{30, 10, 20})
 	want := []float64{3, 1, 2}
 	for i := range want {
-		if rs[i] != want[i] {
+		if !SameFloat(rs[i], want[i]) {
 			t.Fatalf("ranks = %v, want %v", rs, want)
 		}
 	}
 	// Ties share an average rank.
 	rs = ranks([]float64{5, 5, 1})
-	if rs[0] != 2.5 || rs[1] != 2.5 || rs[2] != 1 {
+	if !SameFloat(rs[0], 2.5) || !SameFloat(rs[1], 2.5) || !SameFloat(rs[2], 1) {
 		t.Fatalf("tied ranks = %v, want [2.5 2.5 1]", rs)
 	}
 }
@@ -106,7 +106,7 @@ func ranksReference(xs []float64) []float64 {
 	rs := make([]float64, n)
 	for i := 0; i < n; {
 		j := i
-		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+		for j+1 < n && SameFloat(xs[idx[j+1]], xs[idx[i]]) {
 			j++
 		}
 		avg := float64(i+j)/2 + 1

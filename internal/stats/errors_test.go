@@ -91,7 +91,7 @@ func TestRNGDeterminism(t *testing.T) {
 	a := NewRNG(42)
 	b := NewRNG(42)
 	for i := 0; i < 100; i++ {
-		if a.Float64() != b.Float64() {
+		if !SameFloat(a.Float64(), b.Float64()) {
 			t.Fatal("same-seed RNGs diverged")
 		}
 	}
@@ -100,7 +100,7 @@ func TestRNGDeterminism(t *testing.T) {
 	d := SplitSeed(42, "beta")
 	same := true
 	for i := 0; i < 10; i++ {
-		if c.Float64() != d.Float64() {
+		if !SameFloat(c.Float64(), d.Float64()) {
 			same = false
 			break
 		}
@@ -131,7 +131,7 @@ func TestTaskSeedDeterministicAndDistinct(t *testing.T) {
 	a, b := TaskRNG(42, 0), TaskRNG(42, 1)
 	same := true
 	for i := 0; i < 10; i++ {
-		if a.Float64() != b.Float64() {
+		if !SameFloat(a.Float64(), b.Float64()) {
 			same = false
 			break
 		}
@@ -149,7 +149,7 @@ func TestRNGLogNormalFactorPositive(t *testing.T) {
 		}
 	}
 	// sigma=0 means exactly 1.
-	if f := g.LogNormalFactor(0); f != 1 {
+	if f := g.LogNormalFactor(0); !SameFloat(f, 1) {
 		t.Errorf("LogNormalFactor(0) = %v, want 1", f)
 	}
 }

@@ -6,7 +6,7 @@ import (
 )
 
 func TestMAD(t *testing.T) {
-	if got := MAD([]float64{1, 2, 3, 4, 100}); got != 1 {
+	if got := MAD([]float64{1, 2, 3, 4, 100}); !SameFloat(got, 1) {
 		t.Errorf("MAD = %v, want 1", got)
 	}
 	if got := MAD([]float64{5}); got != 0 {
@@ -41,13 +41,13 @@ func TestRobustMeanFallsBackToMean(t *testing.T) {
 		{10, 10, 10, 11}, // tight sample
 	}
 	for _, xs := range cases {
-		if got, want := RobustMean(xs, 3.5), Mean(xs); got != want {
+		if got, want := RobustMean(xs, 3.5), Mean(xs); !SameFloat(got, want) {
 			t.Errorf("RobustMean(%v) = %v, want plain mean %v", xs, got, want)
 		}
 	}
 	// cut <= 0 disables the filter entirely.
 	xs := []float64{1, 1, 1, 100}
-	if got := RobustMean(xs, 0); got != Mean(xs) {
+	if got := RobustMean(xs, 0); !SameFloat(got, Mean(xs)) {
 		t.Errorf("cut=0 should fall back to Mean")
 	}
 }

@@ -56,10 +56,10 @@ func TestVarianceAndStdDev(t *testing.T) {
 
 func TestMinMax(t *testing.T) {
 	xs := []float64{3, -1, 4, 1, 5, -9, 2, 6}
-	if got := Min(xs); got != -9 {
+	if got := Min(xs); !SameFloat(got, -9) {
 		t.Errorf("Min = %v, want -9", got)
 	}
-	if got := Max(xs); got != 6 {
+	if got := Max(xs); !SameFloat(got, 6) {
 		t.Errorf("Max = %v, want 6", got)
 	}
 }
@@ -87,24 +87,24 @@ func TestMedianAndPercentile(t *testing.T) {
 	if got := Median(xs); !almostEqual(got, 4, 1e-12) {
 		t.Errorf("Median = %v, want 4", got)
 	}
-	if got := Percentile(xs, 0); got != 1 {
+	if got := Percentile(xs, 0); !SameFloat(got, 1) {
 		t.Errorf("P0 = %v, want 1", got)
 	}
-	if got := Percentile(xs, 100); got != 7 {
+	if got := Percentile(xs, 100); !SameFloat(got, 7) {
 		t.Errorf("P100 = %v, want 7", got)
 	}
-	if got := Percentile([]float64{9}, 50); got != 9 {
+	if got := Percentile([]float64{9}, 50); !SameFloat(got, 9) {
 		t.Errorf("P50 of singleton = %v, want 9", got)
 	}
 	// Percentile must not reorder the input.
-	if xs[0] != 7 || xs[3] != 5 {
+	if !SameFloat(xs[0], 7) || !SameFloat(xs[3], 5) {
 		t.Errorf("Percentile mutated its input: %v", xs)
 	}
 	// Clamping out-of-range p.
-	if got := Percentile(xs, -10); got != 1 {
+	if got := Percentile(xs, -10); !SameFloat(got, 1) {
 		t.Errorf("P(-10) = %v, want 1", got)
 	}
-	if got := Percentile(xs, 200); got != 7 {
+	if got := Percentile(xs, 200); !SameFloat(got, 7) {
 		t.Errorf("P(200) = %v, want 7", got)
 	}
 }
@@ -117,14 +117,14 @@ func TestSummarize(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if s.N != 3 || s.Mean != 2 || s.Min != 1 || s.Max != 3 {
+	if s.N != 3 || !SameFloat(s.Mean, 2) || !SameFloat(s.Min, 1) || !SameFloat(s.Max, 3) {
 		t.Errorf("Summarize = %+v", s)
 	}
 }
 
 func TestMinAvgMax(t *testing.T) {
 	min, avg, max := MinAvgMax([]float64{4, 2, 6})
-	if min != 2 || avg != 4 || max != 6 {
+	if !SameFloat(min, 2) || !SameFloat(avg, 4) || !SameFloat(max, 6) {
 		t.Errorf("MinAvgMax = %v %v %v", min, avg, max)
 	}
 	min, avg, max = MinAvgMax(nil)

@@ -17,6 +17,7 @@ func WelchT(a, b []float64) (t, df, p float64) {
 	sa, sb := va/na, vb/nb
 	se := math.Sqrt(sa + sb)
 	if se == 0 {
+		//lint:ignore floatcmp zero-variance samples: IEEE equality of the means (+0 == -0) decides p=1 vs p=0
 		if ma == mb {
 			return 0, na + nb - 2, 1
 		}

@@ -48,11 +48,11 @@ func TestWelchTOverlappingSamples(t *testing.T) {
 }
 
 func TestWelchTDegenerate(t *testing.T) {
-	if _, _, p := WelchT([]float64{1}, []float64{2, 3}); p != 1 {
+	if _, _, p := WelchT([]float64{1}, []float64{2, 3}); !SameFloat(p, 1) {
 		t.Errorf("tiny sample p = %v, want 1", p)
 	}
 	// Zero variance, equal means.
-	if tt, _, p := WelchT([]float64{5, 5}, []float64{5, 5}); tt != 0 || p != 1 {
+	if tt, _, p := WelchT([]float64{5, 5}, []float64{5, 5}); tt != 0 || !SameFloat(p, 1) {
 		t.Errorf("constant equal samples t=%v p=%v", tt, p)
 	}
 	// Zero variance, different means.
@@ -75,7 +75,7 @@ func TestRegIncBetaKnownValues(t *testing.T) {
 		t.Errorf("symmetry violated: %v", got)
 	}
 	// Bounds.
-	if regIncBeta(2, 2, 0) != 0 || regIncBeta(2, 2, 1) != 1 {
+	if regIncBeta(2, 2, 0) != 0 || !SameFloat(regIncBeta(2, 2, 1), 1) {
 		t.Error("bounds wrong")
 	}
 }

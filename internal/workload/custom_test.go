@@ -6,6 +6,7 @@ import (
 
 	"additivity/internal/activity"
 	"additivity/internal/platform"
+	"additivity/internal/stats"
 )
 
 const validSpec = `{
@@ -36,7 +37,7 @@ func TestLoadKernel(t *testing.T) {
 		t.Errorf("sizes = %v", got)
 	}
 	// Work law: 1e6 · n² · log2 n.
-	if got, want := k.Work(64), 1e6*64*64*6.0; got != want {
+	if got, want := k.Work(64), 1e6*64*64*6.0; !stats.SameFloat(got, want) {
 		t.Errorf("Work(64) = %v, want %v", got, want)
 	}
 	v := k.Profile(128, platform.Skylake())

@@ -6,6 +6,7 @@ import (
 
 	"additivity/internal/activity"
 	"additivity/internal/platform"
+	"additivity/internal/stats"
 )
 
 // These tests pin the operation-count formulas of the kernel models to
@@ -68,11 +69,11 @@ func TestWorkScalingExponents(t *testing.T) {
 
 func TestFootprintFormulas(t *testing.T) {
 	// DGEMM stores three n×n double matrices.
-	if got, want := DGEMM().DataBytes(1000), 3*8*1000.0*1000; got != want {
+	if got, want := DGEMM().DataBytes(1000), 3*8*1000.0*1000; !stats.SameFloat(got, want) {
 		t.Errorf("DGEMM footprint = %v, want %v", got, want)
 	}
 	// FFT holds two complex-double grids.
-	if got, want := FFT().DataBytes(1000), 2*16*1000.0*1000; got != want {
+	if got, want := FFT().DataBytes(1000), 2*16*1000.0*1000; !stats.SameFloat(got, want) {
 		t.Errorf("FFT footprint = %v, want %v", got, want)
 	}
 	// Footprints fit the platforms' memory at the experiment sizes.

@@ -6,6 +6,7 @@ import (
 
 	"additivity/internal/activity"
 	"additivity/internal/platform"
+	"additivity/internal/stats"
 )
 
 func TestDiverseSuiteYields277BasePoints(t *testing.T) {
@@ -170,7 +171,7 @@ func TestCompoundDataBytesIsMax(t *testing.T) {
 	a := App{Workload: DGEMM(), Size: 4096}  // 3*8*4096² ≈ 4.0e8
 	b := App{Workload: Quicksort(), Size: 8} // 6.4e7
 	c := CompoundApp{Parts: []App{a, b}}
-	if got, want := c.DataBytes(), a.Workload.DataBytes(4096); got != want {
+	if got, want := c.DataBytes(), a.Workload.DataBytes(4096); !stats.SameFloat(got, want) {
 		t.Errorf("compound DataBytes = %.3g, want %.3g", got, want)
 	}
 }
