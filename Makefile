@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-short race bench bench-record bench-smoke chaos resume-check cache-check tables artifacts examples clean
+.PHONY: all build vet lint test test-short race bench bench-record bench-smoke chaos resume-check cache-check load-check bench-load tables artifacts examples clean
 
 all: build vet lint test
 
@@ -72,6 +72,21 @@ resume-check:
 # this.
 cache-check:
 	bash scripts/cache_check.sh
+
+# Boot a race-instrumented additivityd, replay a short skewed trace
+# against it with additivity-load, and require zero failed jobs,
+# nonzero single-flight merges on the shared cache, and a clean SIGTERM
+# drain. CI runs this.
+load-check:
+	bash scripts/load_check.sh
+
+# Record the service-layer throughput artifact: replay the canonical
+# 200-job skewed trace with 8 players against a fresh daemon and copy
+# the report (latency percentiles, success counters, req/s) to
+# BENCH_PR6.json. Unlike load-check, the daemon is built without -race
+# so the recorded throughput is the real one.
+bench-load:
+	OUT=BENCH_PR6.json RACE=0 bash scripts/load_check.sh 200 8
 
 # Regenerate every paper table (plus premise, sensor and survey tables).
 tables:

@@ -1,16 +1,20 @@
 package additivity
 
 import (
+	"context"
+
 	"additivity/internal/core"
 	"additivity/internal/dataset"
 	"additivity/internal/energy"
 	"additivity/internal/experiments"
 	"additivity/internal/faults"
+	"additivity/internal/loadgen"
 	"additivity/internal/machine"
 	"additivity/internal/memo"
 	"additivity/internal/ml"
 	"additivity/internal/platform"
 	"additivity/internal/pmc"
+	"additivity/internal/service"
 	"additivity/internal/workload"
 )
 
@@ -511,3 +515,67 @@ func NewMeasurementCache(opts CacheOptions) (*MeasurementCache, error) { return 
 func BuildDatasetsCached(cache *MeasurementCache, b *DatasetBuilder, label string, stages []DatasetStage) ([]*Dataset, CacheOutcome, error) {
 	return experiments.BuildDatasetsCached(cache, b, label, stages)
 }
+
+// Additivity-as-a-service: the additivityd daemon core and its
+// replayable load harness (see README.md, "Service & load harness").
+type (
+	// ServiceServer is the additivityd daemon core: an http.Handler
+	// serving job submit/poll/result/abort endpoints plus health and
+	// stats probes over the experiment engine.
+	ServiceServer = service.Server
+	// ServiceOptions configures a ServiceServer (shared measurement
+	// cache, job-concurrency bound).
+	ServiceOptions = service.Options
+	// JobRequest is a submittable job: a kind plus its parameters.
+	JobRequest = service.JobRequest
+	// JobParams parameterises a job; zero values take kind-specific
+	// defaults under Normalize.
+	JobParams = service.JobParams
+	// JobKind names a job family ("check", "train" or "dataset").
+	JobKind = service.JobKind
+	// JobStatus is the poll-endpoint view of a job.
+	JobStatus = service.JobStatus
+	// JobState is a job's lifecycle state.
+	JobState = service.JobState
+	// ServiceStats is the daemon's /statsz payload.
+	ServiceStats = service.Stats
+	// CheckJobResult is the canonical payload of a check job.
+	CheckJobResult = service.CheckResult
+	// TrainJobResult is the canonical payload of a train job.
+	TrainJobResult = service.TrainResult
+	// DatasetJobResult is the canonical payload of a dataset job.
+	DatasetJobResult = service.DatasetResult
+	// LoadTrace is a replayable workload trace for the load harness.
+	LoadTrace = loadgen.Trace
+	// LoadGenConfig parameterises deterministic trace generation.
+	LoadGenConfig = loadgen.GenConfig
+	// LoadPlayConfig parameterises a trace replay against a daemon.
+	LoadPlayConfig = loadgen.PlayConfig
+	// LoadReport is the final outcome of one trace replay.
+	LoadReport = loadgen.Report
+)
+
+// NewServiceServer returns an additivityd daemon core.
+func NewServiceServer(opts ServiceOptions) *ServiceServer { return service.NewServer(opts) }
+
+// ExecuteJob runs one job request directly (no daemon): the same
+// canonical payload a daemon would serve for the normalised request.
+func ExecuteJob(ctx context.Context, cache *MeasurementCache, req JobRequest) ([]byte, *CheckReport, error) {
+	return service.Execute(ctx, cache, req)
+}
+
+// GenerateLoadTrace builds a workload trace deterministically from the
+// configuration: the same config always yields byte-identical JSON.
+func GenerateLoadTrace(cfg LoadGenConfig) (*LoadTrace, error) { return loadgen.GenerateTrace(cfg) }
+
+// ParseLoadTrace decodes and normalises trace JSON; EncodeLoadTrace
+// renders the canonical form back.
+var (
+	ParseLoadTrace  = loadgen.ParseTrace
+	EncodeLoadTrace = loadgen.EncodeTrace
+)
+
+// PlayLoadTrace replays a trace against a running daemon with a
+// bounded player pool and reports latency percentiles and
+// success/error/degraded counters.
+func PlayLoadTrace(cfg LoadPlayConfig) (*LoadReport, error) { return loadgen.Play(cfg) }

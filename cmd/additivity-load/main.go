@@ -1,0 +1,142 @@
+// Command additivity-load is the ReqBench-style load generator for
+// additivityd: it generates or loads a replayable JSON workload trace,
+// replays it against a running daemon with a bounded player pool, and
+// reports latency percentiles plus success/error/degraded counters —
+// the req/s artifact recorded as BENCH_PR6.json.
+//
+// Usage:
+//
+//	additivity-load -url http://127.0.0.1:7909
+//	                [-trace file.json | -gen uniform|skewed -jobs N
+//	                 -distinct N -seed N -platform name]
+//	                [-players N] [-out report.json]
+//	                [-write-trace file.json] [-statsz]
+//
+// With -trace, the named trace file is replayed. Otherwise a trace is
+// generated deterministically from (-gen, -jobs, -distinct, -seed,
+// -platform); -write-trace saves it for later byte-identical replays.
+// A skewed trace is duplicate-heavy (Zipf job mix) — the shape that
+// makes the cache's single-flight merges observable under concurrency.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+
+	"additivity/internal/loadgen"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("additivity-load: ")
+	url := flag.String("url", "http://127.0.0.1:7909", "daemon base URL")
+	tracePath := flag.String("trace", "", "trace file to replay (overrides generation flags)")
+	gen := flag.String("gen", "skewed", "generated trace mix: uniform or skewed")
+	jobs := flag.Int("jobs", 200, "generated trace length")
+	distinct := flag.Int("distinct", 8, "generated trace identity-pool size")
+	seed := flag.Int64("seed", 1, "generated trace seed")
+	platformName := flag.String("platform", "haswell", "generated trace platform")
+	datasetShare := flag.Float64("dataset-share", 0, "fraction of identities built as dataset jobs")
+	trainShare := flag.Float64("train-share", 0, "fraction of identities built as train jobs")
+	players := flag.Int("players", 8, "concurrent players")
+	out := flag.String("out", "", "write the final report JSON here (e.g. BENCH_PR6.json)")
+	writeTrace := flag.String("write-trace", "", "save the generated trace JSON here")
+	statsz := flag.Bool("statsz", true, "fetch and print the daemon's /statsz after the run")
+	flag.Parse()
+
+	var trace *loadgen.Trace
+	var err error
+	if *tracePath != "" {
+		data, rerr := os.ReadFile(*tracePath)
+		if rerr != nil {
+			log.Fatal(rerr)
+		}
+		trace, err = loadgen.ParseTrace(data)
+	} else {
+		var skewed bool
+		switch *gen {
+		case "skewed":
+			skewed = true
+		case "uniform":
+		default:
+			log.Fatalf("unknown -gen %q (want uniform or skewed)", *gen)
+		}
+		trace, err = loadgen.GenerateTrace(loadgen.GenConfig{
+			Jobs: *jobs, Seed: *seed, Skewed: skewed, Distinct: *distinct,
+			Platform: *platformName, DatasetShare: *datasetShare, TrainShare: *trainShare,
+		})
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *writeTrace != "" {
+		data, err := loadgen.EncodeTrace(trace)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*writeTrace, data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote trace (%d jobs) to %s", len(trace.Jobs), *writeTrace)
+	}
+
+	base := strings.TrimRight(*url, "/")
+	report, err := loadgen.Play(loadgen.PlayConfig{
+		BaseURL: base,
+		Trace:   trace,
+		Players: *players,
+		Progress: func(p loadgen.ProgressSnapshot) {
+			fmt.Fprintf(os.Stderr, "t=%5.1fs submitted=%d completed=%d failed=%d\n",
+				p.ElapsedS, p.Submitted, p.Completed, p.Failed)
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println(report.String())
+	if *statsz {
+		if stats, err := fetchStatsz(base); err != nil {
+			log.Printf("statsz: %v", err)
+		} else {
+			fmt.Printf("server statsz: %s\n", stats)
+		}
+	}
+	if *out != "" {
+		if err := report.WriteFile(*out); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote report to %s", *out)
+	}
+	if report.Failed > 0 || report.Aborted > 0 {
+		os.Exit(1)
+	}
+}
+
+// fetchStatsz returns the daemon's /statsz body compacted to one line.
+func fetchStatsz(base string) (string, error) {
+	resp, err := http.Get(base + "/statsz")
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("HTTP %d", resp.StatusCode)
+	}
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, data); err != nil {
+		return strings.TrimSpace(string(data)), nil
+	}
+	return buf.String(), nil
+}

@@ -1,0 +1,164 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"additivity/internal/loadgen"
+)
+
+// buildBinaries compiles additivity-load and additivityd into a temp
+// dir and returns their paths.
+func buildBinaries(t *testing.T) (loadBin, daemonBin string) {
+	t.Helper()
+	dir := t.TempDir()
+	loadBin = filepath.Join(dir, "additivity-load")
+	if out, err := exec.Command("go", "build", "-o", loadBin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build additivity-load: %v\n%s", err, out)
+	}
+	daemonBin = filepath.Join(dir, "additivityd")
+	if out, err := exec.Command("go", "build", "-o", daemonBin, "../additivityd").CombinedOutput(); err != nil {
+		t.Fatalf("go build additivityd: %v\n%s", err, out)
+	}
+	return loadBin, daemonBin
+}
+
+// startDaemon boots additivityd on an ephemeral port and returns its
+// base URL.
+func startDaemon(t *testing.T, bin string) string {
+	t.Helper()
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-max-jobs", "8")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// done is closed on exit so both the error branch below and the
+	// cleanup can observe it without consuming each other's signal.
+	done := make(chan struct{})
+	var waitErr error
+	go func() {
+		waitErr = cmd.Wait()
+		close(done)
+	}()
+	t.Cleanup(func() {
+		_ = cmd.Process.Kill()
+		<-done
+	})
+
+	lineCh := make(chan string, 1)
+	go func() {
+		line, _ := bufio.NewReader(stdout).ReadString('\n')
+		lineCh <- strings.TrimSpace(line)
+		_, _ = io.Copy(io.Discard, stdout)
+	}()
+	select {
+	case line := <-lineCh:
+		addr, ok := strings.CutPrefix(line, "listening on ")
+		if !ok {
+			t.Fatalf("first daemon stdout line = %q\nstderr: %s", line, stderr.String())
+		}
+		return "http://" + addr
+	case <-done:
+		t.Fatalf("daemon exited early: %v\nstderr: %s", waitErr, stderr.String())
+	case <-time.After(10 * time.Second):
+		t.Fatalf("daemon did not announce its address\nstderr: %s", stderr.String())
+	}
+	return ""
+}
+
+// The load generator must replay a short generated trace against a live
+// daemon with zero failures and write a well-formed report whose
+// counters add up to the trace length.
+func TestSmokeShortReplayEmitsWellFormedReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs both binaries")
+	}
+	loadBin, daemonBin := buildBinaries(t)
+	baseURL := startDaemon(t, daemonBin)
+
+	dir := t.TempDir()
+	reportPath := filepath.Join(dir, "report.json")
+	tracePath := filepath.Join(dir, "trace.json")
+	cmd := exec.Command(loadBin,
+		"-url", baseURL,
+		"-gen", "skewed", "-jobs", "30", "-distinct", "4", "-seed", "7",
+		"-players", "4",
+		"-out", reportPath, "-write-trace", tracePath)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("additivity-load: %v\n%s", err, out)
+	}
+
+	data, err := os.ReadFile(reportPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := loadgen.ParseReport(data)
+	if err != nil {
+		t.Fatalf("report is not well-formed: %v\n%s", err, data)
+	}
+	if report.Jobs != 30 || report.Players != 4 {
+		t.Errorf("report jobs/players = %d/%d, want 30/4", report.Jobs, report.Players)
+	}
+	if got := report.Succeeded + report.Degraded + report.Aborted + report.Failed; got != report.Jobs {
+		t.Errorf("outcome counters sum to %d, want %d", got, report.Jobs)
+	}
+	if report.Failed != 0 || report.Aborted != 0 {
+		t.Errorf("replay reported %d failed, %d aborted jobs:\n%s", report.Failed, report.Aborted, data)
+	}
+	if report.Succeeded > 0 && report.Latency.MaxMS <= 0 {
+		t.Errorf("successful replay reported non-positive max latency %v", report.Latency.MaxMS)
+	}
+	if report.ReqPerSec <= 0 {
+		t.Errorf("req_per_sec = %v, want > 0", report.ReqPerSec)
+	}
+
+	// The saved trace must parse and describe the same workload the
+	// report accounted for.
+	traceData, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, err := loadgen.ParseTrace(traceData)
+	if err != nil {
+		t.Fatalf("written trace is not well-formed: %v", err)
+	}
+	if len(trace.Jobs) != report.Jobs || trace.Name != report.Trace {
+		t.Errorf("trace (%d jobs, %q) does not match report (%d jobs, %q)",
+			len(trace.Jobs), trace.Name, report.Jobs, report.Trace)
+	}
+
+	// Replaying the saved trace file must be accepted and clean too —
+	// the second run is pure warm-cache traffic.
+	cmd = exec.Command(loadBin, "-url", baseURL, "-trace", tracePath, "-players", "2", "-statsz=false")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("replaying saved trace: %v\n%s", err, out)
+	}
+}
+
+// A run against a dead endpoint must exit non-zero, not hang or report
+// success.
+func TestSmokeDeadEndpointFailsFast(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the binary")
+	}
+	loadBin, _ := buildBinaries(t)
+	cmd := exec.Command(loadBin,
+		"-url", "http://127.0.0.1:1", "-jobs", "3", "-players", "1", "-statsz=false")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("expected non-zero exit against a dead endpoint\n%s", out)
+	}
+}

@@ -1,0 +1,109 @@
+// Command additivityd is the additivity-as-a-service daemon: a
+// long-running HTTP/JSON server that accepts additivity-check,
+// model-training and dataset-build jobs, runs them on the experiment
+// engine backed by the content-addressed measurement cache, and serves
+// job submit/poll/result endpoints plus health and stats probes.
+//
+// Usage:
+//
+//	additivityd [-addr host:port] [-cache-dir dir] [-max-jobs N]
+//	            [-drain-timeout dur]
+//
+// Endpoints:
+//
+//	GET    /healthz              liveness probe ("ok")
+//	GET    /statsz               cache, job and fault counters (JSON)
+//	POST   /v1/jobs              submit a job
+//	GET    /v1/jobs              list jobs in submission order
+//	GET    /v1/jobs/{id}         poll one job (optional ?wait=2s)
+//	GET    /v1/jobs/{id}/result  fetch a done job's result payload
+//	DELETE /v1/jobs/{id}         abort a queued or running job
+//
+// On SIGTERM or SIGINT the daemon drains: new submissions are refused
+// with 503 while queued and running jobs finish (bounded by
+// -drain-timeout, after which they are aborted), then the process
+// exits 0. The bound address is printed to stdout as
+// "listening on <addr>" so supervisors (and the smoke tests) can bind
+// port 0 and discover the port.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"additivity/internal/memo"
+	"additivity/internal/service"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("additivityd: ")
+	addr := flag.String("addr", "127.0.0.1:7909", "listen address (use :0 for an ephemeral port)")
+	cacheDir := flag.String("cache-dir", "", "content-addressed measurement cache directory (empty: in-memory cache only)")
+	maxJobs := flag.Int("max-jobs", 0, "maximum concurrently running jobs (0: GOMAXPROCS)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight jobs on shutdown before aborting them")
+	flag.Parse()
+
+	// The daemon always runs cache-backed: an in-memory cache still
+	// gives duplicate jobs single-flight dedup and warm hits within the
+	// process; a -cache-dir extends that across restarts and replicas.
+	cache, err := memo.New(memo.Options{Dir: *cacheDir})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := service.NewServer(service.Options{Cache: cache, MaxConcurrentJobs: *maxJobs})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv}
+
+	// Announce the bound address on stdout (flushed line-buffered) so
+	// callers that asked for :0 can discover the port.
+	fmt.Printf("listening on %s\n", ln.Addr())
+	log.Printf("serving jobs on http://%s (cache dir %q, max jobs %d)", ln.Addr(), *cacheDir, *maxJobs)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+
+	select {
+	case sig := <-sigCh:
+		log.Printf("received %s: draining", sig)
+	case err := <-serveErr:
+		log.Fatal(err)
+	}
+
+	// Drain: refuse new submissions, let in-flight jobs finish, then
+	// stop the HTTP listener. Jobs still running at the deadline are
+	// aborted so the process always exits.
+	srv.StartDraining()
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		log.Printf("drain deadline passed: aborting remaining jobs")
+		srv.AbortAll()
+		fallback, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel2()
+		_ = srv.Drain(fallback)
+	}
+	shutdownCtx, cancel3 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel3()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	st := srv.Stats()
+	log.Printf("drained: %d jobs done, %d failed, %d aborted; exiting",
+		st.Jobs.Done, st.Jobs.Failed, st.Jobs.Aborted)
+}

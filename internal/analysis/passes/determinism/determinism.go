@@ -24,10 +24,15 @@ import (
 	"additivity/internal/analysis"
 )
 
-// scope lists the result-producing packages under contract.
+// scope lists the result-producing packages under contract. The
+// service and load-harness layers are in scope too: a daemon-served
+// job payload must be a pure function of the normalised request, and
+// the harness may touch wall-clock only in its latency measurement
+// (each use suppressed inline with a reason).
 var scope = []string{
 	"internal/core", "internal/ml", "internal/mat",
 	"internal/stats", "internal/experiments", "internal/memo",
+	"internal/service", "internal/loadgen",
 }
 
 // forbidden maps package path -> function name -> replacement advice.

@@ -167,6 +167,15 @@ func (ch *Checker) Check(events []platform.Event, compounds []workload.CompoundA
 	return verdicts, err
 }
 
+// CheckContext is Check with cancellation: when ctx is cancelled the
+// gather fan-out stops dispatching, drains in-flight tasks, and returns
+// ctx.Err(). Cancellation never produces partial verdicts — the check
+// either completes identically to an uncancelled run or fails whole.
+func (ch *Checker) CheckContext(ctx context.Context, events []platform.Event, compounds []workload.CompoundApp) ([]Verdict, error) {
+	verdicts, _, err := ch.CheckWithReportContext(ctx, events, compounds)
+	return verdicts, err
+}
+
 // taskOutcome is one gather task's contribution to the check: its
 // journaled, cached or freshly measured record, whether it was resumed
 // from the journal, and how the cache satisfied it.
@@ -186,6 +195,18 @@ type taskOutcome struct {
 // resilience report: journal resume counts, retry/recovery totals, and
 // the explicit list of events whose verdicts rest on degraded data.
 func (ch *Checker) CheckWithReport(events []platform.Event, compounds []workload.CompoundApp) ([]Verdict, *CheckReport, error) {
+	return ch.CheckWithReportContext(context.Background(), events, compounds)
+}
+
+// CheckWithReportContext is CheckWithReport with cancellation (see
+// CheckContext). The context bounds only the gather fan-out's dispatch;
+// a task already running finishes before the error is returned, so an
+// aborted check leaves the journal and cache in a state a later run can
+// resume from with byte-identical results.
+func (ch *Checker) CheckWithReportContext(ctx context.Context, events []platform.Event, compounds []workload.CompoundApp) ([]Verdict, *CheckReport, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(compounds) == 0 {
 		return nil, nil, fmt.Errorf("core: additivity test needs at least one compound application")
 	}
@@ -252,7 +273,7 @@ func (ch *Checker) CheckWithReport(events []platform.Event, compounds []workload
 		ch.Progress(done, total)
 	}
 
-	gathered, err := parallel.Map(context.Background(), ch.Config.Workers, tasks,
+	gathered, err := parallel.Map(ctx, ch.Config.Workers, tasks,
 		func(_ context.Context, _ int, t gatherTask) (*taskOutcome, error) {
 			unit := "gather/" + t.label
 			if ch.Journal != nil {

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -134,6 +135,19 @@ type PipelineResult struct {
 // RunPipeline executes the workflow on the platform's default experiment
 // protocol (diverse suite on Haswell, DGEMM+FFT sweep on Skylake).
 func RunPipeline(cfg PipelineConfig) (*PipelineResult, error) {
+	return RunPipelineContext(context.Background(), cfg)
+}
+
+// RunPipelineContext is RunPipeline with cancellation: a cancelled
+// context aborts the additivity stage's gather fan-out mid-flight and is
+// re-checked at every later stage boundary (dataset build, selection,
+// training), so a long pipeline responds to an abort without producing
+// partial results — the run either completes identically to an
+// uncancelled one or fails whole with ctx.Err().
+func RunPipelineContext(ctx context.Context, cfg PipelineConfig) (*PipelineResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := cfg.fill(); err != nil {
 		return nil, err
 	}
@@ -199,8 +213,11 @@ func RunPipeline(cfg PipelineConfig) (*PipelineResult, error) {
 	if journal != nil {
 		checker.Journal = journal
 	}
-	verdicts, report, err := checker.CheckWithReport(events, compounds)
+	verdicts, report, err := checker.CheckWithReportContext(ctx, events, compounds)
 	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 
@@ -237,6 +254,9 @@ func RunPipeline(cfg PipelineConfig) (*PipelineResult, error) {
 			}
 		}
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	testN := full.Len() / 5
 	if testN < 1 {
 		return nil, errors.New("experiments: profiling dataset too small")
@@ -254,6 +274,9 @@ func RunPipeline(cfg PipelineConfig) (*PipelineResult, error) {
 	}
 
 	// Stage 4: train and evaluate.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	var model ml.Regressor
 	switch cfg.Model {
 	case "lr":

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"path/filepath"
 	"sort"
@@ -96,6 +97,14 @@ func (c *StudyConfig) fill() error {
 // compound suite: the diverse suite on Haswell, the DGEMM/FFT suite on
 // Skylake.
 func RunAdditivityStudy(spec *platform.Spec, cfg StudyConfig) (*AdditivityStudy, error) {
+	return RunAdditivityStudyContext(context.Background(), spec, cfg)
+}
+
+// RunAdditivityStudyContext is RunAdditivityStudy with cancellation: a
+// cancelled context aborts the survey's gather fan-out and returns
+// ctx.Err(). An aborted survey journals and caches only completed units,
+// so a re-run resumes cleanly with byte-identical verdicts.
+func RunAdditivityStudyContext(ctx context.Context, spec *platform.Spec, cfg StudyConfig) (*AdditivityStudy, error) {
 	if err := cfg.fill(); err != nil {
 		return nil, err
 	}
@@ -134,7 +143,7 @@ func RunAdditivityStudy(spec *platform.Spec, cfg StudyConfig) (*AdditivityStudy,
 		compounds = workload.RandomCompounds(base, cfg.Compounds, cfg.Seed)
 	}
 
-	verdicts, report, err := checker.CheckWithReport(platform.ReducedCatalog(spec), compounds)
+	verdicts, report, err := checker.CheckWithReportContext(ctx, platform.ReducedCatalog(spec), compounds)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,52 @@
+package loadgen
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParseTrace drives the workload-trace parser with arbitrary bytes.
+// Two invariants: the parser never panics, and any input it accepts is
+// canonical under one round of normalisation — re-encoding the parsed
+// trace and parsing it again reproduces the same bytes, which is what
+// makes saved traces replayable artifacts.
+func FuzzParseTrace(f *testing.F) {
+	seedTrace, err := GenerateTrace(GenConfig{Jobs: 6, Distinct: 3, Seed: 2, Skewed: true, TrainShare: 0.4})
+	if err != nil {
+		f.Fatal(err)
+	}
+	seedJSON, err := EncodeTrace(seedTrace)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seedJSON)
+	f.Add([]byte(`{"name":"t","seed":1,"jobs":[]}`))
+	f.Add([]byte(`{"name":"t","seed":1,"jobs":[{"kind":"check"}]}`))
+	f.Add([]byte(`{"jobs":[{"kind":"dataset","params":{"sweep_lo":7000,"sweep_hi":7600}}]}`))
+	f.Add([]byte(`{"jobs":[{"kind":"train","params":{"model":"rf","seed":-4}}]}`))
+	f.Add([]byte(`{"jobs":[{"kind":"check","params":{"compounds":-1}}]}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte{0x00, 0xff, 0x7b})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		trace, err := ParseTrace(data)
+		if err != nil {
+			return // rejected input: the only requirement is no panic
+		}
+		first, err := EncodeTrace(trace)
+		if err != nil {
+			t.Fatalf("accepted trace failed to encode: %v", err)
+		}
+		again, err := ParseTrace(first)
+		if err != nil {
+			t.Fatalf("canonical encoding of an accepted trace was rejected: %v", err)
+		}
+		second, err := EncodeTrace(again)
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		if !bytes.Equal(first, second) {
+			t.Errorf("round-trip is not a fixed point:\n%s\nvs\n%s", first, second)
+		}
+	})
+}

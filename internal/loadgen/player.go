@@ -1,0 +1,282 @@
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"additivity/internal/service"
+)
+
+// PlayConfig parameterises a trace replay against a running daemon.
+type PlayConfig struct {
+	// BaseURL is the daemon's root URL, e.g. http://127.0.0.1:7909.
+	BaseURL string
+	// Trace is the workload to replay.
+	Trace *Trace
+	// Players bounds the concurrent request drivers (default 8). Each
+	// player owns one job at a time: submit, poll to terminal state,
+	// fetch the result.
+	Players int
+	// Client is the HTTP client (default: a dedicated client with no
+	// global timeout; per-job deadlines come from PerJobTimeout).
+	Client *http.Client
+	// PollWait is the long-poll window passed as ?wait= on status
+	// polls (default 2s).
+	PollWait time.Duration
+	// PerJobTimeout bounds one job's submit-to-terminal wall time
+	// (default 120s). A job past its deadline counts as failed.
+	PerJobTimeout time.Duration
+	// Progress, when set, receives a snapshot roughly once per second
+	// while the replay runs.
+	Progress func(ProgressSnapshot)
+	// OnResult, when set, receives every done job's result payload,
+	// keyed by the job's position in the trace. Called from player
+	// goroutines; the callback must be safe for concurrent use.
+	OnResult func(index int, result []byte)
+}
+
+// ProgressSnapshot is one per-second view of a replay in flight.
+type ProgressSnapshot struct {
+	ElapsedS  float64 `json:"elapsed_s"`
+	Submitted int     `json:"submitted"`
+	Completed int     `json:"completed"`
+	Failed    int     `json:"failed"`
+}
+
+// outcome codes for one trace position.
+const (
+	outcomePending = iota
+	outcomeSuccess
+	outcomeDegraded // done, but on incomplete data
+	outcomeAborted
+	outcomeFailed
+)
+
+func (c *PlayConfig) fill() error {
+	if c.BaseURL == "" {
+		return fmt.Errorf("loadgen: PlayConfig.BaseURL is required")
+	}
+	if c.Trace == nil || len(c.Trace.Jobs) == 0 {
+		return fmt.Errorf("loadgen: PlayConfig.Trace must hold at least one job")
+	}
+	if c.Players < 0 {
+		return fmt.Errorf("loadgen: PlayConfig.Players = %d, must not be negative", c.Players)
+	}
+	if c.Players == 0 {
+		c.Players = 8
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{}
+	}
+	if c.PollWait == 0 {
+		c.PollWait = 2 * time.Second
+	}
+	if c.PerJobTimeout == 0 {
+		c.PerJobTimeout = 120 * time.Second
+	}
+	return nil
+}
+
+// Play replays the trace: a bounded player pool drains a request
+// channel in trace order, driving each job through submit → poll →
+// result and measuring its end-to-end latency. The returned report
+// carries latency percentiles and success/error/degraded counters.
+//
+// Wall-clock time is measured only here, in the harness — never in the
+// service or the engine — so the measured system keeps its determinism
+// contract while the measurement layer reports real latencies.
+func Play(cfg PlayConfig) (*Report, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	n := len(cfg.Trace.Jobs)
+	latenciesMS := make([]float64, n)
+	outcomes := make([]int32, n)
+	errMsgs := make([]string, n)
+	var submitted, completed, failed atomic.Int64
+
+	//lint:ignore determinism load-harness latency measurement: wall-clock stays in the harness, outside every result path
+	start := time.Now()
+
+	reqCh := make(chan int)
+	var wg sync.WaitGroup
+	for p := 0; p < cfg.Players; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range reqCh {
+				submitted.Add(1)
+				ms, out, err := cfg.playOne(idx)
+				// Trace positions are handed to exactly one player, so
+				// these per-index writes never race; wg.Wait publishes
+				// them to the report builder.
+				latenciesMS[idx] = ms
+				outcomes[idx] = int32(out)
+				if err != nil {
+					errMsgs[idx] = err.Error()
+				}
+				completed.Add(1)
+				if out == outcomeFailed || out == outcomeAborted {
+					failed.Add(1)
+				}
+			}
+		}()
+	}
+
+	stopTick := make(chan struct{})
+	var tickWG sync.WaitGroup
+	if cfg.Progress != nil {
+		tickWG.Add(1)
+		go func() {
+			defer tickWG.Done()
+			ticker := time.NewTicker(time.Second)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-stopTick:
+					return
+				case <-ticker.C:
+					cfg.Progress(ProgressSnapshot{
+						//lint:ignore determinism load-harness progress timestamps: wall-clock stays in the harness
+						ElapsedS:  time.Since(start).Seconds(),
+						Submitted: int(submitted.Load()),
+						Completed: int(completed.Load()),
+						Failed:    int(failed.Load()),
+					})
+				}
+			}
+		}()
+	}
+
+	for i := 0; i < n; i++ {
+		reqCh <- i
+	}
+	close(reqCh)
+	wg.Wait()
+	close(stopTick)
+	tickWG.Wait()
+
+	//lint:ignore determinism load-harness latency measurement: wall-clock stays in the harness
+	elapsed := time.Since(start).Seconds()
+	return buildReport(cfg, latenciesMS, outcomes, errMsgs, elapsed)
+}
+
+// playOne drives one trace position end to end and returns its
+// latency in milliseconds and outcome.
+func (cfg *PlayConfig) playOne(idx int) (float64, int, error) {
+	body, err := json.Marshal(cfg.Trace.Jobs[idx])
+	if err != nil {
+		return 0, outcomeFailed, err
+	}
+	//lint:ignore determinism load-harness latency measurement: wall-clock stays in the harness
+	t0 := time.Now()
+	deadline := t0.Add(cfg.PerJobTimeout)
+
+	st, err := cfg.postJSON(cfg.BaseURL+"/v1/jobs", body)
+	if err != nil {
+		return 0, outcomeFailed, err
+	}
+	for !st.State.Terminal() {
+		//lint:ignore determinism load-harness deadline check: wall-clock stays in the harness
+		if time.Now().After(deadline) {
+			return 0, outcomeFailed, fmt.Errorf("job %s timed out after %s in state %s", st.ID, cfg.PerJobTimeout, st.State)
+		}
+		st, err = cfg.getStatus(st.ID)
+		if err != nil {
+			return 0, outcomeFailed, err
+		}
+	}
+	switch st.State {
+	case service.StateAborted:
+		return 0, outcomeAborted, fmt.Errorf("job %s aborted", st.ID)
+	case service.StateFailed:
+		return 0, outcomeFailed, fmt.Errorf("job %s failed: %s", st.ID, st.Error)
+	}
+	result, err := cfg.getResult(st.ID)
+	if err != nil {
+		return 0, outcomeFailed, err
+	}
+	//lint:ignore determinism load-harness latency measurement: wall-clock stays in the harness
+	ms := float64(time.Since(t0)) / float64(time.Millisecond)
+	if cfg.OnResult != nil {
+		cfg.OnResult(idx, result)
+	}
+	if st.Degraded {
+		return ms, outcomeDegraded, nil
+	}
+	return ms, outcomeSuccess, nil
+}
+
+func (cfg *PlayConfig) postJSON(url string, body []byte) (service.JobStatus, error) {
+	resp, err := cfg.Client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return service.JobStatus{}, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return service.JobStatus{}, err
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		return service.JobStatus{}, fmt.Errorf("submit: HTTP %d: %s", resp.StatusCode, firstLine(data))
+	}
+	var st service.JobStatus
+	if err := json.Unmarshal(data, &st); err != nil {
+		return service.JobStatus{}, fmt.Errorf("submit: bad status body: %w", err)
+	}
+	return st, nil
+}
+
+func (cfg *PlayConfig) getStatus(id string) (service.JobStatus, error) {
+	url := fmt.Sprintf("%s/v1/jobs/%s?wait=%s", cfg.BaseURL, id, cfg.PollWait)
+	resp, err := cfg.Client.Get(url)
+	if err != nil {
+		return service.JobStatus{}, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return service.JobStatus{}, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return service.JobStatus{}, fmt.Errorf("poll %s: HTTP %d: %s", id, resp.StatusCode, firstLine(data))
+	}
+	var st service.JobStatus
+	if err := json.Unmarshal(data, &st); err != nil {
+		return service.JobStatus{}, fmt.Errorf("poll %s: bad status body: %w", id, err)
+	}
+	return st, nil
+}
+
+func (cfg *PlayConfig) getResult(id string) ([]byte, error) {
+	resp, err := cfg.Client.Get(cfg.BaseURL + "/v1/jobs/" + id + "/result")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("result %s: HTTP %d: %s", id, resp.StatusCode, firstLine(data))
+	}
+	return data, nil
+}
+
+func firstLine(data []byte) string {
+	if i := bytes.IndexByte(data, '\n'); i >= 0 {
+		data = data[:i]
+	}
+	const max = 200
+	if len(data) > max {
+		data = data[:max]
+	}
+	return string(data)
+}

@@ -1,0 +1,137 @@
+package service_test
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"additivity/internal/loadgen"
+	"additivity/internal/memo"
+	"additivity/internal/service"
+)
+
+// replayTrace replays one generated trace against a fresh cache-backed
+// daemon with the given player count and returns every job's result
+// payload keyed by trace position.
+func replayTrace(t *testing.T, trace *loadgen.Trace, players int) [][]byte {
+	t.Helper()
+	cache, err := memo.New(memo.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := service.NewServer(service.Options{Cache: cache, MaxConcurrentJobs: players})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	results := make([][]byte, len(trace.Jobs))
+	var mu sync.Mutex
+	report, err := loadgen.Play(loadgen.PlayConfig{
+		BaseURL: ts.URL,
+		Trace:   trace,
+		Players: players,
+		OnResult: func(index int, result []byte) {
+			// Copy: the payload is shared cache memory.
+			mu.Lock()
+			results[index] = append([]byte(nil), result...)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Failed != 0 || report.Aborted != 0 {
+		t.Fatalf("replay with %d players: %d failed, %d aborted jobs: %v",
+			players, report.Failed, report.Aborted, report.Errors)
+	}
+	return results
+}
+
+// The service must preserve the repository's determinism contract:
+// replaying the same trace against a cache-backed daemon yields
+// byte-identical job results for every player count, and those bytes
+// equal a direct engine run of the same normalised request with no
+// daemon, no HTTP and no shared cache in between.
+func TestReplayResultsIdenticalAcrossPlayerCountsAndDirectRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replays a full trace three ways")
+	}
+	trace, err := loadgen.GenerateTrace(loadgen.GenConfig{
+		Jobs: 24, Distinct: 4, Seed: 3, Skewed: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	serial := replayTrace(t, trace, 1)
+	parallel := replayTrace(t, trace, 8)
+
+	for i := range trace.Jobs {
+		if serial[i] == nil || parallel[i] == nil {
+			t.Fatalf("trace position %d has no result (serial=%v parallel=%v)",
+				i, serial[i] != nil, parallel[i] != nil)
+		}
+		if !bytes.Equal(serial[i], parallel[i]) {
+			t.Fatalf("trace position %d: 1-player and 8-player replays disagree", i)
+		}
+	}
+
+	// Direct runs: one per distinct identity, each on its own private
+	// cache, compared byte-for-byte with the daemon-served payloads.
+	direct := make(map[string][]byte)
+	for i, req := range trace.Jobs {
+		key, err := service.CanonicalRequest(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := direct[key]; !ok {
+			cache, err := memo.New(memo.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			payload, _, err := service.Execute(context.Background(), cache, req)
+			if err != nil {
+				t.Fatalf("direct run of trace position %d: %v", i, err)
+			}
+			direct[key] = payload
+		}
+		if !bytes.Equal(direct[key], serial[i]) {
+			t.Fatalf("trace position %d: daemon-served payload differs from the direct engine run", i)
+		}
+	}
+}
+
+// Duplicate positions in a trace must resolve to the same payload
+// within one replay (one identity, one result — regardless of which
+// request hit the cache, merged onto a flight, or led it).
+func TestDuplicatePositionsShareOnePayload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replays a full trace")
+	}
+	trace, err := loadgen.GenerateTrace(loadgen.GenConfig{
+		Jobs: 20, Distinct: 3, Seed: 11, Skewed: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := replayTrace(t, trace, 4)
+
+	byIdentity := make(map[string][]byte)
+	for i, req := range trace.Jobs {
+		key, err := service.CanonicalRequest(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev, ok := byIdentity[key]; ok {
+			if !bytes.Equal(prev, results[i]) {
+				t.Fatalf("trace position %d: duplicate of an earlier identity returned different bytes", i)
+			}
+		} else {
+			byIdentity[key] = results[i]
+		}
+	}
+	if len(byIdentity) == 0 || len(byIdentity) == len(trace.Jobs) {
+		t.Fatalf("skewed trace has %d identities over %d jobs — expected duplicates", len(byIdentity), len(trace.Jobs))
+	}
+}

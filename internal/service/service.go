@@ -1,0 +1,537 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"additivity/internal/core"
+	"additivity/internal/memo"
+)
+
+// JobState is a job's lifecycle state. Transitions are monotone:
+// queued → running → one of done/failed/aborted; a queued job aborted
+// before it starts goes straight to aborted.
+type JobState string
+
+const (
+	StateQueued  JobState = "queued"
+	StateRunning JobState = "running"
+	StateDone    JobState = "done"
+	StateFailed  JobState = "failed"
+	StateAborted JobState = "aborted"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateAborted
+}
+
+// Options configures a Server.
+type Options struct {
+	// Cache, when non-nil, backs every job with the shared
+	// content-addressed measurement cache — the layer that makes
+	// duplicate jobs cheap and concurrent duplicates single-flight.
+	Cache *memo.Cache
+	// MaxConcurrentJobs bounds how many jobs run at once (queued jobs
+	// wait). Zero or negative: GOMAXPROCS.
+	MaxConcurrentJobs int
+}
+
+// Progress is a job's gather fan-out position.
+type Progress struct {
+	Done  int `json:"done"`
+	Total int `json:"total"`
+}
+
+// job is one submitted unit of work.
+type job struct {
+	id   string
+	kind JobKind
+	req  JobRequest
+
+	cancel context.CancelFunc
+	doneCh chan struct{}
+
+	mu       sync.Mutex
+	state    JobState
+	errMsg   string
+	progress Progress
+	result   []byte
+	degraded bool
+}
+
+func (j *job) snapshot() (JobState, string, Progress) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state, j.errMsg, j.progress
+}
+
+// JobStatus is the poll-endpoint view of a job.
+type JobStatus struct {
+	ID    string   `json:"id"`
+	Kind  JobKind  `json:"kind"`
+	State JobState `json:"state"`
+	Error string   `json:"error,omitempty"`
+	// Degraded marks a done job whose result rests on incomplete data
+	// (dropped samples or quarantined events under fault injection).
+	Degraded bool      `json:"degraded,omitempty"`
+	Progress *Progress `json:"progress,omitempty"`
+}
+
+// FaultStats aggregates the resilience accounting of every completed
+// job: retry/recovery totals from the fault-injection layer and how
+// many jobs finished on degraded data.
+type FaultStats struct {
+	Retries      int64  `json:"retries"`
+	Recovered    int64  `json:"recovered"`
+	DegradedJobs uint64 `json:"degraded_jobs"`
+}
+
+// JobCounters counts jobs by lifecycle outcome. Submitted, Done,
+// Failed and Aborted are monotone; Queued and Running are gauges.
+type JobCounters struct {
+	Submitted uint64 `json:"submitted"`
+	Queued    uint64 `json:"queued"`
+	Running   uint64 `json:"running"`
+	Done      uint64 `json:"done"`
+	Failed    uint64 `json:"failed"`
+	Aborted   uint64 `json:"aborted"`
+}
+
+// Stats is the /statsz payload. Every counter in it is monotone over
+// the server's lifetime except the Queued/Running gauges and Draining.
+type Stats struct {
+	Jobs         JobCounters         `json:"jobs"`
+	HTTPRequests uint64              `json:"http_requests"`
+	Cache        *memo.StatsSnapshot `json:"cache,omitempty"`
+	Faults       FaultStats          `json:"faults"`
+	Draining     bool                `json:"draining"`
+}
+
+// Server is the additivityd daemon core: an http.Handler exposing the
+// job API over a bounded job-execution pool. Create with NewServer.
+type Server struct {
+	opts Options
+	mux  *http.ServeMux
+	sem  chan struct{}
+
+	mu    sync.Mutex
+	jobs  map[string]*job
+	order []string
+
+	jobWG    sync.WaitGroup
+	draining atomic.Bool
+
+	nextID        atomic.Uint64
+	httpRequests  atomic.Uint64
+	jobsSubmitted atomic.Uint64
+	jobsDone      atomic.Uint64
+	jobsFailed    atomic.Uint64
+	jobsAborted   atomic.Uint64
+	faultRetries  atomic.Int64
+	faultRecov    atomic.Int64
+	degradedJobs  atomic.Uint64
+}
+
+// NewServer returns a daemon core serving the job API:
+//
+//	GET    /healthz              liveness probe
+//	GET    /statsz               cache, job and fault counters
+//	POST   /v1/jobs              submit a job (JobRequest body)
+//	GET    /v1/jobs              list jobs in submission order
+//	GET    /v1/jobs/{id}         poll one job (optional ?wait=2s)
+//	GET    /v1/jobs/{id}/result  fetch a done job's payload
+//	DELETE /v1/jobs/{id}         abort a queued or running job
+func NewServer(opts Options) *Server {
+	n := opts.MaxConcurrentJobs
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	s := &Server{
+		opts: opts,
+		sem:  make(chan struct{}, n),
+		jobs: make(map[string]*job),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /statsz", s.handleStatsz)
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handlePoll)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleAbort)
+	s.mux = mux
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.httpRequests.Add(1)
+	s.mux.ServeHTTP(w, r)
+}
+
+// errorBody is the structured error envelope every non-2xx response
+// carries.
+type errorBody struct {
+	Error struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, code, message string) {
+	var body errorBody
+	body.Error.Code = code
+	body.Error.Message = message
+	writeJSON(w, status, body)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte("ok\n"))
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// Stats snapshots the server's counters (the /statsz payload).
+func (s *Server) Stats() Stats {
+	var st Stats
+	st.Jobs.Submitted = s.jobsSubmitted.Load()
+	st.Jobs.Done = s.jobsDone.Load()
+	st.Jobs.Failed = s.jobsFailed.Load()
+	st.Jobs.Aborted = s.jobsAborted.Load()
+	s.mu.Lock()
+	for _, id := range s.order {
+		switch s.jobs[id].snapshotState() {
+		case StateQueued:
+			st.Jobs.Queued++
+		case StateRunning:
+			st.Jobs.Running++
+		}
+	}
+	s.mu.Unlock()
+	st.HTTPRequests = s.httpRequests.Load()
+	if s.opts.Cache != nil {
+		cs := s.opts.Cache.Stats()
+		st.Cache = &cs
+	}
+	st.Faults = FaultStats{
+		Retries:      s.faultRetries.Load(),
+		Recovered:    s.faultRecov.Load(),
+		DegradedJobs: s.degradedJobs.Load(),
+	}
+	st.Draining = s.draining.Load()
+	return st
+}
+
+func (j *job) snapshotState() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "draining",
+			"server is draining: not accepting new jobs")
+		return
+	}
+	var req JobRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "malformed_json",
+			"request body is not a valid job request: "+err.Error())
+		return
+	}
+	if err := req.Normalize(); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid_request", err.Error())
+		return
+	}
+	st := s.Submit(req)
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+// Submit enqueues a normalised job and returns its initial status. The
+// request must already be valid (HTTP submissions are normalised by the
+// handler; direct callers should call Normalize first).
+func (s *Server) Submit(req JobRequest) JobStatus {
+	id := "job-" + strconv.FormatUint(s.nextID.Add(1), 10)
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &job{
+		id: id, kind: req.Kind, req: req,
+		cancel: cancel, doneCh: make(chan struct{}),
+		state: StateQueued,
+	}
+	s.mu.Lock()
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	s.mu.Unlock()
+	s.jobsSubmitted.Add(1)
+	s.jobWG.Add(1)
+	go s.run(ctx, j)
+	return JobStatus{ID: id, Kind: j.kind, State: StateQueued}
+}
+
+// run executes one job on the bounded pool and settles its terminal
+// state.
+func (s *Server) run(ctx context.Context, j *job) {
+	defer s.jobWG.Done()
+	defer close(j.doneCh)
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	case <-ctx.Done():
+		s.finish(j, nil, nil, ctx.Err())
+		return
+	}
+	if ctx.Err() != nil {
+		s.finish(j, nil, nil, ctx.Err())
+		return
+	}
+	j.mu.Lock()
+	j.state = StateRunning
+	j.mu.Unlock()
+	payload, report, err := executeCached(ctx, s.opts.Cache, j.req, hooks{
+		progress: func(done, total int) {
+			j.mu.Lock()
+			j.progress = Progress{Done: done, Total: total}
+			j.mu.Unlock()
+		},
+	})
+	s.finish(j, payload, report, err)
+}
+
+// finish settles a job's terminal state and folds its resilience
+// accounting into the server counters.
+func (s *Server) finish(j *job, payload []byte, report *core.CheckReport, err error) {
+	j.mu.Lock()
+	switch {
+	case err == nil:
+		j.state = StateDone
+		j.result = payload
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		j.state = StateAborted
+		j.errMsg = "job aborted"
+	default:
+		j.state = StateFailed
+		j.errMsg = err.Error()
+	}
+	state := j.state
+	j.mu.Unlock()
+	switch state {
+	case StateDone:
+		s.jobsDone.Add(1)
+	case StateAborted:
+		s.jobsAborted.Add(1)
+	default:
+		s.jobsFailed.Add(1)
+	}
+	if report != nil {
+		s.faultRetries.Add(report.Retries)
+		s.faultRecov.Add(report.Recovered)
+		if report.Degraded() {
+			s.degradedJobs.Add(1)
+			j.mu.Lock()
+			j.degraded = true
+			j.mu.Unlock()
+		}
+	}
+}
+
+func (s *Server) lookup(id string) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+func (s *Server) status(j *job) JobStatus {
+	j.mu.Lock()
+	st := JobStatus{ID: j.id, Kind: j.kind, State: j.state, Error: j.errMsg, Degraded: j.degraded}
+	if j.progress.Total > 0 {
+		p := j.progress
+		st.Progress = &p
+	}
+	j.mu.Unlock()
+	return st
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	ids := make([]string, len(s.order))
+	copy(ids, s.order)
+	s.mu.Unlock()
+	out := make([]JobStatus, 0, len(ids))
+	for _, id := range ids {
+		if j := s.lookup(id); j != nil {
+			out = append(out, s.status(j))
+		}
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Jobs []JobStatus `json:"jobs"`
+	}{Jobs: out})
+}
+
+func (s *Server) handlePoll(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "unknown_job",
+			"no job "+r.PathValue("id"))
+		return
+	}
+	if waitStr := r.URL.Query().Get("wait"); waitStr != "" {
+		d, err := time.ParseDuration(waitStr)
+		if err != nil || d < 0 {
+			writeError(w, http.StatusBadRequest, "invalid_request",
+				"wait must be a non-negative duration, got "+waitStr)
+			return
+		}
+		const maxWait = 30 * time.Second
+		if d > maxWait {
+			d = maxWait
+		}
+		timer := time.NewTimer(d)
+		defer timer.Stop()
+		select {
+		case <-j.doneCh:
+		case <-timer.C:
+		case <-r.Context().Done():
+		}
+	}
+	writeJSON(w, http.StatusOK, s.status(j))
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "unknown_job",
+			"no job "+r.PathValue("id"))
+		return
+	}
+	state, errMsg, _ := j.snapshot()
+	switch state {
+	case StateDone:
+		j.mu.Lock()
+		result := j.result
+		j.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(result)
+	case StateFailed:
+		writeError(w, http.StatusConflict, "job_failed", errMsg)
+	case StateAborted:
+		writeError(w, http.StatusConflict, "job_aborted", "job was aborted")
+	default:
+		writeError(w, http.StatusConflict, "not_finished",
+			fmt.Sprintf("job is %s; poll until done", state))
+	}
+}
+
+func (s *Server) handleAbort(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "unknown_job",
+			"no job "+r.PathValue("id"))
+		return
+	}
+	j.cancel()
+	writeJSON(w, http.StatusOK, s.status(j))
+}
+
+// Abort cancels a job by id (the DELETE endpoint's direct form).
+// Aborting a terminal job is a no-op; the return reports whether the
+// job exists.
+func (s *Server) Abort(id string) bool {
+	j := s.lookup(id)
+	if j == nil {
+		return false
+	}
+	j.cancel()
+	return true
+}
+
+// StartDraining flips the server into drain mode: new submissions are
+// refused with 503 while queued and running jobs continue to
+// completion.
+func (s *Server) StartDraining() { s.draining.Store(true) }
+
+// Drain blocks until every in-flight job has settled or ctx expires.
+// Call StartDraining first so the in-flight set cannot grow.
+func (s *Server) Drain(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		s.jobWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("service: drain interrupted: %w", ctx.Err())
+	}
+}
+
+// AbortAll cancels every non-terminal job — the forced-shutdown path
+// when a drain deadline expires.
+func (s *Server) AbortAll() {
+	s.mu.Lock()
+	ids := make([]string, len(s.order))
+	copy(ids, s.order)
+	s.mu.Unlock()
+	for _, id := range ids {
+		if j := s.lookup(id); j != nil {
+			j.cancel()
+		}
+	}
+}
+
+// WaitJob blocks until the job settles or ctx expires, returning its
+// final status. Used by in-process callers (tests, the facade).
+func (s *Server) WaitJob(ctx context.Context, id string) (JobStatus, error) {
+	j := s.lookup(id)
+	if j == nil {
+		return JobStatus{}, fmt.Errorf("service: no job %s", id)
+	}
+	select {
+	case <-j.doneCh:
+		return s.status(j), nil
+	case <-ctx.Done():
+		return JobStatus{}, ctx.Err()
+	}
+}
+
+// JobResult returns a done job's canonical payload.
+func (s *Server) JobResult(id string) ([]byte, error) {
+	j := s.lookup(id)
+	if j == nil {
+		return nil, fmt.Errorf("service: no job %s", id)
+	}
+	state, errMsg, _ := j.snapshot()
+	if state != StateDone {
+		if errMsg == "" {
+			errMsg = string(state)
+		}
+		return nil, fmt.Errorf("service: job %s is %s: %s", id, state, errMsg)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result, nil
+}

@@ -1,0 +1,119 @@
+#!/usr/bin/env bash
+# load_check.sh — boot additivityd (built with -race), replay a short
+# skewed trace against it with additivity-load, and require a clean run:
+# zero failed or aborted jobs, and single-flight merges observed on the
+# daemon's shared cache (the skewed trace's concurrent duplicates must
+# collapse onto in-flight twins, not run twice).
+#
+# Usage: [OUT=report.json] [RACE=0] scripts/load_check.sh [jobs] [players]
+#
+# OUT copies the final load report out of the temp dir (the BENCH_PR6
+# recording path); RACE=0 builds the daemon without the race detector
+# so recorded throughput is undistorted.
+set -u
+
+JOBS="${1:-200}"
+PLAYERS="${2:-8}"
+OUT="${OUT:-}"
+RACE="${RACE:-1}"
+DIR="$(mktemp -d)"
+DAEMON_PID=""
+cleanup() {
+    [ -n "$DAEMON_PID" ] && kill "$DAEMON_PID" 2>/dev/null
+    rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+# The daemon runs under the race detector by default: the load replay
+# doubles as a concurrency test of the whole service surface.
+RACEFLAG="-race"
+[ "$RACE" = "0" ] && RACEFLAG=""
+go build $RACEFLAG -o "$DIR/additivityd" ./cmd/additivityd || exit 1
+go build -o "$DIR/additivity-load" ./cmd/additivity-load || exit 1
+
+echo "booting additivityd${RACEFLAG:+ (race-instrumented)} on an ephemeral port..."
+"$DIR/additivityd" -addr 127.0.0.1:0 -max-jobs "$PLAYERS" \
+    >"$DIR/daemon.out" 2>"$DIR/daemon.err" &
+DAEMON_PID=$!
+
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's/^listening on //p' "$DIR/daemon.out" | head -1)
+    [ -n "$ADDR" ] && break
+    if ! kill -0 "$DAEMON_PID" 2>/dev/null; then
+        echo "FAIL: daemon exited during startup" >&2
+        cat "$DIR/daemon.err" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+if [ -z "$ADDR" ]; then
+    echo "FAIL: daemon never announced its address" >&2
+    cat "$DIR/daemon.err" >&2
+    exit 1
+fi
+echo "daemon listening on $ADDR"
+
+echo "replaying a ${JOBS}-job skewed trace with ${PLAYERS} players..."
+"$DIR/additivity-load" -url "http://$ADDR" \
+    -gen skewed -jobs "$JOBS" -players "$PLAYERS" \
+    -out "$DIR/report.json" >"$DIR/load.out" 2>"$DIR/load.err" || {
+    echo "FAIL: load replay reported failed or aborted jobs" >&2
+    cat "$DIR/load.out" "$DIR/load.err" >&2
+    exit 1
+}
+cat "$DIR/load.out"
+
+MERGES=$(grep -o '"single_flight_merges":[0-9]*' "$DIR/load.out" \
+    | head -1 | grep -o '[0-9]*$')
+if [ -z "$MERGES" ] || [ "$MERGES" -eq 0 ]; then
+    echo "FAIL: skewed replay produced no single-flight merges" >&2
+    exit 1
+fi
+
+if [ -n "$OUT" ]; then
+    # Replay the same trace once more against the now-warm daemon: the
+    # recorded artifact carries warm-path throughput (every job served
+    # from the job-level cache) alongside the cold first replay.
+    echo "replaying again against the warm daemon..."
+    "$DIR/additivity-load" -url "http://$ADDR" \
+        -gen skewed -jobs "$JOBS" -players "$PLAYERS" \
+        -out "$DIR/warm.json" >"$DIR/warm.out" 2>/dev/null || {
+        echo "FAIL: warm replay reported failed or aborted jobs" >&2
+        cat "$DIR/warm.out" >&2
+        exit 1
+    }
+    cat "$DIR/warm.out"
+    {
+        echo '{'
+        echo '  "cold":'
+        sed 's/^/  /' "$DIR/report.json" | sed '$s/$/,/'
+        echo '  "warm":'
+        sed 's/^/  /' "$DIR/warm.json"
+        echo '}'
+    } >"$OUT"
+    echo "wrote cold+warm load reports to $OUT"
+fi
+
+# SIGTERM must drain cleanly: exit 0 with no jobs failed or aborted.
+kill -TERM "$DAEMON_PID"
+wait "$DAEMON_PID"
+STATUS=$?
+DAEMON_PID=""
+if [ "$STATUS" -ne 0 ]; then
+    echo "FAIL: daemon exited $STATUS after SIGTERM" >&2
+    cat "$DIR/daemon.err" >&2
+    exit 1
+fi
+if ! grep -q 'drained:.*0 failed, 0 aborted' "$DIR/daemon.err"; then
+    echo "FAIL: drain log reports failed or aborted jobs" >&2
+    cat "$DIR/daemon.err" >&2
+    exit 1
+fi
+if grep -q 'DATA RACE' "$DIR/daemon.err"; then
+    echo "FAIL: race detector fired in the daemon" >&2
+    cat "$DIR/daemon.err" >&2
+    exit 1
+fi
+
+echo "PASS: ${JOBS} jobs replayed clean with ${MERGES} single-flight merges and a clean drain"
