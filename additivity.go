@@ -3,6 +3,7 @@ package additivity
 import (
 	"context"
 
+	"additivity/internal/analytic"
 	"additivity/internal/core"
 	"additivity/internal/dataset"
 	"additivity/internal/energy"
@@ -340,6 +341,34 @@ func RunClassB(cfg ClassBConfig) (*ClassBResult, error) { return experiments.Run
 // RunClassC regenerates Table 7b from the Class B result.
 func RunClassC(b *ClassBResult) (*ClassCResult, error) { return experiments.RunClassC(b) }
 
+// Analytic energy modelling: the roofline-style closed-form model the
+// service's predict fast path answers from (no collection runs).
+type (
+	// AnalyticModel predicts dynamic energy from platform catalog
+	// parameters alone.
+	AnalyticModel = analytic.Model
+	// AnalyticParams are a platform's derived roofline parameters.
+	AnalyticParams = analytic.Params
+	// AnalyticPrediction is one closed-form energy estimate.
+	AnalyticPrediction = analytic.Prediction
+	// AnalyticConfig parameterises the analytic-vs-trained comparison.
+	AnalyticConfig = experiments.AnalyticConfig
+	// AnalyticResult holds the comparison's accuracy table.
+	AnalyticResult = experiments.AnalyticResult
+)
+
+// NewAnalyticModel derives the closed-form model for a platform.
+func NewAnalyticModel(p *Platform) *AnalyticModel { return analytic.New(p) }
+
+// AnalyticParamsFor derives a platform's roofline parameters.
+func AnalyticParamsFor(p *Platform) AnalyticParams { return analytic.ParamsFor(p) }
+
+// RunAnalyticComparison evaluates the analytic model against the
+// trained families (LR, RF, NN) on a held-out DGEMM/FFT split.
+func RunAnalyticComparison(cfg AnalyticConfig) (*AnalyticResult, error) {
+	return experiments.RunAnalyticComparison(cfg)
+}
+
 // AdditivityStudy is a whole-catalog additivity survey with tolerance
 // sensitivity.
 type (
@@ -531,7 +560,8 @@ type (
 	// JobParams parameterises a job; zero values take kind-specific
 	// defaults under Normalize.
 	JobParams = service.JobParams
-	// JobKind names a job family ("check", "train" or "dataset").
+	// JobKind names a job family ("check", "train", "dataset" or
+	// "predict").
 	JobKind = service.JobKind
 	// JobStatus is the poll-endpoint view of a job.
 	JobStatus = service.JobStatus
@@ -545,6 +575,8 @@ type (
 	TrainJobResult = service.TrainResult
 	// DatasetJobResult is the canonical payload of a dataset job.
 	DatasetJobResult = service.DatasetResult
+	// PredictJobResult is the canonical payload of a predict job.
+	PredictJobResult = service.PredictResult
 	// LoadTrace is a replayable workload trace for the load harness.
 	LoadTrace = loadgen.Trace
 	// LoadGenConfig parameterises deterministic trace generation.

@@ -15,8 +15,11 @@
 // With -trace, the named trace file is replayed. Otherwise a trace is
 // generated deterministically from (-gen, -jobs, -distinct, -seed,
 // -platform); -write-trace saves it for later byte-identical replays.
-// A skewed trace is duplicate-heavy (Zipf job mix) — the shape that
-// makes the cache's single-flight merges observable under concurrency.
+// A skewed trace is duplicate-heavy (Zipf job mix, exponent -zipf,
+// recorded in the trace header) — the shape that makes the cache's
+// single-flight merges observable under concurrency. -predict-share
+// mixes in analytic predict identities, the service's synchronous
+// fast path.
 package main
 
 import (
@@ -28,6 +31,7 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"runtime/pprof"
 	"strings"
 
 	"additivity/internal/loadgen"
@@ -45,7 +49,10 @@ func main() {
 	platformName := flag.String("platform", "haswell", "generated trace platform")
 	datasetShare := flag.Float64("dataset-share", 0, "fraction of identities built as dataset jobs")
 	trainShare := flag.Float64("train-share", 0, "fraction of identities built as train jobs")
+	predictShare := flag.Float64("predict-share", 0, "fraction of identities built as analytic predict jobs")
+	zipf := flag.Float64("zipf", 1.2, "skewed mix Zipf exponent (must exceed 1; recorded in the trace header)")
 	players := flag.Int("players", 8, "concurrent players")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the replay here (the player side of the load)")
 	out := flag.String("out", "", "write the final report JSON here (e.g. BENCH_PR6.json)")
 	writeTrace := flag.String("write-trace", "", "save the generated trace JSON here")
 	statsz := flag.Bool("statsz", true, "fetch and print the daemon's /statsz after the run")
@@ -69,8 +76,9 @@ func main() {
 			log.Fatalf("unknown -gen %q (want uniform or skewed)", *gen)
 		}
 		trace, err = loadgen.GenerateTrace(loadgen.GenConfig{
-			Jobs: *jobs, Seed: *seed, Skewed: skewed, Distinct: *distinct,
+			Jobs: *jobs, Seed: *seed, Skewed: skewed, Zipf: *zipf, Distinct: *distinct,
 			Platform: *platformName, DatasetShare: *datasetShare, TrainShare: *trainShare,
+			PredictShare: *predictShare,
 		})
 	}
 	if err != nil {
@@ -88,6 +96,16 @@ func main() {
 	}
 
 	base := strings.TrimRight(*url, "/")
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 	report, err := loadgen.Play(loadgen.PlayConfig{
 		BaseURL: base,
 		Trace:   trace,

@@ -7,15 +7,18 @@
 // Usage:
 //
 //	additivityd [-addr host:port] [-cache-dir dir] [-max-jobs N]
-//	            [-drain-timeout dur]
+//	            [-drain-timeout dur] [-pprof-addr host:port]
 //
 // Endpoints:
 //
 //	GET    /healthz              liveness probe ("ok")
 //	GET    /statsz               cache, job and fault counters (JSON)
-//	POST   /v1/jobs              submit a job
+//	POST   /v1/jobs              submit a job (optional ?wait=2s to
+//	                             long-poll and ?result=1 to inline a
+//	                             done job's payload — the single
+//	                             round-trip fast path)
 //	GET    /v1/jobs              list jobs in submission order
-//	GET    /v1/jobs/{id}         poll one job (optional ?wait=2s)
+//	GET    /v1/jobs/{id}         poll one job (same ?wait / ?result)
 //	GET    /v1/jobs/{id}/result  fetch a done job's result payload
 //	DELETE /v1/jobs/{id}         abort a queued or running job
 //
@@ -25,6 +28,15 @@
 // exits 0. The bound address is printed to stdout as
 // "listening on <addr>" so supervisors (and the smoke tests) can bind
 // port 0 and discover the port.
+//
+// -pprof-addr (off by default) starts net/http/pprof on a second,
+// separate listener so profiling traffic never competes with — or gets
+// accounted as — job traffic. Typical capture against a loaded daemon:
+//
+//	additivityd -addr :7909 -pprof-addr 127.0.0.1:7910 &
+//	additivity-load -url http://127.0.0.1:7909 ... &
+//	go tool pprof http://127.0.0.1:7910/debug/pprof/profile?seconds=10
+//	go tool pprof http://127.0.0.1:7910/debug/pprof/allocs
 package main
 
 import (
@@ -34,6 +46,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -50,6 +63,7 @@ func main() {
 	cacheDir := flag.String("cache-dir", "", "content-addressed measurement cache directory (empty: in-memory cache only)")
 	maxJobs := flag.Int("max-jobs", 0, "maximum concurrently running jobs (0: GOMAXPROCS)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight jobs on shutdown before aborting them")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this separate listener (empty: profiling off)")
 	flag.Parse()
 
 	// The daemon always runs cache-backed: an in-memory cache still
@@ -66,6 +80,29 @@ func main() {
 		log.Fatal(err)
 	}
 	httpSrv := &http.Server{Handler: srv}
+
+	// Profiling lives on its own listener and its own mux: the job
+	// endpoint never exposes pprof (the service handler owns a private
+	// mux, so the DefaultServeMux registrations are unreachable there),
+	// and profile scrapes are not counted as job traffic.
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		log.Printf("serving pprof on http://%s/debug/pprof/", pln.Addr())
+		go func() {
+			if err := http.Serve(pln, pmux); err != nil {
+				log.Printf("pprof listener: %v", err)
+			}
+		}()
+	}
 
 	// Announce the bound address on stdout (flushed line-buffered) so
 	// callers that asked for :0 can discover the port.

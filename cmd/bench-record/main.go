@@ -26,17 +26,24 @@ import (
 	"strings"
 )
 
-// Record is one benchmark measurement.
+// Record is one benchmark measurement. BytesPerOp and AllocsPerOp are
+// always emitted — a recorded zero is a claim (a zero-alloc steady
+// state), not an absence, so it must survive in the artifact.
 type Record struct {
 	Name        string  `json:"name"`
 	Package     string  `json:"package"`
 	NsPerOp     float64 `json:"ns_per_op"`
-	BPerOp      float64 `json:"b_per_op,omitempty"`
-	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+
+	// LegacyBPerOp accepts the pre-PR7 field name when decoding old
+	// baseline files; it is never emitted (loadBaseline folds it into
+	// BytesPerOp and clears it).
+	LegacyBPerOp float64 `json:"b_per_op,omitempty"`
 
 	// Baseline comparison, present when -baseline is given.
 	BaselineNsPerOp     float64 `json:"baseline_ns_per_op,omitempty"`
-	BaselineBPerOp      float64 `json:"baseline_b_per_op,omitempty"`
+	BaselineBytesPerOp  float64 `json:"baseline_bytes_per_op,omitempty"`
 	BaselineAllocsPerOp float64 `json:"baseline_allocs_per_op,omitempty"`
 	Speedup             float64 `json:"speedup,omitempty"`
 }
@@ -105,7 +112,7 @@ func main() {
 			continue
 		}
 		r.BaselineNsPerOp = b.NsPerOp
-		r.BaselineBPerOp = b.BPerOp
+		r.BaselineBytesPerOp = b.BytesPerOp
 		r.BaselineAllocsPerOp = b.AllocsPerOp
 		if r.NsPerOp > 0 {
 			r.Speedup = round2(b.NsPerOp / r.NsPerOp)
@@ -148,7 +155,7 @@ func runPackage(pkg, benchRe, benchtime string) ([]Record, error) {
 		r := Record{Name: m[1], Package: pkg}
 		r.NsPerOp, _ = strconv.ParseFloat(m[2], 64)
 		if m[3] != "" {
-			r.BPerOp, _ = strconv.ParseFloat(m[3], 64)
+			r.BytesPerOp, _ = strconv.ParseFloat(m[3], 64)
 		}
 		if m[4] != "" {
 			r.AllocsPerOp, _ = strconv.ParseFloat(m[4], 64)
@@ -169,6 +176,10 @@ func loadBaseline(path string) (map[string]Record, error) {
 	}
 	m := make(map[string]Record, len(rep.Benchmarks))
 	for _, r := range rep.Benchmarks {
+		if r.BytesPerOp == 0 {
+			r.BytesPerOp = r.LegacyBPerOp
+		}
+		r.LegacyBPerOp = 0
 		m[r.Name] = r
 	}
 	return m, nil

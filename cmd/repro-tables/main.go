@@ -3,8 +3,12 @@
 //
 // Usage:
 //
-//	repro-tables [-table all|1|2|3|4|5|6|7a|7b|collection] [-seed N]
-//	             [-checkpoint dir] [-chaos rate] [-cache-dir dir]
+//	repro-tables [-table all|1|2|3|4|5|6|7a|7b|collection|analytic]
+//	             [-seed N] [-checkpoint dir] [-chaos rate] [-cache-dir dir]
+//
+// -table analytic renders the analytic-vs-trained serving comparison
+// (see EXPERIMENTS.md, "Two-tier serving"); it must be named explicitly
+// and is not part of -table all, which stays byte-stable across PRs.
 //
 // -checkpoint journals study progress so an interrupted run resumes with
 // byte-identical tables; -chaos injects recoverable measurement faults
@@ -32,7 +36,7 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("repro-tables: ")
-	table := flag.String("table", "all", "table to regenerate: all, 1, 2, 3, 4, 5, 6, 7a, 7b, curves, collection, study, premise, sensors, suite")
+	table := flag.String("table", "all", "table to regenerate: all, 1, 2, 3, 4, 5, 6, 7a, 7b, curves, collection, study, premise, sensors, suite, analytic (analytic must be named explicitly; it is not part of all)")
 	seed := flag.Int64("seed", additivity.DefaultSeed, "experiment seed")
 	workers := flag.Int("workers", 0, "experiment worker pool size (0: GOMAXPROCS); tables are identical for every value")
 	artifacts := flag.String("artifacts", "", "write all tables, datasets and a predictor package to this directory")
@@ -172,6 +176,20 @@ func main() {
 		if want("curves") {
 			fmt.Println(a.ErrorCurves(48))
 		}
+	}
+
+	// The analytic comparison is opt-in only (never part of "all"): the
+	// "all" output is a recorded artifact whose bytes must stay stable
+	// across releases, so new tables join it only at a major re-baseline.
+	if sel == "analytic" {
+		fmt.Fprintln(os.Stderr, "running the analytic-vs-trained comparison (Skylake)...")
+		res, err := additivity.RunAnalyticComparison(additivity.AnalyticConfig{
+			Seed: *seed + 7, Workers: *workers, Cache: cache,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(res.AnalyticTable().Render())
 	}
 
 	if want("6", "7a", "7b") {

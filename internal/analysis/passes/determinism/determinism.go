@@ -32,7 +32,7 @@ import (
 var scope = []string{
 	"internal/core", "internal/ml", "internal/mat",
 	"internal/stats", "internal/experiments", "internal/memo",
-	"internal/service", "internal/loadgen",
+	"internal/service", "internal/loadgen", "internal/analytic",
 }
 
 // forbidden maps package path -> function name -> replacement advice.

@@ -1,0 +1,187 @@
+// Package analytic implements a roofline-style analytic energy model
+// derived purely from the platform catalogs — the cheap first tier of
+// the two-tier serving pattern (Hofmann et al., "On the accuracy and
+// usefulness of analytic energy models for contemporary multicore
+// processors"). Where the paper's PMC-trained models need a gather
+// (collect counters over application runs) before they can predict,
+// the analytic model answers from closed-form catalog parameters:
+//
+//   - per-event energy coefficients (the platform's published nJ/event
+//     estimates, energy.CoefficientsFor);
+//   - a memory-bandwidth ceiling from Little's law over the line-fill
+//     buffers (64 B × 10 outstanding misses / memory latency);
+//   - a per-core static/dynamic power split (idle watts / cores,
+//     TDP headroom / cores).
+//
+// The model deliberately keeps only the coarse activity channels a
+// roofline argument can see — executed uops, flops, loads, stores and
+// DRAM lines — and estimates stall energy from the roofline gap
+// instead of a microarchitectural penalty model. Everything it omits
+// (L2-miss and branch-misprediction energy, divider/i-cache/TLB/
+// microcode events, process startup, compound-run boundary effects,
+// run-to-run noise) is exactly the error the trained tier pays a
+// gather to capture; the accuracy-comparison experiment quantifies
+// that gap (see EXPERIMENTS.md, "Two-tier serving").
+//
+// Predictions are pure functions of (platform catalog, workload,
+// size): no measurement, no RNG, no caches. A compound application's
+// prediction is the sum of its parts' — the additivity premise holds
+// exactly in this tier because the model has no run-scoped terms.
+package analytic
+
+import (
+	"additivity/internal/activity"
+	"additivity/internal/energy"
+	"additivity/internal/platform"
+	"additivity/internal/workload"
+)
+
+const (
+	// lineBytes is the DRAM transfer granularity (one cache line).
+	lineBytes = 64.0
+	// lineFillBuffers bounds per-core memory-level parallelism: the
+	// number of outstanding demand misses a core sustains while
+	// waiting on DRAM (10 LFBs on both modelled microarchitectures).
+	lineFillBuffers = 10.0
+	// parallelEfficiency is the assumed scaling efficiency of the
+	// parallel kernels across cores — the same figure the simulated
+	// machines use, treated here as a published catalog assumption.
+	parallelEfficiency = 0.88
+)
+
+// Params holds the analytic model's parameters. Every field is derived
+// from the platform catalog by ParamsFor; none is fitted.
+type Params struct {
+	Platform string  `json:"platform"`
+	Cores    int     `json:"cores"`
+	BaseGHz  float64 `json:"base_ghz"`
+	// PeakUopsPerCycle is the sustained per-core micro-op throughput
+	// ceiling (the roofline's compute roof).
+	PeakUopsPerCycle float64 `json:"peak_uops_per_cycle"`
+	// ParallelEff scales the compute roof when a kernel uses every
+	// core.
+	ParallelEff float64 `json:"parallel_eff"`
+	// MemBWCoreGBs is the per-core sustainable DRAM bandwidth ceiling
+	// in GB/s, from Little's law over the line-fill buffers.
+	MemBWCoreGBs float64 `json:"mem_bw_core_gbs"`
+	// MemBWChipGBs is the chip-wide ceiling (per-core × cores).
+	MemBWChipGBs float64 `json:"mem_bw_chip_gbs"`
+	// StaticWattsPerCore and DynamicWattsPerCore split the catalog's
+	// idle power and TDP headroom evenly across physical cores.
+	StaticWattsPerCore  float64 `json:"static_watts_per_core"`
+	DynamicWattsPerCore float64 `json:"dynamic_watts_per_core"`
+	// Coeff carries the catalog's per-event energy coefficients; the
+	// model spends only the coarse subset (uop, flop, load, store,
+	// DRAM line, stall cycle).
+	Coeff energy.Coefficients `json:"coefficients"`
+}
+
+// ParamsFor derives the analytic parameters from a platform catalog.
+func ParamsFor(spec *platform.Spec) Params {
+	memLatS := spec.MemLatCycles / (spec.BaseGHz * 1e9)
+	perCoreBs := lineBytes * lineFillBuffers / memLatS
+	cores := spec.TotalCores()
+	return Params{
+		Platform:            spec.Name,
+		Cores:               cores,
+		BaseGHz:             spec.BaseGHz,
+		PeakUopsPerCycle:    spec.PeakIPC,
+		ParallelEff:         parallelEfficiency,
+		MemBWCoreGBs:        perCoreBs / 1e9,
+		MemBWChipGBs:        perCoreBs * float64(cores) / 1e9,
+		StaticWattsPerCore:  spec.IdleWatts / float64(cores),
+		DynamicWattsPerCore: (spec.TDPWatts - spec.IdleWatts) / float64(cores),
+		Coeff:               energy.CoefficientsFor(spec),
+	}
+}
+
+// Prediction is the analytic tier's answer for one application.
+type Prediction struct {
+	// Seconds is the roofline execution-time estimate:
+	// max(compute time, memory time).
+	Seconds float64 `json:"seconds"`
+	// DynamicJoules is the predicted dynamic energy — the quantity the
+	// paper's trained models predict and the comparison experiment
+	// scores.
+	DynamicJoules float64 `json:"dynamic_joules"`
+	// StaticJoules charges the per-core static split for the active
+	// cores over the predicted time.
+	StaticJoules float64 `json:"static_joules"`
+	// MemoryBound reports which roof the prediction sits on.
+	MemoryBound bool `json:"memory_bound"`
+}
+
+// TotalJoules is the metered-energy analogue: dynamic plus static.
+func (p Prediction) TotalJoules() float64 { return p.DynamicJoules + p.StaticJoules }
+
+// Model is the analytic tier for one platform.
+type Model struct {
+	Spec   *platform.Spec
+	Params Params
+}
+
+// New builds the analytic model for a platform.
+func New(spec *platform.Spec) *Model {
+	return &Model{Spec: spec, Params: ParamsFor(spec)}
+}
+
+// PredictApp predicts one base application from its catalog profile.
+func (m *Model) PredictApp(app workload.App) Prediction {
+	v := app.Profile(m.Spec)
+	p := m.Params
+
+	uops := v.Get(activity.UopsExecuted)
+	dramBytes := v.Get(activity.L3Miss) * lineBytes
+
+	cores := 1.0
+	bwBs := p.MemBWCoreGBs * 1e9
+	activeCores := 1.0
+	if app.Workload.Parallel() {
+		cores = float64(p.Cores) * p.ParallelEff
+		bwBs = p.MemBWChipGBs * 1e9
+		activeCores = float64(p.Cores)
+	}
+
+	tCompute := uops / (p.PeakUopsPerCycle * cores * p.BaseGHz * 1e9)
+	tMem := dramBytes / bwBs
+	seconds := tCompute
+	memoryBound := false
+	if tMem > tCompute {
+		seconds = tMem
+		memoryBound = true
+	}
+
+	// Roofline stall estimate: core cycles spent under the memory roof
+	// beyond the compute roof. This replaces the trained tier's
+	// microarchitectural penalty model.
+	stallCycles := (seconds - tCompute) * cores * p.BaseGHz * 1e9
+
+	c := p.Coeff
+	dynNJ := uops*c.PerUopExecuted +
+		v.Get(activity.FPDouble)*c.PerFPDouble +
+		v.Get(activity.Loads)*c.PerLoad +
+		v.Get(activity.Stores)*c.PerStore +
+		v.Get(activity.L3Miss)*c.PerL3Miss +
+		stallCycles*c.PerStallCycle
+
+	return Prediction{
+		Seconds:       seconds,
+		DynamicJoules: dynNJ * 1e-9,
+		StaticJoules:  p.StaticWattsPerCore * activeCores * seconds,
+		MemoryBound:   memoryBound,
+	}
+}
+
+// Predict predicts a serial composition of applications as the sum of
+// its parts — the additivity premise, exact in this tier.
+func (m *Model) Predict(parts ...workload.App) Prediction {
+	var out Prediction
+	for _, part := range parts {
+		p := m.PredictApp(part)
+		out.Seconds += p.Seconds
+		out.DynamicJoules += p.DynamicJoules
+		out.StaticJoules += p.StaticJoules
+		out.MemoryBound = out.MemoryBound || p.MemoryBound
+	}
+	return out
+}

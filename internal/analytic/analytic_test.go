@@ -1,0 +1,127 @@
+package analytic
+
+import (
+	"testing"
+
+	"additivity/internal/energy"
+	"additivity/internal/platform"
+	"additivity/internal/stats"
+	"additivity/internal/workload"
+)
+
+func TestParamsDerivedFromCatalog(t *testing.T) {
+	for _, spec := range platform.Platforms() {
+		p := ParamsFor(spec)
+		if p.Platform != spec.Name {
+			t.Errorf("%s: platform name %q", spec.Name, p.Platform)
+		}
+		if p.Cores != spec.TotalCores() {
+			t.Errorf("%s: cores %d want %d", spec.Name, p.Cores, spec.TotalCores())
+		}
+		if p.MemBWCoreGBs <= 0 || p.MemBWChipGBs <= p.MemBWCoreGBs {
+			t.Errorf("%s: bandwidth ceilings %.2f/%.2f GB/s not ordered",
+				spec.Name, p.MemBWCoreGBs, p.MemBWChipGBs)
+		}
+		if p.StaticWattsPerCore <= 0 || p.DynamicWattsPerCore <= 0 {
+			t.Errorf("%s: power split %.2f/%.2f W not positive",
+				spec.Name, p.StaticWattsPerCore, p.DynamicWattsPerCore)
+		}
+		// The split must re-sum to the catalog's chip-level figures.
+		if !stats.ApproxEqual(p.StaticWattsPerCore*float64(p.Cores), spec.IdleWatts, 1e-9) {
+			t.Errorf("%s: static split does not re-sum to idle watts", spec.Name)
+		}
+		if !stats.ApproxEqual(p.DynamicWattsPerCore*float64(p.Cores), spec.TDPWatts-spec.IdleWatts, 1e-9) {
+			t.Errorf("%s: dynamic split does not re-sum to the TDP headroom", spec.Name)
+		}
+	}
+}
+
+func TestPredictionsDeterministic(t *testing.T) {
+	spec := platform.Skylake()
+	a, b := New(spec), New(spec)
+	for _, app := range workload.BaseApps(workload.DiverseSuite()) {
+		pa, pb := a.PredictApp(app), b.PredictApp(app)
+		if !stats.SameFloat(pa.DynamicJoules, pb.DynamicJoules) ||
+			!stats.SameFloat(pa.Seconds, pb.Seconds) {
+			t.Fatalf("%s: two models disagree: %+v vs %+v", app.Name(), pa, pb)
+		}
+	}
+}
+
+func TestCompoundPredictionIsSumOfParts(t *testing.T) {
+	m := New(platform.Haswell())
+	w, err := workload.ByName("mkl-dgemm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := workload.ByName("mkl-fft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := workload.App{Workload: w, Size: 8000}
+	b := workload.App{Workload: f, Size: 24000}
+	sum := m.Predict(a, b)
+	pa, pb := m.PredictApp(a), m.PredictApp(b)
+	if !stats.SameFloat(sum.DynamicJoules, pa.DynamicJoules+pb.DynamicJoules) {
+		t.Errorf("dynamic energy not additive: %v vs %v",
+			sum.DynamicJoules, pa.DynamicJoules+pb.DynamicJoules)
+	}
+	if !stats.SameFloat(sum.Seconds, pa.Seconds+pb.Seconds) {
+		t.Errorf("time not additive: %v vs %v", sum.Seconds, pa.Seconds+pb.Seconds)
+	}
+}
+
+func TestRooflineClassifiesWorkloads(t *testing.T) {
+	m := New(platform.Haswell())
+	dgemm, err := workload.ByName("mkl-dgemm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := workload.ByName("stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := m.PredictApp(workload.App{Workload: dgemm, Size: 16000}); p.MemoryBound {
+		t.Errorf("dgemm classified memory bound: %+v", p)
+	}
+	if p := m.PredictApp(workload.App{Workload: stream, Size: stream.DefaultSizes()[len(stream.DefaultSizes())-1]}); !p.MemoryBound {
+		t.Errorf("stream classified compute bound: %+v", p)
+	}
+}
+
+func TestPredictionGrowsWithSize(t *testing.T) {
+	m := New(platform.Skylake())
+	w, err := workload.ByName("mkl-dgemm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := m.PredictApp(workload.App{Workload: w, Size: 6400})
+	large := m.PredictApp(workload.App{Workload: w, Size: 12800})
+	if large.DynamicJoules <= small.DynamicJoules || large.Seconds <= small.Seconds {
+		t.Errorf("prediction not monotone in size: %+v vs %+v", small, large)
+	}
+}
+
+// TestCoarseModelTracksGroundTruth bounds the analytic tier's modelling
+// error against the ground-truth energy law applied to the same
+// profile: the coarse channels must carry most of the energy, and the
+// omitted channels (L2 misses, branch flushes, TLB walks, microcode)
+// must make the analytic prediction an underestimate of bounded size.
+func TestCoarseModelTracksGroundTruth(t *testing.T) {
+	for _, spec := range platform.Platforms() {
+		m := New(spec)
+		coeff := energy.CoefficientsFor(spec)
+		for _, app := range workload.BaseApps(workload.DiverseSuite()) {
+			truth := coeff.DynamicJoules(app.Profile(spec))
+			pred := m.PredictApp(app).DynamicJoules
+			if truth <= 0 {
+				t.Fatalf("%s/%s: non-positive ground truth %v", spec.Name, app.Name(), truth)
+			}
+			rel := (pred - truth) / truth
+			if rel < -0.60 || rel > 0.60 {
+				t.Errorf("%s/%s: analytic prediction off by %.0f%% (pred %.1f J, truth %.1f J)",
+					spec.Name, app.Name(), rel*100, pred, truth)
+			}
+		}
+	}
+}

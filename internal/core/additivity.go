@@ -132,12 +132,16 @@ func (a *appCounts) cv(event string) float64 {
 }
 
 // gather collects Reps samples of every event for one application on
-// the given collector.
-func (ch *Checker) gather(col *pmc.Collector, events []platform.Event, parts ...workload.App) (*appCounts, error) {
+// the given collector, reusing the check-wide collection plan: the
+// register packing is computed once per Check call (not once per rep
+// per task, as Collect would), and one counts map serves every rep.
+// Events that delivered no sample in a rep stay absent from that rep's
+// slice, exactly as before, so record payloads are byte-identical.
+func (ch *Checker) gather(col *pmc.Collector, sched *pmc.Schedule, events []platform.Event, parts ...workload.App) (*appCounts, error) {
 	out := &appCounts{samples: make(map[string][]float64, len(events))}
+	counts := make(pmc.Counts, len(events))
 	for r := 0; r < ch.Config.Reps; r++ {
-		counts, _, err := col.Collect(events, parts...)
-		if err != nil {
+		if _, err := col.CollectScheduledInto(sched, counts, parts...); err != nil {
 			return nil, err
 		}
 		for k, v := range counts {
@@ -245,6 +249,14 @@ func (ch *Checker) CheckWithReportContext(ctx context.Context, events []platform
 		tasks[i].key = ch.unitKey(events, tasks[i])
 	}
 
+	// Plan the register packing once for the whole check: every task and
+	// every rep reuses it (the schedule is immutable and shared across
+	// the fan-out's collector forks).
+	sched, err := pmc.NewSchedule(events, ch.Collector.Machine.Spec.Registers)
+	if err != nil {
+		return nil, nil, err
+	}
+
 	// Canonicalise the gather plan before fan-out: walk the naive plan —
 	// every compound re-gathering each of its bases plus itself — and
 	// collapse digest-equal unit references. Shared bases dedup to one
@@ -288,13 +300,13 @@ func (ch *Checker) CheckWithReportContext(ctx context.Context, events []platform
 			}
 			out := &taskOutcome{}
 			if ch.Cache != nil {
-				rec, outcome, rejected, err := ch.cachedTask(events, t)
+				rec, outcome, rejected, err := ch.cachedTask(sched, events, t)
 				if err != nil {
 					return nil, err
 				}
 				out.rec, out.cached, out.outcome, out.rejected = rec, true, outcome, rejected
 			} else {
-				rec, err := ch.measureTask(events, t)
+				rec, err := ch.measureTask(sched, events, t)
 				if err != nil {
 					return nil, err
 				}

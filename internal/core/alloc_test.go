@@ -1,0 +1,69 @@
+package core
+
+import (
+	"testing"
+
+	"additivity/internal/machine"
+	"additivity/internal/platform"
+	"additivity/internal/pmc"
+	"additivity/internal/workload"
+)
+
+// TestPlannedGatherAllocatesLessThanUnplanned is the allocation
+// regression gate for the batched gather plan: collecting on a
+// precomputed schedule into a reused counts map must allocate strictly
+// less than the plan-per-call Collect path it replaced. The budget is
+// comparative rather than absolute because the machine model underneath
+// allocates per run; what the plan eliminates is the per-call schedule
+// construction and the per-rep result map.
+func TestPlannedGatherAllocatesLessThanUnplanned(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts differ under the race runtime")
+	}
+	spec := platform.Haswell()
+	m := machine.New(spec, 99)
+	col := pmc.NewCollector(m, 99)
+	events := classAEvents(t)
+	app := workload.App{Workload: workload.DGEMM(), Size: 8000}
+
+	sched, err := pmc.NewSchedule(events, spec.Registers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(pmc.Counts, len(events))
+	// Warm both paths once so lazy machine state is settled.
+	if _, err := col.CollectScheduledInto(sched, counts, app); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := col.Collect(events, app); err != nil {
+		t.Fatal(err)
+	}
+
+	planned := testing.AllocsPerRun(50, func() {
+		if _, err := col.CollectScheduledInto(sched, counts, app); err != nil {
+			t.Fatal(err)
+		}
+	})
+	unplanned := testing.AllocsPerRun(50, func() {
+		if _, _, err := col.Collect(events, app); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if planned > unplanned-5 {
+		t.Errorf("planned gather allocates %.1f/op vs unplanned %.1f/op; want at least 5 fewer",
+			planned, unplanned)
+	}
+
+	// The planned path's count must also be roughly stable run to run —
+	// a large drift means per-call state is leaking into the steady
+	// state. A few allocs of jitter are expected: the fault-injection
+	// layer takes occasional retry branches that allocate.
+	again := testing.AllocsPerRun(50, func() {
+		if _, err := col.CollectScheduledInto(sched, counts, app); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if diff := again - planned; diff > 10 || diff < -10 {
+		t.Errorf("planned gather allocs drifted: %.1f then %.1f", planned, again)
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"additivity/internal/memo"
 	"additivity/internal/platform"
+	"additivity/internal/pmc"
 )
 
 // gatherKeySchema versions the cache key schema for additivity gather
@@ -57,10 +58,11 @@ func degradedRecord(rec taskRecord) bool {
 }
 
 // measureTask runs one gather unit fresh on a collector forked from the
-// task's label and packages the result as a taskRecord.
-func (ch *Checker) measureTask(events []platform.Event, t gatherTask) (taskRecord, error) {
+// task's label and packages the result as a taskRecord. The shared
+// schedule carries the check-wide register packing.
+func (ch *Checker) measureTask(sched *pmc.Schedule, events []platform.Event, t gatherTask) (taskRecord, error) {
 	col := ch.Collector.Fork(t.label)
-	ac, err := ch.gather(col, events, t.parts...)
+	ac, err := ch.gather(col, sched, events, t.parts...)
 	if err != nil {
 		return taskRecord{}, err
 	}
@@ -83,11 +85,11 @@ func (ch *Checker) measureTask(events []platform.Event, t gatherTask) (taskRecor
 // degraded regime are returned but never retained; a served entry that
 // decodes as degraded or unparsable is rejected and re-measured fresh.
 // The outcome is folded into the report's cache counters by the caller.
-func (ch *Checker) cachedTask(events []platform.Event, t gatherTask) (rec taskRecord, out memo.Outcome, rejected bool, err error) {
+func (ch *Checker) cachedTask(sched *pmc.Schedule, events []platform.Event, t gatherTask) (rec taskRecord, out memo.Outcome, rejected bool, err error) {
 	var fresh taskRecord
 	computed := false
 	payload, out, err := ch.Cache.GetOrCompute(t.key, func() ([]byte, bool, error) {
-		r, err := ch.measureTask(events, t)
+		r, err := ch.measureTask(sched, events, t)
 		if err != nil {
 			return nil, false, err
 		}
@@ -109,7 +111,7 @@ func (ch *Checker) cachedTask(events []platform.Event, t gatherTask) (rec taskRe
 	if jerr := json.Unmarshal(payload, &rec); jerr != nil || rec.Samples == nil || degradedRecord(rec) {
 		// Serve-side guard: a cached entry must decode to a complete,
 		// non-degraded record or it is not trusted — re-measure.
-		rec, err = ch.measureTask(events, t)
+		rec, err = ch.measureTask(sched, events, t)
 		return rec, out, true, err
 	}
 	return rec, out, false, nil

@@ -1,0 +1,7 @@
+//go:build race
+
+package core
+
+// raceEnabled relaxes allocation budgets: the race runtime instruments
+// allocations, so AllocsPerRun counts differ under -race.
+const raceEnabled = true

@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"additivity/internal/analytic"
+	"additivity/internal/dataset"
+	"additivity/internal/machine"
+	"additivity/internal/memo"
+	"additivity/internal/ml"
+	"additivity/internal/parallel"
+	"additivity/internal/platform"
+	"additivity/internal/pmc"
+	"additivity/internal/stats"
+	"additivity/internal/workload"
+)
+
+// AnalyticConfig parameterises the analytic-vs-trained accuracy
+// comparison; zero values take the experiment's defaults.
+type AnalyticConfig struct {
+	// Seed drives the dataset measurement and the train/test split
+	// (default DefaultSeed+7 — offsets 0..6 belong to earlier
+	// experiments, and reusing one would alias their RNG streams).
+	Seed int64
+	// TestPoints is the held-out evaluation size (default 15).
+	TestPoints int
+	// Workers bounds the model-fitting concurrency (zero or negative:
+	// GOMAXPROCS). The table is byte-identical for every worker count.
+	Workers int
+	// Cache/CacheDir back the dataset stage with the content-addressed
+	// measurement cache (Cache takes precedence).
+	Cache    *memo.Cache
+	CacheDir string
+}
+
+func (c *AnalyticConfig) fill() {
+	if c.Seed == 0 {
+		c.Seed = DefaultSeed + 7
+	}
+	if c.TestPoints == 0 {
+		c.TestPoints = 15
+	}
+}
+
+// AnalyticRow is one serving tier's accuracy on the held-out split,
+// with the per-evaluation collection cost that separates the tiers:
+// a trained model needs GatherRuns multiplexed collection runs to
+// observe its features before it can predict, while the analytic
+// model predicts from the platform catalog alone.
+type AnalyticRow struct {
+	Model      string
+	Errors     ml.ErrorStats
+	GatherRuns int
+}
+
+// AnalyticResult holds the analytic-vs-trained comparison artifacts.
+type AnalyticResult struct {
+	Platform    string
+	TrainPoints int
+	TestPoints  int
+	Rows        []AnalyticRow // analytic first, then LR, RF, NN
+	// MemoryBound counts test applications the roofline classifies as
+	// bandwidth-limited — the regime where the analytic model's stall
+	// estimate does the most work.
+	MemoryBound int
+	// CacheStats snapshots the measurement cache after the experiment
+	// (nil when it ran uncached).
+	CacheStats *memo.StatsSnapshot
+}
+
+// analyticModelApps returns the comparison's evaluation sweep: a
+// reduced cut of the paper's Class B model dataset (DGEMM + FFT),
+// coarse enough to keep the experiment interactive.
+func analyticModelApps() []workload.App {
+	apps := workload.SizeSweep(workload.DGEMM(), 6400, 20000, 400)
+	return append(apps, workload.SizeSweep(workload.FFT(), 22400, 29000, 200)...)
+}
+
+// RunAnalyticComparison evaluates the serving fast path's closed-form
+// model against the paper's trained families (LR, RF, NN over the nine
+// additive Skylake PMCs) on one held-out split of a DGEMM/FFT sweep.
+// The trained models see measured counters; the analytic model sees
+// only the platform catalog. The result is a pure function of the
+// configuration: byte-identical tables for any worker count and any
+// cache temperature.
+func RunAnalyticComparison(cfg AnalyticConfig) (*AnalyticResult, error) {
+	cfg.fill()
+	spec := platform.Skylake()
+	m := machine.New(spec, cfg.Seed)
+	col := pmc.NewCollector(m, cfg.Seed)
+	events, err := findEvents(spec, PAPMCs)
+	if err != nil {
+		return nil, err
+	}
+	cache, err := openCache(cfg.Cache, cfg.CacheDir)
+	if err != nil {
+		return nil, err
+	}
+
+	apps := analyticModelApps()
+	builder := dataset.NewBuilder(m, col, events)
+	ds, _, err := BuildDatasetsCached(cache, builder, "analytic/skylake/model",
+		[]DatasetStage{{Bases: apps}})
+	if err != nil {
+		return nil, err
+	}
+	train, test, err := ds[0].Split(cfg.TestPoints, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	// The analytic tier predicts from the catalog alone: map each test
+	// point back to its application and ask the roofline model.
+	byName := make(map[string]workload.App, len(apps))
+	for _, a := range apps {
+		byName[a.Name()] = a
+	}
+	model := analytic.New(spec)
+	pred := make([]float64, len(test.Points))
+	actual := make([]float64, len(test.Points))
+	memBound := 0
+	for i, p := range test.Points {
+		app, ok := byName[p.App]
+		if !ok {
+			return nil, fmt.Errorf("experiments: test point %q not in the sweep", p.App)
+		}
+		pr := model.PredictApp(app)
+		pred[i] = pr.DynamicJoules
+		actual[i] = p.EnergyJ
+		if pr.MemoryBound {
+			memBound++
+		}
+	}
+	aMin, aAvg, aMax := stats.MinAvgMax(stats.PercentageErrors(pred, actual))
+
+	// A trained model must collect its nine features before every
+	// prediction; the schedule's group count is that per-evaluation
+	// collection cost in machine runs.
+	sched, err := pmc.NewSchedule(events, spec.Registers)
+	if err != nil {
+		return nil, err
+	}
+
+	type modelSpec struct {
+		name  string
+		model func() ml.Regressor
+	}
+	specs := []modelSpec{
+		{"LR", func() ml.Regressor { return ml.NewLinearRegression() }},
+		{"RF", func() ml.Regressor { return ml.NewRandomForest(cfg.Seed + 10) }},
+		{"NN", func() ml.Regressor { return ml.NewNeuralNetwork(cfg.Seed + 12) }},
+	}
+	fitted, err := parallel.Map(context.Background(), cfg.Workers, specs,
+		func(_ context.Context, _ int, mc modelSpec) (AnalyticRow, error) {
+			r, err := fitEval(train, test, PAPMCs, mc.model())
+			if err != nil {
+				return AnalyticRow{}, fmt.Errorf("experiments: %s: %w", mc.name, err)
+			}
+			return AnalyticRow{Model: mc.name, Errors: r.Errors, GatherRuns: sched.Runs()}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &AnalyticResult{
+		Platform:    spec.Name,
+		TrainPoints: train.Len(),
+		TestPoints:  test.Len(),
+		Rows: append([]AnalyticRow{{
+			Model:  "Analytic",
+			Errors: ml.ErrorStats{Min: aMin, Avg: aAvg, Max: aMax},
+		}}, fitted...),
+		MemoryBound: memBound,
+		CacheStats:  cacheStats(cache),
+	}
+	return res, nil
+}
+
+// AnalyticTable renders the comparison: prediction error of the
+// closed-form serving tier against each trained family, with the
+// collection cost a prediction pays before the model can run.
+func (r *AnalyticResult) AnalyticTable() *Table {
+	t := &Table{
+		Title: fmt.Sprintf(
+			"Analytic vs trained energy models (%s, %d train / %d test, %d memory-bound)",
+			r.Platform, r.TrainPoints, r.TestPoints, r.MemoryBound),
+		Headers: []string{"Model", "Prediction error % (min, avg, max)", "Gather runs per eval"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.Model, fmtErr(row.Errors.Min, row.Errors.Avg, row.Errors.Max),
+			fmt.Sprintf("%d", row.GatherRuns))
+	}
+	return t
+}

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAnalyticComparisonDeterministic is the worker-count determinism
+// contract for the analytic-vs-trained experiment: any Workers value
+// must render byte-identical tables.
+func TestAnalyticComparisonDeterministic(t *testing.T) {
+	run := func(workers int) string {
+		res, err := RunAnalyticComparison(AnalyticConfig{Workers: workers})
+		if err != nil {
+			t.Fatalf("RunAnalyticComparison(workers=%d): %v", workers, err)
+		}
+		return res.AnalyticTable().Render()
+	}
+	serial := run(1)
+	wide := run(8)
+	if serial != wide {
+		t.Errorf("analytic table differs across worker counts:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s", serial, wide)
+	}
+}
+
+func TestAnalyticComparisonShape(t *testing.T) {
+	res, err := RunAnalyticComparison(AnalyticConfig{Workers: 4})
+	if err != nil {
+		t.Fatalf("RunAnalyticComparison: %v", err)
+	}
+	if res.Platform != "skylake" {
+		t.Errorf("Platform = %q, want skylake", res.Platform)
+	}
+	if res.TestPoints != 15 {
+		t.Errorf("TestPoints = %d, want the default 15", res.TestPoints)
+	}
+	if got := res.TrainPoints + res.TestPoints; got != len(analyticModelApps()) {
+		t.Errorf("train+test = %d, want the sweep size %d", got, len(analyticModelApps()))
+	}
+
+	wantOrder := []string{"Analytic", "LR", "RF", "NN"}
+	if len(res.Rows) != len(wantOrder) {
+		t.Fatalf("got %d rows, want %d", len(res.Rows), len(wantOrder))
+	}
+	for i, row := range res.Rows {
+		if row.Model != wantOrder[i] {
+			t.Errorf("row %d = %q, want %q", i, row.Model, wantOrder[i])
+		}
+		if row.Errors.Avg <= 0 || row.Errors.Avg > 100 {
+			t.Errorf("%s avg error = %.2f%%, want in (0, 100]", row.Model, row.Errors.Avg)
+		}
+		if row.Errors.Min > row.Errors.Avg || row.Errors.Avg > row.Errors.Max {
+			t.Errorf("%s errors not ordered: %+v", row.Model, row.Errors)
+		}
+	}
+
+	// The analytic tier answers from the catalog: zero collection runs.
+	// Every trained tier pays the same nine-event schedule cost.
+	if res.Rows[0].GatherRuns != 0 {
+		t.Errorf("analytic GatherRuns = %d, want 0", res.Rows[0].GatherRuns)
+	}
+	for _, row := range res.Rows[1:] {
+		if row.GatherRuns < 2 {
+			t.Errorf("%s GatherRuns = %d, want >= 2 (nine events cannot fit one register file)", row.Model, row.GatherRuns)
+		}
+	}
+
+	table := res.AnalyticTable().Render()
+	for _, want := range []string{"Analytic", "LR", "RF", "NN", "Gather runs"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, table)
+		}
+	}
+}

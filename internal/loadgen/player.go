@@ -39,6 +39,10 @@ type PlayConfig struct {
 	// keyed by the job's position in the trace. Called from player
 	// goroutines; the callback must be safe for concurrent use.
 	OnResult func(index int, result []byte)
+
+	// waitQuery is the precomputed "?wait=...&result=1" suffix shared by
+	// every submit and poll URL, built once in fill.
+	waitQuery string
 }
 
 // ProgressSnapshot is one per-second view of a replay in flight.
@@ -72,7 +76,14 @@ func (c *PlayConfig) fill() error {
 		c.Players = 8
 	}
 	if c.Client == nil {
-		c.Client = &http.Client{}
+		// The zero http.Client keeps only two idle connections per host
+		// (DefaultTransport's MaxIdleConnsPerHost), so a pool of more
+		// than two players would constantly close and re-dial sockets —
+		// dial and teardown syscalls then dominate the measured path.
+		// Give the replay one reusable connection per player.
+		t := http.DefaultTransport.(*http.Transport).Clone()
+		t.MaxIdleConnsPerHost = c.Players
+		c.Client = &http.Client{Transport: t}
 	}
 	if c.PollWait == 0 {
 		c.PollWait = 2 * time.Second
@@ -80,6 +91,7 @@ func (c *PlayConfig) fill() error {
 	if c.PerJobTimeout == 0 {
 		c.PerJobTimeout = 120 * time.Second
 	}
+	c.waitQuery = "?wait=" + c.PollWait.String() + "&result=1"
 	return nil
 }
 
@@ -178,7 +190,11 @@ func (cfg *PlayConfig) playOne(idx int) (float64, int, error) {
 	t0 := time.Now()
 	deadline := t0.Add(cfg.PerJobTimeout)
 
-	st, err := cfg.postJSON(cfg.BaseURL+"/v1/jobs", body)
+	// Submit with a long-poll window and an inline result: jobs the
+	// server settles within it (warm cache hits and analytic predictions
+	// settle synchronously) come back already terminal with their payload
+	// attached, collapsing the warm path to a single round-trip.
+	st, err := cfg.postJSON(cfg.BaseURL+"/v1/jobs"+cfg.waitQuery, body)
 	if err != nil {
 		return 0, outcomeFailed, err
 	}
@@ -198,9 +214,12 @@ func (cfg *PlayConfig) playOne(idx int) (float64, int, error) {
 	case service.StateFailed:
 		return 0, outcomeFailed, fmt.Errorf("job %s failed: %s", st.ID, st.Error)
 	}
-	result, err := cfg.getResult(st.ID)
-	if err != nil {
-		return 0, outcomeFailed, err
+	result := []byte(st.Result)
+	if result == nil {
+		result, err = cfg.getResult(st.ID)
+		if err != nil {
+			return 0, outcomeFailed, err
+		}
 	}
 	//lint:ignore determinism load-harness latency measurement: wall-clock stays in the harness
 	ms := float64(time.Since(t0)) / float64(time.Millisecond)
@@ -226,15 +245,45 @@ func (cfg *PlayConfig) postJSON(url string, body []byte) (service.JobStatus, err
 	if resp.StatusCode != http.StatusAccepted {
 		return service.JobStatus{}, fmt.Errorf("submit: HTTP %d: %s", resp.StatusCode, firstLine(data))
 	}
-	var st service.JobStatus
-	if err := json.Unmarshal(data, &st); err != nil {
+	st, err := decodeStatusBody(data)
+	if err != nil {
 		return service.JobStatus{}, fmt.Errorf("submit: bad status body: %w", err)
 	}
 	return st, nil
 }
 
+// resultMarker is the splice point additivityd uses for inline result
+// payloads: the "result" member is always the last of the status
+// object, appended verbatim after the encoded envelope.
+var resultMarker = []byte(`,"result":`)
+
+// decodeStatusBody decodes a status response. When an inline result is
+// present, the envelope (a few hundred bytes) is decoded alone and the
+// payload — the bulk of the body — is sliced off without a JSON scan;
+// any mismatch falls back to a full decode, so the fast path is purely
+// an optimisation.
+func decodeStatusBody(data []byte) (service.JobStatus, error) {
+	if i := bytes.Index(data, resultMarker); i >= 0 {
+		if end := bytes.LastIndexByte(data, '}'); end > i {
+			env := make([]byte, 0, i+1)
+			env = append(env, data[:i]...)
+			env = append(env, '}')
+			var st service.JobStatus
+			if err := json.Unmarshal(env, &st); err == nil && st.State == service.StateDone {
+				st.Result = data[i+len(resultMarker) : end]
+				return st, nil
+			}
+		}
+	}
+	var st service.JobStatus
+	if err := json.Unmarshal(data, &st); err != nil {
+		return service.JobStatus{}, err
+	}
+	return st, nil
+}
+
 func (cfg *PlayConfig) getStatus(id string) (service.JobStatus, error) {
-	url := fmt.Sprintf("%s/v1/jobs/%s?wait=%s", cfg.BaseURL, id, cfg.PollWait)
+	url := cfg.BaseURL + "/v1/jobs/" + id + cfg.waitQuery
 	resp, err := cfg.Client.Get(url)
 	if err != nil {
 		return service.JobStatus{}, err
@@ -247,8 +296,8 @@ func (cfg *PlayConfig) getStatus(id string) (service.JobStatus, error) {
 	if resp.StatusCode != http.StatusOK {
 		return service.JobStatus{}, fmt.Errorf("poll %s: HTTP %d: %s", id, resp.StatusCode, firstLine(data))
 	}
-	var st service.JobStatus
-	if err := json.Unmarshal(data, &st); err != nil {
+	st, err := decodeStatusBody(data)
+	if err != nil {
 		return service.JobStatus{}, fmt.Errorf("poll %s: bad status body: %w", id, err)
 	}
 	return st, nil

@@ -24,8 +24,12 @@ import (
 // Position in the list is submission order; duplicate entries are the
 // point (they exercise the cache and its single-flight).
 type Trace struct {
-	Name string               `json:"name"`
-	Seed int64                `json:"seed"`
+	Name string `json:"name"`
+	Seed int64  `json:"seed"`
+	// Zipf records the skewed generator's exponent (0 for uniform
+	// traces; omitted from the JSON so traces generated before the
+	// exponent was configurable re-encode unchanged).
+	Zipf float64              `json:"zipf,omitempty"`
 	Jobs []service.JobRequest `json:"jobs"`
 }
 
@@ -42,24 +46,38 @@ type GenConfig struct {
 	// the shape that makes single-flight merges observable. The
 	// default (false) draws uniformly.
 	Skewed bool
+	// Zipf is the skewed mix's exponent s (default 1.2; must exceed
+	// 1). Larger exponents concentrate more of the trace on the
+	// hottest identities. Ignored for uniform traces.
+	Zipf float64
 	// Distinct sizes the identity pool (default 8).
 	Distinct int
 	// Platform is the platform every job targets (default haswell).
 	Platform string
-	// DatasetShare and TrainShare are the fractions of the identity
-	// pool built as dataset-build and model-training jobs (rounded
-	// down; the remainder are additivity checks). Defaults are 0:
-	// pure check traces, the cheapest and highest-throughput mix.
+	// DatasetShare, TrainShare and PredictShare are the fractions of
+	// the identity pool built as dataset-build, model-training and
+	// analytic-predict jobs (rounded down; the remainder are
+	// additivity checks). Defaults are 0: pure check traces, the
+	// cheapest and highest-throughput mix. Predict identities exercise
+	// the service's synchronous analytic fast path.
 	DatasetShare float64
 	TrainShare   float64
+	PredictShare float64
 }
 
 func (c *GenConfig) fill() error {
 	if c.Jobs < 0 || c.Distinct < 0 {
 		return fmt.Errorf("loadgen: negative generation parameter")
 	}
-	if c.DatasetShare < 0 || c.TrainShare < 0 || c.DatasetShare+c.TrainShare > 1 {
+	if c.DatasetShare < 0 || c.TrainShare < 0 || c.PredictShare < 0 ||
+		c.DatasetShare+c.TrainShare+c.PredictShare > 1 {
 		return fmt.Errorf("loadgen: shares must be non-negative and sum to at most 1")
+	}
+	if c.Zipf == 0 {
+		c.Zipf = 1.2
+	}
+	if c.Zipf <= 1 {
+		return fmt.Errorf("loadgen: zipf exponent must exceed 1, got %v", c.Zipf)
 	}
 	if c.Jobs == 0 {
 		c.Jobs = 100
@@ -93,6 +111,7 @@ func (c *GenConfig) fill() error {
 func identityPool(cfg GenConfig) ([]service.JobRequest, error) {
 	nDataset := int(float64(cfg.Distinct) * cfg.DatasetShare)
 	nTrain := int(float64(cfg.Distinct) * cfg.TrainShare)
+	nPredict := int(float64(cfg.Distinct) * cfg.PredictShare)
 	pool := make([]service.JobRequest, 0, cfg.Distinct)
 	for i := 0; i < cfg.Distinct; i++ {
 		seed := cfg.Seed + int64(1000*(i+1))
@@ -107,6 +126,13 @@ func identityPool(cfg GenConfig) ([]service.JobRequest, error) {
 		case i < nDataset+nTrain:
 			req = service.JobRequest{Kind: service.KindTrain, Params: service.JobParams{
 				Platform: cfg.Platform, Seed: seed, Compounds: 2, Model: "lr",
+			}}
+		case i < nDataset+nTrain+nPredict:
+			// Distinct sizes span distinct cache keys; the analytic tier
+			// answers each synchronously on the submit path.
+			req = service.JobRequest{Kind: service.KindPredict, Params: service.JobParams{
+				Platform: cfg.Platform, Seed: seed, Tier: "analytic",
+				App: "mkl-dgemm", AppSize: 2048 + 512*i,
 			}}
 		default:
 			req = service.JobRequest{Kind: service.KindCheck, Params: service.JobParams{
@@ -135,12 +161,18 @@ func GenerateTrace(cfg GenConfig) (*Trace, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	var zipf *rand.Zipf
 	if cfg.Skewed && len(pool) > 1 {
-		// s=1.2, v=1 gives the classic hot-head shape: the top identity
-		// draws roughly a third of the calls, mirroring ReqBench's
-		// skewed workload generation.
-		zipf = rand.NewZipf(rng, 1.2, 1, uint64(len(pool)-1))
+		// v=1 with the configured exponent gives the classic hot-head
+		// shape: at the default s=1.2 the top identity draws roughly a
+		// third of the calls, mirroring ReqBench's skewed workload
+		// generation.
+		zipf = rand.NewZipf(rng, cfg.Zipf, 1, uint64(len(pool)-1))
 	}
 	t := &Trace{Name: cfg.Name, Seed: cfg.Seed, Jobs: make([]service.JobRequest, 0, cfg.Jobs)}
+	if zipf != nil {
+		// The exponent is part of the trace's replayable identity, so
+		// it rides in the header.
+		t.Zipf = cfg.Zipf
+	}
 	for i := 0; i < cfg.Jobs; i++ {
 		var idx int
 		if zipf != nil {

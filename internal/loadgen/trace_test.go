@@ -227,3 +227,78 @@ func TestPlayConfigValidation(t *testing.T) {
 		t.Error("Play accepted negative players")
 	}
 }
+
+// The Zipf exponent is part of a skewed trace's replayable identity:
+// it rides in the header, changes the draw sequence, and round-trips
+// through encode/parse byte-identically. Uniform traces omit it, so
+// traces generated before the exponent was configurable re-encode
+// unchanged.
+func TestZipfExponentRoundTrips(t *testing.T) {
+	steep, err := GenerateTrace(GenConfig{Jobs: 200, Distinct: 8, Seed: 1, Skewed: true, Zipf: 2.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.SameFloat(steep.Zipf, 2.5) {
+		t.Errorf("header zipf = %v, want 2.5", steep.Zipf)
+	}
+	def, err := GenerateTrace(GenConfig{Jobs: 200, Distinct: 8, Seed: 1, Skewed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.SameFloat(def.Zipf, 1.2) {
+		t.Errorf("default header zipf = %v, want 1.2", def.Zipf)
+	}
+	steepJSON, _ := EncodeTrace(steep)
+	defJSON, _ := EncodeTrace(def)
+	if bytes.Equal(steepJSON, defJSON) {
+		t.Error("exponent 2.5 and 1.2 drew identical traces")
+	}
+	parsed, err := ParseTrace(steepJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reenc, err := EncodeTrace(parsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(steepJSON, reenc) {
+		t.Error("zipf header did not round-trip byte-identically")
+	}
+
+	uniform, err := GenerateTrace(GenConfig{Jobs: 10, Distinct: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uj, _ := EncodeTrace(uniform)
+	if bytes.Contains(uj, []byte(`"zipf"`)) {
+		t.Error("uniform trace encodes a zipf header")
+	}
+
+	if _, err := GenerateTrace(GenConfig{Jobs: 10, Skewed: true, Zipf: 0.9}); err == nil {
+		t.Error("zipf exponent <= 1 accepted")
+	}
+}
+
+// PredictShare builds analytic-predict identities into the pool; they
+// normalise and span distinct cache keys like every other kind.
+func TestPredictShareBuildsPredictIdentities(t *testing.T) {
+	trace, err := GenerateTrace(GenConfig{Jobs: 40, Distinct: 4, Seed: 3, PredictShare: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nPredict := 0
+	for _, j := range trace.Jobs {
+		if j.Kind == service.KindPredict {
+			nPredict++
+			if j.Params.Tier != "analytic" || j.Params.AppSize == 0 {
+				t.Fatalf("predict identity not normalised: %+v", j.Params)
+			}
+		}
+	}
+	if nPredict == 0 {
+		t.Error("no predict jobs drawn from a half-predict pool")
+	}
+	if _, err := GenerateTrace(GenConfig{Jobs: 10, PredictShare: 0.6, TrainShare: 0.6}); err == nil {
+		t.Error("shares summing past 1 accepted")
+	}
+}

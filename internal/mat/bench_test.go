@@ -83,3 +83,23 @@ func BenchmarkCholeskySolve(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkLSWorkspaceWarm measures the steady state the executor-slot
+// pooling relies on: a reused LSWorkspace solving the same shape over
+// and over, with zero allocations expected once its arenas have grown
+// to fit (the regression the allocs/op column of BENCH files tracks).
+func BenchmarkLSWorkspaceWarm(b *testing.B) {
+	a := benchMatrix(300, 12, 7)
+	y := benchVector(300, 8)
+	var ws LSWorkspace
+	if _, err := ws.Solve(a, y); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ws.Solve(a, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

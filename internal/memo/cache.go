@@ -230,6 +230,32 @@ func (c *Cache) GetOrCompute(key Key, compute func() (payload []byte, cacheable 
 	return payload, outcome, err
 }
 
+// Lookup peeks the in-process layer only: it returns the resident
+// payload for key (refreshing its LRU position) or reports a miss
+// without touching the disk store or the single-flight machinery. The
+// serving hot path uses it to answer warm repeats allocation-free;
+// callers fall through to GetOrCompute on a miss, which does the full
+// layered lookup and counts the request, so Lookup itself records a
+// Hit on success and nothing otherwise. Safe on nil.
+//
+// The returned payload is shared — callers must not mutate it.
+func (c *Cache) Lookup(key Key) ([]byte, bool) {
+	if c == nil || key.IsZero() {
+		return nil, false
+	}
+	s := c.shardOf(key)
+	s.mu.Lock()
+	if el, ok := s.entries[key]; ok {
+		s.order.MoveToFront(el)
+		p := el.Value.(*entry).payload
+		s.mu.Unlock()
+		c.hits.Add(1)
+		return p, true
+	}
+	s.mu.Unlock()
+	return nil, false
+}
+
 // lead performs the flight leader's work: disk lookup, then compute,
 // then retention. Called outside the shard lock.
 func (c *Cache) lead(key Key, s *shard, compute func() ([]byte, bool, error)) ([]byte, Outcome, error) {

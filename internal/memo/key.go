@@ -64,10 +64,31 @@ func NewKeyBuilder(schema string) *KeyBuilder {
 	return kb
 }
 
+// Reset restarts the builder under the given schema label, keeping the
+// accumulated buffer's capacity. It turns a pooled builder back into
+// what NewKeyBuilder would return, without the allocation — the serving
+// hot path rebuilds per-request keys from a sync.Pool this way.
+func (kb *KeyBuilder) Reset(schema string) *KeyBuilder {
+	kb.buf = kb.buf[:0]
+	kb.Field("schema", schema)
+	return kb
+}
+
 // Field appends one named string field.
 func (kb *KeyBuilder) Field(name, value string) *KeyBuilder {
 	kb.frame(name)
 	kb.frame(value)
+	return kb
+}
+
+// FieldBytes appends one named field from a byte slice, without the
+// string conversion Field would force on the caller. Identical bytes
+// produce identical keys whichever variant wrote them.
+func (kb *KeyBuilder) FieldBytes(name string, value []byte) *KeyBuilder {
+	kb.frame(name)
+	kb.buf = strconv.AppendInt(kb.buf, int64(len(value)), 10)
+	kb.buf = append(kb.buf, ':')
+	kb.buf = append(kb.buf, value...)
 	return kb
 }
 

@@ -3,6 +3,7 @@ package ml
 import (
 	"errors"
 	"math"
+	"sync"
 
 	"additivity/internal/mat"
 )
@@ -201,10 +202,26 @@ func ridge(a *mat.Dense, b []float64, lambda float64, intercept bool) ([]float64
 	return ws.Solve(ata, atb)
 }
 
+// nnlsScratch bundles the NNLS matrix workspaces — the passive-set
+// submatrix and the QR solver — whose backing storage survives across
+// fits. The service layer runs the same regression shapes job after
+// job, so each executor slot recycles one scratch through the pool
+// instead of re-growing both workspaces per fit. Both are
+// shape-adaptive (GatherColumns/Solve reshape on entry and overwrite
+// every element they read), so recycled scratch is bitwise-equivalent
+// to fresh.
+type nnlsScratch struct {
+	sub mat.Dense
+	ws  mat.LSWorkspace
+}
+
+var nnlsPool = sync.Pool{New: func() any { return new(nnlsScratch) }}
+
 // nnls solves min ||A·x − b||₂ subject to x >= 0 with the Lawson–Hanson
 // active-set algorithm. All scratch — residual, gradient, passive-set
 // submatrix, QR workspace — is allocated once up front and reused across
-// active-set iterations; the arithmetic order is identical to a naive
+// active-set iterations (the matrix workspaces via the fit-to-fit
+// pool); the arithmetic order is identical to a naive
 // allocate-per-iteration formulation.
 func nnls(a *mat.Dense, b []float64) ([]float64, error) {
 	rows, n := a.Dims()
@@ -214,8 +231,10 @@ func nnls(a *mat.Dense, b []float64) ([]float64, error) {
 	r := make([]float64, rows)
 	w := make([]float64, n)
 	idx := make([]int, 0, n)
-	var sub mat.Dense
-	var ws mat.LSWorkspace
+	scratch := nnlsPool.Get().(*nnlsScratch)
+	defer nnlsPool.Put(scratch)
+	sub := &scratch.sub
+	ws := &scratch.ws
 
 	gatherPassive := func() []int {
 		idx = idx[:0]
@@ -260,7 +279,7 @@ func nnls(a *mat.Dense, b []float64) ([]float64, error) {
 			if err := sub.GatherColumns(a, idx); err != nil {
 				return nil, err
 			}
-			s, err := ws.Solve(&sub, b)
+			s, err := ws.Solve(sub, b)
 			if err != nil {
 				return nil, err
 			}

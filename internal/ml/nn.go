@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"additivity/internal/stats"
 )
@@ -103,11 +104,12 @@ func (n *NeuralNetwork) Fit(X [][]float64, y []float64) error {
 		loss    float64
 	}
 	sizes := layerSizes(len(X[0]), o.Hidden)
-	ws := newNNScratch(sizes, o.Activation)
+	ws := getNNScratch(sizes, o.Activation)
+	defer putNNScratch(ws)
 	var best *candidate
 	for r := 0; r < restarts; r++ {
 		n.trainOnce(xs, ys, o.Seed+int64(r)*7919, ws)
-		loss := n.trainLoss(xs, ys)
+		loss := n.trainLoss(xs, ys, ws)
 		if best == nil || loss < best.loss {
 			best = &candidate{weights: n.weights, biases: n.biases, loss: loss}
 		}
@@ -136,6 +138,62 @@ type nnScratch struct {
 	delta [][]float64 // delta[l]: loss gradient at layer l's outputs
 	gradW [][][]float64
 	gradB [][]float64
+	// sizes and act record the shape the buffers were built for, so the
+	// pool can hand a recycled arena only to a matching Fit.
+	sizes []int
+	act   Activation
+}
+
+// nnScratchPool recycles scratch arenas across Fit calls: the service
+// layer fits the same network architecture job after job, so each
+// executor slot reuses one arena instead of rebuilding the buffer tree
+// per job. Recycled arenas are bitwise-equivalent to fresh ones — the
+// fused SGD update leaves the gradient accumulators zeroed, and every
+// other buffer is fully overwritten before it is read — and the zeroing
+// in getNNScratch makes that invariant unconditional.
+var nnScratchPool sync.Pool
+
+func getNNScratch(sizes []int, act Activation) *nnScratch {
+	if v := nnScratchPool.Get(); v != nil {
+		ws := v.(*nnScratch)
+		if ws.act == act && equalInts(ws.sizes, sizes) {
+			ws.zeroGrads()
+			return ws
+		}
+	}
+	return newNNScratch(sizes, act)
+}
+
+func putNNScratch(ws *nnScratch) {
+	ws.acts[0] = nil // do not retain the caller's last input row
+	nnScratchPool.Put(ws)
+}
+
+// zeroGrads clears the gradient accumulators. After a completed Fit
+// they are already zero (the fused update consumes and re-zeroes them),
+// so this is a numeric no-op that enforces the invariant defensively.
+func (ws *nnScratch) zeroGrads() {
+	for l := range ws.gradB {
+		for u := range ws.gradB[l] {
+			ws.gradB[l][u] = 0
+			gw := ws.gradW[l][u]
+			for k := range gw {
+				gw[k] = 0
+			}
+		}
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, v := range a {
+		if v != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func newNNScratch(sizes []int, act Activation) *nnScratch {
@@ -146,6 +204,8 @@ func newNNScratch(sizes []int, act Activation) *nnScratch {
 		delta: make([][]float64, layers),
 		gradW: make([][][]float64, layers),
 		gradB: make([][]float64, layers),
+		sizes: append([]int(nil), sizes...),
+		act:   act,
 	}
 	for l := 0; l < layers; l++ {
 		out := sizes[l+1]
@@ -193,9 +253,9 @@ func (n *NeuralNetwork) forwardInto(x []float64, ws *nnScratch) {
 }
 
 // trainLoss returns the mean squared error on the (standardised)
-// training set.
-func (n *NeuralNetwork) trainLoss(xs [][]float64, ys []float64) float64 {
-	ws := newNNScratch(layerSizes(len(xs[0]), n.Opts.Hidden), n.Opts.Activation)
+// training set, evaluated on the Fit-owned scratch arena (it used to
+// build a second arena per restart — pure allocation, same numbers).
+func (n *NeuralNetwork) trainLoss(xs [][]float64, ys []float64, ws *nnScratch) float64 {
 	layers := len(n.weights)
 	ss := 0.0
 	for i, x := range xs {

@@ -187,7 +187,8 @@ func TestNNGradientCheck(t *testing.T) {
 	for i, v := range y {
 		ys[i] = (v - nn.yMean) / nn.yScale
 	}
-	base := nn.trainLoss(xs, ys)
+	ws := newNNScratch(layerSizes(len(xs[0]), nn.Opts.Hidden), nn.Opts.Activation)
+	base := nn.trainLoss(xs, ys, ws)
 
 	// Perturb one weight both ways; the numerical slope must match the
 	// loss change direction produced by nudging along it.
@@ -195,15 +196,15 @@ func TestNNGradientCheck(t *testing.T) {
 	w := &nn.weights[0][0][0]
 	orig := *w
 	*w = orig + eps
-	up := nn.trainLoss(xs, ys)
+	up := nn.trainLoss(xs, ys, ws)
 	*w = orig - eps
-	down := nn.trainLoss(xs, ys)
+	down := nn.trainLoss(xs, ys, ws)
 	*w = orig
 	grad := (up - down) / (2 * eps)
 
 	// Step against the numerical gradient: loss must not increase.
 	*w = orig - 0.01*grad
-	stepped := nn.trainLoss(xs, ys)
+	stepped := nn.trainLoss(xs, ys, ws)
 	if stepped > base+1e-9 {
 		t.Errorf("stepping against the gradient increased loss: %v -> %v (grad %v)",
 			base, stepped, grad)

@@ -215,12 +215,67 @@ type Counts map[string]float64
 // event quarantined after repeated exhaustion is skipped outright —
 // collection degrades per event instead of failing.
 func (c *Collector) Collect(events []platform.Event, parts ...workload.App) (Counts, int, error) {
-	groups, err := ScheduleGroups(events, c.Machine.Spec.Registers)
+	sched, err := NewSchedule(events, c.Machine.Spec.Registers)
 	if err != nil {
 		return nil, 0, err
 	}
-	counts := make(Counts, len(events))
-	for _, grp := range groups {
+	return c.CollectScheduled(sched, parts...)
+}
+
+// Schedule is a precomputed collection plan: the register packing of a
+// fixed event set. Collect re-derives this packing on every call, which
+// is pure planning overhead when one checker gathers the same event set
+// for hundreds of tasks and repetitions; a Schedule is built once per
+// campaign and reused. It is immutable after construction and safe to
+// share across collector forks and goroutines.
+type Schedule struct {
+	events    []platform.Event
+	groups    []Group
+	registers int
+}
+
+// NewSchedule packs the events under the register budget once (see
+// ScheduleGroups) and returns the reusable plan.
+func NewSchedule(events []platform.Event, registers int) (*Schedule, error) {
+	groups, err := ScheduleGroups(events, registers)
+	if err != nil {
+		return nil, err
+	}
+	return &Schedule{
+		events:    append([]platform.Event(nil), events...),
+		groups:    groups,
+		registers: registers,
+	}, nil
+}
+
+// Runs returns the number of application runs one collection under the
+// plan performs (the group count).
+func (s *Schedule) Runs() int { return len(s.groups) }
+
+// Len returns the number of scheduled events.
+func (s *Schedule) Len() int { return len(s.events) }
+
+// CollectScheduled is Collect with the planning hoisted out: it gathers
+// the schedule's events using the precomputed register packing.
+func (c *Collector) CollectScheduled(sched *Schedule, parts ...workload.App) (Counts, int, error) {
+	counts := make(Counts, len(sched.events))
+	runs, err := c.CollectScheduledInto(sched, counts, parts...)
+	if err != nil {
+		return nil, 0, err
+	}
+	return counts, runs, nil
+}
+
+// CollectScheduledInto collects into a caller-owned counts map (cleared
+// first), so a repetition loop reuses one map instead of allocating one
+// per rep. Returns the number of application runs performed.
+func (c *Collector) CollectScheduledInto(sched *Schedule, counts Counts, parts ...workload.App) (int, error) {
+	if sched.registers != c.Machine.Spec.Registers {
+		return 0, fmt.Errorf("pmc: schedule packed for %d registers, platform has %d",
+			sched.registers, c.Machine.Spec.Registers)
+	}
+	clear(counts)
+	for _, grp := range sched.groups {
 		run := c.Machine.Run(parts...)
 		for _, ev := range grp {
 			if c.quarantine.Quarantined(ev.Name) {
@@ -231,7 +286,7 @@ func (c *Collector) Collect(events []platform.Event, parts ...workload.App) (Cou
 			}
 		}
 	}
-	return counts, len(groups), nil
+	return len(sched.groups), nil
 }
 
 // CollectMean collects the events reps times and returns per-event sample

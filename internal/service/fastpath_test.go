@@ -1,0 +1,310 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"additivity/internal/memo"
+)
+
+// TestFastJobKeyMatchesJobKey holds the digest equivalence the warm
+// fast path rests on: the pooled-scratch key builder must produce the
+// same cache key as the allocation-per-call JobKey for every kind, or
+// warm submissions would miss entries written by the slow path.
+func TestFastJobKeyMatchesJobKey(t *testing.T) {
+	reqs := []JobRequest{
+		{Kind: KindCheck},
+		{Kind: KindCheck, Params: JobParams{Platform: "skylake", Compounds: 2, Seed: 7}},
+		{Kind: KindTrain, Params: JobParams{Model: "rf"}},
+		{Kind: KindDataset, Params: JobParams{SweepLo: 7000, SweepHi: 7500}},
+		{Kind: KindPredict},
+		{Kind: KindPredict, Params: JobParams{Tier: "trained", App: "mkl-fft"}},
+	}
+	for _, req := range reqs {
+		if err := req.Normalize(); err != nil {
+			t.Fatalf("normalize %v: %v", req.Kind, err)
+		}
+		want, err := JobKey(req)
+		if err != nil {
+			t.Fatalf("JobKey: %v", err)
+		}
+		ks := keyPool.Get().(*keyScratch)
+		got, err := fastJobKey(ks, &req)
+		keyPool.Put(ks)
+		if err != nil {
+			t.Fatalf("fastJobKey: %v", err)
+		}
+		if got != want {
+			t.Errorf("fastJobKey(%s) != JobKey: %x vs %x", req.Kind, got, want)
+		}
+	}
+}
+
+// TestFastJobKeyScratchReuse reuses one scratch across different
+// requests: stale buffer or key-builder state from a previous request
+// must never leak into the next digest.
+func TestFastJobKeyScratchReuse(t *testing.T) {
+	ks := keyPool.Get().(*keyScratch)
+	defer keyPool.Put(ks)
+	long := JobRequest{Kind: KindCheck, Params: JobParams{PMCs: []string{
+		"UOPS_EXECUTED_CORE", "FP_ARITH_INST_RETIRED_DOUBLE", "MEM_LOAD_RETIRED_L3_MISS"}}}
+	short := JobRequest{Kind: KindPredict}
+	for _, req := range []JobRequest{long, short, long} {
+		if err := req.Normalize(); err != nil {
+			t.Fatal(err)
+		}
+		want, err := JobKey(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := fastJobKey(ks, &req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("reused scratch diverged on %s", req.Kind)
+		}
+	}
+}
+
+// TestPredictAnalyticSettlesSynchronously submits an analytic predict
+// over HTTP: the submit response itself must be terminal (no poll
+// loop), the payload must be well-formed, and a duplicate submission
+// must serve byte-identical bytes.
+func TestPredictAnalyticSettlesSynchronously(t *testing.T) {
+	_, ts := newTestServer(t)
+	st := submit(t, ts, `{"kind":"predict"}`)
+	if st.State != StateDone {
+		t.Fatalf("analytic predict submit state = %s, want done", st.State)
+	}
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result = HTTP %d: %s", resp.StatusCode, first)
+	}
+	var pr PredictResult
+	if err := json.Unmarshal(first, &pr); err != nil {
+		t.Fatalf("payload not a PredictResult: %v", err)
+	}
+	if pr.Tier != "analytic" || pr.App != "mkl-dgemm/2048" {
+		t.Errorf("payload identity = %q/%q", pr.Tier, pr.App)
+	}
+	if !(pr.DynamicJoules > 0) || !(pr.Seconds > 0) || !(pr.StaticJoules > 0) {
+		t.Errorf("non-positive prediction: %+v", pr)
+	}
+
+	st2 := submit(t, ts, `{"kind":"predict"}`)
+	if st2.State != StateDone || st2.ID == st.ID {
+		t.Fatalf("duplicate predict = %+v", st2)
+	}
+	resp2, err := http.Get(ts.URL + "/v1/jobs/" + st2.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if !bytes.Equal(first, second) {
+		t.Errorf("duplicate predict payloads differ:\n%s\n%s", first, second)
+	}
+}
+
+// TestWarmHitIsBornTerminal completes a check job once, then submits
+// the identical request again: the duplicate must come back already
+// done from the submit call, with byte-identical result bytes.
+func TestWarmHitIsBornTerminal(t *testing.T) {
+	_, ts := newTestServer(t)
+	body := `{"kind":"check","params":{"compounds":2}}`
+	st := submit(t, ts, body)
+	if st.State.Terminal() {
+		t.Fatalf("cold check already terminal: %+v", st)
+	}
+	done := pollUntilTerminal(t, ts, st.ID)
+	if done.State != StateDone {
+		t.Fatalf("cold check = %s: %s", done.State, done.Error)
+	}
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+
+	warm := submit(t, ts, body)
+	if warm.State != StateDone {
+		t.Fatalf("warm duplicate state = %s, want done on submit", warm.State)
+	}
+	resp2, err := http.Get(ts.URL + "/v1/jobs/" + warm.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if !bytes.Equal(cold, served) {
+		t.Error("warm payload differs from cold payload")
+	}
+}
+
+// TestSubmitWaitReturnsSettledStatus drives POST /v1/jobs?wait=: a
+// small cold job submitted with a generous wait must come back already
+// settled in the submit response, saving the poll round-trip.
+func TestSubmitWaitReturnsSettledStatus(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Post(ts.URL+"/v1/jobs?wait=25s", "application/json",
+		strings.NewReader(`{"kind":"check","params":{"compounds":2,"seed":11}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = HTTP %d", resp.StatusCode)
+	}
+	st := decodeStatus(t, resp.Body)
+	if st.State != StateDone {
+		t.Fatalf("submit?wait state = %s, want done", st.State)
+	}
+}
+
+// TestSubmitInlineResult drives the single-round-trip fast path: with
+// ?result=1, a submission that settles done must carry its payload
+// inline, byte-identical to the result endpoint's, while submissions
+// without the flag keep the old response shape.
+func TestSubmitInlineResult(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Post(ts.URL+"/v1/jobs?wait=25s&result=1", "application/json",
+		strings.NewReader(`{"kind":"predict"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := decodeStatus(t, resp.Body)
+	resp.Body.Close()
+	if st.State != StateDone {
+		t.Fatalf("submit state = %s, want done", st.State)
+	}
+	if len(st.Result) == 0 {
+		t.Fatal("?result=1 submit response carries no inline payload")
+	}
+	resp2, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if !bytes.Equal(st.Result, served) {
+		t.Errorf("inline payload differs from the result endpoint:\n%s\n%s", st.Result, served)
+	}
+
+	// Without the flag the payload stays out of the status JSON.
+	plain := submit(t, ts, `{"kind":"predict"}`)
+	if len(plain.Result) != 0 {
+		t.Errorf("submit without ?result=1 inlined a payload")
+	}
+
+	// The poll endpoint honours the same flag.
+	resp3, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "?result=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	polled := decodeStatus(t, resp3.Body)
+	resp3.Body.Close()
+	if !bytes.Equal(polled.Result, served) {
+		t.Errorf("poll ?result=1 payload differs from the result endpoint")
+	}
+}
+
+// TestSubmitInvalidWaitIs400 rejects a malformed wait without creating
+// the job.
+func TestSubmitInvalidWaitIs400(t *testing.T) {
+	srv, ts := newTestServer(t)
+	resp, err := http.Post(ts.URL+"/v1/jobs?wait=banana", "application/json",
+		strings.NewReader(`{"kind":"check"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("submit bad wait = HTTP %d", resp.StatusCode)
+	}
+	if code := decodeErrorBody(t, data); code != "invalid_request" {
+		t.Errorf("code = %s", code)
+	}
+	if n := srv.Stats().Jobs.Submitted; n != 0 {
+		t.Errorf("bad-wait submit created %d jobs", n)
+	}
+}
+
+// TestPredictTrainedDeterministic runs the trained tier twice through
+// Execute: the payload must be a pure function of the normalised
+// request, byte for byte, like every other kind.
+func TestPredictTrainedDeterministic(t *testing.T) {
+	cache, err := memo.New(memo.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := JobRequest{Kind: KindPredict, Params: JobParams{
+		Tier: "trained", Compounds: 2,
+		PMCs: []string{"UOPS_EXECUTED_CORE", "FP_ARITH_INST_RETIRED_DOUBLE", "MEM_LOAD_RETIRED_L3_MISS", "MEM_INST_RETIRED_ALL_LOADS"},
+	}}
+	first, _, err := Execute(context.Background(), cache, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, _, err := Execute(context.Background(), cache, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Errorf("trained predict payloads differ:\n%s\n%s", first, second)
+	}
+	var pr PredictResult
+	if err := json.Unmarshal(first, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Tier != "trained" || len(pr.Selected) == 0 || !(pr.DynamicJoules > 0) {
+		t.Errorf("trained payload = %+v", pr)
+	}
+}
+
+// TestWarmLookupZeroAllocs is the hot-path allocation budget: once the
+// pooled scratch is warm, serving a cache-hit lookup for a normalised
+// request must not allocate at all. This is the regression gate for
+// the zero-alloc steady state recorded in BENCH_PR7.
+func TestWarmLookupZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts differ under the race runtime")
+	}
+	cache, err := memo.New(memo.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(Options{Cache: cache})
+	req := JobRequest{Kind: KindPredict}
+	if err := req.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	// Prime the cache through the ordinary submit path.
+	if st := srv.Submit(req); st.State != StateDone {
+		t.Fatalf("prime submit = %+v", st)
+	}
+	// Warm the pool and verify the entry is servable.
+	if _, ok := srv.lookupWarm(&req); !ok {
+		t.Fatal("primed entry not visible to lookupWarm")
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, ok := srv.lookupWarm(&req); !ok {
+			t.Fatal("lookupWarm missed mid-benchmark")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("warm cache-hit lookup allocates %.1f/op, budget 0", allocs)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"sort"
 
+	"additivity/internal/analytic"
 	"additivity/internal/core"
 	"additivity/internal/dataset"
 	"additivity/internal/experiments"
@@ -44,6 +45,12 @@ const (
 	KindTrain JobKind = "train"
 	// KindDataset builds a profiling dataset over a DGEMM size sweep.
 	KindDataset JobKind = "dataset"
+	// KindPredict answers an energy prediction for one application.
+	// The analytic tier is the serving fast path: it answers
+	// synchronously from the platform catalog's roofline parameters
+	// with no gather at all. The trained tier falls back to the cached
+	// measurement/training pipeline and predicts with its model.
+	KindPredict JobKind = "predict"
 )
 
 // JobParams parameterises a job. Zero values take kind-specific
@@ -80,6 +87,15 @@ type JobParams struct {
 	SweepLo   int `json:"sweep_lo,omitempty"`
 	SweepHi   int `json:"sweep_hi,omitempty"`
 	SweepStep int `json:"sweep_step,omitempty"`
+	// Tier selects the predict kind's serving tier: "analytic"
+	// (default) answers from catalog parameters; "trained" from the
+	// cached pipeline's model.
+	Tier string `json:"tier,omitempty"`
+	// App names the predict kind's workload (default mkl-dgemm).
+	App string `json:"app,omitempty"`
+	// AppSize is the predict kind's problem size (default: the
+	// workload's first default size).
+	AppSize int `json:"app_size,omitempty"`
 }
 
 // JobRequest is the submit body: a kind plus its parameters.
@@ -94,9 +110,9 @@ type JobRequest struct {
 // payload bytes).
 func (r *JobRequest) Normalize() error {
 	switch r.Kind {
-	case KindCheck, KindTrain, KindDataset:
+	case KindCheck, KindTrain, KindDataset, KindPredict:
 	case "":
-		return fmt.Errorf("service: missing job kind (want %q, %q or %q)", KindCheck, KindTrain, KindDataset)
+		return fmt.Errorf("service: missing job kind (want %q, %q, %q or %q)", KindCheck, KindTrain, KindDataset, KindPredict)
 	default:
 		return fmt.Errorf("service: unknown job kind %q", r.Kind)
 	}
@@ -146,6 +162,41 @@ func (r *JobRequest) Normalize() error {
 		default:
 			return fmt.Errorf("service: unknown model %q (want lr, rf or nn)", p.Model)
 		}
+	case KindPredict:
+		if p.Tier == "" {
+			p.Tier = "analytic"
+		}
+		switch p.Tier {
+		case "analytic", "trained":
+		default:
+			return fmt.Errorf("service: unknown tier %q (want analytic or trained)", p.Tier)
+		}
+		if p.App == "" {
+			p.App = "mkl-dgemm"
+		}
+		w, err := workload.ByName(p.App)
+		if err != nil {
+			return fmt.Errorf("service: %w", err)
+		}
+		if p.AppSize < 0 {
+			return fmt.Errorf("service: negative app size")
+		}
+		if p.AppSize == 0 {
+			p.AppSize = w.DefaultSizes()[0]
+		}
+		if p.Tier == "trained" {
+			if p.MaxPMCs == 0 {
+				p.MaxPMCs = 4
+			}
+			if p.Model == "" {
+				p.Model = "lr"
+			}
+			switch p.Model {
+			case "lr", "rf", "nn":
+			default:
+				return fmt.Errorf("service: unknown model %q (want lr, rf or nn)", p.Model)
+			}
+		}
 	}
 	if r.Kind == KindDataset {
 		if p.SweepLo < 0 || p.SweepHi < 0 || p.SweepStep < 0 {
@@ -190,6 +241,23 @@ type TrainResult struct {
 type DatasetResult struct {
 	Platform string           `json:"platform"`
 	Dataset  *dataset.Dataset `json:"dataset"`
+}
+
+// PredictResult is the canonical payload of a predict job. Both tiers
+// fill DynamicJoules; the analytic tier also reports its roofline
+// runtime, static-energy split and bound classification, while the
+// trained tier reports the online PMC set its model predicts from.
+type PredictResult struct {
+	Platform      string  `json:"platform"`
+	Tier          string  `json:"tier"`
+	App           string  `json:"app"`
+	DynamicJoules float64 `json:"dynamic_joules"`
+	// Analytic-tier extras.
+	Seconds      float64 `json:"seconds,omitempty"`
+	StaticJoules float64 `json:"static_joules,omitempty"`
+	MemoryBound  bool    `json:"memory_bound,omitempty"`
+	// Trained-tier extras.
+	Selected []string `json:"selected,omitempty"`
 }
 
 // hooks carries per-job observation callbacks into execute.
@@ -277,6 +345,8 @@ func execute(ctx context.Context, cache *memo.Cache, req JobRequest, h hooks) ([
 		return executeTrain(ctx, cache, req.Params)
 	case KindDataset:
 		return executeDataset(ctx, cache, req.Params)
+	case KindPredict:
+		return executePredict(ctx, cache, req.Params)
 	}
 	return nil, nil, fmt.Errorf("service: unknown job kind %q", req.Kind)
 }
@@ -396,6 +466,82 @@ func executeDataset(ctx context.Context, cache *memo.Cache, p JobParams) ([]byte
 	return payload, nil, err
 }
 
+// executePredict answers one application's energy prediction. The
+// analytic tier is pure arithmetic over the platform catalog — no
+// machine run, no gather, no cache dependency — which is what lets the
+// server answer it synchronously on the submit path. The trained tier
+// runs (or serves from cache) the full SLOPE-PMC pipeline, measures the
+// app's online counters on a collector forked deterministically from
+// the app's name, and predicts with the trained model; its payload is a
+// pure function of the normalised request like every other kind.
+func executePredict(ctx context.Context, cache *memo.Cache, p JobParams) ([]byte, *core.CheckReport, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	spec, err := platform.ByName(p.Platform)
+	if err != nil {
+		return nil, nil, err
+	}
+	w, err := workload.ByName(p.App)
+	if err != nil {
+		return nil, nil, err
+	}
+	app := workload.App{Workload: w, Size: p.AppSize}
+	if p.Tier == "analytic" {
+		pred := analytic.New(spec).PredictApp(app)
+		payload, err := json.Marshal(PredictResult{
+			Platform:      spec.Name,
+			Tier:          p.Tier,
+			App:           app.Name(),
+			DynamicJoules: pred.DynamicJoules,
+			Seconds:       pred.Seconds,
+			StaticJoules:  pred.StaticJoules,
+			MemoryBound:   pred.MemoryBound,
+		})
+		return payload, nil, err
+	}
+	res, err := experiments.RunPipelineContext(ctx, experiments.PipelineConfig{
+		Platform:     p.Platform,
+		Seed:         p.Seed,
+		Candidates:   p.PMCs,
+		MaxPMCs:      p.MaxPMCs,
+		TolerancePct: p.TolerancePct,
+		Model:        p.Model,
+		Compounds:    p.Compounds,
+		Workers:      p.Workers,
+		Cache:        cache,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	events, err := findEvents(spec, res.Selected)
+	if err != nil {
+		return nil, nil, err
+	}
+	m := machine.New(spec, p.Seed)
+	col := pmc.NewCollector(m, p.Seed).Fork("service/predict/" + app.Name())
+	counts, _, err := col.CollectMean(events, p.Reps, app)
+	if err != nil {
+		return nil, nil, err
+	}
+	x := make([]float64, len(events))
+	for i, ev := range events {
+		x[i] = counts[ev.Name]
+	}
+	yhat, err := res.Model.Predict(x)
+	if err != nil {
+		return nil, nil, err
+	}
+	payload, err := json.Marshal(PredictResult{
+		Platform:      spec.Name,
+		Tier:          p.Tier,
+		App:           app.Name(),
+		DynamicJoules: yhat,
+		Selected:      res.Selected,
+	})
+	return payload, res.Report, err
+}
+
 // CanonicalRequest renders a normalised request as canonical JSON — the
 // stable identity string under which duplicate jobs are recognised in
 // traces and reports. Fields marshal in struct order and the PMC list
@@ -415,7 +561,7 @@ func CanonicalRequest(req JobRequest) (string, error) {
 // SortedKinds returns the service's job kinds in stable order (for
 // docs and deterministic enumeration in tests).
 func SortedKinds() []JobKind {
-	kinds := []JobKind{KindCheck, KindDataset, KindTrain}
+	kinds := []JobKind{KindCheck, KindDataset, KindPredict, KindTrain}
 	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
 	return kinds
 }

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -45,6 +46,9 @@ type Options struct {
 	MaxConcurrentJobs int
 }
 
+// maxWait caps long-poll durations on the poll and submit endpoints.
+const maxWait = 30 * time.Second
+
 // Progress is a job's gather fan-out position.
 type Progress struct {
 	Done  int `json:"done"`
@@ -84,6 +88,60 @@ type JobStatus struct {
 	// (dropped samples or quarantined events under fault injection).
 	Degraded bool      `json:"degraded,omitempty"`
 	Progress *Progress `json:"progress,omitempty"`
+	// Result carries a done job's canonical payload inline when the
+	// submit or poll request asked for it with ?result=1 — jobs that
+	// settle within the request (warm cache hits, analytic predictions,
+	// long-poll completions) then need no second result round-trip.
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// wantResult reports whether the request opted into an inline result
+// payload with ?result=1 (any strconv.ParseBool true form).
+func wantResult(r *http.Request) bool {
+	v, err := strconv.ParseBool(r.URL.Query().Get("result"))
+	return err == nil && v
+}
+
+// attachResult inlines a done job's payload into its status.
+func (s *Server) attachResult(st *JobStatus) {
+	if st.State != StateDone {
+		return
+	}
+	if payload, err := s.JobResult(st.ID); err == nil {
+		st.Result = payload
+	}
+}
+
+// writeStatus writes a status response. An inline result is spliced
+// into the JSON verbatim: the payload is already canonical JSON, and
+// pushing it back through the generic encoder would re-compact every
+// byte — measurably dominating the single-round-trip fast path on
+// large check results.
+func writeStatus(w http.ResponseWriter, status int, st JobStatus) {
+	if st.Result == nil {
+		writeJSON(w, status, st)
+		return
+	}
+	payload := st.Result
+	st.Result = nil
+	frame, err := json.Marshal(st)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "encoding_failed", err.Error())
+		return
+	}
+	const key = `,"result":`
+	buf := make([]byte, 0, len(frame)+len(key)+len(payload)+2)
+	buf = append(buf, frame[:len(frame)-1]...)
+	buf = append(buf, key...)
+	buf = append(buf, payload...)
+	buf = append(buf, '}', '\n')
+	w.Header().Set("Content-Type", "application/json")
+	// An explicit length keeps the response out of chunked transfer
+	// encoding — chunk framing costs both sides of the fast path real
+	// CPU on bodies this size.
+	w.Header().Set("Content-Length", strconv.Itoa(len(buf)))
+	w.WriteHeader(status)
+	_, _ = w.Write(buf)
 }
 
 // FaultStats aggregates the resilience accounting of every completed
@@ -145,9 +203,11 @@ type Server struct {
 //
 //	GET    /healthz              liveness probe
 //	GET    /statsz               cache, job and fault counters
-//	POST   /v1/jobs              submit a job (JobRequest body)
+//	POST   /v1/jobs              submit a job (JobRequest body;
+//	                             optional ?wait=2s and ?result=1)
 //	GET    /v1/jobs              list jobs in submission order
-//	GET    /v1/jobs/{id}         poll one job (optional ?wait=2s)
+//	GET    /v1/jobs/{id}         poll one job (optional ?wait=2s
+//	                             and ?result=1)
 //	GET    /v1/jobs/{id}/result  fetch a done job's payload
 //	DELETE /v1/jobs/{id}         abort a queued or running job
 func NewServer(opts Options) *Server {
@@ -266,14 +326,148 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid_request", err.Error())
 		return
 	}
+	var wait time.Duration
+	if waitStr := r.URL.Query().Get("wait"); waitStr != "" {
+		d, err := time.ParseDuration(waitStr)
+		if err != nil || d < 0 {
+			writeError(w, http.StatusBadRequest, "invalid_request",
+				"wait must be a non-negative duration, got "+waitStr)
+			return
+		}
+		wait = d
+	}
 	st := s.Submit(req)
-	writeJSON(w, http.StatusAccepted, st)
+	if wait > 0 && !st.State.Terminal() {
+		if wait > maxWait {
+			wait = maxWait
+		}
+		if j := s.lookup(st.ID); j != nil {
+			timer := time.NewTimer(wait)
+			defer timer.Stop()
+			select {
+			case <-j.doneCh:
+			case <-timer.C:
+			case <-r.Context().Done():
+			}
+			st = s.status(j)
+		}
+	}
+	if wantResult(r) {
+		s.attachResult(&st)
+	}
+	writeStatus(w, http.StatusAccepted, st)
+}
+
+// keyScratch is the warm fast path's pooled key-building state: one
+// KeyBuilder plus a JSON encoder permanently bound to a reused buffer.
+// Encoding through the bound encoder (with a pointer receiver, so the
+// request is not boxed) re-renders the canonical JSON without
+// allocating once the buffer has grown to fit.
+type keyScratch struct {
+	kb  *memo.KeyBuilder
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var keyPool = sync.Pool{New: func() any {
+	ks := &keyScratch{kb: memo.NewKeyBuilder(jobKeySchema)}
+	ks.enc = json.NewEncoder(&ks.buf)
+	return ks
+}}
+
+// fastJobKey digests an already-normalised request on pooled scratch.
+// Encode emits exactly json.Marshal's bytes plus one trailing newline,
+// which is trimmed before framing, so the digest is bit-identical to
+// JobKey's (TestFastJobKeyMatchesJobKey holds the equivalence).
+func fastJobKey(ks *keyScratch, req *JobRequest) (memo.Key, error) {
+	ks.buf.Reset()
+	if err := ks.enc.Encode(req); err != nil {
+		return memo.Key{}, err
+	}
+	b := ks.buf.Bytes()
+	ks.kb.Reset(jobKeySchema)
+	ks.kb.FieldBytes("request", b[:len(b)-1])
+	return ks.kb.Key(), nil
+}
+
+// lookupWarm peeks the memory tier of the job cache for an
+// already-normalised request. In steady state a hit costs zero heap
+// allocations: the key is built on pooled scratch and the cached
+// payload is returned by reference.
+func (s *Server) lookupWarm(req *JobRequest) ([]byte, bool) {
+	if s.opts.Cache == nil {
+		return nil, false
+	}
+	ks := keyPool.Get().(*keyScratch)
+	key, err := fastJobKey(ks, req)
+	keyPool.Put(ks)
+	if err != nil {
+		return nil, false
+	}
+	return s.opts.Cache.Lookup(key)
+}
+
+// closedCh is the shared pre-closed done channel of jobs born terminal.
+var closedCh = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()
+
+func noopCancel() {}
+
+// submitFast settles a job synchronously when no engine work is
+// needed: a warm job-cache hit is served straight from memory, and an
+// analytic-tier predict is answered in closed form from the catalog
+// parameters. The job still gets an id, appears in the job list and
+// serves its result like any pooled job — it is simply born terminal,
+// so the submit response is already final and clients can skip the
+// poll loop entirely.
+func (s *Server) submitFast(req JobRequest) (JobStatus, bool) {
+	payload, hit := s.lookupWarm(&req)
+	var jobErr error
+	if !hit {
+		if req.Kind != KindPredict || req.Params.Tier != "analytic" {
+			return JobStatus{}, false
+		}
+		// Analytic predictions are pure catalog arithmetic; run them
+		// inline through the cache so duplicates share one payload.
+		payload, _, jobErr = executeCached(context.Background(), s.opts.Cache, req, hooks{})
+	}
+	id := "job-" + strconv.FormatUint(s.nextID.Add(1), 10)
+	j := &job{
+		id: id, kind: req.Kind, req: req,
+		cancel: noopCancel, doneCh: closedCh,
+	}
+	if jobErr == nil {
+		j.state = StateDone
+		j.result = payload
+	} else {
+		j.state = StateFailed
+		j.errMsg = jobErr.Error()
+	}
+	s.mu.Lock()
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	s.mu.Unlock()
+	s.jobsSubmitted.Add(1)
+	if jobErr == nil {
+		s.jobsDone.Add(1)
+	} else {
+		s.jobsFailed.Add(1)
+	}
+	return s.status(j), true
 }
 
 // Submit enqueues a normalised job and returns its initial status. The
 // request must already be valid (HTTP submissions are normalised by the
-// handler; direct callers should call Normalize first).
+// handler; direct callers should call Normalize first). Jobs the server
+// can settle without engine work — warm job-cache hits and analytic
+// predictions — return an already-terminal status instead of queueing.
 func (s *Server) Submit(req JobRequest) JobStatus {
+	if st, ok := s.submitFast(req); ok {
+		return st
+	}
 	id := "job-" + strconv.FormatUint(s.nextID.Add(1), 10)
 	ctx, cancel := context.WithCancel(context.Background())
 	j := &job{
@@ -404,7 +598,6 @@ func (s *Server) handlePoll(w http.ResponseWriter, r *http.Request) {
 				"wait must be a non-negative duration, got "+waitStr)
 			return
 		}
-		const maxWait = 30 * time.Second
 		if d > maxWait {
 			d = maxWait
 		}
@@ -416,7 +609,11 @@ func (s *Server) handlePoll(w http.ResponseWriter, r *http.Request) {
 		case <-r.Context().Done():
 		}
 	}
-	writeJSON(w, http.StatusOK, s.status(j))
+	st := s.status(j)
+	if wantResult(r) {
+		s.attachResult(&st)
+	}
+	writeStatus(w, http.StatusOK, st)
 }
 
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
@@ -433,6 +630,7 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		result := j.result
 		j.mu.Unlock()
 		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Length", strconv.Itoa(len(result)))
 		w.WriteHeader(http.StatusOK)
 		_, _ = w.Write(result)
 	case StateFailed:

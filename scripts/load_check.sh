@@ -1,21 +1,27 @@
 #!/usr/bin/env bash
 # load_check.sh — boot additivityd (built with -race), replay a short
-# skewed trace against it with additivity-load, and require a clean run:
-# zero failed or aborted jobs, and single-flight merges observed on the
-# daemon's shared cache (the skewed trace's concurrent duplicates must
-# collapse onto in-flight twins, not run twice).
+# skewed trace against it with additivity-load (cold, then warm), and
+# require a clean run: zero failed or aborted jobs, the skewed trace's
+# duplicates served from the daemon's shared cache (memory hits or
+# single-flight merges, never recomputed — the warm replay must add no
+# cache misses), and the hot-path allocation budgets.
 #
-# Usage: [OUT=report.json] [RACE=0] scripts/load_check.sh [jobs] [players]
+# Usage: [OUT=report.json] [RACE=0] [BASELINE=BENCH_PR6.json]
+#        scripts/load_check.sh [jobs] [players]
 #
-# OUT copies the final load report out of the temp dir (the BENCH_PR6
+# OUT copies the final load report out of the temp dir (the BENCH_PR6/7
 # recording path); RACE=0 builds the daemon without the race detector
-# so recorded throughput is undistorted.
+# so recorded throughput is undistorted. With RACE=0, the warm replay's
+# throughput is also checked against the BASELINE recording's warm
+# req/s: a regression of more than 20% fails the gate (race-built
+# daemons skip the floor — the detector distorts throughput ~10x).
 set -u
 
 JOBS="${1:-200}"
 PLAYERS="${2:-8}"
 OUT="${OUT:-}"
 RACE="${RACE:-1}"
+BASELINE="${BASELINE:-BENCH_PR6.json}"
 DIR="$(mktemp -d)"
 DAEMON_PID=""
 cleanup() {
@@ -30,6 +36,17 @@ RACEFLAG="-race"
 [ "$RACE" = "0" ] && RACEFLAG=""
 go build $RACEFLAG -o "$DIR/additivityd" ./cmd/additivityd || exit 1
 go build -o "$DIR/additivity-load" ./cmd/additivity-load || exit 1
+
+# Allocation-regression gate for the serving hot paths. These tests
+# need real allocation counts, so they run without the race detector
+# (under -race they skip themselves); the same paths are then exercised
+# for correctness by the race-instrumented replay below.
+echo "checking hot-path allocation budgets..."
+go test -count=1 -run 'TestWarmLookupZeroAllocs|TestPlannedGatherAllocatesLessThanUnplanned' \
+    ./internal/service ./internal/core || {
+    echo "FAIL: hot-path allocation budget regressed" >&2
+    exit 1
+}
 
 echo "booting additivityd${RACEFLAG:+ (race-instrumented)} on an ephemeral port..."
 "$DIR/additivityd" -addr 127.0.0.1:0 -max-jobs "$PLAYERS" \
@@ -64,35 +81,88 @@ echo "replaying a ${JOBS}-job skewed trace with ${PLAYERS} players..."
 }
 cat "$DIR/load.out"
 
+# Dedup invariant, cold leg: the skewed trace's duplicates must be
+# served from the cache (memory hits or single-flight merges onto an
+# in-flight twin), never recomputed. Merges alone are timing-dependent
+# — the faster the hot path, the narrower the overlap window — so the
+# gate checks hits+merges and, below, that the warm replay adds zero
+# misses (no unit is ever computed twice).
 MERGES=$(grep -o '"single_flight_merges":[0-9]*' "$DIR/load.out" \
     | head -1 | grep -o '[0-9]*$')
-if [ -z "$MERGES" ] || [ "$MERGES" -eq 0 ]; then
-    echo "FAIL: skewed replay produced no single-flight merges" >&2
+HITS=$(grep -o '"hits":[0-9]*' "$DIR/load.out" | head -1 | grep -o '[0-9]*$')
+COLD_MISSES=$(grep -o '"misses":[0-9]*' "$DIR/load.out" | head -1 | grep -o '[0-9]*$')
+if [ -z "$MERGES" ] || [ -z "$HITS" ] || [ "$((HITS + MERGES))" -eq 0 ]; then
+    echo "FAIL: skewed replay served no duplicates from the cache" >&2
     exit 1
 fi
 
+# Replay the same trace once more against the now-warm daemon: every
+# job settles on the job-level cache's fast path. The warm report both
+# feeds the recorded artifact (OUT) and the throughput floor below.
+echo "replaying again against the warm daemon..."
+"$DIR/additivity-load" -url "http://$ADDR" \
+    -gen skewed -jobs "$JOBS" -players "$PLAYERS" \
+    -out "$DIR/warm.json" >"$DIR/warm.out" 2>/dev/null || {
+    echo "FAIL: warm replay reported failed or aborted jobs" >&2
+    cat "$DIR/warm.out" >&2
+    exit 1
+}
+cat "$DIR/warm.out"
+
+# Dedup invariant, warm leg: replaying the identical trace must add no
+# cache misses — every job is served from the cache, nothing recomputes.
+WARM_MISSES=$(grep -o '"misses":[0-9]*' "$DIR/warm.out" | head -1 | grep -o '[0-9]*$')
+if [ -n "$COLD_MISSES" ] && [ -n "$WARM_MISSES" ] \
+    && [ "$WARM_MISSES" -ne "$COLD_MISSES" ]; then
+    echo "FAIL: warm replay recomputed cached units (misses ${COLD_MISSES} -> ${WARM_MISSES})" >&2
+    exit 1
+fi
+
+# Warm-throughput floor: an undistorted (RACE=0) warm replay must hold
+# at least 80% of the baseline recording's warm req/s.
+if [ "$RACE" = "0" ] && [ -f "$BASELINE" ]; then
+    WARM_RPS=$(grep -o '"req_per_sec": *[0-9.]*' "$DIR/warm.json" \
+        | head -1 | grep -o '[0-9.]*$')
+    BASE_RPS=$(sed -n '/"warm"/,$p' "$BASELINE" \
+        | grep -o '"req_per_sec": *[0-9.]*' | head -1 | grep -o '[0-9.]*$')
+    if [ -n "$WARM_RPS" ] && [ -n "$BASE_RPS" ]; then
+        if ! awk -v w="$WARM_RPS" -v b="$BASE_RPS" 'BEGIN{exit !(w >= 0.8*b)}'; then
+            echo "FAIL: warm throughput ${WARM_RPS} req/s is below 80% of the ${BASELINE} baseline (${BASE_RPS} req/s)" >&2
+            exit 1
+        fi
+        echo "warm throughput ${WARM_RPS} req/s holds the floor (baseline ${BASE_RPS} req/s)"
+    else
+        echo "WARN: could not extract warm req/s for the throughput floor" >&2
+    fi
+fi
+
 if [ -n "$OUT" ]; then
-    # Replay the same trace once more against the now-warm daemon: the
-    # recorded artifact carries warm-path throughput (every job served
-    # from the job-level cache) alongside the cold first replay.
-    echo "replaying again against the warm daemon..."
+    # The recorded artifact also carries the analytic fast path: a trace
+    # whose identities are all analytic predict jobs, served
+    # synchronously from the platform catalog with no gather. One player
+    # only — this leg records the service's own latency, and extra
+    # players sharing the benchmark core would add queueing delay that
+    # has nothing to do with the serving path.
+    echo "replaying an all-predict analytic trace..."
     "$DIR/additivity-load" -url "http://$ADDR" \
-        -gen skewed -jobs "$JOBS" -players "$PLAYERS" \
-        -out "$DIR/warm.json" >"$DIR/warm.out" 2>/dev/null || {
-        echo "FAIL: warm replay reported failed or aborted jobs" >&2
-        cat "$DIR/warm.out" >&2
+        -gen skewed -jobs "$JOBS" -players 1 -predict-share 1 \
+        -out "$DIR/analytic.json" >"$DIR/analytic.out" 2>/dev/null || {
+        echo "FAIL: analytic predict replay reported failed or aborted jobs" >&2
+        cat "$DIR/analytic.out" >&2
         exit 1
     }
-    cat "$DIR/warm.out"
+    cat "$DIR/analytic.out"
     {
         echo '{'
         echo '  "cold":'
         sed 's/^/  /' "$DIR/report.json" | sed '$s/$/,/'
         echo '  "warm":'
-        sed 's/^/  /' "$DIR/warm.json"
+        sed 's/^/  /' "$DIR/warm.json" | sed '$s/$/,/'
+        echo '  "analytic":'
+        sed 's/^/  /' "$DIR/analytic.json"
         echo '}'
     } >"$OUT"
-    echo "wrote cold+warm load reports to $OUT"
+    echo "wrote cold+warm+analytic load reports to $OUT"
 fi
 
 # SIGTERM must drain cleanly: exit 0 with no jobs failed or aborted.
@@ -116,4 +186,4 @@ if grep -q 'DATA RACE' "$DIR/daemon.err"; then
     exit 1
 fi
 
-echo "PASS: ${JOBS} jobs replayed clean with ${MERGES} single-flight merges and a clean drain"
+echo "PASS: ${JOBS} jobs replayed clean ($((HITS + MERGES)) duplicates served from cache, ${MERGES} single-flight merges) with a clean drain"
