@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-short race bench bench-record bench-smoke chaos resume-check cache-check load-check bench-load tables artifacts examples clean
+.PHONY: all build vet lint test test-short race bench bench-record bench-smoke chaos resume-check cache-check load-check fleet-check bench-load tables artifacts examples clean
 
 all: build vet lint test
 
@@ -83,15 +83,23 @@ cache-check:
 load-check:
 	bash scripts/load_check.sh
 
-# Record the service-layer throughput artifact: replay the canonical
-# 200-job skewed trace with 8 players against a fresh daemon (cold,
-# warm, and an all-predict analytic pass) and copy the reports (latency
-# percentiles, success counters, req/s) to BENCH_PR7.json. Unlike
-# load-check, the daemon is built without -race so the recorded
-# throughput is the real one — which also arms the warm floor against
-# BENCH_PR6.json.
+# Fleet resilience gate: one baseline daemon records a results digest
+# for a 200-job skewed trace; three race-instrumented replicas sharing
+# one cache directory then replay the same trace while one replica is
+# SIGKILLed mid-trace and restarted — the digest must match byte for
+# byte with zero duplicate stores and nonzero cross-process lease
+# merges; finally a small replica (-max-jobs 4 -max-queue 2) under 16
+# players must shed with 429s while holding the accepted-request p99
+# within 2x an uncontended run. CI runs this.
+fleet-check:
+	bash scripts/fleet_check.sh
+
+# Record the multi-replica contention benchmark: the fleet-check legs
+# (baseline, 3-replica fleet with a SIGKILL, uncontended and overloaded
+# runs) with daemons built without -race so recorded latencies are
+# real, copied to BENCH_PR8.json.
 bench-load:
-	OUT=BENCH_PR7.json RACE=0 bash scripts/load_check.sh 200 8
+	OUT=BENCH_PR8.json RACE=0 bash scripts/fleet_check.sh 200 8
 
 # Regenerate every paper table (plus premise, sensor and survey tables).
 tables:

@@ -6,11 +6,20 @@
 //
 // Usage:
 //
-//	additivity-load -url http://127.0.0.1:7909
+//	additivity-load -url http://127.0.0.1:7909[,http://127.0.0.1:7910,...]
 //	                [-trace file.json | -gen uniform|skewed -jobs N
 //	                 -distinct N -seed N -platform name]
 //	                [-players N] [-out report.json]
-//	                [-write-trace file.json] [-statsz]
+//	                [-write-trace file.json] [-statsz] [-digest]
+//	                [-chaos-drop P] [-chaos-slow P] [-chaos-seed N]
+//
+// -url takes a comma-separated replica list: jobs spread round-robin
+// and fail over to the next replica on shed (429), draining (503) or
+// transport faults, so a replica killed mid-trace costs retries, not
+// failures. -digest prints a combined sha256 over every job result in
+// trace order — two replays of the same trace must print the same
+// digest, whatever the fleet did in between. -chaos-drop/-chaos-slow
+// inject seeded connection drops and slow-loris reads client-side.
 //
 // With -trace, the named trace file is replayed. Otherwise a trace is
 // generated deterministically from (-gen, -jobs, -distinct, -seed,
@@ -24,6 +33,7 @@ package main
 
 import (
 	"bytes"
+	"crypto/sha256"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -33,6 +43,7 @@ import (
 	"os"
 	"runtime/pprof"
 	"strings"
+	"sync"
 
 	"additivity/internal/loadgen"
 )
@@ -40,7 +51,7 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("additivity-load: ")
-	url := flag.String("url", "http://127.0.0.1:7909", "daemon base URL")
+	url := flag.String("url", "http://127.0.0.1:7909", "daemon base URL, or a comma-separated replica list for fleet replays")
 	tracePath := flag.String("trace", "", "trace file to replay (overrides generation flags)")
 	gen := flag.String("gen", "skewed", "generated trace mix: uniform or skewed")
 	jobs := flag.Int("jobs", 200, "generated trace length")
@@ -56,6 +67,10 @@ func main() {
 	out := flag.String("out", "", "write the final report JSON here (e.g. BENCH_PR6.json)")
 	writeTrace := flag.String("write-trace", "", "save the generated trace JSON here")
 	statsz := flag.Bool("statsz", true, "fetch and print the daemon's /statsz after the run")
+	digest := flag.Bool("digest", false, "print a combined sha256 over every job result in trace order")
+	chaosDrop := flag.Float64("chaos-drop", 0, "probability one HTTP exchange is severed (0..1)")
+	chaosSlow := flag.Float64("chaos-slow", 0, "probability a response body is read slow-loris style (0..1)")
+	chaosSeed := flag.Int64("chaos-seed", 1, "seed for the chaos fault schedule")
 	flag.Parse()
 
 	var trace *loadgen.Trace
@@ -95,7 +110,15 @@ func main() {
 		log.Printf("wrote trace (%d jobs) to %s", len(trace.Jobs), *writeTrace)
 	}
 
-	base := strings.TrimRight(*url, "/")
+	var bases []string
+	for _, u := range strings.Split(*url, ",") {
+		if u = strings.TrimRight(strings.TrimSpace(u), "/"); u != "" {
+			bases = append(bases, u)
+		}
+	}
+	if len(bases) == 0 {
+		log.Fatal("-url named no replicas")
+	}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
@@ -106,25 +129,59 @@ func main() {
 		}
 		defer pprof.StopCPUProfile()
 	}
-	report, err := loadgen.Play(loadgen.PlayConfig{
-		BaseURL: base,
-		Trace:   trace,
-		Players: *players,
+	cfg := loadgen.PlayConfig{
+		BaseURLs: bases,
+		Trace:    trace,
+		Players:  *players,
 		Progress: func(p loadgen.ProgressSnapshot) {
 			fmt.Fprintf(os.Stderr, "t=%5.1fs submitted=%d completed=%d failed=%d\n",
 				p.ElapsedS, p.Submitted, p.Completed, p.Failed)
 		},
-	})
+	}
+	if *chaosDrop > 0 || *chaosSlow > 0 {
+		cfg.Chaos = &loadgen.ChaosConfig{Seed: *chaosSeed, DropRate: *chaosDrop, SlowRate: *chaosSlow}
+	}
+	var digests [][]byte
+	var digestMu sync.Mutex
+	if *digest {
+		digests = make([][]byte, len(trace.Jobs))
+		cfg.OnResult = func(index int, result []byte) {
+			sum := sha256.Sum256(result)
+			digestMu.Lock()
+			digests[index] = sum[:]
+			digestMu.Unlock()
+		}
+	}
+	report, err := loadgen.Play(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Println(report.String())
+	if *digest {
+		combined := sha256.New()
+		digestMu.Lock()
+		missing := 0
+		for _, d := range digests {
+			if d == nil {
+				missing++
+				continue
+			}
+			combined.Write(d)
+		}
+		digestMu.Unlock()
+		if missing > 0 {
+			log.Printf("digest covers %d/%d results (%d missing)", len(digests)-missing, len(digests), missing)
+		}
+		fmt.Printf("results digest: %x\n", combined.Sum(nil))
+	}
 	if *statsz {
-		if stats, err := fetchStatsz(base); err != nil {
-			log.Printf("statsz: %v", err)
-		} else {
-			fmt.Printf("server statsz: %s\n", stats)
+		for _, base := range bases {
+			if stats, err := fetchStatsz(base); err != nil {
+				log.Printf("statsz %s: %v", base, err)
+			} else {
+				fmt.Printf("server statsz %s: %s\n", base, stats)
+			}
 		}
 	}
 	if *out != "" {

@@ -6,12 +6,16 @@
 //
 // Usage:
 //
-//	additivityd [-addr host:port] [-cache-dir dir] [-max-jobs N]
+//	additivityd [-addr host:port] [-cache-dir dir] [-cache-max-bytes N]
+//	            [-max-jobs N] [-max-queue N] [-job-timeout dur]
 //	            [-drain-timeout dur] [-pprof-addr host:port]
 //
 // Endpoints:
 //
-//	GET    /healthz              liveness probe ("ok")
+//	GET    /healthz              liveness probe ("ok", or "degraded:
+//	                             <reason>" under breaker or queue
+//	                             pressure — still HTTP 200: degraded
+//	                             is an honest state, not an outage)
 //	GET    /statsz               cache, job and fault counters (JSON)
 //	POST   /v1/jobs              submit a job (optional ?wait=2s to
 //	                             long-poll and ?result=1 to inline a
@@ -21,6 +25,12 @@
 //	GET    /v1/jobs/{id}         poll one job (same ?wait / ?result)
 //	GET    /v1/jobs/{id}/result  fetch a done job's result payload
 //	DELETE /v1/jobs/{id}         abort a queued or running job
+//
+// Overload control: pooled submissions beyond -max-queue are shed with
+// 429 "overloaded" and a Retry-After (the warm fast path is never
+// shed); -job-timeout bounds every job's lifetime, queue wait
+// included; -cache-max-bytes caps the shared disk cache, compacted via
+// the warm/cold tier split.
 //
 // On SIGTERM or SIGINT the daemon drains: new submissions are refused
 // with 503 while queued and running jobs finish (bounded by
@@ -61,7 +71,10 @@ func main() {
 	log.SetPrefix("additivityd: ")
 	addr := flag.String("addr", "127.0.0.1:7909", "listen address (use :0 for an ephemeral port)")
 	cacheDir := flag.String("cache-dir", "", "content-addressed measurement cache directory (empty: in-memory cache only)")
+	cacheMaxBytes := flag.Int64("cache-max-bytes", 0, "disk cache size budget in bytes; exceeding it triggers warm/cold compaction (0: unbounded)")
 	maxJobs := flag.Int("max-jobs", 0, "maximum concurrently running jobs (0: GOMAXPROCS)")
+	maxQueue := flag.Int("max-queue", 0, fmt.Sprintf("maximum queued pooled jobs before submissions are shed with 429 (0: %d, negative: unbounded)", service.DefaultMaxQueuedJobs))
+	jobTimeout := flag.Duration("job-timeout", 0, "default per-job deadline, queue wait included; ?timeout= overrides per request (0: none)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight jobs on shutdown before aborting them")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this separate listener (empty: profiling off)")
 	flag.Parse()
@@ -69,11 +82,16 @@ func main() {
 	// The daemon always runs cache-backed: an in-memory cache still
 	// gives duplicate jobs single-flight dedup and warm hits within the
 	// process; a -cache-dir extends that across restarts and replicas.
-	cache, err := memo.New(memo.Options{Dir: *cacheDir})
+	cache, err := memo.New(memo.Options{Dir: *cacheDir, DiskMaxBytes: *cacheMaxBytes})
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv := service.NewServer(service.Options{Cache: cache, MaxConcurrentJobs: *maxJobs})
+	srv := service.NewServer(service.Options{
+		Cache:             cache,
+		MaxConcurrentJobs: *maxJobs,
+		MaxQueuedJobs:     *maxQueue,
+		DefaultJobTimeout: *jobTimeout,
+	})
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -35,6 +35,13 @@ var scope = []string{
 	"internal/core",
 	"internal/experiments",
 	"internal/memo",
+	// The serving stack joined the fault path when the circuit breaker
+	// and deadline propagation landed: the service dispatches on
+	// context.DeadlineExceeded/Canceled to classify aborts, and the
+	// load harness dispatches on its typed httpError to decide what to
+	// retry — a flattened error breaks both.
+	"internal/service",
+	"internal/loadgen",
 }
 
 func run(pass *analysis.Pass) {

@@ -4,6 +4,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
 
@@ -39,6 +40,23 @@ func cacheFixture(t *testing.T, cache *memo.Cache, j Journal, rates *faults.Rate
 		t.Fatal(err)
 	}
 	return verdicts, report
+}
+
+// memoEntries lists the warm-tier entry files of a cache directory,
+// ignoring the cold-tier subdirectory and any stray temp files.
+func memoEntries(t *testing.T, dir string) []string {
+	t.Helper()
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, de := range des {
+		if !de.IsDir() && strings.HasSuffix(de.Name(), ".memo") {
+			names = append(names, de.Name())
+		}
+	}
+	return names
 }
 
 func newTestCache(t *testing.T, dir string) *memo.Cache {
@@ -169,10 +187,7 @@ func TestDegradedUnitsNeverCached(t *testing.T) {
 		t.Errorf("resident entries = %d, want tasks %d minus uncacheable %d",
 			shared.Len(), cold.Tasks, st.Uncacheable)
 	}
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
+	entries := memoEntries(t, dir)
 	if len(entries) != cold.Tasks-int(st.Uncacheable) {
 		t.Errorf("disk entries = %d, want %d", len(entries), cold.Tasks-int(st.Uncacheable))
 	}
@@ -192,15 +207,12 @@ func TestDegradedUnitsNeverCached(t *testing.T) {
 func TestCorruptCacheEntryRemeasured(t *testing.T) {
 	dir := t.TempDir()
 	want, _ := cacheFixture(t, newTestCache(t, dir), nil, nil, 0)
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
+	entries := memoEntries(t, dir)
 	if len(entries) == 0 {
 		t.Fatal("no disk entries written")
 	}
 	// Truncate one entry mid-payload.
-	victim := filepath.Join(dir, entries[0].Name())
+	victim := filepath.Join(dir, entries[0])
 	raw, err := os.ReadFile(victim)
 	if err != nil {
 		t.Fatal(err)

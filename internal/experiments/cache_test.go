@@ -3,6 +3,7 @@ package experiments
 import (
 	"os"
 	"reflect"
+	"strings"
 	"testing"
 
 	"additivity/internal/memo"
@@ -52,11 +53,17 @@ func TestStudyCacheColdWarmByteIdentical(t *testing.T) {
 	if cold.CacheStats == nil || cold.CacheStats.Misses == 0 {
 		t.Fatalf("cold study stats: %+v", cold.CacheStats)
 	}
-	entries, err := os.ReadDir(dir)
+	des, err := os.ReadDir(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(entries) == 0 {
+	persisted := 0
+	for _, de := range des {
+		if !de.IsDir() && strings.HasSuffix(de.Name(), ".memo") {
+			persisted++
+		}
+	}
+	if persisted == 0 {
 		t.Fatal("-cache-dir must persist entries to disk")
 	}
 

@@ -1,0 +1,128 @@
+package loadgen
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ChaosConfig injects seeded client-side faults into a replay: severed
+// connections and slow-loris response reads. The fault schedule is
+// drawn from one seeded stream, so a chaos replay is reproducible in
+// distribution — the same seed draws the same fault sequence, applied
+// to requests in whatever order the player pool issues them. Chaos
+// never touches payload bytes: a replay under chaos must still end
+// with zero failed jobs and byte-identical results, which is exactly
+// the resilience property the harness exists to prove.
+type ChaosConfig struct {
+	// Seed drives every chaos draw (default 1).
+	Seed int64
+	// DropRate is the probability in [0,1] that one HTTP exchange is
+	// severed. Half the drops kill the request before it reaches the
+	// replica; the other half let the replica process it and discard
+	// the answer — the nasty case, where a resubmitted job must dedupe
+	// through the shared cache instead of redoing the work.
+	DropRate float64
+	// SlowRate is the probability in [0,1] that a response body is
+	// read slow-loris style: a few bytes at a time with a pause before
+	// each chunk.
+	SlowRate float64
+	// SlowChunk and SlowDelay shape the slow read (defaults: 256
+	// bytes, 1ms per chunk).
+	SlowChunk int
+	SlowDelay time.Duration
+}
+
+// errChaosDrop marks an exchange the chaos transport severed; the
+// player retries it like any other transport failure.
+var errChaosDrop = errors.New("chaos: connection dropped")
+
+// chaosTransport wraps a RoundTripper with seeded fault injection.
+type chaosTransport struct {
+	base http.RoundTripper
+	cfg  ChaosConfig
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	drops atomic.Uint64
+	slows atomic.Uint64
+}
+
+func newChaosTransport(base http.RoundTripper, cfg ChaosConfig) (*chaosTransport, error) {
+	if cfg.DropRate < 0 || cfg.DropRate > 1 || cfg.SlowRate < 0 || cfg.SlowRate > 1 {
+		return nil, fmt.Errorf("loadgen: chaos rates must lie in [0,1], got drop=%v slow=%v", cfg.DropRate, cfg.SlowRate)
+	}
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.SlowChunk <= 0 {
+		cfg.SlowChunk = 256
+	}
+	if cfg.SlowDelay <= 0 {
+		cfg.SlowDelay = time.Millisecond
+	}
+	return &chaosTransport{base: base, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}, nil
+}
+
+func (t *chaosTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	t.mu.Lock()
+	drop := t.rng.Float64()
+	slow := t.rng.Float64()
+	t.mu.Unlock()
+
+	if drop < t.cfg.DropRate {
+		t.drops.Add(1)
+		if drop < t.cfg.DropRate/2 {
+			// Pre-send sever: the replica never sees the request.
+			if req.Body != nil {
+				req.Body.Close()
+			}
+			return nil, errChaosDrop
+		}
+		// Post-answer sever: the replica has fully processed the request
+		// (a submit may have queued or even finished the job) but the
+		// client never learns. The retry must be dedupe'd by the shared
+		// cache, not redo the measurement.
+		resp, err := t.base.RoundTrip(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		return nil, errChaosDrop
+	}
+
+	resp, err := t.base.RoundTrip(req)
+	if err != nil || slow >= t.cfg.SlowRate {
+		return resp, err
+	}
+	t.slows.Add(1)
+	resp.Body = &slowBody{body: resp.Body, chunk: t.cfg.SlowChunk, delay: t.cfg.SlowDelay}
+	return resp, nil
+}
+
+// slowBody doles a response out one bounded chunk at a time with a
+// pause before each read — a slow-loris peer that stalls the reader
+// without ever corrupting the bytes.
+type slowBody struct {
+	body  io.ReadCloser
+	chunk int
+	delay time.Duration
+}
+
+func (s *slowBody) Read(p []byte) (int, error) {
+	time.Sleep(s.delay)
+	if len(p) > s.chunk {
+		p = p[:s.chunk]
+	}
+	return s.body.Read(p)
+}
+
+func (s *slowBody) Close() error { return s.body.Close() }

@@ -3,9 +3,11 @@ package loadgen
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -13,10 +15,18 @@ import (
 	"additivity/internal/service"
 )
 
-// PlayConfig parameterises a trace replay against a running daemon.
+// PlayConfig parameterises a trace replay against a running daemon or
+// a fleet of replicas.
 type PlayConfig struct {
-	// BaseURL is the daemon's root URL, e.g. http://127.0.0.1:7909.
+	// BaseURL is the daemon's root URL, e.g. http://127.0.0.1:7909 —
+	// the single-replica convenience form of BaseURLs.
 	BaseURL string
+	// BaseURLs lists every replica of the fleet. Trace positions are
+	// spread across replicas round-robin, and a failed attempt retries
+	// on the next replica — a replica killed mid-trace only costs the
+	// jobs in flight against it one resubmit each. When both are set,
+	// BaseURLs wins.
+	BaseURLs []string
 	// Trace is the workload to replay.
 	Trace *Trace
 	// Players bounds the concurrent request drivers (default 8). Each
@@ -39,10 +49,27 @@ type PlayConfig struct {
 	// keyed by the job's position in the trace. Called from player
 	// goroutines; the callback must be safe for concurrent use.
 	OnResult func(index int, result []byte)
+	// Chaos, when set, injects seeded connection drops and slow-loris
+	// reads into every exchange. The replay must still end clean: chaos
+	// faults are absorbed by the retry loop, never surfaced as failures.
+	Chaos *ChaosConfig
 
 	// waitQuery is the precomputed "?wait=...&result=1" suffix shared by
 	// every submit and poll URL, built once in fill.
 	waitQuery string
+	// stats collects the replay's resilience counters; one instance is
+	// shared by every player (fill allocates it).
+	stats *runStats
+	// chaos is the installed fault-injecting transport, kept for its
+	// counters (nil without Chaos).
+	chaos *chaosTransport
+}
+
+// runStats holds the cross-player resilience counters of one replay.
+type runStats struct {
+	shed     atomic.Uint64
+	draining atomic.Uint64
+	retries  atomic.Uint64
 }
 
 // ProgressSnapshot is one per-second view of a replay in flight.
@@ -60,11 +87,24 @@ const (
 	outcomeDegraded // done, but on incomplete data
 	outcomeAborted
 	outcomeFailed
+	// outcomeRetry never reaches the report: it routes one failed
+	// attempt back into playOne's retry loop.
+	outcomeRetry
 )
 
 func (c *PlayConfig) fill() error {
-	if c.BaseURL == "" {
-		return fmt.Errorf("loadgen: PlayConfig.BaseURL is required")
+	if len(c.BaseURLs) == 0 && c.BaseURL != "" {
+		c.BaseURLs = []string{c.BaseURL}
+	}
+	if len(c.BaseURLs) == 0 {
+		return fmt.Errorf("loadgen: PlayConfig.BaseURLs (or BaseURL) is required")
+	}
+	for i, u := range c.BaseURLs {
+		u = strings.TrimRight(u, "/")
+		if u == "" {
+			return fmt.Errorf("loadgen: PlayConfig.BaseURLs[%d] is empty", i)
+		}
+		c.BaseURLs[i] = u
 	}
 	if c.Trace == nil || len(c.Trace.Jobs) == 0 {
 		return fmt.Errorf("loadgen: PlayConfig.Trace must hold at least one job")
@@ -91,7 +131,20 @@ func (c *PlayConfig) fill() error {
 	if c.PerJobTimeout == 0 {
 		c.PerJobTimeout = 120 * time.Second
 	}
+	if c.Chaos != nil {
+		ct, err := newChaosTransport(c.Client.Transport, *c.Chaos)
+		if err != nil {
+			return err
+		}
+		// Wrap a shallow copy so the caller's client keeps its own
+		// transport.
+		cl := *c.Client
+		cl.Transport = ct
+		c.Client = &cl
+		c.chaos = ct
+	}
 	c.waitQuery = "?wait=" + c.PollWait.String() + "&result=1"
+	c.stats = &runStats{}
 	return nil
 }
 
@@ -179,46 +232,95 @@ func Play(cfg PlayConfig) (*Report, error) {
 	return buildReport(cfg, latenciesMS, outcomes, errMsgs, elapsed)
 }
 
+// retryBackoff is the pause before retry attempt n (1-based): a short
+// bounded exponential ramp, long enough for a shedding queue to drain
+// a slot, short enough that failover barely shows in the latency tail.
+func retryBackoff(attempt int) time.Duration {
+	if attempt > 5 {
+		attempt = 5
+	}
+	return 10 * time.Millisecond << uint(attempt-1)
+}
+
 // playOne drives one trace position end to end and returns its
-// latency in milliseconds and outcome.
+// latency in milliseconds and outcome. The reported latency covers the
+// accepted attempt — submit to result on the replica that took the job
+// — not the backpressure spent getting accepted; shed, draining and
+// retry counts quantify that separately. PerJobTimeout still bounds
+// the whole loop, every retry and backoff included.
 func (cfg *PlayConfig) playOne(idx int) (float64, int, error) {
 	body, err := json.Marshal(cfg.Trace.Jobs[idx])
 	if err != nil {
 		return 0, outcomeFailed, err
 	}
+	//lint:ignore determinism load-harness deadline bookkeeping: wall-clock stays in the harness
+	deadline := time.Now().Add(cfg.PerJobTimeout)
+
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			cfg.stats.retries.Add(1)
+			time.Sleep(retryBackoff(attempt))
+			//lint:ignore determinism load-harness deadline check: wall-clock stays in the harness
+			if time.Now().After(deadline) {
+				return 0, outcomeFailed, fmt.Errorf("trace position %d exhausted its %s budget after %d attempts: %w",
+					idx, cfg.PerJobTimeout, attempt, lastErr)
+			}
+		}
+		// Spread starting replicas round-robin by trace position; each
+		// retry moves to the next replica, so a dead one is skipped.
+		base := cfg.BaseURLs[(idx+attempt)%len(cfg.BaseURLs)]
+		ms, out, err := cfg.attemptOne(idx, base, body, deadline)
+		if out != outcomeRetry {
+			return ms, out, err
+		}
+		lastErr = err
+	}
+}
+
+// attemptOne drives one submit→poll→result pass against one replica.
+// outcomeRetry means the attempt failed in a way another attempt (or
+// another replica) can recover: the request was shed (429), the
+// replica is draining (503), the transport failed mid-flight, or the
+// replica lost the job. Job IDs are per-replica, so recovery is always
+// a fresh submit — the content-addressed cache dedupes the underlying
+// work fleet-wide, which is what keeps resubmits cheap and results
+// byte-identical.
+func (cfg *PlayConfig) attemptOne(idx int, base string, body []byte, deadline time.Time) (float64, int, error) {
 	//lint:ignore determinism load-harness latency measurement: wall-clock stays in the harness
 	t0 := time.Now()
-	deadline := t0.Add(cfg.PerJobTimeout)
-
 	// Submit with a long-poll window and an inline result: jobs the
 	// server settles within it (warm cache hits and analytic predictions
 	// settle synchronously) come back already terminal with their payload
 	// attached, collapsing the warm path to a single round-trip.
-	st, err := cfg.postJSON(cfg.BaseURL+"/v1/jobs"+cfg.waitQuery, body)
+	st, err := cfg.postJSON(base+"/v1/jobs"+cfg.waitQuery, body)
 	if err != nil {
-		return 0, outcomeFailed, err
+		return 0, cfg.classify(err, true), err
 	}
 	for !st.State.Terminal() {
 		//lint:ignore determinism load-harness deadline check: wall-clock stays in the harness
 		if time.Now().After(deadline) {
 			return 0, outcomeFailed, fmt.Errorf("job %s timed out after %s in state %s", st.ID, cfg.PerJobTimeout, st.State)
 		}
-		st, err = cfg.getStatus(st.ID)
+		st, err = cfg.getStatus(base, st.ID)
 		if err != nil {
-			return 0, outcomeFailed, err
+			// A failed poll means the replica died, restarted (losing its
+			// in-memory job registry) or the connection was severed; the
+			// only recovery is a resubmit.
+			return 0, cfg.classify(err, false), err
 		}
 	}
 	switch st.State {
 	case service.StateAborted:
-		return 0, outcomeAborted, fmt.Errorf("job %s aborted", st.ID)
+		return 0, outcomeAborted, fmt.Errorf("job %s aborted: %s", st.ID, st.Error)
 	case service.StateFailed:
 		return 0, outcomeFailed, fmt.Errorf("job %s failed: %s", st.ID, st.Error)
 	}
 	result := []byte(st.Result)
 	if result == nil {
-		result, err = cfg.getResult(st.ID)
+		result, err = cfg.getResult(base, st.ID)
 		if err != nil {
-			return 0, outcomeFailed, err
+			return 0, cfg.classify(err, false), err
 		}
 	}
 	//lint:ignore determinism load-harness latency measurement: wall-clock stays in the harness
@@ -232,6 +334,43 @@ func (cfg *PlayConfig) playOne(idx int) (float64, int, error) {
 	return ms, outcomeSuccess, nil
 }
 
+// classify maps one failed exchange to an outcome, counting shed and
+// draining answers as it goes. fatal4xx marks client-error codes
+// terminal — true on the submit path, where a 400 means the trace
+// entry itself is malformed and no retry can fix it; false on polls,
+// where a 404 just means the replica restarted and lost the job.
+func (cfg *PlayConfig) classify(err error, fatal4xx bool) int {
+	var he *httpError
+	if !errors.As(err, &he) {
+		// Transport-level: dial refused, chaos drop, severed read.
+		return outcomeRetry
+	}
+	switch he.code {
+	case http.StatusTooManyRequests:
+		cfg.stats.shed.Add(1)
+		return outcomeRetry
+	case http.StatusServiceUnavailable:
+		cfg.stats.draining.Add(1)
+		return outcomeRetry
+	}
+	if fatal4xx && he.code >= 400 && he.code < 500 {
+		return outcomeFailed
+	}
+	return outcomeRetry
+}
+
+// httpError is a non-2xx daemon answer; the retry loop dispatches on
+// its code (429 shed, 503 draining, 5xx transient).
+type httpError struct {
+	op   string
+	code int
+	body string
+}
+
+func (e *httpError) Error() string {
+	return fmt.Sprintf("%s: HTTP %d: %s", e.op, e.code, e.body)
+}
+
 func (cfg *PlayConfig) postJSON(url string, body []byte) (service.JobStatus, error) {
 	resp, err := cfg.Client.Post(url, "application/json", bytes.NewReader(body))
 	if err != nil {
@@ -243,7 +382,7 @@ func (cfg *PlayConfig) postJSON(url string, body []byte) (service.JobStatus, err
 		return service.JobStatus{}, err
 	}
 	if resp.StatusCode != http.StatusAccepted {
-		return service.JobStatus{}, fmt.Errorf("submit: HTTP %d: %s", resp.StatusCode, firstLine(data))
+		return service.JobStatus{}, &httpError{op: "submit", code: resp.StatusCode, body: firstLine(data)}
 	}
 	st, err := decodeStatusBody(data)
 	if err != nil {
@@ -282,8 +421,8 @@ func decodeStatusBody(data []byte) (service.JobStatus, error) {
 	return st, nil
 }
 
-func (cfg *PlayConfig) getStatus(id string) (service.JobStatus, error) {
-	url := cfg.BaseURL + "/v1/jobs/" + id + cfg.waitQuery
+func (cfg *PlayConfig) getStatus(base, id string) (service.JobStatus, error) {
+	url := base + "/v1/jobs/" + id + cfg.waitQuery
 	resp, err := cfg.Client.Get(url)
 	if err != nil {
 		return service.JobStatus{}, err
@@ -294,7 +433,7 @@ func (cfg *PlayConfig) getStatus(id string) (service.JobStatus, error) {
 		return service.JobStatus{}, err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return service.JobStatus{}, fmt.Errorf("poll %s: HTTP %d: %s", id, resp.StatusCode, firstLine(data))
+		return service.JobStatus{}, &httpError{op: "poll " + id, code: resp.StatusCode, body: firstLine(data)}
 	}
 	st, err := decodeStatusBody(data)
 	if err != nil {
@@ -303,8 +442,8 @@ func (cfg *PlayConfig) getStatus(id string) (service.JobStatus, error) {
 	return st, nil
 }
 
-func (cfg *PlayConfig) getResult(id string) ([]byte, error) {
-	resp, err := cfg.Client.Get(cfg.BaseURL + "/v1/jobs/" + id + "/result")
+func (cfg *PlayConfig) getResult(base, id string) ([]byte, error) {
+	resp, err := cfg.Client.Get(base + "/v1/jobs/" + id + "/result")
 	if err != nil {
 		return nil, err
 	}
@@ -314,7 +453,7 @@ func (cfg *PlayConfig) getResult(id string) ([]byte, error) {
 		return nil, err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("result %s: HTTP %d: %s", id, resp.StatusCode, firstLine(data))
+		return nil, &httpError{op: "result " + id, code: resp.StatusCode, body: firstLine(data)}
 	}
 	return data, nil
 }

@@ -1,0 +1,155 @@
+package memo
+
+import "sync"
+
+// BreakerState names a circuit breaker's position.
+type BreakerState string
+
+const (
+	// BreakerClosed: the disk layer is healthy; every operation flows.
+	BreakerClosed BreakerState = "closed"
+	// BreakerOpen: the disk layer is failing; operations are skipped
+	// (the cache degrades to compute-without-disk, never an outage)
+	// until the cooldown budget of skipped operations runs out.
+	BreakerOpen BreakerState = "open"
+	// BreakerHalfOpen: the cooldown expired; one probe operation is in
+	// flight. Success closes the breaker, failure re-opens it.
+	BreakerHalfOpen BreakerState = "half-open"
+)
+
+// Breaker defaults: breakerThreshold consecutive disk failures open
+// the breaker; while open, breakerCooldown disk-candidate operations
+// are skipped before a single probe is allowed through. The budgets
+// are operation counts, not wall-clock timers, so breaker behaviour is
+// a pure function of the operation/outcome sequence — the same
+// determinism stance as the rest of the cache.
+const (
+	breakerThreshold = 5
+	breakerCooldown  = 100
+)
+
+// breaker is a consecutive-failure circuit breaker guarding the shared
+// disk dependency (entry loads, stores and lease traffic). It exists
+// so a sick cache directory (full disk, yanked mount, permission
+// drift) degrades the fleet to in-process computing instead of turning
+// every job into a 5xx.
+type breaker struct {
+	mu          sync.Mutex
+	state       BreakerState
+	consecFails int
+	skipsLeft   int
+	probing     bool
+
+	threshold int
+	cooldown  int
+	opens     uint64
+	skips     uint64
+}
+
+func newBreaker() *breaker {
+	return &breaker{state: BreakerClosed, threshold: breakerThreshold, cooldown: breakerCooldown}
+}
+
+// allow reports whether the next disk operation may proceed. While
+// open it burns one unit of cooldown per denied operation; when the
+// budget is spent the breaker half-opens and admits a single probe.
+func (b *breaker) allow() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		b.skipsLeft--
+		if b.skipsLeft > 0 {
+			b.skips++
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			b.skips++
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// record folds one allowed operation's outcome back into the breaker.
+func (b *breaker) record(failed bool) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerHalfOpen {
+		b.probing = false
+		if failed {
+			b.state = BreakerOpen
+			b.skipsLeft = b.cooldown
+			b.opens++
+		} else {
+			b.state = BreakerClosed
+			b.consecFails = 0
+		}
+		return
+	}
+	if failed {
+		b.consecFails++
+		if b.consecFails >= b.threshold && b.state == BreakerClosed {
+			b.state = BreakerOpen
+			b.skipsLeft = b.cooldown
+			b.opens++
+		}
+	} else {
+		b.consecFails = 0
+	}
+}
+
+// recordNeutral folds back an allowed operation that produced neither
+// a success nor a failure — a disk probe that found no file. In the
+// closed state it is a true no-op (misses must not reset the failure
+// streak, or a store failing every time would never trip the breaker
+// between read misses). It does resolve a half-open probe, optimistically
+// closing: the directory answered the read, and if the store is still
+// sick the next few real outcomes re-open it within one threshold.
+func (b *breaker) recordNeutral() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerHalfOpen && b.probing {
+		b.probing = false
+		b.state = BreakerClosed
+		b.consecFails = 0
+	}
+}
+
+// tripped reports whether the breaker is currently open, without
+// burning cooldown budget (a read-only probe for gating lease
+// participation and health reporting).
+func (b *breaker) tripped() bool {
+	if b == nil {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state == BreakerOpen
+}
+
+// snapshot returns the breaker's state and counters.
+func (b *breaker) snapshot() (BreakerState, uint64, uint64) {
+	if b == nil {
+		return BreakerClosed, 0, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state, b.opens, b.skips
+}

@@ -47,6 +47,17 @@ type Options struct {
 	// Shards is the lock-shard count, rounded up to a power of two.
 	// 0 means DefaultShards.
 	Shards int
+	// DiskMaxBytes bounds the on-disk store. When a store pushes the
+	// directory past the budget a compaction pass demotes the warm
+	// generation and evicts cold entries oldest-first (see
+	// DiskStore.Compact). 0 means unbounded.
+	DiskMaxBytes int64
+	// DisableLeases turns off cross-process single-flight on the disk
+	// store. By default a disk-backed cache coordinates with every
+	// other process sharing the directory through digest-named lease
+	// files, so N replicas never duplicate a measurement; a
+	// single-process batch run can opt out to skip the lease traffic.
+	DisableLeases bool
 }
 
 // DefaultMaxEntries bounds the in-process LRU when Options.MaxEntries
@@ -77,6 +88,38 @@ type StatsSnapshot struct {
 	// non-cacheable (degraded regime: drops or quarantine), so nothing
 	// was retained in memory or on disk.
 	Uncacheable uint64 `json:"uncacheable"`
+	// LeaseMerges counts requests that waited on another process's
+	// lease and were served the entry that process published — the
+	// cross-process analogue of SingleFlightMerges.
+	LeaseMerges uint64 `json:"lease_merges"`
+	// LeaseTakeovers counts stale leases this process claimed after
+	// their holder died (or stalled past the heartbeat budget)
+	// mid-measure.
+	LeaseTakeovers uint64 `json:"lease_takeovers"`
+	// LeaseBypasses counts computes that ran without a lease because
+	// the wait budget was exhausted — duplicate work, identical bytes.
+	LeaseBypasses uint64 `json:"lease_bypasses"`
+	// DuplicateStores counts stores that found a complete entry already
+	// published for their key. Under cross-process leases this should
+	// stay zero: it is the fleet's duplicate-measurement alarm.
+	DuplicateStores uint64 `json:"duplicate_stores"`
+	// DiskErrors counts disk loads or stores that failed with a real
+	// I/O error (not corruption). The cache degrades to computing
+	// without the disk instead of failing the request; enough
+	// consecutive errors open the breaker.
+	DiskErrors uint64 `json:"disk_errors"`
+	// BreakerOpens counts closed→open transitions of the disk circuit
+	// breaker; BreakerSkips counts disk operations skipped while it was
+	// open.
+	BreakerOpens uint64 `json:"breaker_opens"`
+	BreakerSkips uint64 `json:"breaker_skips"`
+	// Disk tier movement: promotions (cold hit moved back to warm),
+	// demotions (compaction moved warm to cold), evictions (cold entry
+	// removed for the size budget) and compaction passes.
+	DiskPromotions uint64 `json:"disk_promotions"`
+	DiskDemotions  uint64 `json:"disk_demotions"`
+	DiskEvictions  uint64 `json:"disk_evictions"`
+	Compactions    uint64 `json:"compactions"`
 }
 
 // Requests is the total number of GetOrCompute calls reflected in s.
@@ -94,6 +137,17 @@ func (s StatsSnapshot) Add(t StatsSnapshot) StatsSnapshot {
 		Stores:             s.Stores + t.Stores,
 		CorruptEntries:     s.CorruptEntries + t.CorruptEntries,
 		Uncacheable:        s.Uncacheable + t.Uncacheable,
+		LeaseMerges:        s.LeaseMerges + t.LeaseMerges,
+		LeaseTakeovers:     s.LeaseTakeovers + t.LeaseTakeovers,
+		LeaseBypasses:      s.LeaseBypasses + t.LeaseBypasses,
+		DuplicateStores:    s.DuplicateStores + t.DuplicateStores,
+		DiskErrors:         s.DiskErrors + t.DiskErrors,
+		BreakerOpens:       s.BreakerOpens + t.BreakerOpens,
+		BreakerSkips:       s.BreakerSkips + t.BreakerSkips,
+		DiskPromotions:     s.DiskPromotions + t.DiskPromotions,
+		DiskDemotions:      s.DiskDemotions + t.DiskDemotions,
+		DiskEvictions:      s.DiskEvictions + t.DiskEvictions,
+		Compactions:        s.Compactions + t.Compactions,
 	}
 }
 
@@ -107,6 +161,14 @@ type Cache struct {
 	disk   *DiskStore
 	// maxPerShard bounds each shard's LRU; <0 means unbounded.
 	maxPerShard int
+	// diskMaxBytes bounds the disk store (0: unbounded).
+	diskMaxBytes int64
+	// leases coordinates cross-process single-flight over the shared
+	// disk directory; nil for memory-only or lease-disabled caches.
+	leases *leaseManager
+	// brk is the circuit breaker guarding every disk (and lease)
+	// operation; nil-safe, but always set on disk-backed caches.
+	brk *breaker
 
 	hits        atomic.Uint64
 	diskHits    atomic.Uint64
@@ -115,6 +177,8 @@ type Cache struct {
 	stores      atomic.Uint64
 	corrupt     atomic.Uint64
 	uncacheable atomic.Uint64
+	dupStores   atomic.Uint64
+	diskErrors  atomic.Uint64
 }
 
 type shard struct {
@@ -171,6 +235,11 @@ func New(opts Options) (*Cache, error) {
 			return nil, err
 		}
 		c.disk = disk
+		c.diskMaxBytes = opts.DiskMaxBytes
+		c.brk = newBreaker()
+		if !opts.DisableLeases {
+			c.leases = newLeaseManager(opts.Dir)
+		}
 	}
 	return c, nil
 }
@@ -256,23 +325,90 @@ func (c *Cache) Lookup(key Key) ([]byte, bool) {
 	return nil, false
 }
 
-// lead performs the flight leader's work: disk lookup, then compute,
-// then retention. Called outside the shard lock.
+// diskLoad probes the disk store through the circuit breaker. Disk
+// I/O errors are absorbed (counted, fed to the breaker, reported as a
+// miss) so a sick cache directory degrades to computing instead of
+// failing requests; corrupt entries are discarded and re-measured.
+func (c *Cache) diskLoad(key Key) ([]byte, bool) {
+	if c.disk == nil || !c.brk.allow() {
+		return nil, false
+	}
+	payload, ok, err := c.disk.Load(key)
+	switch {
+	case err != nil && errors.Is(err, errCorrupt):
+		// Data damage, not disk sickness: the store is answering.
+		c.corrupt.Add(1)
+		c.brk.record(false)
+	case err != nil:
+		c.diskErrors.Add(1)
+		c.brk.record(true)
+	case ok:
+		c.brk.record(false)
+	default:
+		// A plain miss (no file) carries no health signal either way:
+		// recording it as success would let interleaved misses mask a
+		// failing store (e.g. every write ENOSPC-ing between read misses)
+		// and keep the breaker from ever reaching its threshold.
+		c.brk.recordNeutral()
+	}
+	return payload, ok && err == nil
+}
+
+// diskStore publishes a computed payload through the circuit breaker.
+// A store failure never fails the request — the compute already
+// succeeded; the entry is simply not persisted this time.
+func (c *Cache) diskStore(key Key, payload []byte) {
+	if c.disk == nil || !c.brk.allow() {
+		return
+	}
+	dup, err := c.disk.Store(key, payload)
+	if err != nil {
+		c.diskErrors.Add(1)
+		c.brk.record(true)
+		return
+	}
+	c.brk.record(false)
+	if dup {
+		c.dupStores.Add(1)
+		return
+	}
+	c.stores.Add(1)
+	c.disk.maybeCompact(c.diskMaxBytes)
+}
+
+// lead performs the flight leader's work: disk lookup, cross-process
+// lease coordination, then compute and retention. Called outside the
+// shard lock.
 func (c *Cache) lead(key Key, s *shard, compute func() ([]byte, bool, error)) ([]byte, Outcome, error) {
-	if c.disk != nil {
-		payload, ok, err := c.disk.Load(key)
-		if err != nil && errors.Is(err, errCorrupt) {
-			// Fall through to a fresh measurement.
-			c.corrupt.Add(1)
-		} else if err != nil {
-			return nil, Miss, err
-		} else if ok {
-			c.diskHits.Add(1)
-			c.retain(key, s, payload)
-			return payload, DiskHit, nil
+	if payload, ok := c.diskLoad(key); ok {
+		c.diskHits.Add(1)
+		c.retain(key, s, payload)
+		return payload, DiskHit, nil
+	}
+	// Cross-process single-flight: become the lease holder for this
+	// digest, or wait for the process that is. A follower either gets
+	// the holder's published entry (a lease merge), inherits a dead
+	// holder's lease (takeover), or — after the wait budget — computes
+	// without a lease so a wedged fleet never turns into an outage.
+	payload, published, holding := c.acquireLead(key)
+	if published {
+		c.diskHits.Add(1)
+		c.retain(key, s, payload)
+		return payload, DiskHit, nil
+	}
+	var stopHeartbeat func()
+	if holding {
+		stopHeartbeat = c.leases.heartbeat(key)
+	}
+	releaseLease := func() {
+		if holding {
+			stopHeartbeat()
+			c.leases.release(key)
+			holding = false
 		}
 	}
-	payload, cacheable, err := compute()
+	defer releaseLease()
+	computed, cacheable, err := compute()
 	if err != nil {
 		c.misses.Add(1)
 		return nil, Miss, err
@@ -280,17 +416,47 @@ func (c *Cache) lead(key Key, s *shard, compute func() ([]byte, bool, error)) ([
 	if !cacheable {
 		c.misses.Add(1)
 		c.uncacheable.Add(1)
-		return payload, Miss, nil
+		return computed, Miss, nil
 	}
-	if c.disk != nil {
-		if err := c.disk.Store(key, payload); err != nil {
-			return nil, Miss, err
-		}
-		c.stores.Add(1)
-	}
+	// Publish before releasing the lease, so a follower that wakes on
+	// the release always finds the entry.
+	c.diskStore(key, computed)
+	releaseLease()
 	c.misses.Add(1)
-	c.retain(key, s, payload)
-	return payload, Miss, nil
+	c.retain(key, s, computed)
+	return computed, Miss, nil
+}
+
+// acquireLead wins the cross-process lease for key, waits on its
+// holder, or declines to coordinate (no disk store, breaker open).
+// Winning the acquire is re-checked against the store: between the
+// caller's disk miss and a successful acquire, the previous holder may
+// have published its entry and released — the bare acquire proves
+// nothing. Detecting that race here costs one extra read; missing it
+// would cost a duplicate measurement fleet-wide.
+func (c *Cache) acquireLead(key Key) (payload []byte, published, holding bool) {
+	if c.leases == nil || c.brk.tripped() {
+		return nil, false, false
+	}
+	if c.leases.tryAcquire(key) {
+		if p, ok := c.diskLoad(key); ok {
+			c.leases.release(key)
+			c.leases.merges.Add(1)
+			return p, true, false
+		}
+		return nil, false, true
+	}
+	p, res := c.leases.waitOrAcquire(key, func() ([]byte, bool) {
+		return c.diskLoad(key)
+	})
+	switch res {
+	case waitEntry:
+		return p, true, false
+	case waitAcquired:
+		return nil, false, true
+	default:
+		return nil, false, false
+	}
 }
 
 // retain inserts the payload into the shard's LRU, evicting from the
@@ -332,7 +498,7 @@ func (c *Cache) Stats() StatsSnapshot {
 	if c == nil {
 		return StatsSnapshot{}
 	}
-	return StatsSnapshot{
+	st := StatsSnapshot{
 		Hits:               c.hits.Load(),
 		DiskHits:           c.diskHits.Load(),
 		Misses:             c.misses.Load(),
@@ -340,7 +506,47 @@ func (c *Cache) Stats() StatsSnapshot {
 		Stores:             c.stores.Load(),
 		CorruptEntries:     c.corrupt.Load(),
 		Uncacheable:        c.uncacheable.Load(),
+		DuplicateStores:    c.dupStores.Load(),
+		DiskErrors:         c.diskErrors.Load(),
 	}
+	if c.leases != nil {
+		st.LeaseMerges = c.leases.merges.Load()
+		st.LeaseTakeovers = c.leases.takeovers.Load()
+		st.LeaseBypasses = c.leases.bypasses.Load()
+	}
+	if c.brk != nil {
+		_, st.BreakerOpens, st.BreakerSkips = c.brk.snapshot()
+	}
+	if c.disk != nil {
+		st.DiskPromotions = c.disk.promotions.Load()
+		st.DiskDemotions = c.disk.demotions.Load()
+		st.DiskEvictions = c.disk.evictions.Load()
+		st.Compactions = c.disk.compactions.Load()
+	}
+	return st
+}
+
+// BreakerState reports the disk circuit breaker's position. A
+// memory-only (or nil) cache has no disk dependency and always reads
+// closed.
+func (c *Cache) BreakerState() BreakerState {
+	if c == nil || c.brk == nil {
+		return BreakerClosed
+	}
+	state, _, _ := c.brk.snapshot()
+	return state
+}
+
+// Compact runs a disk compaction pass against the configured (or the
+// given, if positive) size budget. A no-op for memory-only caches.
+func (c *Cache) Compact(maxBytes int64) error {
+	if c == nil || c.disk == nil {
+		return nil
+	}
+	if maxBytes <= 0 {
+		maxBytes = c.diskMaxBytes
+	}
+	return c.disk.Compact(maxBytes)
 }
 
 // Dir returns the backing directory, or "" for a memory-only cache.

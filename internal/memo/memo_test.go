@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -128,12 +129,16 @@ func TestUncacheableNeverRetained(t *testing.T) {
 	if c.Len() != 0 {
 		t.Fatal("uncacheable payload retained in memory")
 	}
-	ents, err := os.ReadDir(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(ents) != 0 {
-		t.Fatalf("uncacheable payload written to disk: %v", ents)
+	for _, d := range []string{dir, filepath.Join(dir, coldDirName)} {
+		ents, err := os.ReadDir(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range ents {
+			if strings.HasSuffix(e.Name(), ".memo") {
+				t.Fatalf("uncacheable payload written to disk: %v", e.Name())
+			}
+		}
 	}
 	if st := c.Stats(); st.Uncacheable != 3 || st.Stores != 0 {
 		t.Fatalf("stats: %+v", st)
@@ -237,12 +242,13 @@ func TestDiskStoreIdempotent(t *testing.T) {
 		t.Fatal(err)
 	}
 	k := KeyOf("unit")
-	if err := s.Store(k, []byte("v")); err != nil {
-		t.Fatal(err)
+	if dup, err := s.Store(k, []byte("v")); err != nil || dup {
+		t.Fatalf("first store: dup=%v err=%v", dup, err)
 	}
-	// Second store is a no-op; the original entry wins.
-	if err := s.Store(k, []byte("other")); err != nil {
-		t.Fatal(err)
+	// Second store is a no-op; the original entry wins and the store
+	// reports the duplicate.
+	if dup, err := s.Store(k, []byte("other")); err != nil || !dup {
+		t.Fatalf("second store: dup=%v err=%v", dup, err)
 	}
 	p, ok, err := s.Load(k)
 	if err != nil || !ok || string(p) != "v" {

@@ -324,10 +324,11 @@ func executeCached(ctx context.Context, cache *memo.Cache, req JobRequest, h hoo
 			report = r
 			return p, r == nil || !r.Degraded(), nil
 		})
-		if err != nil && errors.Is(err, context.Canceled) && ctx.Err() == nil {
+		if err != nil && ctx.Err() == nil &&
+			(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
 			// The flight this job merged onto died with its leader's
-			// abort. This job's own context is still live, so try again:
-			// it becomes the new leader (or hits the cache).
+			// abort or deadline. This job's own context is still live,
+			// so try again: it becomes the new leader (or hits the cache).
 			continue
 		}
 		return payload, report, err

@@ -44,7 +44,23 @@ type Options struct {
 	// MaxConcurrentJobs bounds how many jobs run at once (queued jobs
 	// wait). Zero or negative: GOMAXPROCS.
 	MaxConcurrentJobs int
+	// MaxQueuedJobs bounds the accept queue: jobs admitted but not yet
+	// holding a pool slot. Submissions past the bound are shed with 429
+	// "overloaded" instead of growing an unbounded backlog (the fast
+	// path — warm hits and analytic predictions — is never shed: it
+	// settles synchronously without queueing). Zero means
+	// DefaultMaxQueuedJobs; negative means unbounded.
+	MaxQueuedJobs int
+	// DefaultJobTimeout, when positive, bounds each pooled job's total
+	// time (queue wait included) with a context deadline. A per-request
+	// ?timeout= overrides it. Expired jobs settle as aborted with
+	// "job deadline exceeded".
+	DefaultJobTimeout time.Duration
 }
+
+// DefaultMaxQueuedJobs bounds the accept queue when
+// Options.MaxQueuedJobs is zero.
+const DefaultMaxQueuedJobs = 256
 
 // maxWait caps long-poll durations on the poll and submit endpoints.
 const maxWait = 30 * time.Second
@@ -165,13 +181,25 @@ type JobCounters struct {
 }
 
 // Stats is the /statsz payload. Every counter in it is monotone over
-// the server's lifetime except the Queued/Running gauges and Draining.
+// the server's lifetime except the Queued/Running/QueueDepth gauges
+// and the Draining/Degraded/Breaker states.
 type Stats struct {
 	Jobs         JobCounters         `json:"jobs"`
 	HTTPRequests uint64              `json:"http_requests"`
 	Cache        *memo.StatsSnapshot `json:"cache,omitempty"`
 	Faults       FaultStats          `json:"faults"`
 	Draining     bool                `json:"draining"`
+	// Shed counts submissions refused with 429 because the accept queue
+	// was full; DeadlineExceeded counts jobs aborted by their deadline.
+	Shed             uint64 `json:"shed"`
+	DeadlineExceeded uint64 `json:"deadline_exceeded"`
+	// QueueDepth/QueueLimit expose the admission gauge (-1 limit means
+	// unbounded); Breaker is the measurement cache's disk breaker state;
+	// Degraded mirrors /healthz.
+	QueueDepth int    `json:"queue_depth"`
+	QueueLimit int    `json:"queue_limit"`
+	Breaker    string `json:"breaker,omitempty"`
+	Degraded   bool   `json:"degraded"`
 }
 
 // Server is the additivityd daemon core: an http.Handler exposing the
@@ -180,6 +208,10 @@ type Server struct {
 	opts Options
 	mux  *http.ServeMux
 	sem  chan struct{}
+	// queueLimit is the resolved accept-queue bound (-1: unbounded);
+	// queueDepth is the live count of admitted-but-not-running jobs.
+	queueLimit int
+	queueDepth atomic.Int64
 
 	mu    sync.Mutex
 	jobs  map[string]*job
@@ -188,15 +220,17 @@ type Server struct {
 	jobWG    sync.WaitGroup
 	draining atomic.Bool
 
-	nextID        atomic.Uint64
-	httpRequests  atomic.Uint64
-	jobsSubmitted atomic.Uint64
-	jobsDone      atomic.Uint64
-	jobsFailed    atomic.Uint64
-	jobsAborted   atomic.Uint64
-	faultRetries  atomic.Int64
-	faultRecov    atomic.Int64
-	degradedJobs  atomic.Uint64
+	nextID           atomic.Uint64
+	httpRequests     atomic.Uint64
+	jobsSubmitted    atomic.Uint64
+	jobsDone         atomic.Uint64
+	jobsFailed       atomic.Uint64
+	jobsAborted      atomic.Uint64
+	jobsShed         atomic.Uint64
+	deadlineExceeded atomic.Uint64
+	faultRetries     atomic.Int64
+	faultRecov       atomic.Int64
+	degradedJobs     atomic.Uint64
 }
 
 // NewServer returns a daemon core serving the job API:
@@ -215,10 +249,18 @@ func NewServer(opts Options) *Server {
 	if n <= 0 {
 		n = runtime.GOMAXPROCS(0)
 	}
+	limit := opts.MaxQueuedJobs
+	switch {
+	case limit == 0:
+		limit = DefaultMaxQueuedJobs
+	case limit < 0:
+		limit = -1
+	}
 	s := &Server{
-		opts: opts,
-		sem:  make(chan struct{}, n),
-		jobs: make(map[string]*job),
+		opts:       opts,
+		sem:        make(chan struct{}, n),
+		queueLimit: limit,
+		jobs:       make(map[string]*job),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -261,9 +303,32 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
+// Degraded reports whether the server is up but impaired: the
+// measurement cache's disk breaker is open (jobs compute without
+// persistence or fleet coordination) or the accept queue is saturated
+// (new submissions are being shed). The reason names the first
+// impairment found.
+func (s *Server) Degraded() (bool, string) {
+	if s.opts.Cache != nil && s.opts.Cache.BreakerState() == memo.BreakerOpen {
+		return true, "cache disk breaker open"
+	}
+	if s.queueLimit >= 0 && s.queueDepth.Load() >= int64(s.queueLimit) {
+		return true, "job queue saturated"
+	}
+	return false, ""
+}
+
+// handleHealthz answers "ok" when healthy and "degraded: <reason>"
+// when up but impaired — still 200 in both cases: degraded is a
+// quality signal for operators and load balancers, not liveness
+// failure (the server is serving, just without its full machinery).
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
+	if degraded, reason := s.Degraded(); degraded {
+		_, _ = w.Write([]byte("degraded: " + reason + "\n"))
+		return
+	}
 	_, _ = w.Write([]byte("ok\n"))
 }
 
@@ -299,6 +364,14 @@ func (s *Server) Stats() Stats {
 		DegradedJobs: s.degradedJobs.Load(),
 	}
 	st.Draining = s.draining.Load()
+	st.Shed = s.jobsShed.Load()
+	st.DeadlineExceeded = s.deadlineExceeded.Load()
+	st.QueueDepth = int(s.queueDepth.Load())
+	st.QueueLimit = s.queueLimit
+	if s.opts.Cache != nil {
+		st.Breaker = string(s.opts.Cache.BreakerState())
+	}
+	st.Degraded, _ = s.Degraded()
 	return st
 }
 
@@ -336,7 +409,30 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 		wait = d
 	}
-	st := s.Submit(req)
+	timeout := s.opts.DefaultJobTimeout
+	if toStr := r.URL.Query().Get("timeout"); toStr != "" {
+		d, err := time.ParseDuration(toStr)
+		if err != nil || d <= 0 {
+			writeError(w, http.StatusBadRequest, "invalid_request",
+				"timeout must be a positive duration, got "+toStr)
+			return
+		}
+		timeout = d
+	}
+	st, fast := s.submitFast(req)
+	if !fast {
+		// Admission control guards the pooled path only: the fast path
+		// settles synchronously and adds no backlog, so shedding it
+		// would refuse work the server can answer for free.
+		if !s.reserveQueueSlot() {
+			s.jobsShed.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, "overloaded",
+				fmt.Sprintf("accept queue is full (%d jobs queued); retry later", s.queueLimit))
+			return
+		}
+		st = s.startPooled(req, timeout)
+	}
 	if wait > 0 && !st.State.Terminal() {
 		if wait > maxWait {
 			wait = maxWait
@@ -464,12 +560,45 @@ func (s *Server) submitFast(req JobRequest) (JobStatus, bool) {
 // handler; direct callers should call Normalize first). Jobs the server
 // can settle without engine work — warm job-cache hits and analytic
 // predictions — return an already-terminal status instead of queueing.
+// Direct submission is never shed: admission control applies to the
+// HTTP surface, where a caller can be told to retry.
 func (s *Server) Submit(req JobRequest) JobStatus {
 	if st, ok := s.submitFast(req); ok {
 		return st
 	}
+	s.queueDepth.Add(1)
+	return s.startPooled(req, s.opts.DefaultJobTimeout)
+}
+
+// reserveQueueSlot claims one accept-queue slot, failing when the
+// queue is at its bound. The CAS loop keeps the bound exact under
+// concurrent submissions.
+func (s *Server) reserveQueueSlot() bool {
+	if s.queueLimit < 0 {
+		s.queueDepth.Add(1)
+		return true
+	}
+	for {
+		d := s.queueDepth.Load()
+		if d >= int64(s.queueLimit) {
+			return false
+		}
+		if s.queueDepth.CompareAndSwap(d, d+1) {
+			return true
+		}
+	}
+}
+
+// startPooled creates a pooled job whose accept-queue slot is already
+// reserved, applying the given deadline (0: none) to its whole
+// lifetime — queue wait included, so a saturated pool cannot park a
+// deadlined job forever.
+func (s *Server) startPooled(req JobRequest, timeout time.Duration) JobStatus {
 	id := "job-" + strconv.FormatUint(s.nextID.Add(1), 10)
 	ctx, cancel := context.WithCancel(context.Background())
+	if timeout > 0 {
+		ctx, cancel = context.WithTimeout(context.Background(), timeout)
+	}
 	j := &job{
 		id: id, kind: req.Kind, req: req,
 		cancel: cancel, doneCh: make(chan struct{}),
@@ -490,10 +619,13 @@ func (s *Server) Submit(req JobRequest) JobStatus {
 func (s *Server) run(ctx context.Context, j *job) {
 	defer s.jobWG.Done()
 	defer close(j.doneCh)
+	defer j.cancel() // release the deadline timer once settled
 	select {
 	case s.sem <- struct{}{}:
+		s.queueDepth.Add(-1)
 		defer func() { <-s.sem }()
 	case <-ctx.Done():
+		s.queueDepth.Add(-1)
 		s.finish(j, nil, nil, ctx.Err())
 		return
 	}
@@ -517,12 +649,16 @@ func (s *Server) run(ctx context.Context, j *job) {
 // finish settles a job's terminal state and folds its resilience
 // accounting into the server counters.
 func (s *Server) finish(j *job, payload []byte, report *core.CheckReport, err error) {
+	deadlined := err != nil && errors.Is(err, context.DeadlineExceeded)
 	j.mu.Lock()
 	switch {
 	case err == nil:
 		j.state = StateDone
 		j.result = payload
-	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+	case deadlined:
+		j.state = StateAborted
+		j.errMsg = "job deadline exceeded"
+	case errors.Is(err, context.Canceled):
 		j.state = StateAborted
 		j.errMsg = "job aborted"
 	default:
@@ -536,6 +672,9 @@ func (s *Server) finish(j *job, payload []byte, report *core.CheckReport, err er
 		s.jobsDone.Add(1)
 	case StateAborted:
 		s.jobsAborted.Add(1)
+		if deadlined {
+			s.deadlineExceeded.Add(1)
+		}
 	default:
 		s.jobsFailed.Add(1)
 	}
