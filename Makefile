@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-short race bench bench-record bench-smoke chaos resume-check cache-check load-check fleet-check bench-load tables artifacts examples clean
+.PHONY: all build vet lint test test-short race bench bench-record bench-smoke chaos resume-check cache-check load-check fleet-check peer-check bench-load tables artifacts examples clean
 
 all: build vet lint test
 
@@ -94,12 +94,24 @@ load-check:
 fleet-check:
 	bash scripts/fleet_check.sh
 
-# Record the multi-replica contention benchmark: the fleet-check legs
-# (baseline, 3-replica fleet with a SIGKILL, uncontended and overloaded
-# runs) with daemons built without -race so recorded latencies are
-# real, copied to BENCH_PR8.json.
+# Peer cache protocol gate: one baseline daemon records a results
+# digest and leaves its cache directory warm; three race-instrumented
+# replicas with SEPARATE cache directories, wired with -peers, then
+# replay the same trace — one replica rebooted over the warm directory,
+# the other two cold and reachable only over the peer wire — while one
+# cold replica is SIGKILLed mid-trace. The digest must match byte for
+# byte with nonzero peer hits and zero cache misses on the warm
+# replica. CI runs this.
+peer-check:
+	bash scripts/peer_check.sh
+
+# Record the peer-protocol benchmark: the peer-check legs plus three
+# bench fleets (no-peer cold, peer-warm, shared-dir) with daemons built
+# without -race so recorded throughput is real, written to
+# BENCH_PR9.json. The peer-warm fleet must hold at least 2x the
+# no-peer fleet's req/s.
 bench-load:
-	OUT=BENCH_PR8.json RACE=0 bash scripts/fleet_check.sh 200 8
+	OUT=BENCH_PR9.json RACE=0 bash scripts/peer_check.sh 200 8
 
 # Regenerate every paper table (plus premise, sensor and survey tables).
 tables:

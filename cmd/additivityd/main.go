@@ -9,6 +9,7 @@
 //	additivityd [-addr host:port] [-cache-dir dir] [-cache-max-bytes N]
 //	            [-max-jobs N] [-max-queue N] [-job-timeout dur]
 //	            [-drain-timeout dur] [-pprof-addr host:port]
+//	            [-peers url,url,...] [-peer-timeout dur] [-peer-hedge dur]
 //
 // Endpoints:
 //
@@ -25,6 +26,17 @@
 //	GET    /v1/jobs/{id}         poll one job (same ?wait / ?result)
 //	GET    /v1/jobs/{id}/result  fetch a done job's result payload
 //	DELETE /v1/jobs/{id}         abort a queued or running job
+//	GET    /v1/peer/blob/{digest} serve one stored cache entry to a
+//	                             sibling replica (memo1 wire framing)
+//
+// Peer cache tier: -peers lists sibling replicas' base URLs. On a
+// local cache miss the daemon asks them for the entry (hedged
+// fan-out, first valid response wins, per-peer circuit breakers)
+// before measuring, and writes fetched entries through to its own
+// store — so replicas without a shared cache directory still share
+// measurement work. -peer-timeout bounds each per-peer attempt and
+// -peer-hedge sets the slow-peer budget before a backup request
+// launches (negative disables hedging).
 //
 // Overload control: pooled submissions beyond -max-queue are shed with
 // 429 "overloaded" and a Retry-After (the warm fast path is never
@@ -59,10 +71,12 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"additivity/internal/memo"
+	"additivity/internal/memo/peer"
 	"additivity/internal/service"
 )
 
@@ -77,6 +91,9 @@ func main() {
 	jobTimeout := flag.Duration("job-timeout", 0, "default per-job deadline, queue wait included; ?timeout= overrides per request (0: none)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight jobs on shutdown before aborting them")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this separate listener (empty: profiling off)")
+	peers := flag.String("peers", "", "comma-separated sibling replica base URLs to fetch cache entries from before measuring (empty: peer tier off)")
+	peerTimeout := flag.Duration("peer-timeout", peer.DefaultTimeout, "per-peer fetch attempt timeout")
+	peerHedge := flag.Duration("peer-hedge", peer.DefaultHedgeDelay, "slow-peer budget before a backup fetch launches against the next peer (negative: hedging off)")
 	flag.Parse()
 
 	// The daemon always runs cache-backed: an in-memory cache still
@@ -85,6 +102,18 @@ func main() {
 	cache, err := memo.New(memo.Options{Dir: *cacheDir, DiskMaxBytes: *cacheMaxBytes})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *peers != "" {
+		pc, err := peer.NewClient(peer.Options{
+			Peers:      strings.Split(*peers, ","),
+			Timeout:    *peerTimeout,
+			HedgeDelay: *peerHedge,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		cache.SetPeers(pc)
+		log.Printf("peer cache tier: %d peers, %s timeout, %s hedge delay", pc.NumPeers(), *peerTimeout, *peerHedge)
 	}
 	srv := service.NewServer(service.Options{
 		Cache:             cache,

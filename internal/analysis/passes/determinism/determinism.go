@@ -33,6 +33,10 @@ var scope = []string{
 	"internal/core", "internal/ml", "internal/mat",
 	"internal/stats", "internal/experiments", "internal/memo",
 	"internal/service", "internal/loadgen", "internal/analytic",
+	// The peer tier serves verified content-addressed entries; its
+	// hedge/timeout scheduling is operational wall-clock, suppressed
+	// inline with reasons where used.
+	"internal/memo/peer",
 }
 
 // forbidden maps package path -> function name -> replacement advice.

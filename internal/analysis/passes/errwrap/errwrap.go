@@ -42,6 +42,11 @@ var scope = []string{
 	// retry — a flattened error breaks both.
 	"internal/service",
 	"internal/loadgen",
+	// The peer tier dispatches on memo.ErrCorruptEntry vs
+	// ErrBlobTooLarge to decide whether a fetched blob is rejected as
+	// corrupt or oversized; a flattened error breaks that and the
+	// fuzzers' typed-rejection assertions.
+	"internal/memo/peer",
 }
 
 func run(pass *analysis.Pass) {

@@ -78,13 +78,15 @@ type CheckReport struct {
 	// cache: how each gather unit was satisfied. CacheHits counts
 	// in-process LRU hits, CacheDiskHits entries served from the disk
 	// store, CacheMisses fresh measurements, CacheMerges units that
-	// single-flighted onto a concurrent in-progress gather, and
-	// CacheRejected served entries that failed the degraded/parse guard
-	// and were re-measured.
+	// single-flighted onto a concurrent in-progress gather,
+	// CachePeerHits entries fetched from a sibling replica over the
+	// peer tier, and CacheRejected served entries that failed the
+	// degraded/parse guard and were re-measured.
 	CacheHits     int
 	CacheDiskHits int
 	CacheMisses   int
 	CacheMerges   int
+	CachePeerHits int
 	CacheRejected int
 	// Cached reports whether the check ran with a measurement cache.
 	Cached bool
@@ -106,6 +108,9 @@ func (r *CheckReport) Summary() string {
 	if r.Cached {
 		fmt.Fprintf(&b, "\ncache: %d hits, %d disk hits, %d misses, %d single-flight merges",
 			r.CacheHits, r.CacheDiskHits, r.CacheMisses, r.CacheMerges)
+		if r.CachePeerHits > 0 {
+			fmt.Fprintf(&b, ", %d peer hits", r.CachePeerHits)
+		}
 		if r.CacheRejected > 0 {
 			fmt.Fprintf(&b, ", %d rejected entries re-measured", r.CacheRejected)
 		}
@@ -144,6 +149,8 @@ func (r *CheckReport) mergeCacheOutcome(out *taskOutcome) {
 		r.CacheDiskHits++
 	case memo.Merged:
 		r.CacheMerges++
+	case memo.PeerHit:
+		r.CachePeerHits++
 	default:
 		r.CacheMisses++
 	}

@@ -21,12 +21,17 @@ type PlayConfig struct {
 	// BaseURL is the daemon's root URL, e.g. http://127.0.0.1:7909 —
 	// the single-replica convenience form of BaseURLs.
 	BaseURL string
-	// BaseURLs lists every replica of the fleet. Trace positions are
-	// spread across replicas round-robin, and a failed attempt retries
-	// on the next replica — a replica killed mid-trace only costs the
-	// jobs in flight against it one resubmit each. When both are set,
-	// BaseURLs wins.
+	// BaseURLs lists every replica of the fleet. Attempts are steered
+	// by the Balance policy (least-loaded by default), and a failed
+	// attempt retries on another replica — a replica killed mid-trace
+	// only costs the jobs in flight against it one resubmit each. When
+	// both are set, BaseURLs wins.
 	BaseURLs []string
+	// Balance selects the fleet replica-selection policy:
+	// BalanceLeastLoaded (the default) steers by polled /statsz queue
+	// depth plus local in-flight counts; BalanceRoundRobin restores the
+	// legacy position-modulo spread. Ignored with a single replica.
+	Balance string
 	// Trace is the workload to replay.
 	Trace *Trace
 	// Players bounds the concurrent request drivers (default 8). Each
@@ -63,6 +68,9 @@ type PlayConfig struct {
 	// chaos is the installed fault-injecting transport, kept for its
 	// counters (nil without Chaos).
 	chaos *chaosTransport
+	// balancer is the least-loaded picker; nil under round-robin or a
+	// single replica (fill installs it, Play closes it).
+	balancer *leastLoaded
 }
 
 // runStats holds the cross-player resilience counters of one replay.
@@ -142,6 +150,16 @@ func (c *PlayConfig) fill() error {
 		cl.Transport = ct
 		c.Client = &cl
 		c.chaos = ct
+	}
+	switch c.Balance {
+	case "", BalanceLeastLoaded:
+		if len(c.BaseURLs) > 1 {
+			c.balancer = newLeastLoaded(c.BaseURLs)
+		}
+	case BalanceRoundRobin:
+	default:
+		return fmt.Errorf("loadgen: PlayConfig.Balance = %q, want %q or %q",
+			c.Balance, BalanceLeastLoaded, BalanceRoundRobin)
 	}
 	c.waitQuery = "?wait=" + c.PollWait.String() + "&result=1"
 	c.stats = &runStats{}
@@ -226,6 +244,9 @@ func Play(cfg PlayConfig) (*Report, error) {
 	wg.Wait()
 	close(stopTick)
 	tickWG.Wait()
+	if cfg.balancer != nil {
+		cfg.balancer.close()
+	}
 
 	//lint:ignore determinism load-harness latency measurement: wall-clock stays in the harness
 	elapsed := time.Since(start).Seconds()
@@ -257,6 +278,7 @@ func (cfg *PlayConfig) playOne(idx int) (float64, int, error) {
 	deadline := time.Now().Add(cfg.PerJobTimeout)
 
 	var lastErr error
+	prev := -1
 	for attempt := 0; ; attempt++ {
 		if attempt > 0 {
 			cfg.stats.retries.Add(1)
@@ -267,10 +289,23 @@ func (cfg *PlayConfig) playOne(idx int) (float64, int, error) {
 					idx, cfg.PerJobTimeout, attempt, lastErr)
 			}
 		}
-		// Spread starting replicas round-robin by trace position; each
-		// retry moves to the next replica, so a dead one is skipped.
-		base := cfg.BaseURLs[(idx+attempt)%len(cfg.BaseURLs)]
+		// Pick the replica: the least-loaded balancer steers by polled
+		// queue depth and avoids the replica whose attempt just failed;
+		// round-robin spreads by trace position, each retry moving to
+		// the next replica.
+		var base string
+		pick := -1
+		if cfg.balancer != nil {
+			pick = cfg.balancer.acquire(prev)
+			base = cfg.BaseURLs[pick]
+		} else {
+			base = cfg.BaseURLs[(idx+attempt)%len(cfg.BaseURLs)]
+		}
 		ms, out, err := cfg.attemptOne(idx, base, body, deadline)
+		if cfg.balancer != nil {
+			cfg.balancer.release(pick, out == outcomeRetry)
+			prev = pick
+		}
 		if out != outcomeRetry {
 			return ms, out, err
 		}

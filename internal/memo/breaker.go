@@ -6,34 +6,37 @@ import "sync"
 type BreakerState string
 
 const (
-	// BreakerClosed: the disk layer is healthy; every operation flows.
+	// BreakerClosed: the guarded dependency is healthy; every operation
+	// flows.
 	BreakerClosed BreakerState = "closed"
-	// BreakerOpen: the disk layer is failing; operations are skipped
-	// (the cache degrades to compute-without-disk, never an outage)
-	// until the cooldown budget of skipped operations runs out.
+	// BreakerOpen: the dependency is failing; operations are skipped
+	// (the caller degrades instead of producing an outage) until the
+	// cooldown budget of skipped operations runs out.
 	BreakerOpen BreakerState = "open"
 	// BreakerHalfOpen: the cooldown expired; one probe operation is in
 	// flight. Success closes the breaker, failure re-opens it.
 	BreakerHalfOpen BreakerState = "half-open"
 )
 
-// Breaker defaults: breakerThreshold consecutive disk failures open
-// the breaker; while open, breakerCooldown disk-candidate operations
-// are skipped before a single probe is allowed through. The budgets
-// are operation counts, not wall-clock timers, so breaker behaviour is
-// a pure function of the operation/outcome sequence — the same
+// Breaker defaults: breakerThreshold consecutive failures open the
+// breaker; while open, breakerCooldown candidate operations are
+// skipped before a single probe is allowed through. The budgets are
+// operation counts, not wall-clock timers, so breaker behaviour is a
+// pure function of the operation/outcome sequence — the same
 // determinism stance as the rest of the cache.
 const (
 	breakerThreshold = 5
 	breakerCooldown  = 100
 )
 
-// breaker is a consecutive-failure circuit breaker guarding the shared
-// disk dependency (entry loads, stores and lease traffic). It exists
-// so a sick cache directory (full disk, yanked mount, permission
-// drift) degrades the fleet to in-process computing instead of turning
-// every job into a 5xx.
-type breaker struct {
+// Breaker is a consecutive-failure circuit breaker guarding a shared
+// dependency. The disk layer wraps one around the cache directory
+// (entry loads, stores and lease traffic) so a sick mount degrades the
+// fleet to in-process computing instead of turning every job into a
+// 5xx; the peer tier reuses the same shape per replica, so a dead or
+// wedged peer is skipped instead of taxing every fetch with its
+// timeout.
+type Breaker struct {
 	mu          sync.Mutex
 	state       BreakerState
 	consecFails int
@@ -46,14 +49,16 @@ type breaker struct {
 	skips     uint64
 }
 
-func newBreaker() *breaker {
-	return &breaker{state: BreakerClosed, threshold: breakerThreshold, cooldown: breakerCooldown}
+// NewBreaker returns a closed breaker with the default operation-count
+// threshold and cooldown.
+func NewBreaker() *Breaker {
+	return &Breaker{state: BreakerClosed, threshold: breakerThreshold, cooldown: breakerCooldown}
 }
 
-// allow reports whether the next disk operation may proceed. While
+// Allow reports whether the next guarded operation may proceed. While
 // open it burns one unit of cooldown per denied operation; when the
 // budget is spent the breaker half-opens and admits a single probe.
-func (b *breaker) allow() bool {
+func (b *Breaker) Allow() bool {
 	if b == nil {
 		return true
 	}
@@ -81,8 +86,8 @@ func (b *breaker) allow() bool {
 	}
 }
 
-// record folds one allowed operation's outcome back into the breaker.
-func (b *breaker) record(failed bool) {
+// Record folds one allowed operation's outcome back into the breaker.
+func (b *Breaker) Record(failed bool) {
 	if b == nil {
 		return
 	}
@@ -112,14 +117,15 @@ func (b *breaker) record(failed bool) {
 	}
 }
 
-// recordNeutral folds back an allowed operation that produced neither
-// a success nor a failure — a disk probe that found no file. In the
-// closed state it is a true no-op (misses must not reset the failure
-// streak, or a store failing every time would never trip the breaker
-// between read misses). It does resolve a half-open probe, optimistically
-// closing: the directory answered the read, and if the store is still
-// sick the next few real outcomes re-open it within one threshold.
-func (b *breaker) recordNeutral() {
+// RecordNeutral folds back an allowed operation that produced neither
+// a success nor a failure — a disk probe that found no file, a peer
+// that answered 404. In the closed state it is a true no-op (misses
+// must not reset the failure streak, or a store failing every time
+// would never trip the breaker between read misses). It does resolve a
+// half-open probe, optimistically closing: the dependency answered,
+// and if it is still sick the next few real outcomes re-open it within
+// one threshold.
+func (b *Breaker) RecordNeutral() {
 	if b == nil {
 		return
 	}
@@ -132,10 +138,10 @@ func (b *breaker) recordNeutral() {
 	}
 }
 
-// tripped reports whether the breaker is currently open, without
+// Tripped reports whether the breaker is currently open, without
 // burning cooldown budget (a read-only probe for gating lease
 // participation and health reporting).
-func (b *breaker) tripped() bool {
+func (b *Breaker) Tripped() bool {
 	if b == nil {
 		return false
 	}
@@ -144,8 +150,8 @@ func (b *breaker) tripped() bool {
 	return b.state == BreakerOpen
 }
 
-// snapshot returns the breaker's state and counters.
-func (b *breaker) snapshot() (BreakerState, uint64, uint64) {
+// Snapshot returns the breaker's state and its open/skip counters.
+func (b *Breaker) Snapshot() (BreakerState, uint64, uint64) {
 	if b == nil {
 		return BreakerClosed, 0, 0
 	}

@@ -20,6 +20,9 @@ const (
 	// Merged: another caller was already computing the same key; this
 	// caller blocked on that single flight and shared its result.
 	Merged
+	// PeerHit: served by a peer replica over the network (and written
+	// through to the local store).
+	PeerHit
 )
 
 func (o Outcome) String() string {
@@ -32,8 +35,39 @@ func (o Outcome) String() string {
 		return "disk-hit"
 	case Merged:
 		return "merged"
+	case PeerHit:
+		return "peer-hit"
 	}
 	return "unknown"
+}
+
+// PeerSource is a network tier the cache consults after a local (LRU +
+// disk) miss and before measuring. Fetch returns the verified payload
+// for key, or reports a miss; it must never return unverified bytes —
+// the cache writes them through to the local store as-is. PeerStats
+// exposes the source's own health counters for the cache snapshot.
+// Implemented by peer.Client; the indirection keeps memo free of any
+// HTTP dependency.
+type PeerSource interface {
+	Fetch(key Key) ([]byte, bool)
+	PeerStats() PeerStats
+}
+
+// PeerStats are the health counters a PeerSource maintains alongside
+// the cache's own peer hit/miss counts.
+type PeerStats struct {
+	// FetchErrors counts fetch attempts that failed against one peer
+	// (timeout, transport error, unexpected status, or a malformed /
+	// digest-mismatched body). A fetch that fails on one peer may still
+	// succeed on another; each per-peer failure counts once.
+	FetchErrors uint64
+	// HedgesWon counts fetches satisfied by a hedge request — a backup
+	// launched because the first-choice peer was slow — rather than the
+	// initially-chosen peer.
+	HedgesWon uint64
+	// BreakerTrips counts closed→open transitions across all per-peer
+	// breakers.
+	BreakerTrips uint64
 }
 
 // Options configures a Cache.
@@ -120,11 +154,22 @@ type StatsSnapshot struct {
 	DiskDemotions  uint64 `json:"disk_demotions"`
 	DiskEvictions  uint64 `json:"disk_evictions"`
 	Compactions    uint64 `json:"compactions"`
+	// PeerHits counts requests served by a peer replica's cache over the
+	// network; PeerMisses counts peer fan-outs that came back empty and
+	// fell through to measuring. Both are zero on caches with no peer
+	// source configured.
+	PeerHits   uint64 `json:"peer_hits"`
+	PeerMisses uint64 `json:"peer_misses"`
+	// PeerFetchErrors, PeerHedgesWon and PeerBreakerTrips mirror the
+	// PeerSource's own health counters (see PeerStats).
+	PeerFetchErrors  uint64 `json:"peer_fetch_errors"`
+	PeerHedgesWon    uint64 `json:"peer_hedges_won"`
+	PeerBreakerTrips uint64 `json:"peer_breaker_trips"`
 }
 
 // Requests is the total number of GetOrCompute calls reflected in s.
 func (s StatsSnapshot) Requests() uint64 {
-	return s.Hits + s.DiskHits + s.Misses + s.SingleFlightMerges
+	return s.Hits + s.DiskHits + s.Misses + s.SingleFlightMerges + s.PeerHits
 }
 
 // Add returns the field-wise sum of two snapshots.
@@ -148,6 +193,11 @@ func (s StatsSnapshot) Add(t StatsSnapshot) StatsSnapshot {
 		DiskDemotions:      s.DiskDemotions + t.DiskDemotions,
 		DiskEvictions:      s.DiskEvictions + t.DiskEvictions,
 		Compactions:        s.Compactions + t.Compactions,
+		PeerHits:           s.PeerHits + t.PeerHits,
+		PeerMisses:         s.PeerMisses + t.PeerMisses,
+		PeerFetchErrors:    s.PeerFetchErrors + t.PeerFetchErrors,
+		PeerHedgesWon:      s.PeerHedgesWon + t.PeerHedgesWon,
+		PeerBreakerTrips:   s.PeerBreakerTrips + t.PeerBreakerTrips,
 	}
 }
 
@@ -168,7 +218,12 @@ type Cache struct {
 	leases *leaseManager
 	// brk is the circuit breaker guarding every disk (and lease)
 	// operation; nil-safe, but always set on disk-backed caches.
-	brk *breaker
+	brk *Breaker
+	// peers, when set, is consulted after a local miss and before
+	// measuring; fetched entries are written through to the local store.
+	// Guarded by peersMu so SetPeers is safe after the cache is serving.
+	peersMu sync.RWMutex
+	peers   PeerSource
 
 	hits        atomic.Uint64
 	diskHits    atomic.Uint64
@@ -179,6 +234,8 @@ type Cache struct {
 	uncacheable atomic.Uint64
 	dupStores   atomic.Uint64
 	diskErrors  atomic.Uint64
+	peerHits    atomic.Uint64
+	peerMisses  atomic.Uint64
 }
 
 type shard struct {
@@ -236,7 +293,7 @@ func New(opts Options) (*Cache, error) {
 		}
 		c.disk = disk
 		c.diskMaxBytes = opts.DiskMaxBytes
-		c.brk = newBreaker()
+		c.brk = NewBreaker()
 		if !opts.DisableLeases {
 			c.leases = newLeaseManager(opts.Dir)
 		}
@@ -325,12 +382,78 @@ func (c *Cache) Lookup(key Key) ([]byte, bool) {
 	return nil, false
 }
 
+// SetPeers installs (or, with nil, removes) the network peer tier.
+// Safe to call while the cache is serving; in-flight requests keep
+// whatever source they already read. Safe on nil (no-op), so callers
+// can wire flags unconditionally.
+func (c *Cache) SetPeers(p PeerSource) {
+	if c == nil {
+		return
+	}
+	c.peersMu.Lock()
+	c.peers = p
+	c.peersMu.Unlock()
+}
+
+// peerSource returns the installed peer tier, or nil.
+func (c *Cache) peerSource() PeerSource {
+	c.peersMu.RLock()
+	p := c.peers
+	c.peersMu.RUnlock()
+	return p
+}
+
+// peerFetch consults the peer tier after a local miss. A hit counts
+// and returns the verified payload; a miss (or no tier configured)
+// counts only when a fan-out actually ran.
+func (c *Cache) peerFetch(key Key) ([]byte, bool) {
+	p := c.peerSource()
+	if p == nil {
+		return nil, false
+	}
+	payload, ok := p.Fetch(key)
+	if ok {
+		c.peerHits.Add(1)
+		return payload, true
+	}
+	c.peerMisses.Add(1)
+	return nil, false
+}
+
+// LookupStored probes the local layers only — LRU, then disk — for a
+// complete stored entry, without counting a request, running a
+// compute, or consulting peers. This is the read side of the peer
+// protocol: a replica answering GET /v1/peer/blob must serve strictly
+// what it already has, so two peers missing the same key can never
+// recurse into each other, and serving traffic never skews the local
+// hit/miss accounting. Safe on nil.
+//
+// The returned payload is shared — callers must not mutate it.
+func (c *Cache) LookupStored(key Key) ([]byte, bool) {
+	if c == nil || key.IsZero() {
+		return nil, false
+	}
+	s := c.shardOf(key)
+	s.mu.Lock()
+	if el, ok := s.entries[key]; ok {
+		p := el.Value.(*entry).payload
+		s.mu.Unlock()
+		return p, true
+	}
+	s.mu.Unlock()
+	if payload, ok := c.diskLoad(key); ok {
+		c.retain(key, s, payload)
+		return payload, true
+	}
+	return nil, false
+}
+
 // diskLoad probes the disk store through the circuit breaker. Disk
 // I/O errors are absorbed (counted, fed to the breaker, reported as a
 // miss) so a sick cache directory degrades to computing instead of
 // failing requests; corrupt entries are discarded and re-measured.
 func (c *Cache) diskLoad(key Key) ([]byte, bool) {
-	if c.disk == nil || !c.brk.allow() {
+	if c.disk == nil || !c.brk.Allow() {
 		return nil, false
 	}
 	payload, ok, err := c.disk.Load(key)
@@ -338,18 +461,18 @@ func (c *Cache) diskLoad(key Key) ([]byte, bool) {
 	case err != nil && errors.Is(err, errCorrupt):
 		// Data damage, not disk sickness: the store is answering.
 		c.corrupt.Add(1)
-		c.brk.record(false)
+		c.brk.Record(false)
 	case err != nil:
 		c.diskErrors.Add(1)
-		c.brk.record(true)
+		c.brk.Record(true)
 	case ok:
-		c.brk.record(false)
+		c.brk.Record(false)
 	default:
 		// A plain miss (no file) carries no health signal either way:
 		// recording it as success would let interleaved misses mask a
 		// failing store (e.g. every write ENOSPC-ing between read misses)
 		// and keep the breaker from ever reaching its threshold.
-		c.brk.recordNeutral()
+		c.brk.RecordNeutral()
 	}
 	return payload, ok && err == nil
 }
@@ -358,16 +481,16 @@ func (c *Cache) diskLoad(key Key) ([]byte, bool) {
 // A store failure never fails the request — the compute already
 // succeeded; the entry is simply not persisted this time.
 func (c *Cache) diskStore(key Key, payload []byte) {
-	if c.disk == nil || !c.brk.allow() {
+	if c.disk == nil || !c.brk.Allow() {
 		return
 	}
 	dup, err := c.disk.Store(key, payload)
 	if err != nil {
 		c.diskErrors.Add(1)
-		c.brk.record(true)
+		c.brk.Record(true)
 		return
 	}
-	c.brk.record(false)
+	c.brk.Record(false)
 	if dup {
 		c.dupStores.Add(1)
 		return
@@ -384,6 +507,20 @@ func (c *Cache) lead(key Key, s *shard, compute func() ([]byte, bool, error)) ([
 		c.diskHits.Add(1)
 		c.retain(key, s, payload)
 		return payload, DiskHit, nil
+	}
+	// Network peer tier: ask replicas that may already hold the entry
+	// before paying for a measurement. Running inside the flight leader
+	// means one fan-out serves every local waiter; writing the fetched
+	// bytes through to the disk store makes this replica a server for
+	// the same digest from then on. Peer fetch happens before lease
+	// coordination: a peer that answers is strictly cheaper than
+	// holding a lease through a full measurement, and replicas with
+	// separate cache dirs (the peer deployment shape) have no shared
+	// lease directory anyway.
+	if payload, ok := c.peerFetch(key); ok {
+		c.diskStore(key, payload)
+		c.retain(key, s, payload)
+		return payload, PeerHit, nil
 	}
 	// Cross-process single-flight: become the lease holder for this
 	// digest, or wait for the process that is. A follower either gets
@@ -435,7 +572,7 @@ func (c *Cache) lead(key Key, s *shard, compute func() ([]byte, bool, error)) ([
 // nothing. Detecting that race here costs one extra read; missing it
 // would cost a duplicate measurement fleet-wide.
 func (c *Cache) acquireLead(key Key) (payload []byte, published, holding bool) {
-	if c.leases == nil || c.brk.tripped() {
+	if c.leases == nil || c.brk.Tripped() {
 		return nil, false, false
 	}
 	if c.leases.tryAcquire(key) {
@@ -508,6 +645,14 @@ func (c *Cache) Stats() StatsSnapshot {
 		Uncacheable:        c.uncacheable.Load(),
 		DuplicateStores:    c.dupStores.Load(),
 		DiskErrors:         c.diskErrors.Load(),
+		PeerHits:           c.peerHits.Load(),
+		PeerMisses:         c.peerMisses.Load(),
+	}
+	if p := c.peerSource(); p != nil {
+		ps := p.PeerStats()
+		st.PeerFetchErrors = ps.FetchErrors
+		st.PeerHedgesWon = ps.HedgesWon
+		st.PeerBreakerTrips = ps.BreakerTrips
 	}
 	if c.leases != nil {
 		st.LeaseMerges = c.leases.merges.Load()
@@ -515,7 +660,7 @@ func (c *Cache) Stats() StatsSnapshot {
 		st.LeaseBypasses = c.leases.bypasses.Load()
 	}
 	if c.brk != nil {
-		_, st.BreakerOpens, st.BreakerSkips = c.brk.snapshot()
+		_, st.BreakerOpens, st.BreakerSkips = c.brk.Snapshot()
 	}
 	if c.disk != nil {
 		st.DiskPromotions = c.disk.promotions.Load()
@@ -533,7 +678,7 @@ func (c *Cache) BreakerState() BreakerState {
 	if c == nil || c.brk == nil {
 		return BreakerClosed
 	}
-	state, _, _ := c.brk.snapshot()
+	state, _, _ := c.brk.Snapshot()
 	return state
 }
 

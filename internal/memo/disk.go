@@ -31,6 +31,35 @@ const coldDirName = "cold"
 // re-measured, never served.
 var errCorrupt = errors.New("memo: corrupt disk entry")
 
+// ErrCorruptEntry is the exported face of the entry-validation error:
+// ParseEntry returns it for any framed entry whose header, declared
+// length or payload checksum does not hold. The peer tier matches on
+// it to distinguish a malformed response body from a transport error.
+var ErrCorruptEntry = errCorrupt
+
+// EncodeEntry frames a payload in the entry wire format,
+//
+//	memo1 <hex sha256 of payload> <payload length>\n<payload>
+//
+// — the same bytes Store writes to disk, returned as one buffer. The
+// peer blob endpoint serves entries in this framing so a fetching
+// replica verifies exactly what a local disk load would have, and the
+// bytes are never re-encoded in flight.
+func EncodeEntry(payload []byte) []byte {
+	sum := sha256.Sum256(payload)
+	header := diskMagic + " " + hex.EncodeToString(sum[:]) + " " + strconv.Itoa(len(payload)) + "\n"
+	out := make([]byte, 0, len(header)+len(payload))
+	out = append(out, header...)
+	return append(out, payload...)
+}
+
+// ParseEntry validates one framed entry (see EncodeEntry) and returns
+// its payload, or ErrCorruptEntry if the framing, declared length or
+// checksum does not hold. The returned payload aliases raw.
+func ParseEntry(raw []byte) ([]byte, error) {
+	return parseEntry(raw)
+}
+
 // DiskStore is the on-disk layer of the cache: a two-tier directory of
 // digest-named entries, one file per unit. Each file is
 //

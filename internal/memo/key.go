@@ -32,6 +32,8 @@ package memo
 import (
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
+	"fmt"
 	"strconv"
 )
 
@@ -46,6 +48,26 @@ func (k Key) IsZero() bool { return k == Key{} }
 
 // Hex returns the key's lowercase hex form — the on-disk entry name.
 func (k Key) Hex() string { return hex.EncodeToString(k.d[:]) }
+
+// KeyFromHex parses the hex form back into a Key — the inverse of Hex,
+// used by the peer blob endpoint to turn a URL path element into a
+// digest. It rejects anything that is not exactly 64 hex characters,
+// and the all-zero digest (invalid everywhere else in the cache).
+func KeyFromHex(s string) (Key, error) {
+	if len(s) != 2*sha256.Size {
+		return Key{}, errors.New("memo: digest must be 64 hex characters")
+	}
+	raw, err := hex.DecodeString(s)
+	if err != nil {
+		return Key{}, fmt.Errorf("memo: bad digest hex: %w", err)
+	}
+	var k Key
+	copy(k.d[:], raw)
+	if k.IsZero() {
+		return Key{}, errors.New("memo: zero digest")
+	}
+	return k, nil
+}
 
 // KeyBuilder assembles a unit identity field by field and digests it.
 // Fields are framed with length prefixes, so distinct field sequences

@@ -1,0 +1,99 @@
+package peer
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"strconv"
+	"testing"
+
+	"additivity/internal/memo"
+)
+
+// FuzzParseBlob hammers the peer response-body validator with
+// corrupted, truncated and adversarial inputs — everything a buggy or
+// hostile peer could stream back. The contract mirrors the disk
+// store's entry parser plus the size cap: never panic, never accept a
+// body whose header digest or declared length disagrees with its
+// payload, never accept a body over the cap, and always accept a body
+// framed the way memo.EncodeEntry frames it.
+func FuzzParseBlob(f *testing.F) {
+	valid := memo.EncodeEntry([]byte(`{"samples":{"cycles":[1,2,3]}}`))
+	f.Add(valid, int64(0))
+	f.Add(valid, int64(len(valid)))
+	f.Add(valid, int64(len(valid)-1)) // one byte over the cap
+	f.Add(memo.EncodeEntry(nil), int64(0))
+	f.Add(valid[:len(valid)-4], int64(0))                                         // truncated payload
+	f.Add(valid[:10], int64(0))                                                   // truncated header
+	f.Add([]byte("memo1\n"), int64(0))                                            // too few header fields
+	f.Add([]byte("memo2 00 0\n"), int64(0))                                       // wrong magic
+	f.Add([]byte("memo1 zz 0\n"), int64(0))                                       // bad hex digest
+	f.Add([]byte("memo1 "+hex.EncodeToString(make([]byte, 16))+" 0\n"), int64(0)) // short digest
+	f.Add(bytes.Replace(valid, []byte(" "), []byte("  "), 1), int64(0))           // doubled separator
+	f.Add([]byte{}, int64(0))
+	f.Add([]byte("\n"), int64(0))
+	f.Add([]byte("memo1 e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855 -1\n"), int64(0))
+	// Digest of a different payload over this payload.
+	swapped := memo.EncodeEntry([]byte("one payload"))
+	nl := bytes.IndexByte(swapped, '\n')
+	f.Add(append(append([]byte{}, swapped[:nl+1]...), []byte("other bytes")...), int64(0))
+
+	f.Fuzz(func(t *testing.T, raw []byte, maxBytes int64) {
+		payload, err := ParseBlob(raw, maxBytes)
+		if err != nil {
+			if payload != nil {
+				t.Fatalf("rejected blob returned a payload: %q", payload)
+			}
+			// Every rejection is one of the two typed causes, so the
+			// fetch path can count and classify it.
+			if !errors.Is(err, ErrBlobTooLarge) && !errors.Is(err, memo.ErrCorruptEntry) {
+				t.Fatalf("rejection lost its type: %v", err)
+			}
+			return
+		}
+		// Accepted blobs must respect the cap and be internally
+		// consistent: payload is exactly the bytes after the first
+		// newline, and the header digest and length agree with it.
+		if maxBytes > 0 && int64(len(raw)) > maxBytes {
+			t.Fatalf("accepted %d-byte blob over %d-byte cap", len(raw), maxBytes)
+		}
+		nl := bytes.IndexByte(raw, '\n')
+		if nl < 0 {
+			t.Fatalf("accepted blob with no header terminator: %q", raw)
+		}
+		if !bytes.Equal(payload, raw[nl+1:]) {
+			t.Fatalf("payload %q is not the blob body %q", payload, raw[nl+1:])
+		}
+		fields := bytes.Fields(raw[:nl])
+		if len(fields) != 3 {
+			t.Fatalf("accepted blob with %d header fields: %q", len(fields), raw[:nl])
+		}
+		sum := sha256.Sum256(payload)
+		if string(fields[1]) != hex.EncodeToString(sum[:]) {
+			t.Fatalf("accepted blob whose digest does not match its payload: %q", raw[:nl])
+		}
+		if string(fields[2]) != strconv.Itoa(len(payload)) {
+			t.Fatalf("accepted blob whose length does not match its payload: %q", raw[:nl])
+		}
+	})
+}
+
+// FuzzParseBlobRoundTrip asserts every payload round-trips through the
+// wire framing the serving side uses (memo.EncodeEntry).
+func FuzzParseBlobRoundTrip(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add([]byte("x"))
+	f.Add([]byte(`{"k":"v"}`))
+	f.Add(bytes.Repeat([]byte{0}, 1024))
+
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		got, err := ParseBlob(memo.EncodeEntry(payload), 0)
+		if err != nil {
+			t.Fatalf("canonical blob rejected: %v", err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("round trip: got %q, want %q", got, payload)
+		}
+	})
+}

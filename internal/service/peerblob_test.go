@@ -1,0 +1,110 @@
+package service
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"additivity/internal/memo"
+)
+
+// newPeerBlobServer boots a daemon core over a caller-visible cache.
+func newPeerBlobServer(t *testing.T) (*memo.Cache, *httptest.Server) {
+	t.Helper()
+	cache, err := memo.New(memo.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewServer(Options{Cache: cache, MaxConcurrentJobs: 2}))
+	t.Cleanup(ts.Close)
+	return cache, ts
+}
+
+// A stored entry is served in the memo1 wire framing with an explicit
+// Content-Length, and serving it moves no cache request counters.
+func TestPeerBlobServesStoredEntry(t *testing.T) {
+	cache, ts := newPeerBlobServer(t)
+	key := memo.KeyOf("peer-blob-endpoint")
+	payload := []byte(`{"canonical":"payload"}`)
+	if _, _, err := cache.GetOrCompute(key, func() ([]byte, bool, error) {
+		return payload, true, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	before := cache.Stats()
+
+	resp, err := http.Get(ts.URL + "/v1/peer/blob/" + key.Hex())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("blob = HTTP %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/octet-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl := resp.Header.Get("Content-Length"); cl != strconv.Itoa(len(raw)) {
+		t.Fatalf("Content-Length = %q for %d body bytes", cl, len(raw))
+	}
+	if !bytes.Equal(raw, memo.EncodeEntry(payload)) {
+		t.Fatalf("blob bytes are not the canonical entry framing:\n%q", raw)
+	}
+	got, err := memo.ParseEntry(raw)
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("blob does not re-validate: %q, %v", got, err)
+	}
+	after := cache.Stats()
+	if after.Requests() != before.Requests() {
+		t.Fatalf("serving a peer blob counted a cache request: %+v -> %+v", before, after)
+	}
+}
+
+func TestPeerBlobUnknownDigest(t *testing.T) {
+	_, ts := newPeerBlobServer(t)
+	resp, err := http.Get(ts.URL + "/v1/peer/blob/" + memo.KeyOf("never stored").Hex())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown blob = HTTP %d, want 404", resp.StatusCode)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	if code := decodeErrorBody(t, data); code != "unknown_blob" {
+		t.Fatalf("error code = %q", code)
+	}
+}
+
+func TestPeerBlobBadDigest(t *testing.T) {
+	_, ts := newPeerBlobServer(t)
+	for name, digest := range map[string]string{
+		"short":    "abc123",
+		"long":     strings.Repeat("ab", 40),
+		"non-hex":  strings.Repeat("zz", 32),
+		"all-zero": strings.Repeat("00", 32),
+	} {
+		t.Run(name, func(t *testing.T) {
+			resp, err := http.Get(ts.URL + "/v1/peer/blob/" + digest)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("bad digest %q = HTTP %d, want 400", digest, resp.StatusCode)
+			}
+			data, _ := io.ReadAll(resp.Body)
+			if code := decodeErrorBody(t, data); code != "bad_digest" {
+				t.Fatalf("error code = %q", code)
+			}
+		})
+	}
+}

@@ -270,8 +270,37 @@ func NewServer(opts Options) *Server {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handlePoll)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleAbort)
+	mux.HandleFunc("GET /v1/peer/blob/{digest}", s.handlePeerBlob)
 	s.mux = mux
 	return s
+}
+
+// handlePeerBlob serves one cached entry to a sibling replica in the
+// entry wire framing (`memo1 <sha256> <len>\n<payload>` — see
+// memo.EncodeEntry), with an explicit Content-Length. It answers
+// strictly from what this replica already has stored (LRU or disk):
+// never a compute, never a fetch from its own peers — so two replicas
+// missing the same digest can never recurse into each other — and
+// never a request-counter movement, so serving peers doesn't skew this
+// replica's hit/miss accounting. The fetching side re-validates the
+// framing and payload checksum on receipt.
+func (s *Server) handlePeerBlob(w http.ResponseWriter, r *http.Request) {
+	key, err := memo.KeyFromHex(r.PathValue("digest"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_digest", err.Error())
+		return
+	}
+	payload, ok := s.opts.Cache.LookupStored(key)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown_blob",
+			"no stored entry for digest "+key.Hex())
+		return
+	}
+	blob := memo.EncodeEntry(payload)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(blob)))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(blob)
 }
 
 // ServeHTTP implements http.Handler.
