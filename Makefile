@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-short race bench bench-record bench-smoke chaos resume-check cache-check load-check fleet-check peer-check bench-load tables artifacts examples clean
+.PHONY: all build vet lint lint-concurrency test test-short race bench bench-record bench-smoke chaos resume-check cache-check load-check fleet-check peer-check bench-load tables artifacts examples clean
 
 all: build vet lint test
 
@@ -13,11 +13,21 @@ vet:
 	$(GO) vet ./...
 
 # Static analysis gate: go vet plus the project-specific analyzer suite
-# (determinism, rngfork, floatcmp, fingerprint, errwrap) that enforces
-# the reproducibility contracts at compile time. CI runs this on every
-# push and pull request.
+# — the reproducibility passes (determinism, rngfork, floatcmp,
+# fingerprint, errwrap) and the flow-sensitive concurrency-contract
+# passes (locksafe, goroleak, counterflow, ctxflow). CI runs this on
+# every push and pull request.
 lint: vet
 	$(GO) run ./cmd/additivity-lint ./...
+
+# Concurrency-contract gate alone: the four CFG/dataflow passes with
+# the check list pinned, plus the suppression inventory (which fails on
+# malformed directives or unknown check names). The fleet/peer check
+# scripts run this before booting replicas: a replica whose locks leak
+# or whose goroutines cannot terminate must not reach a fleet test.
+lint-concurrency:
+	$(GO) run ./cmd/additivity-lint -checks locksafe,goroleak,counterflow,ctxflow ./...
+	$(GO) run ./cmd/additivity-lint -report-suppressions ./... >/dev/null
 
 test:
 	$(GO) test ./...

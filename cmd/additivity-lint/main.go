@@ -1,6 +1,6 @@
 // Command additivity-lint runs the project-specific static analysis
-// suite over Go packages in this module. The five passes enforce the
-// repository's reproducibility contracts mechanically:
+// suite over Go packages in this module. The passes enforce the
+// repository's reproducibility and concurrency contracts mechanically:
 //
 //	determinism — no ambient state (time.Now, global math/rand, pids,
 //	              env) or map-iteration-ordered output in result paths
@@ -11,10 +11,20 @@
 //	fingerprint — every field of a struct feeding a cache key must be
 //	              written into the key
 //	errwrap     — fault-path fmt.Errorf must wrap errors with %w
+//	locksafe    — every Lock pairs with an Unlock on all CFG exit
+//	              paths; no blocking op while a serving mutex is held;
+//	              no by-value copy of lock-bearing structs
+//	goroleak    — every go statement has a provable termination tie;
+//	              loops observe their stop signal on every backedge
+//	counterflow — every terminal outcome path increments exactly one
+//	              stats counter; no mixed atomic/plain field access
+//	ctxflow     — request-scoped call chains thread ctx;
+//	              context.Background() is banned outside main, tests
+//	              and documented detached workers
 //
 // Usage:
 //
-//	additivity-lint [-checks determinism,floatcmp] [-list] [patterns]
+//	additivity-lint [-checks determinism,floatcmp] [-list] [-report-suppressions] [patterns]
 //
 // Patterns default to ./... and are resolved by `go list` from the
 // current directory, which must sit inside the module. Findings print
@@ -23,6 +33,12 @@
 // above, the flagged line; the reason is mandatory and malformed
 // directives are themselves findings.
 //
+// -report-suppressions inventories every //lint:ignore directive in
+// the matched packages (file:line, checks, reason) instead of running
+// the passes, and fails when a directive is malformed or names a check
+// that is not registered — so a typo in a suppression cannot silently
+// ignore nothing.
+//
 // Exit status: 0 — clean; 1 — findings; 2 — usage, load or type errors.
 package main
 
@@ -30,23 +46,32 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 
 	"additivity/internal/analysis"
+	"additivity/internal/analysis/passes/counterflow"
+	"additivity/internal/analysis/passes/ctxflow"
 	"additivity/internal/analysis/passes/determinism"
 	"additivity/internal/analysis/passes/errwrap"
 	"additivity/internal/analysis/passes/fingerprint"
 	"additivity/internal/analysis/passes/floatcmp"
+	"additivity/internal/analysis/passes/goroleak"
+	"additivity/internal/analysis/passes/locksafe"
 	"additivity/internal/analysis/passes/rngfork"
 )
 
 // all lists every registered pass.
 var all = []*analysis.Analyzer{
+	counterflow.Analyzer,
+	ctxflow.Analyzer,
 	determinism.Analyzer,
 	errwrap.Analyzer,
 	fingerprint.Analyzer,
 	floatcmp.Analyzer,
+	goroleak.Analyzer,
+	locksafe.Analyzer,
 	rngfork.Analyzer,
 }
 
@@ -59,6 +84,8 @@ func run(args []string, stdout, stderr *os.File) int {
 	fs.SetOutput(stderr)
 	checks := fs.String("checks", "", "comma-separated subset of checks to run (default: all)")
 	list := fs.Bool("list", false, "list registered checks and exit")
+	reportSups := fs.Bool("report-suppressions", false,
+		"inventory every //lint:ignore directive instead of running checks; fail on malformed directives or unknown check names")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -86,6 +113,10 @@ func run(args []string, stdout, stderr *os.File) int {
 		return 2
 	}
 
+	if *reportSups {
+		return reportSuppressions(stdout, stderr, dir, patterns)
+	}
+
 	res, err := analysis.Run(dir, analyzers, patterns)
 	if err != nil {
 		fmt.Fprintln(stderr, "additivity-lint:", err)
@@ -101,6 +132,48 @@ func run(args []string, stdout, stderr *os.File) int {
 		fmt.Fprintln(stdout, d)
 	}
 	if len(res.Diagnostics) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// reportSuppressions prints the //lint:ignore inventory for the
+// matched packages, one directive per line as file:line: checks:
+// reason, followed by a count. Malformed directives and directives
+// naming unregistered checks fail the run: a suppression that cannot
+// match any diagnostic is a stale contract exception or a typo about
+// to let one through.
+func reportSuppressions(stdout, stderr *os.File, dir string, patterns []string) int {
+	dirs, err := analysis.Directives(dir, patterns)
+	if err != nil {
+		fmt.Fprintln(stderr, "additivity-lint:", err)
+		return 2
+	}
+	known := map[string]bool{"all": true}
+	for _, a := range all {
+		known[a.Name] = true
+	}
+	bad := 0
+	for _, d := range dirs {
+		file := d.Pos.Filename
+		if rel, err := filepath.Rel(dir, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = rel
+		}
+		if d.Malformed {
+			fmt.Fprintf(stderr, "additivity-lint: %s:%d: malformed //lint:ignore: want //lint:ignore <check>[,<check>...] <reason>\n", file, d.Pos.Line)
+			bad++
+			continue
+		}
+		fmt.Fprintf(stdout, "%s:%d: %s: %s\n", file, d.Pos.Line, strings.Join(d.Checks, ","), d.Reason)
+		for _, c := range d.Checks {
+			if !known[c] {
+				fmt.Fprintf(stderr, "additivity-lint: %s:%d: suppression names unknown check %q\n", file, d.Pos.Line, c)
+				bad++
+			}
+		}
+	}
+	fmt.Fprintf(stdout, "%d suppression(s)\n", len(dirs))
+	if bad > 0 {
 		return 1
 	}
 	return 0

@@ -54,12 +54,19 @@ func TestSmoke(t *testing.T) {
 		"./internal/analysis/passes/floatcmp/testdata/src/floatcmpfix",
 		"./internal/analysis/passes/fingerprint/testdata/src/fingerprintfix",
 		"./internal/analysis/passes/errwrap/testdata/src/errwrapfix",
+		"./internal/analysis/passes/locksafe/testdata/src/locksafefix",
+		"./internal/analysis/passes/goroleak/testdata/src/goroleakfix",
+		"./internal/analysis/passes/counterflow/testdata/src/counterflowfix",
+		"./internal/analysis/passes/ctxflow/testdata/src/ctxflowfix",
 	}
 	out, code := runLint(t, root, bin, fixtures...)
 	if code != 1 {
 		t.Fatalf("fixture run: exit %d, want 1\n%s", code, out)
 	}
-	for _, check := range []string{"(determinism)", "(rngfork)", "(floatcmp)", "(fingerprint)", "(errwrap)"} {
+	for _, check := range []string{
+		"(determinism)", "(rngfork)", "(floatcmp)", "(fingerprint)", "(errwrap)",
+		"(locksafe)", "(goroleak)", "(counterflow)", "(ctxflow)",
+	} {
 		if !strings.Contains(out, check) {
 			t.Errorf("fixture run: no %s finding in output:\n%s", check, out)
 		}
@@ -89,7 +96,10 @@ func TestListAndBadCheck(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("-list: exit %d\n%s", code, out)
 	}
-	for _, name := range []string{"determinism", "rngfork", "floatcmp", "fingerprint", "errwrap"} {
+	for _, name := range []string{
+		"determinism", "rngfork", "floatcmp", "fingerprint", "errwrap",
+		"locksafe", "goroleak", "counterflow", "ctxflow",
+	} {
 		if !strings.Contains(out, name) {
 			t.Errorf("-list output missing %s:\n%s", name, out)
 		}
@@ -98,5 +108,41 @@ func TestListAndBadCheck(t *testing.T) {
 	out, code = runLint(t, root, bin, "-checks", "nosuchcheck", "./...")
 	if code != 2 {
 		t.Fatalf("unknown check: exit %d, want 2\n%s", code, out)
+	}
+}
+
+// TestReportSuppressions covers the inventory mode: the repository's
+// own directives are all well-formed and name registered checks (exit
+// 0), while a directive naming an unregistered check fails (exit 1).
+func TestReportSuppressions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary")
+	}
+	root := analysistest.ModuleRoot(t)
+	bin := buildLint(t, root)
+
+	out, code := runLint(t, root, bin, "-report-suppressions", "./...")
+	if code != 0 {
+		t.Fatalf("tree inventory: exit %d, want 0\n%s", code, out)
+	}
+	if !strings.Contains(out, "suppression(s)") {
+		t.Errorf("tree inventory missing summary line:\n%s", out)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasSuffix(line, "suppression(s)") {
+			continue
+		}
+		if !strings.Contains(line, ".go:") {
+			t.Errorf("inventory line without file:line position: %q", line)
+		}
+	}
+
+	out, code = runLint(t, root, bin, "-report-suppressions",
+		"./cmd/additivity-lint/testdata/src/supfix")
+	if code != 1 {
+		t.Fatalf("unknown-check inventory: exit %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, `unknown check "nosuchcheck"`) {
+		t.Errorf("unknown-check inventory: missing unknown-check error:\n%s", out)
 	}
 }

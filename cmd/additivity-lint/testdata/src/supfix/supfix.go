@@ -1,0 +1,13 @@
+// Package supfix exercises the -report-suppressions failure mode: a
+// directive naming a check that is not registered must fail the
+// inventory, because it can never match a diagnostic — it is either a
+// typo about to let a real finding through or a stale exception.
+package supfix
+
+func covered() int {
+	//lint:ignore determinism fixture: known check with a documented reason
+	x := 1
+	//lint:ignore nosuchcheck fixture: this check name is not registered
+	x++
+	return x
+}

@@ -89,6 +89,15 @@ func InScope(pkgPath string, suffixes ...string) bool {
 	return false
 }
 
+// IsTestFile reports whether the file containing pos is a _test.go
+// file. The loader merges in-package test files into their package so
+// type information stays complete; the flow-sensitive concurrency
+// passes skip them, because test goroutines and contexts follow the
+// test harness's lifecycle rather than the serving contracts.
+func IsTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}
+
 // PathMatches reports whether an import path is, or ends with, the given
 // suffix at a path-segment boundary ("internal/stats" matches
 // "additivity/internal/stats" but not "x/yinternal/stats").

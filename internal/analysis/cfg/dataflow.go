@@ -1,0 +1,59 @@
+// Forward dataflow over a Graph. The engine is generic over the fact
+// type: a pass supplies the entry fact, a bottom constructor, clone,
+// a merge (join) that reports whether the destination changed, and a
+// per-block transfer. Iteration runs over reverse postorder to a
+// fixpoint, which for the monotone lattices the concurrency passes use
+// (may-held lock sets with must-bits, {0,1,many} counter counts,
+// derived-context sets) converges in a handful of rounds on
+// function-sized graphs.
+package cfg
+
+// FlowSpec describes one forward dataflow problem.
+type FlowSpec[F any] struct {
+	// Entry is the fact at function entry.
+	Entry F
+	// Bottom returns the identity element for Merge: the fact assigned
+	// to a block before any predecessor has been processed.
+	Bottom func() F
+	// Clone deep-copies a fact so Transfer can mutate freely.
+	Clone func(F) F
+	// Merge joins src into dst and reports whether dst changed. It is
+	// the lattice join: for a may-analysis, set union; for a
+	// must-analysis, intersection (or union with must-bits ANDed).
+	Merge func(dst, src F) bool
+	// Transfer computes the block's out-fact from its in-fact. It owns
+	// its input (a clone) and may mutate it in place.
+	Transfer func(b *Block, in F) F
+}
+
+// Forward solves the dataflow problem to fixpoint and returns the
+// in-fact of every reachable block. Callers that need to report
+// diagnostics re-run Transfer (or a reporting variant) over the final
+// in-facts; running diagnostics inside the fixpoint loop would emit
+// duplicates.
+func Forward[F any](g *Graph, spec FlowSpec[F]) map[*Block]F {
+	rpo := g.ReversePostOrder()
+	in := make(map[*Block]F, len(rpo))
+	out := make(map[*Block]F, len(rpo))
+	for _, b := range rpo {
+		in[b] = spec.Bottom()
+	}
+	spec.Merge(in[g.Entry], spec.Entry)
+
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo {
+			o := spec.Transfer(b, spec.Clone(in[b]))
+			out[b] = o
+			for _, s := range b.Succs {
+				if _, ok := in[s]; !ok {
+					continue // unreachable successor bookkeeping
+				}
+				if spec.Merge(in[s], o) {
+					changed = true
+				}
+			}
+		}
+	}
+	return in
+}

@@ -78,8 +78,8 @@ func (l *Loader) lookup(path string) (io.ReadCloser, error) {
 }
 
 // goList runs go list over the patterns and decodes the JSON stream.
-func (l *Loader) goList(patterns []string) ([]*listPackage, error) {
-	args := append([]string{"list", "-e", "-deps", "-test", "-export", "-json"}, patterns...)
+func (l *Loader) goList(flags, patterns []string) ([]*listPackage, error) {
+	args := append(append([]string{"list"}, flags...), patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = l.Dir
 	var stderr bytes.Buffer
@@ -117,7 +117,7 @@ func baseImportPath(ip string) string {
 // collected, not fatal: a pass analyses whatever typechecked, so one
 // broken file cannot mask findings elsewhere.
 func (l *Loader) Load(patterns ...string) ([]*Package, error) {
-	raw, err := l.goList(patterns)
+	raw, err := l.goList([]string{"-e", "-deps", "-test", "-export", "-json"}, patterns)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,546 @@
+// Package counterflow certifies the observability contract of the
+// serving state machines: /statsz is part of the interface (the load
+// balancer routes on it, the fleet checks gate on it), so every
+// terminal outcome must be counted exactly once, and counted on the
+// path that produced it.
+//
+// Three checks, the first two flow-sensitive over the CFG:
+//
+//  1. Outcome returns (memo): a function returning a memo.Outcome
+//     constant with a nil error must have incremented exactly the
+//     counter mapped to that constant (Hit→hits, DiskHit→diskHits,
+//     Miss→misses, Merged→merges, PeerHit→peerHits) exactly once on
+//     every path reaching the return, and no other outcome counter.
+//     Returns whose outcome or error is a variable are not checked —
+//     error paths legitimately share counters with their outcome.
+//
+//  2. Terminal job states (service): from every assignment
+//     `j.state = StateDone|StateFailed|StateAborted` to function exit,
+//     the mapped counter (jobsDone/jobsFailed/jobsAborted) must be
+//     incremented exactly once and the other two not at all. The
+//     lattice tracks {0, 1, many} per counter per assignment site, so
+//     a settle path that skips its counter, double-counts it, or
+//     bumps a sibling's is flagged.
+//
+//  3. Mixed atomic/plain access: a field passed by address to a
+//     sync/atomic function must never also be read or written
+//     directly. (The tree uses typed atomics, which make this
+//     impossible; the check guards against regression to the legacy
+//     API.)
+package counterflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"additivity/internal/analysis"
+	"additivity/internal/analysis/cfg"
+)
+
+// Analyzer is the counterflow pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "counterflow",
+	Doc:  "every terminal outcome path increments exactly one stats counter; no field mixes sync/atomic and plain access",
+	Run:  run,
+}
+
+var scope = []string{
+	"internal/service", "internal/memo", "internal/memo/peer",
+}
+
+// outcomeCounters maps memo.Outcome constant names to the counter
+// field charged for that outcome.
+var outcomeCounters = map[string]string{
+	"Hit":     "hits",
+	"DiskHit": "diskHits",
+	"Miss":    "misses",
+	"Merged":  "merges",
+	"PeerHit": "peerHits",
+}
+
+// stateCounters maps terminal service.JobState constant names to their
+// counter field.
+var stateCounters = map[string]string{
+	"StateDone":    "jobsDone",
+	"StateFailed":  "jobsFailed",
+	"StateAborted": "jobsAborted",
+}
+
+func run(pass *analysis.Pass) {
+	if !analysis.InScope(pass.Pkg.Path(), scope...) {
+		return
+	}
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			var sig *types.Signature
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+				if obj, ok := pass.Info.Defs[fn.Name].(*types.Func); ok {
+					sig, _ = obj.Type().(*types.Signature)
+				}
+			case *ast.FuncLit:
+				body = fn.Body
+				if tv, ok := pass.Info.Types[fn]; ok {
+					sig, _ = tv.Type.(*types.Signature)
+				}
+			default:
+				return true
+			}
+			if body != nil {
+				checkFunc(pass, body, sig)
+			}
+			return true
+		})
+		checkMixedAccess(pass, f)
+	}
+}
+
+// ---- counter-count lattice ----
+
+// count bits: which totals are possible on some path.
+const (
+	zeroBit  = 1 << 0
+	oneBit   = 1 << 1
+	manyBit  = 1 << 2
+	allZero  = zeroBit
+	exactOne = oneBit
+)
+
+// counts maps counter name -> possibility bits. A missing key means
+// the counter is untracked (not in the active group).
+type counts map[string]uint8
+
+func (c counts) bump(name string) {
+	bits, ok := c[name]
+	if !ok {
+		return
+	}
+	var out uint8
+	if bits&zeroBit != 0 {
+		out |= oneBit
+	}
+	if bits&(oneBit|manyBit) != 0 {
+		out |= manyBit
+	}
+	c[name] = out
+}
+
+func (c counts) clone() counts {
+	out := make(counts, len(c))
+	for k, v := range c {
+		out[k] = v
+	}
+	return out
+}
+
+// merge unions possibility bits; returns changed.
+func (c counts) merge(src counts) bool {
+	changed := false
+	for k, v := range src {
+		if c[k]|v != c[k] {
+			c[k] |= v
+			changed = true
+		}
+	}
+	return changed
+}
+
+func describe(bits uint8) string {
+	switch {
+	case bits == zeroBit:
+		return "never incremented"
+	case bits&manyBit != 0 && bits&(zeroBit|oneBit) == 0:
+		return "incremented more than once"
+	case bits&zeroBit != 0:
+		return "not incremented on every path"
+	default:
+		return "incremented a path-dependent number of times"
+	}
+}
+
+// fact carries one counts map per active tracking epoch: the special
+// "" epoch tracks outcome counters from function entry (check 1), and
+// each terminal-state assignment position opens its own epoch
+// (check 2).
+type fact struct {
+	epochs map[token.Pos]counts
+	// siteCounter remembers which counter each epoch's terminal state
+	// maps to, so the exit check knows what "exactly once" refers to.
+	siteCounter map[token.Pos]string
+	seen        bool
+}
+
+func newCounts(group map[string]string) counts {
+	c := counts{}
+	for _, name := range group {
+		c[name] = zeroBit
+	}
+	return c
+}
+
+// ---- the per-function analysis ----
+
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt, sig *types.Signature) {
+	outcomeIdx := -1
+	errIdx := -1
+	if sig != nil {
+		res := sig.Results()
+		for i := 0; i < res.Len(); i++ {
+			if isOutcome(res.At(i).Type()) {
+				outcomeIdx = i
+			}
+			if isErrorType(res.At(i).Type()) {
+				errIdx = i
+			}
+		}
+	}
+	hasStateWrites := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if site, _ := terminalAssign(pass, n); site.IsValid() {
+			hasStateWrites = true
+			return false
+		}
+		return true
+	})
+	if outcomeIdx < 0 && !hasStateWrites {
+		return
+	}
+
+	g := cfg.New(body)
+	entry := &fact{epochs: map[token.Pos]counts{}, seen: true}
+	if outcomeIdx >= 0 {
+		entry.epochs[token.NoPos] = newCounts(outcomeCounters)
+	}
+
+	spec := cfg.FlowSpec[*fact]{
+		Entry:  entry,
+		Bottom: func() *fact { return &fact{epochs: map[token.Pos]counts{}} },
+		Clone: func(f *fact) *fact {
+			c := &fact{epochs: make(map[token.Pos]counts, len(f.epochs)), seen: f.seen}
+			for k, v := range f.epochs {
+				c.epochs[k] = v.clone()
+			}
+			if f.siteCounter != nil {
+				c.siteCounter = make(map[token.Pos]string, len(f.siteCounter))
+				for k, v := range f.siteCounter {
+					c.siteCounter[k] = v
+				}
+			}
+			return c
+		},
+		Merge: func(dst, src *fact) bool {
+			if !src.seen {
+				return false
+			}
+			changed := !dst.seen
+			dst.seen = true
+			for k, v := range src.epochs {
+				if d, ok := dst.epochs[k]; ok {
+					if d.merge(v) {
+						changed = true
+					}
+				} else {
+					dst.epochs[k] = v.clone()
+					changed = true
+				}
+			}
+			for k, v := range src.siteCounter {
+				if dst.siteCounter == nil {
+					dst.siteCounter = map[token.Pos]string{}
+				}
+				if _, ok := dst.siteCounter[k]; !ok {
+					dst.siteCounter[k] = v
+				}
+			}
+			return changed
+		},
+		Transfer: func(b *cfg.Block, in *fact) *fact {
+			for _, n := range b.Nodes {
+				transferNode(pass, n, in)
+			}
+			return in
+		},
+	}
+	in := cfg.Forward(g, spec)
+
+	// Reporting sweep.
+	for _, b := range g.ReversePostOrder() {
+		f := spec.Clone(in[b])
+		if !f.seen {
+			continue
+		}
+		for _, n := range b.Nodes {
+			if outcomeIdx >= 0 {
+				if ret, ok := n.(*ast.ReturnStmt); ok {
+					checkOutcomeReturn(pass, ret, outcomeIdx, errIdx, f)
+				}
+			}
+			transferNode(pass, n, f)
+		}
+	}
+
+	// Exit check for terminal-state epochs.
+	exit := in[g.Exit]
+	if exit == nil || !exit.seen {
+		return
+	}
+	for site, c := range exit.epochs {
+		if site == token.NoPos {
+			continue
+		}
+		wantCounter := exit.siteCounter[site]
+		for name, bits := range c {
+			if name == wantCounter {
+				if bits != exactOne {
+					pass.Reportf(site, "counterflow: terminal state maps to counter %s, which is %s between this assignment and function exit", name, describe(bits))
+				}
+			} else if bits != allZero {
+				pass.Reportf(site, "counterflow: counter %s is %s on a path from this terminal state assignment, but the state maps to %s", name, describeForeign(bits), wantCounter)
+			}
+		}
+	}
+}
+
+func describeForeign(bits uint8) string {
+	if bits&manyBit != 0 {
+		return "incremented repeatedly"
+	}
+	return "incremented"
+}
+
+// transferNode updates the fact for one CFG node: counter increments
+// bump every active epoch; a terminal-state assignment (re)opens its
+// epoch with fresh zero counts.
+func transferNode(pass *analysis.Pass, n ast.Node, f *fact) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := m.(*ast.CallExpr); ok {
+			if name := counterIncrement(pass, call); name != "" {
+				for _, c := range f.epochs {
+					c.bump(name)
+				}
+			}
+		}
+		return true
+	})
+	if site, stateName := terminalAssign(pass, n); site.IsValid() {
+		c := newCounts(stateCounters)
+		f.epochs[site] = c
+		if f.siteCounter == nil {
+			f.siteCounter = map[token.Pos]string{}
+		}
+		f.siteCounter[site] = stateCounters[stateName]
+	}
+}
+
+// checkOutcomeReturn validates check 1 at one return statement.
+func checkOutcomeReturn(pass *analysis.Pass, ret *ast.ReturnStmt, outcomeIdx, errIdx int, f *fact) {
+	if len(ret.Results) <= outcomeIdx {
+		return // naked return or single-call spread: not checkable
+	}
+	name := constName(pass, ret.Results[outcomeIdx])
+	counter, ok := outcomeCounters[name]
+	if !ok {
+		return // variable outcome: the path is not a terminal decision here
+	}
+	if errIdx >= 0 {
+		if errIdx >= len(ret.Results) || !isNilIdent(pass, ret.Results[errIdx]) {
+			return // error path: counted under its own policy
+		}
+	}
+	c, ok := f.epochs[token.NoPos]
+	if !ok {
+		return
+	}
+	for cname, bits := range c {
+		if cname == counter {
+			if bits != exactOne {
+				pass.Reportf(ret.Pos(), "counterflow: return of outcome %s requires counter %s incremented exactly once on every path; it is %s", name, counter, describe(bits))
+			}
+		} else if bits != allZero {
+			pass.Reportf(ret.Pos(), "counterflow: counter %s is %s on a path returning outcome %s (which maps to %s)", cname, describeForeign(bits), name, counter)
+		}
+	}
+}
+
+// counterIncrement recognises `x.<counter>.Add(...)` on a sync/atomic
+// typed field whose name is one of the tracked counters, returning the
+// counter name ("" otherwise).
+func counterIncrement(pass *analysis.Pass, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Add" {
+		return ""
+	}
+	fn := analysis.CalleeFunc(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return ""
+	}
+	recv, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	name := recv.Sel.Name
+	if !trackedCounter(name) {
+		return ""
+	}
+	return name
+}
+
+func trackedCounter(name string) bool {
+	for _, c := range outcomeCounters {
+		if c == name {
+			return true
+		}
+	}
+	for _, c := range stateCounters {
+		if c == name {
+			return true
+		}
+	}
+	return false
+}
+
+// terminalAssign recognises `<expr>.state = State<Terminal>` and
+// returns the assignment position and the state constant's name.
+func terminalAssign(pass *analysis.Pass, n ast.Node) (token.Pos, string) {
+	as, ok := n.(*ast.AssignStmt)
+	if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return token.NoPos, ""
+	}
+	lhs, ok := ast.Unparen(as.Lhs[0]).(*ast.SelectorExpr)
+	if !ok || lhs.Sel.Name != "state" {
+		return token.NoPos, ""
+	}
+	name := constName(pass, as.Rhs[0])
+	if _, terminal := stateCounters[name]; !terminal {
+		return token.NoPos, ""
+	}
+	return as.Pos(), name
+}
+
+// constName resolves an expression to the name of the constant it
+// denotes ("" when it is not a named constant).
+func constName(pass *analysis.Pass, e ast.Expr) string {
+	var id *ast.Ident
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return ""
+	}
+	if c, ok := pass.Info.Uses[id].(*types.Const); ok {
+		return c.Name()
+	}
+	return ""
+}
+
+func isNilIdent(pass *analysis.Pass, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := pass.Info.Uses[id].(*types.Nil)
+	return isNil || id.Name == "nil"
+}
+
+func isOutcome(t types.Type) bool {
+	named, ok := analysis.Deref(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	return named.Obj().Name() == "Outcome"
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil
+}
+
+// ---- mixed atomic/plain access ----
+
+// checkMixedAccess flags struct fields that are both passed by address
+// to a sync/atomic function and accessed directly.
+func checkMixedAccess(pass *analysis.Pass, f *ast.File) {
+	type fieldKey struct {
+		typ   *types.Named
+		field string
+	}
+	atomicFields := map[fieldKey]token.Pos{}
+	atomicArgs := map[*ast.SelectorExpr]bool{}
+
+	fieldOf := func(sel *ast.SelectorExpr) (fieldKey, bool) {
+		tv, ok := pass.Info.Types[sel.X]
+		if !ok {
+			return fieldKey{}, false
+		}
+		named, ok := analysis.Deref(tv.Type).(*types.Named)
+		if !ok {
+			return fieldKey{}, false
+		}
+		if _, isVar := pass.Info.Uses[sel.Sel].(*types.Var); !isVar {
+			return fieldKey{}, false
+		}
+		return fieldKey{named, sel.Sel.Name}, true
+	}
+
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := analysis.CalleeFunc(pass.Info, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+			return true
+		}
+		if sig, _ := fn.Type().(*types.Signature); sig != nil && sig.Recv() != nil {
+			return true // typed atomics (a.Add(1)) are safe by construction
+		}
+		for _, a := range call.Args {
+			u, ok := ast.Unparen(a).(*ast.UnaryExpr)
+			if !ok || u.Op != token.AND {
+				continue
+			}
+			sel, ok := ast.Unparen(u.X).(*ast.SelectorExpr)
+			if !ok {
+				continue
+			}
+			if k, ok := fieldOf(sel); ok {
+				if _, seen := atomicFields[k]; !seen {
+					atomicFields[k] = sel.Pos()
+				}
+				atomicArgs[sel] = true
+			}
+		}
+		return true
+	})
+	if len(atomicFields) == 0 {
+		return
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || atomicArgs[sel] {
+			return true
+		}
+		k, ok := fieldOf(sel)
+		if !ok {
+			return true
+		}
+		if _, isAtomic := atomicFields[k]; isAtomic {
+			pass.Reportf(sel.Pos(), "counterflow: field %s.%s is accessed with sync/atomic elsewhere; this plain access races with it", k.typ.Obj().Name(), k.field)
+		}
+		return true
+	})
+}

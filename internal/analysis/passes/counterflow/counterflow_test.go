@@ -1,0 +1,12 @@
+package counterflow_test
+
+import (
+	"testing"
+
+	"additivity/internal/analysis/analysistest"
+	"additivity/internal/analysis/passes/counterflow"
+)
+
+func TestCounterflow(t *testing.T) {
+	analysistest.Run(t, "testdata/src/counterflowfix", counterflow.Analyzer)
+}

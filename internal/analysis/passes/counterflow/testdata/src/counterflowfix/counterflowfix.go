@@ -1,0 +1,213 @@
+// Package counterflowfix is the counterflow golden fixture: outcome
+// returns that skip, double-count, or cross-charge their counters;
+// terminal state assignments whose counters drift; and a field that
+// mixes sync/atomic with plain access — next to the clean shapes that
+// must stay silent.
+package counterflowfix
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// Outcome mirrors memo.Outcome.
+type Outcome int
+
+const (
+	Hit Outcome = iota
+	DiskHit
+	Miss
+	Merged
+	PeerHit
+)
+
+type stats struct {
+	hits     atomic.Uint64
+	diskHits atomic.Uint64
+	misses   atomic.Uint64
+	merges   atomic.Uint64
+	peerHits atomic.Uint64
+}
+
+type cache struct {
+	mu    sync.Mutex
+	data  map[string][]byte
+	stats stats
+}
+
+// lookupForgets returns Miss without charging the miss counter.
+func (c *cache) lookupForgets(key string) ([]byte, Outcome, error) {
+	if p, ok := c.data[key]; ok {
+		c.stats.hits.Add(1)
+		return p, Hit, nil
+	}
+	return nil, Miss, nil // want `counterflow: return of outcome Miss requires counter misses incremented exactly once on every path; it is never incremented`
+}
+
+// lookupDoubleCounts charges the hit counter twice.
+func (c *cache) lookupDoubleCounts(key string) ([]byte, Outcome, error) {
+	if p, ok := c.data[key]; ok {
+		c.stats.hits.Add(1)
+		c.stats.hits.Add(1)
+		return p, Hit, nil // want `counterflow: return of outcome Hit requires counter hits incremented exactly once on every path; it is incremented more than once`
+	}
+	c.stats.misses.Add(1)
+	return nil, Miss, nil
+}
+
+// lookupCrossCharges bumps the hit counter on a miss path.
+func (c *cache) lookupCrossCharges(key string) ([]byte, Outcome, error) {
+	c.stats.hits.Add(1)
+	c.stats.misses.Add(1)
+	return nil, Miss, nil // want `counterflow: counter hits is incremented on a path returning outcome Miss \(which maps to misses\)`
+}
+
+// lookupBranchSkips only counts the miss on one arm of the branch.
+func (c *cache) lookupBranchSkips(key string, warm bool) ([]byte, Outcome, error) {
+	if warm {
+		c.stats.misses.Add(1)
+	}
+	return nil, Miss, nil // want `counterflow: return of outcome Miss requires counter misses incremented exactly once on every path; it is not incremented on every path`
+}
+
+// lookupClean counts each outcome exactly once on its own path.
+func (c *cache) lookupClean(key string) ([]byte, Outcome, error) {
+	if p, ok := c.data[key]; ok {
+		c.stats.hits.Add(1)
+		return p, Hit, nil
+	}
+	if p, ok := c.fetchPeer(key); ok {
+		c.stats.peerHits.Add(1)
+		return p, PeerHit, nil
+	}
+	c.stats.misses.Add(1)
+	return nil, Miss, nil
+}
+
+func (c *cache) fetchPeer(string) ([]byte, bool) { return nil, false }
+
+// lookupErrPath returns a non-nil error: the outcome constant on an
+// error return is not a terminal decision, so no count is demanded.
+func (c *cache) lookupErrPath(key string) ([]byte, Outcome, error) {
+	if key == "" {
+		return nil, Miss, errors.New("empty key")
+	}
+	c.stats.misses.Add(1)
+	return nil, Miss, nil
+}
+
+// lookupVariableOutcome returns a computed outcome; unchecked.
+func (c *cache) lookupVariableOutcome(key string) ([]byte, Outcome, error) {
+	out := Miss
+	if key != "" {
+		out = Hit
+	}
+	return nil, out, nil
+}
+
+// ---- terminal job states ----
+
+type JobState int
+
+const (
+	StateQueued JobState = iota
+	StateRunning
+	StateDone
+	StateFailed
+	StateAborted
+)
+
+type jobStats struct {
+	jobsDone    atomic.Uint64
+	jobsFailed  atomic.Uint64
+	jobsAborted atomic.Uint64
+}
+
+type job struct {
+	mu    sync.Mutex
+	state JobState
+	st    *jobStats
+}
+
+// settleForgets reaches a terminal state without counting it.
+func (j *job) settleForgets(err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err != nil {
+		j.state = StateFailed // want `counterflow: terminal state maps to counter jobsFailed, which is never incremented between this assignment and function exit`
+		return
+	}
+	j.state = StateDone
+	j.st.jobsDone.Add(1)
+}
+
+// settleCrossCharges counts a sibling state's counter.
+func (j *job) settleCrossCharges(err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err != nil {
+		j.state = StateAborted // want `counterflow: counter jobsFailed is incremented on a path from this terminal state assignment, but the state maps to jobsAborted`
+		j.st.jobsAborted.Add(1)
+		j.st.jobsFailed.Add(1)
+		return
+	}
+	j.state = StateDone
+	j.st.jobsDone.Add(1)
+}
+
+// settleDrifts counts its state only when a later branch cooperates.
+func (j *job) settleDrifts(err error, notify bool) {
+	j.mu.Lock()
+	j.state = StateFailed // want `counterflow: terminal state maps to counter jobsFailed, which is not incremented on every path between this assignment and function exit`
+	j.mu.Unlock()
+	if notify {
+		j.st.jobsFailed.Add(1)
+	}
+}
+
+// settleClean counts each terminal state in the arm that sets it.
+func (j *job) settleClean(err error, deadline bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch {
+	case err == nil:
+		j.state = StateDone
+		j.st.jobsDone.Add(1)
+	case deadline:
+		j.state = StateAborted
+		j.st.jobsAborted.Add(1)
+	default:
+		j.state = StateFailed
+		j.st.jobsFailed.Add(1)
+	}
+}
+
+// markRunning writes a non-terminal state; unchecked.
+func (j *job) markRunning() {
+	j.mu.Lock()
+	j.state = StateRunning
+	j.mu.Unlock()
+}
+
+// ---- mixed atomic/plain access ----
+
+type legacyStats struct {
+	requests uint64
+	inFlight int64
+}
+
+func (l *legacyStats) record() {
+	atomic.AddUint64(&l.requests, 1)
+}
+
+func (l *legacyStats) snapshot() uint64 {
+	return l.requests // want `counterflow: field legacyStats.requests is accessed with sync/atomic elsewhere; this plain access races with it`
+}
+
+// inFlight is consistently accessed through sync/atomic; clean.
+func (l *legacyStats) enter() { atomic.AddInt64(&l.inFlight, 1) }
+func (l *legacyStats) exit()  { atomic.AddInt64(&l.inFlight, -1) }
+func (l *legacyStats) load() int64 {
+	return atomic.LoadInt64(&l.inFlight)
+}

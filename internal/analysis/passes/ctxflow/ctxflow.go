@@ -1,0 +1,303 @@
+// Package ctxflow enforces context threading through the serving
+// stack. A request that disconnects must stop costing CPU: every
+// request-scoped call chain — HTTP handler to job to cache to peer
+// fetch — has to carry the request's context, and a context minted
+// from context.Background() in the middle of such a chain silently
+// detaches everything below it from cancellation.
+//
+// Two rules:
+//
+//  1. context.Background() and context.TODO() are banned in the
+//     serving packages outside package main and test files. A worker
+//     that legitimately outlives its request (a pooled job whose
+//     result is polled for later, a detached health poller) documents
+//     the detachment with a lint:ignore directive.
+//
+//  2. Inside a function that already holds a request-scoped context —
+//     a context.Context parameter or an *http.Request — no call may be
+//     handed a context derived from Background/TODO instead. The check
+//     is flow-sensitive: taint starts at Background/TODO calls,
+//     propagates through assignments and context.With* derivations
+//     along CFG paths, and clears when a variable is reassigned from a
+//     clean source. (The mint itself is already reported by rule 1, so
+//     a directly passed Background() is reported once, not twice.)
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"additivity/internal/analysis"
+	"additivity/internal/analysis/cfg"
+)
+
+// Analyzer is the ctxflow pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc:  "request-scoped call chains must thread ctx; context.Background() is banned outside main, tests, and documented detached workers",
+	Run:  run,
+}
+
+var scope = []string{
+	"internal/service", "internal/memo", "internal/memo/peer",
+	"internal/loadgen",
+}
+
+func run(pass *analysis.Pass) {
+	if !analysis.InScope(pass.Pkg.Path(), scope...) {
+		return
+	}
+	if pass.Pkg.Name() == "main" {
+		return
+	}
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		// Rule 1: every mint site.
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name := mintName(pass, call); name != "" {
+				pass.Reportf(call.Pos(), "ctxflow: context.%s() detaches this work from request cancellation; thread the caller's ctx, or document the detachment with a lint:ignore directive", name)
+			}
+			return true
+		})
+		// Rule 2: taint flow inside request-scoped functions.
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			var params *ast.FieldList
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body, params = fn.Body, fn.Type.Params
+			case *ast.FuncLit:
+				body, params = fn.Body, fn.Type.Params
+			default:
+				return true
+			}
+			if body == nil {
+				return true
+			}
+			if src := requestSource(pass, params); src != "" {
+				checkTaint(pass, body, src)
+			}
+			return true
+		})
+	}
+}
+
+// mintName returns "Background" or "TODO" when call mints a detached
+// root context, "" otherwise.
+func mintName(pass *analysis.Pass, call *ast.CallExpr) string {
+	if analysis.IsCallTo(pass.Info, call, "context", "Background") {
+		return "Background"
+	}
+	if analysis.IsCallTo(pass.Info, call, "context", "TODO") {
+		return "TODO"
+	}
+	return ""
+}
+
+// requestSource reports how a function's parameters carry a
+// request-scoped context: the ctx parameter's name, or "r.Context()"
+// for an *http.Request parameter. Empty when the function holds
+// neither.
+func requestSource(pass *analysis.Pass, params *ast.FieldList) string {
+	if params == nil {
+		return ""
+	}
+	for _, fld := range params.List {
+		t := pass.Info.TypeOf(fld.Type)
+		if t == nil {
+			continue
+		}
+		if isContext(t) {
+			if len(fld.Names) > 0 && fld.Names[0].Name != "_" {
+				return fld.Names[0].Name
+			}
+			return "the ctx parameter"
+		}
+		if analysis.NamedAs(t, "net/http", "Request") {
+			return "r.Context()"
+		}
+	}
+	return ""
+}
+
+// taintFact is the may-tainted variable set.
+type taintFact struct {
+	vars map[*types.Var]bool
+	seen bool
+}
+
+func checkTaint(pass *analysis.Pass, body *ast.BlockStmt, src string) {
+	g := cfg.New(body)
+	spec := cfg.FlowSpec[*taintFact]{
+		Entry:  &taintFact{vars: map[*types.Var]bool{}, seen: true},
+		Bottom: func() *taintFact { return &taintFact{vars: map[*types.Var]bool{}} },
+		Clone: func(f *taintFact) *taintFact {
+			c := &taintFact{vars: make(map[*types.Var]bool, len(f.vars)), seen: f.seen}
+			for k := range f.vars {
+				c.vars[k] = true
+			}
+			return c
+		},
+		Merge: func(dst, src *taintFact) bool {
+			if !src.seen {
+				return false
+			}
+			changed := !dst.seen
+			dst.seen = true
+			for k := range src.vars {
+				if !dst.vars[k] {
+					dst.vars[k] = true
+					changed = true
+				}
+			}
+			return changed
+		},
+		Transfer: func(b *cfg.Block, in *taintFact) *taintFact {
+			for _, n := range b.Nodes {
+				transferTaint(pass, n, in)
+			}
+			return in
+		},
+	}
+	in := cfg.Forward(g, spec)
+
+	for _, b := range g.ReversePostOrder() {
+		f := spec.Clone(in[b])
+		if !f.seen {
+			continue
+		}
+		for _, n := range b.Nodes {
+			reportTaintedArgs(pass, n, f, src)
+			transferTaint(pass, n, f)
+		}
+	}
+}
+
+// transferTaint updates the tainted-variable set across one statement.
+func transferTaint(pass *analysis.Pass, n ast.Node, f *taintFact) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		as, ok := m.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		if len(as.Lhs) == len(as.Rhs) {
+			for i, lhs := range as.Lhs {
+				assignTaint(pass, f, lhs, exprTainted(pass, f, as.Rhs[i]))
+			}
+		} else if len(as.Rhs) == 1 {
+			// Multi-value: ctx, cancel := context.WithCancel(base).
+			t := exprTainted(pass, f, as.Rhs[0])
+			for _, lhs := range as.Lhs {
+				assignTaint(pass, f, lhs, t)
+			}
+		}
+		return true
+	})
+}
+
+// assignTaint marks or clears lhs in the tainted set; only identifiers
+// of context type are tracked.
+func assignTaint(pass *analysis.Pass, f *taintFact, lhs ast.Expr, tainted bool) {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	obj := pass.Info.Defs[id]
+	if obj == nil {
+		obj = pass.Info.Uses[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || !isContext(v.Type()) {
+		return
+	}
+	if tainted {
+		f.vars[v] = true
+	} else {
+		delete(f.vars, v)
+	}
+}
+
+// exprTainted reports whether e evaluates to a Background-rooted
+// context under the current fact.
+func exprTainted(pass *analysis.Pass, f *taintFact, e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if v, ok := pass.Info.Uses[x].(*types.Var); ok {
+			return f.vars[v]
+		}
+	case *ast.CallExpr:
+		if mintName(pass, x) != "" {
+			return true
+		}
+		if isContextDerivation(pass, x) && len(x.Args) > 0 {
+			return exprTainted(pass, f, x.Args[0])
+		}
+	}
+	return false
+}
+
+// isContextDerivation reports whether call is context.WithCancel /
+// WithTimeout / WithDeadline / WithValue — derivations that preserve
+// the root of their parent.
+func isContextDerivation(pass *analysis.Pass, call *ast.CallExpr) bool {
+	fn := analysis.CalleeFunc(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return false
+	}
+	switch fn.Name() {
+	case "WithCancel", "WithTimeout", "WithDeadline", "WithValue", "WithoutCancel", "WithCancelCause", "WithTimeoutCause", "WithDeadlineCause":
+		return true
+	}
+	return false
+}
+
+// reportTaintedArgs flags tainted context values passed onward from a
+// function that holds a request-scoped context.
+func reportTaintedArgs(pass *analysis.Pass, n ast.Node, f *taintFact, src string) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		// Derivation chains taint the result; flag the eventual use,
+		// not each link. Direct Background()/TODO() arguments are
+		// already reported by rule 1.
+		if isContextDerivation(pass, call) {
+			return true
+		}
+		for _, a := range call.Args {
+			tv, ok := pass.Info.Types[a]
+			if !ok || !isContext(tv.Type) {
+				continue
+			}
+			if inner, ok := ast.Unparen(a).(*ast.CallExpr); ok && mintName(pass, inner) != "" {
+				continue
+			}
+			if exprTainted(pass, f, a) {
+				pass.Reportf(a.Pos(), "ctxflow: this call receives a context rooted in context.Background() while %s is in scope; thread the request context instead", src)
+			}
+		}
+		return true
+	})
+}
+
+// isContext reports whether t is context.Context.
+func isContext(t types.Type) bool {
+	named, ok := analysis.Deref(t).(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Name() == "Context" && named.Obj().Pkg().Path() == "context"
+}

@@ -1,0 +1,12 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"additivity/internal/analysis/analysistest"
+	"additivity/internal/analysis/passes/ctxflow"
+)
+
+func TestCtxflow(t *testing.T) {
+	analysistest.Run(t, "testdata/src/ctxflowfix", ctxflow.Analyzer)
+}

@@ -1,0 +1,68 @@
+// Package ctxflowfix is the ctxflow golden fixture: handlers that mint
+// detached contexts, Background-rooted taint flowing through
+// derivations into downstream calls, and the clean threaded shapes
+// that must stay silent.
+package ctxflowfix
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+func execute(ctx context.Context, q string) error {
+	_ = q
+	return ctx.Err()
+}
+
+// handlerMints hands work a freshly minted root context while the
+// request's own is one selector away.
+func handlerMints(w http.ResponseWriter, r *http.Request) {
+	_ = execute(context.Background(), "q") // want `ctxflow: context.Background\(\) detaches this work from request cancellation`
+}
+
+// handlerTaintFlow launders the mint through a variable and a timeout
+// derivation; both the mint and the eventual use are flagged.
+func handlerTaintFlow(w http.ResponseWriter, r *http.Request) {
+	base := context.Background() // want `ctxflow: context.Background\(\) detaches this work from request cancellation`
+	ctx, cancel := context.WithTimeout(base, time.Second)
+	defer cancel()
+	_ = execute(ctx, "q") // want `ctxflow: this call receives a context rooted in context.Background\(\) while r.Context\(\) is in scope`
+}
+
+// handlerReassigns mints and then overwrites with the request context:
+// the mint is flagged, the call is clean.
+func handlerReassigns(w http.ResponseWriter, r *http.Request) {
+	ctx := context.Background() // want `ctxflow: context.Background\(\) detaches this work from request cancellation`
+	ctx = r.Context()
+	_ = execute(ctx, "q")
+}
+
+// helperBranchTaint detaches on one branch only; the may-analysis
+// still flags the downstream use.
+func helperBranchTaint(ctx context.Context, fallback bool, q string) error {
+	use := ctx
+	if fallback {
+		use = context.Background() // want `ctxflow: context.Background\(\) detaches this work from request cancellation`
+	}
+	return execute(use, q) // want `ctxflow: this call receives a context rooted in context.Background\(\) while ctx is in scope`
+}
+
+// todoUser reaches for TODO instead of threading a context.
+func todoUser(q string) {
+	_ = execute(context.TODO(), q) // want `ctxflow: context.TODO\(\) detaches this work from request cancellation`
+}
+
+// handlerClean derives from the request context. Clean.
+func handlerClean(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithTimeout(r.Context(), time.Second)
+	defer cancel()
+	_ = execute(ctx, "q")
+}
+
+// threaded derives from its own ctx parameter. Clean.
+func threaded(ctx context.Context, q string) error {
+	sub, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return execute(sub, q)
+}

@@ -1,0 +1,292 @@
+// Package goroleak proves goroutine termination for the serving stack.
+// Every `go` statement in the concurrency packages must launch work
+// whose lifetime is tied to something that ends: a context, a done
+// channel, a closing work channel, or a WaitGroup. The dangerous
+// shapes are the long-lived helpers — lease heartbeats, /statsz
+// pollers, hedge timers — whose loops must observe their stop signal
+// on every backedge, or a drained replica keeps ticking forever.
+//
+// The check works on the CFG's strongly connected components:
+//
+//   - An SCC (a loop, natural or via goto) with no edge leaving it is
+//     an unconditional leak.
+//   - An SCC whose only exits are ordinary branches (a computed flag,
+//     an error check) is flagged too: termination then depends on
+//     program logic the analysis cannot bound. An exit counts as a
+//     stop observation only when it leaves through a bounded loop
+//     guard (a for-condition or a range header — ranges end when the
+//     collection is exhausted or the channel closed) or through a
+//     select case that receives (<-done, <-ctx.Done()) or an if whose
+//     condition consults a context or performs a receive.
+//   - A goroutine body with no loops at all must still reference a
+//     context, receive from a channel, wait on a WaitGroup or close a
+//     channel — a fire-and-forget computation has no lifecycle and is
+//     flagged.
+//
+// `go f(...)` with a named callee is resolved: a context-typed
+// argument satisfies the tie outright; otherwise a same-package
+// callee's body is analysed like a literal, and a cross-package callee
+// without a context argument is flagged (its loops are invisible
+// here).
+package goroleak
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"additivity/internal/analysis"
+	"additivity/internal/analysis/cfg"
+)
+
+// Analyzer is the goroleak pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "goroleak",
+	Doc:  "every go statement must have a provable termination tie (context, done channel, WaitGroup); loops must observe their stop signal",
+	Run:  run,
+}
+
+var scope = []string{
+	"internal/service", "internal/memo", "internal/memo/peer",
+	"internal/loadgen", "internal/parallel",
+}
+
+func run(pass *analysis.Pass) {
+	if !analysis.InScope(pass.Pkg.Path(), scope...) {
+		return
+	}
+	// Index same-package function declarations so `go s.run(ctx, j)`
+	// can be resolved to a body.
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+					decls[obj] = fd
+				}
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			checkGo(pass, g, decls)
+			return true
+		})
+	}
+}
+
+func checkGo(pass *analysis.Pass, g *ast.GoStmt, decls map[*types.Func]*ast.FuncDecl) {
+	call := g.Call
+
+	// A context-typed argument ties the goroutine's lifetime to its
+	// caller's no matter what the body does with it (the body is still
+	// analysed when we can see it).
+	hasCtxArg := false
+	for _, a := range call.Args {
+		if tv, ok := pass.Info.Types[a]; ok && isContext(tv.Type) {
+			hasCtxArg = true
+		}
+	}
+
+	var body *ast.BlockStmt
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.FuncLit:
+		body = fun.Body
+	default:
+		if fn := analysis.CalleeFunc(pass.Info, call); fn != nil {
+			if fd, ok := decls[fn]; ok {
+				body = fd.Body
+			} else if !hasCtxArg {
+				pass.Reportf(g.Pos(), "goroleak: go %s launches a cross-package function with no context argument; its termination cannot be proven here", fn.Name())
+				return
+			}
+		}
+	}
+	if body == nil {
+		if !hasCtxArg {
+			pass.Reportf(g.Pos(), "goroleak: goroutine target is not resolvable and carries no context argument")
+		}
+		return
+	}
+
+	graph := cfg.New(body)
+	sccs := graph.SCCs()
+	for _, comp := range sccs {
+		inComp := map[*cfg.Block]bool{}
+		for _, b := range comp {
+			inComp[b] = true
+		}
+		hasExit, hasStopExit := false, false
+		for _, b := range comp {
+			for _, s := range b.Succs {
+				if inComp[s] {
+					continue
+				}
+				hasExit = true
+				if stopGuard(pass, b, s) {
+					hasStopExit = true
+				}
+			}
+		}
+		pos := loopPos(comp)
+		switch {
+		case !hasExit:
+			pass.Reportf(pos, "goroleak: goroutine loop has no exit path; it can never terminate")
+		case !hasStopExit:
+			pass.Reportf(pos, "goroleak: goroutine loop exits only through unbounded program logic; observe a stop signal (ctx.Done, done channel, closing work channel) on the backedge")
+		}
+	}
+	if len(sccs) == 0 && !hasCtxArg && !hasTie(pass, body) {
+		pass.Reportf(g.Pos(), "goroleak: fire-and-forget goroutine; tie its lifetime to a context, done channel, or WaitGroup")
+	}
+}
+
+// loopPos picks a stable position for an SCC report: the smallest
+// position of any node or control expression in the component.
+func loopPos(comp []*cfg.Block) token.Pos {
+	pos := token.Pos(0)
+	for _, b := range comp {
+		candidates := b.Nodes
+		if b.Ctrl != nil {
+			candidates = append(candidates[:len(candidates):len(candidates)], b.Ctrl)
+		}
+		for _, n := range candidates {
+			if p := n.Pos(); p.IsValid() && (pos == 0 || p < pos) {
+				pos = p
+			}
+		}
+	}
+	return pos
+}
+
+// stopGuard reports whether the edge from -> to is an approved way out
+// of a loop: a bounded loop guard, a range header, a select case that
+// receives, or an if-condition consulting a context or a channel.
+func stopGuard(pass *analysis.Pass, from, to *cfg.Block) bool {
+	switch from.Kind {
+	case cfg.KindForCond:
+		// for cond {...}: the false edge is bounded by the condition —
+		// but only a real condition qualifies; for{} has no exit edge
+		// at all, so reaching here means cond != nil.
+		_, isFor := from.Ctrl.(*ast.ForStmt)
+		return !isFor // Ctrl is the condition expression unless the loop is conditionless
+	case cfg.KindRangeHead:
+		// Ranges terminate: collections exhaust, channels close.
+		return true
+	case cfg.KindSelect:
+		// The escaping successor is a select case; it must receive.
+		if to.Kind != cfg.KindSelectCase {
+			return false
+		}
+		cc, ok := to.Ctrl.(*ast.CommClause)
+		if !ok || cc.Comm == nil {
+			return false
+		}
+		return commReceives(cc.Comm)
+	case cfg.KindIfCond:
+		// if <-done { return } / if ctx.Err() != nil { return }: the
+		// condition must consult a context or perform a receive.
+		return mentionsStopSource(pass, from.Ctrl)
+	case cfg.KindSwitchHead:
+		// switch on a received value or ctx.Err(): same criterion as if.
+		return mentionsStopSource(pass, from.Ctrl)
+	}
+	return false
+}
+
+// commReceives reports whether a select communication is a receive.
+func commReceives(comm ast.Stmt) bool {
+	switch s := comm.(type) {
+	case *ast.ExprStmt:
+		u, ok := ast.Unparen(s.X).(*ast.UnaryExpr)
+		return ok && u.Op == token.ARROW
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			u, ok := ast.Unparen(s.Rhs[0]).(*ast.UnaryExpr)
+			return ok && u.Op == token.ARROW
+		}
+	}
+	return false
+}
+
+// mentionsStopSource reports whether an expression (or statement)
+// references a context value, calls a context method, or performs a
+// channel receive.
+func mentionsStopSource(pass *analysis.Pass, n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if m.Op == token.ARROW {
+				found = true
+				return false
+			}
+		case *ast.Ident:
+			if obj := pass.Info.Uses[m]; obj != nil && isContext(obj.Type()) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// hasTie reports whether a loop-free goroutine body has any lifecycle
+// tie: a context reference, a channel receive, a WaitGroup Wait/Done,
+// or a close of a channel.
+func hasTie(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.Ident:
+			if obj := pass.Info.Uses[n]; obj != nil && isContext(obj.Type()) {
+				found = true
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "close" {
+				if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+					found = true
+				}
+			}
+			if fn := analysis.CalleeFunc(pass.Info, n); fn != nil {
+				if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+					if analysis.NamedAs(sig.Recv().Type(), "sync", "WaitGroup") &&
+						(fn.Name() == "Wait" || fn.Name() == "Done") {
+						found = true
+					}
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isContext reports whether t is context.Context.
+func isContext(t types.Type) bool {
+	named, ok := analysis.Deref(t).(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Name() == "Context" && named.Obj().Pkg().Path() == "context"
+}

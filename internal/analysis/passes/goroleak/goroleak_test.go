@@ -1,0 +1,12 @@
+package goroleak_test
+
+import (
+	"testing"
+
+	"additivity/internal/analysis/analysistest"
+	"additivity/internal/analysis/passes/goroleak"
+)
+
+func TestGoroleak(t *testing.T) {
+	analysistest.Run(t, "testdata/src/goroleakfix", goroleak.Analyzer)
+}

@@ -1,0 +1,151 @@
+// Package goroleakfix is the goroleak golden fixture: goroutine loops
+// with no exit, loops that exit only through unbounded program logic,
+// fire-and-forget goroutines, unresolvable and cross-package launches —
+// plus the approved shapes (done-channel heartbeat, range-over-work
+// channel, context-tied named loop, WaitGroup completion, bounded
+// iteration) that must stay clean.
+package goroleakfix
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+func work()           {}
+func step()           {}
+func beat()           {}
+func poll()           {}
+func weather() string { return "fine" }
+
+// spinForever loops with no way out.
+func spinForever() {
+	go func() {
+		for { // want `goroleak: goroutine loop has no exit path`
+			work()
+		}
+	}()
+}
+
+// tickerNoStop polls a ticker but never observes a stop signal: the
+// select has no escaping case, so the loop has no exit at all.
+func tickerNoStop(interval time.Duration) {
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for { // want `goroleak: goroutine loop has no exit path`
+			select {
+			case <-t.C:
+				poll()
+			}
+		}
+	}()
+}
+
+// logicExit terminates only if program logic cooperates; nothing
+// bounds it.
+func logicExit() {
+	go func() {
+		for { // want `goroleak: goroutine loop exits only through unbounded program logic`
+			if weather() == "done" {
+				return
+			}
+			step()
+		}
+	}()
+}
+
+// fireAndForget has no loop but also no lifecycle tie.
+func fireAndForget(data []int) {
+	go func() { // want `goroleak: fire-and-forget goroutine`
+		sum := 0
+		if len(data) > 0 {
+			sum = data[0]
+		}
+		_ = sum
+		work()
+	}()
+}
+
+// crossPackage launches a function whose body is invisible and passes
+// no context.
+func crossPackage() {
+	go fmt.Println("boot") // want `goroleak: go Println launches a cross-package function with no context argument`
+}
+
+// hooks are function values: the target is unresolvable.
+var hooks []func()
+
+func runHooks() {
+	for _, h := range hooks {
+		go h() // want `goroleak: goroutine target is not resolvable`
+	}
+}
+
+// heartbeat observes its done channel on every backedge. Clean.
+func heartbeat(done chan struct{}) {
+	go func() {
+		tick := time.NewTicker(time.Second)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				beat()
+			}
+		}
+	}()
+}
+
+// worker drains a work channel; the range ends when the channel
+// closes. Clean.
+func worker(jobs chan int, results chan int) {
+	go func() {
+		for j := range jobs {
+			results <- j * 2
+		}
+		close(results)
+	}()
+}
+
+// pump is a context-tied named loop launched by a go statement. Clean.
+type pump struct {
+	out chan int
+	n   int
+}
+
+func (p *pump) next() int { p.n++; return p.n }
+
+func (p *pump) loop(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case p.out <- p.next():
+		}
+	}
+}
+
+func (p *pump) start(ctx context.Context) {
+	go p.loop(ctx)
+}
+
+// tracked signals completion through a WaitGroup. Clean.
+func tracked(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+// bounded iterates a compile-time bounded loop. Clean.
+func bounded() {
+	go func() {
+		for i := 0; i < 10; i++ {
+			step()
+		}
+	}()
+}

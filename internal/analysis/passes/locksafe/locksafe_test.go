@@ -1,0 +1,12 @@
+package locksafe_test
+
+import (
+	"testing"
+
+	"additivity/internal/analysis/analysistest"
+	"additivity/internal/analysis/passes/locksafe"
+)
+
+func TestLocksafe(t *testing.T) {
+	analysistest.Run(t, "testdata/src/locksafefix", locksafe.Analyzer)
+}

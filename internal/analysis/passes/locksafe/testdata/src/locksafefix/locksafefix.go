@@ -1,0 +1,173 @@
+// Package locksafefix is the locksafe golden fixture: seeded
+// violations of each contract — a lock leaked on a branch, a lock
+// leaked to a panic, a conditional defer that covers only one path,
+// double-locking, unlocking an unheld mutex, blocking operations under
+// a held mutex, and by-value copies of lock-bearing structs — plus
+// negative cases (defer-covered panic paths, unlock-before-block,
+// select-with-default polling, per-iteration lock/unlock) that must
+// stay clean.
+package locksafefix
+
+import (
+	"os"
+	"sync"
+	"time"
+)
+
+type guarded struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+// missingUnlockOnBranch leaks the lock on the early-return path.
+func (g *guarded) missingUnlockOnBranch(fail bool) int {
+	g.mu.Lock() // want `locksafe: Lock of g\.mu is not released on every path`
+	if fail {
+		return -1
+	}
+	n := g.n
+	g.mu.Unlock()
+	return n
+}
+
+// panicsWhileLocked leaks the lock on the panic path; only a defer
+// covers panics.
+func (g *guarded) panicsWhileLocked(bad bool) {
+	g.mu.Lock() // want `locksafe: Lock of g\.mu is not released on every path`
+	if bad {
+		panic("corrupt state")
+	}
+	g.mu.Unlock()
+}
+
+// deferCovers is the correct version of panicsWhileLocked: clean.
+func (g *guarded) deferCovers(bad bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if bad {
+		panic("corrupt state")
+	}
+	g.n++
+}
+
+// conditionalDefer registers the unlock on only one branch.
+func (g *guarded) conditionalDefer(c bool) {
+	g.mu.Lock() // want `locksafe: Lock of g\.mu is not released on every path`
+	if c {
+		defer g.mu.Unlock()
+	}
+	g.n++
+}
+
+// doubleLock self-deadlocks.
+func (g *guarded) doubleLock() {
+	g.mu.Lock()
+	g.mu.Lock() // want `locksafe: g\.mu is already held here`
+	g.n++
+	g.mu.Unlock()
+}
+
+// unlockNotHeld releases a mutex no path has acquired.
+func (g *guarded) unlockNotHeld() {
+	g.mu.Unlock() // want `locksafe: unlock of g\.mu which is not held`
+}
+
+// readLeaksOnBranch leaks a read lock on the early return.
+func (g *guarded) readLeaksOnBranch(fail bool) int {
+	g.rw.RLock() // want `locksafe: RLock of g\.rw is not released on every path`
+	if fail {
+		return 0
+	}
+	n := g.n
+	g.rw.RUnlock()
+	return n
+}
+
+// sleepWhileLocked parks the scheduler inside the critical section.
+func (g *guarded) sleepWhileLocked() {
+	g.mu.Lock()
+	time.Sleep(time.Millisecond) // want `locksafe: time\.Sleep \(sleep\) while g\.mu is held`
+	g.mu.Unlock()
+}
+
+// recvWhileLocked blocks on a channel inside the critical section.
+func (g *guarded) recvWhileLocked(ch chan int) int {
+	g.mu.Lock()
+	v := <-ch // want `locksafe: channel receive while g\.mu is held`
+	g.mu.Unlock()
+	return v
+}
+
+// sendWhileLocked blocks on a channel send inside the critical section.
+func (g *guarded) sendWhileLocked(ch chan int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	ch <- g.n // want `locksafe: channel send while g\.mu is held`
+}
+
+// readFileWhileLocked does disk I/O inside the critical section.
+func (g *guarded) readFileWhileLocked(path string) ([]byte, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return os.ReadFile(path) // want `locksafe: os\.ReadFile \(disk I/O\) while g\.mu is held`
+}
+
+// unlockBeforeRecv is the correct shape: release, then block. Clean.
+func (g *guarded) unlockBeforeRecv(ch chan int) int {
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+	return <-ch
+}
+
+// pollWhileLocked uses select-with-default, which never blocks. Clean.
+func (g *guarded) pollWhileLocked(ch chan int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	select {
+	case v := <-ch:
+		g.n = v
+	default:
+	}
+}
+
+// lockPerIter holds the lock only inside each iteration. Clean.
+func (g *guarded) lockPerIter(n int) {
+	for i := 0; i < n; i++ {
+		g.mu.Lock()
+		g.n += i
+		g.mu.Unlock()
+	}
+}
+
+// holder is a lock-bearing struct for the copylock checks.
+type holder struct {
+	mu sync.Mutex
+	v  int
+}
+
+// copyParam receives the lock by value.
+func copyParam(h holder) int { // want `locksafe: holder passed by value`
+	return h.v
+}
+
+// copyAssign snapshots the whole struct, lock included.
+func copyAssign(h *holder) {
+	snapshot := *h // want `locksafe: assignment copies holder by value`
+	_ = snapshot
+}
+
+// copyRange copies each element, lock included.
+func copyRange(hs []holder) int {
+	total := 0
+	for _, h := range hs { // want `locksafe: range value copies holder by value`
+		total += h.v
+	}
+	return total
+}
+
+// pointerParam takes the address: clean.
+func pointerParam(h *holder) int {
+	return h.v
+}

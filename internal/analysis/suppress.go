@@ -1,8 +1,12 @@
 package analysis
 
 import (
+	"fmt"
 	"go/ast"
+	"go/parser"
 	"go/token"
+	"path/filepath"
+	"sort"
 	"strings"
 )
 
@@ -59,6 +63,22 @@ func (s suppressionSet) matches(file string, line int, check string) bool {
 
 const ignorePrefix = "lint:ignore"
 
+// splitIgnore parses one comment's text as a //lint:ignore directive.
+// isDirective is false for ordinary comments; a directive with empty
+// checks or reason is malformed.
+func splitIgnore(comment string) (checksField, reason string, isDirective bool) {
+	text, ok := strings.CutPrefix(comment, "//")
+	if !ok {
+		return "", "", false // /* */ comments are not directives
+	}
+	rest, ok := strings.CutPrefix(strings.TrimSpace(text), ignorePrefix)
+	if !ok {
+		return "", "", false
+	}
+	checksField, reason, _ = strings.Cut(strings.TrimSpace(rest), " ")
+	return checksField, strings.TrimSpace(reason), true
+}
+
 // collectSuppressions parses every //lint:ignore directive in the files.
 // Malformed directives (no checks, or no reason) are returned as
 // diagnostics so they fail the lint run instead of silently ignoring
@@ -69,18 +89,11 @@ func collectSuppressions(fset *token.FileSet, files []*ast.File) ([]suppression,
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				text, ok := strings.CutPrefix(c.Text, "//")
-				if !ok {
-					continue // /* */ comments are not directives
-				}
-				text = strings.TrimSpace(text)
-				rest, ok := strings.CutPrefix(text, ignorePrefix)
+				checksField, reason, ok := splitIgnore(c.Text)
 				if !ok {
 					continue
 				}
 				pos := fset.Position(c.Pos())
-				checksField, reason, _ := strings.Cut(strings.TrimSpace(rest), " ")
-				reason = strings.TrimSpace(reason)
 				if checksField == "" || reason == "" {
 					malformed = append(malformed, Diagnostic{
 						Pos:     pos,
@@ -102,4 +115,72 @@ func collectSuppressions(fset *token.FileSet, files []*ast.File) ([]suppression,
 		}
 	}
 	return sups, malformed
+}
+
+// A Directive is one //lint:ignore occurrence, surfaced by the
+// -report-suppressions inventory: where it is, which checks it
+// silences, and why.
+type Directive struct {
+	Pos       token.Position
+	Checks    []string // "all" appears literally
+	Reason    string
+	Malformed bool // unparseable: empty check list or missing reason
+}
+
+// Directives inventories every //lint:ignore directive in the packages
+// matched by patterns (relative to dir), test files included. Parse
+// only — no typechecking — so the inventory works even on a tree that
+// does not compile. The result is sorted by position.
+func Directives(dir string, patterns []string) ([]Directive, error) {
+	l := NewLoader(dir)
+	raw, err := l.goList([]string{"-e", "-json"}, patterns)
+	if err != nil {
+		return nil, err
+	}
+	var out []Directive
+	seenFile := map[string]bool{}
+	for _, p := range raw {
+		if p.DepOnly || p.Standard || strings.HasSuffix(p.ImportPath, ".test") {
+			continue
+		}
+		var names []string
+		names = append(names, p.GoFiles...)
+		names = append(names, p.CgoFiles...)
+		names = append(names, p.TestGoFiles...)
+		names = append(names, p.XTestGoFiles...)
+		for _, name := range names {
+			path := filepath.Join(p.Dir, name)
+			if seenFile[path] {
+				continue
+			}
+			seenFile[path] = true
+			f, err := parser.ParseFile(l.Fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, fmt.Errorf("analysis: parse %s: %v", path, err)
+			}
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					checksField, reason, ok := splitIgnore(c.Text)
+					if !ok {
+						continue
+					}
+					d := Directive{Pos: l.Fset.Position(c.Pos()), Reason: reason}
+					if checksField == "" || reason == "" {
+						d.Malformed = true
+					} else {
+						d.Checks = strings.Split(checksField, ",")
+					}
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		return a.Pos.Line < b.Pos.Line
+	})
+	return out, nil
 }

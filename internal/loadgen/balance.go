@@ -144,6 +144,9 @@ func (b *leastLoaded) pollLoop(i int) {
 // gauges. Any failure — dial, timeout, non-200, undecodable body —
 // penalises the replica; the next successful probe clears it.
 func (b *leastLoaded) pollOnce(i int) {
+	// The poller is a detached background worker owned by the balancer
+	// (stopped via b.stop), not part of any request's call chain.
+	//lint:ignore ctxflow detached health poller tied to b.stop, not a request; each probe is bounded by statsPollTimeout
 	ctx, cancel := context.WithTimeout(context.Background(), statsPollTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.bases[i]+"/statsz", nil)

@@ -403,23 +403,6 @@ func (c *Cache) peerSource() PeerSource {
 	return p
 }
 
-// peerFetch consults the peer tier after a local miss. A hit counts
-// and returns the verified payload; a miss (or no tier configured)
-// counts only when a fan-out actually ran.
-func (c *Cache) peerFetch(key Key) ([]byte, bool) {
-	p := c.peerSource()
-	if p == nil {
-		return nil, false
-	}
-	payload, ok := p.Fetch(key)
-	if ok {
-		c.peerHits.Add(1)
-		return payload, true
-	}
-	c.peerMisses.Add(1)
-	return nil, false
-}
-
 // LookupStored probes the local layers only — LRU, then disk — for a
 // complete stored entry, without counting a request, running a
 // compute, or consulting peers. This is the read side of the peer
@@ -516,11 +499,16 @@ func (c *Cache) lead(key Key, s *shard, compute func() ([]byte, bool, error)) ([
 	// coordination: a peer that answers is strictly cheaper than
 	// holding a lease through a full measurement, and replicas with
 	// separate cache dirs (the peer deployment shape) have no shared
-	// lease directory anyway.
-	if payload, ok := c.peerFetch(key); ok {
-		c.diskStore(key, payload)
-		c.retain(key, s, payload)
-		return payload, PeerHit, nil
+	// lease directory anyway. A peer hit counts on the return path
+	// below; a peer miss counts only when a fan-out actually ran.
+	if p := c.peerSource(); p != nil {
+		if payload, ok := p.Fetch(key); ok {
+			c.peerHits.Add(1)
+			c.diskStore(key, payload)
+			c.retain(key, s, payload)
+			return payload, PeerHit, nil
+		}
+		c.peerMisses.Add(1)
 	}
 	// Cross-process single-flight: become the lease holder for this
 	// digest, or wait for the process that is. A follower either gets

@@ -448,7 +448,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 		timeout = d
 	}
-	st, fast := s.submitFast(req)
+	st, fast := s.submitFast(r.Context(), req)
 	if !fast {
 		// Admission control guards the pooled path only: the fast path
 		// settles synchronously and adds no backlog, so shedding it
@@ -548,7 +548,7 @@ func noopCancel() {}
 // serves its result like any pooled job — it is simply born terminal,
 // so the submit response is already final and clients can skip the
 // poll loop entirely.
-func (s *Server) submitFast(req JobRequest) (JobStatus, bool) {
+func (s *Server) submitFast(ctx context.Context, req JobRequest) (JobStatus, bool) {
 	payload, hit := s.lookupWarm(&req)
 	var jobErr error
 	if !hit {
@@ -556,8 +556,10 @@ func (s *Server) submitFast(req JobRequest) (JobStatus, bool) {
 			return JobStatus{}, false
 		}
 		// Analytic predictions are pure catalog arithmetic; run them
-		// inline through the cache so duplicates share one payload.
-		payload, _, jobErr = executeCached(context.Background(), s.opts.Cache, req, hooks{})
+		// inline through the cache so duplicates share one payload. The
+		// caller's ctx scopes the inline work: a client that disconnects
+		// mid-submit stops paying for its own prediction.
+		payload, _, jobErr = executeCached(ctx, s.opts.Cache, req, hooks{})
 	}
 	id := "job-" + strconv.FormatUint(s.nextID.Add(1), 10)
 	j := &job{
@@ -567,20 +569,17 @@ func (s *Server) submitFast(req JobRequest) (JobStatus, bool) {
 	if jobErr == nil {
 		j.state = StateDone
 		j.result = payload
+		s.jobsDone.Add(1)
 	} else {
 		j.state = StateFailed
 		j.errMsg = jobErr.Error()
+		s.jobsFailed.Add(1)
 	}
 	s.mu.Lock()
 	s.jobs[id] = j
 	s.order = append(s.order, id)
 	s.mu.Unlock()
 	s.jobsSubmitted.Add(1)
-	if jobErr == nil {
-		s.jobsDone.Add(1)
-	} else {
-		s.jobsFailed.Add(1)
-	}
 	return s.status(j), true
 }
 
@@ -592,7 +591,10 @@ func (s *Server) submitFast(req JobRequest) (JobStatus, bool) {
 // Direct submission is never shed: admission control applies to the
 // HTTP surface, where a caller can be told to retry.
 func (s *Server) Submit(req JobRequest) JobStatus {
-	if st, ok := s.submitFast(req); ok {
+	// Direct in-process submission has no inbound request whose
+	// cancellation could scope the fast path's inline work.
+	//lint:ignore ctxflow direct in-process submission has no request context to thread; the fast path is bounded catalog arithmetic
+	if st, ok := s.submitFast(context.Background(), req); ok {
 		return st
 	}
 	s.queueDepth.Add(1)
@@ -624,9 +626,18 @@ func (s *Server) reserveQueueSlot() bool {
 // deadlined job forever.
 func (s *Server) startPooled(req JobRequest, timeout time.Duration) JobStatus {
 	id := "job-" + strconv.FormatUint(s.nextID.Add(1), 10)
-	ctx, cancel := context.WithCancel(context.Background())
+	// A pooled job deliberately outlives the submitting request: the
+	// client may disconnect and poll for the result later, so the job
+	// context detaches from the request and is bounded by the job
+	// deadline instead.
+	//lint:ignore ctxflow pooled jobs are detached workers by design; their lifetime is bounded by the job deadline, not the submitting request
+	base := context.Background()
+	var ctx context.Context
+	var cancel context.CancelFunc
 	if timeout > 0 {
-		ctx, cancel = context.WithTimeout(context.Background(), timeout)
+		ctx, cancel = context.WithTimeout(base, timeout)
+	} else {
+		ctx, cancel = context.WithCancel(base)
 	}
 	j := &job{
 		id: id, kind: req.Kind, req: req,
@@ -680,33 +691,30 @@ func (s *Server) run(ctx context.Context, j *job) {
 func (s *Server) finish(j *job, payload []byte, report *core.CheckReport, err error) {
 	deadlined := err != nil && errors.Is(err, context.DeadlineExceeded)
 	j.mu.Lock()
+	// Each terminal state charges its counter in the arm that sets it,
+	// so the state a poller observes and the counter /statsz reports
+	// can never drift apart. The counters are atomics: bumping them
+	// under j.mu blocks nobody.
 	switch {
 	case err == nil:
 		j.state = StateDone
 		j.result = payload
+		s.jobsDone.Add(1)
 	case deadlined:
 		j.state = StateAborted
 		j.errMsg = "job deadline exceeded"
+		s.jobsAborted.Add(1)
+		s.deadlineExceeded.Add(1)
 	case errors.Is(err, context.Canceled):
 		j.state = StateAborted
 		j.errMsg = "job aborted"
+		s.jobsAborted.Add(1)
 	default:
 		j.state = StateFailed
 		j.errMsg = err.Error()
-	}
-	state := j.state
-	j.mu.Unlock()
-	switch state {
-	case StateDone:
-		s.jobsDone.Add(1)
-	case StateAborted:
-		s.jobsAborted.Add(1)
-		if deadlined {
-			s.deadlineExceeded.Add(1)
-		}
-	default:
 		s.jobsFailed.Add(1)
 	}
+	j.mu.Unlock()
 	if report != nil {
 		s.faultRetries.Add(report.Retries)
 		s.faultRecov.Add(report.Recovered)

@@ -39,6 +39,13 @@ cleanup() {
 }
 trap cleanup EXIT
 
+# Concurrency-contract gate before any replica boots: a daemon whose
+# locks can leak, whose goroutines cannot terminate, or whose /statsz
+# counters drift from its state machine would turn the fleet legs below
+# into noise instead of a verdict.
+echo "== concurrency lint =="
+make lint-concurrency || { echo "FAIL: concurrency-contract lint failed" >&2; exit 1; }
+
 RACEFLAG="-race"
 [ "$RACE" = "0" ] && RACEFLAG=""
 go build $RACEFLAG -o "$DIR/additivityd" ./cmd/additivityd || exit 1

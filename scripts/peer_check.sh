@@ -43,6 +43,12 @@ cleanup() {
 }
 trap cleanup EXIT
 
+# Concurrency-contract gate before any replica boots: the peer legs
+# prove wire-level invariants, which mean nothing if a replica can
+# deadlock on a leaked lock or leak its hedge goroutines.
+echo "== concurrency lint =="
+make lint-concurrency || { echo "FAIL: concurrency-contract lint failed" >&2; exit 1; }
+
 RACEFLAG="-race"
 [ "$RACE" = "0" ] && RACEFLAG=""
 go build $RACEFLAG -o "$DIR/additivityd" ./cmd/additivityd || exit 1
